@@ -1,0 +1,65 @@
+//! Ablation A: the softmin temperature γ (paper Eq. 3).
+//!
+//! Prints a quality table (mean U/U_opt of uniform-weight softmin
+//! routing for γ ∈ {0.5 … 10} on Abilene) before benchmarking the
+//! translation cost as a function of γ (which should be flat — γ only
+//! changes arithmetic, not structure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_lp::mcf::CachedOracle;
+use gddr_net::topology::zoo;
+use gddr_routing::sim::max_link_utilisation;
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+use gddr_traffic::gen::{bimodal, BimodalParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GAMMAS: [f64; 6] = [0.5, 1.0, 2.0, 4.0, 7.0, 10.0];
+
+fn quality_table() {
+    let g = zoo::abilene();
+    let oracle = CachedOracle::new(g.clone());
+    let mut rng = StdRng::seed_from_u64(0);
+    let dms: Vec<_> = (0..5)
+        .map(|_| bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng))
+        .collect();
+    let w = vec![1.0; g.num_edges()];
+    eprintln!("# ablation A: softmin gamma quality (uniform weights, Abilene)");
+    eprintln!("# gamma, mean U/U_opt");
+    for gamma in GAMMAS {
+        let cfg = SoftminConfig {
+            gamma,
+            ..Default::default()
+        };
+        let routing = softmin_routing(&g, &w, &cfg);
+        let mean: f64 = dms
+            .iter()
+            .map(|dm| {
+                max_link_utilisation(&g, &routing, dm).unwrap().u_max / oracle.u_opt(dm).unwrap()
+            })
+            .sum::<f64>()
+            / dms.len() as f64;
+        eprintln!("{gamma},{mean:.4}");
+    }
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    quality_table();
+    let g = zoo::abilene();
+    let w = vec![1.0; g.num_edges()];
+    let mut group = c.benchmark_group("softmin_gamma");
+    group.sample_size(20);
+    for gamma in [0.5, 2.0, 10.0] {
+        let cfg = SoftminConfig {
+            gamma,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &cfg, |b, cfg| {
+            b.iter(|| softmin_routing(&g, &w, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gamma);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation C: DAG-conversion algorithms (paper Alg. 3 vs the
+//! distance-filter default; see DESIGN.md "Substitutions").
+//!
+//! Prints a quality table (mean U/U_opt and retained-edge counts for
+//! both pruning modes across zoo topologies), then benchmarks the
+//! pruning cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_lp::mcf::CachedOracle;
+use gddr_net::topology::zoo;
+use gddr_net::NodeId;
+use gddr_routing::prune::{distance_dag, frontier_meets_dag, PruneMode};
+use gddr_routing::sim::max_link_utilisation;
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+use gddr_traffic::gen::{bimodal, BimodalParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quality_table() {
+    eprintln!("# ablation C: pruning quality (gamma 2, random weights)");
+    eprintln!("# topology, mode, mean U/U_opt, kept edges (sink 0)");
+    let mut rng = StdRng::seed_from_u64(0);
+    for g in [zoo::cesnet(), zoo::abilene()] {
+        let oracle = CachedOracle::new(g.clone());
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let weights: Vec<f64> = (0..g.num_edges())
+            .map(|_| rng.gen_range(0.5..4.5))
+            .collect();
+        for mode in [PruneMode::DistanceDag, PruneMode::FrontierMeets] {
+            let cfg = SoftminConfig {
+                gamma: 2.0,
+                prune_mode: mode,
+            };
+            let routing = softmin_routing(&g, &weights, &cfg);
+            let ratio =
+                max_link_utilisation(&g, &routing, &dm).unwrap().u_max / oracle.u_opt(&dm).unwrap();
+            let kept = match mode {
+                PruneMode::DistanceDag => distance_dag(&g, NodeId(0), &weights),
+                PruneMode::FrontierMeets => frontier_meets_dag(&g, NodeId(1), NodeId(0), &weights),
+            }
+            .iter()
+            .filter(|&&m| m)
+            .count();
+            eprintln!("{},{mode:?},{ratio:.4},{kept}", g.name());
+        }
+    }
+}
+
+fn bench_prune(c: &mut Criterion) {
+    quality_table();
+    let g = zoo::abilene();
+    let mut rng = StdRng::seed_from_u64(1);
+    let weights: Vec<f64> = (0..g.num_edges())
+        .map(|_| rng.gen_range(0.5..4.5))
+        .collect();
+    let mut group = c.benchmark_group("prune");
+    group.bench_with_input(BenchmarkId::from_parameter("distance_dag"), &(), |b, ()| {
+        b.iter(|| distance_dag(&g, NodeId(0), &weights))
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("frontier_meets"),
+        &(),
+        |b, ()| b.iter(|| frontier_meets_dag(&g, NodeId(1), NodeId(0), &weights)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmark: full environment step rate (the paper reports ~70
+//! frames per second for its Python stack, §VIII-D).
+//!
+//! Measures a complete step — policy forward pass, softmin
+//! translation, flow simulation and (cached) LP reward — for the
+//! one-shot env with both the MLP and the GNN policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gddr_core::env::{standard_sequences, DdrEnv, DdrEnvConfig, GraphContext};
+use gddr_core::policies::{GnnPolicy, GnnPolicyConfig, MlpPolicy};
+use gddr_net::topology::zoo;
+use gddr_rl::{Env, Policy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_with_warm_cache(rng: &mut StdRng) -> DdrEnv {
+    let g = zoo::abilene();
+    let seqs = standard_sequences(&g, 2, 60, 10, rng);
+    let mut env = DdrEnv::new(GraphContext::new(g.clone(), seqs), DdrEnvConfig::default());
+    // Warm the LP cache the way training does.
+    let action = vec![0.0; env.action_dim()];
+    for _ in 0..2 {
+        env.reset(rng);
+        let mut done = false;
+        while !done {
+            done = env.step(&action, rng).done;
+        }
+    }
+    env
+}
+
+fn bench_env_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut env = env_with_warm_cache(&mut rng);
+
+    let mlp = MlpPolicy::new(5, 11, 28, &[64, 64], -0.7, &mut rng);
+    let gnn = GnnPolicy::new(&GnnPolicyConfig::default(), -0.7, &mut rng);
+
+    let mut group = c.benchmark_group("env_step_abilene");
+    group.sample_size(30);
+    group.bench_function("mlp_policy", |b| {
+        let mut obs = env.reset(&mut rng);
+        b.iter(|| {
+            let sample = mlp.act(&obs, &mut rng);
+            let step = env.step(&sample.action, &mut rng);
+            obs = if step.done {
+                env.reset(&mut rng)
+            } else {
+                step.obs
+            };
+        })
+    });
+    group.bench_function("gnn_policy", |b| {
+        let mut obs = env.reset(&mut rng);
+        b.iter(|| {
+            let sample = gnn.act(&obs, &mut rng);
+            let step = env.step(&sample.action, &mut rng);
+            obs = if step.done {
+                env.reset(&mut rng)
+            } else {
+                step.obs
+            };
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_env_step);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmark: encode-process-decode forward and backward passes
+//! on Abilene-sized graphs, across message-passing step counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_gnn::{EncodeProcessDecode, EpdConfig, GraphFeatures, GraphStructure};
+use gddr_net::topology::zoo;
+use gddr_nn::{Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gnn(c: &mut Criterion) {
+    let g = zoo::abilene();
+    let s = GraphStructure::from_graph(&g);
+    let mut group = c.benchmark_group("gnn_epd");
+    for steps in [1usize, 3, 5] {
+        let cfg = EpdConfig {
+            node_in: 10,
+            edge_in: 3,
+            global_in: 1,
+            node_out: 1,
+            edge_out: 1,
+            global_out: 1,
+            latent: 16,
+            hidden: 32,
+            message_steps: steps,
+            layer_norm: false,
+        };
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = EncodeProcessDecode::new(&mut store, "epd", &cfg, &mut rng);
+        let feats = GraphFeatures {
+            nodes: Matrix::full(s.num_nodes, 10, 0.3),
+            edges: Matrix::zeros(s.num_edges, 3),
+            globals: Matrix::zeros(1, 1),
+        };
+        group.bench_with_input(BenchmarkId::new("forward", steps), &steps, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                net.forward(&mut tape, &store, &s, &feats)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("forward_backward", steps),
+            &steps,
+            |b, _| {
+                b.iter(|| {
+                    let mut tape = Tape::new();
+                    let out = net.forward(&mut tape, &store, &s, &feats);
+                    let loss = tape.sum_all(out.edges);
+                    let mut store_mut = store.clone();
+                    tape.backward(loss, &mut store_mut);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gnn);
+criterion_main!(benches);

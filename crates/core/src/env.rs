@@ -1,0 +1,489 @@
+//! The data-driven-routing environment (paper §V, Fig. 1).
+//!
+//! Each episode walks a demand sequence. At every timestep the agent
+//! observes the previous `m` demand matrices, emits one weight per
+//! edge, softmin routing translates the weights into a routing
+//! strategy, and the reward compares the resulting max-link-utilisation
+//! against the LP optimum for the *new* (unseen) demand matrix:
+//!
+//! `reward = − U_max_agent / U_max_optimal`  (Eq. 2)
+//!
+//! [`MultiGraphDdrEnv`] samples a different graph per episode — the
+//! setup of the generalisation experiment (Fig. 8); only graph-size-
+//! independent policies (the GNN ones) can train on it.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use gddr_gnn::GraphStructure;
+use gddr_lp::CachedOracle;
+use gddr_net::Graph;
+use gddr_nn::Matrix;
+use gddr_rl::{Env, Step};
+use gddr_routing::sim::max_link_utilisation;
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+use gddr_traffic::DemandMatrix;
+
+use crate::obs::{flat_features, node_features, DdrObs, DemandHistory};
+
+/// Environment configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdrEnvConfig {
+    /// Demand-history length `m` (paper: 5).
+    pub memory: usize,
+    /// Softmin translation settings (γ and DAG conversion).
+    pub softmin: SoftminConfig,
+    /// Raw actions are squashed with `tanh` and mapped into this
+    /// weight interval.
+    pub weight_range: (f64, f64),
+}
+
+impl Default for DdrEnvConfig {
+    fn default() -> Self {
+        DdrEnvConfig {
+            memory: 5,
+            softmin: SoftminConfig::default(),
+            weight_range: (0.5, 4.5),
+        }
+    }
+}
+
+impl DdrEnvConfig {
+    /// Maps one raw policy output to an edge weight.
+    pub fn action_to_weight(&self, a: f64) -> f64 {
+        let (lo, hi) = self.weight_range;
+        lo + (a.tanh() + 1.0) / 2.0 * (hi - lo)
+    }
+
+    /// Maps a full raw action vector to edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is shorter than `num_edges`.
+    pub fn action_to_weights(&self, action: &[f64], num_edges: usize) -> Vec<f64> {
+        assert!(
+            action.len() >= num_edges,
+            "action provides {} weights, graph needs {}",
+            action.len(),
+            num_edges
+        );
+        action[..num_edges]
+            .iter()
+            .map(|&a| self.action_to_weight(a))
+            .collect()
+    }
+}
+
+/// A graph plus everything the environment needs to route on it.
+#[derive(Debug)]
+pub struct GraphContext {
+    /// The topology.
+    pub graph: Graph,
+    /// GNN connectivity view (shared with observations).
+    pub structure: Arc<GraphStructure>,
+    /// Optimal-routing oracle with per-DM cache.
+    pub oracle: CachedOracle,
+    /// Demand sequences; an episode walks one of them.
+    pub sequences: Vec<Vec<DemandMatrix>>,
+}
+
+impl GraphContext {
+    /// Bundles a graph with its demand sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequences` is empty, any sequence is empty, or a
+    /// matrix size disagrees with the graph.
+    pub fn new(graph: Graph, sequences: Vec<Vec<DemandMatrix>>) -> Self {
+        assert!(!sequences.is_empty(), "need at least one demand sequence");
+        for seq in &sequences {
+            assert!(!seq.is_empty(), "sequences must be non-empty");
+            for dm in seq {
+                assert_eq!(
+                    dm.num_nodes(),
+                    graph.num_nodes(),
+                    "demand matrix size must match the graph"
+                );
+            }
+        }
+        let structure = Arc::new(GraphStructure::from_graph(&graph));
+        let oracle = CachedOracle::new(graph.clone());
+        GraphContext {
+            graph,
+            structure,
+            oracle,
+            sequences,
+        }
+    }
+
+    /// Ratio `U_agent / U_opt` for a concrete routing and demand matrix
+    /// — the quantity behind the paper's bar charts (lower is better,
+    /// 1.0 is optimal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routing loses traffic (a softmin-translation
+    /// invariant violation) or the LP fails.
+    pub fn ratio(&self, routing: &gddr_routing::Routing, dm: &DemandMatrix) -> f64 {
+        let report = max_link_utilisation(&self.graph, routing, dm)
+            .expect("softmin routing delivers all traffic");
+        let u_opt = self
+            .oracle
+            .u_opt(dm)
+            .expect("strongly connected graphs have an optimal routing");
+        if u_opt <= 1e-12 {
+            1.0
+        } else {
+            report.u_max / u_opt
+        }
+    }
+}
+
+/// Single-graph data-driven-routing environment (Figs. 6 and 7 setup).
+#[derive(Debug)]
+pub struct DdrEnv {
+    ctx: GraphContext,
+    config: DdrEnvConfig,
+    seq_idx: usize,
+    t: usize,
+    history: DemandHistory,
+}
+
+impl DdrEnv {
+    /// Creates the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence is not longer than the memory (there
+    /// would be no step to take).
+    pub fn new(ctx: GraphContext, config: DdrEnvConfig) -> Self {
+        for seq in &ctx.sequences {
+            assert!(
+                seq.len() > config.memory,
+                "sequence length {} must exceed memory {}",
+                seq.len(),
+                config.memory
+            );
+        }
+        let history = DemandHistory::new(config.memory);
+        DdrEnv {
+            ctx,
+            config,
+            seq_idx: 0,
+            t: 0,
+            history,
+        }
+    }
+
+    /// The underlying graph context.
+    pub fn context(&self) -> &GraphContext {
+        &self.ctx
+    }
+
+    /// The environment configuration.
+    pub fn config(&self) -> &DdrEnvConfig {
+        &self.config
+    }
+
+    fn observation(&self) -> DdrObs {
+        let n = self.ctx.graph.num_nodes();
+        let m_e = self.ctx.graph.num_edges();
+        DdrObs {
+            structure: Arc::clone(&self.ctx.structure),
+            node_feats: node_features(&self.history, n, self.config.memory),
+            edge_feats: Matrix::zeros(m_e, 3),
+            globals: Matrix::zeros(1, 1),
+            flat: flat_features(&self.history, n, self.config.memory),
+            target_edge: None,
+        }
+    }
+}
+
+impl Env for DdrEnv {
+    type Obs = DdrObs;
+
+    fn reset(&mut self, rng: &mut StdRng) -> DdrObs {
+        self.seq_idx = rng.gen_range(0..self.ctx.sequences.len());
+        self.history.clear();
+        // Pre-fill the history with the first `m` matrices: the agent
+        // routes from timestep m onwards (Fig. 1).
+        for i in 0..self.config.memory {
+            self.history
+                .push(self.ctx.sequences[self.seq_idx][i].clone());
+        }
+        self.t = self.config.memory;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut StdRng) -> Step<DdrObs> {
+        let weights = self
+            .config
+            .action_to_weights(action, self.ctx.graph.num_edges());
+        let routing = softmin_routing(&self.ctx.graph, &weights, &self.config.softmin);
+        let seq = &self.ctx.sequences[self.seq_idx];
+        let dm = &seq[self.t];
+        let reward = -self.ctx.ratio(&routing, dm);
+        self.history.push(dm.clone());
+        self.t += 1;
+        let done = self.t >= seq.len();
+        Step {
+            obs: self.observation(),
+            reward,
+            done,
+        }
+    }
+
+    fn action_dim(&self) -> usize {
+        self.ctx.graph.num_edges()
+    }
+}
+
+/// Multi-graph environment: each episode runs on a randomly drawn
+/// graph context (the Fig. 8 training setup).
+#[derive(Debug)]
+pub struct MultiGraphDdrEnv {
+    contexts: Vec<GraphContext>,
+    config: DdrEnvConfig,
+    active: usize,
+    seq_idx: usize,
+    t: usize,
+    history: DemandHistory,
+}
+
+impl MultiGraphDdrEnv {
+    /// Creates the environment over the given graph mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty or any sequence is not longer
+    /// than the memory.
+    pub fn new(contexts: Vec<GraphContext>, config: DdrEnvConfig) -> Self {
+        assert!(!contexts.is_empty(), "need at least one graph");
+        for ctx in &contexts {
+            for seq in &ctx.sequences {
+                assert!(
+                    seq.len() > config.memory,
+                    "sequence length must exceed memory"
+                );
+            }
+        }
+        let history = DemandHistory::new(config.memory);
+        MultiGraphDdrEnv {
+            contexts,
+            config,
+            active: 0,
+            seq_idx: 0,
+            t: 0,
+            history,
+        }
+    }
+
+    /// The graph contexts in the mixture.
+    pub fn contexts(&self) -> &[GraphContext] {
+        &self.contexts
+    }
+
+    /// The currently active context (valid after a reset).
+    pub fn active_context(&self) -> &GraphContext {
+        &self.contexts[self.active]
+    }
+
+    fn observation(&self) -> DdrObs {
+        let ctx = &self.contexts[self.active];
+        let n = ctx.graph.num_nodes();
+        let m_e = ctx.graph.num_edges();
+        DdrObs {
+            structure: Arc::clone(&ctx.structure),
+            node_feats: node_features(&self.history, n, self.config.memory),
+            edge_feats: Matrix::zeros(m_e, 3),
+            globals: Matrix::zeros(1, 1),
+            flat: flat_features(&self.history, n, self.config.memory),
+            target_edge: None,
+        }
+    }
+}
+
+impl Env for MultiGraphDdrEnv {
+    type Obs = DdrObs;
+
+    fn reset(&mut self, rng: &mut StdRng) -> DdrObs {
+        self.active = rng.gen_range(0..self.contexts.len());
+        let ctx = &self.contexts[self.active];
+        self.seq_idx = rng.gen_range(0..ctx.sequences.len());
+        self.history.clear();
+        for i in 0..self.config.memory {
+            self.history.push(ctx.sequences[self.seq_idx][i].clone());
+        }
+        self.t = self.config.memory;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut StdRng) -> Step<DdrObs> {
+        let ctx = &self.contexts[self.active];
+        let weights = self.config.action_to_weights(action, ctx.graph.num_edges());
+        let routing = softmin_routing(&ctx.graph, &weights, &self.config.softmin);
+        let seq = &ctx.sequences[self.seq_idx];
+        let dm = &seq[self.t];
+        let reward = -ctx.ratio(&routing, dm);
+        self.history.push(dm.clone());
+        self.t += 1;
+        let done = self.t >= seq.len();
+        Step {
+            obs: self.observation(),
+            reward,
+            done,
+        }
+    }
+
+    fn action_dim(&self) -> usize {
+        self.contexts
+            .iter()
+            .map(|c| c.graph.num_edges())
+            .max()
+            .expect("non-empty mixture")
+    }
+}
+
+/// Builds the paper's standard workload for a graph: `count` cyclical
+/// bimodal sequences of `length` DMs with cycle `cycle` (§VIII-B/D:
+/// 60 DMs, cycle 10).
+pub fn standard_sequences(
+    graph: &Graph,
+    count: usize,
+    length: usize,
+    cycle: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<DemandMatrix>> {
+    let params = gddr_traffic::gen::BimodalParams::default();
+    (0..count)
+        .map(|_| gddr_traffic::sequence::cyclical(graph.num_nodes(), cycle, length, &params, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_net::topology::zoo;
+    use rand::SeedableRng;
+
+    fn small_env() -> DdrEnv {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let seqs = standard_sequences(&g, 2, 8, 4, &mut rng);
+        let config = DdrEnvConfig {
+            memory: 3,
+            ..Default::default()
+        };
+        DdrEnv::new(GraphContext::new(g, seqs), config)
+    }
+
+    #[test]
+    fn episode_walks_the_sequence() {
+        let mut env = small_env();
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.node_feats.shape(), (6, 6));
+        assert_eq!(obs.flat.len(), 3 * 36);
+        let action = vec![0.0; env.action_dim()];
+        let mut steps = 0;
+        let mut done = false;
+        while !done {
+            let s = env.step(&action, &mut rng);
+            assert!(s.reward < 0.0, "ratio reward is negative");
+            assert!(s.reward >= -50.0, "reward out of plausible range");
+            done = s.done;
+            steps += 1;
+            assert!(steps <= 8, "episode too long");
+        }
+        // length 8, memory 3 → 5 routed steps.
+        assert_eq!(steps, 5);
+    }
+
+    #[test]
+    fn reward_is_at_best_minus_one() {
+        // U_agent >= U_opt always, so reward <= -1.
+        let mut env = small_env();
+        let mut rng = StdRng::seed_from_u64(2);
+        env.reset(&mut rng);
+        let action = vec![0.3; env.action_dim()];
+        let s = env.step(&action, &mut rng);
+        assert!(
+            s.reward <= -1.0 + 1e-6,
+            "agent cannot beat the LP optimum: {}",
+            s.reward
+        );
+    }
+
+    #[test]
+    fn action_weight_mapping_respects_range() {
+        let cfg = DdrEnvConfig::default();
+        let (lo, hi) = cfg.weight_range;
+        for a in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let w = cfg.action_to_weight(a);
+            assert!(w >= lo && w <= hi, "weight {w} outside [{lo}, {hi}]");
+        }
+        assert!((cfg.action_to_weight(0.0) - (lo + hi) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_cache_fills_once_per_distinct_dm() {
+        let mut env = small_env();
+        let mut rng = StdRng::seed_from_u64(3);
+        let action = vec![0.0; env.action_dim()];
+        for _ in 0..2 {
+            env.reset(&mut rng);
+            let mut done = false;
+            while !done {
+                done = env.step(&action, &mut rng).done;
+            }
+        }
+        // 2 sequences × cycle 4 → at most 8 distinct DMs.
+        assert!(env.context().oracle.cache_len() <= 8);
+    }
+
+    #[test]
+    fn multi_graph_env_switches_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let graphs = [zoo::cesnet(), zoo::janet()];
+        let contexts: Vec<GraphContext> = graphs
+            .iter()
+            .map(|g| {
+                let seqs = standard_sequences(g, 1, 6, 3, &mut rng);
+                GraphContext::new(g.clone(), seqs)
+            })
+            .collect();
+        let config = DdrEnvConfig {
+            memory: 2,
+            ..Default::default()
+        };
+        let mut env = MultiGraphDdrEnv::new(contexts, config);
+        let mut sizes = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let obs = env.reset(&mut rng);
+            sizes.insert(obs.structure.num_nodes);
+            // One full step works on whichever graph is active.
+            let action = vec![0.1; obs.structure.num_edges];
+            let s = env.step(&action, &mut rng);
+            assert!(s.reward < 0.0);
+        }
+        assert_eq!(sizes.len(), 2, "both graphs should be sampled");
+        assert_eq!(env.action_dim(), 2 * 11); // janet has 11 links
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed memory")]
+    fn rejects_short_sequences() {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(5);
+        let seqs = standard_sequences(&g, 1, 3, 3, &mut rng);
+        DdrEnv::new(
+            GraphContext::new(g, seqs),
+            DdrEnvConfig {
+                memory: 5,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! The iterative environment (paper §VII-B).
+//!
+//! The one-shot environment's action size is `|E|`, which fixes the
+//! policy's output size to one graph. The iterative scheme sets one
+//! edge weight per sub-step: the observation tags each edge with its
+//! current value, whether it has been set, and whether it is the edge
+//! to set now (Eq. 6); the policy reads its action from the *global*
+//! output (Eq. 7) — a `(weight, γ)` pair, with γ consumed on the final
+//! sub-step of each demand matrix. The reward (the usual Eq. 2 ratio)
+//! arrives on that final sub-step; intermediate sub-steps yield 0.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use gddr_nn::Matrix;
+use gddr_rl::{Env, Step};
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+
+use crate::env::{DdrEnvConfig, GraphContext};
+use crate::obs::{flat_features, node_features, DdrObs, DemandHistory};
+
+/// Range the learned softmin temperature is mapped into.
+const GAMMA_RANGE: (f64, f64) = (0.5, 6.0);
+
+/// Iterative data-driven-routing environment.
+///
+/// Action layout: `action[0]` is the raw weight for the tagged edge,
+/// `action[1]` is the raw softmin temperature (read only on the last
+/// sub-step of each demand matrix).
+#[derive(Debug)]
+pub struct IterativeDdrEnv {
+    contexts: Vec<GraphContext>,
+    config: DdrEnvConfig,
+    active: usize,
+    seq_idx: usize,
+    /// Demand-matrix index within the sequence.
+    t: usize,
+    /// Which edge the next action sets.
+    edge_idx: usize,
+    /// Squashed weights in `[-1, 1]`, one per edge, for the current DM.
+    pending: Vec<f64>,
+    history: DemandHistory,
+}
+
+impl IterativeDdrEnv {
+    /// Creates a single-graph environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence is not longer than the memory.
+    pub fn new(ctx: GraphContext, config: DdrEnvConfig) -> Self {
+        Self::new_multi(vec![ctx], config)
+    }
+
+    /// Creates a multi-graph environment: each episode runs on a
+    /// randomly drawn graph — possible here because the action size is
+    /// fixed at 2 regardless of the topology (the paper's motivation
+    /// for the iterative design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty or any sequence is not longer
+    /// than the memory.
+    pub fn new_multi(contexts: Vec<GraphContext>, config: DdrEnvConfig) -> Self {
+        assert!(!contexts.is_empty(), "need at least one graph");
+        for ctx in &contexts {
+            for seq in &ctx.sequences {
+                assert!(
+                    seq.len() > config.memory,
+                    "sequence length must exceed memory"
+                );
+            }
+        }
+        let pending = vec![0.0; contexts[0].graph.num_edges()];
+        let history = DemandHistory::new(config.memory);
+        IterativeDdrEnv {
+            contexts,
+            config,
+            active: 0,
+            seq_idx: 0,
+            t: 0,
+            edge_idx: 0,
+            pending,
+            history,
+        }
+    }
+
+    /// The currently active graph context (valid after a reset).
+    pub fn context(&self) -> &GraphContext {
+        &self.contexts[self.active]
+    }
+
+    /// Maps a raw γ action into the learned-temperature range `[0.5, 6]`.
+    pub fn action_to_gamma(a: f64) -> f64 {
+        let (lo, hi) = GAMMA_RANGE;
+        lo + (a.tanh() + 1.0) / 2.0 * (hi - lo)
+    }
+
+    fn observation(&self) -> DdrObs {
+        let ctx = &self.contexts[self.active];
+        let n = ctx.graph.num_nodes();
+        let m_e = ctx.graph.num_edges();
+        // Eq. 6: (current value in [-1,1] or 0, set flag, target flag).
+        let mut edge_feats = Matrix::zeros(m_e, 3);
+        for e in 0..m_e {
+            if e < self.edge_idx {
+                edge_feats.set(e, 0, self.pending[e]);
+                edge_feats.set(e, 1, 1.0);
+            }
+            if e == self.edge_idx {
+                edge_feats.set(e, 2, 1.0);
+            }
+        }
+        let mut globals = Matrix::zeros(1, 1);
+        globals.set(0, 0, self.edge_idx as f64 / m_e as f64);
+        DdrObs {
+            structure: Arc::clone(&ctx.structure),
+            node_feats: node_features(&self.history, n, self.config.memory),
+            edge_feats,
+            globals,
+            flat: flat_features(&self.history, n, self.config.memory),
+            target_edge: Some(self.edge_idx),
+        }
+    }
+}
+
+impl Env for IterativeDdrEnv {
+    type Obs = DdrObs;
+
+    fn reset(&mut self, rng: &mut StdRng) -> DdrObs {
+        self.active = rng.gen_range(0..self.contexts.len());
+        let ctx = &self.contexts[self.active];
+        self.seq_idx = rng.gen_range(0..ctx.sequences.len());
+        self.history.clear();
+        for i in 0..self.config.memory {
+            self.history.push(ctx.sequences[self.seq_idx][i].clone());
+        }
+        self.t = self.config.memory;
+        self.edge_idx = 0;
+        self.pending = vec![0.0; ctx.graph.num_edges()];
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut StdRng) -> Step<DdrObs> {
+        assert!(
+            action.len() >= 2,
+            "iterative actions are (weight, gamma) pairs"
+        );
+        let ctx = &self.contexts[self.active];
+        let m_e = ctx.graph.num_edges();
+        self.pending[self.edge_idx] = action[0].tanh();
+        self.edge_idx += 1;
+
+        if self.edge_idx < m_e {
+            return Step {
+                obs: self.observation(),
+                reward: 0.0,
+                done: false,
+            };
+        }
+
+        // All edges set: translate and route the new demand matrix.
+        let gamma = Self::action_to_gamma(action[1]);
+        let (lo, hi) = self.config.weight_range;
+        let weights: Vec<f64> = self
+            .pending
+            .iter()
+            .map(|&a| lo + (a + 1.0) / 2.0 * (hi - lo))
+            .collect();
+        let softmin_config = SoftminConfig {
+            gamma,
+            prune_mode: self.config.softmin.prune_mode,
+        };
+        let routing = softmin_routing(&ctx.graph, &weights, &softmin_config);
+        let seq = &ctx.sequences[self.seq_idx];
+        let dm = &seq[self.t];
+        let reward = -ctx.ratio(&routing, dm);
+
+        self.history.push(dm.clone());
+        self.t += 1;
+        self.edge_idx = 0;
+        self.pending.iter_mut().for_each(|w| *w = 0.0);
+        let done = self.t >= seq.len();
+        Step {
+            obs: self.observation(),
+            reward,
+            done,
+        }
+    }
+
+    fn action_dim(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::standard_sequences;
+    use gddr_net::topology::zoo;
+    use rand::SeedableRng;
+
+    fn env() -> IterativeDdrEnv {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let seqs = standard_sequences(&g, 1, 6, 3, &mut rng);
+        IterativeDdrEnv::new(
+            GraphContext::new(g, seqs),
+            DdrEnvConfig {
+                memory: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sub_steps_tag_edges_in_order() {
+        let mut e = env();
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs0 = e.reset(&mut rng);
+        assert_eq!(obs0.target_edge, Some(0));
+        assert_eq!(obs0.edge_feats.get(0, 2), 1.0);
+        let s = e.step(&[0.5, 0.0], &mut rng);
+        assert_eq!(s.obs.target_edge, Some(1));
+        // Edge 0 now reports its value and set flag.
+        assert!((s.obs.edge_feats.get(0, 0) - 0.5f64.tanh()).abs() < 1e-12);
+        assert_eq!(s.obs.edge_feats.get(0, 1), 1.0);
+        assert_eq!(s.obs.edge_feats.get(1, 2), 1.0);
+        assert_eq!(s.reward, 0.0);
+    }
+
+    #[test]
+    fn reward_arrives_once_per_demand_matrix() {
+        let mut e = env();
+        let mut rng = StdRng::seed_from_u64(2);
+        e.reset(&mut rng);
+        let m_e = e.context().graph.num_edges();
+        let mut rewards = Vec::new();
+        let mut done = false;
+        let mut steps = 0;
+        while !done {
+            let s = e.step(&[0.1, 0.2], &mut rng);
+            rewards.push(s.reward);
+            done = s.done;
+            steps += 1;
+            assert!(steps <= 1000);
+        }
+        // Sequence length 6, memory 2 → 4 DMs; each takes m_e sub-steps.
+        assert_eq!(steps, 4 * m_e);
+        let nonzero: Vec<_> = rewards.iter().filter(|&&r| r != 0.0).collect();
+        assert_eq!(nonzero.len(), 4);
+        assert!(nonzero.iter().all(|&&r| r <= -1.0 + 1e-6));
+        // Rewards land exactly on the last sub-step of each DM.
+        for (i, r) in rewards.iter().enumerate() {
+            if (i + 1) % m_e == 0 {
+                assert!(*r < 0.0);
+            } else {
+                assert_eq!(*r, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_mapping_is_bounded() {
+        for a in [-10.0, 0.0, 10.0] {
+            let g = IterativeDdrEnv::action_to_gamma(a);
+            assert!((0.5..=6.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn action_dim_is_two() {
+        assert_eq!(env().action_dim(), 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Policy evaluation: mean `U_agent / U_opt` ratios over held-out
+//! demand sequences — the bar heights of the paper's Figs. 6 and 8 —
+//! plus the shortest-path baseline ratio (the dotted line).
+
+use gddr_rl::Policy;
+use gddr_routing::baselines::{ecmp_routing, shortest_path_routing};
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+use gddr_routing::Routing;
+use gddr_traffic::DemandMatrix;
+
+use crate::env::{DdrEnvConfig, GraphContext};
+use crate::env_iterative::IterativeDdrEnv;
+use crate::obs::{flat_features, node_features, DdrObs, DemandHistory};
+
+/// Summary statistics of utilisation ratios across evaluated demand
+/// matrices (1.0 = optimal; lower is better).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EvalResult {
+    /// Mean ratio (the bar height).
+    pub mean_ratio: f64,
+    /// Standard deviation of the ratios.
+    pub std_ratio: f64,
+    /// Every individual ratio.
+    pub ratios: Vec<f64>,
+}
+
+impl EvalResult {
+    /// Aggregates raw ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratios` is empty.
+    pub fn from_ratios(ratios: Vec<f64>) -> Self {
+        assert!(!ratios.is_empty(), "no ratios to aggregate");
+        let n = ratios.len() as f64;
+        let mean = ratios.iter().sum::<f64>() / n;
+        let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+        EvalResult {
+            mean_ratio: mean,
+            std_ratio: var.sqrt(),
+            ratios,
+        }
+    }
+}
+
+/// Walks one sequence with a one-shot policy, returning the ratio for
+/// every routed demand matrix.
+fn walk_oneshot<P: Policy<Obs = DdrObs>>(
+    ctx: &GraphContext,
+    config: &DdrEnvConfig,
+    policy: &P,
+    seq: &[DemandMatrix],
+) -> Vec<f64> {
+    let n = ctx.graph.num_nodes();
+    let m_e = ctx.graph.num_edges();
+    let mut history = DemandHistory::new(config.memory);
+    for dm in &seq[..config.memory] {
+        history.push(dm.clone());
+    }
+    let mut ratios = Vec::new();
+    for dm in &seq[config.memory..] {
+        let obs = DdrObs {
+            structure: std::sync::Arc::clone(&ctx.structure),
+            node_feats: node_features(&history, n, config.memory),
+            edge_feats: gddr_nn::Matrix::zeros(m_e, 3),
+            globals: gddr_nn::Matrix::zeros(1, 1),
+            flat: flat_features(&history, n, config.memory),
+            target_edge: None,
+        };
+        let action = policy.act_greedy(&obs);
+        let weights = config.action_to_weights(&action, m_e);
+        let routing = softmin_routing(&ctx.graph, &weights, &config.softmin);
+        ratios.push(ctx.ratio(&routing, dm));
+        history.push(dm.clone());
+    }
+    ratios
+}
+
+/// Evaluates a one-shot policy (MLP or GNN) deterministically on test
+/// sequences.
+///
+/// # Panics
+///
+/// Panics if `test_sequences` is empty or any sequence is not longer
+/// than the memory.
+pub fn eval_oneshot<P: Policy<Obs = DdrObs>>(
+    ctx: &GraphContext,
+    config: &DdrEnvConfig,
+    policy: &P,
+    test_sequences: &[Vec<DemandMatrix>],
+) -> EvalResult {
+    assert!(!test_sequences.is_empty(), "need test sequences");
+    let mut ratios = Vec::new();
+    for seq in test_sequences {
+        assert!(seq.len() > config.memory, "sequence shorter than memory");
+        ratios.extend(walk_oneshot(ctx, config, policy, seq));
+    }
+    EvalResult::from_ratios(ratios)
+}
+
+/// Evaluates an iterative policy deterministically on test sequences.
+///
+/// # Panics
+///
+/// Same conditions as [`eval_oneshot`].
+pub fn eval_iterative<P: Policy<Obs = DdrObs>>(
+    ctx: &GraphContext,
+    config: &DdrEnvConfig,
+    policy: &P,
+    test_sequences: &[Vec<DemandMatrix>],
+) -> EvalResult {
+    assert!(!test_sequences.is_empty(), "need test sequences");
+    use gddr_rl::Env;
+    use rand::SeedableRng;
+    let mut ratios = Vec::new();
+    for seq in test_sequences {
+        assert!(seq.len() > config.memory, "sequence shorter than memory");
+        // A single-sequence env makes the reset deterministic.
+        let eval_ctx = GraphContext::new(ctx.graph.clone(), vec![seq.clone()]);
+        let mut env = IterativeDdrEnv::new(eval_ctx, *config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut obs = env.reset(&mut rng);
+        loop {
+            let action = policy.act_greedy(&obs);
+            let step = env.step(&action, &mut rng);
+            if step.reward != 0.0 {
+                ratios.push(-step.reward);
+            }
+            if step.done {
+                break;
+            }
+            obs = step.obs;
+        }
+    }
+    EvalResult::from_ratios(ratios)
+}
+
+/// Evaluates a fixed (demand-independent) routing over test sequences.
+pub fn eval_fixed_routing(
+    ctx: &GraphContext,
+    config: &DdrEnvConfig,
+    routing: &Routing,
+    test_sequences: &[Vec<DemandMatrix>],
+) -> EvalResult {
+    assert!(!test_sequences.is_empty(), "need test sequences");
+    let mut ratios = Vec::new();
+    for seq in test_sequences {
+        for dm in &seq[config.memory..] {
+            ratios.push(ctx.ratio(routing, dm));
+        }
+    }
+    EvalResult::from_ratios(ratios)
+}
+
+/// The shortest-path baseline ratio (the dotted line in Figs. 6/8):
+/// unit-weight single shortest-path routing, held fixed for all demand
+/// matrices.
+pub fn shortest_path_baseline(
+    ctx: &GraphContext,
+    config: &DdrEnvConfig,
+    test_sequences: &[Vec<DemandMatrix>],
+) -> EvalResult {
+    let w = vec![1.0; ctx.graph.num_edges()];
+    let routing = shortest_path_routing(&ctx.graph, &w);
+    eval_fixed_routing(ctx, config, &routing, test_sequences)
+}
+
+/// ECMP baseline ratio (an extension beyond the paper's dotted line).
+pub fn ecmp_baseline(
+    ctx: &GraphContext,
+    config: &DdrEnvConfig,
+    test_sequences: &[Vec<DemandMatrix>],
+) -> EvalResult {
+    let w = vec![1.0; ctx.graph.num_edges()];
+    let routing = ecmp_routing(&ctx.graph, &w);
+    eval_fixed_routing(ctx, config, &routing, test_sequences)
+}
+
+/// The predict-then-route baseline the paper argues against (§II-A):
+/// predict the next demand matrix as the average of the history, solve
+/// the multicommodity-flow LP for the *prediction*, and route the
+/// actual matrix with the resulting strategy. "This does not lead to
+/// good results when the predictions are incorrect."
+///
+/// # Panics
+///
+/// Panics if `test_sequences` is empty or shorter than the memory.
+pub fn prediction_baseline(
+    ctx: &GraphContext,
+    config: &DdrEnvConfig,
+    test_sequences: &[Vec<DemandMatrix>],
+) -> EvalResult {
+    assert!(!test_sequences.is_empty(), "need test sequences");
+    let mut ratios = Vec::new();
+    for seq in test_sequences {
+        assert!(seq.len() > config.memory, "sequence shorter than memory");
+        let mut history = DemandHistory::new(config.memory);
+        for dm in &seq[..config.memory] {
+            history.push(dm.clone());
+        }
+        for dm in &seq[config.memory..] {
+            let window: Vec<&DemandMatrix> = history.iter().collect();
+            let predicted = gddr_traffic::sequence::average(&window);
+            let sol = gddr_lp::mcf::min_max_utilisation(&ctx.graph, &predicted)
+                .expect("strongly connected graph");
+            let routing = Routing::from_destination_flows(&ctx.graph, &sol.flows);
+            // The predicted-optimal routing may not cover commodities
+            // absent from the prediction; with bimodal demands every
+            // commodity is active, so simulation succeeds.
+            ratios.push(ctx.ratio(&routing, dm));
+            history.push(dm.clone());
+        }
+    }
+    EvalResult::from_ratios(ratios)
+}
+
+/// Ratio of untrained softmin routing with uniform weights — the
+/// "no-agent" reference point for softmin translation quality.
+pub fn uniform_softmin_baseline(
+    ctx: &GraphContext,
+    config: &DdrEnvConfig,
+    test_sequences: &[Vec<DemandMatrix>],
+) -> EvalResult {
+    let w = vec![1.0; ctx.graph.num_edges()];
+    let routing = softmin_routing(&ctx.graph, &w, &SoftminConfig::default());
+    eval_fixed_routing(ctx, config, &routing, test_sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::standard_sequences;
+    use crate::policies::{GnnPolicy, GnnPolicyConfig, MlpPolicy};
+    use gddr_net::topology::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (GraphContext, DdrEnvConfig, Vec<Vec<DemandMatrix>>, StdRng) {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let train = standard_sequences(&g, 1, 6, 3, &mut rng);
+        let test = standard_sequences(&g, 2, 6, 3, &mut rng);
+        let ctx = GraphContext::new(g, train);
+        let config = DdrEnvConfig {
+            memory: 2,
+            ..Default::default()
+        };
+        (ctx, config, test, rng)
+    }
+
+    #[test]
+    fn ratios_are_at_least_one() {
+        let (ctx, config, test, mut rng) = fixture();
+        let gnn = GnnPolicy::new(
+            &GnnPolicyConfig {
+                memory: 2,
+                latent: 4,
+                hidden: 8,
+                message_steps: 1,
+                layer_norm: false,
+            },
+            -0.5,
+            &mut rng,
+        );
+        let res = eval_oneshot(&ctx, &config, &gnn, &test);
+        assert_eq!(res.ratios.len(), 2 * 4);
+        assert!(res.mean_ratio >= 1.0 - 1e-6, "cannot beat the optimum");
+        assert!(res.std_ratio >= 0.0);
+    }
+
+    #[test]
+    fn mlp_and_baselines_evaluate() {
+        let (ctx, config, test, mut rng) = fixture();
+        let mlp = MlpPolicy::new(
+            2,
+            ctx.graph.num_nodes(),
+            ctx.graph.num_edges(),
+            &[8],
+            -0.5,
+            &mut rng,
+        );
+        let res = eval_oneshot(&ctx, &config, &mlp, &test);
+        assert!(res.mean_ratio >= 1.0 - 1e-6);
+        let sp = shortest_path_baseline(&ctx, &config, &test);
+        assert!(sp.mean_ratio >= 1.0 - 1e-6);
+        let ecmp = ecmp_baseline(&ctx, &config, &test);
+        // ECMP load-balances, so it should not be worse than single-SP
+        // on average by much; sanity: both finite.
+        assert!(ecmp.mean_ratio.is_finite() && sp.mean_ratio.is_finite());
+        let uni = uniform_softmin_baseline(&ctx, &config, &test);
+        assert!(uni.mean_ratio >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn iterative_eval_produces_one_ratio_per_dm() {
+        let (ctx, config, test, mut rng) = fixture();
+        let policy = crate::policies::GnnIterativePolicy::new(
+            &GnnPolicyConfig {
+                memory: 2,
+                latent: 4,
+                hidden: 8,
+                message_steps: 1,
+                layer_norm: false,
+            },
+            -0.5,
+            &mut rng,
+        );
+        let res = eval_iterative(&ctx, &config, &policy, &test);
+        assert_eq!(res.ratios.len(), 2 * 4);
+        assert!(res.mean_ratio >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn prediction_baseline_is_good_on_constant_traffic() {
+        // If traffic never changes, predicting the average is exact and
+        // the predict-then-route baseline is optimal (ratio 1).
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = gddr_traffic::gen::bimodal(
+            g.num_nodes(),
+            &gddr_traffic::gen::BimodalParams::default(),
+            &mut rng,
+        );
+        let constant: Vec<DemandMatrix> = vec![base; 6];
+        let ctx = GraphContext::new(g, vec![constant.clone()]);
+        let config = DdrEnvConfig {
+            memory: 2,
+            ..Default::default()
+        };
+        let res = prediction_baseline(&ctx, &config, &[constant]);
+        assert!(
+            (res.mean_ratio - 1.0).abs() < 1e-4,
+            "constant traffic must be routed optimally, got {}",
+            res.mean_ratio
+        );
+    }
+
+    #[test]
+    fn prediction_baseline_degrades_on_varying_traffic() {
+        let (ctx, config, test, _) = fixture();
+        let res = prediction_baseline(&ctx, &config, &test);
+        assert!(res.mean_ratio >= 1.0 - 1e-6);
+        assert!(res.mean_ratio.is_finite());
+    }
+
+    #[test]
+    fn eval_is_deterministic() {
+        let (ctx, config, test, mut rng) = fixture();
+        let gnn = GnnPolicy::new(
+            &GnnPolicyConfig {
+                memory: 2,
+                latent: 4,
+                hidden: 8,
+                message_steps: 1,
+                layer_norm: false,
+            },
+            -0.5,
+            &mut rng,
+        );
+        let a = eval_oneshot(&ctx, &config, &gnn, &test);
+        let b = eval_oneshot(&ctx, &config, &gnn, &test);
+        assert_eq!(a.ratios, b.ratios);
+    }
+
+    #[test]
+    fn from_ratios_statistics() {
+        let r = EvalResult::from_ratios(vec![1.0, 2.0, 3.0]);
+        assert!((r.mean_ratio - 2.0).abs() < 1e-12);
+        assert!((r.std_ratio - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! # gddr-core
+//!
+//! GDDR: GNN-based Data-Driven Routing — the paper's primary
+//! contribution, assembled from the substrate crates:
+//!
+//! - [`obs`]: observation construction — the per-node demand
+//!   aggregation of Eq. 4 (GNN policies) and the flattened
+//!   demand-history observation of Valadarsky et al. (MLP baseline),
+//! - [`mod@env`]: the data-driven-routing RL environment (paper §V): the
+//!   agent observes the last `m` demand matrices, emits edge weights,
+//!   softmin routing translates them into a routing strategy, and the
+//!   reward compares the achieved max-link-utilisation against the LP
+//!   optimum (Eq. 2). Includes the multi-graph variant used for the
+//!   generalisation experiment (Fig. 8),
+//! - [`env_iterative`]: the iterative environment backing the
+//!   Iterative GNN policy (§VII-B): one edge weight is set per
+//!   sub-step, with edge-tagged observations (Eq. 6) and a learned
+//!   softmin temperature (Eq. 7),
+//! - [`policies`]: the MLP baseline policy (§VII, Fig. 4), the GNN
+//!   encode-process-decode policy (§VII-A, Fig. 5) and the Iterative
+//!   GNN policy (§VII-B),
+//! - [`eval`]: evaluation of trained policies as mean
+//!   `U_agent / U_opt` ratios over held-out demand sequences, plus the
+//!   shortest-path baseline ratio (the dotted line in Figs. 6 and 8),
+//! - [`experiment`]: ready-made experiment harnesses regenerating the
+//!   paper's Figs. 6, 7 and 8.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use gddr_core::experiment::{fixed_graph, FixedGraphConfig};
+//!
+//! let mut config = FixedGraphConfig::default();
+//! config.train_steps = 2_000; // scaled down; paper uses 500k
+//! let result = fixed_graph(&config);
+//! println!("GNN ratio {:.3} vs shortest path {:.3}",
+//!          result.gnn.eval.mean_ratio, result.shortest_path.mean_ratio);
+//! ```
+
+pub mod env;
+pub mod env_iterative;
+pub mod eval;
+pub mod experiment;
+pub mod obs;
+pub mod policies;
+
+pub use env::{DdrEnv, DdrEnvConfig, GraphContext, MultiGraphDdrEnv};
+pub use env_iterative::IterativeDdrEnv;
+pub use obs::DdrObs;
+pub use policies::{GnnIterativePolicy, GnnPolicy, MlpPolicy};

@@ -1,0 +1,254 @@
+//! Observation construction.
+//!
+//! The paper's key observation-space insight (§V-B): a GNN needs
+//! constant-size per-vertex features, so instead of handing each vertex
+//! its full demand row/column (`O(|V|²)` total), each vertex gets its
+//! total outgoing and incoming demand (Eq. 4), giving `O(|V|)` total.
+//! Inputs are normalised "as otherwise the more vertices in a graph,
+//! the greater the size of the input features".
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use gddr_gnn::GraphStructure;
+use gddr_nn::Matrix;
+use gddr_traffic::DemandMatrix;
+
+/// A bounded FIFO of the most recent demand matrices.
+#[derive(Debug, Clone)]
+pub struct DemandHistory {
+    capacity: usize,
+    items: VecDeque<DemandMatrix>,
+}
+
+impl DemandHistory {
+    /// A history holding the last `capacity` matrices (the paper's
+    /// memory length `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history needs positive capacity");
+        DemandHistory {
+            capacity,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Maximum length.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the history holds no matrices yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the history is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Appends a matrix, evicting the oldest if full.
+    pub fn push(&mut self, dm: DemandMatrix) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+        }
+        self.items.push_back(dm);
+    }
+
+    /// Clears the history (episode reset).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// The stored matrices, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &DemandMatrix> {
+        self.items.iter()
+    }
+}
+
+/// Normalisation scale for a demand matrix: the mean demand per
+/// commodity, so aggregated per-node sums land near `O(1)` regardless
+/// of graph size.
+fn demand_scale(dm: &DemandMatrix) -> f64 {
+    let n = dm.num_nodes();
+    let pairs = (n * (n - 1)).max(1) as f64;
+    let mean = dm.total() / pairs;
+    if mean > 0.0 {
+        mean * n as f64
+    } else {
+        1.0
+    }
+}
+
+/// Per-node features for a demand history (Eq. 4, stacked over the
+/// history): an `n × 2m` matrix whose row `v` holds
+/// `[out_sum, in_sum]` for each of the `m` history steps, oldest
+/// first, each normalised by that matrix's demand scale.
+///
+/// If the history holds fewer than `m` matrices, missing steps are
+/// zero (as at episode start).
+pub fn node_features(history: &DemandHistory, num_nodes: usize, memory: usize) -> Matrix {
+    let mut feats = Matrix::zeros(num_nodes, 2 * memory);
+    let offset = memory.saturating_sub(history.len());
+    for (i, dm) in history.iter().enumerate() {
+        let col = 2 * (offset + i);
+        let scale = demand_scale(dm);
+        for v in 0..num_nodes {
+            feats.set(v, col, dm.out_sum(v) / scale);
+            feats.set(v, col + 1, dm.in_sum(v) / scale);
+        }
+    }
+    feats
+}
+
+/// The MLP baseline's observation: the history's demand matrices
+/// flattened and concatenated (oldest first), normalised per matrix.
+/// Missing history steps are zero-padded. Length is `m · n²`.
+pub fn flat_features(history: &DemandHistory, num_nodes: usize, memory: usize) -> Vec<f64> {
+    let n2 = num_nodes * num_nodes;
+    let mut flat = vec![0.0; memory * n2];
+    let offset = memory.saturating_sub(history.len());
+    for (i, dm) in history.iter().enumerate() {
+        let scale = demand_scale(dm) / num_nodes as f64;
+        let base = (offset + i) * n2;
+        for (j, &d) in dm.as_flat().iter().enumerate() {
+            flat[base + j] = d / scale;
+        }
+    }
+    flat
+}
+
+/// The observation type shared by every GDDR policy.
+///
+/// MLP policies read [`DdrObs::flat`]; GNN policies read the
+/// graph-structured fields. Carrying both keeps a single environment
+/// implementation for all policies (the paper trains both on the same
+/// environment).
+#[derive(Debug, Clone)]
+pub struct DdrObs {
+    /// Static connectivity of the current graph.
+    pub structure: Arc<GraphStructure>,
+    /// n×2m per-node demand aggregates (Eq. 4).
+    pub node_feats: Matrix,
+    /// m_e×3 per-edge features (Eq. 6; zeros in the one-shot env).
+    pub edge_feats: Matrix,
+    /// 1×1 global feature (sub-step progress in the iterative env).
+    pub globals: Matrix,
+    /// Flattened demand history for the MLP baseline.
+    pub flat: Vec<f64>,
+    /// For the iterative env: the edge whose weight this action sets.
+    pub target_edge: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_traffic::gen::{bimodal, BimodalParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dm_with(n: usize, entries: &[(usize, usize, f64)]) -> DemandMatrix {
+        let mut dm = DemandMatrix::zeros(n);
+        for &(s, t, d) in entries {
+            dm.set(s, t, d);
+        }
+        dm
+    }
+
+    #[test]
+    fn history_evicts_oldest() {
+        let mut h = DemandHistory::new(2);
+        h.push(dm_with(3, &[(0, 1, 1.0)]));
+        h.push(dm_with(3, &[(0, 1, 2.0)]));
+        h.push(dm_with(3, &[(0, 1, 3.0)]));
+        assert_eq!(h.len(), 2);
+        let first = h.iter().next().unwrap();
+        assert_eq!(first.get(0, 1), 2.0);
+        assert!(h.is_full());
+    }
+
+    #[test]
+    fn node_features_shape_and_alignment() {
+        let mut h = DemandHistory::new(3);
+        h.push(dm_with(3, &[(0, 1, 6.0)]));
+        let f = node_features(&h, 3, 3);
+        assert_eq!(f.shape(), (3, 6));
+        // Only the newest slot (columns 4,5) is populated.
+        for c in 0..4 {
+            for v in 0..3 {
+                assert_eq!(f.get(v, c), 0.0);
+            }
+        }
+        assert!(f.get(0, 4) > 0.0); // node 0 out_sum
+        assert!(f.get(1, 5) > 0.0); // node 1 in_sum
+    }
+
+    #[test]
+    fn node_features_are_normalised() {
+        // Scaling all demands by 100 must not change features.
+        let mut rng = StdRng::seed_from_u64(0);
+        let dm = bimodal(6, &BimodalParams::default(), &mut rng);
+        let mut h1 = DemandHistory::new(1);
+        h1.push(dm.clone());
+        let mut h2 = DemandHistory::new(1);
+        h2.push(dm.scaled(100.0));
+        let f1 = node_features(&h1, 6, 1);
+        let f2 = node_features(&h2, 6, 1);
+        for v in 0..6 {
+            for c in 0..2 {
+                assert!((f1.get(v, c) - f2.get(v, c)).abs() < 1e-12);
+            }
+        }
+        // Magnitudes are O(1).
+        assert!(f1.max() < 5.0);
+    }
+
+    #[test]
+    fn flat_features_layout() {
+        let mut h = DemandHistory::new(2);
+        h.push(dm_with(2, &[(0, 1, 4.0)]));
+        let f = flat_features(&h, 2, 2);
+        assert_eq!(f.len(), 8);
+        // First matrix slot zero-padded, second holds the data.
+        assert!(f[..4].iter().all(|&x| x == 0.0));
+        assert!(f[4 + 1] > 0.0); // position (0,1) of the newest matrix
+    }
+
+    #[test]
+    fn flat_features_scale_invariance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dm = bimodal(4, &BimodalParams::default(), &mut rng);
+        let mut h1 = DemandHistory::new(1);
+        h1.push(dm.clone());
+        let mut h2 = DemandHistory::new(1);
+        h2.push(dm.scaled(7.0));
+        let f1 = flat_features(&h1, 4, 1);
+        let f2 = flat_features(&h2, 4, 1);
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = DemandHistory::new(2);
+        h.push(dm_with(2, &[(0, 1, 1.0)]));
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        DemandHistory::new(0);
+    }
+}

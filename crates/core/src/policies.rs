@@ -1,0 +1,9 @@
+//! The three GDDR policy architectures (paper §VII).
+
+mod gnn;
+mod gnn_iterative;
+mod mlp;
+
+pub use gnn::{GnnPolicy, GnnPolicyConfig};
+pub use gnn_iterative::GnnIterativePolicy;
+pub use mlp::MlpPolicy;

@@ -1,0 +1,254 @@
+//! The Iterative GNN policy (paper §VII-B).
+//!
+//! Same encode-process-decode trunk as [`crate::GnnPolicy`], but the
+//! action is read from the decoded *global* attribute (Eq. 7): a
+//! `(weight, γ)` pair for the edge tagged in the observation (Eq. 6).
+//! Because the action size is fixed at 2, the policy trains across
+//! graphs of different sizes — the property that makes it the best
+//! performer in the paper's Fig. 8.
+
+use rand::rngs::StdRng;
+
+use gddr_gnn::{EncodeProcessDecode, EpdConfig, GraphFeatures};
+use gddr_nn::dist::DiagGaussian;
+use gddr_nn::{Matrix, ParamId, ParamStore, Tape, Var};
+use gddr_rl::{ActionSample, Evaluation, Policy};
+
+use crate::obs::DdrObs;
+use crate::policies::GnnPolicyConfig;
+
+/// Iterative GNN policy: one `(weight, γ)` action per tagged edge.
+#[derive(Debug, Clone)]
+pub struct GnnIterativePolicy {
+    store: ParamStore,
+    net: EncodeProcessDecode,
+    log_std: ParamId,
+    config: GnnPolicyConfig,
+}
+
+impl GnnIterativePolicy {
+    /// Builds the policy.
+    pub fn new(config: &GnnPolicyConfig, init_log_std: f64, rng: &mut StdRng) -> Self {
+        let mut store = ParamStore::new();
+        let epd = EpdConfig {
+            node_in: 2 * config.memory,
+            edge_in: 3,
+            global_in: 1,
+            node_out: 1,
+            edge_out: 1,
+            // Global decode: [weight mean, gamma mean, value].
+            global_out: 3,
+            latent: config.latent,
+            hidden: config.hidden,
+            message_steps: config.message_steps,
+            layer_norm: config.layer_norm,
+        };
+        let net = EncodeProcessDecode::new(&mut store, "gnn_iter_policy", &epd, rng);
+        let log_std = store.register(
+            "log_std",
+            Matrix::row_vector(vec![init_log_std, init_log_std]),
+        );
+        GnnIterativePolicy {
+            store,
+            net,
+            log_std,
+            config: *config,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &GnnPolicyConfig {
+        &self.config
+    }
+
+    /// Total trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Serialises the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, w: impl std::io::Write) -> Result<(), gddr_nn::params::ParamIoError> {
+        self.store.save(w)
+    }
+
+    /// Restores parameters saved by [`GnnIterativePolicy::save`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout mismatch or corrupt data.
+    pub fn load(&mut self, r: impl std::io::Read) -> Result<(), gddr_nn::params::ParamIoError> {
+        self.store.load(r)
+    }
+
+    fn dist(&self, tape: &mut Tape, obs: &DdrObs) -> (DiagGaussian, Var) {
+        let features = GraphFeatures {
+            nodes: obs.node_feats.clone(),
+            edges: obs.edge_feats.clone(),
+            globals: obs.globals.clone(),
+        };
+        let out = self
+            .net
+            .forward(tape, &self.store, &obs.structure, &features);
+        let mean = tape.slice_cols(out.globals, 0, 2);
+        let value = tape.slice_cols(out.globals, 2, 3);
+        let log_std = tape.param(&self.store, self.log_std);
+        (DiagGaussian::new(tape, mean, log_std), value)
+    }
+}
+
+impl Policy for GnnIterativePolicy {
+    type Obs = DdrObs;
+
+    fn act(&self, obs: &DdrObs, rng: &mut StdRng) -> ActionSample {
+        let mut tape = Tape::new();
+        let (dist, value) = self.dist(&mut tape, obs);
+        let action = dist.sample(&tape, rng);
+        let lp = dist.log_prob(&mut tape, &action);
+        ActionSample {
+            action: action.as_slice().to_vec(),
+            log_prob: tape.value(lp).get(0, 0),
+            value: tape.value(value).get(0, 0),
+        }
+    }
+
+    fn act_greedy(&self, obs: &DdrObs) -> Vec<f64> {
+        let mut tape = Tape::new();
+        let (dist, _) = self.dist(&mut tape, obs);
+        dist.mode(&tape).as_slice().to_vec()
+    }
+
+    fn evaluate(&self, tape: &mut Tape, obs: &DdrObs, action: &[f64]) -> Evaluation {
+        let (dist, value) = self.dist(tape, obs);
+        let a = Matrix::row_vector(action.to_vec());
+        let log_prob = dist.log_prob(tape, &a);
+        let entropy = dist.entropy(tape);
+        Evaluation {
+            log_prob,
+            entropy,
+            value,
+        }
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{standard_sequences, DdrEnvConfig, GraphContext};
+    use crate::env_iterative::IterativeDdrEnv;
+    use gddr_net::topology::zoo;
+    use gddr_rl::Env;
+    use rand::SeedableRng;
+
+    fn setup() -> (GnnIterativePolicy, IterativeDdrEnv, StdRng) {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let seqs = standard_sequences(&g, 1, 5, 3, &mut rng);
+        let env = IterativeDdrEnv::new(
+            GraphContext::new(g, seqs),
+            DdrEnvConfig {
+                memory: 2,
+                ..Default::default()
+            },
+        );
+        let config = GnnPolicyConfig {
+            memory: 2,
+            latent: 8,
+            hidden: 16,
+            message_steps: 2,
+            layer_norm: false,
+        };
+        (GnnIterativePolicy::new(&config, -0.5, &mut rng), env, rng)
+    }
+
+    #[test]
+    fn actions_are_pairs() {
+        let (policy, mut env, mut rng) = setup();
+        let obs = env.reset(&mut rng);
+        let sample = policy.act(&obs, &mut rng);
+        assert_eq!(sample.action.len(), 2);
+        let s = env.step(&sample.action, &mut rng);
+        assert_eq!(s.reward, 0.0); // first sub-step
+    }
+
+    #[test]
+    fn full_episode_with_policy() {
+        let (policy, mut env, mut rng) = setup();
+        let mut obs = env.reset(&mut rng);
+        let mut done = false;
+        let mut total = 0.0;
+        let mut guard = 0;
+        while !done {
+            let action = policy.act(&obs, &mut rng).action;
+            let s = env.step(&action, &mut rng);
+            total += s.reward;
+            obs = s.obs;
+            done = s.done;
+            guard += 1;
+            assert!(guard < 10_000);
+        }
+        assert!(total < 0.0);
+    }
+
+    #[test]
+    fn target_edge_influences_the_action_mean() {
+        // The observation tagging must reach the global output: two
+        // observations differing only in the target edge should give
+        // different means.
+        let (policy, mut env, mut rng) = setup();
+        let obs0 = env.reset(&mut rng);
+        let mut obs1 = obs0.clone();
+        let m_e = obs0.structure.num_edges;
+        let mut ef = gddr_nn::Matrix::zeros(m_e, 3);
+        ef.set(1, 2, 1.0); // tag edge 1 instead of edge 0
+        obs1.edge_feats = ef;
+        let a0 = policy.act_greedy(&obs0);
+        let a1 = policy.act_greedy(&obs1);
+        assert!(
+            (a0[0] - a1[0]).abs() > 1e-12,
+            "tagging is invisible to the policy"
+        );
+    }
+
+    #[test]
+    fn generalises_across_graph_sizes() {
+        let (policy, _, mut rng) = setup();
+        for name in ["janet", "nsfnet"] {
+            let g = zoo::by_name(name).unwrap();
+            let seqs = standard_sequences(&g, 1, 4, 2, &mut rng);
+            let mut env = IterativeDdrEnv::new(
+                GraphContext::new(g, seqs),
+                DdrEnvConfig {
+                    memory: 2,
+                    ..Default::default()
+                },
+            );
+            let obs = env.reset(&mut rng);
+            let action = policy.act_greedy(&obs);
+            assert_eq!(action.len(), 2);
+            env.step(&action, &mut rng);
+        }
+    }
+
+    #[test]
+    fn evaluate_is_consistent_with_act() {
+        let (policy, mut env, mut rng) = setup();
+        let obs = env.reset(&mut rng);
+        let sample = policy.act(&obs, &mut rng);
+        let mut tape = Tape::new();
+        let eval = policy.evaluate(&mut tape, &obs, &sample.action);
+        assert!((tape.value(eval.log_prob).get(0, 0) - sample.log_prob).abs() < 1e-9);
+        assert!((tape.value(eval.value).get(0, 0) - sample.value).abs() < 1e-9);
+    }
+}

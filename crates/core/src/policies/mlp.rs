@@ -1,0 +1,122 @@
+//! The MLP baseline policy of Valadarsky et al. (paper §VII, Fig. 4).
+//!
+//! A plain fully connected actor-critic over the flattened demand
+//! history. Its input and output sizes are tied to one topology
+//! (`m·|V|²` in, `|E|` out) — the limitation that motivates the GNN
+//! policies.
+
+use rand::rngs::StdRng;
+
+use gddr_nn::{ParamStore, Tape};
+use gddr_rl::policy::MlpGaussianPolicy;
+use gddr_rl::{ActionSample, Evaluation, Policy};
+
+use crate::obs::DdrObs;
+
+/// MLP actor-critic over [`DdrObs::flat`] observations.
+#[derive(Debug, Clone)]
+pub struct MlpPolicy {
+    inner: MlpGaussianPolicy,
+}
+
+impl MlpPolicy {
+    /// Builds the policy for a fixed topology.
+    ///
+    /// `memory` and `num_nodes` determine the observation width
+    /// (`memory · num_nodes²`); `num_edges` the action width.
+    pub fn new(
+        memory: usize,
+        num_nodes: usize,
+        num_edges: usize,
+        hidden: &[usize],
+        init_log_std: f64,
+        rng: &mut StdRng,
+    ) -> Self {
+        let obs_dim = memory * num_nodes * num_nodes;
+        MlpPolicy {
+            inner: MlpGaussianPolicy::new(obs_dim, num_edges, hidden, init_log_std, rng),
+        }
+    }
+
+    /// Observation width this policy is bound to.
+    pub fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+
+    /// Action width (`|E|`).
+    pub fn action_dim(&self) -> usize {
+        self.inner.action_dim()
+    }
+}
+
+impl Policy for MlpPolicy {
+    type Obs = DdrObs;
+
+    fn act(&self, obs: &DdrObs, rng: &mut StdRng) -> ActionSample {
+        self.inner.act(&obs.flat, rng)
+    }
+
+    fn act_greedy(&self, obs: &DdrObs) -> Vec<f64> {
+        self.inner.act_greedy(&obs.flat)
+    }
+
+    fn evaluate(&self, tape: &mut Tape, obs: &DdrObs, action: &[f64]) -> Evaluation {
+        self.inner.evaluate(tape, &obs.flat, action)
+    }
+
+    fn params(&self) -> &ParamStore {
+        self.inner.params()
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        self.inner.params_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{standard_sequences, DdrEnvConfig, GraphContext};
+    use crate::DdrEnv;
+    use gddr_net::topology::zoo;
+    use gddr_rl::Env;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_policy_matches_env_dimensions() {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let seqs = standard_sequences(&g, 1, 6, 3, &mut rng);
+        let config = DdrEnvConfig {
+            memory: 2,
+            ..Default::default()
+        };
+        let mut env = DdrEnv::new(GraphContext::new(g.clone(), seqs), config);
+        let policy = MlpPolicy::new(2, g.num_nodes(), g.num_edges(), &[16], -0.5, &mut rng);
+        assert_eq!(policy.obs_dim(), 2 * 36);
+        let obs = env.reset(&mut rng);
+        let sample = policy.act(&obs, &mut rng);
+        assert_eq!(sample.action.len(), g.num_edges());
+        let s = env.step(&sample.action, &mut rng);
+        assert!(s.reward < 0.0);
+    }
+
+    #[test]
+    fn evaluate_matches_act_statistics() {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(1);
+        let seqs = standard_sequences(&g, 1, 6, 3, &mut rng);
+        let config = DdrEnvConfig {
+            memory: 2,
+            ..Default::default()
+        };
+        let mut env = DdrEnv::new(GraphContext::new(g.clone(), seqs), config);
+        let policy = MlpPolicy::new(2, g.num_nodes(), g.num_edges(), &[8], -0.3, &mut rng);
+        let obs = env.reset(&mut rng);
+        let sample = policy.act(&obs, &mut rng);
+        let mut tape = Tape::new();
+        let eval = policy.evaluate(&mut tape, &obs, &sample.action);
+        assert!((tape.value(eval.log_prob).get(0, 0) - sample.log_prob).abs() < 1e-9);
+        assert!((tape.value(eval.value).get(0, 0) - sample.value).abs() < 1e-9);
+    }
+}

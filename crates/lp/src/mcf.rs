@@ -1,0 +1,342 @@
+//! Multicommodity-flow optimal-routing oracle.
+//!
+//! Computes the minimum achievable maximum link utilisation `U_opt` for
+//! a demand matrix on a capacitated graph — the LP the paper solves
+//! with OR-Tools to normalise the agent's reward (Eq. 2):
+//!
+//! `reward = − U_max_agent / U_max_optimal`.
+//!
+//! # Formulation
+//!
+//! The per-commodity LP of §II-A has `|V|²·|E|` variables. For the
+//! min-max-utilisation objective, flows towards the same destination
+//! are interchangeable, so commodities aggregate exactly by
+//! destination (a standard TE reduction):
+//!
+//! - variables: `x[t][e] ≥ 0` (flow destined to `t` on edge `e`) and
+//!   `U ≥ 0`,
+//! - for every destination `t` and node `v ≠ t`:
+//!   `Σ_out x[t] − Σ_in x[t] = D[v][t]` (conservation + source
+//!   injection; absorption at `t` is implied),
+//! - for every edge `e`: `Σ_t x[t][e] ≤ U · c(e)`,
+//! - objective: `min U`.
+//!
+//! `U` may exceed 1: the oracle measures over-utilisation rather than
+//! enforcing capacity, exactly like the paper's utilisation ratios.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use gddr_net::{Graph, NodeId};
+use gddr_traffic::DemandMatrix;
+
+use crate::simplex::{solve, LinearProgram, LpError, Relation};
+
+/// The oracle's answer for one demand matrix.
+#[derive(Debug, Clone)]
+pub struct McfSolution {
+    /// Minimum achievable maximum link utilisation.
+    pub u_max: f64,
+    /// Optimal flow per destination per edge: `flows[t][e]`.
+    pub flows: Vec<Vec<f64>>,
+}
+
+impl McfSolution {
+    /// Per-edge total load implied by the optimal flows.
+    pub fn edge_loads(&self, graph: &Graph) -> Vec<f64> {
+        let mut loads = vec![0.0; graph.num_edges()];
+        for per_dest in &self.flows {
+            for (e, f) in per_dest.iter().enumerate() {
+                loads[e] += f;
+            }
+        }
+        loads
+    }
+
+    /// Per-edge utilisation (load / capacity).
+    pub fn utilisations(&self, graph: &Graph) -> Vec<f64> {
+        self.edge_loads(graph)
+            .iter()
+            .enumerate()
+            .map(|(e, load)| load / graph.capacity(gddr_net::EdgeId(e)))
+            .collect()
+    }
+}
+
+/// Solves the min-max-utilisation multicommodity flow LP.
+///
+/// # Errors
+///
+/// Returns an [`LpError`] if the LP cannot be solved — on a strongly
+/// connected graph this indicates a disconnected destination (the
+/// demands cannot be delivered at any utilisation).
+///
+/// # Panics
+///
+/// Panics if the demand matrix size differs from the node count.
+pub fn min_max_utilisation(graph: &Graph, dm: &DemandMatrix) -> Result<McfSolution, LpError> {
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    assert_eq!(dm.num_nodes(), n, "demand matrix must match the graph");
+
+    // Only destinations with any incoming demand need flow variables.
+    let dests: Vec<usize> = (0..n).filter(|&t| dm.in_sum(t) > 0.0).collect();
+    let num_x = dests.len() * m;
+    // Variable layout: x[d * m + e] for d-th destination, then U last.
+    let u_var = num_x;
+    let mut lp = LinearProgram::new(num_x + 1);
+    lp.set_objective_coeff(u_var, 1.0);
+
+    for (d, &t) in dests.iter().enumerate() {
+        for v in 0..n {
+            if v == t {
+                continue;
+            }
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for &e in graph.out_edges(NodeId(v)) {
+                terms.push((d * m + e.0, 1.0));
+            }
+            for &e in graph.in_edges(NodeId(v)) {
+                terms.push((d * m + e.0, -1.0));
+            }
+            lp.add_constraint(&terms, Relation::Eq, dm.get(v, t));
+        }
+    }
+    for e in 0..m {
+        let mut terms: Vec<(usize, f64)> = dests
+            .iter()
+            .enumerate()
+            .map(|(d, _)| (d * m + e, 1.0))
+            .collect();
+        terms.push((u_var, -graph.capacity(gddr_net::EdgeId(e))));
+        lp.add_constraint(&terms, Relation::Le, 0.0);
+    }
+
+    let sol = solve(&lp)?;
+    let mut flows = vec![vec![0.0; m]; n];
+    for (d, &t) in dests.iter().enumerate() {
+        flows[t].copy_from_slice(&sol.x[d * m..(d + 1) * m]);
+    }
+    Ok(McfSolution {
+        u_max: sol.x[u_var],
+        flows,
+    })
+}
+
+/// A caching wrapper around the oracle, bound to one graph.
+///
+/// The paper's demand sequences are cyclical (`q` distinct matrices per
+/// sequence), so training revisits identical matrices constantly; the
+/// cache keys on the matrix fingerprint and makes the LP cost amortised
+/// O(1) per step.
+#[derive(Debug)]
+pub struct CachedOracle {
+    graph: Graph,
+    cache: Mutex<HashMap<u64, f64>>,
+}
+
+impl CachedOracle {
+    /// Creates an oracle for `graph`.
+    pub fn new(graph: Graph) -> Self {
+        CachedOracle {
+            graph,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The graph this oracle is bound to.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of cached entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// The optimal max-link utilisation for `dm`, cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures (see [`min_max_utilisation`]).
+    pub fn u_opt(&self, dm: &DemandMatrix) -> Result<f64, LpError> {
+        let key = dm.fingerprint();
+        if let Some(&u) = self.cache.lock().get(&key) {
+            return Ok(u);
+        }
+        let sol = min_max_utilisation(&self.graph, dm)?;
+        self.cache.lock().insert(key, sol.u_max);
+        Ok(sol.u_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_net::topology::{from_links, zoo};
+    use gddr_traffic::gen::{bimodal, BimodalParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn single_link_utilisation() {
+        // Two nodes, one link of capacity 10, demand 5 → U = 0.5.
+        let g = from_links("pair", 2, &[(0, 1)], 10.0);
+        let mut dm = DemandMatrix::zeros(2);
+        dm.set(0, 1, 5.0);
+        let sol = min_max_utilisation(&g, &dm).unwrap();
+        assert_close(sol.u_max, 0.5, 1e-7);
+    }
+
+    #[test]
+    fn over_capacity_demand_gives_u_above_one() {
+        let g = from_links("pair", 2, &[(0, 1)], 10.0);
+        let mut dm = DemandMatrix::zeros(2);
+        dm.set(0, 1, 25.0);
+        let sol = min_max_utilisation(&g, &dm).unwrap();
+        assert_close(sol.u_max, 2.5, 1e-7);
+    }
+
+    #[test]
+    fn parallel_paths_split_optimally() {
+        // Diamond: 0-1-3 and 0-2-3, all capacity 10; demand 0→3 of 10.
+        // Optimal splits 5/5 → U = 0.5.
+        let g = from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0);
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(0, 3, 10.0);
+        let sol = min_max_utilisation(&g, &dm).unwrap();
+        assert_close(sol.u_max, 0.5, 1e-7);
+    }
+
+    #[test]
+    fn asymmetric_capacities_bias_split() {
+        // Two disjoint 2-hop paths with capacities 30 (via 1) and
+        // 10 (via 2); demand 0→3 of 20.
+        // Balanced utilisation: f1/30 = f2/10, f1+f2=20 → f1=15, f2=5,
+        // U = 0.5.
+        let mut g = gddr_net::Graph::new("asym");
+        let n: Vec<_> = (0..4).map(|i| g.add_node(format!("n{i}"))).collect();
+        g.add_link(n[0], n[1], 30.0).unwrap();
+        g.add_link(n[1], n[3], 30.0).unwrap();
+        g.add_link(n[0], n[2], 10.0).unwrap();
+        g.add_link(n[2], n[3], 10.0).unwrap();
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(0, 3, 20.0);
+        let sol = min_max_utilisation(&g, &dm).unwrap();
+        assert_close(sol.u_max, 0.5, 1e-7);
+    }
+
+    #[test]
+    fn flow_conservation_holds_in_solution() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(0);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let sol = min_max_utilisation(&g, &dm).unwrap();
+        for t in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                if v == t {
+                    continue;
+                }
+                let out: f64 = g
+                    .out_edges(NodeId(v))
+                    .iter()
+                    .map(|&e| sol.flows[t][e.0])
+                    .sum();
+                let inn: f64 = g
+                    .in_edges(NodeId(v))
+                    .iter()
+                    .map(|&e| sol.flows[t][e.0])
+                    .sum();
+                assert_close(out - inn, dm.get(v, t), 1e-5);
+            }
+        }
+        // U matches the max utilisation implied by the flows.
+        let max_util = sol.utilisations(&g).into_iter().fold(0.0f64, f64::max);
+        assert_close(sol.u_max, max_util, 1e-5);
+        assert!(sol.u_max > 0.0);
+    }
+
+    #[test]
+    fn optimal_is_at_most_any_shortest_path_utilisation() {
+        // Push everything along one fixed shortest path and check the
+        // LP never does worse.
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(1);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let sol = min_max_utilisation(&g, &dm).unwrap();
+
+        let w = vec![1.0; g.num_edges()];
+        let mut loads = vec![0.0; g.num_edges()];
+        for (s, t, d) in dm.commodities() {
+            let sp = gddr_net::algo::dijkstra(&g, NodeId(s), &w);
+            let path = gddr_net::algo::extract_path(&sp, &g, NodeId(t)).unwrap();
+            for e in path {
+                loads[e.0] += d;
+            }
+        }
+        let sp_util = loads
+            .iter()
+            .enumerate()
+            .map(|(e, l)| l / g.capacity(gddr_net::EdgeId(e)))
+            .fold(0.0f64, f64::max);
+        assert!(
+            sol.u_max <= sp_util + 1e-6,
+            "LP ({}) must beat single shortest path ({})",
+            sol.u_max,
+            sp_util
+        );
+    }
+
+    #[test]
+    fn utilisation_scales_linearly_with_demands() {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(2);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let u1 = min_max_utilisation(&g, &dm).unwrap().u_max;
+        let u2 = min_max_utilisation(&g, &dm.scaled(2.0)).unwrap().u_max;
+        assert_close(u2, 2.0 * u1, 1e-5);
+    }
+
+    #[test]
+    fn empty_demand_matrix_is_free() {
+        let g = zoo::cesnet();
+        let dm = DemandMatrix::zeros(g.num_nodes());
+        let sol = min_max_utilisation(&g, &dm).unwrap();
+        assert_close(sol.u_max, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn cached_oracle_hits() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let a = oracle.u_opt(&dm).unwrap();
+        assert_eq!(oracle.cache_len(), 1);
+        let b = oracle.u_opt(&dm).unwrap();
+        assert_eq!(oracle.cache_len(), 1);
+        assert_eq!(a, b);
+        let dm2 = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        oracle.u_opt(&dm2).unwrap();
+        assert_eq!(oracle.cache_len(), 2);
+    }
+
+    #[test]
+    fn all_zoo_topologies_solvable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for g in zoo::all() {
+            if g.num_nodes() > 14 {
+                continue; // Keep the unit test fast; big graphs are benched.
+            }
+            let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+            let sol = min_max_utilisation(&g, &dm).unwrap();
+            assert!(sol.u_max > 0.0, "{} gave zero utilisation", g.name());
+            assert!(sol.u_max.is_finite());
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Graph algorithms used by the routing translation and the LP oracle.
+//!
+//! All algorithms take edge weights as an external slice indexed by
+//! [`EdgeId`], because the GDDR agents repeatedly re-weight a fixed
+//! topology: the graph structure is immutable while weights change every
+//! environment step.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPaths {
+    /// `dist[v]` is the weighted distance from the source (or to the
+    /// sink, for [`dijkstra_to_sink`]); `f64::INFINITY` if unreachable.
+    pub dist: Vec<f64>,
+    /// For forward Dijkstra: the edge used to enter `v` on a shortest
+    /// path. For to-sink Dijkstra: the edge used to *leave* `v`.
+    pub via: Vec<Option<EdgeId>>,
+}
+
+impl ShortestPaths {
+    /// Whether node `v` is reachable.
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist[v.0].is_finite()
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite and non-NaN by
+        // construction (weights are validated).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn check_weights(graph: &Graph, weights: &[f64]) {
+    assert_eq!(
+        weights.len(),
+        graph.num_edges(),
+        "weights must have one entry per edge"
+    );
+    debug_assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "edge weights must be finite and non-negative"
+    );
+}
+
+/// Dijkstra's algorithm from `source` over non-negative `weights`.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != graph.num_edges()` and (in debug builds)
+/// if any weight is negative or non-finite.
+pub fn dijkstra(graph: &Graph, source: NodeId, weights: &[f64]) -> ShortestPaths {
+    check_weights(graph, weights);
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut via: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.0] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v.0] {
+            continue;
+        }
+        for &e in graph.out_edges(v) {
+            let u = graph.dst(e);
+            let nd = d + weights[e.0];
+            if nd < dist[u.0] {
+                dist[u.0] = nd;
+                via[u.0] = Some(e);
+                heap.push(HeapEntry { dist: nd, node: u });
+            }
+        }
+    }
+    ShortestPaths { dist, via }
+}
+
+/// Weighted distance from every node *to* `sink`, following edge
+/// directions (i.e. Dijkstra on the reversed graph).
+///
+/// This is the quantity `d[v]` used by softmin routing (paper Alg. 2):
+/// the distance of each vertex to the flow's destination.
+///
+/// # Panics
+///
+/// Same conditions as [`dijkstra`].
+pub fn dijkstra_to_sink(graph: &Graph, sink: NodeId, weights: &[f64]) -> ShortestPaths {
+    check_weights(graph, weights);
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut via: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[sink.0] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: sink,
+    });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v.0] {
+            continue;
+        }
+        for &e in graph.in_edges(v) {
+            let u = graph.src(e);
+            let nd = d + weights[e.0];
+            if nd < dist[u.0] {
+                dist[u.0] = nd;
+                via[u.0] = Some(e);
+                heap.push(HeapEntry { dist: nd, node: u });
+            }
+        }
+    }
+    ShortestPaths { dist, via }
+}
+
+/// Breadth-first search from `source`; returns hop distances
+/// (`usize::MAX` when unreachable).
+pub fn bfs_hops(graph: &Graph, source: NodeId) -> Vec<usize> {
+    let mut hops = vec![usize::MAX; graph.num_nodes()];
+    let mut queue = VecDeque::new();
+    hops[source.0] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for u in graph.successors(v) {
+            if hops[u.0] == usize::MAX {
+                hops[u.0] = hops[v.0] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    hops
+}
+
+/// Topological order of the subgraph induced by the edges where
+/// `mask[e] == true`, or `None` if that subgraph has a directed cycle.
+///
+/// Nodes with no masked edges still appear in the order.
+pub fn topological_order(graph: &Graph, mask: &[bool]) -> Option<Vec<NodeId>> {
+    assert_eq!(mask.len(), graph.num_edges(), "mask must cover every edge");
+    let n = graph.num_nodes();
+    let mut indegree = vec![0usize; n];
+    for e in graph.edges() {
+        if mask[e.0] {
+            indegree[graph.dst(e).0] += 1;
+        }
+    }
+    let mut queue: VecDeque<NodeId> = graph.nodes().filter(|v| indegree[v.0] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &e in graph.out_edges(v) {
+            if mask[e.0] {
+                let u = graph.dst(e);
+                indegree[u.0] -= 1;
+                if indegree[u.0] == 0 {
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Whether the masked subgraph is a DAG.
+pub fn is_dag(graph: &Graph, mask: &[bool]) -> bool {
+    topological_order(graph, mask).is_some()
+}
+
+/// Whether every node can reach every other node following directed
+/// edges (strong connectivity). Link networks built with
+/// [`Graph::add_link`] are strongly connected iff the underlying
+/// undirected topology is connected.
+pub fn is_strongly_connected(graph: &Graph) -> bool {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    if bfs_hops(graph, NodeId(0)).contains(&usize::MAX) {
+        return false;
+    }
+    // Reverse reachability via in-edges.
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[0] = true;
+    queue.push_back(NodeId(0));
+    while let Some(v) = queue.pop_front() {
+        for u in graph.predecessors(v) {
+            if !seen[u.0] {
+                seen[u.0] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+/// Hop-count diameter of the graph (longest shortest path), or `None`
+/// if the graph is not strongly connected.
+pub fn diameter(graph: &Graph) -> Option<usize> {
+    let mut best = 0;
+    for v in graph.nodes() {
+        let hops = bfs_hops(graph, v);
+        for h in hops {
+            if h == usize::MAX {
+                return None;
+            }
+            best = best.max(h);
+        }
+    }
+    Some(best)
+}
+
+/// Yen's algorithm: the `k` shortest loopless paths from `source` to
+/// `target` under `weights`, cheapest first. Returns fewer than `k`
+/// paths if the graph does not contain that many.
+///
+/// Used to quantify how much path diversity a topology offers — the
+/// raw material softmin routing's multipath exploits.
+///
+/// # Panics
+///
+/// Panics if `weights` does not cover every edge or `k == 0`.
+pub fn k_shortest_paths(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    weights: &[f64],
+    k: usize,
+) -> Vec<Vec<EdgeId>> {
+    assert!(k > 0, "k must be positive");
+    check_weights(graph, weights);
+    let path_cost = |path: &[EdgeId]| -> f64 { path.iter().map(|e| weights[e.0]).sum() };
+
+    let sp = dijkstra(graph, source, weights);
+    let Some(first) = extract_path(&sp, graph, target) else {
+        return Vec::new();
+    };
+    let mut accepted: Vec<Vec<EdgeId>> = vec![first];
+    // Candidate set: (cost, path), deduplicated.
+    let mut candidates: Vec<(f64, Vec<EdgeId>)> = Vec::new();
+
+    while accepted.len() < k {
+        let prev = accepted.last().expect("at least the shortest path").clone();
+        for i in 0..prev.len() {
+            // Spur node = head of the i-th edge's source.
+            let spur_node = graph.src(prev[i]);
+            let root: Vec<EdgeId> = prev[..i].to_vec();
+            // Ban edges that would recreate already-accepted paths with
+            // the same root, and ban revisiting root nodes.
+            let mut banned_edges: Vec<bool> = vec![false; graph.num_edges()];
+            for path in &accepted {
+                if path.len() > i && path[..i] == root[..] {
+                    banned_edges[path[i].0] = true;
+                }
+            }
+            let mut banned_nodes = vec![false; graph.num_nodes()];
+            for &e in &root {
+                banned_nodes[graph.src(e).0] = true;
+            }
+            // Dijkstra from the spur node on the restricted graph.
+            let spur_path = restricted_dijkstra(
+                graph,
+                spur_node,
+                target,
+                weights,
+                &banned_edges,
+                &banned_nodes,
+            );
+            if let Some(spur) = spur_path {
+                let mut total = root.clone();
+                total.extend(spur);
+                if !accepted.contains(&total) && !candidates.iter().any(|(_, p)| *p == total) {
+                    candidates.push((path_cost(&total), total));
+                }
+            }
+        }
+        // Take the cheapest candidate.
+        if candidates.is_empty() {
+            break;
+        }
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite costs"))
+            .expect("non-empty candidates")
+            .0;
+        accepted.push(candidates.swap_remove(best_idx).1);
+    }
+    accepted
+}
+
+/// Dijkstra avoiding banned edges and nodes; returns the edge path.
+fn restricted_dijkstra(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    weights: &[f64],
+    banned_edges: &[bool],
+    banned_nodes: &[bool],
+) -> Option<Vec<EdgeId>> {
+    if banned_nodes[source.0] {
+        return None;
+    }
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut via: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.0] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v.0] {
+            continue;
+        }
+        for &e in graph.out_edges(v) {
+            if banned_edges[e.0] {
+                continue;
+            }
+            let u = graph.dst(e);
+            if banned_nodes[u.0] {
+                continue;
+            }
+            let nd = d + weights[e.0];
+            if nd < dist[u.0] {
+                dist[u.0] = nd;
+                via[u.0] = Some(e);
+                heap.push(HeapEntry { dist: nd, node: u });
+            }
+        }
+    }
+    let sp = ShortestPaths { dist, via };
+    extract_path(&sp, graph, target)
+}
+
+/// Extracts the shortest path from `source` to `target` as a list of
+/// edges, using the `via` pointers of a forward Dijkstra run. Returns
+/// `None` if `target` is unreachable.
+pub fn extract_path(sp: &ShortestPaths, graph: &Graph, target: NodeId) -> Option<Vec<EdgeId>> {
+    if !sp.reachable(target) {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut v = target;
+    while let Some(e) = sp.via[v.0] {
+        path.push(e);
+        v = graph.src(e);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::zoo;
+
+    /// 0 -> 1 -> 3 and 0 -> 2 -> 3 diamond with asymmetric weights.
+    fn diamond() -> Graph {
+        let mut g = Graph::new("diamond");
+        let n: Vec<_> = (0..4).map(|i| g.add_node(format!("n{i}"))).collect();
+        g.add_edge(n[0], n[1], 1.0).unwrap(); // e0
+        g.add_edge(n[1], n[3], 1.0).unwrap(); // e1
+        g.add_edge(n[0], n[2], 1.0).unwrap(); // e2
+        g.add_edge(n[2], n[3], 1.0).unwrap(); // e3
+        g
+    }
+
+    #[test]
+    fn dijkstra_diamond() {
+        let g = diamond();
+        let sp = dijkstra(&g, NodeId(0), &[1.0, 5.0, 2.0, 1.0]);
+        assert_eq!(sp.dist, vec![0.0, 1.0, 2.0, 3.0]);
+        let path = extract_path(&sp, &g, NodeId(3)).unwrap();
+        assert_eq!(path, vec![EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut g = diamond();
+        let iso = g.add_node("isolated");
+        let sp = dijkstra(&g, NodeId(0), &[1.0; 4]);
+        assert!(!sp.reachable(iso));
+        assert!(extract_path(&sp, &g, iso).is_none());
+    }
+
+    #[test]
+    fn dijkstra_to_sink_matches_forward_on_symmetric_graph() {
+        let g = zoo::abilene();
+        let w = vec![1.0; g.num_edges()];
+        let sink = NodeId(5);
+        let to_sink = dijkstra_to_sink(&g, sink, &w);
+        // On a symmetric (link) graph with symmetric weights, distance to
+        // the sink equals distance from it.
+        let from_sink = dijkstra(&g, sink, &w);
+        assert_eq!(to_sink.dist, from_sink.dist);
+    }
+
+    #[test]
+    fn dijkstra_to_sink_directed() {
+        let g = diamond();
+        let sp = dijkstra_to_sink(&g, NodeId(3), &[1.0, 5.0, 2.0, 1.0]);
+        assert_eq!(sp.dist[0], 3.0);
+        assert_eq!(sp.dist[1], 5.0);
+        assert_eq!(sp.dist[2], 1.0);
+        assert_eq!(sp.dist[3], 0.0);
+        // Sink is unreachable *from* the sink in this pure DAG.
+        // via[v] is the out-edge leaving v on its shortest path.
+        assert_eq!(sp.via[2], Some(EdgeId(3)));
+    }
+
+    #[test]
+    fn bfs_hops_on_abilene() {
+        let g = zoo::abilene();
+        let hops = bfs_hops(&g, NodeId(0));
+        assert_eq!(hops[0], 0);
+        assert!(hops.iter().all(|&h| h != usize::MAX));
+    }
+
+    #[test]
+    fn toposort_detects_cycle() {
+        let g = diamond();
+        let all = vec![true; g.num_edges()];
+        assert!(is_dag(&g, &all));
+        // A symmetric link graph always has 2-cycles.
+        let sym = zoo::abilene();
+        let mask = vec![true; sym.num_edges()];
+        assert!(!is_dag(&sym, &mask));
+    }
+
+    #[test]
+    fn toposort_order_is_valid() {
+        let g = diamond();
+        let mask = vec![true; g.num_edges()];
+        let order = topological_order(&g, &mask).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, v) in order.iter().enumerate() {
+                p[v.0] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            let (s, t) = g.endpoints(e);
+            assert!(pos[s.0] < pos[t.0], "edge {e} violates topo order");
+        }
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        assert!(is_strongly_connected(&zoo::abilene()));
+        let g = diamond();
+        assert!(!is_strongly_connected(&g)); // DAG: node 3 can't reach 0.
+        let empty = Graph::new("empty");
+        assert!(is_strongly_connected(&empty));
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&zoo::abilene()), Some(5));
+        let g = diamond();
+        assert_eq!(diameter(&g), None); // not strongly connected
+        let tri = crate::topology::from_links("tri", 3, &[(0, 1), (1, 2), (2, 0)], 1.0);
+        assert_eq!(diameter(&tri), Some(1));
+    }
+
+    #[test]
+    fn k_shortest_paths_on_diamond() {
+        let g = diamond();
+        let w = [1.0, 5.0, 2.0, 1.0];
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(3), &w, 3);
+        assert_eq!(paths.len(), 2, "diamond has exactly two paths");
+        // Cheapest first: via node 2 (cost 3) then via node 1 (cost 6).
+        assert_eq!(paths[0], vec![EdgeId(2), EdgeId(3)]);
+        assert_eq!(paths[1], vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn k_shortest_paths_are_loopless_and_ordered() {
+        let g = zoo::abilene();
+        let w = vec![1.0; g.num_edges()];
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(10), &w, 5);
+        assert!(paths.len() >= 3, "Abilene offers several east-west paths");
+        let costs: Vec<f64> = paths
+            .iter()
+            .map(|p| p.iter().map(|e| w[e.0]).sum())
+            .collect();
+        assert!(costs.windows(2).all(|c| c[0] <= c[1] + 1e-12));
+        for p in &paths {
+            // Loopless: no node visited twice.
+            let mut seen = vec![false; g.num_nodes()];
+            seen[NodeId(0).0] = true;
+            for &e in p {
+                let d = g.dst(e);
+                assert!(!seen[d.0], "path revisits {d}");
+                seen[d.0] = true;
+            }
+            // Connected from source to target.
+            assert_eq!(g.src(p[0]), NodeId(0));
+            assert_eq!(g.dst(*p.last().unwrap()), NodeId(10));
+        }
+    }
+
+    #[test]
+    fn k_shortest_paths_unreachable_is_empty() {
+        let mut g = diamond();
+        let iso = g.add_node("iso");
+        let w = vec![1.0; g.num_edges()];
+        assert!(k_shortest_paths(&g, NodeId(0), iso, &w, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per edge")]
+    fn dijkstra_panics_on_bad_weights() {
+        let g = diamond();
+        dijkstra(&g, NodeId(0), &[1.0]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Graphviz (DOT) export for debugging topologies and routings.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Edge labels show capacities; optional per-edge annotations (e.g.
+/// learned weights or utilisations) can be supplied via
+/// [`to_dot_with_labels`].
+pub fn to_dot(graph: &Graph) -> String {
+    to_dot_with_labels(graph, |e| format!("{:.0}", graph.capacity(e)))
+}
+
+/// Renders the graph in DOT syntax with a caller-provided label per
+/// edge.
+pub fn to_dot_with_labels(graph: &Graph, mut label: impl FnMut(crate::EdgeId) -> String) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", graph.name()).expect("string write");
+    for v in graph.nodes() {
+        writeln!(out, "  {} [label=\"{}\"];", v.0, graph.node_name(v)).expect("string write");
+    }
+    for e in graph.edges() {
+        let (s, t) = graph.endpoints(e);
+        writeln!(out, "  {} -> {} [label=\"{}\"];", s.0, t.0, label(e)).expect("string write");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::zoo;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = zoo::abilene();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"Abilene\""));
+        assert!(dot.contains("Seattle"));
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+    }
+
+    #[test]
+    fn custom_labels_appear() {
+        let g = zoo::cesnet();
+        let dot = to_dot_with_labels(&g, |e| format!("w{}", e.0));
+        assert!(dot.contains("label=\"w0\""));
+    }
+}

@@ -1,0 +1,34 @@
+//! # gddr-net
+//!
+//! Network-graph substrate for the GDDR reproduction.
+//!
+//! The paper models a network as a directed graph `G = (V, E, c)` where
+//! every edge carries a link capacity. This crate provides:
+//!
+//! - [`Graph`]: a compact directed multigraph with per-edge capacities
+//!   and stable integer ids ([`NodeId`], [`EdgeId`]),
+//! - [`algo`]: Dijkstra (forward and to-sink), BFS, topological sort and
+//!   connectivity checks used by the routing translation,
+//! - [`topology`]: transcribed real-world WAN topologies in the spirit of
+//!   the Internet Topology Zoo, random-graph generators, and the
+//!   mutation operators used by the paper's generalisation experiment
+//!   (Fig. 8),
+//! - [`dot`]: Graphviz export for debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use gddr_net::topology::zoo;
+//!
+//! let g = zoo::abilene();
+//! assert_eq!(g.num_nodes(), 11);
+//! // Every undirected link is modelled as two directed edges.
+//! assert_eq!(g.num_edges(), 28);
+//! ```
+
+pub mod algo;
+pub mod dot;
+pub mod graph;
+pub mod topology;
+
+pub use graph::{EdgeId, Graph, GraphError, NodeId};

@@ -1,0 +1,74 @@
+//! Network topologies: transcribed real-world WANs, random generators,
+//! and the mutation operators used for the paper's generalisation
+//! experiment (Fig. 8).
+
+pub mod mutate;
+pub mod random;
+pub mod text;
+pub mod zoo;
+
+use crate::graph::Graph;
+
+/// Builds a graph from a node count and an undirected link list.
+///
+/// Every link becomes two directed edges with capacity `capacity`.
+///
+/// # Panics
+///
+/// Panics if a link references an out-of-range node or is a self-loop —
+/// topology tables are static data, so this indicates a programming
+/// error, not a runtime condition.
+pub fn from_links(name: &str, num_nodes: usize, links: &[(usize, usize)], capacity: f64) -> Graph {
+    from_named_links(
+        name,
+        &(0..num_nodes).map(|i| format!("n{i}")).collect::<Vec<_>>(),
+        links,
+        capacity,
+    )
+}
+
+/// Like [`from_links`] but with explicit node names (PoP cities for zoo
+/// topologies).
+///
+/// # Panics
+///
+/// Same conditions as [`from_links`].
+pub fn from_named_links(
+    name: &str,
+    node_names: &[String],
+    links: &[(usize, usize)],
+    capacity: f64,
+) -> Graph {
+    let mut g = Graph::new(name);
+    let ids: Vec<_> = node_names.iter().map(|n| g.add_node(n.clone())).collect();
+    for &(a, b) in links {
+        assert!(
+            a < ids.len() && b < ids.len(),
+            "static topology tables contain valid links: ({a}, {b}) out of range"
+        );
+        g.add_link(ids[a], ids[b], capacity)
+            .expect("static topology tables contain valid links");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_strongly_connected;
+
+    #[test]
+    fn from_links_builds_symmetric_graph() {
+        let g = from_links("tri", 3, &[(0, 1), (1, 2), (2, 0)], 5.0);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 6);
+        assert!(is_strongly_connected(&g));
+        assert!(g.capacities().iter().all(|&c| c == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid links")]
+    fn from_links_panics_on_bad_table() {
+        from_links("bad", 2, &[(0, 5)], 1.0);
+    }
+}

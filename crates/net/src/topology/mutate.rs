@@ -1,0 +1,251 @@
+//! Topology mutation operators.
+//!
+//! The paper's Fig. 8 evaluates generalisation on "the same graph with
+//! small modifications ... the addition or deletion of one or two edges
+//! or nodes (chosen randomly)". These operators implement exactly those
+//! edits while keeping the graph strongly connected (a disconnected
+//! network has no feasible routing for all-pairs demands).
+
+use rand::Rng;
+
+use crate::algo::is_strongly_connected;
+use crate::graph::{Graph, NodeId};
+
+/// A single random topology edit, as used by the Fig. 8 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Add one link between two previously unlinked nodes.
+    AddEdge,
+    /// Remove one link whose removal keeps the graph connected.
+    RemoveEdge,
+    /// Add one node, linked to two random existing nodes.
+    AddNode,
+    /// Remove one degree-preserving-safe node (keeps connectivity).
+    RemoveNode,
+}
+
+impl Mutation {
+    /// All mutation kinds.
+    pub fn all() -> [Mutation; 4] {
+        [
+            Mutation::AddEdge,
+            Mutation::RemoveEdge,
+            Mutation::AddNode,
+            Mutation::RemoveNode,
+        ]
+    }
+}
+
+/// Applies `mutation` to a copy of `graph`, retrying random choices
+/// until the result is strongly connected. Returns `None` if no valid
+/// application exists (e.g. removing an edge from a tree, or adding an
+/// edge to a complete graph).
+pub fn apply<R: Rng>(graph: &Graph, mutation: Mutation, rng: &mut R) -> Option<Graph> {
+    match mutation {
+        Mutation::AddEdge => add_random_edge(graph, rng),
+        Mutation::RemoveEdge => remove_random_edge(graph, rng),
+        Mutation::AddNode => Some(add_random_node(graph, rng)),
+        Mutation::RemoveNode => remove_random_node(graph, rng),
+    }
+}
+
+/// Applies `count` random mutations drawn uniformly from all kinds,
+/// skipping inapplicable draws. Mirrors the paper's "one or two edges or
+/// nodes" modification procedure.
+pub fn random_edits<R: Rng>(graph: &Graph, count: usize, rng: &mut R) -> Graph {
+    let mut g = graph.clone();
+    let mut applied = 0;
+    let mut attempts = 0;
+    while applied < count && attempts < 100 {
+        attempts += 1;
+        let kind = Mutation::all()[rng.gen_range(0..4)];
+        if let Some(next) = apply(&g, kind, rng) {
+            g = next;
+            applied += 1;
+        }
+    }
+    g.set_name(format!("{}+{}edits", graph.name(), applied));
+    g
+}
+
+/// Returns the average capacity, used to give newly created links a
+/// typical capacity for the graph.
+fn typical_capacity(graph: &Graph) -> f64 {
+    let caps = graph.capacities();
+    if caps.is_empty() {
+        1.0
+    } else {
+        caps.iter().sum::<f64>() / caps.len() as f64
+    }
+}
+
+/// Adds a link between two random currently-unlinked nodes.
+pub fn add_random_edge<R: Rng>(graph: &Graph, rng: &mut R) -> Option<Graph> {
+    let n = graph.num_nodes();
+    let candidates: Vec<(NodeId, NodeId)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (NodeId(a), NodeId(b))))
+        .filter(|&(a, b)| graph.edge_between(a, b).is_none())
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let (a, b) = candidates[rng.gen_range(0..candidates.len())];
+    let mut g = graph.clone();
+    g.add_link(a, b, typical_capacity(graph))
+        .expect("candidate endpoints are valid");
+    g.set_name(format!("{}+e", graph.name()));
+    Some(g)
+}
+
+/// Removes a random link (both directed edges) such that the graph stays
+/// strongly connected.
+pub fn remove_random_edge<R: Rng>(graph: &Graph, rng: &mut R) -> Option<Graph> {
+    // Collect undirected links as (src, dst) with src < dst.
+    let mut links: Vec<(NodeId, NodeId)> = graph
+        .edges()
+        .map(|e| graph.endpoints(e))
+        .filter(|(s, t)| s.0 < t.0)
+        .collect();
+    // Shuffle candidate order.
+    for i in (1..links.len()).rev() {
+        links.swap(i, rng.gen_range(0..=i));
+    }
+    for (a, b) in links {
+        let (g, _) = graph.filter_edges(|e| {
+            let (s, t) = graph.endpoints(e);
+            !((s == a && t == b) || (s == b && t == a))
+        });
+        if is_strongly_connected(&g) {
+            let mut g = g;
+            g.set_name(format!("{}-e", graph.name()));
+            return Some(g);
+        }
+    }
+    None
+}
+
+/// Adds a node linked to two distinct random existing nodes (one if the
+/// graph has a single node).
+pub fn add_random_node<R: Rng>(graph: &Graph, rng: &mut R) -> Graph {
+    let mut g = graph.clone();
+    let cap = typical_capacity(graph);
+    let v = g.add_node(format!("added{}", g.num_nodes()));
+    let n = graph.num_nodes();
+    let first = NodeId(rng.gen_range(0..n));
+    g.add_link(v, first, cap)
+        .expect("fresh node links are valid");
+    if n > 1 {
+        let mut second = NodeId(rng.gen_range(0..n));
+        while second == first {
+            second = NodeId(rng.gen_range(0..n));
+        }
+        g.add_link(v, second, cap)
+            .expect("fresh node links are valid");
+    }
+    g.set_name(format!("{}+n", graph.name()));
+    g
+}
+
+/// Removes a random node (and all incident links) such that the
+/// remainder stays strongly connected. Node ids are re-densified.
+pub fn remove_random_node<R: Rng>(graph: &Graph, rng: &mut R) -> Option<Graph> {
+    let n = graph.num_nodes();
+    if n <= 3 {
+        return None; // Keep graphs non-trivial.
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for victim in order {
+        let mut g = Graph::new(format!("{}-n", graph.name()));
+        let mut remap = vec![None; n];
+        for v in graph.nodes() {
+            if v.0 != victim {
+                remap[v.0] = Some(g.add_node(graph.node_name(v)));
+            }
+        }
+        for e in graph.edges() {
+            let (s, t) = graph.endpoints(e);
+            if let (Some(ns), Some(nt)) = (remap[s.0], remap[t.0]) {
+                g.add_edge(ns, nt, graph.capacity(e))
+                    .expect("remapped edges are valid");
+            }
+        }
+        if is_strongly_connected(&g) {
+            return Some(g);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_edge_grows_edge_count() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(1);
+        let g2 = add_random_edge(&g, &mut rng).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges() + 2);
+        assert!(is_strongly_connected(&g2));
+    }
+
+    #[test]
+    fn remove_edge_keeps_connectivity() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(2);
+        let g2 = remove_random_edge(&g, &mut rng).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges() - 2);
+        assert!(is_strongly_connected(&g2));
+    }
+
+    #[test]
+    fn remove_edge_on_tree_fails() {
+        // A path graph has no removable link.
+        let g = crate::topology::from_links("path", 4, &[(0, 1), (1, 2), (2, 3)], 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(remove_random_edge(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn add_node_attaches_two_links() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(4);
+        let g2 = add_random_node(&g, &mut rng);
+        assert_eq!(g2.num_nodes(), g.num_nodes() + 1);
+        assert_eq!(g2.num_edges(), g.num_edges() + 4);
+        assert!(is_strongly_connected(&g2));
+    }
+
+    #[test]
+    fn remove_node_keeps_connectivity() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g2 = remove_random_node(&g, &mut rng).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes() - 1);
+        assert!(is_strongly_connected(&g2));
+    }
+
+    #[test]
+    fn random_edits_apply_requested_count() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(6);
+        for count in 1..=2 {
+            let g2 = random_edits(&g, count, &mut rng);
+            assert!(is_strongly_connected(&g2));
+            assert!(g2.name().contains("edits"));
+        }
+    }
+
+    #[test]
+    fn add_edge_to_complete_graph_fails() {
+        let g = crate::topology::from_links("k3", 3, &[(0, 1), (1, 2), (0, 2)], 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(add_random_edge(&g, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Random graph generators.
+//!
+//! Used to widen the training mixture for the generalisation experiment
+//! beyond the transcribed zoo topologies, and by property-based tests to
+//! exercise the routing pipeline on arbitrary connected graphs.
+
+use rand::Rng;
+
+use crate::algo::is_strongly_connected;
+use crate::graph::Graph;
+use crate::topology::from_links;
+
+/// Generates a connected Erdős–Rényi graph `G(n, p)`.
+///
+/// Links are sampled independently with probability `p`; sampling is
+/// retried (up to 1000 times) until the graph is connected, after which
+/// a spanning chain is forced as a last resort so the function always
+/// returns a connected graph.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p` is not in `(0, 1]`.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, capacity: f64, rng: &mut R) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    for attempt in 0..1000 {
+        let mut links = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen::<f64>() < p {
+                    links.push((a, b));
+                }
+            }
+        }
+        let g = from_links(&format!("ER({n},{p:.2})#{attempt}"), n, &links, capacity);
+        if is_strongly_connected(&g) {
+            return g;
+        }
+    }
+    // Force connectivity with a chain plus the sampled links.
+    let mut links: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    for a in 0..n {
+        for b in (a + 2)..n {
+            if rng.gen::<f64>() < p {
+                links.push((a, b));
+            }
+        }
+    }
+    from_links(&format!("ER({n},{p:.2})+chain"), n, &links, capacity)
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph.
+///
+/// Starts from a clique of `m + 1` nodes; each subsequent node attaches
+/// to `m` distinct existing nodes with probability proportional to their
+/// degree. Always connected.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, capacity: f64, rng: &mut R) -> Graph {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(n > m, "need more nodes than attachment count");
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    // Degree-weighted target pool: node `i` appears once per incident link.
+    let mut pool: Vec<usize> = Vec::new();
+    for a in 0..=m {
+        for b in (a + 1)..=m {
+            links.push((a, b));
+            pool.push(a);
+            pool.push(b);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = Vec::new();
+        while targets.len() < m {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            links.push((v, t));
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    from_links(&format!("BA({n},{m})"), n, &links, capacity)
+}
+
+/// Generates a Waxman random geometric graph on the unit square.
+///
+/// Nodes get uniform positions; a link `(a, b)` is added with
+/// probability `alpha * exp(-dist(a,b) / (beta * sqrt(2)))`. Retries
+/// until connected, then falls back to adding a spanning chain.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `alpha`/`beta` are not in `(0, 1]`.
+pub fn waxman<R: Rng>(n: usize, alpha: f64, beta: f64, capacity: f64, rng: &mut R) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+    let l = std::f64::consts::SQRT_2;
+    for attempt in 0..1000 {
+        let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let mut links = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = ((pos[a].0 - pos[b].0).powi(2) + (pos[a].1 - pos[b].1).powi(2)).sqrt();
+                if rng.gen::<f64>() < alpha * (-d / (beta * l)).exp() {
+                    links.push((a, b));
+                }
+            }
+        }
+        let g = from_links(&format!("Waxman({n})#{attempt}"), n, &links, capacity);
+        if is_strongly_connected(&g) {
+            return g;
+        }
+    }
+    let links: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    from_links(&format!("Waxman({n})+chain"), n, &links, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [4, 8, 16] {
+            let g = erdos_renyi(n, 0.3, 10.0, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            assert!(is_strongly_connected(&g));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_dense_is_complete() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi(5, 1.0, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 5 * 4);
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(12, 2, 10.0, &mut rng);
+        assert_eq!(g.num_nodes(), 12);
+        // Clique links + m per later node, doubled for direction.
+        let expected_links = 3 + 2 * (12 - 3);
+        assert_eq!(g.num_edges(), 2 * expected_links);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn waxman_is_connected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = waxman(10, 0.8, 0.8, 10.0, &mut rng);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = erdos_renyi(8, 0.4, 1.0, &mut StdRng::seed_from_u64(7));
+        let g2 = erdos_renyi(8, 0.4, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn erdos_renyi_rejects_tiny_n() {
+        erdos_renyi(1, 0.5, 1.0, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,259 @@
+//! A plain-text topology format, so users can supply their own
+//! networks (e.g. transcribed from the Internet Topology Zoo) without
+//! recompiling.
+//!
+//! Format, one directive per line (`#` starts a comment):
+//!
+//! ```text
+//! graph Abilene
+//! node Seattle
+//! node Sunnyvale
+//! link Seattle Sunnyvale 10000       # undirected, both edges
+//! edge Seattle Sunnyvale 2500        # one directed edge
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::graph::{Graph, NodeId};
+
+/// Errors produced by [`parse_topology`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseTopologyError {
+    /// The `graph <name>` header is missing or not first.
+    MissingHeader,
+    /// A node was declared twice.
+    DuplicateNode { line: usize, name: String },
+    /// A link references an undeclared node.
+    UnknownNode { line: usize, name: String },
+    /// A capacity failed to parse or was non-positive.
+    BadCapacity { line: usize, token: String },
+    /// A line had the wrong number of tokens or unknown directive.
+    Malformed { line: usize, content: String },
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTopologyError::MissingHeader => {
+                write!(f, "topology must start with a `graph <name>` line")
+            }
+            ParseTopologyError::DuplicateNode { line, name } => {
+                write!(f, "line {line}: node {name:?} declared twice")
+            }
+            ParseTopologyError::UnknownNode { line, name } => {
+                write!(f, "line {line}: unknown node {name:?}")
+            }
+            ParseTopologyError::BadCapacity { line, token } => {
+                write!(f, "line {line}: bad capacity {token:?}")
+            }
+            ParseTopologyError::Malformed { line, content } => {
+                write!(f, "line {line}: cannot parse {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTopologyError {}
+
+/// Parses the text topology format into a [`Graph`].
+///
+/// # Errors
+///
+/// Returns a [`ParseTopologyError`] describing the first offending
+/// line.
+pub fn parse_topology(text: &str) -> Result<Graph, ParseTopologyError> {
+    let mut graph: Option<Graph> = None;
+    let mut nodes: HashMap<String, NodeId> = HashMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match (tokens[0], tokens.len()) {
+            ("graph", 2) => {
+                graph = Some(Graph::new(tokens[1]));
+            }
+            ("node", 2) => {
+                let g = graph.as_mut().ok_or(ParseTopologyError::MissingHeader)?;
+                let name = tokens[1].to_string();
+                if nodes.contains_key(&name) {
+                    return Err(ParseTopologyError::DuplicateNode {
+                        line: line_no,
+                        name,
+                    });
+                }
+                let id = g.add_node(name.clone());
+                nodes.insert(name, id);
+            }
+            (directive @ ("link" | "edge"), 4) => {
+                let g = graph.as_mut().ok_or(ParseTopologyError::MissingHeader)?;
+                let lookup = |name: &str| {
+                    nodes
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| ParseTopologyError::UnknownNode {
+                            line: line_no,
+                            name: name.to_string(),
+                        })
+                };
+                let a = lookup(tokens[1])?;
+                let b = lookup(tokens[2])?;
+                let capacity: f64 =
+                    tokens[3]
+                        .parse()
+                        .map_err(|_| ParseTopologyError::BadCapacity {
+                            line: line_no,
+                            token: tokens[3].to_string(),
+                        })?;
+                let result = if directive == "link" {
+                    g.add_link(a, b, capacity).map(|_| ())
+                } else {
+                    g.add_edge(a, b, capacity).map(|_| ())
+                };
+                result.map_err(|_| ParseTopologyError::BadCapacity {
+                    line: line_no,
+                    token: tokens[3].to_string(),
+                })?;
+            }
+            _ => {
+                return Err(ParseTopologyError::Malformed {
+                    line: line_no,
+                    content: line.to_string(),
+                })
+            }
+        }
+    }
+    graph.ok_or(ParseTopologyError::MissingHeader)
+}
+
+/// Renders a graph in the text topology format. Symmetric edge pairs
+/// are emitted as `link` lines; asymmetric edges as `edge` lines.
+pub fn to_text(graph: &Graph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "graph {}", graph.name()).expect("string write");
+    for v in graph.nodes() {
+        writeln!(out, "node {}", graph.node_name(v)).expect("string write");
+    }
+    let mut emitted = vec![false; graph.num_edges()];
+    for e in graph.edges() {
+        if emitted[e.0] {
+            continue;
+        }
+        let (s, t) = graph.endpoints(e);
+        let reverse = graph
+            .edge_between(t, s)
+            .filter(|&r| !emitted[r.0] && graph.capacity(r) == graph.capacity(e));
+        match reverse {
+            Some(r) => {
+                emitted[r.0] = true;
+                writeln!(
+                    out,
+                    "link {} {} {}",
+                    graph.node_name(s),
+                    graph.node_name(t),
+                    graph.capacity(e)
+                )
+                .expect("string write");
+            }
+            None => {
+                writeln!(
+                    out,
+                    "edge {} {} {}",
+                    graph.node_name(s),
+                    graph.node_name(t),
+                    graph.capacity(e)
+                )
+                .expect("string write");
+            }
+        }
+        emitted[e.0] = true;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::zoo;
+
+    #[test]
+    fn parses_simple_topology() {
+        let text = "\
+# A triangle
+graph tri
+node a
+node b
+node c
+link a b 100
+link b c 100
+edge c a 50
+";
+        let g = parse_topology(text).unwrap();
+        assert_eq!(g.name(), "tri");
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 5); // 2 links (4 edges) + 1 edge
+        let c = g.nodes().find(|&v| g.node_name(v) == "c").unwrap();
+        let a = g.nodes().find(|&v| g.node_name(v) == "a").unwrap();
+        let e = g.edge_between(c, a).unwrap();
+        assert_eq!(g.capacity(e), 50.0);
+        assert!(g.edge_between(a, c).is_none());
+    }
+
+    #[test]
+    fn round_trips_every_zoo_topology() {
+        for g in zoo::all() {
+            let text = to_text(&g);
+            let parsed = parse_topology(&text).unwrap();
+            assert_eq!(parsed.name(), g.name());
+            assert_eq!(parsed.num_nodes(), g.num_nodes());
+            assert_eq!(parsed.num_edges(), g.num_edges());
+            // Same adjacency with same capacities.
+            for e in g.edges() {
+                let (s, t) = g.endpoints(e);
+                let pe = parsed.edge_between(s, t).expect("edge preserved");
+                assert_eq!(parsed.capacity(pe), g.capacity(e));
+            }
+        }
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert_eq!(parse_topology(""), Err(ParseTopologyError::MissingHeader));
+        assert_eq!(
+            parse_topology("node a"),
+            Err(ParseTopologyError::MissingHeader)
+        );
+        assert!(matches!(
+            parse_topology("graph g\nnode a\nnode a"),
+            Err(ParseTopologyError::DuplicateNode { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_topology("graph g\nnode a\nlink a b 10"),
+            Err(ParseTopologyError::UnknownNode { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_topology("graph g\nnode a\nnode b\nlink a b ten"),
+            Err(ParseTopologyError::BadCapacity { line: 4, .. })
+        ));
+        assert!(matches!(
+            parse_topology("graph g\nnode a\nnode b\nlink a b -4"),
+            Err(ParseTopologyError::BadCapacity { line: 4, .. })
+        ));
+        assert!(matches!(
+            parse_topology("graph g\nwhatever"),
+            Err(ParseTopologyError::Malformed { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "graph g\n\n# comment only\nnode a   # trailing\nnode b\nlink a b 7\n";
+        let g = parse_topology(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,457 @@
+//! Transcribed wide-area network topologies.
+//!
+//! The paper takes its graphs from the Internet Topology Zoo (its ref.
+//! \[16\]). The
+//! zoo's GraphML files are not available offline, so this module ships
+//! hand-transcribed topology tables instead (see DESIGN.md,
+//! "Substitutions"). [`abilene`] and [`nsfnet`] follow the well-known
+//! published PoP-level topologies; the remaining graphs are named after
+//! zoo entries and match their approximate size and density, spanning
+//! half to double the size of Abilene — the range used by the paper's
+//! generalisation experiment (Fig. 8).
+//!
+//! All links carry the same capacity ([`DEFAULT_CAPACITY`]): the paper's
+//! reward is a ratio of max-link-utilisations, which is invariant to a
+//! uniform capacity scale.
+
+use crate::graph::Graph;
+use crate::topology::{from_links, from_named_links};
+
+/// Uniform link capacity used for all zoo topologies.
+pub const DEFAULT_CAPACITY: f64 = 10_000.0;
+
+/// The Abilene research backbone: 11 PoPs, 14 links.
+///
+/// This is the topology used for the paper's fixed-graph experiments
+/// (Figs. 6 and 7).
+pub fn abilene() -> Graph {
+    let names: Vec<String> = [
+        "Seattle",
+        "Sunnyvale",
+        "LosAngeles",
+        "Denver",
+        "KansasCity",
+        "Houston",
+        "Chicago",
+        "Indianapolis",
+        "Atlanta",
+        "WashingtonDC",
+        "NewYork",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let links = [
+        (0, 1),  // Seattle - Sunnyvale
+        (0, 3),  // Seattle - Denver
+        (1, 2),  // Sunnyvale - Los Angeles
+        (1, 3),  // Sunnyvale - Denver
+        (2, 5),  // Los Angeles - Houston
+        (3, 4),  // Denver - Kansas City
+        (4, 5),  // Kansas City - Houston
+        (4, 7),  // Kansas City - Indianapolis
+        (5, 8),  // Houston - Atlanta
+        (6, 7),  // Chicago - Indianapolis
+        (6, 10), // Chicago - New York
+        (7, 8),  // Indianapolis - Atlanta
+        (8, 9),  // Atlanta - Washington DC
+        (9, 10), // Washington DC - New York
+    ];
+    from_named_links("Abilene", &names, &links, DEFAULT_CAPACITY)
+}
+
+/// The 14-node / 21-link NSFNET T1 backbone.
+pub fn nsfnet() -> Graph {
+    let names: Vec<String> = [
+        "WA", "CA1", "CA2", "UT", "CO", "TX", "NE", "IL", "PA", "GA", "MI", "NY", "NJ", "MD",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let links = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (1, 2),
+        (1, 7),
+        (2, 5),
+        (3, 4),
+        (3, 10),
+        (4, 5),
+        (4, 6),
+        (5, 9),
+        (5, 13),
+        (6, 7),
+        (6, 11),
+        (7, 8),
+        (8, 9),
+        (8, 11),
+        (9, 12),
+        (10, 11),
+        (10, 12),
+        (11, 12),
+    ];
+    from_named_links("Nsfnet", &names, &links, DEFAULT_CAPACITY)
+}
+
+/// An early-ARPANET-scale graph: 9 nodes, 11 links.
+pub fn arpanet() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 3),
+        (2, 3),
+        (2, 4),
+        (3, 5),
+        (4, 6),
+        (5, 7),
+        (6, 7),
+        (6, 8),
+        (7, 8),
+    ];
+    from_links("Arpanet", 9, &links, DEFAULT_CAPACITY)
+}
+
+/// A small national research network: 6 nodes, 8 links
+/// (half the size of Abilene).
+pub fn cesnet() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (1, 3),
+        (2, 4),
+        (3, 4),
+        (3, 5),
+        (4, 5),
+    ];
+    from_links("Cesnet", 6, &links, DEFAULT_CAPACITY)
+}
+
+/// A B4-scale (Google inter-datacenter WAN) graph: 12 nodes, 19 links.
+pub fn b4() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (1, 3),
+        (2, 4),
+        (3, 4),
+        (3, 5),
+        (4, 6),
+        (5, 6),
+        (5, 7),
+        (6, 8),
+        (7, 8),
+        (7, 9),
+        (8, 10),
+        (9, 10),
+        (9, 11),
+        (10, 11),
+        (2, 5),
+        (6, 9),
+    ];
+    from_links("B4", 12, &links, DEFAULT_CAPACITY)
+}
+
+/// A GARR-scale (Italian NREN) graph: 16 nodes, 23 links.
+pub fn garr() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 3),
+        (2, 3),
+        (2, 4),
+        (3, 5),
+        (4, 5),
+        (4, 6),
+        (5, 7),
+        (6, 7),
+        (6, 8),
+        (7, 9),
+        (8, 9),
+        (8, 10),
+        (9, 11),
+        (10, 11),
+        (10, 12),
+        (11, 13),
+        (12, 13),
+        (12, 14),
+        (13, 15),
+        (14, 15),
+        (1, 6),
+    ];
+    from_links("Garr", 16, &links, DEFAULT_CAPACITY)
+}
+
+/// A Renater-scale (French NREN) graph: 18 nodes, 26 links.
+pub fn renater() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 3),
+        (2, 4),
+        (3, 4),
+        (3, 5),
+        (4, 6),
+        (5, 7),
+        (6, 7),
+        (6, 8),
+        (7, 9),
+        (8, 10),
+        (9, 10),
+        (9, 11),
+        (10, 12),
+        (11, 13),
+        (12, 13),
+        (12, 14),
+        (13, 15),
+        (14, 16),
+        (15, 16),
+        (15, 17),
+        (16, 17),
+        (1, 5),
+        (8, 11),
+        (14, 17),
+    ];
+    from_links("Renater", 18, &links, DEFAULT_CAPACITY)
+}
+
+/// A Uninett-scale (Norwegian NREN) graph: 20 nodes, 30 links.
+pub fn uninett() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (1, 3),
+        (2, 4),
+        (3, 5),
+        (4, 5),
+        (4, 6),
+        (5, 7),
+        (6, 8),
+        (7, 8),
+        (7, 9),
+        (8, 10),
+        (9, 11),
+        (10, 11),
+        (10, 12),
+        (11, 13),
+        (12, 14),
+        (13, 14),
+        (13, 15),
+        (14, 16),
+        (15, 17),
+        (16, 17),
+        (16, 18),
+        (17, 19),
+        (18, 19),
+        (3, 6),
+        (9, 12),
+        (15, 18),
+        (0, 4),
+    ];
+    from_links("Uninett", 20, &links, DEFAULT_CAPACITY)
+}
+
+/// A GÉANT-scale (pan-European) graph: 22 nodes, 36 links
+/// (double the size of Abilene).
+pub fn geant() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (1, 3),
+        (1, 4),
+        (2, 5),
+        (3, 6),
+        (4, 7),
+        (5, 6),
+        (5, 8),
+        (6, 9),
+        (7, 9),
+        (7, 10),
+        (8, 11),
+        (9, 12),
+        (10, 13),
+        (11, 12),
+        (11, 14),
+        (12, 15),
+        (13, 15),
+        (13, 16),
+        (14, 17),
+        (15, 18),
+        (16, 19),
+        (17, 18),
+        (17, 20),
+        (18, 21),
+        (19, 21),
+        (20, 21),
+        (2, 8),
+        (4, 10),
+        (14, 19),
+        (16, 20),
+        (6, 12),
+        (9, 15),
+        (3, 9),
+    ];
+    from_links("Geant", 22, &links, DEFAULT_CAPACITY)
+}
+
+/// A Janet-scale (UK academic) graph: 8 nodes, 11 links.
+pub fn janet() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (1, 3),
+        (2, 4),
+        (3, 5),
+        (4, 5),
+        (4, 6),
+        (5, 7),
+        (6, 7),
+        (3, 6),
+    ];
+    from_links("Janet", 8, &links, DEFAULT_CAPACITY)
+}
+
+/// A Sprint-scale US backbone graph: 13 nodes, 18 links.
+pub fn sprint() -> Graph {
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 3),
+        (2, 3),
+        (2, 4),
+        (3, 5),
+        (4, 6),
+        (5, 6),
+        (5, 7),
+        (6, 8),
+        (7, 9),
+        (8, 9),
+        (8, 10),
+        (9, 11),
+        (10, 12),
+        (11, 12),
+        (1, 4),
+        (7, 10),
+    ];
+    from_links("Sprint", 13, &links, DEFAULT_CAPACITY)
+}
+
+/// All transcribed topologies, smallest first.
+pub fn all() -> Vec<Graph> {
+    vec![
+        cesnet(),
+        janet(),
+        arpanet(),
+        abilene(),
+        b4(),
+        sprint(),
+        nsfnet(),
+        garr(),
+        renater(),
+        uninett(),
+        geant(),
+    ]
+}
+
+/// Looks up a topology by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Graph> {
+    all()
+        .into_iter()
+        .find(|g| g.name().eq_ignore_ascii_case(name))
+}
+
+/// Topologies whose node count lies in `[lo, hi]` — used to assemble the
+/// "between double and half the size of Abilene" graph mixture of
+/// Fig. 8.
+pub fn in_size_range(lo: usize, hi: usize) -> Vec<Graph> {
+    all()
+        .into_iter()
+        .filter(|g| (lo..=hi).contains(&g.num_nodes()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_strongly_connected;
+
+    #[test]
+    fn abilene_shape() {
+        let g = abilene();
+        assert_eq!(g.num_nodes(), 11);
+        assert_eq!(g.num_edges(), 2 * 14);
+        assert_eq!(g.node_name(crate::NodeId(0)), "Seattle");
+    }
+
+    #[test]
+    fn nsfnet_shape() {
+        let g = nsfnet();
+        assert_eq!(g.num_nodes(), 14);
+        assert_eq!(g.num_edges(), 2 * 21);
+    }
+
+    #[test]
+    fn all_topologies_are_connected() {
+        for g in all() {
+            assert!(
+                is_strongly_connected(&g),
+                "{} must be strongly connected",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_topologies_have_unique_names_and_uniform_capacity() {
+        let graphs = all();
+        let mut names: Vec<_> = graphs.iter().map(|g| g.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), graphs.len());
+        for g in &graphs {
+            assert!(g.capacities().iter().all(|&c| c == DEFAULT_CAPACITY));
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("abilene").is_some());
+        assert!(by_name("GEANT").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn size_range_covers_fig8_mixture() {
+        // Half (6 nodes) to double (22 nodes) the size of Abilene,
+        // excluding Abilene itself, must leave several training graphs.
+        let mix: Vec<_> = in_size_range(6, 22)
+            .into_iter()
+            .filter(|g| g.name() != "Abilene")
+            .collect();
+        assert!(mix.len() >= 8, "need a rich graph mixture for Fig. 8");
+    }
+
+    #[test]
+    fn no_duplicate_links_in_tables() {
+        for g in all() {
+            for v in g.nodes() {
+                let mut succ: Vec<_> = g.successors(v).collect();
+                let before = succ.len();
+                succ.sort();
+                succ.dedup();
+                assert_eq!(
+                    before,
+                    succ.len(),
+                    "duplicate link at {} in {}",
+                    v,
+                    g.name()
+                );
+            }
+        }
+    }
+}

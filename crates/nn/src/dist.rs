@@ -1,0 +1,216 @@
+//! Action distributions for continuous-control PPO.
+//!
+//! The GDDR action space is a vector of edge weights in `[-1, 1]`, so
+//! the policies use a diagonal Gaussian with a state-independent
+//! learned log-standard-deviation — the construction used by PPO2 in
+//! stable-baselines, the framework the paper trains with.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+const LN_2PI: f64 = 1.8378770664093453;
+
+/// A batched diagonal Gaussian `N(mean, exp(log_std)^2)`.
+///
+/// `mean` is an n×d tape variable (one row per sample); `log_std` is a
+/// 1×d tape variable broadcast over rows.
+#[derive(Debug, Clone, Copy)]
+pub struct DiagGaussian {
+    mean: Var,
+    log_std: Var,
+}
+
+impl DiagGaussian {
+    /// Wraps mean and log-std variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_std` is not a 1×d row vector matching `mean`'s
+    /// width.
+    pub fn new(tape: &Tape, mean: Var, log_std: Var) -> Self {
+        let m = tape.value(mean);
+        let ls = tape.value(log_std);
+        assert_eq!(ls.rows(), 1, "log_std must be a row vector");
+        assert_eq!(m.cols(), ls.cols(), "mean/log_std widths must match");
+        DiagGaussian { mean, log_std }
+    }
+
+    /// The mean variable.
+    pub fn mean(&self) -> Var {
+        self.mean
+    }
+
+    /// The log-std variable.
+    pub fn log_std(&self) -> Var {
+        self.log_std
+    }
+
+    /// Draws one action per row of the mean (no gradient flows through
+    /// sampling; PPO differentiates only log-probabilities).
+    pub fn sample<R: Rng>(&self, tape: &Tape, rng: &mut R) -> Matrix {
+        let mean = tape.value(self.mean);
+        let log_std = tape.value(self.log_std);
+        Matrix::from_fn(mean.rows(), mean.cols(), |r, c| {
+            let std = log_std.get(0, c).exp();
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            mean.get(r, c) + std * z
+        })
+    }
+
+    /// The distribution mode (the mean), for deterministic evaluation.
+    pub fn mode(&self, tape: &Tape) -> Matrix {
+        tape.value(self.mean).clone()
+    }
+
+    /// Log-probability of `actions` under the distribution, as an n×1
+    /// tape variable (differentiable w.r.t. mean and log-std).
+    pub fn log_prob(&self, tape: &mut Tape, actions: &Matrix) -> Var {
+        let n = tape.value(self.mean).rows();
+        let d = tape.value(self.mean).cols();
+        assert_eq!(actions.shape(), (n, d), "action batch shape mismatch");
+        let a = tape.constant(actions.clone());
+        let diff = tape.sub(a, self.mean);
+        let sq = tape.mul(diff, diff);
+        // precision = exp(-2 log_std), broadcast over rows.
+        let neg2ls = tape.scale(self.log_std, -2.0);
+        let prec_row = tape.exp(neg2ls);
+        let prec = tape.broadcast_rows(prec_row, n);
+        let maha = tape.mul(sq, prec);
+        // per-dim constant: 2*log_std + ln(2π), broadcast and added.
+        let two_ls = tape.scale(self.log_std, 2.0);
+        let const_row = tape.add_scalar(two_ls, LN_2PI);
+        let consts = tape.broadcast_rows(const_row, n);
+        let terms = tape.add(maha, consts);
+        let summed = tape.row_sum(terms);
+        tape.scale(summed, -0.5)
+    }
+
+    /// Differential entropy (identical for every row since log-std is
+    /// state-independent), as a 1×1 tape variable:
+    /// `Σ_d log_std_d + d/2 · ln(2πe)`.
+    pub fn entropy(&self, tape: &mut Tape) -> Var {
+        let d = tape.value(self.log_std).cols() as f64;
+        let sum_ls = tape.sum_all(self.log_std);
+        tape.add_scalar(sum_ls, 0.5 * d * (LN_2PI + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist_fixture(mean_vals: Vec<f64>, log_std_vals: Vec<f64>) -> (Tape, DiagGaussian) {
+        let d = log_std_vals.len();
+        let n = mean_vals.len() / d;
+        let mut tape = Tape::new();
+        let mean = tape.constant(Matrix::from_vec(n, d, mean_vals));
+        let ls = tape.constant(Matrix::row_vector(log_std_vals));
+        let g = DiagGaussian::new(&tape, mean, ls);
+        (tape, g)
+    }
+
+    #[test]
+    fn log_prob_matches_closed_form_standard_normal() {
+        let (mut tape, g) = dist_fixture(vec![0.0, 0.0], vec![0.0, 0.0]);
+        let lp = g.log_prob(&mut tape, &Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        // log N(0; 0, 1) per dim = -0.5 ln(2π); two dims.
+        let expected = -LN_2PI;
+        assert!((tape.value(lp).get(0, 0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_prob_decreases_away_from_mean() {
+        let (mut tape, g) = dist_fixture(vec![1.0, -1.0], vec![0.0, 0.0]);
+        let at_mean = g.log_prob(&mut tape, &Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+        let off_mean = g.log_prob(&mut tape, &Matrix::from_vec(1, 2, vec![2.0, 0.0]));
+        assert!(tape.value(at_mean).get(0, 0) > tape.value(off_mean).get(0, 0));
+    }
+
+    #[test]
+    fn entropy_closed_form() {
+        let (mut tape, g) = dist_fixture(vec![0.0, 0.0, 0.0], vec![0.1, -0.2, 0.3]);
+        let h = g.entropy(&mut tape);
+        let expected = 0.2 + 1.5 * (LN_2PI + 1.0);
+        assert!((tape.value(h).get(0, 0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let (tape, g) = dist_fixture(vec![2.0], vec![(0.5f64).ln()]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let s = g.sample(&tape, &mut rng).get(0, 0);
+            sum += s;
+            sumsq += s * s;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 2.0).abs() < 0.02, "sample mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "sample var {var}");
+    }
+
+    #[test]
+    fn mode_is_mean() {
+        let (tape, g) = dist_fixture(vec![0.3, -0.7], vec![0.0, 0.0]);
+        assert_eq!(g.mode(&tape).as_slice(), &[0.3, -0.7]);
+    }
+
+    #[test]
+    fn log_prob_gradient_check() {
+        // Gradient of log-prob w.r.t. a mean produced from a parameter.
+        let mut store = ParamStore::new();
+        let id = store.register("mu", Matrix::from_vec(2, 2, vec![0.5, -0.3, 0.1, 0.9]));
+        let actions = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let build = |tape: &mut Tape, store: &ParamStore| {
+            let mean = tape.param(store, id);
+            let ls = tape.constant(Matrix::row_vector(vec![0.2, -0.1]));
+            let g = DiagGaussian::new(tape, mean, ls);
+            let lp = g.log_prob(tape, &actions);
+            tape.sum_all(lp)
+        };
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, &store);
+        store.zero_grads();
+        tape.backward(loss, &mut store);
+        let analytic = store.grad(id).clone();
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let orig = store.value(id).get(r, c);
+                store.value_mut(id).set(r, c, orig + eps);
+                let mut t1 = Tape::new();
+                let l1 = build(&mut t1, &store);
+                let f1 = t1.value(l1).get(0, 0);
+                store.value_mut(id).set(r, c, orig - eps);
+                let mut t2 = Tape::new();
+                let l2 = build(&mut t2, &store);
+                let f2 = t2.value(l2).get(0, 0);
+                store.value_mut(id).set(r, c, orig);
+                let numeric = (f1 - f2) / (2.0 * eps);
+                assert!(
+                    (analytic.get(r, c) - numeric).abs() < 1e-5,
+                    "grad mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row vector")]
+    fn rejects_matrix_log_std() {
+        let mut tape = Tape::new();
+        let mean = tape.constant(Matrix::zeros(2, 2));
+        let ls = tape.constant(Matrix::zeros(2, 2));
+        DiagGaussian::new(&tape, mean, ls);
+    }
+}

@@ -1,0 +1,75 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Glorot/Xavier uniform initialisation for a `fan_in × fan_out` weight
+/// matrix: `U(-limit, limit)` with `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// He/Kaiming uniform initialisation (for ReLU stacks).
+pub fn he_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let limit = (6.0 / fan_in as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// Orthogonal-ish initialisation scaled by `gain`: Gaussian samples
+/// normalised per column. A cheap stand-in for full QR orthogonalisation
+/// that keeps per-column norms equal to `gain` — sufficient for the
+/// small policy networks used here.
+pub fn scaled_columns<R: Rng>(fan_in: usize, fan_out: usize, gain: f64, rng: &mut R) -> Matrix {
+    let mut m = Matrix::from_fn(fan_in, fan_out, |_, _| {
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    });
+    for c in 0..fan_out {
+        let norm: f64 = (0..fan_in).map(|r| m.get(r, c).powi(2)).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for r in 0..fan_in {
+                let v = m.get(r, c) / norm * gain;
+                m.set(r, c, v);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let limit = (6.0f64 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+        assert_eq!(m.shape(), (10, 20));
+    }
+
+    #[test]
+    fn he_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = he_uniform(8, 4, &mut rng);
+        let limit = (6.0f64 / 8.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn scaled_columns_have_gain_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = scaled_columns(16, 3, 0.01, &mut rng);
+        for c in 0..3 {
+            let norm: f64 = (0..16).map(|r| m.get(r, c).powi(2)).sum::<f64>().sqrt();
+            assert!((norm - 0.01).abs() < 1e-12);
+        }
+    }
+}

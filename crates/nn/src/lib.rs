@@ -1,0 +1,45 @@
+//! # gddr-nn
+//!
+//! Neural-network substrate for the GDDR reproduction: the paper uses
+//! TensorFlow; the Rust ecosystem offers no mature equivalent (repro
+//! band 2/5), so this crate implements the required machinery from
+//! scratch:
+//!
+//! - [`Matrix`]: a dense row-major `f64` matrix,
+//! - [`Tape`] / [`Var`]: eager reverse-mode automatic differentiation,
+//!   including the gather/segment-sum primitives that make
+//!   graph-network pooling differentiable
+//!   (TensorFlow's `tf.unsorted_segment_sum` in the paper),
+//! - [`ParamStore`] / [`ParamId`]: named trainable parameters with
+//!   accumulated gradients and binary (de)serialisation,
+//! - [`layers`]: `Linear` and `Mlp` building blocks,
+//! - [`optim`]: SGD and Adam,
+//! - [`dist`]: the diagonal-Gaussian action distribution used by the
+//!   PPO policies.
+//!
+//! # Example
+//!
+//! ```
+//! use gddr_nn::{layers::Mlp, layers::Activation, Matrix, ParamStore, Tape};
+//! use rand::SeedableRng;
+//!
+//! let mut store = ParamStore::new();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mlp = Mlp::new(&mut store, "net", &[4, 8, 2], Activation::Relu, &mut rng);
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Matrix::zeros(3, 4));
+//! let y = mlp.forward(&mut tape, &store, x);
+//! assert_eq!(tape.value(y).shape(), (3, 2));
+//! ```
+
+pub mod dist;
+pub mod init;
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};

@@ -1,0 +1,305 @@
+//! Trainable-parameter storage.
+//!
+//! Parameters live outside the [`crate::Tape`] so that a fresh tape can
+//! be built per forward pass (as in define-by-run frameworks) while the
+//! parameters and their accumulated gradients persist across passes.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::matrix::Matrix;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+/// Errors from parameter (de)serialisation.
+#[derive(Debug)]
+pub enum ParamIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The byte stream is not a valid parameter snapshot.
+    Corrupt(String),
+    /// Snapshot does not match this store's layout.
+    LayoutMismatch(String),
+}
+
+impl fmt::Display for ParamIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamIoError::Io(e) => write!(f, "i/o failure: {e}"),
+            ParamIoError::Corrupt(m) => write!(f, "corrupt parameter snapshot: {m}"),
+            ParamIoError::LayoutMismatch(m) => write!(f, "parameter layout mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamIoError {}
+
+impl From<std::io::Error> for ParamIoError {
+    fn from(e: std::io::Error) -> Self {
+        ParamIoError::Io(e)
+    }
+}
+
+/// A named collection of trainable matrices with accumulated gradients.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        let (r, c) = value.shape();
+        self.names.push(name.into());
+        self.grads.push(Matrix::zeros(r, c));
+        self.values.push(value);
+        id
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// The value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value access (used by optimisers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Accumulates `delta` into the gradient of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        self.grads[id.0].add_assign(delta);
+    }
+
+    /// Resets all gradients to zero.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            let (r, c) = g.shape();
+            *g = Matrix::zeros(r, c);
+        }
+    }
+
+    /// The name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Global gradient L2 norm across all parameters.
+    pub fn grad_norm(&self) -> f64 {
+        self.grads
+            .iter()
+            .map(|g| g.norm().powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                *g = g.scale(s);
+            }
+        }
+    }
+
+    /// Writes a binary snapshot of all parameter values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, mut w: impl Write) -> Result<(), ParamIoError> {
+        w.write_all(b"GDDRPAR1")?;
+        w.write_all(&(self.values.len() as u64).to_le_bytes())?;
+        for (i, v) in self.values.iter().enumerate() {
+            let name = self.names[i].as_bytes();
+            w.write_all(&(name.len() as u64).to_le_bytes())?;
+            w.write_all(name)?;
+            let (r, c) = v.shape();
+            w.write_all(&(r as u64).to_le_bytes())?;
+            w.write_all(&(c as u64).to_le_bytes())?;
+            for x in v.as_slice() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores parameter values from a snapshot produced by
+    /// [`ParamStore::save`]. The store must already have the same layout
+    /// (names and shapes) — snapshots carry weights, not architecture.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, corrupt data, or layout mismatch.
+    pub fn load(&mut self, mut r: impl Read) -> Result<(), ParamIoError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"GDDRPAR1" {
+            return Err(ParamIoError::Corrupt("bad magic".into()));
+        }
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u64buf)?;
+        let count = u64::from_le_bytes(u64buf) as usize;
+        if count != self.values.len() {
+            return Err(ParamIoError::LayoutMismatch(format!(
+                "snapshot has {count} params, store has {}",
+                self.values.len()
+            )));
+        }
+        for i in 0..count {
+            r.read_exact(&mut u64buf)?;
+            let name_len = u64::from_le_bytes(u64buf) as usize;
+            if name_len > 1 << 20 {
+                return Err(ParamIoError::Corrupt("unreasonable name length".into()));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| ParamIoError::Corrupt("non-utf8 name".into()))?;
+            if name != self.names[i] {
+                return Err(ParamIoError::LayoutMismatch(format!(
+                    "param {i}: snapshot name {name:?} != store name {:?}",
+                    self.names[i]
+                )));
+            }
+            r.read_exact(&mut u64buf)?;
+            let rows = u64::from_le_bytes(u64buf) as usize;
+            r.read_exact(&mut u64buf)?;
+            let cols = u64::from_le_bytes(u64buf) as usize;
+            if (rows, cols) != self.values[i].shape() {
+                return Err(ParamIoError::LayoutMismatch(format!(
+                    "param {name}: snapshot shape {rows}x{cols} != store {:?}",
+                    self.values[i].shape()
+                )));
+            }
+            let mut data = vec![0.0f64; rows * cols];
+            let mut f64buf = [0u8; 8];
+            for x in &mut data {
+                r.read_exact(&mut f64buf)?;
+                *x = f64::from_le_bytes(f64buf);
+            }
+            self.values[i] = Matrix::from_vec(rows, cols, data);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> (ParamStore, ParamId, ParamId) {
+        let mut s = ParamStore::new();
+        let a = s.register("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = s.register("b", Matrix::row_vector(vec![0.5, -0.5]));
+        (s, a, b)
+    }
+
+    #[test]
+    fn register_and_access() {
+        let (s, a, b) = sample_store();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 6);
+        assert_eq!(s.name(a), "w");
+        assert_eq!(s.value(b).shape(), (1, 2));
+        assert_eq!(s.grad(a).sum(), 0.0);
+    }
+
+    #[test]
+    fn grad_accumulation_and_zeroing() {
+        let (mut s, a, _) = sample_store();
+        s.accumulate_grad(a, &Matrix::full(2, 2, 1.0));
+        s.accumulate_grad(a, &Matrix::full(2, 2, 2.0));
+        assert_eq!(s.grad(a).sum(), 12.0);
+        s.zero_grads();
+        assert_eq!(s.grad(a).sum(), 0.0);
+    }
+
+    #[test]
+    fn grad_norm_and_clipping() {
+        let (mut s, a, b) = sample_store();
+        s.accumulate_grad(a, &Matrix::full(2, 2, 3.0));
+        s.accumulate_grad(b, &Matrix::full(1, 2, 4.0));
+        let norm = (4.0 * 9.0 + 2.0 * 16.0f64).sqrt();
+        assert!((s.grad_norm() - norm).abs() < 1e-12);
+        s.clip_grad_norm(1.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (s, _, _) = sample_store();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let (mut s2, a2, _) = sample_store();
+        s2.value_mut(a2).set(0, 0, 99.0);
+        s2.load(buf.as_slice()).unwrap();
+        assert_eq!(s2.value(a2).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn load_rejects_mismatched_layout() {
+        let (s, _, _) = sample_store();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.register("w", Matrix::zeros(2, 2));
+        assert!(matches!(
+            other.load(buf.as_slice()),
+            Err(ParamIoError::LayoutMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_corrupt_magic() {
+        let (mut s, _, _) = sample_store();
+        assert!(matches!(
+            s.load(&b"NOTMAGIC"[..]),
+            Err(ParamIoError::Corrupt(_))
+        ));
+    }
+}

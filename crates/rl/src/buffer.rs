@@ -1,0 +1,225 @@
+//! Rollout storage with Generalised Advantage Estimation.
+
+/// One stored transition (observation kept by value).
+#[derive(Debug, Clone)]
+pub struct Transition<O> {
+    /// Observation the action was taken in.
+    pub obs: O,
+    /// The raw action.
+    pub action: Vec<f64>,
+    /// Reward received.
+    pub reward: f64,
+    /// Whether the episode ended after this transition.
+    pub done: bool,
+    /// Value estimate `V(s)` at collection time.
+    pub value: f64,
+    /// Log-probability of the action at collection time.
+    pub log_prob: f64,
+}
+
+/// A fixed-capacity on-policy rollout buffer.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutBuffer<O> {
+    transitions: Vec<Transition<O>>,
+    advantages: Vec<f64>,
+    returns: Vec<f64>,
+}
+
+impl<O: Clone> RolloutBuffer<O> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        RolloutBuffer {
+            transitions: Vec::new(),
+            advantages: Vec::new(),
+            returns: Vec::new(),
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Appends a transition.
+    pub fn push(&mut self, t: Transition<O>) {
+        self.transitions.push(t);
+    }
+
+    /// Clears all storage for the next rollout.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+        self.advantages.clear();
+        self.returns.clear();
+    }
+
+    /// The stored transitions.
+    pub fn transitions(&self) -> &[Transition<O>] {
+        &self.transitions
+    }
+
+    /// GAE(λ) advantages (after [`RolloutBuffer::compute_gae`]).
+    pub fn advantages(&self) -> &[f64] {
+        &self.advantages
+    }
+
+    /// Discounted returns `advantage + value` (after
+    /// [`RolloutBuffer::compute_gae`]).
+    pub fn returns(&self) -> &[f64] {
+        &self.returns
+    }
+
+    /// Computes GAE(λ) advantages and returns.
+    ///
+    /// `last_value` bootstraps the value of the state following the
+    /// final stored transition (ignored if that transition ended an
+    /// episode). `normalise` standardises advantages to zero mean and
+    /// unit variance, as PPO2 does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or `gamma`/`lambda` are outside
+    /// `[0, 1]`.
+    pub fn compute_gae(&mut self, last_value: f64, gamma: f64, lambda: f64, normalise: bool) {
+        assert!(!self.transitions.is_empty(), "empty rollout");
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        let n = self.transitions.len();
+        self.advantages = vec![0.0; n];
+        let mut gae = 0.0;
+        for i in (0..n).rev() {
+            let t = &self.transitions[i];
+            let next_value = if t.done {
+                0.0
+            } else if i + 1 < n {
+                self.transitions[i + 1].value
+            } else {
+                last_value
+            };
+            let not_done = if t.done { 0.0 } else { 1.0 };
+            let delta = t.reward + gamma * next_value - t.value;
+            gae = delta + gamma * lambda * not_done * gae;
+            self.advantages[i] = gae;
+        }
+        self.returns = self
+            .advantages
+            .iter()
+            .zip(&self.transitions)
+            .map(|(a, t)| a + t.value)
+            .collect();
+        if normalise && n > 1 {
+            let mean = self.advantages.iter().sum::<f64>() / n as f64;
+            let var = self
+                .advantages
+                .iter()
+                .map(|a| (a - mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            let std = var.sqrt().max(1e-8);
+            for a in &mut self.advantages {
+                *a = (*a - mean) / std;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(reward: f64, value: f64, done: bool) -> Transition<()> {
+        Transition {
+            obs: (),
+            action: vec![0.0],
+            reward,
+            done,
+            value,
+            log_prob: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_step_episode_advantage() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(1.0, 0.4, true));
+        buf.compute_gae(99.0, 0.99, 0.95, false);
+        // done => next value ignored: A = r - V = 0.6.
+        assert!((buf.advantages()[0] - 0.6).abs() < 1e-12);
+        assert!((buf.returns()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_uses_last_value() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(0.0, 0.0, false));
+        buf.compute_gae(1.0, 0.5, 1.0, false);
+        // A = r + γ·V(s') - V(s) = 0.5.
+        assert!((buf.advantages()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gae_matches_hand_computation() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(1.0, 0.5, false));
+        buf.push(transition(2.0, 1.0, true));
+        let (gamma, lambda) = (0.9, 0.8);
+        buf.compute_gae(0.0, gamma, lambda, false);
+        let delta1 = 2.0 + 0.0 - 1.0; // terminal
+        let delta0 = 1.0 + gamma * 1.0 - 0.5;
+        let a1 = delta1;
+        let a0 = delta0 + gamma * lambda * a1;
+        assert!((buf.advantages()[1] - a1).abs() < 1e-12);
+        assert!((buf.advantages()[0] - a0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn done_resets_gae_chain() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(0.0, 0.0, true));
+        buf.push(transition(5.0, 0.0, true));
+        buf.compute_gae(0.0, 0.99, 0.95, false);
+        // First advantage must not see the second episode's reward.
+        assert!((buf.advantages()[0] - 0.0).abs() < 1e-12);
+        assert!((buf.advantages()[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalisation_standardises() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..10 {
+            buf.push(transition(i as f64, 0.0, true));
+        }
+        buf.compute_gae(0.0, 0.99, 0.95, true);
+        let n = buf.advantages().len() as f64;
+        let mean = buf.advantages().iter().sum::<f64>() / n;
+        let var = buf
+            .advantages()
+            .iter()
+            .map(|a| (a - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(1.0, 0.0, true));
+        buf.compute_gae(0.0, 0.99, 0.95, false);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(buf.advantages().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rollout")]
+    fn gae_on_empty_panics() {
+        let mut buf: RolloutBuffer<()> = RolloutBuffer::new();
+        buf.compute_gae(0.0, 0.99, 0.95, false);
+    }
+}

@@ -1,0 +1,120 @@
+//! The Gym-style environment interface (paper §V: "this environment
+//! should have an OpenAI Gym API").
+
+use rand::rngs::StdRng;
+
+/// The result of one environment step.
+#[derive(Debug, Clone)]
+pub struct Step<O> {
+    /// Observation after the transition.
+    pub obs: O,
+    /// Scalar reward for the transition.
+    pub reward: f64,
+    /// Whether the episode terminated with this step.
+    pub done: bool,
+}
+
+/// A reinforcement-learning environment with continuous vector actions.
+///
+/// Observations are an associated type so that MLP policies (flat
+/// vectors) and GNN policies (graph-structured features) share one
+/// trainer.
+pub trait Env {
+    /// Observation type produced by the environment.
+    type Obs: Clone;
+
+    /// Resets the environment and returns the initial observation.
+    fn reset(&mut self, rng: &mut StdRng) -> Self::Obs;
+
+    /// Advances one timestep with a raw policy action.
+    ///
+    /// Implementations must accept any finite action vector of length
+    /// [`Env::action_dim`] (policies emit unsquashed Gaussian samples).
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> Step<Self::Obs>;
+
+    /// Length of the action vector.
+    fn action_dim(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_envs {
+    use super::*;
+
+    /// A 1-D target-chasing environment: state `x`, action moves it,
+    /// reward `-(x - target)²`, episode of fixed length. Optimal policy
+    /// outputs `target - x`, learnable by a tiny MLP.
+    #[derive(Debug, Clone)]
+    pub struct ChaseEnv {
+        pub x: f64,
+        pub target: f64,
+        pub t: usize,
+        pub horizon: usize,
+    }
+
+    impl ChaseEnv {
+        pub fn new(target: f64, horizon: usize) -> Self {
+            ChaseEnv {
+                x: 0.0,
+                target,
+                t: 0,
+                horizon,
+            }
+        }
+    }
+
+    impl Env for ChaseEnv {
+        type Obs = Vec<f64>;
+
+        fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+            use rand::Rng;
+            self.x = rng.gen_range(-1.0..1.0);
+            self.t = 0;
+            vec![self.x]
+        }
+
+        fn step(&mut self, action: &[f64], _rng: &mut StdRng) -> Step<Vec<f64>> {
+            self.x += action[0].clamp(-1.0, 1.0);
+            self.t += 1;
+            let err = self.x - self.target;
+            Step {
+                obs: vec![self.x],
+                reward: -err * err,
+                done: self.t >= self.horizon,
+            }
+        }
+
+        fn action_dim(&self) -> usize {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_envs::ChaseEnv;
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chase_env_contract() {
+        let mut env = ChaseEnv::new(0.5, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.len(), 1);
+        let s1 = env.step(&[0.2], &mut rng);
+        assert!(!s1.done);
+        assert!(s1.reward <= 0.0);
+        env.step(&[0.0], &mut rng);
+        let s3 = env.step(&[0.0], &mut rng);
+        assert!(s3.done);
+    }
+
+    #[test]
+    fn perfect_action_maximises_reward() {
+        let mut env = ChaseEnv::new(0.5, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = env.reset(&mut rng);
+        let s = env.step(&[0.5 - obs[0]], &mut rng);
+        assert!(s.reward > -1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gddr-rl
+//!
+//! Reinforcement-learning substrate for the GDDR reproduction: the
+//! paper uses an OpenAI-Gym environment trained with the PPO2
+//! implementation from stable-baselines; this crate provides the
+//! equivalents from scratch:
+//!
+//! - [`env::Env`]: the Gym-style environment interface (`reset`/`step`),
+//! - [`policy::Policy`]: the policy abstraction bridging environments
+//!   and the `gddr-nn` autodiff substrate (sampling + differentiable
+//!   evaluation),
+//! - [`buffer::RolloutBuffer`]: trajectory storage with GAE(λ)
+//!   advantage estimation,
+//! - [`ppo`]: the clipped-surrogate PPO trainer with value loss,
+//!   entropy bonus, minibatch Adam and gradient clipping,
+//! - [`running_stat`]: running mean/std normalisation utilities,
+//! - [`tuning`]: seeded random hyperparameter search (the paper tunes
+//!   with OpenTuner, §VIII-C).
+
+pub mod buffer;
+pub mod env;
+pub mod policy;
+pub mod ppo;
+pub mod running_stat;
+pub mod tuning;
+
+pub use buffer::RolloutBuffer;
+pub use env::{Env, Step};
+pub use policy::{ActionSample, Evaluation, Policy};
+pub use ppo::{Ppo, PpoConfig, TrainingLog};

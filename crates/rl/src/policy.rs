@@ -1,0 +1,216 @@
+//! The policy abstraction bridging environments and the autodiff
+//! substrate.
+
+use rand::rngs::StdRng;
+
+use gddr_nn::{ParamStore, Tape, Var};
+
+/// A sampled action with the statistics PPO needs to store.
+#[derive(Debug, Clone)]
+pub struct ActionSample {
+    /// The raw action vector.
+    pub action: Vec<f64>,
+    /// Log-probability of the action under the current policy.
+    pub log_prob: f64,
+    /// The value estimate `V(s)`.
+    pub value: f64,
+}
+
+/// Differentiable evaluation of one (observation, action) pair, used to
+/// assemble the PPO loss on a shared tape.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluation {
+    /// 1×1 log-probability of the action.
+    pub log_prob: Var,
+    /// 1×1 policy entropy at the observation.
+    pub entropy: Var,
+    /// 1×1 value estimate.
+    pub value: Var,
+}
+
+/// A stochastic policy with a value head over observations of type
+/// `Obs`.
+///
+/// Implementations own their [`ParamStore`]; the PPO trainer
+/// backpropagates into it and steps an optimiser over it.
+pub trait Policy {
+    /// Observation type this policy consumes (must match the
+    /// environment's).
+    type Obs: Clone;
+
+    /// Samples an action with log-probability and value estimate.
+    fn act(&self, obs: &Self::Obs, rng: &mut StdRng) -> ActionSample;
+
+    /// The deterministic (mode) action, for evaluation.
+    fn act_greedy(&self, obs: &Self::Obs) -> Vec<f64>;
+
+    /// Records a differentiable evaluation of `(obs, action)` on
+    /// `tape`.
+    fn evaluate(&self, tape: &mut Tape, obs: &Self::Obs, action: &[f64]) -> Evaluation;
+
+    /// The trainable parameters.
+    fn params(&self) -> &ParamStore;
+
+    /// Mutable access to the trainable parameters.
+    fn params_mut(&mut self) -> &mut ParamStore;
+}
+
+/// A ready-made diagonal-Gaussian MLP actor-critic over flat `Vec<f64>`
+/// observations — the architecture of the paper's MLP baseline policy
+/// (§VII, Fig. 4) and a reusable default for tests.
+#[derive(Debug, Clone)]
+pub struct MlpGaussianPolicy {
+    store: ParamStore,
+    actor: gddr_nn::layers::Mlp,
+    critic: gddr_nn::layers::Mlp,
+    log_std: gddr_nn::ParamId,
+    obs_dim: usize,
+    action_dim: usize,
+}
+
+impl MlpGaussianPolicy {
+    /// Builds an actor-critic pair of MLPs with the given hidden sizes.
+    ///
+    /// `init_log_std` sets the initial exploration scale.
+    pub fn new(
+        obs_dim: usize,
+        action_dim: usize,
+        hidden: &[usize],
+        init_log_std: f64,
+        rng: &mut StdRng,
+    ) -> Self {
+        use gddr_nn::layers::{Activation, Mlp};
+        let mut store = ParamStore::new();
+        let mut actor_sizes = vec![obs_dim];
+        actor_sizes.extend_from_slice(hidden);
+        actor_sizes.push(action_dim);
+        let actor = Mlp::new(&mut store, "actor", &actor_sizes, Activation::Tanh, rng);
+        let mut critic_sizes = vec![obs_dim];
+        critic_sizes.extend_from_slice(hidden);
+        critic_sizes.push(1);
+        let critic = Mlp::new(&mut store, "critic", &critic_sizes, Activation::Tanh, rng);
+        let log_std = store.register(
+            "log_std",
+            gddr_nn::Matrix::full(1, action_dim, init_log_std),
+        );
+        MlpGaussianPolicy {
+            store,
+            actor,
+            critic,
+            log_std,
+            obs_dim,
+            action_dim,
+        }
+    }
+
+    /// Observation width.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Action width.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    fn dist(&self, tape: &mut Tape, obs: &[f64]) -> (gddr_nn::dist::DiagGaussian, Var) {
+        assert_eq!(obs.len(), self.obs_dim, "observation width mismatch");
+        let x = tape.constant(gddr_nn::Matrix::row_vector(obs.to_vec()));
+        let mean = self.actor.forward(tape, &self.store, x);
+        let log_std = tape.param(&self.store, self.log_std);
+        let value = self.critic.forward(tape, &self.store, x);
+        (gddr_nn::dist::DiagGaussian::new(tape, mean, log_std), value)
+    }
+}
+
+impl Policy for MlpGaussianPolicy {
+    type Obs = Vec<f64>;
+
+    fn act(&self, obs: &Vec<f64>, rng: &mut StdRng) -> ActionSample {
+        let mut tape = Tape::new();
+        let (dist, value) = self.dist(&mut tape, obs);
+        let action = dist.sample(&tape, rng);
+        let lp = dist.log_prob(&mut tape, &action);
+        ActionSample {
+            action: action.as_slice().to_vec(),
+            log_prob: tape.value(lp).get(0, 0),
+            value: tape.value(value).get(0, 0),
+        }
+    }
+
+    fn act_greedy(&self, obs: &Vec<f64>) -> Vec<f64> {
+        let mut tape = Tape::new();
+        let (dist, _) = self.dist(&mut tape, obs);
+        dist.mode(&tape).as_slice().to_vec()
+    }
+
+    fn evaluate(&self, tape: &mut Tape, obs: &Vec<f64>, action: &[f64]) -> Evaluation {
+        let (dist, value) = self.dist(tape, obs);
+        let a = gddr_nn::Matrix::row_vector(action.to_vec());
+        let log_prob = dist.log_prob(tape, &a);
+        let entropy = dist.entropy(tape);
+        Evaluation {
+            log_prob,
+            entropy,
+            value,
+        }
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn act_and_evaluate_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = MlpGaussianPolicy::new(3, 2, &[8], -0.5, &mut rng);
+        let obs = vec![0.1, -0.2, 0.3];
+        let sample = policy.act(&obs, &mut rng);
+        assert_eq!(sample.action.len(), 2);
+        let mut tape = Tape::new();
+        let eval = policy.evaluate(&mut tape, &obs, &sample.action);
+        let lp = tape.value(eval.log_prob).get(0, 0);
+        assert!(
+            (lp - sample.log_prob).abs() < 1e-9,
+            "{lp} vs {}",
+            sample.log_prob
+        );
+        let v = tape.value(eval.value).get(0, 0);
+        assert!((v - sample.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_action_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = MlpGaussianPolicy::new(2, 1, &[4], 0.0, &mut rng);
+        let obs = vec![0.5, 0.5];
+        assert_eq!(policy.act_greedy(&obs), policy.act_greedy(&obs));
+    }
+
+    #[test]
+    fn samples_vary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let policy = MlpGaussianPolicy::new(1, 1, &[4], 0.0, &mut rng);
+        let a = policy.act(&vec![0.0], &mut rng).action;
+        let b = policy.act(&vec![0.0], &mut rng).action;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation width")]
+    fn rejects_wrong_obs_width() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = MlpGaussianPolicy::new(2, 1, &[4], 0.0, &mut rng);
+        policy.act_greedy(&vec![1.0]);
+    }
+}

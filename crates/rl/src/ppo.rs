@@ -1,0 +1,390 @@
+//! Proximal Policy Optimisation (clipped surrogate), the algorithm the
+//! paper trains with ("we decided to use Proximal Policy Optimisation
+//! (PPO) in the form of the PPO2 implementation from the
+//! stable-baselines library", §VIII-C).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use gddr_nn::optim::Adam;
+use gddr_nn::{Matrix, Tape};
+
+use crate::buffer::{RolloutBuffer, Transition};
+use crate::env::Env;
+use crate::policy::Policy;
+
+/// PPO hyperparameters (defaults follow PPO2's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpoConfig {
+    /// Environment steps per rollout collection.
+    pub n_steps: usize,
+    /// Optimisation epochs over each rollout.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub minibatch_size: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// GAE λ.
+    pub gae_lambda: f64,
+    /// Clipping radius ε.
+    pub clip_range: f64,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Value-loss coefficient.
+    pub vf_coef: f64,
+    /// Entropy-bonus coefficient.
+    pub ent_coef: f64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f64,
+    /// Standardise advantages per rollout.
+    pub normalise_advantages: bool,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            n_steps: 128,
+            epochs: 4,
+            minibatch_size: 32,
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            clip_range: 0.2,
+            learning_rate: 3e-4,
+            vf_coef: 0.5,
+            ent_coef: 0.001,
+            max_grad_norm: 0.5,
+            normalise_advantages: true,
+        }
+    }
+}
+
+/// Training diagnostics.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct TrainingLog {
+    /// `(env_step, episode_total_reward)` per finished episode — the
+    /// data behind the paper's Fig. 7 learning curves.
+    pub episodes: Vec<(usize, f64)>,
+    /// `(env_step, mean policy loss, mean value loss)` per update.
+    pub updates: Vec<(usize, f64, f64)>,
+    /// Total environment steps taken.
+    pub total_steps: usize,
+}
+
+impl TrainingLog {
+    /// Mean episode reward over the final `k` episodes (all if fewer).
+    pub fn recent_mean_reward(&self, k: usize) -> f64 {
+        if self.episodes.is_empty() {
+            return f64::NAN;
+        }
+        let tail = &self.episodes[self.episodes.len().saturating_sub(k)..];
+        tail.iter().map(|(_, r)| r).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Smoothed learning curve: mean reward over windows of `window`
+    /// consecutive episodes, as `(step_at_window_end, mean_reward)`.
+    pub fn smoothed_curve(&self, window: usize) -> Vec<(usize, f64)> {
+        assert!(window > 0, "window must be positive");
+        self.episodes
+            .chunks(window)
+            .map(|c| {
+                let step = c.last().expect("chunks are non-empty").0;
+                let mean = c.iter().map(|(_, r)| r).sum::<f64>() / c.len() as f64;
+                (step, mean)
+            })
+            .collect()
+    }
+}
+
+/// The PPO trainer. Owns the optimiser state; borrow the environment
+/// and policy per [`Ppo::train`] call so they can be inspected between
+/// rounds.
+#[derive(Debug)]
+pub struct Ppo {
+    config: PpoConfig,
+    optimiser: Adam,
+}
+
+impl Ppo {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical hyperparameters (zero steps/minibatch,
+    /// non-positive learning rate).
+    pub fn new(config: PpoConfig) -> Self {
+        assert!(config.n_steps > 0, "n_steps must be positive");
+        assert!(config.minibatch_size > 0, "minibatch_size must be positive");
+        assert!(config.epochs > 0, "epochs must be positive");
+        let optimiser = Adam::new(config.learning_rate);
+        Ppo { config, optimiser }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.config
+    }
+
+    /// Runs PPO for at least `total_steps` environment steps, appending
+    /// diagnostics to `log`.
+    ///
+    /// The same `log` can be passed across multiple calls to continue a
+    /// curve (e.g. for evaluation snapshots between rounds).
+    pub fn train<E, P>(
+        &mut self,
+        env: &mut E,
+        policy: &mut P,
+        total_steps: usize,
+        rng: &mut StdRng,
+        log: &mut TrainingLog,
+    ) where
+        E: Env,
+        P: Policy<Obs = E::Obs>,
+    {
+        let mut obs = env.reset(rng);
+        let mut episode_reward = 0.0;
+        let start_step = log.total_steps;
+        let mut buffer: RolloutBuffer<E::Obs> = RolloutBuffer::new();
+
+        while log.total_steps - start_step < total_steps {
+            // ------- Collect one rollout -------
+            buffer.clear();
+            for _ in 0..self.config.n_steps {
+                let sample = policy.act(&obs, rng);
+                let step = env.step(&sample.action, rng);
+                episode_reward += step.reward;
+                buffer.push(Transition {
+                    obs: obs.clone(),
+                    action: sample.action,
+                    reward: step.reward,
+                    done: step.done,
+                    value: sample.value,
+                    log_prob: sample.log_prob,
+                });
+                log.total_steps += 1;
+                if step.done {
+                    log.episodes.push((log.total_steps, episode_reward));
+                    episode_reward = 0.0;
+                    obs = env.reset(rng);
+                } else {
+                    obs = step.obs;
+                }
+            }
+            let last_value = policy.act(&obs, rng).value;
+            buffer.compute_gae(
+                last_value,
+                self.config.gamma,
+                self.config.gae_lambda,
+                self.config.normalise_advantages,
+            );
+
+            // ------- Optimise -------
+            let n = buffer.len();
+            let mut indices: Vec<usize> = (0..n).collect();
+            let mut policy_loss_acc = 0.0;
+            let mut value_loss_acc = 0.0;
+            let mut batches = 0.0;
+            for _ in 0..self.config.epochs {
+                // Fisher-Yates shuffle.
+                for i in (1..n).rev() {
+                    indices.swap(i, rng.gen_range(0..=i));
+                }
+                for chunk in indices.chunks(self.config.minibatch_size) {
+                    let (pl, vl) = self.update_minibatch(policy, &buffer, chunk);
+                    policy_loss_acc += pl;
+                    value_loss_acc += vl;
+                    batches += 1.0;
+                }
+            }
+            log.updates.push((
+                log.total_steps,
+                policy_loss_acc / batches,
+                value_loss_acc / batches,
+            ));
+        }
+    }
+
+    /// One minibatch update; returns (policy loss, value loss) values.
+    fn update_minibatch<P: Policy>(
+        &mut self,
+        policy: &mut P,
+        buffer: &RolloutBuffer<P::Obs>,
+        indices: &[usize],
+    ) -> (f64, f64) {
+        let mut tape = Tape::new();
+        let transitions = buffer.transitions();
+        let advantages = buffer.advantages();
+        let returns = buffer.returns();
+        let k = indices.len() as f64;
+        let eps = self.config.clip_range;
+
+        let mut surrogate_sum = None;
+        let mut vloss_sum = None;
+        let mut entropy_sum = None;
+        for &i in indices {
+            let t = &transitions[i];
+            let eval = policy.evaluate(&mut tape, &t.obs, &t.action);
+            // ratio = exp(logp - old_logp)
+            let old_lp = tape.constant(Matrix::from_vec(1, 1, vec![t.log_prob]));
+            let diff = tape.sub(eval.log_prob, old_lp);
+            let ratio = tape.exp(diff);
+            let adv = tape.constant(Matrix::from_vec(1, 1, vec![advantages[i]]));
+            let surr1 = tape.mul(ratio, adv);
+            let clipped = tape.clamp(ratio, 1.0 - eps, 1.0 + eps);
+            let surr2 = tape.mul(clipped, adv);
+            let surr = tape.min_elem(surr1, surr2);
+            // value loss (v - R)^2
+            let ret = tape.constant(Matrix::from_vec(1, 1, vec![returns[i]]));
+            let vdiff = tape.sub(eval.value, ret);
+            let vsq = tape.mul(vdiff, vdiff);
+            surrogate_sum = Some(match surrogate_sum {
+                None => surr,
+                Some(s) => tape.add(s, surr),
+            });
+            vloss_sum = Some(match vloss_sum {
+                None => vsq,
+                Some(s) => tape.add(s, vsq),
+            });
+            entropy_sum = Some(match entropy_sum {
+                None => eval.entropy,
+                Some(s) => tape.add(s, eval.entropy),
+            });
+        }
+        let surrogate = tape.scale(surrogate_sum.expect("non-empty minibatch"), 1.0 / k);
+        let vloss = tape.scale(vloss_sum.expect("non-empty minibatch"), 1.0 / k);
+        let entropy = tape.scale(entropy_sum.expect("non-empty minibatch"), 1.0 / k);
+
+        // loss = -surrogate + vf_coef * vloss - ent_coef * entropy
+        let neg_surr = tape.scale(surrogate, -1.0);
+        let v_term = tape.scale(vloss, self.config.vf_coef);
+        let e_term = tape.scale(entropy, -self.config.ent_coef);
+        let partial = tape.add(neg_surr, v_term);
+        let loss = tape.add(partial, e_term);
+
+        let policy_loss = -tape.value(surrogate).get(0, 0);
+        let value_loss = tape.value(vloss).get(0, 0);
+
+        let store = policy.params_mut();
+        store.zero_grads();
+        tape.backward(loss, store);
+        store.clip_grad_norm(self.config.max_grad_norm);
+        self.optimiser.step(store);
+        (policy_loss, value_loss)
+    }
+}
+
+/// Evaluates a policy deterministically for `episodes` episodes and
+/// returns the mean episode reward.
+pub fn evaluate_policy<E, P>(
+    env: &mut E,
+    policy: &P,
+    episodes: usize,
+    max_steps_per_episode: usize,
+    rng: &mut StdRng,
+) -> f64
+where
+    E: Env,
+    P: Policy<Obs = E::Obs>,
+{
+    let mut total = 0.0;
+    for _ in 0..episodes {
+        let mut obs = env.reset(rng);
+        for _ in 0..max_steps_per_episode {
+            let action = policy.act_greedy(&obs);
+            let step = env.step(&action, rng);
+            total += step.reward;
+            if step.done {
+                break;
+            }
+            obs = step.obs;
+        }
+    }
+    total / episodes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::ChaseEnv;
+    use crate::policy::MlpGaussianPolicy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ppo_learns_chase_env() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut env = ChaseEnv::new(0.5, 8);
+        let mut policy = MlpGaussianPolicy::new(1, 1, &[16], -0.7, &mut rng);
+        let config = PpoConfig {
+            n_steps: 128,
+            epochs: 4,
+            minibatch_size: 32,
+            learning_rate: 3e-3,
+            ..Default::default()
+        };
+        let mut ppo = Ppo::new(config);
+        let mut log = TrainingLog::default();
+
+        let before = evaluate_policy(&mut env, &policy, 10, 8, &mut rng);
+        ppo.train(&mut env, &mut policy, 6_000, &mut rng, &mut log);
+        let after = evaluate_policy(&mut env, &policy, 10, 8, &mut rng);
+        assert!(
+            after > before,
+            "no improvement: before {before}, after {after}"
+        );
+        // A competent policy keeps the squared error small.
+        assert!(after > -0.8, "final performance too weak: {after}");
+        assert!(!log.episodes.is_empty());
+        assert!(log.total_steps >= 6_000);
+    }
+
+    #[test]
+    fn training_log_helpers() {
+        let mut log = TrainingLog::default();
+        for i in 0..10 {
+            log.episodes.push((i * 10, i as f64));
+        }
+        assert!((log.recent_mean_reward(4) - 7.5).abs() < 1e-12);
+        let curve = log.smoothed_curve(5);
+        assert_eq!(curve.len(), 2);
+        assert!((curve[0].1 - 2.0).abs() < 1e-12);
+        assert_eq!(curve[1].0, 90);
+    }
+
+    #[test]
+    fn log_continues_across_train_calls() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut env = ChaseEnv::new(0.0, 4);
+        let mut policy = MlpGaussianPolicy::new(1, 1, &[4], -0.5, &mut rng);
+        let mut ppo = Ppo::new(PpoConfig {
+            n_steps: 16,
+            minibatch_size: 8,
+            epochs: 1,
+            ..Default::default()
+        });
+        let mut log = TrainingLog::default();
+        ppo.train(&mut env, &mut policy, 32, &mut rng, &mut log);
+        let steps_after_first = log.total_steps;
+        ppo.train(&mut env, &mut policy, 32, &mut rng, &mut log);
+        assert!(log.total_steps >= steps_after_first + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_steps")]
+    fn rejects_zero_steps() {
+        Ppo::new(PpoConfig {
+            n_steps: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn evaluate_policy_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let policy = MlpGaussianPolicy::new(1, 1, &[4], -0.5, &mut rng);
+        let mut env = ChaseEnv::new(0.3, 5);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let a = evaluate_policy(&mut env, &policy, 3, 5, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let b = evaluate_policy(&mut env, &policy, 3, 5, &mut rng_b);
+        assert_eq!(a, b);
+    }
+}

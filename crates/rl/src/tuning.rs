@@ -1,0 +1,168 @@
+//! Hyperparameter search.
+//!
+//! The paper tunes its PPO hyperparameters with OpenTuner (§VIII-C);
+//! this module provides the equivalent facility: a seeded random search
+//! over a [`PpoSearchSpace`], scoring each candidate with a
+//! caller-supplied objective (typically: train briefly, return the
+//! recent mean episode reward).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ppo::PpoConfig;
+
+/// Ranges sampled by [`random_search`]. Log-uniform for the learning
+/// rate, uniform otherwise; categorical choices are sampled from the
+/// listed options.
+#[derive(Debug, Clone)]
+pub struct PpoSearchSpace {
+    /// Log-uniform learning-rate range.
+    pub learning_rate: (f64, f64),
+    /// Discount-factor choices.
+    pub gamma: Vec<f64>,
+    /// Rollout-length choices.
+    pub n_steps: Vec<usize>,
+    /// Minibatch-size choices.
+    pub minibatch_size: Vec<usize>,
+    /// Epoch-count range (inclusive).
+    pub epochs: (usize, usize),
+    /// Clip-range choices.
+    pub clip_range: Vec<f64>,
+    /// Entropy-coefficient choices.
+    pub ent_coef: Vec<f64>,
+}
+
+impl Default for PpoSearchSpace {
+    fn default() -> Self {
+        PpoSearchSpace {
+            learning_rate: (1e-4, 3e-3),
+            gamma: vec![0.2, 0.4, 0.9, 0.99],
+            n_steps: vec![64, 128, 256],
+            minibatch_size: vec![16, 32, 64],
+            epochs: (2, 6),
+            clip_range: vec![0.1, 0.2, 0.3],
+            ent_coef: vec![0.0, 0.001, 0.01],
+        }
+    }
+}
+
+impl PpoSearchSpace {
+    /// Samples one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any choice list is empty or a range is inverted.
+    pub fn sample(&self, rng: &mut StdRng) -> PpoConfig {
+        assert!(
+            self.learning_rate.0 > 0.0 && self.learning_rate.0 <= self.learning_rate.1,
+            "learning-rate range must be positive and ordered"
+        );
+        assert!(
+            !self.gamma.is_empty()
+                && !self.n_steps.is_empty()
+                && !self.minibatch_size.is_empty()
+                && !self.clip_range.is_empty()
+                && !self.ent_coef.is_empty(),
+            "choice lists must be non-empty"
+        );
+        assert!(self.epochs.0 >= 1 && self.epochs.0 <= self.epochs.1);
+        let (lo, hi) = self.learning_rate;
+        let lr = (rng.gen_range(lo.ln()..=hi.ln())).exp();
+        PpoConfig {
+            learning_rate: lr,
+            gamma: self.gamma[rng.gen_range(0..self.gamma.len())],
+            n_steps: self.n_steps[rng.gen_range(0..self.n_steps.len())],
+            minibatch_size: self.minibatch_size[rng.gen_range(0..self.minibatch_size.len())],
+            epochs: rng.gen_range(self.epochs.0..=self.epochs.1),
+            clip_range: self.clip_range[rng.gen_range(0..self.clip_range.len())],
+            ent_coef: self.ent_coef[rng.gen_range(0..self.ent_coef.len())],
+            ..Default::default()
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The sampled configuration.
+    pub config: PpoConfig,
+    /// Its objective score (higher is better).
+    pub score: f64,
+}
+
+/// Seeded random search: samples `trials` configurations, scores each
+/// with `objective` (higher is better) and returns all trials sorted
+/// best-first.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn random_search(
+    space: &PpoSearchSpace,
+    trials: usize,
+    seed: u64,
+    mut objective: impl FnMut(&PpoConfig) -> f64,
+) -> Vec<Trial> {
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut results: Vec<Trial> = (0..trials)
+        .map(|_| {
+            let config = space.sample(&mut rng);
+            let score = objective(&config);
+            Trial { config, score }
+        })
+        .collect();
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_respects_space() {
+        let space = PpoSearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            assert!(c.learning_rate >= 1e-4 && c.learning_rate <= 3e-3);
+            assert!(space.gamma.contains(&c.gamma));
+            assert!(space.n_steps.contains(&c.n_steps));
+            assert!(space.minibatch_size.contains(&c.minibatch_size));
+            assert!((2..=6).contains(&c.epochs));
+        }
+    }
+
+    #[test]
+    fn search_finds_the_planted_optimum() {
+        // Objective that prefers low learning rates and gamma 0.99.
+        let space = PpoSearchSpace::default();
+        let trials = random_search(&space, 40, 7, |c| {
+            -(c.learning_rate.ln() - (1e-4f64).ln()).abs() - (c.gamma - 0.99).abs()
+        });
+        assert_eq!(trials.len(), 40);
+        let best = &trials[0];
+        assert!(best.score >= trials.last().unwrap().score);
+        assert_eq!(best.config.gamma, 0.99);
+        assert!(best.config.learning_rate < 5e-4);
+    }
+
+    #[test]
+    fn search_is_deterministic_under_seed() {
+        let space = PpoSearchSpace::default();
+        let a = random_search(&space, 5, 9, |c| c.learning_rate);
+        let b = random_search(&space, 5, 9, |c| c.learning_rate);
+        assert_eq!(a[0].config.learning_rate, b[0].config.learning_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn rejects_zero_trials() {
+        random_search(&PpoSearchSpace::default(), 0, 0, |_| 0.0);
+    }
+}

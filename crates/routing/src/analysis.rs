@@ -1,0 +1,163 @@
+//! Routing analysis: path-length and stretch metrics.
+//!
+//! The paper notes that routing loops (and, more generally, long
+//! detours) "increase latency (this is generally unacceptable ...)"
+//! (§VI). These metrics quantify the latency cost a load-balancing
+//! routing pays: the traffic-weighted average path length, and its
+//! ratio to the shortest possible ("stretch").
+
+use gddr_net::algo::bfs_hops;
+use gddr_net::{Graph, NodeId};
+use gddr_traffic::DemandMatrix;
+
+use crate::routing::Routing;
+use crate::sim::{max_link_utilisation, SimError};
+
+/// Traffic-weighted average hop count of a routing under a demand
+/// matrix: every unit of demand contributes the number of edges it
+/// traverses (split traffic contributes fractionally).
+///
+/// # Errors
+///
+/// Propagates flow-simulation failures.
+///
+/// # Panics
+///
+/// Panics if the demand matrix is all-zero (no traffic to average) or
+/// dimensions disagree.
+pub fn average_path_length(
+    graph: &Graph,
+    routing: &Routing,
+    dm: &DemandMatrix,
+) -> Result<f64, SimError> {
+    let total = dm.total();
+    assert!(total > 0.0, "no demand to measure");
+    let report = max_link_utilisation(graph, routing, dm)?;
+    // Each unit of flow on an edge is one (fractional) hop.
+    Ok(report.loads.iter().sum::<f64>() / total)
+}
+
+/// The demand-weighted shortest possible average hop count (BFS hops).
+///
+/// # Panics
+///
+/// Panics if some demanded pair is unreachable or there is no demand.
+pub fn shortest_average_path_length(graph: &Graph, dm: &DemandMatrix) -> f64 {
+    let total = dm.total();
+    assert!(total > 0.0, "no demand to measure");
+    let mut weighted = 0.0;
+    for s in 0..graph.num_nodes() {
+        if dm.out_sum(s) == 0.0 {
+            continue;
+        }
+        let hops = bfs_hops(graph, NodeId(s));
+        for t in 0..graph.num_nodes() {
+            let d = dm.get(s, t);
+            if d > 0.0 {
+                assert!(hops[t] != usize::MAX, "demanded pair ({s},{t}) unreachable");
+                weighted += d * hops[t] as f64;
+            }
+        }
+    }
+    weighted / total
+}
+
+/// Path stretch: [`average_path_length`] divided by
+/// [`shortest_average_path_length`]. 1.0 means every packet takes a
+/// hop-shortest path; load-balancing routings trade stretch for lower
+/// peak utilisation.
+///
+/// # Errors
+///
+/// Propagates flow-simulation failures.
+pub fn path_stretch(graph: &Graph, routing: &Routing, dm: &DemandMatrix) -> Result<f64, SimError> {
+    Ok(average_path_length(graph, routing, dm)? / shortest_average_path_length(graph, dm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::shortest_path_routing;
+    use crate::softmin::{softmin_routing, SoftminConfig};
+    use gddr_net::topology::zoo;
+    use gddr_traffic::gen::{bimodal, BimodalParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shortest_path_routing_has_unit_stretch() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(0);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let w = vec![1.0; g.num_edges()];
+        let r = shortest_path_routing(&g, &w);
+        let stretch = path_stretch(&g, &r, &dm).unwrap();
+        assert!(
+            (stretch - 1.0).abs() < 1e-9,
+            "unit-weight SP routing must be hop-shortest, got {stretch}"
+        );
+    }
+
+    #[test]
+    fn softmin_pays_bounded_stretch() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(1);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let w = vec![1.0; g.num_edges()];
+        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let stretch = path_stretch(&g, &r, &dm).unwrap();
+        assert!(stretch >= 1.0 - 1e-9, "stretch cannot be below 1");
+        assert!(stretch < 2.0, "softmin detours are bounded, got {stretch}");
+    }
+
+    #[test]
+    fn higher_gamma_reduces_stretch() {
+        // Concentrating on shorter alternatives must not lengthen paths.
+        let g = zoo::nsfnet();
+        let mut rng = StdRng::seed_from_u64(2);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let w = vec![1.0; g.num_edges()];
+        let loose = softmin_routing(
+            &g,
+            &w,
+            &SoftminConfig {
+                gamma: 0.5,
+                ..Default::default()
+            },
+        );
+        let tight = softmin_routing(
+            &g,
+            &w,
+            &SoftminConfig {
+                gamma: 8.0,
+                ..Default::default()
+            },
+        );
+        let s_loose = path_stretch(&g, &loose, &dm).unwrap();
+        let s_tight = path_stretch(&g, &tight, &dm).unwrap();
+        assert!(
+            s_tight <= s_loose + 1e-9,
+            "gamma 8 stretch {s_tight} vs gamma 0.5 stretch {s_loose}"
+        );
+    }
+
+    #[test]
+    fn average_length_on_single_flow() {
+        // Two-hop single path: average length is exactly 2.
+        let g = gddr_net::topology::from_links("path3", 3, &[(0, 1), (1, 2)], 10.0);
+        let w = vec![1.0; g.num_edges()];
+        let r = shortest_path_routing(&g, &w);
+        let mut dm = DemandMatrix::zeros(3);
+        dm.set(0, 2, 4.0);
+        assert!((average_path_length(&g, &r, &dm).unwrap() - 2.0).abs() < 1e-12);
+        assert!((shortest_average_path_length(&g, &dm) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no demand")]
+    fn rejects_empty_demand() {
+        let g = zoo::cesnet();
+        let dm = DemandMatrix::zeros(g.num_nodes());
+        shortest_average_path_length(&g, &dm);
+    }
+}

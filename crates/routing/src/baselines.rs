@@ -1,0 +1,204 @@
+//! Classical routing baselines.
+//!
+//! - [`shortest_path_routing`]: single shortest path per flow, the
+//!   baseline shown as the dotted line in the paper's Figs. 6 and 8,
+//! - [`ecmp_routing`]: equal-cost multipath splitting (OSPF-style),
+//! - [`inverse_capacity_routing`]: ECMP over inverse-capacity weights,
+//!   a traffic-oblivious heuristic in the spirit of the oblivious
+//!   schemes of §X-A.
+
+use gddr_net::algo::dijkstra_to_sink;
+use gddr_net::{Graph, NodeId};
+
+use crate::routing::Routing;
+
+/// Single shortest-path routing over the given edge weights: each node
+/// forwards everything along its (deterministically tie-broken)
+/// shortest out-edge towards the destination.
+///
+/// # Panics
+///
+/// Panics if `weights` does not cover every edge, contains
+/// non-positive values, or the graph is not strongly connected.
+pub fn shortest_path_routing(graph: &Graph, weights: &[f64]) -> Routing {
+    check(graph, weights);
+    let n = graph.num_nodes();
+    let mut routing = Routing::new(n, graph.num_edges());
+    for t in 0..n {
+        let d = dijkstra_to_sink(graph, NodeId(t), weights).dist;
+        let mut ratios = vec![0.0; graph.num_edges()];
+        for v in graph.nodes() {
+            if v.0 == t {
+                continue;
+            }
+            // Pick the out-edge minimising w(e) + d(head), lowest edge
+            // id on ties.
+            let best = graph
+                .out_edges(v)
+                .iter()
+                .copied()
+                .filter(|&e| d[graph.dst(e).0].is_finite())
+                .min_by(|&a, &b| {
+                    let sa = weights[a.0] + d[graph.dst(a).0];
+                    let sb = weights[b.0] + d[graph.dst(b).0];
+                    sa.partial_cmp(&sb).expect("finite scores").then(a.cmp(&b))
+                })
+                .expect("strongly connected graph has an out-path");
+            ratios[best.0] = 1.0;
+        }
+        let s0 = usize::from(t == 0);
+        routing.set_flow(s0, t, ratios);
+        routing.replicate_destination(s0, t);
+    }
+    routing
+}
+
+/// Equal-cost multipath routing: at each node, traffic splits equally
+/// over all out-edges that lie on *some* shortest path to the
+/// destination (`w(e) + d(head) = d(node)` within tolerance).
+///
+/// # Panics
+///
+/// Same conditions as [`shortest_path_routing`].
+pub fn ecmp_routing(graph: &Graph, weights: &[f64]) -> Routing {
+    check(graph, weights);
+    let n = graph.num_nodes();
+    let mut routing = Routing::new(n, graph.num_edges());
+    for t in 0..n {
+        let d = dijkstra_to_sink(graph, NodeId(t), weights).dist;
+        let mut ratios = vec![0.0; graph.num_edges()];
+        for v in graph.nodes() {
+            if v.0 == t {
+                continue;
+            }
+            let on_sp: Vec<_> = graph
+                .out_edges(v)
+                .iter()
+                .copied()
+                .filter(|&e| {
+                    let head = graph.dst(e).0;
+                    d[head].is_finite() && (weights[e.0] + d[head] - d[v.0]).abs() < 1e-9
+                })
+                .collect();
+            assert!(
+                !on_sp.is_empty(),
+                "strongly connected graph has a shortest-path edge"
+            );
+            let share = 1.0 / on_sp.len() as f64;
+            for e in on_sp {
+                ratios[e.0] = share;
+            }
+        }
+        let s0 = usize::from(t == 0);
+        routing.set_flow(s0, t, ratios);
+        routing.replicate_destination(s0, t);
+    }
+    routing
+}
+
+/// Traffic-oblivious ECMP over inverse-capacity weights: high-capacity
+/// links look short, spreading load towards them regardless of demand.
+pub fn inverse_capacity_routing(graph: &Graph) -> Routing {
+    let weights: Vec<f64> = graph
+        .edges()
+        .map(|e| 1.0 / graph.capacity(e).max(f64::MIN_POSITIVE))
+        .collect();
+    ecmp_routing(graph, &weights)
+}
+
+fn check(graph: &Graph, weights: &[f64]) {
+    assert_eq!(
+        weights.len(),
+        graph.num_edges(),
+        "one weight per edge required"
+    );
+    assert!(
+        weights.iter().all(|&w| w.is_finite() && w > 0.0),
+        "weights must be positive and finite"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::max_link_utilisation;
+    use gddr_net::topology::{from_links, zoo};
+    use gddr_traffic::gen::{bimodal, BimodalParams};
+    use gddr_traffic::DemandMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shortest_path_is_valid_and_single_path() {
+        let g = zoo::abilene();
+        let w = vec![1.0; g.num_edges()];
+        let r = shortest_path_routing(&g, &w);
+        assert!(r.validate(&g).is_empty());
+        // Every flow's ratios are 0/1 only.
+        for (_, ratios) in r.iter() {
+            assert!(ratios.iter().all(|&x| x == 0.0 || x == 1.0));
+        }
+    }
+
+    #[test]
+    fn ecmp_splits_equal_paths() {
+        let g = from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0);
+        let w = vec![1.0; g.num_edges()];
+        let r = ecmp_routing(&g, &w);
+        let ratios = r.flow(0, 3).unwrap();
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e02 = g.edge_between(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(ratios[e01.0], 0.5);
+        assert_eq!(ratios[e02.0], 0.5);
+    }
+
+    #[test]
+    fn ecmp_beats_or_ties_single_path_on_diamond() {
+        let g = from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0);
+        let w = vec![1.0; g.num_edges()];
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(0, 3, 10.0);
+        let sp = max_link_utilisation(&g, &shortest_path_routing(&g, &w), &dm)
+            .unwrap()
+            .u_max;
+        let ecmp = max_link_utilisation(&g, &ecmp_routing(&g, &w), &dm)
+            .unwrap()
+            .u_max;
+        assert!(ecmp <= sp);
+        assert!((ecmp - 0.5).abs() < 1e-12);
+        assert!((sp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baselines_route_all_traffic_on_zoo_graphs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for g in [zoo::cesnet(), zoo::abilene(), zoo::nsfnet()] {
+            let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+            let w = vec![1.0; g.num_edges()];
+            for r in [
+                shortest_path_routing(&g, &w),
+                ecmp_routing(&g, &w),
+                inverse_capacity_routing(&g),
+            ] {
+                let rep = max_link_utilisation(&g, &r, &dm).unwrap();
+                assert!(rep.u_max > 0.0, "{}", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_capacity_prefers_fat_links() {
+        // Two parallel 2-hop paths; the one via node 1 has 10x capacity.
+        let mut g = gddr_net::Graph::new("fat");
+        let n: Vec<_> = (0..4).map(|i| g.add_node(format!("n{i}"))).collect();
+        g.add_link(n[0], n[1], 100.0).unwrap();
+        g.add_link(n[1], n[3], 100.0).unwrap();
+        g.add_link(n[0], n[2], 10.0).unwrap();
+        g.add_link(n[2], n[3], 10.0).unwrap();
+        let r = inverse_capacity_routing(&g);
+        let ratios = r.flow(0, 3).unwrap();
+        let fat = g.edge_between(n[0], n[1]).unwrap();
+        let thin = g.edge_between(n[0], n[2]).unwrap();
+        assert!(ratios[fat.0] > ratios[thin.0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # gddr-routing
+//!
+//! The routing layer of the GDDR reproduction:
+//!
+//! - [`routing`]: the splitting-ratio routing representation of the
+//!   paper's §IV-A (`R_{v,(s,t)}: Γ(v) → [0,1]`) and its validity
+//!   constraints,
+//! - [`prune`]: conversion of a weighted graph into a per-flow DAG that
+//!   retains multipath (paper Alg. 3 and the distance-filter variant
+//!   used as the default — see DESIGN.md),
+//! - [`softmin`]: the modified softmin routing translation (paper
+//!   Alg. 2 / Eq. 3) mapping learned edge weights to a full routing
+//!   strategy,
+//! - [`sim`]: flow propagation computing per-link loads, utilisations
+//!   and `U_max` for a routing and demand matrix (Eq. 1),
+//! - [`baselines`]: shortest-path and ECMP routing, plus an
+//!   inverse-capacity oblivious heuristic,
+//! - [`analysis`]: path-length and stretch metrics quantifying the
+//!   latency cost of load-balanced routings (§VI discussion).
+//!
+//! # Example
+//!
+//! ```
+//! use gddr_net::topology::zoo;
+//! use gddr_routing::{softmin::{softmin_routing, SoftminConfig}, sim::max_link_utilisation};
+//! use gddr_traffic::gen::{bimodal, BimodalParams};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), gddr_routing::sim::SimError> {
+//! let g = zoo::abilene();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+//! let weights = vec![1.0; g.num_edges()];
+//! let routing = softmin_routing(&g, &weights, &SoftminConfig::default());
+//! let report = max_link_utilisation(&g, &routing, &dm)?;
+//! assert!(report.u_max > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod baselines;
+pub mod prune;
+pub mod routing;
+pub mod sim;
+pub mod softmin;
+
+pub use routing::Routing;
+pub use sim::UtilisationReport;

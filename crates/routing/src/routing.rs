@@ -1,0 +1,396 @@
+//! The splitting-ratio routing representation.
+//!
+//! Paper §IV-A: a routing specifies, for each flow `(s, t)` and each
+//! vertex `v`, the proportion of the flow passing through `v` that is
+//! forwarded along each out-edge. Two constraints must hold:
+//!
+//! 1. no traffic is lost: the out ratios at every `v ≠ t` sum to 1
+//!    (for vertices that can carry the flow),
+//! 2. all traffic is absorbed at the destination: out ratios at `t`
+//!    are 0.
+
+use std::collections::HashMap;
+
+use gddr_net::{EdgeId, Graph, NodeId};
+
+/// Splitting ratios for every flow on a graph.
+///
+/// `ratios(s, t)[e]` is the fraction of flow `(s, t)` arriving at
+/// `src(e)` that is forwarded along edge `e`. Flows that were never set
+/// have no entry (useful when a demand matrix is sparse).
+#[derive(Debug, Clone, Default)]
+pub struct Routing {
+    num_nodes: usize,
+    num_edges: usize,
+    flows: HashMap<(usize, usize), Vec<f64>>,
+}
+
+/// Violations reported by [`Routing::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingViolation {
+    /// A ratio was negative or non-finite.
+    InvalidRatio { flow: (usize, usize), edge: EdgeId },
+    /// Out ratios at a vertex sum to something other than 0 or 1.
+    UnbalancedNode {
+        flow: (usize, usize),
+        node: NodeId,
+        sum: f64,
+    },
+    /// The destination forwards traffic instead of absorbing it.
+    LeakyDestination { flow: (usize, usize) },
+}
+
+impl std::fmt::Display for RoutingViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingViolation::InvalidRatio { flow, edge } => {
+                write!(f, "flow {flow:?}: invalid ratio on edge {edge}")
+            }
+            RoutingViolation::UnbalancedNode { flow, node, sum } => {
+                write!(f, "flow {flow:?}: out ratios at {node} sum to {sum}")
+            }
+            RoutingViolation::LeakyDestination { flow } => {
+                write!(f, "flow {flow:?}: destination forwards traffic")
+            }
+        }
+    }
+}
+
+impl Routing {
+    /// An empty routing for a graph of the given dimensions.
+    pub fn new(num_nodes: usize, num_edges: usize) -> Self {
+        Routing {
+            num_nodes,
+            num_edges,
+            flows: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes this routing is defined over.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges this routing is defined over.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of flows with ratios set.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Sets the per-edge splitting ratios for flow `(s, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the edge count or
+    /// `s == t`.
+    pub fn set_flow(&mut self, s: usize, t: usize, ratios: Vec<f64>) {
+        assert_eq!(ratios.len(), self.num_edges, "one ratio per edge");
+        assert_ne!(s, t, "a flow needs distinct endpoints");
+        self.flows.insert((s, t), ratios);
+    }
+
+    /// The ratios for flow `(s, t)`, if set.
+    pub fn flow(&self, s: usize, t: usize) -> Option<&[f64]> {
+        self.flows.get(&(s, t)).map(Vec::as_slice)
+    }
+
+    /// Iterates over `((s, t), ratios)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), &[f64])> {
+        self.flows.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Copies the ratios of destination `t` from flow `(s, t)` to every
+    /// other source — used by destination-based routings (softmin with
+    /// the distance DAG, ECMP) where ratios do not depend on the source.
+    pub fn replicate_destination(&mut self, from_source: usize, t: usize) {
+        if let Some(r) = self.flows.get(&(from_source, t)).cloned() {
+            for s in 0..self.num_nodes {
+                if s != t && s != from_source {
+                    self.flows.insert((s, t), r.clone());
+                }
+            }
+        }
+    }
+
+    /// Builds a destination-based routing from per-destination edge
+    /// flows (e.g. an LP solution: `flows[t][e]` is the volume destined
+    /// to `t` on edge `e`).
+    ///
+    /// Flow cycles — which an LP may leave in degenerate solutions and
+    /// which would trap simulated traffic — are cancelled first
+    /// (subtracting the minimum flow around each cycle leaves net flows
+    /// unchanged). Splitting ratios at each node are the edge's share
+    /// of the node's outgoing flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` does not have one entry per node or an inner
+    /// vector does not cover every edge.
+    pub fn from_destination_flows(graph: &Graph, flows: &[Vec<f64>]) -> Routing {
+        let n = graph.num_nodes();
+        let m = graph.num_edges();
+        assert_eq!(flows.len(), n, "one flow vector per destination");
+        let mut routing = Routing::new(n, m);
+        for (t, per_dest) in flows.iter().enumerate() {
+            assert_eq!(per_dest.len(), m, "one flow per edge");
+            let mut flow = per_dest.clone();
+            cancel_cycles(graph, &mut flow);
+            let mut ratios = vec![0.0; m];
+            for v in graph.nodes() {
+                if v.0 == t {
+                    continue;
+                }
+                let out: f64 = graph.out_edges(v).iter().map(|&e| flow[e.0]).sum();
+                if out <= 1e-12 {
+                    continue;
+                }
+                for &e in graph.out_edges(v) {
+                    ratios[e.0] = flow[e.0] / out;
+                }
+            }
+            let s0 = usize::from(t == 0);
+            routing.set_flow(s0, t, ratios);
+            routing.replicate_destination(s0, t);
+        }
+        routing
+    }
+
+    /// Checks the §IV-A validity constraints against `graph`, returning
+    /// every violation found.
+    ///
+    /// A node's out ratios may sum to 0 (the node never carries the
+    /// flow) or 1 (it forwards everything); anything else is reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph dimensions disagree with the routing.
+    pub fn validate(&self, graph: &Graph) -> Vec<RoutingViolation> {
+        assert_eq!(graph.num_nodes(), self.num_nodes);
+        assert_eq!(graph.num_edges(), self.num_edges);
+        let mut violations = Vec::new();
+        for (&(s, t), ratios) in &self.flows {
+            for e in graph.edges() {
+                let r = ratios[e.0];
+                if !r.is_finite() || !(0.0..=1.0 + 1e-9).contains(&r) {
+                    violations.push(RoutingViolation::InvalidRatio {
+                        flow: (s, t),
+                        edge: e,
+                    });
+                }
+            }
+            for v in graph.nodes() {
+                let sum: f64 = graph.out_edges(v).iter().map(|&e| ratios[e.0]).sum();
+                if v.0 == t {
+                    if sum > 1e-9 {
+                        violations.push(RoutingViolation::LeakyDestination { flow: (s, t) });
+                    }
+                } else if sum > 1e-9 && (sum - 1.0).abs() > 1e-6 {
+                    violations.push(RoutingViolation::UnbalancedNode {
+                        flow: (s, t),
+                        node: v,
+                        sum,
+                    });
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// Removes cycles from a positive-flow subgraph by cancelling the
+/// minimum flow around each directed cycle found.
+fn cancel_cycles(graph: &Graph, flow: &mut [f64]) {
+    const EPS: f64 = 1e-12;
+    loop {
+        // DFS for a cycle in the positive-flow subgraph.
+        let n = graph.num_nodes();
+        let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+        let mut via: Vec<Option<EdgeId>> = vec![None; n];
+        let mut cycle: Option<Vec<EdgeId>> = None;
+
+        'outer: for start in graph.nodes() {
+            if colour[start.0] != 0 {
+                continue;
+            }
+            // Iterative DFS with an explicit edge-index stack.
+            let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+            colour[start.0] = 1;
+            while let Some(&(v, idx)) = stack.last() {
+                let outs = graph.out_edges(v);
+                if idx >= outs.len() {
+                    colour[v.0] = 2;
+                    stack.pop();
+                    continue;
+                }
+                stack.last_mut().expect("stack non-empty").1 += 1;
+                let e = outs[idx];
+                if flow[e.0] <= EPS {
+                    continue;
+                }
+                let u = graph.dst(e);
+                match colour[u.0] {
+                    0 => {
+                        via[u.0] = Some(e);
+                        colour[u.0] = 1;
+                        stack.push((u, 0));
+                    }
+                    1 => {
+                        // Found a cycle: walk back from v to u.
+                        let mut edges = vec![e];
+                        let mut x = v;
+                        while x != u {
+                            let pe = via[x.0].expect("grey nodes have parents");
+                            edges.push(pe);
+                            x = graph.src(pe);
+                        }
+                        cycle = Some(edges);
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        match cycle {
+            Some(edges) => {
+                let min = edges
+                    .iter()
+                    .map(|e| flow[e.0])
+                    .fold(f64::INFINITY, f64::min);
+                for e in edges {
+                    flow[e.0] = (flow[e.0] - min).max(0.0);
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_net::topology::from_links;
+
+    fn diamond() -> Graph {
+        from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0)
+    }
+
+    #[test]
+    fn set_and_get_flow() {
+        let g = diamond();
+        let mut r = Routing::new(g.num_nodes(), g.num_edges());
+        let mut ratios = vec![0.0; g.num_edges()];
+        // Send everything 0 -> 1 -> 3.
+        ratios[g.edge_between(NodeId(0), NodeId(1)).unwrap().0] = 1.0;
+        ratios[g.edge_between(NodeId(1), NodeId(3)).unwrap().0] = 1.0;
+        r.set_flow(0, 3, ratios);
+        assert_eq!(r.num_flows(), 1);
+        assert!(r.flow(0, 3).is_some());
+        assert!(r.flow(3, 0).is_none());
+        assert!(r.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn validate_catches_unbalanced_node() {
+        let g = diamond();
+        let mut r = Routing::new(g.num_nodes(), g.num_edges());
+        let mut ratios = vec![0.0; g.num_edges()];
+        ratios[g.edge_between(NodeId(0), NodeId(1)).unwrap().0] = 0.6; // should be 1.0
+        r.set_flow(0, 3, ratios);
+        let v = r.validate(&g);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, RoutingViolation::UnbalancedNode { .. })));
+    }
+
+    #[test]
+    fn validate_catches_leaky_destination() {
+        let g = diamond();
+        let mut r = Routing::new(g.num_nodes(), g.num_edges());
+        let mut ratios = vec![0.0; g.num_edges()];
+        ratios[g.edge_between(NodeId(3), NodeId(1)).unwrap().0] = 1.0;
+        r.set_flow(0, 3, ratios);
+        let v = r.validate(&g);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, RoutingViolation::LeakyDestination { .. })));
+    }
+
+    #[test]
+    fn validate_catches_negative_ratio() {
+        let g = diamond();
+        let mut r = Routing::new(g.num_nodes(), g.num_edges());
+        let mut ratios = vec![0.0; g.num_edges()];
+        ratios[0] = -0.5;
+        r.set_flow(0, 3, ratios);
+        let v = r.validate(&g);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, RoutingViolation::InvalidRatio { .. })));
+    }
+
+    #[test]
+    fn replicate_destination_copies_ratios() {
+        let g = diamond();
+        let mut r = Routing::new(g.num_nodes(), g.num_edges());
+        let mut ratios = vec![0.0; g.num_edges()];
+        ratios[g.edge_between(NodeId(0), NodeId(1)).unwrap().0] = 1.0;
+        ratios[g.edge_between(NodeId(1), NodeId(3)).unwrap().0] = 1.0;
+        r.set_flow(0, 3, ratios.clone());
+        r.replicate_destination(0, 3);
+        assert_eq!(r.flow(1, 3).unwrap(), ratios.as_slice());
+        assert_eq!(r.flow(2, 3).unwrap(), ratios.as_slice());
+        assert_eq!(r.num_flows(), 3);
+    }
+
+    #[test]
+    fn from_destination_flows_builds_valid_routing() {
+        let g = diamond();
+        // Destination 3: 6 units via node 1, 4 units via node 2.
+        let mut flows = vec![vec![0.0; g.num_edges()]; 4];
+        let f = &mut flows[3];
+        f[g.edge_between(NodeId(0), NodeId(1)).unwrap().0] = 6.0;
+        f[g.edge_between(NodeId(1), NodeId(3)).unwrap().0] = 6.0;
+        f[g.edge_between(NodeId(0), NodeId(2)).unwrap().0] = 4.0;
+        f[g.edge_between(NodeId(2), NodeId(3)).unwrap().0] = 4.0;
+        let r = Routing::from_destination_flows(&g, &flows);
+        assert!(r.validate(&g).is_empty());
+        let ratios = r.flow(0, 3).unwrap();
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        assert!((ratios[e01.0] - 0.6).abs() < 1e-12);
+        // Destination ratios are shared by every source.
+        assert_eq!(r.flow(2, 3).unwrap(), ratios);
+    }
+
+    #[test]
+    fn from_destination_flows_cancels_cycles() {
+        // Path 0 -> 1 -> 3 plus a spurious 1 <-> 2 circulation of 5.
+        let g = from_links("cyc", 4, &[(0, 1), (1, 3), (1, 2)], 10.0);
+        let mut flows = vec![vec![0.0; g.num_edges()]; 4];
+        let f = &mut flows[3];
+        f[g.edge_between(NodeId(0), NodeId(1)).unwrap().0] = 8.0;
+        f[g.edge_between(NodeId(1), NodeId(3)).unwrap().0] = 8.0;
+        f[g.edge_between(NodeId(1), NodeId(2)).unwrap().0] = 5.0;
+        f[g.edge_between(NodeId(2), NodeId(1)).unwrap().0] = 5.0;
+        let r = Routing::from_destination_flows(&g, &flows);
+        let ratios = r.flow(0, 3).unwrap();
+        // The circulation must be gone: node 1 forwards everything to 3.
+        let e13 = g.edge_between(NodeId(1), NodeId(3)).unwrap();
+        let e12 = g.edge_between(NodeId(1), NodeId(2)).unwrap();
+        assert!((ratios[e13.0] - 1.0).abs() < 1e-12);
+        assert_eq!(ratios[e12.0], 0.0);
+        assert!(r.validate(&g).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn rejects_self_flow() {
+        let g = diamond();
+        let mut r = Routing::new(g.num_nodes(), g.num_edges());
+        r.set_flow(1, 1, vec![0.0; g.num_edges()]);
+    }
+}

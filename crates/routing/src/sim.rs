@@ -1,0 +1,366 @@
+//! Flow propagation: computing link loads and the maximum link
+//! utilisation (paper Eq. 1) for a routing and a demand matrix.
+//!
+//! Each flow's demand is injected at its source and pushed through the
+//! splitting ratios. Softmin routings are DAGs per flow, so a
+//! topological sweep suffices; for arbitrary routings a damped
+//! fixed-point iteration is used as a fallback and cyclic routings that
+//! trap flow are reported as errors.
+
+use std::fmt;
+
+use gddr_net::algo::topological_order;
+use gddr_net::{EdgeId, Graph, NodeId};
+use gddr_traffic::DemandMatrix;
+
+use crate::routing::Routing;
+
+/// Per-edge loads and utilisations for one demand matrix.
+#[derive(Debug, Clone)]
+pub struct UtilisationReport {
+    /// Traffic volume per edge.
+    pub loads: Vec<f64>,
+    /// `loads[e] / capacity[e]`.
+    pub utilisations: Vec<f64>,
+    /// The maximum utilisation `U_max` (paper Eq. 1).
+    pub u_max: f64,
+}
+
+impl UtilisationReport {
+    /// Mean link utilisation — an alternative utility function the
+    /// paper's further-work section (§IX-A) suggests exploring.
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.utilisations.is_empty() {
+            0.0
+        } else {
+            self.utilisations.iter().sum::<f64>() / self.utilisations.len() as f64
+        }
+    }
+
+    /// The `q`-th utilisation percentile (`q` in `[0, 1]`), nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or there are no edges.
+    pub fn percentile_utilisation(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
+        assert!(!self.utilisations.is_empty(), "no edges to rank");
+        let mut sorted = self.utilisations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("utilisations are finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Number of links whose utilisation exceeds 1.0 (over-subscribed
+    /// links experiencing loss).
+    pub fn congested_links(&self) -> usize {
+        self.utilisations.iter().filter(|&&u| u > 1.0).count()
+    }
+}
+
+/// Flow-simulation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A commodity has demand but no splitting ratios in the routing.
+    MissingFlow { src: usize, dst: usize },
+    /// Traffic did not fully reach the destination (lost at a node with
+    /// no outgoing ratios, or trapped in a cycle).
+    FlowLost {
+        src: usize,
+        dst: usize,
+        delivered_fraction: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingFlow { src, dst } => {
+                write!(f, "no routing for demanded flow ({src} -> {dst})")
+            }
+            SimError::FlowLost {
+                src,
+                dst,
+                delivered_fraction,
+            } => write!(
+                f,
+                "flow ({src} -> {dst}) delivered only {:.1}% of its demand",
+                delivered_fraction * 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+const EPS: f64 = 1e-9;
+/// Tolerated relative loss before a flow is reported as lost.
+const LOSS_TOL: f64 = 1e-6;
+
+/// Propagates one unit-demand flow and adds its loads into `loads`.
+/// Returns the fraction delivered to the destination.
+fn propagate_flow(
+    graph: &Graph,
+    ratios: &[f64],
+    s: usize,
+    t: usize,
+    demand: f64,
+    loads: &mut [f64],
+) -> f64 {
+    let n = graph.num_nodes();
+    let mask: Vec<bool> = ratios.iter().map(|&r| r > EPS).collect();
+    let mut inflow = vec![0.0; n];
+    inflow[s] = demand;
+    if let Some(order) = topological_order(graph, &mask) {
+        for v in order {
+            let amount = inflow[v.0];
+            if amount <= EPS || v.0 == t {
+                continue;
+            }
+            for &e in graph.out_edges(v) {
+                let r = ratios[e.0];
+                if r > EPS {
+                    let pushed = amount * r;
+                    loads[e.0] += pushed;
+                    inflow[graph.dst(e).0] += pushed;
+                }
+            }
+        }
+        inflow[t] / demand
+    } else {
+        // Cyclic routing: fixed-point iteration on the flow equations.
+        // x = b + Tᵀx converges iff every cycle leaks; otherwise we
+        // report the delivered fraction after the iteration cap.
+        let mut arriving = vec![0.0; n];
+        arriving[s] = demand;
+        let mut delivered = 0.0;
+        let mut edge_loads = vec![0.0; graph.num_edges()];
+        for _ in 0..200 {
+            let mut next = vec![0.0; n];
+            let mut moved = 0.0;
+            for (v, &amount) in arriving.iter().enumerate() {
+                if amount <= EPS {
+                    continue;
+                }
+                if v == t {
+                    delivered += amount;
+                    continue;
+                }
+                for &e in graph.out_edges(NodeId(v)) {
+                    let r = ratios[e.0];
+                    if r > EPS {
+                        let pushed = amount * r;
+                        edge_loads[e.0] += pushed;
+                        next[graph.dst(e).0] += pushed;
+                        moved += pushed;
+                    }
+                }
+            }
+            arriving = next;
+            if moved <= demand * 1e-9 {
+                break;
+            }
+        }
+        for (l, el) in loads.iter_mut().zip(&edge_loads) {
+            *l += el;
+        }
+        delivered / demand
+    }
+}
+
+/// Computes per-edge loads, utilisations and `U_max` for `routing`
+/// under `dm`.
+///
+/// # Errors
+///
+/// Returns [`SimError::MissingFlow`] if a demanded commodity has no
+/// ratios and [`SimError::FlowLost`] if more than a fraction `1e-6` of
+/// any flow fails to reach its destination.
+///
+/// # Panics
+///
+/// Panics if graph, routing and demand-matrix dimensions disagree.
+pub fn max_link_utilisation(
+    graph: &Graph,
+    routing: &Routing,
+    dm: &DemandMatrix,
+) -> Result<UtilisationReport, SimError> {
+    assert_eq!(graph.num_nodes(), dm.num_nodes());
+    assert_eq!(graph.num_nodes(), routing.num_nodes());
+    assert_eq!(graph.num_edges(), routing.num_edges());
+    let mut loads = vec![0.0; graph.num_edges()];
+    for (s, t, d) in dm.commodities() {
+        let Some(ratios) = routing.flow(s, t) else {
+            return Err(SimError::MissingFlow { src: s, dst: t });
+        };
+        let delivered = propagate_flow(graph, ratios, s, t, d, &mut loads);
+        if (1.0 - delivered).abs() > LOSS_TOL {
+            return Err(SimError::FlowLost {
+                src: s,
+                dst: t,
+                delivered_fraction: delivered,
+            });
+        }
+    }
+    let utilisations: Vec<f64> = loads
+        .iter()
+        .enumerate()
+        .map(|(e, &l)| l / graph.capacity(EdgeId(e)))
+        .collect();
+    let u_max = utilisations.iter().copied().fold(0.0, f64::max);
+    Ok(UtilisationReport {
+        loads,
+        utilisations,
+        u_max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmin::{softmin_routing, SoftminConfig};
+    use gddr_net::topology::{from_links, zoo};
+    use gddr_traffic::gen::{bimodal, BimodalParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn diamond() -> Graph {
+        from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0)
+    }
+
+    #[test]
+    fn single_path_load() {
+        let g = diamond();
+        let mut r = Routing::new(4, g.num_edges());
+        let mut ratios = vec![0.0; g.num_edges()];
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e13 = g.edge_between(NodeId(1), NodeId(3)).unwrap();
+        ratios[e01.0] = 1.0;
+        ratios[e13.0] = 1.0;
+        r.set_flow(0, 3, ratios);
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(0, 3, 6.0);
+        let rep = max_link_utilisation(&g, &r, &dm).unwrap();
+        assert_eq!(rep.loads[e01.0], 6.0);
+        assert_eq!(rep.loads[e13.0], 6.0);
+        assert!((rep.u_max - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_load_halves_utilisation() {
+        let g = diamond();
+        let mut r = Routing::new(4, g.num_edges());
+        let mut ratios = vec![0.0; g.num_edges()];
+        for (a, b) in [(0, 1), (1, 3), (0, 2), (2, 3)] {
+            let e = g.edge_between(NodeId(a), NodeId(b)).unwrap();
+            ratios[e.0] = if a == 0 { 0.5 } else { 1.0 };
+        }
+        r.set_flow(0, 3, ratios);
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(0, 3, 10.0);
+        let rep = max_link_utilisation(&g, &r, &dm).unwrap();
+        assert!((rep.u_max - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_flow_is_reported() {
+        let g = diamond();
+        let r = Routing::new(4, g.num_edges());
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(0, 3, 1.0);
+        assert!(matches!(
+            max_link_utilisation(&g, &r, &dm),
+            Err(SimError::MissingFlow { src: 0, dst: 3 })
+        ));
+    }
+
+    #[test]
+    fn lost_flow_is_reported() {
+        let g = diamond();
+        let mut r = Routing::new(4, g.num_edges());
+        // Node 1 has no outgoing ratio: flow dies there.
+        let mut ratios = vec![0.0; g.num_edges()];
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        ratios[e01.0] = 1.0;
+        r.set_flow(0, 3, ratios);
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(0, 3, 1.0);
+        assert!(matches!(
+            max_link_utilisation(&g, &r, &dm),
+            Err(SimError::FlowLost { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_routing_that_leaks_converges() {
+        // 0 -> 1 with a 2-cycle 1 <-> 2 leaking 50% to 3 each visit.
+        let g = from_links("cyc", 4, &[(0, 1), (1, 2), (2, 1), (1, 3)], 10.0);
+        let mut ratios = vec![0.0; g.num_edges()];
+        ratios[g.edge_between(NodeId(0), NodeId(1)).unwrap().0] = 1.0;
+        ratios[g.edge_between(NodeId(1), NodeId(2)).unwrap().0] = 0.5;
+        ratios[g.edge_between(NodeId(1), NodeId(3)).unwrap().0] = 0.5;
+        ratios[g.edge_between(NodeId(2), NodeId(1)).unwrap().0] = 1.0;
+        let mut r = Routing::new(4, g.num_edges());
+        r.set_flow(0, 3, ratios);
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(0, 3, 8.0);
+        let rep = max_link_utilisation(&g, &r, &dm).unwrap();
+        // The cycle amplifies load on 1->2: total = 8 * (0.5 + 0.25 + ...) = 8.
+        let e12 = g.edge_between(NodeId(1), NodeId(2)).unwrap();
+        assert!(
+            (rep.loads[e12.0] - 8.0).abs() < 1e-3,
+            "{}",
+            rep.loads[e12.0]
+        );
+    }
+
+    #[test]
+    fn softmin_routing_end_to_end_on_abilene() {
+        let g = zoo::abilene();
+        let mut rng = StdRng::seed_from_u64(0);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let w = vec![1.0; g.num_edges()];
+        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let rep = max_link_utilisation(&g, &r, &dm).unwrap();
+        assert!(rep.u_max > 0.0 && rep.u_max.is_finite());
+        // Total load ≥ total demand (each unit traverses ≥ 1 edge).
+        assert!(rep.loads.iter().sum::<f64>() >= dm.total());
+    }
+
+    #[test]
+    fn report_statistics() {
+        let rep = UtilisationReport {
+            loads: vec![1.0, 2.0, 3.0, 12.0],
+            utilisations: vec![0.1, 0.2, 0.3, 1.2],
+            u_max: 1.2,
+        };
+        assert!((rep.mean_utilisation() - 0.45).abs() < 1e-12);
+        assert_eq!(rep.congested_links(), 1);
+        assert_eq!(rep.percentile_utilisation(0.5), 0.2);
+        assert_eq!(rep.percentile_utilisation(1.0), 1.2);
+        assert_eq!(rep.percentile_utilisation(0.0), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_rejects_out_of_range() {
+        let rep = UtilisationReport {
+            loads: vec![1.0],
+            utilisations: vec![0.1],
+            u_max: 0.1,
+        };
+        rep.percentile_utilisation(1.5);
+    }
+
+    #[test]
+    fn utilisation_is_linear_in_demand() {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(1);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let w = vec![1.0; g.num_edges()];
+        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let u1 = max_link_utilisation(&g, &r, &dm).unwrap().u_max;
+        let u3 = max_link_utilisation(&g, &r, &dm.scaled(3.0)).unwrap().u_max;
+        assert!((u3 - 3.0 * u1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,279 @@
+//! Softmin routing: the paper's translation from learned edge weights
+//! to a full routing strategy (Alg. 2, Eq. 3).
+//!
+//! For each flow `(s, t)`:
+//!
+//! 1. prune the weighted graph to a DAG for the flow ([`crate::prune`]),
+//! 2. compute every vertex's distance to the sink on the pruned graph,
+//! 3. at each vertex, score every retained out-edge by
+//!    `w(edge) + d(neighbour)` and convert the scores into splitting
+//!    ratios with the softmin function
+//!    `softmin(x)_i = exp(-γ·x_i) / Σ_j exp(-γ·x_j)`.
+//!
+//! The temperature `γ` controls how aggressively traffic concentrates
+//! on the shortest alternatives (γ → ∞ approaches shortest-path
+//! routing; γ → 0 approaches uniform splitting over the DAG).
+
+use gddr_net::{Graph, NodeId};
+
+use crate::prune::{prune, PruneMode};
+use crate::routing::Routing;
+
+/// Configuration for [`softmin_routing`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftminConfig {
+    /// Softmin temperature γ (paper Eq. 3). The paper's experiments use
+    /// values around 2; the iterative GNN policy learns γ itself.
+    pub gamma: f64,
+    /// DAG-conversion algorithm.
+    pub prune_mode: PruneMode,
+}
+
+impl Default for SoftminConfig {
+    fn default() -> Self {
+        SoftminConfig {
+            gamma: 2.0,
+            prune_mode: PruneMode::DistanceDag,
+        }
+    }
+}
+
+/// The softmin function (paper Eq. 3), numerically stabilised by
+/// shifting by the minimum score.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `gamma` is negative/non-finite.
+pub fn softmin(xs: &[f64], gamma: f64) -> Vec<f64> {
+    assert!(!xs.is_empty(), "softmin of an empty slice");
+    assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be >= 0");
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let exps: Vec<f64> = xs.iter().map(|&x| (-gamma * (x - min)).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Distance of every node to `sink` over the masked subgraph
+/// (Dijkstra on reversed masked edges).
+fn masked_dist_to_sink(graph: &Graph, sink: NodeId, weights: &[f64], mask: &[bool]) -> Vec<f64> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f64, usize);
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.1.cmp(&self.1))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut dist = vec![f64::INFINITY; graph.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[sink.0] = 0.0;
+    heap.push(Entry(0.0, sink.0));
+    while let Some(Entry(d, v)) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for &e in graph.in_edges(NodeId(v)) {
+            if !mask[e.0] {
+                continue;
+            }
+            let u = graph.src(e).0;
+            let nd = d + weights[e.0];
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Entry(nd, u));
+            }
+        }
+    }
+    dist
+}
+
+/// Splitting ratios for a single destination on an already-pruned DAG.
+fn destination_ratios(
+    graph: &Graph,
+    sink: NodeId,
+    weights: &[f64],
+    mask: &[bool],
+    gamma: f64,
+) -> Vec<f64> {
+    let d = masked_dist_to_sink(graph, sink, weights, mask);
+    let mut ratios = vec![0.0; graph.num_edges()];
+    for v in graph.nodes() {
+        if v == sink {
+            continue;
+        }
+        let out: Vec<_> = graph
+            .out_edges(v)
+            .iter()
+            .copied()
+            .filter(|&e| mask[e.0] && d[graph.dst(e).0].is_finite())
+            .collect();
+        if out.is_empty() {
+            continue;
+        }
+        let scores: Vec<f64> = out
+            .iter()
+            .map(|&e| weights[e.0] + d[graph.dst(e).0])
+            .collect();
+        for (e, r) in out.iter().zip(softmin(&scores, gamma)) {
+            ratios[e.0] = r;
+        }
+    }
+    ratios
+}
+
+/// Derives a complete routing strategy from edge weights (paper
+/// Alg. 2).
+///
+/// With [`PruneMode::DistanceDag`] the pruning depends only on the
+/// destination, so the per-destination ratios are computed once and
+/// shared by all sources; with [`PruneMode::FrontierMeets`] each flow
+/// gets its own pruning, as in the paper's pseudocode.
+///
+/// # Panics
+///
+/// Panics if `weights` does not cover every edge or contains
+/// non-positive values (softmin distances need positive lengths).
+pub fn softmin_routing(graph: &Graph, weights: &[f64], config: &SoftminConfig) -> Routing {
+    assert_eq!(
+        weights.len(),
+        graph.num_edges(),
+        "one weight per edge required"
+    );
+    assert!(
+        weights.iter().all(|&w| w.is_finite() && w > 0.0),
+        "softmin routing requires positive finite weights"
+    );
+    let n = graph.num_nodes();
+    let mut routing = Routing::new(n, graph.num_edges());
+    match config.prune_mode {
+        PruneMode::DistanceDag => {
+            for t in 0..n {
+                let mask = prune(graph, NodeId(0), NodeId(t), weights, config.prune_mode);
+                let ratios = destination_ratios(graph, NodeId(t), weights, &mask, config.gamma);
+                let s0 = usize::from(t == 0);
+                routing.set_flow(s0, t, ratios);
+                routing.replicate_destination(s0, t);
+            }
+        }
+        PruneMode::FrontierMeets => {
+            for s in 0..n {
+                for t in 0..n {
+                    if s == t {
+                        continue;
+                    }
+                    let mask = prune(graph, NodeId(s), NodeId(t), weights, config.prune_mode);
+                    let ratios = destination_ratios(graph, NodeId(t), weights, &mask, config.gamma);
+                    routing.set_flow(s, t, ratios);
+                }
+            }
+        }
+    }
+    routing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_net::topology::{from_links, zoo};
+
+    #[test]
+    fn softmin_is_a_distribution() {
+        let r = softmin(&[1.0, 2.0, 3.0], 2.0);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(r[0] > r[1] && r[1] > r[2], "smaller score gets more");
+    }
+
+    #[test]
+    fn softmin_gamma_zero_is_uniform() {
+        let r = softmin(&[1.0, 5.0, 9.0], 0.0);
+        for x in r {
+            assert!((x - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmin_large_gamma_is_argmin() {
+        let r = softmin(&[1.0, 2.0], 100.0);
+        assert!(r[0] > 0.999);
+    }
+
+    #[test]
+    fn softmin_is_shift_invariant_and_stable() {
+        let a = softmin(&[1.0, 2.0], 3.0);
+        let b = softmin(&[1001.0, 1002.0], 3.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let c = softmin(&[1e6, 2e6], 5.0);
+        assert!(c.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn routing_is_valid_on_zoo_graphs() {
+        for g in [zoo::cesnet(), zoo::abilene()] {
+            let w = vec![1.0; g.num_edges()];
+            let r = softmin_routing(&g, &w, &SoftminConfig::default());
+            let violations = r.validate(&g);
+            assert!(violations.is_empty(), "{}: {:?}", g.name(), violations);
+            assert_eq!(r.num_flows(), g.num_nodes() * (g.num_nodes() - 1));
+        }
+    }
+
+    #[test]
+    fn frontier_meets_mode_is_valid() {
+        let g = zoo::cesnet();
+        let w = vec![1.0; g.num_edges()];
+        let cfg = SoftminConfig {
+            prune_mode: crate::prune::PruneMode::FrontierMeets,
+            ..Default::default()
+        };
+        let r = softmin_routing(&g, &w, &cfg);
+        assert!(r.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn diamond_splits_between_equal_paths() {
+        let g = from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0);
+        let w = vec![1.0; g.num_edges()];
+        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let ratios = r.flow(0, 3).unwrap();
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e02 = g.edge_between(NodeId(0), NodeId(2)).unwrap();
+        assert!((ratios[e01.0] - 0.5).abs() < 1e-9);
+        assert!((ratios[e02.0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let g = from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0);
+        let mut w = vec![1.0; g.num_edges()];
+        // Make the path through node 1 cheaper.
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        w[e01.0] = 0.5;
+        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let ratios = r.flow(0, 3).unwrap();
+        let e02 = g.edge_between(NodeId(0), NodeId(2)).unwrap();
+        assert!(ratios[e01.0] > ratios[e02.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite weights")]
+    fn rejects_zero_weights() {
+        let g = zoo::cesnet();
+        let w = vec![0.0; g.num_edges()];
+        softmin_routing(&g, &w, &SoftminConfig::default());
+    }
+}

@@ -1,0 +1,252 @@
+//! Demand sequences with temporal regularity.
+//!
+//! The paper (§VIII-B) trains on "cyclical sequences": `x = {D_{i mod
+//! q}}_i` where `D` is a sequence of `q` distinct demand matrices. The
+//! agent observes the previous `m` matrices and must route the next
+//! one, exploiting the cycle.
+
+use rand::Rng;
+
+use crate::demand::DemandMatrix;
+use crate::gen::{bimodal, BimodalParams};
+
+/// Builds a cyclical sequence of `length` demand matrices cycling
+/// through `cycle` distinct bimodal DMs (the paper's workload with
+/// `cycle = 10`, `length = 60`).
+///
+/// # Panics
+///
+/// Panics if `cycle == 0`.
+pub fn cyclical<R: Rng>(
+    n: usize,
+    cycle: usize,
+    length: usize,
+    params: &BimodalParams,
+    rng: &mut R,
+) -> Vec<DemandMatrix> {
+    assert!(cycle > 0, "cycle length must be positive");
+    let base: Vec<DemandMatrix> = (0..cycle).map(|_| bimodal(n, params, rng)).collect();
+    (0..length).map(|i| base[i % cycle].clone()).collect()
+}
+
+/// Builds a cyclical sequence from caller-provided base matrices.
+///
+/// # Panics
+///
+/// Panics if `base` is empty or the matrices disagree on node count.
+pub fn cyclical_from(base: &[DemandMatrix], length: usize) -> Vec<DemandMatrix> {
+    assert!(!base.is_empty(), "need at least one base matrix");
+    let n = base[0].num_nodes();
+    assert!(
+        base.iter().all(|dm| dm.num_nodes() == n),
+        "all base matrices must have the same node count"
+    );
+    (0..length).map(|i| base[i % base.len()].clone()).collect()
+}
+
+/// A noisy cyclical sequence: each repetition perturbs every demand by
+/// a multiplicative factor in `[1-jitter, 1+jitter]`. Models the paper's
+/// "temporal regularities" assumption without exact repetition.
+///
+/// # Panics
+///
+/// Panics if `cycle == 0` or `jitter` is not in `[0, 1)`.
+pub fn noisy_cyclical<R: Rng>(
+    n: usize,
+    cycle: usize,
+    length: usize,
+    jitter: f64,
+    params: &BimodalParams,
+    rng: &mut R,
+) -> Vec<DemandMatrix> {
+    assert!(cycle > 0, "cycle length must be positive");
+    assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+    let base: Vec<DemandMatrix> = (0..cycle).map(|_| bimodal(n, params, rng)).collect();
+    (0..length)
+        .map(|i| {
+            let b = &base[i % cycle];
+            DemandMatrix::from_fn(n, |s, t| {
+                b.get(s, t) * rng.gen_range(1.0 - jitter..1.0 + jitter)
+            })
+        })
+        .collect()
+}
+
+/// A diurnal sequence: a fixed gravity-model base matrix modulated by a
+/// sinusoidal day/night cycle plus bimodal noise — the "people live by
+/// cyclic patterns (weeks, days)" regularity the paper's §III argues
+/// makes history-based routing viable.
+///
+/// `period` is the number of timesteps per simulated day; the
+/// modulation swings total volume between `1 - depth` and `1 + depth`
+/// of the base.
+///
+/// # Panics
+///
+/// Panics if `period == 0` or `depth` is not in `[0, 1)`.
+pub fn diurnal<R: Rng>(
+    n: usize,
+    length: usize,
+    period: usize,
+    depth: f64,
+    total: f64,
+    rng: &mut R,
+) -> Vec<DemandMatrix> {
+    assert!(period > 0, "period must be positive");
+    assert!((0.0..1.0).contains(&depth), "depth must be in [0, 1)");
+    let base = crate::gen::gravity(n, total, rng);
+    (0..length)
+        .map(|i| {
+            let phase = 2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64;
+            let factor = 1.0 + depth * phase.sin();
+            DemandMatrix::from_fn(n, |s, t| {
+                base.get(s, t) * factor * rng.gen_range(0.95..1.05)
+            })
+        })
+        .collect()
+}
+
+/// Generates `count` independent sequences (the paper uses 7 for
+/// training plus 3 for testing) and splits them.
+pub fn train_test_split<R: Rng>(
+    n: usize,
+    cycle: usize,
+    length: usize,
+    train_count: usize,
+    test_count: usize,
+    params: &BimodalParams,
+    rng: &mut R,
+) -> (Vec<Vec<DemandMatrix>>, Vec<Vec<DemandMatrix>>) {
+    let train = (0..train_count)
+        .map(|_| cyclical(n, cycle, length, params, rng))
+        .collect();
+    let test = (0..test_count)
+        .map(|_| cyclical(n, cycle, length, params, rng))
+        .collect();
+    (train, test)
+}
+
+/// Element-wise average of a window of demand matrices — a simple
+/// predictor baseline ("route for the average of history").
+///
+/// # Panics
+///
+/// Panics if `window` is empty or node counts disagree.
+pub fn average(window: &[&DemandMatrix]) -> DemandMatrix {
+    assert!(!window.is_empty(), "need at least one matrix");
+    let n = window[0].num_nodes();
+    assert!(window.iter().all(|dm| dm.num_nodes() == n));
+    let k = window.len() as f64;
+    DemandMatrix::from_fn(n, |s, t| {
+        window.iter().map(|dm| dm.get(s, t)).sum::<f64>() / k
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cyclical_repeats_exactly() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq = cyclical(6, 4, 12, &BimodalParams::default(), &mut rng);
+        assert_eq!(seq.len(), 12);
+        for i in 0..8 {
+            assert_eq!(seq[i], seq[i + 4]);
+        }
+        assert_ne!(seq[0], seq[1]);
+    }
+
+    #[test]
+    fn cyclical_from_wraps() {
+        let a = DemandMatrix::from_fn(3, |_, _| 1.0);
+        let b = DemandMatrix::from_fn(3, |_, _| 2.0);
+        let seq = cyclical_from(&[a.clone(), b.clone()], 5);
+        assert_eq!(seq[0], a);
+        assert_eq!(seq[1], b);
+        assert_eq!(seq[4], a);
+    }
+
+    #[test]
+    fn noisy_cyclical_perturbs_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let seq = noisy_cyclical(5, 2, 6, 0.1, &BimodalParams::default(), &mut rng);
+        // Same cycle position, different noise.
+        assert_ne!(seq[0], seq[2]);
+        for s in 0..5 {
+            for t in 0..5 {
+                if s != t && seq[0].get(s, t) > 0.0 {
+                    let ratio = seq[2].get(s, t) / seq[0].get(s, t);
+                    assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = train_test_split(4, 3, 9, 7, 3, &BimodalParams::default(), &mut rng);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert!(train.iter().all(|s| s.len() == 9));
+        // Sequences are independent draws.
+        assert_ne!(train[0][0], train[1][0]);
+    }
+
+    #[test]
+    fn average_of_identical_is_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dm = bimodal(4, &BimodalParams::default(), &mut rng);
+        let avg = average(&[&dm, &dm, &dm]);
+        for s in 0..4 {
+            for t in 0..4 {
+                assert!((avg.get(s, t) - dm.get(s, t)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn average_mixes() {
+        let a = DemandMatrix::from_fn(3, |_, _| 2.0);
+        let b = DemandMatrix::from_fn(3, |_, _| 4.0);
+        let avg = average(&[&a, &b]);
+        assert_eq!(avg.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn diurnal_modulates_total_volume() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq = diurnal(6, 20, 20, 0.5, 1000.0, &mut rng);
+        assert_eq!(seq.len(), 20);
+        let totals: Vec<f64> = seq.iter().map(|dm| dm.total()).collect();
+        let max = totals.iter().cloned().fold(0.0, f64::max);
+        let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Peak-to-trough swing reflects the modulation depth.
+        assert!(max / min > 2.0, "swing too small: {min}..{max}");
+        // Peak is near a quarter period (sin maximum).
+        let argmax = totals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((3..=7).contains(&argmax), "peak at {argmax}");
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn diurnal_rejects_bad_depth() {
+        let mut rng = StdRng::seed_from_u64(0);
+        diurnal(4, 10, 5, 1.5, 100.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle length")]
+    fn rejects_zero_cycle() {
+        let mut rng = StdRng::seed_from_u64(0);
+        cyclical(4, 0, 10, &BimodalParams::default(), &mut rng);
+    }
+}

@@ -1,0 +1,62 @@
+//! Fig. 6-style fixed-graph comparison on Abilene, scaled down for a
+//! quick demonstration (the full regeneration lives in
+//! `gddr-bench/src/bin/fig6_fixed_graph.rs`).
+//!
+//! Trains the MLP baseline (Valadarsky et al.) and the GNN policy with
+//! identical PPO budgets, then prints the Fig. 6 bars.
+//!
+//! Run with:
+//! ```text
+//! GDDR_STEPS=8000 cargo run --release --example abilene_training
+//! ```
+
+use gddr_core::experiment::{fixed_graph, FixedGraphConfig, WorkloadConfig};
+
+fn main() {
+    let steps = std::env::var("GDDR_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6_000);
+    let config = FixedGraphConfig {
+        workload: WorkloadConfig {
+            seq_length: 30,
+            cycle: 10,
+            train_sequences: 3,
+            test_sequences: 2,
+        },
+        train_steps: steps,
+        ..Default::default()
+    };
+    println!(
+        "training MLP and GNN on {} for {} steps each ...",
+        config.graph_name, config.train_steps
+    );
+    let result = fixed_graph(&config);
+
+    println!("\nFig. 6 (scaled): mean U/U_opt on held-out sequences");
+    println!(
+        "  MLP policy        {:.4} +- {:.4}",
+        result.mlp.eval.mean_ratio, result.mlp.eval.std_ratio
+    );
+    println!(
+        "  GNN policy        {:.4} +- {:.4}",
+        result.gnn.eval.mean_ratio, result.gnn.eval.std_ratio
+    );
+    println!(
+        "  shortest path     {:.4} +- {:.4}  (dotted line)",
+        result.shortest_path.mean_ratio, result.shortest_path.std_ratio
+    );
+
+    println!("\nlearning curves (mean episode reward, window of 10):");
+    for (name, log) in [("MLP", &result.mlp.log), ("GNN", &result.gnn.log)] {
+        let curve = log.smoothed_curve(10);
+        let tail: Vec<String> = curve
+            .iter()
+            .rev()
+            .take(5)
+            .rev()
+            .map(|(s, r)| format!("{s}:{r:.1}"))
+            .collect();
+        println!("  {name}: ... {}", tail.join("  "));
+    }
+}

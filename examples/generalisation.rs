@@ -1,0 +1,56 @@
+//! Fig. 8-style generalisation demonstration, scaled down (the full
+//! regeneration lives in `gddr-bench/src/bin/fig8_generalisation.rs`).
+//!
+//! Trains the one-shot GNN and the Iterative GNN on a mixture of
+//! topologies (half to double the size of Abilene), then evaluates on
+//! unseen graphs and on Abilene with random modifications.
+//!
+//! Run with:
+//! ```text
+//! GDDR_STEPS=4000 cargo run --release --example generalisation
+//! ```
+
+use gddr_core::experiment::{generalisation, GeneralisationConfig, WorkloadConfig};
+
+fn main() {
+    let steps: usize = std::env::var("GDDR_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000);
+    let config = GeneralisationConfig {
+        workload: WorkloadConfig {
+            seq_length: 16,
+            cycle: 8,
+            train_sequences: 2,
+            test_sequences: 1,
+        },
+        train_steps: steps,
+        train_steps_iterative: steps * 4,
+        modified_variants: 3,
+        ..Default::default()
+    };
+    println!(
+        "training one-shot GNN ({} steps) and iterative GNN ({} steps) on a graph mixture ...",
+        config.train_steps, config.train_steps_iterative
+    );
+    let r = generalisation(&config);
+
+    println!("\nFig. 8 (scaled): mean U/U_opt on unseen topologies");
+    println!("  family             policy      ratio     SP line");
+    println!(
+        "  different graphs   GNN         {:.4}    {:.4}",
+        r.gnn_different.policy.mean_ratio, r.gnn_different.shortest_path.mean_ratio
+    );
+    println!(
+        "  different graphs   GNN-Iter    {:.4}    {:.4}",
+        r.iterative_different.policy.mean_ratio, r.iterative_different.shortest_path.mean_ratio
+    );
+    println!(
+        "  modified Abilene   GNN         {:.4}    {:.4}",
+        r.gnn_modified.policy.mean_ratio, r.gnn_modified.shortest_path.mean_ratio
+    );
+    println!(
+        "  modified Abilene   GNN-Iter    {:.4}    {:.4}",
+        r.iterative_modified.policy.mean_ratio, r.iterative_modified.shortest_path.mean_ratio
+    );
+}

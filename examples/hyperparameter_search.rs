@@ -1,0 +1,84 @@
+//! Hyperparameter search for the GDDR agents, mirroring the paper's
+//! OpenTuner usage (§VIII-C): a seeded random search over PPO
+//! hyperparameters, each candidate scored by a short training run.
+//!
+//! Run with:
+//! ```text
+//! GDDR_TRIALS=4 GDDR_STEPS=1500 cargo run --release --example hyperparameter_search
+//! ```
+
+use gddr_core::env::{standard_sequences, DdrEnv, DdrEnvConfig, GraphContext};
+use gddr_core::policies::{GnnPolicy, GnnPolicyConfig};
+use gddr_net::topology::zoo;
+use gddr_rl::tuning::{random_search, PpoSearchSpace};
+use gddr_rl::{Ppo, TrainingLog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let trials: usize = std::env::var("GDDR_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let steps: usize = std::env::var("GDDR_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_500);
+
+    let graph = zoo::cesnet();
+    let env_config = DdrEnvConfig {
+        memory: 3,
+        ..Default::default()
+    };
+    let gnn_config = GnnPolicyConfig {
+        memory: 3,
+        latent: 8,
+        hidden: 16,
+        message_steps: 2,
+        layer_norm: false,
+    };
+
+    println!(
+        "random search: {trials} trials x {steps} training steps on {}",
+        graph.name()
+    );
+    let space = PpoSearchSpace::default();
+    let results = random_search(&space, trials, 0, |ppo_config| {
+        // Score = mean episode reward over the last quarter of a short
+        // training run (higher is better; −1.0 would be optimal).
+        let mut rng = StdRng::seed_from_u64(42);
+        let seqs = standard_sequences(&graph, 2, 24, 6, &mut rng);
+        let mut env = DdrEnv::new(GraphContext::new(graph.clone(), seqs), env_config);
+        let mut policy = GnnPolicy::new(&gnn_config, -0.7, &mut rng);
+        let mut ppo = Ppo::new(*ppo_config);
+        let mut log = TrainingLog::default();
+        ppo.train(&mut env, &mut policy, steps, &mut rng, &mut log);
+        let score = log.recent_mean_reward(log.episodes.len().max(4) / 4);
+        eprintln!(
+            "  lr={:.2e} gamma={} n_steps={} mb={} epochs={} -> {score:.2}",
+            ppo_config.learning_rate,
+            ppo_config.gamma,
+            ppo_config.n_steps,
+            ppo_config.minibatch_size,
+            ppo_config.epochs
+        );
+        score
+    });
+
+    println!("\nranked results (best first):");
+    println!("rank,score,learning_rate,gamma,n_steps,minibatch,epochs,clip,ent_coef");
+    for (i, t) in results.iter().enumerate() {
+        println!(
+            "{},{:.3},{:.2e},{},{},{},{},{},{}",
+            i + 1,
+            t.score,
+            t.config.learning_rate,
+            t.config.gamma,
+            t.config.n_steps,
+            t.config.minibatch_size,
+            t.config.epochs,
+            t.config.clip_range,
+            t.config.ent_coef
+        );
+    }
+}

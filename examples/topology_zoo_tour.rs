@@ -1,0 +1,51 @@
+//! Tour of every transcribed zoo topology: for one bimodal demand
+//! matrix each, compare the LP-optimal max-link-utilisation against
+//! shortest-path, ECMP and uniform-weight softmin routing.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example topology_zoo_tour
+//! ```
+
+use gddr_lp::mcf::min_max_utilisation;
+use gddr_net::topology::zoo;
+use gddr_routing::baselines::{ecmp_routing, shortest_path_routing};
+use gddr_routing::sim::max_link_utilisation;
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+use gddr_traffic::gen::{bimodal, BimodalParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    println!(
+        "{:<10} {:>5} {:>6} | {:>8} {:>8} {:>8} {:>8}",
+        "topology", "nodes", "edges", "U_opt", "SP/opt", "ECMP/opt", "softmin/opt"
+    );
+    for g in zoo::all() {
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let opt = min_max_utilisation(&g, &dm)
+            .expect("zoo graphs are strongly connected")
+            .u_max;
+        let w = vec![1.0; g.num_edges()];
+        let sp = max_link_utilisation(&g, &shortest_path_routing(&g, &w), &dm)
+            .expect("baseline routes all traffic")
+            .u_max;
+        let ecmp = max_link_utilisation(&g, &ecmp_routing(&g, &w), &dm)
+            .expect("baseline routes all traffic")
+            .u_max;
+        let sm = max_link_utilisation(&g, &softmin_routing(&g, &w, &SoftminConfig::default()), &dm)
+            .expect("softmin routes all traffic")
+            .u_max;
+        println!(
+            "{:<10} {:>5} {:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            g.name(),
+            g.num_nodes(),
+            g.num_edges(),
+            opt,
+            sp / opt,
+            ecmp / opt,
+            sm / opt
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Baseline-ordering integration: the classical routings and the
+//! predict-then-route strategy must relate to each other the way
+//! traffic-engineering theory says they do, across topologies.
+
+use gddr_core::env::{standard_sequences, DdrEnvConfig, GraphContext};
+use gddr_core::eval::{
+    ecmp_baseline, prediction_baseline, shortest_path_baseline, uniform_softmin_baseline,
+};
+use gddr_routing::analysis::path_stretch;
+use gddr_routing::baselines::{ecmp_routing, shortest_path_routing};
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+use gddr_traffic::sequence::cyclical_from;
+use gddr_traffic::DemandMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_cfg() -> DdrEnvConfig {
+    DdrEnvConfig {
+        memory: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_baselines_are_lower_bounded_by_the_optimum() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for name in ["Cesnet", "Janet", "Abilene"] {
+        let g = gddr_net::topology::zoo::by_name(name).unwrap();
+        let test = standard_sequences(&g, 1, 8, 4, &mut rng);
+        let ctx = GraphContext::new(g.clone(), test.clone());
+        for (label, result) in [
+            ("sp", shortest_path_baseline(&ctx, &env_cfg(), &test)),
+            ("ecmp", ecmp_baseline(&ctx, &env_cfg(), &test)),
+            ("softmin", uniform_softmin_baseline(&ctx, &env_cfg(), &test)),
+            ("predict", prediction_baseline(&ctx, &env_cfg(), &test)),
+        ] {
+            assert!(
+                result.mean_ratio >= 1.0 - 1e-6,
+                "{name}/{label}: ratio {} below optimum",
+                result.mean_ratio
+            );
+            assert!(result.mean_ratio.is_finite());
+        }
+    }
+}
+
+#[test]
+fn prediction_beats_static_baselines_on_perfectly_cyclic_traffic() {
+    // With constant traffic, predict-then-route is optimal while static
+    // shortest-path is generally not: the paper's core premise that
+    // exploitable regularity favours data-driven strategies.
+    let g = gddr_net::topology::zoo::abilene();
+    let mut rng = StdRng::seed_from_u64(1);
+    let base = gddr_traffic::gen::bimodal(
+        g.num_nodes(),
+        &gddr_traffic::gen::BimodalParams::default(),
+        &mut rng,
+    );
+    let seq = cyclical_from(&[base], 8);
+    let ctx = GraphContext::new(g, vec![seq.clone()]);
+    let pred = prediction_baseline(&ctx, &env_cfg(), &[seq.clone()]);
+    let sp = shortest_path_baseline(&ctx, &env_cfg(), &[seq]);
+    assert!(
+        pred.mean_ratio <= sp.mean_ratio + 1e-9,
+        "prediction {} should beat SP {} on constant traffic",
+        pred.mean_ratio,
+        sp.mean_ratio
+    );
+    assert!((pred.mean_ratio - 1.0).abs() < 1e-4);
+}
+
+#[test]
+fn stretch_orders_the_baselines() {
+    // Single-shortest-path has unit stretch; ECMP stays hop-shortest
+    // too (it only uses shortest-path next hops); softmin pays extra
+    // stretch for its load balancing.
+    let mut rng = StdRng::seed_from_u64(2);
+    for name in ["Abilene", "Nsfnet"] {
+        let g = gddr_net::topology::zoo::by_name(name).unwrap();
+        let dm = gddr_traffic::gen::bimodal(
+            g.num_nodes(),
+            &gddr_traffic::gen::BimodalParams::default(),
+            &mut rng,
+        );
+        let w = vec![1.0; g.num_edges()];
+        let sp_stretch = path_stretch(&g, &shortest_path_routing(&g, &w), &dm).unwrap();
+        let ecmp_stretch = path_stretch(&g, &ecmp_routing(&g, &w), &dm).unwrap();
+        let softmin_stretch =
+            path_stretch(&g, &softmin_routing(&g, &w, &SoftminConfig::default()), &dm).unwrap();
+        assert!((sp_stretch - 1.0).abs() < 1e-9, "{name}: sp {sp_stretch}");
+        assert!(
+            (ecmp_stretch - 1.0).abs() < 1e-9,
+            "{name}: ecmp {ecmp_stretch}"
+        );
+        assert!(
+            softmin_stretch >= 1.0 - 1e-9,
+            "{name}: softmin {softmin_stretch}"
+        );
+    }
+}
+
+#[test]
+fn prediction_baseline_handles_alternating_extremes() {
+    // Two alternating, very different matrices: the average prediction
+    // is wrong for both, so the ratio must be clearly above optimal —
+    // the failure mode the paper cites for predict-then-route.
+    let g = gddr_net::topology::zoo::cesnet();
+    let n = g.num_nodes();
+    let mut heavy_01 = DemandMatrix::zeros(n);
+    let mut heavy_10 = DemandMatrix::zeros(n);
+    for s in 0..n {
+        for t in 0..n {
+            if s == t {
+                continue;
+            }
+            // Matrix A loads pairs (s < t); matrix B the reverse.
+            if s < t {
+                heavy_01.set(s, t, 900.0);
+                heavy_10.set(s, t, 50.0);
+            } else {
+                heavy_01.set(s, t, 50.0);
+                heavy_10.set(s, t, 900.0);
+            }
+        }
+    }
+    let seq = cyclical_from(&[heavy_01, heavy_10], 10);
+    let ctx = GraphContext::new(g, vec![seq.clone()]);
+    let pred = prediction_baseline(&ctx, &env_cfg(), &[seq]);
+    assert!(pred.mean_ratio >= 1.0 - 1e-9);
+    assert!(pred.mean_ratio.is_finite());
+}

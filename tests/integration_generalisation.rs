@@ -1,0 +1,134 @@
+//! Generalisation integration: the property the paper is built around
+//! — one GNN parameter set applies across topologies — exercised
+//! end-to-end through training and evaluation.
+
+use gddr_core::env::{standard_sequences, DdrEnvConfig, GraphContext, MultiGraphDdrEnv};
+use gddr_core::env_iterative::IterativeDdrEnv;
+use gddr_core::eval::{eval_iterative, eval_oneshot};
+use gddr_core::experiment::{modified_abilene, test_graphs, training_graphs};
+use gddr_core::policies::{GnnIterativePolicy, GnnPolicy, GnnPolicyConfig};
+use gddr_rl::{Env, Policy, Ppo, PpoConfig, TrainingLog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_gnn() -> GnnPolicyConfig {
+    GnnPolicyConfig {
+        memory: 2,
+        latent: 8,
+        hidden: 16,
+        message_steps: 2,
+        layer_norm: false,
+    }
+}
+
+fn env_cfg() -> DdrEnvConfig {
+    DdrEnvConfig {
+        memory: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn gnn_trained_on_mixture_evaluates_on_unseen_graphs() {
+    let mut rng = StdRng::seed_from_u64(0);
+    // Train on two small graphs only (budget), evaluate on two unseen.
+    let train_graphs = [
+        gddr_net::topology::zoo::cesnet(),
+        gddr_net::topology::zoo::janet(),
+    ];
+    let contexts: Vec<GraphContext> = train_graphs
+        .iter()
+        .map(|g| GraphContext::new(g.clone(), standard_sequences(g, 1, 8, 4, &mut rng)))
+        .collect();
+    let mut env = MultiGraphDdrEnv::new(contexts, env_cfg());
+    let mut policy = GnnPolicy::new(&small_gnn(), -0.7, &mut rng);
+    let mut ppo = Ppo::new(PpoConfig {
+        n_steps: 32,
+        minibatch_size: 16,
+        epochs: 2,
+        gamma: 0.4,
+        ..Default::default()
+    });
+    let mut log = TrainingLog::default();
+    ppo.train(&mut env, &mut policy, 200, &mut rng, &mut log);
+
+    // Evaluate the same parameters on graphs never seen in training.
+    for g in [
+        gddr_net::topology::zoo::arpanet(),
+        gddr_net::topology::zoo::abilene(),
+    ] {
+        let test = standard_sequences(&g, 1, 8, 4, &mut rng);
+        let ctx = GraphContext::new(g.clone(), test.clone());
+        let eval = eval_oneshot(&ctx, &env_cfg(), &policy, &test);
+        assert!(
+            eval.mean_ratio >= 1.0 - 1e-6 && eval.mean_ratio.is_finite(),
+            "{}: ratio {}",
+            g.name(),
+            eval.mean_ratio
+        );
+    }
+}
+
+#[test]
+fn iterative_policy_trains_across_graph_sizes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let graphs = [
+        gddr_net::topology::zoo::cesnet(),
+        gddr_net::topology::zoo::arpanet(),
+    ];
+    let contexts: Vec<GraphContext> = graphs
+        .iter()
+        .map(|g| GraphContext::new(g.clone(), standard_sequences(g, 1, 6, 3, &mut rng)))
+        .collect();
+    let mut env = IterativeDdrEnv::new_multi(contexts, env_cfg());
+    let mut policy = GnnIterativePolicy::new(&small_gnn(), -0.7, &mut rng);
+
+    // Collect transitions across graphs of different sizes in one
+    // rollout: exercises varying sub-episode lengths.
+    let mut ppo = Ppo::new(PpoConfig {
+        gamma: 0.99,
+        n_steps: 64,
+        minibatch_size: 16,
+        epochs: 1,
+        ..Default::default()
+    });
+    let mut log = TrainingLog::default();
+    ppo.train(&mut env, &mut policy, 300, &mut rng, &mut log);
+    assert!(log.total_steps >= 300);
+
+    let g = gddr_net::topology::zoo::janet();
+    let test = standard_sequences(&g, 1, 6, 3, &mut rng);
+    let ctx = GraphContext::new(g, test.clone());
+    let eval = eval_iterative(&ctx, &env_cfg(), &policy, &test);
+    assert!(eval.mean_ratio >= 1.0 - 1e-6);
+}
+
+#[test]
+fn untrained_gnn_runs_on_every_zoo_and_mutated_topology() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let policy = GnnPolicy::new(&small_gnn(), -0.7, &mut rng);
+    let mut graphs = gddr_net::topology::zoo::all();
+    graphs.extend(modified_abilene(2, 2, &mut rng));
+    for g in graphs {
+        let seqs = standard_sequences(&g, 1, 4, 2, &mut rng);
+        let mut env = gddr_core::DdrEnv::new(GraphContext::new(g.clone(), seqs), env_cfg());
+        let obs = env.reset(&mut rng);
+        let action = policy.act_greedy(&obs);
+        assert_eq!(action.len(), g.num_edges(), "{}", g.name());
+        let s = env.step(&action, &mut rng);
+        assert!(s.reward < 0.0 && s.reward.is_finite(), "{}", g.name());
+    }
+}
+
+#[test]
+fn experiment_graph_families_are_well_formed() {
+    let train = training_graphs();
+    let test = test_graphs();
+    assert!(train.len() >= 6);
+    assert_eq!(test.len(), 2);
+    // Size band: half to double Abilene (11 nodes).
+    for g in train.iter().chain(&test) {
+        assert!((6..=22).contains(&g.num_nodes()), "{}", g.name());
+        assert!(gddr_net::algo::is_strongly_connected(g));
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-validation of the LP oracle against independently computed
+//! routings: the oracle must lower-bound every concrete routing the
+//! rest of the system can produce, and must agree with hand-derivable
+//! optima.
+
+use gddr_lp::mcf::{min_max_utilisation, CachedOracle};
+use gddr_net::topology::{from_links, zoo};
+use gddr_routing::baselines::{ecmp_routing, inverse_capacity_routing, shortest_path_routing};
+use gddr_routing::sim::max_link_utilisation;
+use gddr_traffic::gen::{bimodal, BimodalParams};
+use gddr_traffic::DemandMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// On a ring of four nodes with one commodity, the optimum splits
+/// between clockwise (1 hop) and counter-clockwise (3 hops): balancing
+/// per-link utilisation puts all weight on minimising the max, which
+/// is achieved by a 1/2–1/2 split across the two directions? No: the
+/// 3-hop path loads three links, so the max is minimised by sending
+/// x on the short side and (1-x) on the long side with equal
+/// utilisation x = (1-x) → x = 1/2 (each link sees at most 1/2 the
+/// demand). Hand-check against the LP.
+#[test]
+fn ring_optimum_matches_hand_derivation() {
+    let g = from_links("ring4", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)], 10.0);
+    let mut dm = DemandMatrix::zeros(4);
+    dm.set(0, 1, 10.0);
+    let sol = min_max_utilisation(&g, &dm).unwrap();
+    assert!((sol.u_max - 0.5).abs() < 1e-6, "u_max = {}", sol.u_max);
+}
+
+/// The oracle lower-bounds every baseline routing on every topology.
+#[test]
+fn oracle_lower_bounds_all_baselines() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for g in zoo::all() {
+        if g.num_nodes() > 16 {
+            continue; // Larger graphs are covered by the benches.
+        }
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
+        let w = vec![1.0; g.num_edges()];
+        for (name, routing) in [
+            ("shortest-path", shortest_path_routing(&g, &w)),
+            ("ecmp", ecmp_routing(&g, &w)),
+            ("inverse-capacity", inverse_capacity_routing(&g)),
+        ] {
+            let u = max_link_utilisation(&g, &routing, &dm).unwrap().u_max;
+            assert!(
+                u >= u_opt - 1e-6,
+                "{}: {} routing ({u}) beat the LP ({u_opt})",
+                g.name(),
+                name
+            );
+        }
+    }
+}
+
+/// ECMP equals the optimum when the topology is a single
+/// source-destination diamond with equal arms.
+#[test]
+fn ecmp_is_optimal_on_symmetric_diamond() {
+    let g = from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0);
+    let mut dm = DemandMatrix::zeros(4);
+    dm.set(0, 3, 12.0);
+    let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
+    let w = vec![1.0; g.num_edges()];
+    let u_ecmp = max_link_utilisation(&g, &ecmp_routing(&g, &w), &dm)
+        .unwrap()
+        .u_max;
+    assert!((u_ecmp - u_opt).abs() < 1e-6);
+}
+
+/// The cached oracle returns bit-identical results to the direct LP.
+#[test]
+fn cache_is_transparent() {
+    let g = zoo::abilene();
+    let oracle = CachedOracle::new(g.clone());
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..3 {
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let direct = min_max_utilisation(&g, &dm).unwrap().u_max;
+        let cached_cold = oracle.u_opt(&dm).unwrap();
+        let cached_warm = oracle.u_opt(&dm).unwrap();
+        assert_eq!(cached_cold, direct);
+        assert_eq!(cached_warm, direct);
+    }
+    assert_eq!(oracle.cache_len(), 3);
+}
+
+/// Optimality is monotone: adding capacity can only lower (or keep)
+/// the optimal utilisation.
+#[test]
+fn more_capacity_never_hurts() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = zoo::cesnet();
+    let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+    let u1 = min_max_utilisation(&g, &dm).unwrap().u_max;
+    let mut g2 = g.clone();
+    for e in g2.edges().collect::<Vec<_>>() {
+        let c = g2.capacity(e);
+        g2.set_capacity(e, c * 2.0).unwrap();
+    }
+    let u2 = min_max_utilisation(&g2, &dm).unwrap().u_max;
+    assert!(
+        (u2 - u1 / 2.0).abs() < 1e-6,
+        "doubling capacity must halve U"
+    );
+}
+
+/// Superposition bound: U_opt(d1 + d2) ≤ U_opt(d1) + U_opt(d2)
+/// (routing each part optimally and summing is feasible for the sum).
+#[test]
+fn optimum_is_subadditive() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = zoo::janet();
+    let d1 = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+    let d2 = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+    let sum = DemandMatrix::from_fn(g.num_nodes(), |s, t| d1.get(s, t) + d2.get(s, t));
+    let u1 = min_max_utilisation(&g, &d1).unwrap().u_max;
+    let u2 = min_max_utilisation(&g, &d2).unwrap().u_max;
+    let us = min_max_utilisation(&g, &sum).unwrap().u_max;
+    assert!(us <= u1 + u2 + 1e-6);
+    assert!(us >= u1.max(u2) - 1e-6, "sum must be at least each part");
+}

@@ -1,0 +1,174 @@
+//! Cross-crate pipeline invariants: learned weights → softmin routing
+//! translation → flow simulation → comparison against the LP oracle.
+//!
+//! These are the invariants every GDDR experiment rests on:
+//! the translation always produces a valid, loss-free routing, and no
+//! agent can beat the multicommodity-flow optimum.
+
+use gddr_lp::mcf::min_max_utilisation;
+use gddr_net::topology::{random, zoo};
+use gddr_net::NodeId;
+use gddr_routing::prune::{distance_dag, mask_is_usable, PruneMode};
+use gddr_routing::sim::max_link_utilisation;
+use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+use gddr_traffic::gen::{bimodal, sparse_bimodal, BimodalParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Softmin routing with arbitrary positive weights delivers all traffic
+/// and can never beat the LP optimum.
+#[test]
+fn agent_routings_never_beat_the_lp_optimum() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for g in [zoo::cesnet(), zoo::janet(), zoo::abilene()] {
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
+        for gamma in [0.5, 2.0, 8.0] {
+            for seed in 0..3 {
+                let mut wrng = StdRng::seed_from_u64(seed);
+                let weights: Vec<f64> = (0..g.num_edges())
+                    .map(|_| rand::Rng::gen_range(&mut wrng, 0.5..4.5))
+                    .collect();
+                let cfg = SoftminConfig {
+                    gamma,
+                    prune_mode: PruneMode::DistanceDag,
+                };
+                let routing = softmin_routing(&g, &weights, &cfg);
+                assert!(routing.validate(&g).is_empty());
+                let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
+                assert!(
+                    rep.u_max >= u_opt - 1e-6,
+                    "{}: softmin {} beat the optimum {}",
+                    g.name(),
+                    rep.u_max,
+                    u_opt
+                );
+            }
+        }
+    }
+}
+
+/// The same invariant under the paper-faithful frontier-meets pruning.
+#[test]
+fn frontier_meets_pipeline_is_also_sound() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = zoo::cesnet();
+    let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+    let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
+    let weights: Vec<f64> = (0..g.num_edges())
+        .map(|_| rand::Rng::gen_range(&mut rng, 0.5..4.5))
+        .collect();
+    let cfg = SoftminConfig {
+        gamma: 2.0,
+        prune_mode: PruneMode::FrontierMeets,
+    };
+    let routing = softmin_routing(&g, &weights, &cfg);
+    assert!(routing.validate(&g).is_empty());
+    let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
+    assert!(rep.u_max >= u_opt - 1e-6);
+}
+
+/// Sparse demand matrices (flows missing entirely) route fine.
+#[test]
+fn sparse_demands_are_supported() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = zoo::abilene();
+    let dm = sparse_bimodal(g.num_nodes(), &BimodalParams::default(), 0.3, &mut rng);
+    let w = vec![1.0; g.num_edges()];
+    let routing = softmin_routing(&g, &w, &SoftminConfig::default());
+    let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
+    let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
+    assert!(rep.u_max >= u_opt - 1e-6);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On random connected graphs with random weights, the whole
+    /// pipeline holds: pruning gives usable DAGs, the translation is a
+    /// valid routing, simulation delivers everything, and the LP bound
+    /// holds.
+    #[test]
+    fn pipeline_invariants_on_random_graphs(
+        n in 4usize..10,
+        p in 0.3f64..0.9,
+        gamma in 0.2f64..6.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random::erdos_renyi(n, p, 100.0, &mut rng);
+        let weights: Vec<f64> = (0..g.num_edges())
+            .map(|_| rand::Rng::gen_range(&mut rng, 0.2..5.0))
+            .collect();
+
+        // Pruning invariants for every destination.
+        for t in 0..n {
+            let mask = distance_dag(&g, NodeId(t), &weights);
+            prop_assert!(gddr_net::algo::is_dag(&g, &mask));
+            for s in 0..n {
+                if s != t {
+                    prop_assert!(mask_is_usable(&g, NodeId(s), NodeId(t), &mask));
+                }
+            }
+        }
+
+        // Routing + simulation + LP bound.
+        let cfg = SoftminConfig { gamma, prune_mode: PruneMode::DistanceDag };
+        let routing = softmin_routing(&g, &weights, &cfg);
+        prop_assert!(routing.validate(&g).is_empty());
+        let dm = bimodal(n, &BimodalParams::default(), &mut rng);
+        let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
+        let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
+        prop_assert!(rep.u_max >= u_opt - 1e-6);
+        prop_assert!(rep.u_max.is_finite());
+    }
+
+    /// Utilisation ratios are invariant to uniformly scaling demands.
+    #[test]
+    fn ratio_is_scale_invariant(scale in 0.1f64..10.0, seed in 0u64..100) {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let w = vec![1.0; g.num_edges()];
+        let routing = softmin_routing(&g, &w, &SoftminConfig::default());
+        let u1 = max_link_utilisation(&g, &routing, &dm).unwrap().u_max
+            / min_max_utilisation(&g, &dm).unwrap().u_max;
+        let dm2 = dm.scaled(scale);
+        let u2 = max_link_utilisation(&g, &routing, &dm2).unwrap().u_max
+            / min_max_utilisation(&g, &dm2).unwrap().u_max;
+        prop_assert!((u1 - u2).abs() < 1e-4, "{u1} vs {u2}");
+    }
+}
+
+/// A user-supplied topology (via the text format) flows through the
+/// entire pipeline: parse → softmin translation → simulation → LP
+/// oracle.
+#[test]
+fn custom_text_topology_end_to_end() {
+    let text = "\
+graph custom
+node a
+node b
+node c
+node d
+link a b 500
+link b d 500
+link a c 1000
+link c d 1000
+link b c 500
+";
+    let g = gddr_net::topology::text::parse_topology(text).unwrap();
+    assert!(gddr_net::algo::is_strongly_connected(&g));
+    let mut rng = StdRng::seed_from_u64(9);
+    let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+    let w = vec![1.0; g.num_edges()];
+    let routing = softmin_routing(&g, &w, &SoftminConfig::default());
+    assert!(routing.validate(&g).is_empty());
+    let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
+    let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
+    assert!(rep.u_max >= u_opt - 1e-6);
+    // Heterogeneous capacities: the optimal routing must exploit the
+    // fat a-c-d path, so the LP should clearly beat naive softmin here.
+    assert!(u_opt > 0.0);
+}
