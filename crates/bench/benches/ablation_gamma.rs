@@ -5,14 +5,14 @@
 //! translation cost as a function of γ (which should be flat — γ only
 //! changes arithmetic, not structure).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_bench::harness::BenchGroup;
 use gddr_lp::mcf::CachedOracle;
 use gddr_net::topology::zoo;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 use gddr_routing::sim::max_link_utilisation;
 use gddr_routing::softmin::{softmin_routing, SoftminConfig};
 use gddr_traffic::gen::{bimodal, BimodalParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const GAMMAS: [f64; 6] = [0.5, 1.0, 2.0, 4.0, 7.0, 10.0];
 
@@ -43,23 +43,18 @@ fn quality_table() {
     }
 }
 
-fn bench_gamma(c: &mut Criterion) {
+fn main() {
     quality_table();
     let g = zoo::abilene();
     let w = vec![1.0; g.num_edges()];
-    let mut group = c.benchmark_group("softmin_gamma");
+    let mut group = BenchGroup::new("softmin_gamma");
     group.sample_size(20);
     for gamma in [0.5, 2.0, 10.0] {
         let cfg = SoftminConfig {
             gamma,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(gamma), &cfg, |b, cfg| {
-            b.iter(|| softmin_routing(&g, &w, cfg))
-        });
+        group.bench(&format!("{gamma}"), || softmin_routing(&g, &w, &cfg));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_gamma);
-criterion_main!(benches);

@@ -5,16 +5,16 @@
 //! both pruning modes across zoo topologies), then benchmarks the
 //! pruning cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_bench::harness::BenchGroup;
 use gddr_lp::mcf::CachedOracle;
 use gddr_net::topology::zoo;
 use gddr_net::NodeId;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::{Rng, SeedableRng};
 use gddr_routing::prune::{distance_dag, frontier_meets_dag, PruneMode};
 use gddr_routing::sim::max_link_utilisation;
 use gddr_routing::softmin::{softmin_routing, SoftminConfig};
 use gddr_traffic::gen::{bimodal, BimodalParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn quality_table() {
     eprintln!("# ablation C: pruning quality (gamma 2, random weights)");
@@ -46,24 +46,17 @@ fn quality_table() {
     }
 }
 
-fn bench_prune(c: &mut Criterion) {
+fn main() {
     quality_table();
     let g = zoo::abilene();
     let mut rng = StdRng::seed_from_u64(1);
     let weights: Vec<f64> = (0..g.num_edges())
         .map(|_| rng.gen_range(0.5..4.5))
         .collect();
-    let mut group = c.benchmark_group("prune");
-    group.bench_with_input(BenchmarkId::from_parameter("distance_dag"), &(), |b, ()| {
-        b.iter(|| distance_dag(&g, NodeId(0), &weights))
+    let mut group = BenchGroup::new("prune");
+    group.bench("distance_dag", || distance_dag(&g, NodeId(0), &weights));
+    group.bench("frontier_meets", || {
+        frontier_meets_dag(&g, NodeId(1), NodeId(0), &weights)
     });
-    group.bench_with_input(
-        BenchmarkId::from_parameter("frontier_meets"),
-        &(),
-        |b, ()| b.iter(|| frontier_meets_dag(&g, NodeId(1), NodeId(0), &weights)),
-    );
     group.finish();
 }
-
-criterion_group!(benches, bench_prune);
-criterion_main!(benches);

@@ -5,13 +5,13 @@
 //! translation, flow simulation and (cached) LP reward — for the
 //! one-shot env with both the MLP and the GNN policy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gddr_bench::harness::BenchGroup;
 use gddr_core::env::{standard_sequences, DdrEnv, DdrEnvConfig, GraphContext};
 use gddr_core::policies::{GnnPolicy, GnnPolicyConfig, MlpPolicy};
 use gddr_net::topology::zoo;
 use gddr_rl::{Env, Policy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 
 fn env_with_warm_cache(rng: &mut StdRng) -> DdrEnv {
     let g = zoo::abilene();
@@ -29,18 +29,18 @@ fn env_with_warm_cache(rng: &mut StdRng) -> DdrEnv {
     env
 }
 
-fn bench_env_step(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let mut env = env_with_warm_cache(&mut rng);
 
     let mlp = MlpPolicy::new(5, 11, 28, &[64, 64], -0.7, &mut rng);
     let gnn = GnnPolicy::new(&GnnPolicyConfig::default(), -0.7, &mut rng);
 
-    let mut group = c.benchmark_group("env_step_abilene");
+    let mut group = BenchGroup::new("env_step_abilene");
     group.sample_size(30);
-    group.bench_function("mlp_policy", |b| {
+    {
         let mut obs = env.reset(&mut rng);
-        b.iter(|| {
+        group.bench("mlp_policy", || {
             let sample = mlp.act(&obs, &mut rng);
             let step = env.step(&sample.action, &mut rng);
             obs = if step.done {
@@ -48,11 +48,11 @@ fn bench_env_step(c: &mut Criterion) {
             } else {
                 step.obs
             };
-        })
-    });
-    group.bench_function("gnn_policy", |b| {
+        });
+    }
+    {
         let mut obs = env.reset(&mut rng);
-        b.iter(|| {
+        group.bench("gnn_policy", || {
             let sample = gnn.act(&obs, &mut rng);
             let step = env.step(&sample.action, &mut rng);
             obs = if step.done {
@@ -60,10 +60,7 @@ fn bench_env_step(c: &mut Criterion) {
             } else {
                 step.obs
             };
-        })
-    });
+        });
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench_env_step);
-criterion_main!(benches);

@@ -1,17 +1,17 @@
 //! Microbenchmark: encode-process-decode forward and backward passes
 //! on Abilene-sized graphs, across message-passing step counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_bench::harness::BenchGroup;
 use gddr_gnn::{EncodeProcessDecode, EpdConfig, GraphFeatures, GraphStructure};
 use gddr_net::topology::zoo;
 use gddr_nn::{Matrix, ParamStore, Tape};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 
-fn bench_gnn(c: &mut Criterion) {
+fn main() {
     let g = zoo::abilene();
     let s = GraphStructure::from_graph(&g);
-    let mut group = c.benchmark_group("gnn_epd");
+    let mut group = BenchGroup::new("gnn_epd");
     for steps in [1usize, 3, 5] {
         let cfg = EpdConfig {
             node_in: 10,
@@ -33,28 +33,17 @@ fn bench_gnn(c: &mut Criterion) {
             edges: Matrix::zeros(s.num_edges, 3),
             globals: Matrix::zeros(1, 1),
         };
-        group.bench_with_input(BenchmarkId::new("forward", steps), &steps, |b, _| {
-            b.iter(|| {
-                let mut tape = Tape::new();
-                net.forward(&mut tape, &store, &s, &feats)
-            })
+        group.bench(&format!("forward/{steps}"), || {
+            let mut tape = Tape::new();
+            net.forward(&mut tape, &store, &s, &feats)
         });
-        group.bench_with_input(
-            BenchmarkId::new("forward_backward", steps),
-            &steps,
-            |b, _| {
-                b.iter(|| {
-                    let mut tape = Tape::new();
-                    let out = net.forward(&mut tape, &store, &s, &feats);
-                    let loss = tape.sum_all(out.edges);
-                    let mut store_mut = store.clone();
-                    tape.backward(loss, &mut store_mut);
-                })
-            },
-        );
+        group.bench(&format!("forward_backward/{steps}"), || {
+            let mut tape = Tape::new();
+            let out = net.forward(&mut tape, &store, &s, &feats);
+            let loss = tape.sum_all(out.edges);
+            let mut store_mut = store.clone();
+            tape.backward(loss, &mut store_mut);
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_gnn);
-criterion_main!(benches);

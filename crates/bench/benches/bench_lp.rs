@@ -4,36 +4,38 @@
 //! (§VIII-C); this bench quantifies the oracle cost per topology and
 //! the effect of the demand-matrix cache.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_bench::harness::BenchGroup;
 use gddr_lp::mcf::{min_max_utilisation, CachedOracle};
 use gddr_net::topology::zoo;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 use gddr_traffic::gen::{bimodal, BimodalParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_lp_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp_solve");
+fn bench_lp_solve() {
+    let mut group = BenchGroup::new("lp_solve");
     group.sample_size(10);
     for g in [zoo::cesnet(), zoo::abilene(), zoo::nsfnet()] {
         let mut rng = StdRng::seed_from_u64(0);
         let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}_{}n", g.name(), g.num_nodes())),
-            &(&g, &dm),
-            |b, (g, dm)| b.iter(|| min_max_utilisation(g, dm).unwrap().u_max),
-        );
+        group.bench(&format!("{}_{}n", g.name(), g.num_nodes()), || {
+            min_max_utilisation(&g, &dm).unwrap().u_max
+        });
     }
     group.finish();
 }
 
-fn bench_lp_cache(c: &mut Criterion) {
+fn bench_lp_cache() {
     let g = zoo::abilene();
     let mut rng = StdRng::seed_from_u64(1);
     let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
     let oracle = CachedOracle::new(g);
     oracle.u_opt(&dm).unwrap(); // warm
-    c.bench_function("lp_cache_hit", |b| b.iter(|| oracle.u_opt(&dm).unwrap()));
+    let mut group = BenchGroup::new("lp_cache");
+    group.bench("lp_cache_hit", || oracle.u_opt(&dm).unwrap());
+    group.finish();
 }
 
-criterion_group!(benches, bench_lp_solve, bench_lp_cache);
-criterion_main!(benches);
+fn main() {
+    bench_lp_solve();
+    bench_lp_cache();
+}

@@ -1,15 +1,15 @@
 //! Microbenchmark: softmin routing translation (paper Alg. 2) across
 //! topology sizes and pruning modes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gddr_bench::harness::BenchGroup;
 use gddr_net::topology::zoo;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::{Rng, SeedableRng};
 use gddr_routing::prune::PruneMode;
 use gddr_routing::softmin::{softmin_routing, SoftminConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn bench_softmin(c: &mut Criterion) {
-    let mut group = c.benchmark_group("softmin_routing");
+fn main() {
+    let mut group = BenchGroup::new("softmin_routing");
     group.sample_size(20);
     for g in [zoo::cesnet(), zoo::abilene(), zoo::geant()] {
         let mut rng = StdRng::seed_from_u64(0);
@@ -29,15 +29,10 @@ fn bench_softmin(c: &mut Criterion) {
                 gamma: 2.0,
                 prune_mode: mode,
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, format!("{}_{}n", g.name(), g.num_nodes())),
-                &(&g, &weights, &cfg),
-                |b, (g, w, cfg)| b.iter(|| softmin_routing(g, w, cfg)),
-            );
+            group.bench(&format!("{label}/{}_{}n", g.name(), g.num_nodes()), || {
+                softmin_routing(&g, &weights, &cfg)
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_softmin);
-criterion_main!(benches);

@@ -1,409 +1,28 @@
-//! A minimal JSON serializer backend for `serde::Serialize`.
+//! JSON export for experiment-result artifacts.
 //!
-//! The approved offline dependency set does not include `serde_json`,
-//! so this module implements the small subset of a serde serializer the
-//! experiment-result types need (primitives, strings, sequences,
-//! tuples, structs, maps, options) to export figure data as JSON
-//! artifacts.
+//! The heavy lifting lives in the `gddr-ser` crate (the hermetic
+//! replacement for `serde`); this module keeps the `to_json` /
+//! [`JsonError`] names the figure binaries call so they read the same
+//! as before the migration.
 
-use std::fmt::Write as _;
+pub use gddr_ser::JsonError;
+use gddr_ser::ToJson;
 
-use serde::ser::{self, Serialize};
-
-/// Serialises any `Serialize` value to a JSON string.
+/// Serialises any [`ToJson`] value to a compact JSON string.
 ///
 /// # Errors
 ///
-/// Returns an error for unsupported shapes (e.g. non-string map keys)
-/// or non-finite floats.
-pub fn to_json<T: Serialize>(value: &T) -> Result<String, JsonError> {
-    let mut ser = Serializer { out: String::new() };
-    value.serialize(&mut ser)?;
-    Ok(ser.out)
-}
-
-/// Serialisation failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError(String);
-
-impl std::fmt::Display for JsonError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json serialisation failed: {}", self.0)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-impl ser::Error for JsonError {
-    fn custom<T: std::fmt::Display>(msg: T) -> Self {
-        JsonError(msg.to_string())
-    }
-}
-
-struct Serializer {
-    out: String,
-}
-
-fn escape_into(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                write!(out, "\\u{:04x}", c as u32).expect("string write");
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Compound serializer tracking element separators.
-struct Compound<'a> {
-    ser: &'a mut Serializer,
-    first: bool,
-    close: char,
-}
-
-impl Compound<'_> {
-    fn sep(&mut self) {
-        if self.first {
-            self.first = false;
-        } else {
-            self.ser.out.push(',');
-        }
-    }
-}
-
-impl<'a> ser::Serializer for &'a mut Serializer {
-    type Ok = ();
-    type Error = JsonError;
-    type SerializeSeq = Compound<'a>;
-    type SerializeTuple = Compound<'a>;
-    type SerializeTupleStruct = Compound<'a>;
-    type SerializeTupleVariant = Compound<'a>;
-    type SerializeMap = Compound<'a>;
-    type SerializeStruct = Compound<'a>;
-    type SerializeStructVariant = Compound<'a>;
-
-    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
-        self.out.push_str(if v { "true" } else { "false" });
-        Ok(())
-    }
-
-    fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
-        self.serialize_i64(v as i64)
-    }
-    fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
-        self.serialize_i64(v as i64)
-    }
-    fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
-        self.serialize_i64(v as i64)
-    }
-    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
-        write!(self.out, "{v}").expect("string write");
-        Ok(())
-    }
-    fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
-        self.serialize_u64(v as u64)
-    }
-    fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
-        self.serialize_u64(v as u64)
-    }
-    fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
-        self.serialize_u64(v as u64)
-    }
-    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
-        write!(self.out, "{v}").expect("string write");
-        Ok(())
-    }
-
-    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
-        self.serialize_f64(v as f64)
-    }
-
-    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
-        if !v.is_finite() {
-            return Err(JsonError(format!("non-finite float {v}")));
-        }
-        // `{v}` prints integral floats without a dot; keep them valid
-        // JSON numbers either way.
-        write!(self.out, "{v}").expect("string write");
-        Ok(())
-    }
-
-    fn serialize_char(self, v: char) -> Result<(), JsonError> {
-        escape_into(&mut self.out, &v.to_string());
-        Ok(())
-    }
-
-    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
-        escape_into(&mut self.out, v);
-        Ok(())
-    }
-
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonError> {
-        use serde::ser::SerializeSeq;
-        let mut seq = self.serialize_seq(Some(v.len()))?;
-        for b in v {
-            seq.serialize_element(b)?;
-        }
-        seq.end()
-    }
-
-    fn serialize_none(self) -> Result<(), JsonError> {
-        self.out.push_str("null");
-        Ok(())
-    }
-
-    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), JsonError> {
-        value.serialize(self)
-    }
-
-    fn serialize_unit(self) -> Result<(), JsonError> {
-        self.out.push_str("null");
-        Ok(())
-    }
-
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
-        self.serialize_unit()
-    }
-
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        _index: u32,
-        variant: &'static str,
-    ) -> Result<(), JsonError> {
-        self.serialize_str(variant)
-    }
-
-    fn serialize_newtype_struct<T: ?Sized + Serialize>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), JsonError> {
-        value.serialize(self)
-    }
-
-    fn serialize_newtype_variant<T: ?Sized + Serialize>(
-        self,
-        _name: &'static str,
-        _index: u32,
-        variant: &'static str,
-        value: &T,
-    ) -> Result<(), JsonError> {
-        self.out.push('{');
-        escape_into(&mut self.out, variant);
-        self.out.push(':');
-        value.serialize(&mut *self)?;
-        self.out.push('}');
-        Ok(())
-    }
-
-    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
-        self.out.push('[');
-        Ok(Compound {
-            ser: self,
-            first: true,
-            close: ']',
-        })
-    }
-
-    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, JsonError> {
-        self.serialize_seq(Some(len))
-    }
-
-    fn serialize_tuple_struct(
-        self,
-        _name: &'static str,
-        len: usize,
-    ) -> Result<Compound<'a>, JsonError> {
-        self.serialize_seq(Some(len))
-    }
-
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        _index: u32,
-        variant: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, JsonError> {
-        self.out.push('{');
-        escape_into(&mut self.out, variant);
-        self.out.push_str(":[");
-        Ok(Compound {
-            ser: self,
-            first: true,
-            close: ']', // The variant object brace is closed in `end`.
-        })
-    }
-
-    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
-        self.out.push('{');
-        Ok(Compound {
-            ser: self,
-            first: true,
-            close: '}',
-        })
-    }
-
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, JsonError> {
-        self.serialize_map(None)
-    }
-
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        _index: u32,
-        variant: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, JsonError> {
-        self.out.push('{');
-        escape_into(&mut self.out, variant);
-        self.out.push_str(":{");
-        Ok(Compound {
-            ser: self,
-            first: true,
-            close: '}', // The variant object brace is closed in `end`.
-        })
-    }
-}
-
-impl ser::SerializeSeq for Compound<'_> {
-    type Ok = ();
-    type Error = JsonError;
-
-    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
-        self.sep();
-        value.serialize(&mut *self.ser)
-    }
-
-    fn end(self) -> Result<(), JsonError> {
-        self.ser.out.push(self.close);
-        Ok(())
-    }
-}
-
-impl ser::SerializeTuple for Compound<'_> {
-    type Ok = ();
-    type Error = JsonError;
-
-    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
-        ser::SerializeSeq::serialize_element(self, value)
-    }
-
-    fn end(self) -> Result<(), JsonError> {
-        ser::SerializeSeq::end(self)
-    }
-}
-
-impl ser::SerializeTupleStruct for Compound<'_> {
-    type Ok = ();
-    type Error = JsonError;
-
-    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
-        ser::SerializeSeq::serialize_element(self, value)
-    }
-
-    fn end(self) -> Result<(), JsonError> {
-        ser::SerializeSeq::end(self)
-    }
-}
-
-impl ser::SerializeTupleVariant for Compound<'_> {
-    type Ok = ();
-    type Error = JsonError;
-
-    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
-        ser::SerializeSeq::serialize_element(self, value)
-    }
-
-    fn end(self) -> Result<(), JsonError> {
-        self.ser.out.push(self.close);
-        self.ser.out.push('}');
-        Ok(())
-    }
-}
-
-impl ser::SerializeMap for Compound<'_> {
-    type Ok = ();
-    type Error = JsonError;
-
-    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), JsonError> {
-        self.sep();
-        // JSON keys must be strings; serialise the key and require it
-        // to have produced a string literal.
-        let before = self.ser.out.len();
-        key.serialize(&mut *self.ser)?;
-        if !self.ser.out[before..].starts_with('"') {
-            return Err(JsonError("map keys must be strings".into()));
-        }
-        self.ser.out.push(':');
-        Ok(())
-    }
-
-    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
-        value.serialize(&mut *self.ser)
-    }
-
-    fn end(self) -> Result<(), JsonError> {
-        self.ser.out.push(self.close);
-        Ok(())
-    }
-}
-
-impl ser::SerializeStruct for Compound<'_> {
-    type Ok = ();
-    type Error = JsonError;
-
-    fn serialize_field<T: ?Sized + Serialize>(
-        &mut self,
-        key: &'static str,
-        value: &T,
-    ) -> Result<(), JsonError> {
-        self.sep();
-        escape_into(&mut self.ser.out, key);
-        self.ser.out.push(':');
-        value.serialize(&mut *self.ser)
-    }
-
-    fn end(self) -> Result<(), JsonError> {
-        self.ser.out.push(self.close);
-        Ok(())
-    }
-}
-
-impl ser::SerializeStructVariant for Compound<'_> {
-    type Ok = ();
-    type Error = JsonError;
-
-    fn serialize_field<T: ?Sized + Serialize>(
-        &mut self,
-        key: &'static str,
-        value: &T,
-    ) -> Result<(), JsonError> {
-        ser::SerializeStruct::serialize_field(self, key, value)
-    }
-
-    fn end(self) -> Result<(), JsonError> {
-        self.ser.out.push(self.close);
-        self.ser.out.push('}');
-        Ok(())
-    }
+/// Kept fallible for call-site compatibility; serialisation itself
+/// cannot fail (non-finite floats panic in `gddr-ser` instead).
+pub fn to_json<T: ToJson>(value: &T) -> Result<String, JsonError> {
+    Ok(value.to_json().to_string())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::Serialize;
-    use std::collections::BTreeMap;
+    use gddr_ser::{Json, ToJson};
 
-    #[derive(Serialize)]
     struct Sample {
         name: String,
         values: Vec<f64>,
@@ -411,6 +30,19 @@ mod tests {
         flag: bool,
         missing: Option<u32>,
         present: Option<u32>,
+    }
+
+    impl ToJson for Sample {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("name", self.name.to_json()),
+                ("values", self.values.to_json()),
+                ("pair", self.pair.to_json()),
+                ("flag", self.flag.to_json()),
+                ("missing", self.missing.to_json()),
+                ("present", self.present.to_json()),
+            ])
+        }
     }
 
     #[test]
@@ -434,40 +66,6 @@ mod tests {
     fn string_escaping() {
         let json = to_json(&"a\"b\\c\nd").unwrap();
         assert_eq!(json, r#""a\"b\\c\nd""#);
-    }
-
-    #[test]
-    fn maps_and_enums() {
-        let mut m = BTreeMap::new();
-        m.insert("k1".to_string(), 1u32);
-        m.insert("k2".to_string(), 2u32);
-        assert_eq!(to_json(&m).unwrap(), r#"{"k1":1,"k2":2}"#);
-
-        #[derive(Serialize)]
-        enum E {
-            Unit,
-            Newtype(u32),
-            Struct { x: u32 },
-        }
-        assert_eq!(to_json(&E::Unit).unwrap(), r#""Unit""#);
-        assert_eq!(to_json(&E::Newtype(5)).unwrap(), r#"{"Newtype":5}"#);
-        assert_eq!(
-            to_json(&E::Struct { x: 9 }).unwrap(),
-            r#"{"Struct":{"x":9}}"#
-        );
-    }
-
-    #[test]
-    fn rejects_non_finite_floats() {
-        assert!(to_json(&f64::NAN).is_err());
-        assert!(to_json(&f64::INFINITY).is_err());
-    }
-
-    #[test]
-    fn rejects_integer_map_keys() {
-        let mut m = BTreeMap::new();
-        m.insert(1u32, "x");
-        assert!(to_json(&m).is_err());
     }
 
     #[test]

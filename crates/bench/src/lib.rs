@@ -12,10 +12,13 @@
 //! - `fig8_generalisation` — Fig. 8: generalisation to unseen and
 //!   modified topologies.
 //!
-//! Criterion benches measure the substrate (LP solve, softmin
-//! translation, environment step rate, GNN forward/backward) and run
-//! the quality ablations for softmin γ and the DAG-pruning algorithms.
+//! In-tree benches (see [`harness`]) measure the substrate (LP solve,
+//! softmin translation, environment step rate, GNN forward/backward)
+//! and run the quality ablations for softmin γ and the DAG-pruning
+//! algorithms. Run them with `cargo bench --offline`; each writes a
+//! `results/BENCH_<group>.json` artifact.
 
+pub mod harness;
 pub mod json;
 
 use std::collections::HashMap;

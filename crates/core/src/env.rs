@@ -14,8 +14,8 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::Rng;
 
 use gddr_gnn::GraphStructure;
 use gddr_lp::CachedOracle;
@@ -366,7 +366,7 @@ pub fn standard_sequences(
 mod tests {
     use super::*;
     use gddr_net::topology::zoo;
-    use rand::SeedableRng;
+    use gddr_rng::SeedableRng;
 
     fn small_env() -> DdrEnv {
         let g = zoo::cesnet();

@@ -11,8 +11,8 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::Rng;
 
 use gddr_nn::Matrix;
 use gddr_rl::{Env, Step};
@@ -200,7 +200,7 @@ mod tests {
     use super::*;
     use crate::env::standard_sequences;
     use gddr_net::topology::zoo;
-    use rand::SeedableRng;
+    use gddr_rng::SeedableRng;
 
     fn env() -> IterativeDdrEnv {
         let g = zoo::cesnet();

@@ -6,6 +6,7 @@ use gddr_rl::Policy;
 use gddr_routing::baselines::{ecmp_routing, shortest_path_routing};
 use gddr_routing::softmin::{softmin_routing, SoftminConfig};
 use gddr_routing::Routing;
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
 use gddr_traffic::DemandMatrix;
 
 use crate::env::{DdrEnvConfig, GraphContext};
@@ -14,7 +15,7 @@ use crate::obs::{flat_features, node_features, DdrObs, DemandHistory};
 
 /// Summary statistics of utilisation ratios across evaluated demand
 /// matrices (1.0 = optimal; lower is better).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EvalResult {
     /// Mean ratio (the bar height).
     pub mean_ratio: f64,
@@ -22,6 +23,26 @@ pub struct EvalResult {
     pub std_ratio: f64,
     /// Every individual ratio.
     pub ratios: Vec<f64>,
+}
+
+impl ToJson for EvalResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mean_ratio", self.mean_ratio.to_json()),
+            ("std_ratio", self.std_ratio.to_json()),
+            ("ratios", self.ratios.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EvalResult {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(EvalResult {
+            mean_ratio: FromJson::from_json(json.field("mean_ratio")?)?,
+            std_ratio: FromJson::from_json(json.field("std_ratio")?)?,
+            ratios: FromJson::from_json(json.field("ratios")?)?,
+        })
+    }
 }
 
 impl EvalResult {
@@ -111,14 +132,14 @@ pub fn eval_iterative<P: Policy<Obs = DdrObs>>(
 ) -> EvalResult {
     assert!(!test_sequences.is_empty(), "need test sequences");
     use gddr_rl::Env;
-    use rand::SeedableRng;
+    use gddr_rng::SeedableRng;
     let mut ratios = Vec::new();
     for seq in test_sequences {
         assert!(seq.len() > config.memory, "sequence shorter than memory");
         // A single-sequence env makes the reset deterministic.
         let eval_ctx = GraphContext::new(ctx.graph.clone(), vec![seq.clone()]);
         let mut env = IterativeDdrEnv::new(eval_ctx, *config);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = gddr_rng::rngs::StdRng::seed_from_u64(0);
         let mut obs = env.reset(&mut rng);
         loop {
             let action = policy.act_greedy(&obs);
@@ -232,8 +253,8 @@ mod tests {
     use crate::env::standard_sequences;
     use crate::policies::{GnnPolicy, GnnPolicyConfig, MlpPolicy};
     use gddr_net::topology::zoo;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     fn fixture() -> (GraphContext, DdrEnvConfig, Vec<Vec<DemandMatrix>>, StdRng) {
         let g = zoo::cesnet();

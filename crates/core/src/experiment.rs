@@ -9,8 +9,9 @@
 //! budget), which preserves the figures' qualitative shape (see
 //! DESIGN.md, "Substitutions").
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
 
 use gddr_net::topology::{mutate, zoo};
 use gddr_net::Graph;
@@ -96,7 +97,7 @@ impl Default for FixedGraphConfig {
 }
 
 /// A trained agent's evaluation plus its learning curve.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyOutcome {
     /// Held-out mean ratio and spread (Fig. 6 bar).
     pub eval: EvalResult,
@@ -104,8 +105,23 @@ pub struct PolicyOutcome {
     pub log: TrainingLog,
 }
 
+impl ToJson for PolicyOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([("eval", self.eval.to_json()), ("log", self.log.to_json())])
+    }
+}
+
+impl FromJson for PolicyOutcome {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(PolicyOutcome {
+            eval: FromJson::from_json(json.field("eval")?)?,
+            log: FromJson::from_json(json.field("log")?)?,
+        })
+    }
+}
+
 /// Result of the fixed-graph experiment.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FixedGraphResult {
     /// The MLP baseline agent (Valadarsky et al.).
     pub mlp: PolicyOutcome,
@@ -116,6 +132,28 @@ pub struct FixedGraphResult {
     /// Predict-then-route baseline (§II-A): LP-optimal routing for the
     /// history-averaged prediction, applied to the real demands.
     pub prediction: EvalResult,
+}
+
+impl ToJson for FixedGraphResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mlp", self.mlp.to_json()),
+            ("gnn", self.gnn.to_json()),
+            ("shortest_path", self.shortest_path.to_json()),
+            ("prediction", self.prediction.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FixedGraphResult {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(FixedGraphResult {
+            mlp: FromJson::from_json(json.field("mlp")?)?,
+            gnn: FromJson::from_json(json.field("gnn")?)?,
+            shortest_path: FromJson::from_json(json.field("shortest_path")?)?,
+            prediction: FromJson::from_json(json.field("prediction")?)?,
+        })
+    }
 }
 
 /// Runs the fixed-graph experiment: trains the MLP baseline and the
@@ -135,8 +173,8 @@ pub fn fixed_graph(config: &FixedGraphConfig) -> FixedGraphResult {
 
     // The two agents are independent; train them on parallel threads
     // (each with its own environment, oracle cache and RNG stream).
-    let (mlp_outcome, gnn_outcome) = crossbeam::thread::scope(|scope| {
-        let mlp_handle = scope.spawn(|_| {
+    let (mlp_outcome, gnn_outcome) = std::thread::scope(|scope| {
+        let mlp_handle = scope.spawn(|| {
             let mut mlp_rng = StdRng::seed_from_u64(config.seed ^ 0x11);
             let mut mlp = MlpPolicy::new(
                 config.env.memory,
@@ -160,7 +198,7 @@ pub fn fixed_graph(config: &FixedGraphConfig) -> FixedGraphResult {
             let eval = eval_oneshot(&ctx, &config.env, &mlp, &test);
             PolicyOutcome { eval, log }
         });
-        let gnn_handle = scope.spawn(|_| {
+        let gnn_handle = scope.spawn(|| {
             let mut gnn_rng = StdRng::seed_from_u64(config.seed ^ 0x22);
             let mut gnn = GnnPolicy::new(&config.gnn, config.init_log_std, &mut gnn_rng);
             let mut env = DdrEnv::new(GraphContext::new(graph.clone(), train.clone()), config.env);
@@ -181,8 +219,7 @@ pub fn fixed_graph(config: &FixedGraphConfig) -> FixedGraphResult {
             mlp_handle.join().expect("MLP training thread"),
             gnn_handle.join().expect("GNN training thread"),
         )
-    })
-    .expect("training scope");
+    });
 
     let eval_ctx = GraphContext::new(graph.clone(), train.clone());
     let sp = shortest_path_baseline(&eval_ctx, &config.env, &test);
@@ -264,7 +301,7 @@ impl Default for GeneralisationConfig {
 }
 
 /// Evaluation of one policy on one test family.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FamilyEval {
     /// Mean ratio across all graphs and demand matrices in the family.
     pub policy: EvalResult,
@@ -272,8 +309,26 @@ pub struct FamilyEval {
     pub shortest_path: EvalResult,
 }
 
+impl ToJson for FamilyEval {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", self.policy.to_json()),
+            ("shortest_path", self.shortest_path.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FamilyEval {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(FamilyEval {
+            policy: FromJson::from_json(json.field("policy")?)?,
+            shortest_path: FromJson::from_json(json.field("shortest_path")?)?,
+        })
+    }
+}
+
 /// Result of the generalisation experiment.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneralisationResult {
     /// One-shot GNN on unseen different graphs.
     pub gnn_different: FamilyEval,
@@ -287,6 +342,32 @@ pub struct GeneralisationResult {
     pub gnn_log: TrainingLog,
     /// Iterative policy training curve.
     pub iterative_log: TrainingLog,
+}
+
+impl ToJson for GeneralisationResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("gnn_different", self.gnn_different.to_json()),
+            ("gnn_modified", self.gnn_modified.to_json()),
+            ("iterative_different", self.iterative_different.to_json()),
+            ("iterative_modified", self.iterative_modified.to_json()),
+            ("gnn_log", self.gnn_log.to_json()),
+            ("iterative_log", self.iterative_log.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GeneralisationResult {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(GeneralisationResult {
+            gnn_different: FromJson::from_json(json.field("gnn_different")?)?,
+            gnn_modified: FromJson::from_json(json.field("gnn_modified")?)?,
+            iterative_different: FromJson::from_json(json.field("iterative_different")?)?,
+            iterative_modified: FromJson::from_json(json.field("iterative_modified")?)?,
+            gnn_log: FromJson::from_json(json.field("gnn_log")?)?,
+            iterative_log: FromJson::from_json(json.field("iterative_log")?)?,
+        })
+    }
 }
 
 /// The training graph mixture: zoo topologies between half and double
@@ -369,8 +450,8 @@ pub fn generalisation(config: &GeneralisationConfig) -> GeneralisationResult {
     // Both policies train independently; run them on parallel threads.
     let gnn_contexts = contexts_for(&train_graphs, w, w.train_sequences, &mut rng);
     let it_contexts = contexts_for(&train_graphs, w, w.train_sequences, &mut rng);
-    let ((gnn, gnn_log), (iterative, it_log)) = crossbeam::thread::scope(|scope| {
-        let gnn_handle = scope.spawn(|_| {
+    let ((gnn, gnn_log), (iterative, it_log)) = std::thread::scope(|scope| {
+        let gnn_handle = scope.spawn(|| {
             let mut gnn_rng = StdRng::seed_from_u64(config.seed ^ 0x33);
             let mut gnn = GnnPolicy::new(&config.gnn, config.init_log_std, &mut gnn_rng);
             let mut env = MultiGraphDdrEnv::new(gnn_contexts, config.env);
@@ -385,7 +466,7 @@ pub fn generalisation(config: &GeneralisationConfig) -> GeneralisationResult {
             );
             (gnn, log)
         });
-        let it_handle = scope.spawn(|_| {
+        let it_handle = scope.spawn(|| {
             let mut it_rng = StdRng::seed_from_u64(config.seed ^ 0x44);
             let mut iterative =
                 GnnIterativePolicy::new(&config.gnn, config.init_log_std, &mut it_rng);
@@ -405,8 +486,7 @@ pub fn generalisation(config: &GeneralisationConfig) -> GeneralisationResult {
             gnn_handle.join().expect("GNN training thread"),
             it_handle.join().expect("iterative training thread"),
         )
-    })
-    .expect("training scope");
+    });
 
     // --- Test families ---
     let different = test_graphs();

@@ -152,9 +152,9 @@ pub struct DdrObs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
     use gddr_traffic::gen::{bimodal, BimodalParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn dm_with(n: usize, entries: &[(usize, usize, f64)]) -> DemandMatrix {
         let mut dm = DemandMatrix::zeros(n);

@@ -6,7 +6,7 @@
 //! global attribute. The parameter count is independent of the graph,
 //! so a trained policy applies unchanged to other topologies.
 
-use rand::rngs::StdRng;
+use gddr_rng::rngs::StdRng;
 
 use gddr_gnn::{EncodeProcessDecode, EpdConfig, GraphFeatures};
 use gddr_nn::dist::DiagGaussian;
@@ -180,7 +180,7 @@ mod tests {
     use crate::DdrEnv;
     use gddr_net::topology::zoo;
     use gddr_rl::Env;
-    use rand::SeedableRng;
+    use gddr_rng::SeedableRng;
 
     fn policy_and_env(graph_name: &str, memory: usize) -> (GnnPolicy, DdrEnv, StdRng) {
         let g = gddr_net::topology::zoo::by_name(graph_name).unwrap();

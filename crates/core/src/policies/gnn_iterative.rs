@@ -7,7 +7,7 @@
 //! graphs of different sizes — the property that makes it the best
 //! performer in the paper's Fig. 8.
 
-use rand::rngs::StdRng;
+use gddr_rng::rngs::StdRng;
 
 use gddr_gnn::{EncodeProcessDecode, EpdConfig, GraphFeatures};
 use gddr_nn::dist::DiagGaussian;
@@ -149,7 +149,7 @@ mod tests {
     use crate::env_iterative::IterativeDdrEnv;
     use gddr_net::topology::zoo;
     use gddr_rl::Env;
-    use rand::SeedableRng;
+    use gddr_rng::SeedableRng;
 
     fn setup() -> (GnnIterativePolicy, IterativeDdrEnv, StdRng) {
         let g = zoo::cesnet();

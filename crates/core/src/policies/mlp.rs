@@ -5,7 +5,7 @@
 //! (`m·|V|²` in, `|E|` out) — the limitation that motivates the GNN
 //! policies.
 
-use rand::rngs::StdRng;
+use gddr_rng::rngs::StdRng;
 
 use gddr_nn::{ParamStore, Tape};
 use gddr_rl::policy::MlpGaussianPolicy;
@@ -80,7 +80,7 @@ mod tests {
     use crate::DdrEnv;
     use gddr_net::topology::zoo;
     use gddr_rl::Env;
-    use rand::SeedableRng;
+    use gddr_rng::SeedableRng;
 
     #[test]
     fn mlp_policy_matches_env_dimensions() {

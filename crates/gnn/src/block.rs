@@ -12,7 +12,7 @@
 //! the paper ("we implement all of these functions as MLPs"), and all
 //! ρ are sums (`tf.unsorted_segment_sum` in the paper's stack).
 
-use rand::Rng;
+use gddr_rng::Rng;
 
 use gddr_nn::layers::{Activation, Mlp};
 use gddr_nn::{ParamStore, Tape, Var};
@@ -165,8 +165,8 @@ mod tests {
     use super::*;
     use gddr_net::topology::zoo;
     use gddr_nn::Matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     fn fixture() -> (GraphStructure, ParamStore, GnBlock) {
         let g = zoo::cesnet();

@@ -1,7 +1,7 @@
 //! Graph feature containers and the encode-process-decode composition
 //! (paper Fig. 5).
 
-use rand::Rng;
+use gddr_rng::Rng;
 
 use gddr_net::Graph;
 use gddr_nn::layers::{Activation, LayerNorm, Mlp};
@@ -240,8 +240,8 @@ impl EncodeProcessDecode {
 mod tests {
     use super::*;
     use gddr_net::topology::zoo;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     fn config() -> EpdConfig {
         EpdConfig {

@@ -22,12 +22,12 @@
 //! use gddr_gnn::{EncodeProcessDecode, EpdConfig, GraphStructure, GraphFeatures};
 //! use gddr_net::topology::zoo;
 //! use gddr_nn::{Matrix, ParamStore, Tape};
-//! use rand::SeedableRng;
+//! use gddr_rng::SeedableRng;
 //!
 //! let g = zoo::abilene();
 //! let structure = GraphStructure::from_graph(&g);
 //! let mut store = ParamStore::new();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = gddr_rng::rngs::StdRng::seed_from_u64(0);
 //! let config = EpdConfig {
 //!     node_in: 2, edge_in: 1, global_in: 1,
 //!     node_out: 2, edge_out: 1, global_out: 2,

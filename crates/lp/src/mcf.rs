@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use gddr_net::{Graph, NodeId};
 use gddr_traffic::DemandMatrix;
@@ -152,7 +152,7 @@ impl CachedOracle {
 
     /// Number of cached entries.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().expect("oracle cache lock").len()
     }
 
     /// The optimal max-link utilisation for `dm`, cached.
@@ -162,11 +162,14 @@ impl CachedOracle {
     /// Propagates LP failures (see [`min_max_utilisation`]).
     pub fn u_opt(&self, dm: &DemandMatrix) -> Result<f64, LpError> {
         let key = dm.fingerprint();
-        if let Some(&u) = self.cache.lock().get(&key) {
+        if let Some(&u) = self.cache.lock().expect("oracle cache lock").get(&key) {
             return Ok(u);
         }
         let sol = min_max_utilisation(&self.graph, dm)?;
-        self.cache.lock().insert(key, sol.u_max);
+        self.cache
+            .lock()
+            .expect("oracle cache lock")
+            .insert(key, sol.u_max);
         Ok(sol.u_max)
     }
 }
@@ -175,9 +178,9 @@ impl CachedOracle {
 mod tests {
     use super::*;
     use gddr_net::topology::{from_links, zoo};
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
     use gddr_traffic::gen::{bimodal, BimodalParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");

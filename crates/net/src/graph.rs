@@ -6,12 +6,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
 
 /// Identifier of a vertex in a [`Graph`].
 ///
 /// Node ids are dense: a graph with `n` nodes has ids `0..n`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 /// Identifier of a directed edge in a [`Graph`].
@@ -19,8 +19,32 @@ pub struct NodeId(pub usize);
 /// Edge ids are dense: a graph with `m` edges has ids `0..m`, in
 /// insertion order. The GNN policies rely on this to index edge-feature
 /// rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub usize);
+
+impl ToJson for NodeId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for NodeId {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(NodeId(usize::from_json(json)?))
+    }
+}
+
+impl ToJson for EdgeId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for EdgeId {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(EdgeId(usize::from_json(json)?))
+    }
+}
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -62,11 +86,31 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Edge {
     src: NodeId,
     dst: NodeId,
     capacity: f64,
+}
+
+impl ToJson for Edge {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("src", self.src.to_json()),
+            ("dst", self.dst.to_json()),
+            ("capacity", self.capacity.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Edge {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Edge {
+            src: NodeId::from_json(json.field("src")?)?,
+            dst: NodeId::from_json(json.field("dst")?)?,
+            capacity: f64::from_json(json.field("capacity")?)?,
+        })
+    }
 }
 
 /// A directed graph with link capacities.
@@ -92,13 +136,43 @@ struct Edge {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     name: String,
     node_names: Vec<String>,
     edges: Vec<Edge>,
     out_adj: Vec<Vec<EdgeId>>,
     in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl ToJson for Graph {
+    /// Serialises name, node names and the edge list; adjacency is
+    /// derived data and is rebuilt on deserialisation.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("node_names", self.node_names.to_json()),
+            ("edges", self.edges.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Graph {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let name = String::from_json(json.field("name")?)?;
+        let node_names = Vec::<String>::from_json(json.field("node_names")?)?;
+        let edges = Vec::<Edge>::from_json(json.field("edges")?)?;
+        let mut graph = Graph::new(name);
+        for n in node_names {
+            graph.add_node(n);
+        }
+        for e in &edges {
+            graph
+                .add_edge(e.src, e.dst, e.capacity)
+                .map_err(|err| JsonError(format!("invalid edge in graph json: {err}")))?;
+        }
+        Ok(graph)
+    }
 }
 
 impl Graph {

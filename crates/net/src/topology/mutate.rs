@@ -6,7 +6,7 @@
 //! edits while keeping the graph strongly connected (a disconnected
 //! network has no feasible routing for all-pairs demands).
 
-use rand::Rng;
+use gddr_rng::Rng;
 
 use crate::algo::is_strongly_connected;
 use crate::graph::{Graph, NodeId};
@@ -183,8 +183,8 @@ pub fn remove_random_node<R: Rng>(graph: &Graph, rng: &mut R) -> Option<Graph> {
 mod tests {
     use super::*;
     use crate::topology::zoo;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     #[test]
     fn add_edge_grows_edge_count() {

@@ -4,7 +4,7 @@
 //! beyond the transcribed zoo topologies, and by property-based tests to
 //! exercise the routing pipeline on arbitrary connected graphs.
 
-use rand::Rng;
+use gddr_rng::Rng;
 
 use crate::algo::is_strongly_connected;
 use crate::graph::Graph;
@@ -125,8 +125,8 @@ pub fn waxman<R: Rng>(n: usize, alpha: f64, beta: f64, capacity: f64, rng: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     #[test]
     fn erdos_renyi_is_connected() {

@@ -5,7 +5,7 @@
 //! learned log-standard-deviation — the construction used by PPO2 in
 //! stable-baselines, the framework the paper trains with.
 
-use rand::Rng;
+use gddr_rng::Rng;
 
 use crate::matrix::Matrix;
 use crate::tape::{Tape, Var};
@@ -103,8 +103,8 @@ impl DiagGaussian {
 mod tests {
     use super::*;
     use crate::params::ParamStore;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     fn dist_fixture(mean_vals: Vec<f64>, log_std_vals: Vec<f64>) -> (Tape, DiagGaussian) {
         let d = log_std_vals.len();

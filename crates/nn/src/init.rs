@@ -1,6 +1,6 @@
 //! Weight initialisation schemes.
 
-use rand::Rng;
+use gddr_rng::Rng;
 
 use crate::matrix::Matrix;
 
@@ -43,8 +43,8 @@ pub fn scaled_columns<R: Rng>(fan_in: usize, fan_out: usize, gain: f64, rng: &mu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     #[test]
     fn xavier_within_limit() {

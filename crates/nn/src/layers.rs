@@ -4,7 +4,7 @@
 //! and all six graph-network update/pooling functions — as multilayer
 //! perceptrons; these two types cover all of them.
 
-use rand::Rng;
+use gddr_rng::Rng;
 
 use crate::init;
 use crate::params::{ParamId, ParamStore};
@@ -232,8 +232,8 @@ impl LayerNorm {
 mod tests {
     use super::*;
     use crate::matrix::Matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     #[test]
     fn linear_shapes() {

@@ -21,10 +21,10 @@
 //!
 //! ```
 //! use gddr_nn::{layers::Mlp, layers::Activation, Matrix, ParamStore, Tape};
-//! use rand::SeedableRng;
+//! use gddr_rng::SeedableRng;
 //!
 //! let mut store = ParamStore::new();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = gddr_rng::rngs::StdRng::seed_from_u64(0);
 //! let mlp = Mlp::new(&mut store, "net", &[4, 8, 2], Activation::Relu, &mut rng);
 //! let mut tape = Tape::new();
 //! let x = tape.constant(Matrix::zeros(3, 4));

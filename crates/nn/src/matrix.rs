@@ -6,10 +6,10 @@
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
 
 /// A dense row-major matrix of `f64`.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -286,6 +286,31 @@ impl Matrix {
     }
 }
 
+impl ToJson for Matrix {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Matrix {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let rows = usize::from_json(json.field("rows")?)?;
+        let cols = usize::from_json(json.field("cols")?)?;
+        let data = Vec::<f64>::from_json(json.field("data")?)?;
+        if data.len() != rows * cols {
+            return Err(JsonError(format!(
+                "matrix data length {} does not match shape {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+}
+
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
@@ -392,58 +417,88 @@ mod tests {
         assert!(!b.is_finite());
     }
 
+    /// Randomised algebraic identities, formerly proptest-based; now a
+    /// seeded sweep so the cases are reproducible and dependency-free.
     mod property {
         use super::*;
-        use proptest::prelude::*;
+        use gddr_rng::{Rng, SeedableRng, StdRng};
 
-        fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-            proptest::collection::vec(-10.0f64..10.0, rows * cols)
-                .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+        fn matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+            Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-10.0..10.0))
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
+        const CASES: u64 = 32;
 
-            #[test]
-            fn matmul_associativity(
-                a in matrix(2, 3),
-                b in matrix(3, 4),
-                c in matrix(4, 2),
-            ) {
+        #[test]
+        fn matmul_associativity() {
+            for seed in 0..CASES {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = matrix(2, 3, &mut rng);
+                let b = matrix(3, 4, &mut rng);
+                let c = matrix(4, 2, &mut rng);
                 let left = a.matmul(&b).matmul(&c);
                 let right = a.matmul(&b.matmul(&c));
                 for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
-                    prop_assert!((x - y).abs() < 1e-9);
+                    assert!((x - y).abs() < 1e-9, "seed {seed}");
                 }
             }
+        }
 
-            #[test]
-            fn transpose_reverses_matmul(a in matrix(2, 3), b in matrix(3, 4)) {
+        #[test]
+        fn transpose_reverses_matmul() {
+            for seed in 0..CASES {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = matrix(2, 3, &mut rng);
+                let b = matrix(3, 4, &mut rng);
                 let lhs = a.matmul(&b).transpose();
                 let rhs = b.transpose().matmul(&a.transpose());
-                prop_assert_eq!(lhs.shape(), rhs.shape());
+                assert_eq!(lhs.shape(), rhs.shape());
                 for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-                    prop_assert!((x - y).abs() < 1e-9);
+                    assert!((x - y).abs() < 1e-9, "seed {seed}");
                 }
             }
+        }
 
-            #[test]
-            fn scale_distributes_over_add(a in matrix(3, 3), b in matrix(3, 3), k in -5.0f64..5.0) {
+        #[test]
+        fn scale_distributes_over_add() {
+            for seed in 0..CASES {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = matrix(3, 3, &mut rng);
+                let b = matrix(3, 3, &mut rng);
+                let k = rng.gen_range(-5.0..5.0);
                 let lhs = (&a + &b).scale(k);
                 let rhs = &a.scale(k) + &b.scale(k);
                 for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-                    prop_assert!((x - y).abs() < 1e-9);
+                    assert!((x - y).abs() < 1e-9, "seed {seed}");
                 }
             }
+        }
 
-            #[test]
-            fn sum_equals_matmul_with_ones(a in matrix(3, 4)) {
+        #[test]
+        fn sum_equals_matmul_with_ones() {
+            for seed in 0..CASES {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = matrix(3, 4, &mut rng);
                 let ones_l = Matrix::full(1, 3, 1.0);
                 let ones_r = Matrix::full(4, 1, 1.0);
                 let total = ones_l.matmul(&a).matmul(&ones_r).get(0, 0);
-                prop_assert!((total - a.sum()).abs() < 1e-9);
+                assert!((total - a.sum()).abs() < 1e-9, "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, -2.5, 3.0, 0.0, 5.5, -6.0]);
+        let text = m.to_json().to_string();
+        let back = Matrix::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_rejects_bad_shape() {
+        let bad = Json::parse(r#"{"rows":2,"cols":2,"data":[1,2,3]}"#).unwrap();
+        assert!(Matrix::from_json(&bad).is_err());
     }
 
     #[test]

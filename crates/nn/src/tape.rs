@@ -882,47 +882,60 @@ mod tests {
         assert!(s.is_empty());
     }
 
+    /// Randomised algebraic identities, formerly proptest-based; now
+    /// deterministic seeded loops over `gddr-rng` draws.
     mod property {
         use super::*;
-        use proptest::prelude::*;
+        use gddr_rng::rngs::StdRng;
+        use gddr_rng::{Rng, SeedableRng};
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
+        const CASES: u64 = 32;
 
-            /// Algebraic identity: segment-sum with identity segments is
-            /// the identity, and gather after it reproduces the input.
-            #[test]
-            fn segment_identity(data in proptest::collection::vec(-5.0f64..5.0, 6)) {
+        fn uniform_vec(rng: &mut StdRng, len: usize, range: std::ops::Range<f64>) -> Vec<f64> {
+            (0..len).map(|_| rng.gen_range(range.clone())).collect()
+        }
+
+        /// Algebraic identity: segment-sum with identity segments is
+        /// the identity, and gather after it reproduces the input.
+        #[test]
+        fn segment_identity() {
+            for seed in 0..CASES {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let data = uniform_vec(&mut rng, 6, -5.0..5.0);
                 let mut tape = Tape::new();
                 let x = tape.constant(Matrix::from_vec(3, 2, data.clone()));
                 let seg = tape.segment_sum(x, &[0, 1, 2], 3);
-                prop_assert_eq!(tape.value(seg).as_slice(), &data[..]);
+                assert_eq!(tape.value(seg).as_slice(), &data[..]);
                 let gathered = tape.gather_rows(seg, &[0, 1, 2]);
-                prop_assert_eq!(tape.value(gathered).as_slice(), &data[..]);
+                assert_eq!(tape.value(gathered).as_slice(), &data[..]);
             }
+        }
 
-            /// sum(concat(a, b)) == sum(a) + sum(b).
-            #[test]
-            fn sum_distributes_over_concat(
-                a in proptest::collection::vec(-5.0f64..5.0, 4),
-                b in proptest::collection::vec(-5.0f64..5.0, 6),
-            ) {
+        /// sum(concat(a, b)) == sum(a) + sum(b).
+        #[test]
+        fn sum_distributes_over_concat() {
+            for seed in 0..CASES {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = uniform_vec(&mut rng, 4, -5.0..5.0);
+                let b = uniform_vec(&mut rng, 6, -5.0..5.0);
                 let mut tape = Tape::new();
                 let va = tape.constant(Matrix::from_vec(2, 2, a.clone()));
                 let vb = tape.constant(Matrix::from_vec(2, 3, b.clone()));
                 let c = tape.concat_cols(&[va, vb]);
                 let total = tape.sum_all(c);
                 let expected: f64 = a.iter().chain(&b).sum();
-                prop_assert!((tape.value(total).get(0, 0) - expected).abs() < 1e-9);
+                assert!((tape.value(total).get(0, 0) - expected).abs() < 1e-9);
             }
+        }
 
-            /// Linearity of the gradient: scaling the loss scales every
-            /// parameter gradient.
-            #[test]
-            fn gradient_is_linear_in_loss_scale(
-                w in proptest::collection::vec(-2.0f64..2.0, 4),
-                k in 0.5f64..4.0,
-            ) {
+        /// Linearity of the gradient: scaling the loss scales every
+        /// parameter gradient.
+        #[test]
+        fn gradient_is_linear_in_loss_scale() {
+            for seed in 0..CASES {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let w = uniform_vec(&mut rng, 4, -2.0..2.0);
+                let k = rng.gen_range(0.5..4.0);
                 let mut store = ParamStore::new();
                 let id = store.register("w", Matrix::from_vec(2, 2, w));
                 let run = |scale: f64, store: &mut ParamStore| {
@@ -938,15 +951,17 @@ mod tests {
                 let g1 = run(1.0, &mut store);
                 let gk = run(k, &mut store);
                 for (a, b) in g1.as_slice().iter().zip(gk.as_slice()) {
-                    prop_assert!((a * k - b).abs() < 1e-9);
+                    assert!((a * k - b).abs() < 1e-9);
                 }
             }
+        }
 
-            /// relu(x) + relu(-x) == |x| elementwise.
-            #[test]
-            fn relu_absolute_value_identity(
-                data in proptest::collection::vec(-5.0f64..5.0, 8),
-            ) {
+        /// relu(x) + relu(-x) == |x| elementwise.
+        #[test]
+        fn relu_absolute_value_identity() {
+            for seed in 0..CASES {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let data = uniform_vec(&mut rng, 8, -5.0..5.0);
                 let mut tape = Tape::new();
                 let x = tape.constant(Matrix::from_vec(2, 4, data.clone()));
                 let neg = tape.scale(x, -1.0);
@@ -954,7 +969,7 @@ mod tests {
                 let rn = tape.relu(neg);
                 let abs = tape.add(rp, rn);
                 for (v, d) in tape.value(abs).as_slice().iter().zip(&data) {
-                    prop_assert!((v - d.abs()).abs() < 1e-12);
+                    assert!((v - d.abs()).abs() < 1e-12);
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! The Gym-style environment interface (paper §V: "this environment
 //! should have an OpenAI Gym API").
 
-use rand::rngs::StdRng;
+use gddr_rng::rngs::StdRng;
 
 /// The result of one environment step.
 #[derive(Debug, Clone)]
@@ -66,7 +66,7 @@ pub(crate) mod test_envs {
         type Obs = Vec<f64>;
 
         fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
-            use rand::Rng;
+            use gddr_rng::Rng;
             self.x = rng.gen_range(-1.0..1.0);
             self.t = 0;
             vec![self.x]
@@ -93,7 +93,7 @@ pub(crate) mod test_envs {
 mod tests {
     use super::test_envs::ChaseEnv;
     use super::*;
-    use rand::SeedableRng;
+    use gddr_rng::SeedableRng;
 
     #[test]
     fn chase_env_contract() {

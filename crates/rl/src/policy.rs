@@ -1,7 +1,7 @@
 //! The policy abstraction bridging environments and the autodiff
 //! substrate.
 
-use rand::rngs::StdRng;
+use gddr_rng::rngs::StdRng;
 
 use gddr_nn::{ParamStore, Tape, Var};
 
@@ -168,7 +168,7 @@ impl Policy for MlpGaussianPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use gddr_rng::SeedableRng;
 
     #[test]
     fn act_and_evaluate_are_consistent() {

@@ -51,11 +51,11 @@ pub fn shortest_average_path_length(graph: &Graph, dm: &DemandMatrix) -> f64 {
             continue;
         }
         let hops = bfs_hops(graph, NodeId(s));
-        for t in 0..graph.num_nodes() {
+        for (t, &h) in hops.iter().enumerate().take(graph.num_nodes()) {
             let d = dm.get(s, t);
             if d > 0.0 {
-                assert!(hops[t] != usize::MAX, "demanded pair ({s},{t}) unreachable");
-                weighted += d * hops[t] as f64;
+                assert!(h != usize::MAX, "demanded pair ({s},{t}) unreachable");
+                weighted += d * h as f64;
             }
         }
     }
@@ -80,9 +80,9 @@ mod tests {
     use crate::baselines::shortest_path_routing;
     use crate::softmin::{softmin_routing, SoftminConfig};
     use gddr_net::topology::zoo;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
     use gddr_traffic::gen::{bimodal, BimodalParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn shortest_path_routing_has_unit_stretch() {

@@ -123,10 +123,10 @@ mod tests {
     use super::*;
     use crate::sim::max_link_utilisation;
     use gddr_net::topology::{from_links, zoo};
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
     use gddr_traffic::gen::{bimodal, BimodalParams};
     use gddr_traffic::DemandMatrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn shortest_path_is_valid_and_single_path() {

@@ -24,11 +24,11 @@
 //! use gddr_net::topology::zoo;
 //! use gddr_routing::{softmin::{softmin_routing, SoftminConfig}, sim::max_link_utilisation};
 //! use gddr_traffic::gen::{bimodal, BimodalParams};
-//! use rand::SeedableRng;
+//! use gddr_rng::SeedableRng;
 //!
 //! # fn main() -> Result<(), gddr_routing::sim::SimError> {
 //! let g = zoo::abilene();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = gddr_rng::rngs::StdRng::seed_from_u64(0);
 //! let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
 //! let weights = vec![1.0; g.num_edges()];
 //! let routing = softmin_routing(&g, &weights, &SoftminConfig::default());

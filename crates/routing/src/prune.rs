@@ -285,8 +285,8 @@ pub fn prune(
 mod tests {
     use super::*;
     use gddr_net::topology::zoo;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::{Rng, SeedableRng};
 
     fn random_weights(m: usize, rng: &mut StdRng) -> Vec<f64> {
         (0..m).map(|_| rng.gen_range(0.5..5.0)).collect()

@@ -220,9 +220,9 @@ mod tests {
     use super::*;
     use crate::softmin::{softmin_routing, SoftminConfig};
     use gddr_net::topology::{from_links, zoo};
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
     use gddr_traffic::gen::{bimodal, BimodalParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn diamond() -> Graph {
         from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0)

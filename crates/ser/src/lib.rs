@@ -1,0 +1,732 @@
+//! # gddr-ser
+//!
+//! In-tree JSON serialization for the GDDR reproduction — the hermetic
+//! replacement for `serde` + the serializer that previously lived in
+//! `gddr-bench::json`.
+//!
+//! The workspace serializes three kinds of artifacts: experiment
+//! results (the figure JSON files under `results/`), experiment
+//! configs, and parameter checkpoints. All are trees of numbers,
+//! strings, arrays and objects, so the machinery is a small explicit
+//! value model ([`Json`]) plus two traits:
+//!
+//! - [`ToJson`] — build a [`Json`] tree, then [`Json::to_string`]
+//!   writes compact JSON identical in shape to what the old
+//!   serde-based path produced;
+//! - [`FromJson`] — rebuild a value from a parsed [`Json`] tree
+//!   ([`Json::parse`]).
+//!
+//! ```
+//! use gddr_ser::{FromJson, Json, ToJson};
+//!
+//! let v: Vec<(usize, f64)> = vec![(10, -1.5)];
+//! let text = v.to_json().to_string();
+//! assert_eq!(text, "[[10,-1.5]]");
+//! let back = Vec::<(usize, f64)>::from_json(&Json::parse(&text).unwrap()).unwrap();
+//! assert_eq!(back, v);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// Numbers are kept as `f64` (JSON has a single number type); object
+/// keys are ordered by insertion via a `Vec` to keep output stable and
+/// match struct-field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    fn new(msg: impl Into<String>) -> Self {
+        JsonError(msg.into())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Json {
+    /// An object builder: `Json::obj([("k", v.to_json()), ...])`.
+    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an object or the key is absent.
+    pub fn field<'a>(&'a self, key: &str) -> Result<&'a Json, JsonError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field {key:?}"))),
+            other => Err(JsonError::new(format!(
+                "expected object with field {key:?}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The array elements.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an array.
+    pub fn elements(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Writes compact JSON.
+    ///
+    /// Integral floats print without a decimal point (`10000`, not
+    /// `10000.0`), matching the previous serializer's output so
+    /// existing artifact shapes are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite numbers: results containing NaN or
+    /// infinity indicate a bug upstream and must fail loudly rather
+    /// than emit invalid JSON.
+    #[allow(clippy::inherent_to_string)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                assert!(v.is_finite(), "non-finite float {v} cannot be serialised");
+                write!(out, "{v}").expect("string write");
+            }
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or trailing non-whitespace.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(JsonError::new(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| JsonError::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            // Only BMP escapes are produced by the
+                            // writer; surrogate pairs are rejected.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError::new("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 character (input is valid UTF-8
+                    // by construction of `&str`).
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError::new("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("bad number {text:?} at byte {start}")))
+    }
+}
+
+/// Types that serialize to a [`Json`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that deserialize from a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Rebuilds a value from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape or type mismatches.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serializes a value to a compact JSON string — the drop-in
+/// replacement for the old serde-based `to_json`.
+///
+/// # Errors
+///
+/// This signature keeps the old fallible contract; the current
+/// implementation only fails by panicking on non-finite floats.
+pub fn to_json_string<T: ToJson>(value: &T) -> Result<String, JsonError> {
+    Ok(value.to_json().to_string())
+}
+
+/// Parses a JSON string into a value.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or shape mismatches.
+pub fn from_json_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+// --- impls for primitives and std containers -------------------------
+
+macro_rules! num_impls {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                match json {
+                    Json::Num(v) => Ok(*v as $t),
+                    other => Err(JsonError::new(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+num_impls!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.elements()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.elements()? {
+            [a, b] => Ok((A::from_json(a)?, B::from_json(b)?)),
+            other => Err(JsonError::new(format!(
+                "expected 2-element array, got {} elements",
+                other.len()
+            ))),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.elements()? {
+            [a, b, c] => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            other => Err(JsonError::new(format!(
+                "expected 3-element array, got {} elements",
+                other.len()
+            ))),
+        }
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(JsonError::new(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for text in ["null", "true", "false", "1", "-2.5", "1e3", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            let back = Json::parse(&v.to_string()).unwrap();
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_print_without_decimal_point() {
+        assert_eq!(Json::Num(10000.0).to_string(), "10000");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn struct_shape_matches_old_serializer() {
+        // The exact output the serde-based serializer produced for the
+        // same logical value (see the old gddr-bench::json tests).
+        let s = Json::obj([
+            ("name", "fig6".to_json()),
+            ("values", vec![1.0, 2.5].to_json()),
+            ("pair", (3usize, 4.5f64).to_json()),
+            ("flag", true.to_json()),
+            ("missing", (None as Option<u32>).to_json()),
+            ("present", Some(7u32).to_json()),
+        ]);
+        assert_eq!(
+            s.to_string(),
+            r#"{"name":"fig6","values":[1,2.5],"pair":[3,4.5],"flag":true,"missing":null,"present":7}"#
+        );
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let original = "a\"b\\c\nd\te\u{1}";
+        let text = Json::Str(original.to_string()).to_string();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Str(original.to_string()));
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let s = "ρ→λ graph ☂";
+        let text = Json::Str(s.to_string()).to_string();
+        assert_eq!(Json::parse(&text).unwrap(), Json::Str(s.to_string()));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,[2,3],{"b":null}],"c":{"d":[true,false]}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn whitespace_tolerated_on_parse() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.to_string(), r#"{"a":[1,2]}"#);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_floats_panic() {
+        Json::Num(f64::NAN).to_string();
+    }
+
+    #[test]
+    fn tuples_and_options_round_trip() {
+        let log: Vec<(usize, f64)> = vec![(10, -1.5), (20, 0.25)];
+        let text = log.to_json().to_string();
+        assert_eq!(text, "[[10,-1.5],[20,0.25]]");
+        let back: Vec<(usize, f64)> = from_json_str(&text).unwrap();
+        assert_eq!(back, log);
+
+        let triple: Vec<(usize, f64, f64)> = vec![(1, 2.0, -3.5)];
+        let back3: Vec<(usize, f64, f64)> = from_json_str(&triple.to_json().to_string()).unwrap();
+        assert_eq!(back3, triple);
+
+        let opt: Option<u32> = None;
+        assert_eq!(opt.to_json().to_string(), "null");
+        assert_eq!(from_json_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_json_str::<Option<u32>>("5").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("k1".to_string(), 1u32);
+        m.insert("k2".to_string(), 2u32);
+        let text = m.to_json().to_string();
+        assert_eq!(text, r#"{"k1":1,"k2":2}"#);
+        let back: BTreeMap<String, u32> = from_json_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn field_lookup_and_errors() {
+        let v = Json::parse(r#"{"a":1}"#).unwrap();
+        assert_eq!(f64::from_json(v.field("a").unwrap()).unwrap(), 1.0);
+        assert!(v.field("b").is_err());
+        assert!(Json::Num(1.0).field("a").is_err());
+        assert!(Json::Num(1.0).elements().is_err());
+        assert!(String::from_json(&Json::Num(1.0)).is_err());
+        assert!(bool::from_json(&Json::Null).is_err());
+        assert!(u32::from_json(&Json::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_precisely() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, 123456789.123456, -0.0] {
+            let text = Json::Num(v).to_string();
+            match Json::parse(&text).unwrap() {
+                Json::Num(back) => assert_eq!(back, v, "{text}"),
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+}

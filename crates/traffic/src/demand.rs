@@ -2,16 +2,36 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
 
 /// A traffic demand matrix `D ∈ R^{|V|×|V|}` where `D[s][t]` is the
 /// demand from source `s` to destination `t` (paper §IV-A).
 ///
 /// The diagonal is always zero: a node sends no traffic to itself.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DemandMatrix {
     n: usize,
     data: Vec<f64>,
+}
+
+impl ToJson for DemandMatrix {
+    fn to_json(&self) -> Json {
+        Json::obj([("n", self.n.to_json()), ("data", self.data.to_json())])
+    }
+}
+
+impl FromJson for DemandMatrix {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let n = usize::from_json(json.field("n")?)?;
+        let data = Vec::<f64>::from_json(json.field("data")?)?;
+        if data.len() != n * n {
+            return Err(JsonError(format!(
+                "demand matrix data length {} does not match {n}x{n}",
+                data.len()
+            )));
+        }
+        Ok(DemandMatrix { n, data })
+    }
 }
 
 impl DemandMatrix {

@@ -9,9 +9,9 @@
 //!
 //! ```
 //! use gddr_traffic::{gen::BimodalParams, sequence::cyclical};
-//! use rand::SeedableRng;
+//! use gddr_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = gddr_rng::rngs::StdRng::seed_from_u64(0);
 //! // A 60-step sequence cycling through 10 distinct bimodal DMs for a
 //! // 12-node network — the paper's Fig. 6 workload.
 //! let seq = cyclical(12, 10, 60, &BimodalParams::default(), &mut rng);

@@ -5,7 +5,7 @@
 //! agent observes the previous `m` matrices and must route the next
 //! one, exploiting the cycle.
 
-use rand::Rng;
+use gddr_rng::Rng;
 
 use crate::demand::DemandMatrix;
 use crate::gen::{bimodal, BimodalParams};
@@ -145,8 +145,8 @@ pub fn average(window: &[&DemandMatrix]) -> DemandMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
 
     #[test]
     fn cyclical_repeats_exactly() {

@@ -12,8 +12,8 @@ use gddr_core::policies::{GnnPolicy, GnnPolicyConfig};
 use gddr_net::topology::zoo;
 use gddr_rl::tuning::{random_search, PpoSearchSpace};
 use gddr_rl::{Ppo, TrainingLog};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 
 fn main() {
     let trials: usize = std::env::var("GDDR_TRIALS")

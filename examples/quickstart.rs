@@ -12,8 +12,8 @@ use gddr_core::eval::{eval_oneshot, shortest_path_baseline};
 use gddr_core::policies::{GnnPolicy, GnnPolicyConfig};
 use gddr_net::topology::zoo;
 use gddr_rl::{Ppo, PpoConfig, TrainingLog};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(0);

@@ -9,12 +9,12 @@
 
 use gddr_lp::mcf::min_max_utilisation;
 use gddr_net::topology::zoo;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 use gddr_routing::baselines::{ecmp_routing, shortest_path_routing};
 use gddr_routing::sim::max_link_utilisation;
 use gddr_routing::softmin::{softmin_routing, SoftminConfig};
 use gddr_traffic::gen::{bimodal, BimodalParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(0);

@@ -6,13 +6,13 @@ use gddr_core::env::{standard_sequences, DdrEnvConfig, GraphContext};
 use gddr_core::eval::{
     ecmp_baseline, prediction_baseline, shortest_path_baseline, uniform_softmin_baseline,
 };
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 use gddr_routing::analysis::path_stretch;
 use gddr_routing::baselines::{ecmp_routing, shortest_path_routing};
 use gddr_routing::softmin::{softmin_routing, SoftminConfig};
 use gddr_traffic::sequence::cyclical_from;
 use gddr_traffic::DemandMatrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn env_cfg() -> DdrEnvConfig {
     DdrEnvConfig {
@@ -58,7 +58,7 @@ fn prediction_beats_static_baselines_on_perfectly_cyclic_traffic() {
     );
     let seq = cyclical_from(&[base], 8);
     let ctx = GraphContext::new(g, vec![seq.clone()]);
-    let pred = prediction_baseline(&ctx, &env_cfg(), &[seq.clone()]);
+    let pred = prediction_baseline(&ctx, &env_cfg(), std::slice::from_ref(&seq));
     let sp = shortest_path_baseline(&ctx, &env_cfg(), &[seq]);
     assert!(
         pred.mean_ratio <= sp.mean_ratio + 1e-9,

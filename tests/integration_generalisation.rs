@@ -8,8 +8,8 @@ use gddr_core::eval::{eval_iterative, eval_oneshot};
 use gddr_core::experiment::{modified_abilene, test_graphs, training_graphs};
 use gddr_core::policies::{GnnIterativePolicy, GnnPolicy, GnnPolicyConfig};
 use gddr_rl::{Env, Policy, Ppo, PpoConfig, TrainingLog};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 
 fn small_gnn() -> GnnPolicyConfig {
     GnnPolicyConfig {

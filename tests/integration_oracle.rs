@@ -5,12 +5,12 @@
 
 use gddr_lp::mcf::{min_max_utilisation, CachedOracle};
 use gddr_net::topology::{from_links, zoo};
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 use gddr_routing::baselines::{ecmp_routing, inverse_capacity_routing, shortest_path_routing};
 use gddr_routing::sim::max_link_utilisation;
 use gddr_traffic::gen::{bimodal, BimodalParams};
 use gddr_traffic::DemandMatrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// On a ring of four nodes with one commodity, the optimum splits
 /// between clockwise (1 hop) and counter-clockwise (3 hops): balancing

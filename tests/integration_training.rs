@@ -9,8 +9,8 @@ use gddr_core::env_iterative::IterativeDdrEnv;
 use gddr_core::eval::{eval_iterative, eval_oneshot, uniform_softmin_baseline};
 use gddr_core::policies::{GnnIterativePolicy, GnnPolicy, GnnPolicyConfig, MlpPolicy};
 use gddr_rl::{Ppo, PpoConfig, TrainingLog};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
 
 fn small_ppo() -> PpoConfig {
     PpoConfig {

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Hermeticity gate: the workspace must build from in-tree sources only.
+#
+# Fails if any Cargo.toml declares a dependency that is not a pure
+# `path = "..."` dependency (registry versions, git sources, or
+# workspace-dependency indirection), or if Cargo.lock references a
+# package outside the gddr-* workspace.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Extract the dependency-section bodies ([dependencies],
+    # [dev-dependencies], [build-dependencies], [workspace.dependencies]
+    # and target-specific variants), then drop blanks/comments.
+    deps=$(awk '
+        /^\[/ {
+            in_deps = ($0 ~ /dependencies\]$/)
+            next
+        }
+        in_deps && NF && $0 !~ /^#/ { print }
+    ' "$manifest")
+    if [ -z "$deps" ]; then
+        continue
+    fi
+    # Every remaining line must declare an in-tree path dependency and
+    # must not smuggle in a registry version or git source.
+    bad=$(printf '%s\n' "$deps" \
+        | grep -vE '^[A-Za-z0-9_-]+ *= *\{[^}]*path *= *"[^"]*"[^}]*\}$' || true)
+    if [ -z "$bad" ]; then
+        bad=$(printf '%s\n' "$deps" | grep -E 'version *=|git *=|registry *=' || true)
+    fi
+    if [ -n "$bad" ]; then
+        echo "ERROR: non-path dependency in $manifest:" >&2
+        printf '%s\n' "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done
+
+# Cargo.lock must only pin workspace members.
+if [ -f Cargo.lock ]; then
+    external=$(grep '^name = ' Cargo.lock | grep -v '^name = "gddr-' || true)
+    if [ -n "$external" ]; then
+        echo "ERROR: external package(s) in Cargo.lock:" >&2
+        printf '%s\n' "$external" | sed 's/^/    /' >&2
+        fail=1
+    fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "hermeticity check FAILED — the build must not require the network" >&2
+    exit 1
+fi
+echo "hermeticity check OK: all dependencies are in-tree path dependencies"
