@@ -38,6 +38,12 @@ fn main() {
 
     let mut group = BenchGroup::new("env_step_abilene");
     group.sample_size(30);
+    group
+        .meta("topology", "abilene")
+        .meta("sequences", 2usize)
+        .meta("seq_length", 60usize)
+        .meta("cycle", 10usize)
+        .meta("seed", 0usize);
     {
         let mut obs = env.reset(&mut rng);
         group.bench("mlp_policy", || {

@@ -14,6 +14,9 @@ use gddr_traffic::gen::{bimodal, BimodalParams};
 fn bench_lp_solve() {
     let mut group = BenchGroup::new("lp_solve");
     group.sample_size(10);
+    group
+        .meta("demand_model", "bimodal_default")
+        .meta("seed", 0usize);
     for g in [zoo::cesnet(), zoo::abilene(), zoo::nsfnet()] {
         let mut rng = StdRng::seed_from_u64(0);
         let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
@@ -31,6 +34,10 @@ fn bench_lp_cache() {
     let oracle = CachedOracle::new(g);
     oracle.u_opt(&dm).unwrap(); // warm
     let mut group = BenchGroup::new("lp_cache");
+    group
+        .meta("topology", "abilene")
+        .meta("demand_model", "bimodal_default")
+        .meta("seed", 1usize);
     group.bench("lp_cache_hit", || oracle.u_opt(&dm).unwrap());
     group.finish();
 }

@@ -16,9 +16,12 @@
 //! DESIGN.md. The paper trains for 500k steps (~2 h); the default here
 //! is 30k, which preserves the relative ordering (see EXPERIMENTS.md).
 
+use std::sync::Arc;
+
 use gddr_bench::{flag, parse_args};
 use gddr_core::experiment::{fixed_graph, FixedGraphConfig};
 use gddr_core::policies::GnnPolicyConfig;
+use gddr_telemetry::{JsonlSink, Reporter};
 
 fn main() {
     let args = parse_args(&[
@@ -30,6 +33,7 @@ fn main() {
         "seq-len",
         "cycle",
         "json",
+        "telemetry",
     ]);
     let mut config = FixedGraphConfig {
         graph_name: args
@@ -50,13 +54,17 @@ fn main() {
         ..GnnPolicyConfig::default()
     };
 
-    eprintln!(
-        "fig6: graph={} steps={} memory={} msg_steps={} (paper: 500k steps)",
+    if let Some(path) = args.get("telemetry") {
+        let sink = JsonlSink::create(path).expect("create telemetry file");
+        gddr_telemetry::install(Arc::new(sink));
+    }
+    let reporter = Reporter::new("fig6");
+    reporter.info(format!(
+        "graph={} steps={} memory={} msg_steps={} (paper: 500k steps)",
         config.graph_name, config.train_steps, memory, config.gnn.message_steps
-    );
-    let t0 = std::time::Instant::now();
+    ));
     let result = fixed_graph(&config);
-    eprintln!("completed in {:.1}s", t0.elapsed().as_secs_f64());
+    reporter.done();
 
     println!(
         "# Fig. 6 — learning to route on a fixed graph ({})",
@@ -97,6 +105,7 @@ fn main() {
         "# GNN at least as good as MLP: {}",
         yesno(result.gnn.eval.mean_ratio <= result.mlp.eval.mean_ratio + 0.02)
     );
+    gddr_telemetry::uninstall();
 }
 
 fn yesno(b: bool) -> &'static str {

@@ -10,11 +10,22 @@
 //!     --steps 30000 --seed 0 [--window 10]
 //! ```
 
+use std::sync::Arc;
+
 use gddr_bench::{flag, parse_args};
 use gddr_core::experiment::{fixed_graph, FixedGraphConfig};
+use gddr_telemetry::{JsonlSink, Reporter};
 
 fn main() {
-    let args = parse_args(&["steps", "seed", "window", "seq-len", "cycle", "json"]);
+    let args = parse_args(&[
+        "steps",
+        "seed",
+        "window",
+        "seq-len",
+        "cycle",
+        "json",
+        "telemetry",
+    ]);
     let mut config = FixedGraphConfig {
         train_steps: flag(&args, "steps", 30_000usize),
         seed: flag(&args, "seed", 0u64),
@@ -24,11 +35,17 @@ fn main() {
     config.workload.cycle = flag(&args, "cycle", 10usize);
     let window = flag(&args, "window", 10usize);
 
-    eprintln!(
-        "fig7: graph={} steps={} window={}",
+    if let Some(path) = args.get("telemetry") {
+        let sink = JsonlSink::create(path).expect("create telemetry file");
+        gddr_telemetry::install(Arc::new(sink));
+    }
+    let reporter = Reporter::new("fig7");
+    reporter.info(format!(
+        "graph={} steps={} window={}",
         config.graph_name, config.train_steps, window
-    );
+    ));
     let result = fixed_graph(&config);
+    reporter.done();
 
     println!("# Fig. 7 — learning curves (mean episode reward, window {window})");
     println!("agent,env_step,mean_episode_reward");
@@ -56,6 +73,7 @@ fn main() {
         "# GNN final reward >= MLP final reward: {} ({final_gnn:.2} vs {final_mlp:.2})",
         yesno(final_gnn >= final_mlp - 1.0)
     );
+    gddr_telemetry::uninstall();
 }
 
 fn yesno(b: bool) -> &'static str {

@@ -12,8 +12,11 @@
 //!     --steps 20000 --iter-steps 40000 --seed 0 [--variants 4] [--edits 2]
 //! ```
 
+use std::sync::Arc;
+
 use gddr_bench::{flag, parse_args};
 use gddr_core::experiment::{generalisation, GeneralisationConfig};
+use gddr_telemetry::{JsonlSink, Reporter};
 
 fn main() {
     let args = parse_args(&[
@@ -24,6 +27,7 @@ fn main() {
         "edits",
         "seq-len",
         "json",
+        "telemetry",
     ]);
     let mut config = GeneralisationConfig {
         train_steps: flag(&args, "steps", 20_000usize),
@@ -36,16 +40,20 @@ fn main() {
     config.workload.seq_length = flag(&args, "seq-len", 30usize);
     config.gnn.memory = config.env.memory;
 
-    eprintln!(
-        "fig8: steps={} iter_steps={} variants={} edits={}",
+    if let Some(path) = args.get("telemetry") {
+        let sink = JsonlSink::create(path).expect("create telemetry file");
+        gddr_telemetry::install(Arc::new(sink));
+    }
+    let reporter = Reporter::new("fig8");
+    reporter.info(format!(
+        "steps={} iter_steps={} variants={} edits={}",
         config.train_steps,
         config.train_steps_iterative,
         config.modified_variants,
         config.edits_per_variant
-    );
-    let t0 = std::time::Instant::now();
+    ));
     let r = generalisation(&config);
-    eprintln!("completed in {:.1}s", t0.elapsed().as_secs_f64());
+    reporter.done();
 
     println!("# Fig. 8 — generalising to unseen graphs");
     println!("# bar heights: mean U_agent/U_opt (lower is better); SP = dotted line");
@@ -93,6 +101,7 @@ fn main() {
         "# different-graphs bars higher than modified-Abilene bars: {}",
         yesno(r.gnn_different.policy.mean_ratio >= r.gnn_modified.policy.mean_ratio - 0.05)
     );
+    gddr_telemetry::uninstall();
 }
 
 fn yesno(b: bool) -> &'static str {

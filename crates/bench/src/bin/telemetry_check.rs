@@ -1,0 +1,109 @@
+//! Validates a telemetry JSONL trace produced by a figure binary.
+//!
+//! Used by CI after a short seeded `fig7_learning_curves --telemetry`
+//! run: every line must parse with `gddr-ser`, re-serialise to the
+//! identical bytes (lossless round-trip), and the trace must contain
+//! the span/metric names the instrumented hot paths are expected to
+//! emit during training.
+//!
+//! ```text
+//! cargo run -p gddr-bench --bin telemetry_check -- --file trace.jsonl
+//! ```
+//!
+//! Exits non-zero (panics) on any violation so CI fails loudly.
+
+use std::collections::BTreeSet;
+
+use gddr_bench::parse_args;
+use gddr_ser::{FromJson, Json, ToJson};
+use gddr_telemetry::Event;
+
+/// Spans that a training run must have opened at least once.
+const EXPECTED_SPANS: &[&str] = &[
+    "ppo.rollout",
+    "ppo.update",
+    "ppo.backward",
+    "env.step",
+    "env.reward",
+    "lp.simplex.solve",
+    "lp.oracle.solve",
+    "routing.softmin",
+    "gnn.block.forward",
+];
+
+/// Counters that must have been incremented.
+const EXPECTED_COUNTERS: &[&str] = &[
+    "ppo.updates",
+    "ppo.env_steps",
+    "lp.oracle.hits",
+    "lp.oracle.misses",
+    "lp.simplex.solves",
+    "lp.simplex.pivots",
+];
+
+/// Gauges the PPO update loop must have set.
+const EXPECTED_GAUGES: &[&str] = &[
+    "ppo.entropy",
+    "ppo.approx_kl",
+    "ppo.clip_fraction",
+    "ppo.grad_norm",
+    "ppo.policy_loss",
+    "ppo.value_loss",
+];
+
+fn main() {
+    let args = parse_args(&["file"]);
+    let path = args.get("file").expect("--file <trace.jsonl> is required");
+    let text = std::fs::read_to_string(path).expect("read trace file");
+
+    let mut spans = BTreeSet::new();
+    let mut counters = BTreeSet::new();
+    let mut gauges = BTreeSet::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        let json = Json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: does not parse as JSON: {e}", i + 1));
+        let event = Event::from_json(&json)
+            .unwrap_or_else(|e| panic!("line {}: does not parse as an event: {e}", i + 1));
+        // Lossless: re-serialising the parsed event reproduces the line.
+        assert_eq!(
+            event.to_json().to_string(),
+            line,
+            "line {}: round-trip is not byte-identical",
+            i + 1
+        );
+        match &event {
+            Event::Span { name, .. } => {
+                spans.insert(name.clone());
+            }
+            Event::Counter { name, .. } => {
+                counters.insert(name.clone());
+            }
+            Event::Gauge { name, .. } => {
+                gauges.insert(name.clone());
+            }
+            Event::Histogram { .. } | Event::Message { .. } => {}
+        }
+    }
+    assert!(lines > 0, "trace is empty");
+
+    let check = |kind: &str, expected: &[&str], seen: &BTreeSet<String>| {
+        for name in expected {
+            assert!(seen.contains(*name), "missing {kind} {name:?} in trace");
+        }
+    };
+    check("span", EXPECTED_SPANS, &spans);
+    check("counter", EXPECTED_COUNTERS, &counters);
+    check("gauge", EXPECTED_GAUGES, &gauges);
+
+    println!(
+        "telemetry_check: OK — {lines} events, {} span names, {} counters, {} gauges",
+        spans.len(),
+        counters.len(),
+        gauges.len()
+    );
+}

@@ -77,6 +77,7 @@ pub struct BenchGroup {
     name: String,
     sample_size: usize,
     results: Vec<Stats>,
+    meta: Vec<(String, Json)>,
 }
 
 impl BenchGroup {
@@ -87,6 +88,7 @@ impl BenchGroup {
             name: name.to_string(),
             sample_size: 30,
             results: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -98,6 +100,18 @@ impl BenchGroup {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size must be positive");
         self.sample_size = n;
+        self
+    }
+
+    /// Attaches a run-metadata entry (configuration echo, environment
+    /// notes) to the JSON artifact's `meta` object. Last write wins for
+    /// a repeated key.
+    pub fn meta(&mut self, key: &str, value: impl ToJson) -> &mut Self {
+        let json = value.to_json();
+        match self.meta.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = json,
+            None => self.meta.push((key.to_string(), json)),
+        }
         self
     }
 
@@ -172,8 +186,17 @@ impl BenchGroup {
     /// directory as the working directory, so the path is resolved by
     /// walking up to the directory holding `Cargo.lock`).
     pub fn finish(&self) {
+        // Embed run metadata so an artifact is self-describing: bench
+        // name, sample budget, case count, plus caller-supplied config.
+        let mut meta = vec![
+            ("bench".to_string(), self.name.to_json()),
+            ("sample_size".to_string(), self.sample_size.to_json()),
+            ("cases".to_string(), self.results.len().to_json()),
+        ];
+        meta.extend(self.meta.iter().cloned());
         let json = Json::obj([
             ("group", self.name.to_json()),
+            ("meta", Json::Obj(meta)),
             ("results", self.results.to_json()),
         ]);
         let root = workspace_root();
@@ -237,5 +260,15 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_sample_size_panics() {
         BenchGroup::new("bad").sample_size(0);
+    }
+
+    #[test]
+    fn meta_entries_overwrite_by_key() {
+        let mut group = BenchGroup::new("harness_meta");
+        group.meta("topology", "abilene").meta("steps", 10usize);
+        group.meta("steps", 20usize);
+        assert_eq!(group.meta.len(), 2);
+        let steps = &group.meta.iter().find(|(k, _)| k == "steps").unwrap().1;
+        assert_eq!(steps.to_string(), "20");
     }
 }

@@ -127,17 +127,20 @@ impl GraphContext {
     /// Panics if the routing loses traffic (a softmin-translation
     /// invariant violation) or the LP fails.
     pub fn ratio(&self, routing: &gddr_routing::Routing, dm: &DemandMatrix) -> f64 {
+        let _span = gddr_telemetry::span("env.reward");
         let report = max_link_utilisation(&self.graph, routing, dm)
             .expect("softmin routing delivers all traffic");
         let u_opt = self
             .oracle
             .u_opt(dm)
             .expect("strongly connected graphs have an optimal routing");
-        if u_opt <= 1e-12 {
+        let ratio = if u_opt <= 1e-12 {
             1.0
         } else {
             report.u_max / u_opt
-        }
+        };
+        gddr_telemetry::histogram_record("env.reward_ratio", ratio);
+        ratio
     }
 }
 
@@ -218,6 +221,7 @@ impl Env for DdrEnv {
     }
 
     fn step(&mut self, action: &[f64], _rng: &mut StdRng) -> Step<DdrObs> {
+        let _span = gddr_telemetry::span("env.step");
         let weights = self
             .config
             .action_to_weights(action, self.ctx.graph.num_edges());
@@ -321,6 +325,7 @@ impl Env for MultiGraphDdrEnv {
     }
 
     fn step(&mut self, action: &[f64], _rng: &mut StdRng) -> Step<DdrObs> {
+        let _span = gddr_telemetry::span("env.step");
         let ctx = &self.contexts[self.active];
         let weights = self.config.action_to_weights(action, ctx.graph.num_edges());
         let routing = softmin_routing(&ctx.graph, &weights, &self.config.softmin);

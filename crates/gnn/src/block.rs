@@ -114,6 +114,7 @@ impl GnBlock {
         structure: &GraphStructure,
         input: GraphVars,
     ) -> GraphVars {
+        let _span = gddr_telemetry::span("gnn.block.forward");
         let n = structure.num_nodes;
         let m = structure.num_edges;
         assert_eq!(

@@ -33,5 +33,5 @@
 pub mod mcf;
 pub mod simplex;
 
-pub use mcf::{CachedOracle, McfSolution};
+pub use mcf::{CacheStats, CachedOracle, McfSolution};
 pub use simplex::{LinearProgram, LpError, Relation, Solution};

@@ -24,8 +24,9 @@
 //! `U` may exceed 1: the oracle measures over-utilisation rather than
 //! enforcing capacity, exactly like the paper's utilisation ratios.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use gddr_net::{Graph, NodeId};
@@ -76,6 +77,7 @@ impl McfSolution {
 ///
 /// Panics if the demand matrix size differs from the node count.
 pub fn min_max_utilisation(graph: &Graph, dm: &DemandMatrix) -> Result<McfSolution, LpError> {
+    let _span = gddr_telemetry::span("lp.mcf.solve");
     let n = graph.num_nodes();
     let m = graph.num_edges();
     assert_eq!(dm.num_nodes(), n, "demand matrix must match the graph");
@@ -124,24 +126,67 @@ pub fn min_max_utilisation(graph: &Graph, dm: &DemandMatrix) -> Result<McfSoluti
     })
 }
 
+/// Point-in-time cache statistics for a [`CachedOracle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required an LP solve.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Keyed cache body: the map plus FIFO insertion order for eviction.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u64, f64>,
+    order: VecDeque<u64>,
+}
+
 /// A caching wrapper around the oracle, bound to one graph.
 ///
 /// The paper's demand sequences are cyclical (`q` distinct matrices per
 /// sequence), so training revisits identical matrices constantly; the
 /// cache keys on the matrix fingerprint and makes the LP cost amortised
-/// O(1) per step.
+/// O(1) per step. Hit/miss/eviction counts are kept in atomics beside
+/// the map — reading [`CachedOracle::stats`] never widens the cache
+/// lock's critical section.
 #[derive(Debug)]
 pub struct CachedOracle {
     graph: Graph,
-    cache: Mutex<HashMap<u64, f64>>,
+    cache: Mutex<CacheInner>,
+    capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CachedOracle {
-    /// Creates an oracle for `graph`.
+    /// Creates an oracle for `graph` with an unbounded cache.
     pub fn new(graph: Graph) -> Self {
+        Self::with_capacity(graph, None)
+    }
+
+    /// Creates an oracle whose cache holds at most `capacity` entries,
+    /// evicting in FIFO insertion order (`None` = unbounded). The
+    /// paper's workloads cycle through a small set of matrices, so FIFO
+    /// behaves like LRU there at a fraction of the bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity.
+    pub fn with_capacity(graph: Graph, capacity: Option<usize>) -> Self {
+        assert!(capacity != Some(0), "cache capacity must be positive");
         CachedOracle {
             graph,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(CacheInner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -152,24 +197,59 @@ impl CachedOracle {
 
     /// Number of cached entries.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("oracle cache lock").len()
+        self.cache.lock().expect("oracle cache lock").map.len()
+    }
+
+    /// Current cache statistics (counters read atomically).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.cache_len(),
+        }
     }
 
     /// The optimal max-link utilisation for `dm`, cached.
+    ///
+    /// Emits telemetry when enabled: `lp.oracle.hits` / `.misses` /
+    /// `.evictions` counters, the `lp.oracle.entries` gauge and an
+    /// `lp.oracle.solve` span around cache-miss LP solves.
     ///
     /// # Errors
     ///
     /// Propagates LP failures (see [`min_max_utilisation`]).
     pub fn u_opt(&self, dm: &DemandMatrix) -> Result<f64, LpError> {
         let key = dm.fingerprint();
-        if let Some(&u) = self.cache.lock().expect("oracle cache lock").get(&key) {
+        if let Some(&u) = self.cache.lock().expect("oracle cache lock").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            gddr_telemetry::counter_add("lp.oracle.hits", 1);
             return Ok(u);
         }
-        let sol = min_max_utilisation(&self.graph, dm)?;
-        self.cache
-            .lock()
-            .expect("oracle cache lock")
-            .insert(key, sol.u_max);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        gddr_telemetry::counter_add("lp.oracle.misses", 1);
+        let sol = {
+            let _span = gddr_telemetry::span("lp.oracle.solve");
+            min_max_utilisation(&self.graph, dm)?
+        };
+        let entries = {
+            let mut cache = self.cache.lock().expect("oracle cache lock");
+            // A racing thread may have solved the same matrix; only
+            // record the key once so FIFO order stays consistent.
+            if cache.map.insert(key, sol.u_max).is_none() {
+                cache.order.push_back(key);
+            }
+            if let Some(cap) = self.capacity {
+                while cache.map.len() > cap {
+                    let oldest = cache.order.pop_front().expect("order tracks map");
+                    cache.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    gddr_telemetry::counter_add("lp.oracle.evictions", 1);
+                }
+            }
+            cache.map.len()
+        };
+        gddr_telemetry::gauge_set("lp.oracle.entries", entries as f64);
         Ok(sol.u_max)
     }
 }
@@ -327,6 +407,45 @@ mod tests {
         let dm2 = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
         oracle.u_opt(&dm2).unwrap();
         assert_eq!(oracle.cache_len(), 2);
+    }
+
+    #[test]
+    fn repeated_identical_matrices_produce_hits() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        assert_eq!(oracle.stats(), CacheStats::default());
+        for _ in 0..4 {
+            oracle.u_opt(&dm).unwrap();
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, 1, "first lookup solves the LP");
+        assert_eq!(stats.hits, 3, "repeats must be served from cache");
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::with_capacity(g.clone(), Some(2));
+        let mut rng = StdRng::seed_from_u64(6);
+        let params = BimodalParams::default();
+        let dms: Vec<_> = (0..3)
+            .map(|_| bimodal(g.num_nodes(), &params, &mut rng))
+            .collect();
+        let first = oracle.u_opt(&dms[0]).unwrap();
+        oracle.u_opt(&dms[1]).unwrap();
+        // Third insert exceeds the capacity of 2 and evicts dms[0].
+        oracle.u_opt(&dms[2]).unwrap();
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // dms[0] was evicted, so asking again re-solves (a miss).
+        assert_eq!(oracle.u_opt(&dms[0]).unwrap(), first);
+        assert_eq!(oracle.stats().misses, 4);
     }
 
     #[test]

@@ -35,13 +35,22 @@ pub struct LinearProgram {
     constraints: Vec<ConstraintRow>,
 }
 
-/// An optimal solution.
+/// An optimal solution, including the solver-effort diagnostics that
+/// telemetry and error reporting share (one source of truth for pivot
+/// accounting).
 #[derive(Debug, Clone)]
 pub struct Solution {
     /// The optimal objective value.
     pub objective: f64,
     /// The optimal assignment, one entry per variable.
     pub x: Vec<f64>,
+    /// Total pivot operations across both phases (including basis
+    /// repair after phase 1).
+    pub pivots: usize,
+    /// Pivot iterations spent in phase 1 (artificial elimination).
+    pub phase1_pivots: usize,
+    /// Pivot iterations spent in phase 2 (the real objective).
+    pub phase2_pivots: usize,
 }
 
 /// Solver failure modes.
@@ -52,8 +61,12 @@ pub enum LpError {
     /// The objective is unbounded below.
     Unbounded,
     /// The pivot limit was exceeded (should not happen with the Bland
-    /// fallback; kept as a hard safety net).
-    IterationLimit,
+    /// fallback; kept as a hard safety net). Carries the pivot count at
+    /// abort so diagnostics report the actual effort spent.
+    PivotLimit {
+        /// Pivots executed before giving up.
+        pivots: usize,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -61,7 +74,9 @@ impl fmt::Display for LpError {
         match self {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
-            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::PivotLimit { pivots } => {
+                write!(f, "simplex pivot limit exceeded after {pivots} pivots")
+            }
         }
     }
 }
@@ -175,10 +190,10 @@ impl Tableau {
         self.basis[row] = col;
     }
 
-    /// Runs the simplex method on the current (feasible) tableau.
-    /// `allowed` restricts entering columns (used to ban artificials in
-    /// phase 2).
-    fn run(&mut self, allowed: &[bool]) -> Result<(), LpError> {
+    /// Runs the simplex method on the current (feasible) tableau,
+    /// returning the number of pivots performed. `allowed` restricts
+    /// entering columns (used to ban artificials in phase 2).
+    fn run(&mut self, allowed: &[bool]) -> Result<usize, LpError> {
         let m = self.a.len();
         // Generous limit: Bland's rule guarantees finite termination; the
         // cap is a safety net against numerical pathologies.
@@ -200,7 +215,7 @@ impl Tableau {
                 }
             }
             let Some(col) = entering else {
-                return Ok(()); // Optimal.
+                return Ok(iter); // Optimal.
             };
             // Ratio test.
             let mut leaving: Option<usize> = None;
@@ -227,18 +242,23 @@ impl Tableau {
             };
             self.pivot(row, col);
         }
-        Err(LpError::IterationLimit)
+        Err(LpError::PivotLimit { pivots: max_iters })
     }
 }
 
 /// Solves the linear program.
 ///
+/// Emits telemetry when enabled: an `lp.simplex.solve` span, the
+/// `lp.simplex.pivots` counter and a `lp.simplex.pivots_per_solve`
+/// histogram observation.
+///
 /// # Errors
 ///
 /// Returns [`LpError::Infeasible`] or [`LpError::Unbounded`] as
-/// appropriate; [`LpError::IterationLimit`] is a safety net that should
+/// appropriate; [`LpError::PivotLimit`] is a safety net that should
 /// not occur in practice.
 pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    let _span = gddr_telemetry::span("lp.simplex.solve");
     let n = lp.num_vars;
     let m = lp.constraints.len();
 
@@ -313,6 +333,7 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     };
 
     // Phase 1: minimise the sum of artificials.
+    let mut phase1_pivots = 0;
     if !artificials.is_empty() {
         for &j in &artificials {
             t.c[j] = 1.0;
@@ -328,7 +349,7 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             }
         }
         let allowed = vec![true; t.cols];
-        t.run(&allowed)?;
+        phase1_pivots += t.run(&allowed)?;
         let phase1_obj = -t.obj;
         if phase1_obj > 1e-6 {
             return Err(LpError::Infeasible);
@@ -340,6 +361,7 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
                 for j in 0..n + num_slack {
                     if t.a[r][j].abs() > EPS {
                         t.pivot(r, j);
+                        phase1_pivots += 1;
                         swapped = true;
                         break;
                     }
@@ -375,7 +397,7 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     for &j in &artificials {
         allowed[j] = false;
     }
-    t.run(&allowed)?;
+    let phase2_pivots = t.run(&allowed)?;
 
     let mut x = vec![0.0; n];
     for r in 0..m {
@@ -385,7 +407,17 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         }
     }
     let objective = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    Ok(Solution { objective, x })
+    let pivots = phase1_pivots + phase2_pivots;
+    gddr_telemetry::counter_add("lp.simplex.solves", 1);
+    gddr_telemetry::counter_add("lp.simplex.pivots", pivots as u64);
+    gddr_telemetry::histogram_record("lp.simplex.pivots_per_solve", pivots as f64);
+    Ok(Solution {
+        objective,
+        x,
+        pivots,
+        phase1_pivots,
+        phase2_pivots,
+    })
 }
 
 #[cfg(test)]
@@ -434,6 +466,39 @@ mod tests {
         let sol = solve(&lp).unwrap();
         assert_close(sol.objective, 8.0);
         assert_close(sol.x[0], 4.0);
+    }
+
+    #[test]
+    fn pivot_counts_are_recorded_and_bounded() {
+        // The classic 3-constraint max problem: a textbook run takes a
+        // handful of pivots; the recorded counts must reflect that and
+        // agree across fields.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[-3.0, -5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.pivots, sol.phase1_pivots + sol.phase2_pivots);
+        // All-Le rows start from a feasible slack basis: no phase 1.
+        assert_eq!(sol.phase1_pivots, 0);
+        assert!(sol.phase2_pivots > 0, "a pivot is needed to improve");
+        assert!(
+            sol.pivots <= 10,
+            "small LP should solve in few pivots, took {}",
+            sol.pivots
+        );
+    }
+
+    #[test]
+    fn equality_constraints_report_phase1_effort() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 2.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 10.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 2.0);
+        let sol = solve(&lp).unwrap();
+        assert!(sol.phase1_pivots > 0, "artificials must be pivoted out");
+        assert!(sol.pivots <= 20, "took {}", sol.pivots);
     }
 
     #[test]

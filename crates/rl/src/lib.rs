@@ -27,4 +27,4 @@ pub mod tuning;
 pub use buffer::RolloutBuffer;
 pub use env::{Env, Step};
 pub use policy::{ActionSample, Evaluation, Policy};
-pub use ppo::{Ppo, PpoConfig, TrainingLog};
+pub use ppo::{Ppo, PpoConfig, TrainingLog, UpdateStats};

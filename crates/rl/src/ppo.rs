@@ -59,14 +59,64 @@ impl Default for PpoConfig {
     }
 }
 
+/// Per-update optimisation diagnostics, averaged over the update's
+/// minibatches.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UpdateStats {
+    /// Environment step count when the update finished.
+    pub step: usize,
+    /// Mean clipped-surrogate policy loss.
+    pub policy_loss: f64,
+    /// Mean squared-error value loss.
+    pub value_loss: f64,
+    /// Mean policy entropy.
+    pub entropy: f64,
+    /// Mean approximate KL divergence to the rollout policy,
+    /// `E[old_logp − new_logp]` — the PPO2 early-stopping signal.
+    pub approx_kl: f64,
+    /// Fraction of samples whose probability ratio was clipped,
+    /// `E[1{|ratio − 1| > ε}]`.
+    pub clip_fraction: f64,
+    /// Mean global gradient norm before clipping.
+    pub grad_norm: f64,
+}
+
+impl ToJson for UpdateStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("step", self.step.to_json()),
+            ("policy_loss", self.policy_loss.to_json()),
+            ("value_loss", self.value_loss.to_json()),
+            ("entropy", self.entropy.to_json()),
+            ("approx_kl", self.approx_kl.to_json()),
+            ("clip_fraction", self.clip_fraction.to_json()),
+            ("grad_norm", self.grad_norm.to_json()),
+        ])
+    }
+}
+
+impl FromJson for UpdateStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(UpdateStats {
+            step: FromJson::from_json(json.field("step")?)?,
+            policy_loss: FromJson::from_json(json.field("policy_loss")?)?,
+            value_loss: FromJson::from_json(json.field("value_loss")?)?,
+            entropy: FromJson::from_json(json.field("entropy")?)?,
+            approx_kl: FromJson::from_json(json.field("approx_kl")?)?,
+            clip_fraction: FromJson::from_json(json.field("clip_fraction")?)?,
+            grad_norm: FromJson::from_json(json.field("grad_norm")?)?,
+        })
+    }
+}
+
 /// Training diagnostics.
 #[derive(Debug, Clone, Default)]
 pub struct TrainingLog {
     /// `(env_step, episode_total_reward)` per finished episode — the
     /// data behind the paper's Fig. 7 learning curves.
     pub episodes: Vec<(usize, f64)>,
-    /// `(env_step, mean policy loss, mean value loss)` per update.
-    pub updates: Vec<(usize, f64, f64)>,
+    /// Optimisation diagnostics per update.
+    pub updates: Vec<UpdateStats>,
     /// Total environment steps taken.
     pub total_steps: usize,
 }
@@ -168,41 +218,45 @@ impl Ppo {
 
         while log.total_steps - start_step < total_steps {
             // ------- Collect one rollout -------
-            buffer.clear();
-            for _ in 0..self.config.n_steps {
-                let sample = policy.act(&obs, rng);
-                let step = env.step(&sample.action, rng);
-                episode_reward += step.reward;
-                buffer.push(Transition {
-                    obs: obs.clone(),
-                    action: sample.action,
-                    reward: step.reward,
-                    done: step.done,
-                    value: sample.value,
-                    log_prob: sample.log_prob,
-                });
-                log.total_steps += 1;
-                if step.done {
-                    log.episodes.push((log.total_steps, episode_reward));
-                    episode_reward = 0.0;
-                    obs = env.reset(rng);
-                } else {
-                    obs = step.obs;
+            {
+                let _span = gddr_telemetry::span("ppo.rollout");
+                buffer.clear();
+                for _ in 0..self.config.n_steps {
+                    let sample = policy.act(&obs, rng);
+                    let step = env.step(&sample.action, rng);
+                    episode_reward += step.reward;
+                    buffer.push(Transition {
+                        obs: obs.clone(),
+                        action: sample.action,
+                        reward: step.reward,
+                        done: step.done,
+                        value: sample.value,
+                        log_prob: sample.log_prob,
+                    });
+                    log.total_steps += 1;
+                    if step.done {
+                        log.episodes.push((log.total_steps, episode_reward));
+                        episode_reward = 0.0;
+                        obs = env.reset(rng);
+                    } else {
+                        obs = step.obs;
+                    }
                 }
+                let last_value = policy.act(&obs, rng).value;
+                buffer.compute_gae(
+                    last_value,
+                    self.config.gamma,
+                    self.config.gae_lambda,
+                    self.config.normalise_advantages,
+                );
             }
-            let last_value = policy.act(&obs, rng).value;
-            buffer.compute_gae(
-                last_value,
-                self.config.gamma,
-                self.config.gae_lambda,
-                self.config.normalise_advantages,
-            );
+            gddr_telemetry::counter_add("ppo.env_steps", self.config.n_steps as u64);
 
             // ------- Optimise -------
+            let _span = gddr_telemetry::span("ppo.update");
             let n = buffer.len();
             let mut indices: Vec<usize> = (0..n).collect();
-            let mut policy_loss_acc = 0.0;
-            let mut value_loss_acc = 0.0;
+            let mut acc = UpdateStats::default();
             let mut batches = 0.0;
             for _ in 0..self.config.epochs {
                 // Fisher-Yates shuffle.
@@ -210,27 +264,46 @@ impl Ppo {
                     indices.swap(i, rng.gen_range(0..=i));
                 }
                 for chunk in indices.chunks(self.config.minibatch_size) {
-                    let (pl, vl) = self.update_minibatch(policy, &buffer, chunk);
-                    policy_loss_acc += pl;
-                    value_loss_acc += vl;
+                    let b = self.update_minibatch(policy, &buffer, chunk);
+                    acc.policy_loss += b.policy_loss;
+                    acc.value_loss += b.value_loss;
+                    acc.entropy += b.entropy;
+                    acc.approx_kl += b.approx_kl;
+                    acc.clip_fraction += b.clip_fraction;
+                    acc.grad_norm += b.grad_norm;
                     batches += 1.0;
                 }
             }
-            log.updates.push((
-                log.total_steps,
-                policy_loss_acc / batches,
-                value_loss_acc / batches,
-            ));
+            let stats = UpdateStats {
+                step: log.total_steps,
+                policy_loss: acc.policy_loss / batches,
+                value_loss: acc.value_loss / batches,
+                entropy: acc.entropy / batches,
+                approx_kl: acc.approx_kl / batches,
+                clip_fraction: acc.clip_fraction / batches,
+                grad_norm: acc.grad_norm / batches,
+            };
+            if gddr_telemetry::is_enabled() {
+                gddr_telemetry::counter_add("ppo.updates", 1);
+                gddr_telemetry::gauge_set("ppo.policy_loss", stats.policy_loss);
+                gddr_telemetry::gauge_set("ppo.value_loss", stats.value_loss);
+                gddr_telemetry::gauge_set("ppo.entropy", stats.entropy);
+                gddr_telemetry::gauge_set("ppo.approx_kl", stats.approx_kl);
+                gddr_telemetry::gauge_set("ppo.clip_fraction", stats.clip_fraction);
+                gddr_telemetry::gauge_set("ppo.grad_norm", stats.grad_norm);
+            }
+            log.updates.push(stats);
         }
     }
 
-    /// One minibatch update; returns (policy loss, value loss) values.
+    /// One minibatch update; returns the batch's diagnostics (with
+    /// `step` left at zero — the caller stamps it).
     fn update_minibatch<P: Policy>(
         &mut self,
         policy: &mut P,
         buffer: &RolloutBuffer<P::Obs>,
         indices: &[usize],
-    ) -> (f64, f64) {
+    ) -> UpdateStats {
         let mut tape = Tape::new();
         let transitions = buffer.transitions();
         let advantages = buffer.advantages();
@@ -241,6 +314,8 @@ impl Ppo {
         let mut surrogate_sum = None;
         let mut vloss_sum = None;
         let mut entropy_sum = None;
+        let mut kl_sum = 0.0;
+        let mut clipped = 0.0;
         for &i in indices {
             let t = &transitions[i];
             let eval = policy.evaluate(&mut tape, &t.obs, &t.action);
@@ -248,6 +323,12 @@ impl Ppo {
             let old_lp = tape.constant(Matrix::from_vec(1, 1, vec![t.log_prob]));
             let diff = tape.sub(eval.log_prob, old_lp);
             let ratio = tape.exp(diff);
+            // The tape is eager, so reading intermediate values for
+            // diagnostics costs a lookup, not a forward pass.
+            kl_sum += t.log_prob - tape.value(eval.log_prob).get(0, 0);
+            if (tape.value(ratio).get(0, 0) - 1.0).abs() > eps {
+                clipped += 1.0;
+            }
             let adv = tape.constant(Matrix::from_vec(1, 1, vec![advantages[i]]));
             let surr1 = tape.mul(ratio, adv);
             let clipped = tape.clamp(ratio, 1.0 - eps, 1.0 + eps);
@@ -283,13 +364,26 @@ impl Ppo {
 
         let policy_loss = -tape.value(surrogate).get(0, 0);
         let value_loss = tape.value(vloss).get(0, 0);
+        let entropy_mean = tape.value(entropy).get(0, 0);
 
         let store = policy.params_mut();
         store.zero_grads();
-        tape.backward(loss, store);
+        {
+            let _span = gddr_telemetry::span("ppo.backward");
+            tape.backward(loss, store);
+        }
+        let grad_norm = store.grad_norm();
         store.clip_grad_norm(self.config.max_grad_norm);
         self.optimiser.step(store);
-        (policy_loss, value_loss)
+        UpdateStats {
+            step: 0,
+            policy_loss,
+            value_loss,
+            entropy: entropy_mean,
+            approx_kl: kl_sum / k,
+            clip_fraction: clipped / k,
+            grad_norm,
+        }
     }
 }
 
@@ -356,6 +450,57 @@ mod tests {
         assert!(after > -0.8, "final performance too weak: {after}");
         assert!(!log.episodes.is_empty());
         assert!(log.total_steps >= 6_000);
+    }
+
+    #[test]
+    fn update_stats_are_recorded_and_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut env = ChaseEnv::new(0.0, 4);
+        let mut policy = MlpGaussianPolicy::new(1, 1, &[4], -0.5, &mut rng);
+        let mut ppo = Ppo::new(PpoConfig {
+            n_steps: 16,
+            minibatch_size: 8,
+            epochs: 1,
+            ..Default::default()
+        });
+        let mut log = TrainingLog::default();
+        ppo.train(&mut env, &mut policy, 32, &mut rng, &mut log);
+        assert_eq!(log.updates.len(), 2);
+        for u in &log.updates {
+            assert!(u.step > 0);
+            assert!(u.policy_loss.is_finite());
+            assert!(u.value_loss.is_finite());
+            // A Gaussian policy's differential entropy is finite and,
+            // at log_std −0.5, positive.
+            assert!(u.entropy > 0.0);
+            assert!(u.approx_kl.is_finite());
+            assert!((0.0..=1.0).contains(&u.clip_fraction));
+            assert!(u.grad_norm > 0.0, "backward produced no gradient");
+        }
+    }
+
+    #[test]
+    fn training_log_round_trip_is_byte_stable() {
+        let log = TrainingLog {
+            episodes: vec![(10, -1.5), (20, -0.25)],
+            updates: vec![UpdateStats {
+                step: 32,
+                policy_loss: -0.125,
+                value_loss: 0.5,
+                entropy: 1.25,
+                approx_kl: 0.0625,
+                clip_fraction: 0.25,
+                grad_norm: 2.5,
+            }],
+            total_steps: 32,
+        };
+        let text = log.to_json().to_string();
+        let back = TrainingLog::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.episodes, log.episodes);
+        assert_eq!(back.updates, log.updates);
+        assert_eq!(back.total_steps, log.total_steps);
+        // Byte-stable: re-serialising the parsed log reproduces the text.
+        assert_eq!(back.to_json().to_string(), text);
     }
 
     #[test]

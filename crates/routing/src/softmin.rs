@@ -147,6 +147,7 @@ fn destination_ratios(
 /// Panics if `weights` does not cover every edge or contains
 /// non-positive values (softmin distances need positive lengths).
 pub fn softmin_routing(graph: &Graph, weights: &[f64], config: &SoftminConfig) -> Routing {
+    let _span = gddr_telemetry::span("routing.softmin");
     assert_eq!(
         weights.len(),
         graph.num_edges(),

@@ -1,0 +1,248 @@
+//! The telemetry event model: every observation the subsystem can emit,
+//! serialisable to one JSON object per event via `gddr-ser`.
+//!
+//! Events are the unit of the streaming interface ([`crate::sink`]);
+//! aggregated state lives in the registry ([`crate::metrics`]). The
+//! JSON encoding is a tagged object (`"type"` discriminant) so a JSONL
+//! stream mixes event kinds freely and parses back losslessly.
+
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
+
+/// One telemetry observation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A completed span: a named scope with wall-clock timing and its
+    /// position in the per-thread span hierarchy.
+    Span {
+        /// Span name (dot-separated, e.g. `env.step`).
+        name: String,
+        /// Name of the enclosing span on the same thread, if any.
+        parent: Option<String>,
+        /// Nesting depth (0 for a root span).
+        depth: u64,
+        /// Start time in microseconds since the process telemetry epoch.
+        start_us: u64,
+        /// Wall-clock duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A counter increment.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Amount added by this event.
+        delta: u64,
+        /// Counter total after the increment.
+        total: u64,
+    },
+    /// A gauge update (last-value-wins).
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// The new value.
+        value: f64,
+    },
+    /// A single histogram observation.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// The observed value.
+        value: f64,
+    },
+    /// A free-form progress message (the figure binaries' reporter).
+    Message {
+        /// Reporter name (e.g. the binary's name).
+        name: String,
+        /// Message text.
+        text: String,
+    },
+}
+
+impl Event {
+    /// The event's name field, whatever its kind.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Span { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Histogram { name, .. }
+            | Event::Message { name, .. } => name,
+        }
+    }
+
+    /// The JSON `"type"` tag for this event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Span { .. } => "span",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Histogram { .. } => "histogram",
+            Event::Message { .. } => "message",
+        }
+    }
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        match self {
+            Event::Span {
+                name,
+                parent,
+                depth,
+                start_us,
+                dur_ns,
+            } => Json::obj([
+                ("type", "span".to_json()),
+                ("name", name.to_json()),
+                ("parent", parent.to_json()),
+                ("depth", depth.to_json()),
+                ("start_us", start_us.to_json()),
+                ("dur_ns", dur_ns.to_json()),
+            ]),
+            Event::Counter { name, delta, total } => Json::obj([
+                ("type", "counter".to_json()),
+                ("name", name.to_json()),
+                ("delta", delta.to_json()),
+                ("total", total.to_json()),
+            ]),
+            Event::Gauge { name, value } => Json::obj([
+                ("type", "gauge".to_json()),
+                ("name", name.to_json()),
+                ("value", value.to_json()),
+            ]),
+            Event::Histogram { name, value } => Json::obj([
+                ("type", "histogram".to_json()),
+                ("name", name.to_json()),
+                ("value", value.to_json()),
+            ]),
+            Event::Message { name, text } => Json::obj([
+                ("type", "message".to_json()),
+                ("name", name.to_json()),
+                ("text", text.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Event {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let kind = String::from_json(json.field("type")?)?;
+        let name = String::from_json(json.field("name")?)?;
+        match kind.as_str() {
+            "span" => Ok(Event::Span {
+                name,
+                parent: FromJson::from_json(json.field("parent")?)?,
+                depth: FromJson::from_json(json.field("depth")?)?,
+                start_us: FromJson::from_json(json.field("start_us")?)?,
+                dur_ns: FromJson::from_json(json.field("dur_ns")?)?,
+            }),
+            "counter" => Ok(Event::Counter {
+                name,
+                delta: FromJson::from_json(json.field("delta")?)?,
+                total: FromJson::from_json(json.field("total")?)?,
+            }),
+            "gauge" => Ok(Event::Gauge {
+                name,
+                value: FromJson::from_json(json.field("value")?)?,
+            }),
+            "histogram" => Ok(Event::Histogram {
+                name,
+                value: FromJson::from_json(json.field("value")?)?,
+            }),
+            "message" => Ok(Event::Message {
+                name,
+                text: FromJson::from_json(json.field("text")?)?,
+            }),
+            other => Err(JsonError(format!("unknown event type {other:?}"))),
+        }
+    }
+}
+
+/// Parses a JSONL event stream (one event per non-empty line).
+///
+/// # Errors
+///
+/// Fails on the first malformed line or unknown event shape.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, JsonError> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| Event::from_json(&Json::parse(line)?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::Span {
+                name: "env.step".into(),
+                parent: Some("ppo.rollout".into()),
+                depth: 1,
+                start_us: 12,
+                dur_ns: 34_567,
+            },
+            Event::Span {
+                name: "root".into(),
+                parent: None,
+                depth: 0,
+                start_us: 0,
+                dur_ns: 1,
+            },
+            Event::Counter {
+                name: "lp.oracle.hits".into(),
+                delta: 1,
+                total: 42,
+            },
+            Event::Gauge {
+                name: "ppo.entropy".into(),
+                value: -1.25,
+            },
+            Event::Histogram {
+                name: "env.reward_ratio".into(),
+                value: 1.5,
+            },
+            Event::Message {
+                name: "fig7".into(),
+                text: "completed in 1.0s".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_losslessly() {
+        for event in samples() {
+            let text = event.to_json().to_string();
+            let back = Event::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, event);
+            // Byte-stable: re-serialising the parsed event reproduces
+            // the original line exactly.
+            assert_eq!(back.to_json().to_string(), text);
+        }
+    }
+
+    #[test]
+    fn jsonl_stream_round_trips() {
+        let events = samples();
+        let text: String = events
+            .iter()
+            .map(|e| e.to_json().to_string() + "\n")
+            .collect();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let json = Json::parse(r#"{"type":"nope","name":"x"}"#).unwrap();
+        assert!(Event::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn name_and_kind_accessors() {
+        for event in samples() {
+            assert!(!event.name().is_empty());
+            assert!(!event.kind().is_empty());
+        }
+    }
+}

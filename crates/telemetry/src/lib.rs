@@ -1,0 +1,320 @@
+//! # gddr-telemetry
+//!
+//! Zero-dependency (std + `gddr-ser`) telemetry for the GDDR
+//! reproduction: scoped **spans** with wall-clock timing and
+//! hierarchical parent tracking, a **metrics registry** of counters /
+//! gauges / fixed-bucket histograms, and a pluggable **sink** layer
+//! that streams every observation as an [`Event`] — to memory for
+//! tests, or to a JSONL file whose lines serialise via `gddr-ser` and
+//! parse back losslessly.
+//!
+//! ## Overhead policy
+//!
+//! Instrumentation is compiled in unconditionally and gated by one
+//! global flag:
+//!
+//! - **Disabled** (default, no sink installed): every call —
+//!   [`span`], [`counter_add`], [`gauge_set`], [`histogram_record`] —
+//!   short-circuits on a single relaxed atomic load. No clock reads,
+//!   no allocation, no locks. Hot paths (`DdrEnv::step`, the simplex
+//!   pivot loop) therefore pay effectively nothing when telemetry is
+//!   off; per-solve statistics that must always be available (oracle
+//!   cache hits, pivot counts) live in their owning structs instead.
+//! - **Enabled** ([`install`]): updates aggregate into the global
+//!   [`Registry`] (read-locked name lookup + lock-free atomics) and
+//!   stream to the installed [`Sink`]. Instrumentation sits at
+//!   call/phase granularity (one span per env step, per LP solve, per
+//!   PPO phase), never inside inner numeric loops.
+//!
+//! ## Usage
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gddr_telemetry as telemetry;
+//!
+//! let sink = Arc::new(telemetry::MemorySink::new());
+//! telemetry::install(sink.clone());
+//! {
+//!     let _span = telemetry::span("example.work");
+//!     telemetry::counter_add("example.items", 3);
+//! }
+//! telemetry::uninstall();
+//! assert!(sink.events().iter().any(|e| e.name() == "example.work"));
+//! let snapshot = telemetry::registry().snapshot();
+//! assert_eq!(snapshot.counter("example.items"), Some(3));
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+pub mod event;
+pub mod metrics;
+pub mod progress;
+pub mod sink;
+mod span;
+
+pub use event::{parse_jsonl, Event};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+pub use progress::Reporter;
+pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
+pub use span::SpanGuard;
+
+/// Fast-path gate: true iff a sink is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed sink, if any.
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Whether telemetry is currently enabled (a sink is installed).
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the global event receiver and enables
+/// instrumentation. Replaces (and flushes) any previous sink.
+pub fn install(sink: Arc<dyn Sink>) {
+    let previous = SINK.write().expect("telemetry sink lock").replace(sink);
+    ENABLED.store(true, Ordering::Relaxed);
+    if let Some(prev) = previous {
+        prev.flush();
+    }
+}
+
+/// Disables instrumentation and removes the sink, flushing and
+/// returning it so callers can inspect buffered state (e.g. a
+/// [`MemorySink`]) or keep a JSONL file complete.
+pub fn uninstall() -> Option<Arc<dyn Sink>> {
+    let sink = SINK.write().expect("telemetry sink lock").take();
+    ENABLED.store(false, Ordering::Relaxed);
+    if let Some(s) = &sink {
+        s.flush();
+    }
+    sink
+}
+
+/// The global metrics registry. Always available; only populated while
+/// telemetry is enabled.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Forwards an event to the installed sink, if any.
+pub(crate) fn dispatch(event: &Event) {
+    if let Some(sink) = &*SINK.read().expect("telemetry sink lock") {
+        sink.record(event);
+    }
+}
+
+/// Opens a scoped span; timing is recorded when the returned guard
+/// drops. Near-zero cost when telemetry is disabled.
+///
+/// Guards must drop in LIFO order on their creating thread — the
+/// natural consequence of binding them to a scope:
+///
+/// ```
+/// let _span = gddr_telemetry::span("lp.simplex.solve");
+/// // ... work ...
+/// ```
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard::enabled(name)
+}
+
+/// Adds `delta` to the counter `name` and streams the increment.
+/// No-op when telemetry is disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add(name, delta);
+    dispatch(&Event::Counter {
+        name: name.to_string(),
+        delta,
+        total,
+    });
+}
+
+/// Sets the gauge `name` and streams the update. No-op when telemetry
+/// is disabled.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    registry().gauge_set(name, value);
+    dispatch(&Event::Gauge {
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// Records one histogram observation and streams it. No-op when
+/// telemetry is disabled.
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    registry().histogram_record(name, value);
+    dispatch(&Event::Histogram {
+        name: name.to_string(),
+        value,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that touch the global sink/registry: unit tests
+    /// in this crate run concurrently in one process.
+    static GLOBAL_GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_global<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = GLOBAL_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        registry().clear();
+        let result = f();
+        uninstall();
+        registry().clear();
+        result
+    }
+
+    #[test]
+    fn disabled_calls_are_inert() {
+        with_global(|| {
+            assert!(!is_enabled());
+            let _span = span("inert");
+            counter_add("inert.counter", 1);
+            gauge_set("inert.gauge", 1.0);
+            histogram_record("inert.hist", 1.0);
+            drop(_span);
+            assert_eq!(registry().snapshot().counter("inert.counter"), None);
+        });
+    }
+
+    #[test]
+    fn memory_sink_captures_span_hierarchy() {
+        with_global(|| {
+            let sink = Arc::new(MemorySink::new());
+            install(sink.clone());
+            {
+                let _outer = span("outer");
+                let _inner = span("inner");
+            }
+            uninstall();
+            let events = sink.events();
+            // Inner closes first.
+            let spans: Vec<&Event> = events
+                .iter()
+                .filter(|e| matches!(e, Event::Span { .. }))
+                .collect();
+            assert_eq!(spans.len(), 2);
+            match spans[0] {
+                Event::Span {
+                    name,
+                    parent,
+                    depth,
+                    ..
+                } => {
+                    assert_eq!(name, "inner");
+                    assert_eq!(parent.as_deref(), Some("outer"));
+                    assert_eq!(*depth, 1);
+                }
+                other => panic!("expected span, got {other:?}"),
+            }
+            match spans[1] {
+                Event::Span {
+                    name,
+                    parent,
+                    depth,
+                    ..
+                } => {
+                    assert_eq!(name, "outer");
+                    assert_eq!(*parent, None);
+                    assert_eq!(*depth, 0);
+                }
+                other => panic!("expected span, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn spans_aggregate_into_registry() {
+        with_global(|| {
+            install(Arc::new(NoopSink));
+            {
+                let _s = span("agg.work");
+            }
+            {
+                let _s = span("agg.work");
+            }
+            let snap = registry().snapshot();
+            assert_eq!(snap.counter("span.agg.work.count"), Some(2));
+            assert!(snap.counter("span.agg.work.total_ns").unwrap() > 0);
+        });
+    }
+
+    #[test]
+    fn metrics_stream_and_aggregate() {
+        with_global(|| {
+            let sink = Arc::new(MemorySink::new());
+            install(sink.clone());
+            counter_add("m.count", 2);
+            counter_add("m.count", 3);
+            gauge_set("m.gauge", 7.5);
+            histogram_record("m.hist", 4.0);
+            let snap = registry().snapshot();
+            assert_eq!(snap.counter("m.count"), Some(5));
+            assert_eq!(snap.gauge("m.gauge"), Some(7.5));
+            assert_eq!(snap.histogram("m.hist").unwrap().count, 1);
+            uninstall();
+            let events = sink.events();
+            assert_eq!(events.len(), 4);
+            assert!(matches!(
+                &events[1],
+                Event::Counter {
+                    total: 5,
+                    delta: 3,
+                    ..
+                }
+            ));
+        });
+    }
+
+    #[test]
+    fn uninstall_returns_the_sink_and_disables() {
+        with_global(|| {
+            let sink = Arc::new(MemorySink::new());
+            install(sink);
+            assert!(is_enabled());
+            let back = uninstall().expect("sink was installed");
+            assert!(!is_enabled());
+            // Downcasting is not needed: the caller keeps its own Arc.
+            back.flush();
+            assert!(uninstall().is_none());
+        });
+    }
+
+    #[test]
+    fn doc_example_flow() {
+        with_global(|| {
+            let sink = Arc::new(MemorySink::new());
+            install(sink.clone());
+            {
+                let _span = span("example.work");
+                counter_add("example.items", 3);
+            }
+            uninstall();
+            assert!(sink.events().iter().any(|e| e.name() == "example.work"));
+            let snapshot = registry().snapshot();
+            assert_eq!(snapshot.counter("example.items"), Some(3));
+        });
+    }
+}

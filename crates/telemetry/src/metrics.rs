@@ -1,0 +1,419 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms, aggregated in-process with atomics.
+//!
+//! The registry is the *aggregated* view of telemetry (totals since
+//! enablement); the event stream ([`crate::sink`]) is the *incremental*
+//! view. Both are fed by the same instrumentation calls in
+//! [`crate`]. A [`MetricsSnapshot`] freezes the registry into a
+//! serialisable value for artifacts and tests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
+
+/// Default histogram bucket upper bounds: a 1–2–5 decade ladder wide
+/// enough for both iteration counts and nanosecond durations.
+pub const DEFAULT_BUCKETS: [f64; 30] = [
+    1e0, 2e0, 5e0, 1e1, 2e1, 5e1, 1e2, 2e2, 5e2, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6,
+    2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9, 2e9, 5e9,
+];
+
+/// Adds `v` to an `f64` stored as bits in an [`AtomicU64`].
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A fixed-bucket histogram cell.
+#[derive(Debug)]
+struct HistogramCell {
+    /// Bucket upper bounds (sorted ascending); counts has one extra
+    /// overflow bucket.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        HistogramCell {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, value);
+    }
+}
+
+/// A named metric cell.
+#[derive(Debug)]
+enum Metric {
+    Counter(AtomicU64),
+    /// Gauge value stored as `f64` bits.
+    Gauge(AtomicU64),
+    Histogram(HistogramCell),
+}
+
+/// The registry of named metrics.
+///
+/// Cells are created on first use and never removed; updates after the
+/// (read-locked) name lookup are lock-free atomics, so concurrent
+/// training threads never serialise on a metric update.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<HashMap<String, Arc<Metric>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Arc<Metric> {
+        if let Some(m) = self.metrics.read().expect("metrics lock").get(name) {
+            return Arc::clone(m);
+        }
+        let mut map = self.metrics.write().expect("metrics lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(make())),
+        )
+    }
+
+    /// Adds `delta` to the counter `name`, returning the new total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter_add(&self, name: &str, delta: u64) -> u64 {
+        match &*self.get_or_insert(name, || Metric::Counter(AtomicU64::new(0))) {
+            Metric::Counter(c) => c.fetch_add(delta, Ordering::Relaxed) + delta,
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        match &*self.get_or_insert(name, || Metric::Gauge(AtomicU64::new(0.0f64.to_bits()))) {
+            Metric::Gauge(g) => g.store(value.to_bits(), Ordering::Relaxed),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Registers a histogram with explicit bucket bounds (idempotent:
+    /// existing bounds win).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bounds are not strictly ascending or the name is
+    /// registered as a different kind.
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        match &*self.get_or_insert(name, || Metric::Histogram(HistogramCell::new(bounds))) {
+            Metric::Histogram(_) => {}
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Records `value` in the histogram `name` (registered with
+    /// [`DEFAULT_BUCKETS`] on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        match &*self.get_or_insert(name, || {
+            Metric::Histogram(HistogramCell::new(&DEFAULT_BUCKETS))
+        }) {
+            Metric::Histogram(h) => h.record(value),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Freezes all metrics into a serialisable snapshot, sorted by name
+    /// for deterministic output.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read().expect("metrics lock");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in map.iter() {
+            match &**metric {
+                Metric::Counter(c) => counters.push((name.clone(), c.load(Ordering::Relaxed))),
+                Metric::Gauge(g) => {
+                    gauges.push((name.clone(), f64::from_bits(g.load(Ordering::Relaxed))));
+                }
+                Metric::Histogram(h) => histograms.push(HistogramSnapshot {
+                    name: name.clone(),
+                    bounds: h.bounds.clone(),
+                    counts: h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                    sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                    count: h.count.load(Ordering::Relaxed),
+                }),
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Removes every metric (primarily for tests and between runs).
+    pub fn clear(&self) {
+        self.metrics.write().expect("metrics lock").clear();
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (one extra overflow bucket at the end).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("bounds", self.bounds.to_json()),
+            ("counts", self.counts.to_json()),
+            ("sum", self.sum.to_json()),
+            ("count", self.count.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HistogramSnapshot {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(HistogramSnapshot {
+            name: FromJson::from_json(json.field("name")?)?,
+            bounds: FromJson::from_json(json.field("bounds")?)?,
+            counts: FromJson::from_json(json.field("counts")?)?,
+            sum: FromJson::from_json(json.field("sum")?)?,
+            count: FromJson::from_json(json.field("count")?)?,
+        })
+    }
+}
+
+/// Frozen registry state: all metrics by kind, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` pairs.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, last value)` pairs.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.to_json()))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), v.to_json()))
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", self.histograms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MetricsSnapshot {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let obj_pairs = |j: &Json| -> Result<Vec<(String, Json)>, JsonError> {
+            match j {
+                Json::Obj(fields) => Ok(fields.clone()),
+                other => Err(JsonError(format!("expected object, got {other:?}"))),
+            }
+        };
+        let counters = obj_pairs(json.field("counters")?)?
+            .into_iter()
+            .map(|(n, v)| Ok((n, u64::from_json(&v)?)))
+            .collect::<Result<_, JsonError>>()?;
+        let gauges = obj_pairs(json.field("gauges")?)?
+            .into_iter()
+            .map(|(n, v)| Ok((n, f64::from_json(&v)?)))
+            .collect::<Result<_, JsonError>>()?;
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms: FromJson::from_json(json.field("histograms")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        assert_eq!(r.counter_add("a", 2), 2);
+        assert_eq!(r.counter_add("a", 3), 5);
+        assert_eq!(r.snapshot().counter("a"), Some(5));
+        assert_eq!(r.snapshot().counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_take_last_value() {
+        let r = Registry::new();
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", -2.5);
+        assert_eq!(r.snapshot().gauge("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn histograms_bucket_correctly() {
+        let r = Registry::new();
+        r.register_histogram("h", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 5000.0] {
+            r.histogram_record("h", v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("h").unwrap();
+        // <=1: {0.5, 1.0}; <=10: {5.0}; <=100: {50.0}; overflow: {5000}.
+        assert_eq!(h.counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 5056.5).abs() < 1e-9);
+        assert!((h.mean() - 5056.5 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_buckets_cover_wide_range() {
+        let r = Registry::new();
+        r.histogram_record("d", 3.0);
+        r.histogram_record("d", 3e8);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("d").unwrap().count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge_set("x", 1.0);
+        r.counter_add("x", 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter_add("c.one", 7);
+        r.counter_add("c.two", 9);
+        r.gauge_set("g.x", 0.5);
+        r.register_histogram("h", &[1.0, 2.0]);
+        r.histogram_record("h", 1.5);
+        let snap = r.snapshot();
+        let text = snap.to_json().to_string();
+        let back = MetricsSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        // Byte-stable re-serialisation.
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_clear_resets() {
+        let r = Registry::new();
+        r.counter_add("b", 1);
+        r.counter_add("a", 1);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        r.clear();
+        assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_increments() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter_add("hot", 1);
+                        r.histogram_record("hist", 2.0);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("hot"), Some(4000));
+        assert_eq!(snap.histogram("hist").unwrap().count, 4000);
+        assert!((snap.histogram("hist").unwrap().sum - 8000.0).abs() < 1e-9);
+    }
+}

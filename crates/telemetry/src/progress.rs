@@ -1,0 +1,61 @@
+//! A telemetry-backed progress reporter for the figure binaries.
+//!
+//! Replaces the scattered `eprintln!` calls: every progress line still
+//! reaches stderr (the binaries' human-facing channel), and — when a
+//! sink is installed — is also recorded as an [`Event::Message`] so a
+//! JSONL trace is self-describing about what ran and when.
+
+use std::time::Instant;
+
+use crate::event::Event;
+
+/// Named progress reporter with a start time.
+#[derive(Debug)]
+pub struct Reporter {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Reporter {
+    /// Creates a reporter; `name` prefixes every line (typically the
+    /// binary's name).
+    pub fn new(name: &'static str) -> Self {
+        Reporter {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Emits one progress line to stderr and (when enabled) the sink.
+    pub fn info(&self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        eprintln!("[{}] {}", self.name, text);
+        if crate::is_enabled() {
+            crate::dispatch(&Event::Message {
+                name: self.name.to_string(),
+                text: text.to_string(),
+            });
+        }
+    }
+
+    /// Reports elapsed wall-clock time since the reporter was created.
+    pub fn done(&self) {
+        self.info(format!(
+            "completed in {:.1}s",
+            self.start.elapsed().as_secs_f64()
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reporter_is_silent_on_sink_when_disabled() {
+        // No sink installed: info() must not panic and not dispatch.
+        let r = Reporter::new("test");
+        r.info("hello");
+        r.done();
+    }
+}

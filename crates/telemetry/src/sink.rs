@@ -1,0 +1,177 @@
+//! Pluggable event sinks: where the telemetry event stream goes.
+//!
+//! Three implementations cover the overhead policy spectrum:
+//!
+//! - [`NoopSink`] — aggregates into the registry but drops the event
+//!   stream (for "metrics totals only" runs),
+//! - [`MemorySink`] — buffers events in memory (tests, short probes),
+//! - [`JsonlSink`] — appends one `gddr-ser` JSON object per event to a
+//!   file; the stream parses back losslessly with
+//!   [`crate::event::parse_jsonl`].
+//!
+//! With *no* sink installed at all, every instrumentation call
+//! short-circuits on one relaxed atomic load (see [`crate::install`]).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use gddr_ser::ToJson;
+
+use crate::event::Event;
+
+/// Receives the telemetry event stream.
+pub trait Sink: Send + Sync {
+    /// Handles one event. Called from any thread; implementations
+    /// synchronise internally.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered state (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards every event. Installing it still enables registry
+/// aggregation and span timing, so totals remain available at the end
+/// of a run without paying for an event stream.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory; the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+
+    /// Drains and returns all recorded events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink lock"))
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink lock").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink lock")
+            .push(event.clone());
+    }
+}
+
+/// Streams events to a file as JSON Lines.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("jsonl sink lock");
+        // Telemetry must not abort the run it observes: I/O errors
+        // (disk full, closed fd) drop the event rather than panic.
+        let _ = writeln!(w, "{}", event.to_json().to_string());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink lock").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_jsonl;
+
+    fn sample(total: u64) -> Event {
+        Event::Counter {
+            name: "c".into(),
+            delta: 1,
+            total,
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&sample(1));
+        sink.record(&sample(2));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.take(), vec![sample(1), sample(2)]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "gddr_telemetry_sink_test_{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&sample(1));
+            sink.record(&Event::Gauge {
+                name: "g".into(),
+                value: 2.5,
+            });
+        } // Drop flushes.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = parse_jsonl(&text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], sample(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn noop_sink_accepts_everything() {
+        let sink = NoopSink;
+        sink.record(&sample(1));
+        sink.flush();
+    }
+}

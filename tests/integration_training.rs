@@ -53,7 +53,7 @@ fn mlp_trains_on_ddr_env() {
     assert!(log
         .updates
         .iter()
-        .all(|(_, p, v)| p.is_finite() && v.is_finite()));
+        .all(|u| u.policy_loss.is_finite() && u.value_loss.is_finite()));
     let ctx = GraphContext::new(g, train);
     let eval = eval_oneshot(&ctx, &env_cfg, &policy, &test);
     assert!(eval.mean_ratio >= 1.0 - 1e-6 && eval.mean_ratio.is_finite());
