@@ -1,0 +1,159 @@
+//! Kill-and-resume smoke check (CI gate for the fault-tolerant
+//! trainer): runs a short seeded Fig. 7-style training to completion,
+//! then replays it with a forced stop at checkpoint `--halt-updates`
+//! and resumes from the persisted checkpoint in a fresh trainer. The
+//! two TrainingLog JSON serialisations must match **byte-for-byte**;
+//! any divergence exits non-zero.
+//!
+//! ```text
+//! cargo run -p gddr-bench --release --bin resume_check -- \
+//!     --steps 96 --seed 7 --halt-updates 2 --dir out/resume_check
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gddr_bench::{flag, parse_args};
+use gddr_core::env::{standard_sequences, DdrEnv, DdrEnvConfig, GraphContext};
+use gddr_core::policies::MlpPolicy;
+use gddr_rl::{Checkpoint, FaultTolerance, Ppo, PpoConfig, TrainingLog};
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_ser::ToJson;
+use gddr_telemetry::{JsonlSink, Reporter};
+
+fn make_env(seed: u64) -> DdrEnv {
+    let g = gddr_net::topology::zoo::cesnet();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sequences = standard_sequences(&g, 2, 10, 5, &mut rng);
+    let env_cfg = DdrEnvConfig {
+        memory: 2,
+        ..Default::default()
+    };
+    DdrEnv::new(GraphContext::new(g, sequences), env_cfg)
+}
+
+fn make_policy(seed: u64) -> MlpPolicy {
+    let g = gddr_net::topology::zoo::cesnet();
+    let mut rng = StdRng::seed_from_u64(seed);
+    MlpPolicy::new(2, g.num_nodes(), g.num_edges(), &[8], -0.7, &mut rng)
+}
+
+fn make_ppo() -> Ppo {
+    Ppo::new(PpoConfig {
+        n_steps: 16,
+        minibatch_size: 8,
+        epochs: 1,
+        learning_rate: 1e-3,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let args = parse_args(&["steps", "seed", "halt-updates", "dir", "telemetry"]);
+    let steps = flag(&args, "steps", 96usize);
+    let seed = flag(&args, "seed", 7u64);
+    let halt_updates = flag(&args, "halt-updates", 2usize);
+    let dir = PathBuf::from(
+        args.get("dir")
+            .cloned()
+            .unwrap_or_else(|| "out/resume_check".to_string()),
+    );
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let ckpt_path = dir.join("resume.ckpt.json");
+
+    if let Some(path) = args.get("telemetry") {
+        let sink = JsonlSink::create(path).expect("create telemetry file");
+        gddr_telemetry::install(Arc::new(sink));
+    }
+    let reporter = Reporter::new("resume_check");
+    reporter.info(format!(
+        "steps={steps} seed={seed} halt_updates={halt_updates}"
+    ));
+
+    // 1. Uninterrupted reference run.
+    let reference = {
+        let mut env = make_env(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut policy = make_policy(seed);
+        let mut ppo = make_ppo();
+        let mut log = TrainingLog::default();
+        ppo.train_resilient(
+            &mut env,
+            &mut policy,
+            steps,
+            &mut rng,
+            &mut log,
+            &FaultTolerance::default(),
+            None,
+        )
+        .expect("reference run");
+        log.to_json().to_string()
+    };
+
+    // 2. The same run killed at checkpoint `halt_updates`.
+    {
+        let mut env = make_env(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut policy = make_policy(seed);
+        let mut ppo = make_ppo();
+        let mut log = TrainingLog::default();
+        let ft = FaultTolerance {
+            checkpoint_path: Some(ckpt_path.clone()),
+            checkpoint_every_updates: 1,
+            halt_after_updates: Some(halt_updates),
+            ..Default::default()
+        };
+        let report = ppo
+            .train_resilient(&mut env, &mut policy, steps, &mut rng, &mut log, &ft, None)
+            .expect("halted run");
+        assert!(report.halted, "run must stop at the halt hook");
+        reporter.info(format!(
+            "halted at {} steps, {} checkpoints written",
+            log.total_steps, report.checkpoints_written
+        ));
+    }
+
+    // 3. Resume from disk in a fresh trainer with an unrelated RNG
+    //    seed: every bit of state must come from the checkpoint.
+    let resumed = {
+        let ckpt = Checkpoint::load(&ckpt_path).expect("load checkpoint");
+        let mut env = make_env(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let mut policy = make_policy(seed);
+        let mut ppo = make_ppo();
+        let mut log = TrainingLog::default();
+        ppo.train_resilient(
+            &mut env,
+            &mut policy,
+            steps,
+            &mut rng,
+            &mut log,
+            &FaultTolerance::default(),
+            Some(&ckpt),
+        )
+        .expect("resumed run");
+        log.to_json().to_string()
+    };
+
+    reporter.done();
+    gddr_telemetry::uninstall();
+
+    if reference == resumed {
+        println!(
+            "resume_check PASS: TrainingLog identical over {steps} steps ({} bytes)",
+            reference.len()
+        );
+    } else {
+        eprintln!("resume_check FAIL: resumed TrainingLog diverges from the uninterrupted run");
+        eprintln!("  reference: {} bytes", reference.len());
+        eprintln!("  resumed:   {} bytes", resumed.len());
+        let divergence = reference
+            .bytes()
+            .zip(resumed.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| reference.len().min(resumed.len()));
+        eprintln!("  first divergence at byte {divergence}");
+        std::process::exit(1);
+    }
+}

@@ -86,7 +86,12 @@ fn main() {
             Event::Gauge { name, .. } => {
                 gauges.insert(name.clone());
             }
-            Event::Histogram { .. } | Event::Message { .. } => {}
+            Event::Histogram { .. }
+            | Event::Message { .. }
+            | Event::Checkpoint { .. }
+            | Event::Rollback { .. }
+            | Event::LpFallback { .. }
+            | Event::FaultInjected { .. } => {}
         }
     }
     assert!(lines > 0, "trace is empty");

@@ -44,7 +44,10 @@ pub mod experiment;
 pub mod obs;
 pub mod policies;
 
-pub use env::{DdrEnv, DdrEnvConfig, GraphContext, MultiGraphDdrEnv};
+pub use env::{
+    routing_ratio, DdrEnv, DdrEnvConfig, FailureInjector, GraphContext, MultiGraphDdrEnv,
+    RatioOutcome,
+};
 pub use env_iterative::IterativeDdrEnv;
 pub use obs::DdrObs;
 pub use policies::{GnnIterativePolicy, GnnPolicy, MlpPolicy};

@@ -33,5 +33,5 @@
 pub mod mcf;
 pub mod simplex;
 
-pub use mcf::{CacheStats, CachedOracle, McfSolution};
-pub use simplex::{LinearProgram, LpError, Relation, Solution};
+pub use mcf::{CacheStats, CachedOracle, McfSolution, OracleValue};
+pub use simplex::{LinearProgram, LpError, Relation, Solution, SolveOptions};

@@ -32,7 +32,7 @@ use std::sync::Mutex;
 use gddr_net::{Graph, NodeId};
 use gddr_traffic::DemandMatrix;
 
-use crate::simplex::{solve, LinearProgram, LpError, Relation};
+use crate::simplex::{solve_with, LinearProgram, LpError, Relation, SolveOptions};
 
 /// The oracle's answer for one demand matrix.
 #[derive(Debug, Clone)]
@@ -65,22 +65,49 @@ impl McfSolution {
     }
 }
 
-/// Solves the min-max-utilisation multicommodity flow LP.
+/// Solves the min-max-utilisation multicommodity flow LP with default
+/// solver options.
 ///
 /// # Errors
 ///
 /// Returns an [`LpError`] if the LP cannot be solved — on a strongly
 /// connected graph this indicates a disconnected destination (the
-/// demands cannot be delivered at any utilisation).
-///
-/// # Panics
-///
-/// Panics if the demand matrix size differs from the node count.
+/// demands cannot be delivered at any utilisation) — or
+/// [`LpError::InvalidInput`] if the demand matrix does not fit the
+/// graph or contains non-finite entries.
 pub fn min_max_utilisation(graph: &Graph, dm: &DemandMatrix) -> Result<McfSolution, LpError> {
+    min_max_utilisation_with(graph, dm, &SolveOptions::default())
+}
+
+/// [`min_max_utilisation`] under explicit [`SolveOptions`] — the entry
+/// point the resilient oracle's retry ladder uses.
+///
+/// # Errors
+///
+/// As [`min_max_utilisation`].
+pub fn min_max_utilisation_with(
+    graph: &Graph,
+    dm: &DemandMatrix,
+    opts: &SolveOptions,
+) -> Result<McfSolution, LpError> {
     let _span = gddr_telemetry::span("lp.mcf.solve");
     let n = graph.num_nodes();
     let m = graph.num_edges();
-    assert_eq!(dm.num_nodes(), n, "demand matrix must match the graph");
+    if dm.num_nodes() != n {
+        return Err(LpError::InvalidInput(format!(
+            "demand matrix is {}x{0} but the graph has {n} nodes",
+            dm.num_nodes()
+        )));
+    }
+    for s in 0..n {
+        for t in 0..n {
+            if !dm.get(s, t).is_finite() {
+                return Err(LpError::InvalidInput(format!(
+                    "non-finite demand at ({s}, {t})"
+                )));
+            }
+        }
+    }
 
     // Only destinations with any incoming demand need flow variables.
     let dests: Vec<usize> = (0..n).filter(|&t| dm.in_sum(t) > 0.0).collect();
@@ -115,7 +142,7 @@ pub fn min_max_utilisation(graph: &Graph, dm: &DemandMatrix) -> Result<McfSoluti
         lp.add_constraint(&terms, Relation::Le, 0.0);
     }
 
-    let sol = solve(&lp)?;
+    let sol = solve_with(&lp, opts)?;
     let mut flows = vec![vec![0.0; m]; n];
     for (d, &t) in dests.iter().enumerate() {
         flows[t].copy_from_slice(&sol.x[d * m..(d + 1) * m]);
@@ -135,14 +162,31 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Lookups answered by the fallback ladder (Bland retry or
+    /// shortest-path bound) instead of the default LP solve.
+    pub fallbacks: u64,
     /// Entries currently cached.
     pub entries: usize,
 }
 
-/// Keyed cache body: the map plus FIFO insertion order for eviction.
+/// An oracle answer carrying its provenance: `degraded` marks values
+/// produced by the shortest-path fallback bound rather than the exact
+/// LP — an upper bound on the true `U_opt`, good enough to keep an
+/// episode alive but not for publication-grade ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleValue {
+    /// Maximum link utilisation under the chosen routing.
+    pub u_opt: f64,
+    /// `true` when `u_opt` is the shortest-path upper bound, not the
+    /// exact LP optimum.
+    pub degraded: bool,
+}
+
+/// Keyed cache body: the map (value + degraded flag) plus FIFO
+/// insertion order for eviction.
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<u64, f64>,
+    map: HashMap<u64, (f64, bool)>,
     order: VecDeque<u64>,
 }
 
@@ -162,6 +206,10 @@ pub struct CachedOracle {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    fallbacks: AtomicU64,
+    /// Outstanding forced `PivotLimit` failures — the fault-injection
+    /// hook ([`CachedOracle::inject_pivot_limit`]).
+    forced_failures: AtomicU64,
 }
 
 impl CachedOracle {
@@ -187,6 +235,8 @@ impl CachedOracle {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            forced_failures: AtomicU64::new(0),
         }
     }
 
@@ -195,9 +245,16 @@ impl CachedOracle {
         &self.graph
     }
 
+    /// Locks the cache, recovering from a poisoned lock: the cache's
+    /// invariants hold at every await-free point inside the critical
+    /// sections, so a panic elsewhere must not wedge the oracle.
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Number of cached entries.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("oracle cache lock").map.len()
+        self.lock().map.len()
     }
 
     /// Current cache statistics (counters read atomically).
@@ -206,11 +263,67 @@ impl CachedOracle {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
             entries: self.cache_len(),
         }
     }
 
-    /// The optimal max-link utilisation for `dm`, cached.
+    /// Forces the next `n` cache-miss solves through
+    /// [`CachedOracle::u_opt_resilient`] to fail with
+    /// [`LpError::PivotLimit`] (a zero pivot budget), exercising the
+    /// fallback ladder. Fault injection for robustness tests — strict
+    /// [`CachedOracle::u_opt`] lookups are unaffected.
+    pub fn inject_pivot_limit(&self, n: u64) {
+        self.forced_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Consumes one forced failure, if any are outstanding.
+    fn take_forced_failure(&self) -> bool {
+        self.forced_failures
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Records a cache hit (telemetry + counter) and unpacks the entry.
+    fn record_hit(&self, entry: (f64, bool)) -> OracleValue {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        gddr_telemetry::counter_add("lp.oracle.hits", 1);
+        OracleValue {
+            u_opt: entry.0,
+            degraded: entry.1,
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicts to capacity, and updates
+    /// the entries gauge.
+    fn insert(&self, key: u64, u: f64, degraded: bool) {
+        let entries = {
+            let mut cache = self.lock();
+            // A racing thread may have solved the same matrix; only
+            // record the key once so FIFO order stays consistent.
+            if cache.map.insert(key, (u, degraded)).is_none() {
+                cache.order.push_back(key);
+            }
+            if let Some(cap) = self.capacity {
+                while cache.map.len() > cap {
+                    let Some(oldest) = cache.order.pop_front() else {
+                        debug_assert!(false, "order must track map");
+                        break;
+                    };
+                    cache.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    gddr_telemetry::counter_add("lp.oracle.evictions", 1);
+                }
+            }
+            cache.map.len()
+        };
+        gddr_telemetry::gauge_set("lp.oracle.entries", entries as f64);
+    }
+
+    /// The optimal max-link utilisation for `dm`, cached. Exact: a
+    /// cached entry produced by the degraded fallback is re-solved with
+    /// the real LP and replaced, so fallback bounds never leak through
+    /// this method (no cache poisoning).
     ///
     /// Emits telemetry when enabled: `lp.oracle.hits` / `.misses` /
     /// `.evictions` counters, the `lp.oracle.entries` gauge and an
@@ -221,10 +334,10 @@ impl CachedOracle {
     /// Propagates LP failures (see [`min_max_utilisation`]).
     pub fn u_opt(&self, dm: &DemandMatrix) -> Result<f64, LpError> {
         let key = dm.fingerprint();
-        if let Some(&u) = self.cache.lock().expect("oracle cache lock").map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            gddr_telemetry::counter_add("lp.oracle.hits", 1);
-            return Ok(u);
+        match self.lock().map.get(&key) {
+            Some(&(_, true)) => {} // Degraded bound: re-solve exactly.
+            Some(&entry) => return Ok(self.record_hit(entry).u_opt),
+            None => {}
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         gddr_telemetry::counter_add("lp.oracle.misses", 1);
@@ -232,26 +345,131 @@ impl CachedOracle {
             let _span = gddr_telemetry::span("lp.oracle.solve");
             min_max_utilisation(&self.graph, dm)?
         };
-        let entries = {
-            let mut cache = self.cache.lock().expect("oracle cache lock");
-            // A racing thread may have solved the same matrix; only
-            // record the key once so FIFO order stays consistent.
-            if cache.map.insert(key, sol.u_max).is_none() {
-                cache.order.push_back(key);
-            }
-            if let Some(cap) = self.capacity {
-                while cache.map.len() > cap {
-                    let oldest = cache.order.pop_front().expect("order tracks map");
-                    cache.map.remove(&oldest);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                    gddr_telemetry::counter_add("lp.oracle.evictions", 1);
-                }
-            }
-            cache.map.len()
-        };
-        gddr_telemetry::gauge_set("lp.oracle.entries", entries as f64);
+        self.insert(key, sol.u_max, false);
         Ok(sol.u_max)
     }
+
+    /// The optimal max-link utilisation for `dm` with graceful
+    /// degradation: a solver failure never propagates as long as a
+    /// routing exists at all. The retry ladder on
+    /// [`LpError::PivotLimit`]:
+    ///
+    /// 1. the default solve (Dantzig with late Bland switch-over),
+    /// 2. a retry with Bland's rule from the first pivot (immune to
+    ///    cycling),
+    /// 3. the shortest-path utilisation upper bound, returned with
+    ///    `degraded: true` and cached under the degraded flag so a
+    ///    later strict [`CachedOracle::u_opt`] re-solves it.
+    ///
+    /// Each rung taken emits an `lp_fallback` telemetry event and bumps
+    /// [`CacheStats::fallbacks`]. Non-retryable errors (infeasible,
+    /// unbounded, invalid input) propagate unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures other than [`LpError::PivotLimit`], and
+    /// [`LpError::Infeasible`] if some commodity has no path at all
+    /// (the fallback bound needs connectivity too).
+    pub fn u_opt_resilient(&self, dm: &DemandMatrix) -> Result<OracleValue, LpError> {
+        let key = dm.fingerprint();
+        if let Some(&entry) = self.lock().map.get(&key) {
+            return Ok(self.record_hit(entry));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        gddr_telemetry::counter_add("lp.oracle.misses", 1);
+
+        let forced = self.take_forced_failure();
+        let max_pivots = if forced { Some(0) } else { None };
+        let first = {
+            let _span = gddr_telemetry::span("lp.oracle.solve");
+            min_max_utilisation_with(
+                &self.graph,
+                dm,
+                &SolveOptions {
+                    bland_from_start: false,
+                    max_pivots,
+                },
+            )
+        };
+        match first {
+            Ok(sol) => {
+                self.insert(key, sol.u_max, false);
+                return Ok(OracleValue {
+                    u_opt: sol.u_max,
+                    degraded: false,
+                });
+            }
+            Err(LpError::PivotLimit { .. }) => {
+                let _span = gddr_telemetry::span("lp.oracle.retry_bland");
+                match min_max_utilisation_with(
+                    &self.graph,
+                    dm,
+                    &SolveOptions {
+                        bland_from_start: true,
+                        max_pivots,
+                    },
+                ) {
+                    Ok(sol) => {
+                        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                        gddr_telemetry::lp_fallback_event("bland_retry", false);
+                        self.insert(key, sol.u_max, false);
+                        return Ok(OracleValue {
+                            u_opt: sol.u_max,
+                            degraded: false,
+                        });
+                    }
+                    Err(LpError::PivotLimit { .. }) => {}
+                    Err(other) => return Err(other),
+                }
+            }
+            Err(other) => return Err(other),
+        }
+
+        // Last rung: route every commodity on a hop-count shortest path
+        // and report the resulting max utilisation — an upper bound on
+        // the true optimum, flagged degraded.
+        let u_bound = shortest_path_bound(&self.graph, dm)?;
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        gddr_telemetry::lp_fallback_event("shortest_path_bound", true);
+        self.insert(key, u_bound, true);
+        Ok(OracleValue {
+            u_opt: u_bound,
+            degraded: true,
+        })
+    }
+}
+
+/// Max link utilisation when every commodity follows one hop-count
+/// shortest path — the LP-free upper bound the resilient oracle falls
+/// back to.
+///
+/// # Errors
+///
+/// [`LpError::InvalidInput`] on a size mismatch, [`LpError::Infeasible`]
+/// if some commodity's destination is unreachable.
+pub fn shortest_path_bound(graph: &Graph, dm: &DemandMatrix) -> Result<f64, LpError> {
+    if dm.num_nodes() != graph.num_nodes() {
+        return Err(LpError::InvalidInput(format!(
+            "demand matrix is {}x{0} but the graph has {} nodes",
+            dm.num_nodes(),
+            graph.num_nodes()
+        )));
+    }
+    let w = vec![1.0; graph.num_edges()];
+    let mut loads = vec![0.0; graph.num_edges()];
+    for (s, t, d) in dm.commodities() {
+        let sp = gddr_net::algo::dijkstra(graph, NodeId(s), &w);
+        let path =
+            gddr_net::algo::extract_path(&sp, graph, NodeId(t)).ok_or(LpError::Infeasible)?;
+        for e in path {
+            loads[e.0] += d;
+        }
+    }
+    Ok(loads
+        .iter()
+        .enumerate()
+        .map(|(e, l)| l / graph.capacity(gddr_net::EdgeId(e)))
+        .fold(0.0f64, f64::max))
 }
 
 #[cfg(test)]
@@ -446,6 +664,126 @@ mod tests {
         // dms[0] was evicted, so asking again re-solves (a miss).
         assert_eq!(oracle.u_opt(&dms[0]).unwrap(), first);
         assert_eq!(oracle.stats().misses, 4);
+    }
+
+    #[test]
+    fn mismatched_demand_matrix_is_invalid_input_not_panic() {
+        let g = zoo::abilene();
+        let dm = DemandMatrix::zeros(g.num_nodes() + 3);
+        assert!(matches!(
+            min_max_utilisation(&g, &dm),
+            Err(LpError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            shortest_path_bound(&g, &dm),
+            Err(LpError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn nonfinite_demand_is_invalid_input_not_panic() {
+        // `DemandMatrix::set` rejects non-finite values, but `from_fn`
+        // lets +inf through — the LP layer must still refuse it.
+        let g = zoo::abilene();
+        let dm = DemandMatrix::from_fn(g.num_nodes(), |s, t| {
+            if (s, t) == (0, 1) {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        });
+        assert!(matches!(
+            min_max_utilisation(&g, &dm),
+            Err(LpError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn resilient_lookup_matches_exact_on_healthy_solver() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+        let exact = oracle.u_opt(&dm).unwrap();
+        let resilient = oracle.u_opt_resilient(&dm).unwrap();
+        assert_eq!(resilient.u_opt, exact);
+        assert!(!resilient.degraded);
+        assert_eq!(oracle.stats().fallbacks, 0);
+    }
+
+    #[test]
+    fn forced_pivot_limit_degrades_to_shortest_path_bound() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(8);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+
+        oracle.inject_pivot_limit(1);
+        let v = oracle.u_opt_resilient(&dm).unwrap();
+        assert!(v.degraded, "zero pivot budget must force the fallback");
+        assert_eq!(v.u_opt, shortest_path_bound(&g, &dm).unwrap());
+        assert!(v.u_opt.is_finite() && v.u_opt > 0.0);
+        let stats = oracle.stats();
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.entries, 1);
+
+        // The degraded value is cached for subsequent resilient
+        // lookups (a hit, still flagged).
+        let again = oracle.u_opt_resilient(&dm).unwrap();
+        assert_eq!(again, v);
+        assert_eq!(oracle.stats().hits, 1);
+
+        // The degraded bound really is an upper bound on the optimum.
+        let exact = min_max_utilisation(&g, &dm).unwrap().u_max;
+        assert!(exact <= v.u_opt + 1e-9);
+    }
+
+    #[test]
+    fn strict_lookup_repairs_degraded_cache_entry() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+
+        oracle.inject_pivot_limit(1);
+        let degraded = oracle.u_opt_resilient(&dm).unwrap();
+        assert!(degraded.degraded);
+
+        // Strict lookup must not serve the degraded bound: it
+        // re-solves exactly and replaces the entry.
+        let exact = oracle.u_opt(&dm).unwrap();
+        assert!(exact <= degraded.u_opt + 1e-9);
+        let repaired = oracle.u_opt_resilient(&dm).unwrap();
+        assert_eq!(repaired.u_opt, exact);
+        assert!(!repaired.degraded, "cache entry must be repaired");
+        assert_eq!(oracle.cache_len(), 1);
+    }
+
+    #[test]
+    fn injected_failures_are_consumed_one_per_miss() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(10);
+        let params = BimodalParams::default();
+        let dm1 = bimodal(g.num_nodes(), &params, &mut rng);
+        let dm2 = bimodal(g.num_nodes(), &params, &mut rng);
+
+        oracle.inject_pivot_limit(1);
+        assert!(oracle.u_opt_resilient(&dm1).unwrap().degraded);
+        assert!(
+            !oracle.u_opt_resilient(&dm2).unwrap().degraded,
+            "only one failure was injected"
+        );
+    }
+
+    #[test]
+    fn shortest_path_bound_matches_manual_routing() {
+        // Two nodes, one link of capacity 10, demand 5 → bound 0.5,
+        // identical to the LP on a path-unique topology.
+        let g = from_links("pair", 2, &[(0, 1)], 10.0);
+        let mut dm = DemandMatrix::zeros(2);
+        dm.set(0, 1, 5.0);
+        assert_close(shortest_path_bound(&g, &dm).unwrap(), 0.5, 1e-9);
     }
 
     #[test]

@@ -60,13 +60,17 @@ pub enum LpError {
     Infeasible,
     /// The objective is unbounded below.
     Unbounded,
-    /// The pivot limit was exceeded (should not happen with the Bland
-    /// fallback; kept as a hard safety net). Carries the pivot count at
-    /// abort so diagnostics report the actual effort spent.
+    /// The pivot limit was exceeded — either the built-in anti-cycling
+    /// safety net or an explicit [`SolveOptions::max_pivots`] budget.
+    /// Carries the pivot count at abort so diagnostics report the
+    /// actual effort spent.
     PivotLimit {
         /// Pivots executed before giving up.
         pivots: usize,
     },
+    /// The program itself is malformed (e.g. a non-finite objective
+    /// coefficient) — retrying cannot help.
+    InvalidInput(String),
 }
 
 impl fmt::Display for LpError {
@@ -77,8 +81,23 @@ impl fmt::Display for LpError {
             LpError::PivotLimit { pivots } => {
                 write!(f, "simplex pivot limit exceeded after {pivots} pivots")
             }
+            LpError::InvalidInput(m) => write!(f, "invalid linear program: {m}"),
         }
     }
+}
+
+/// Tuning knobs for [`solve_with`], used by the oracle's fallback
+/// ladder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Use Bland's anti-cycling rule from the first pivot instead of
+    /// switching over only after Dantzig stalls. Slower on benign
+    /// problems, immune to cycling.
+    pub bland_from_start: bool,
+    /// Hard pivot budget across both phases; `None` uses the built-in
+    /// safety net. `Some(0)` fails every solve — the fault-injection
+    /// hook used by robustness tests.
+    pub max_pivots: Option<usize>,
 }
 
 impl std::error::Error for LpError {}
@@ -192,15 +211,22 @@ impl Tableau {
 
     /// Runs the simplex method on the current (feasible) tableau,
     /// returning the number of pivots performed. `allowed` restricts
-    /// entering columns (used to ban artificials in phase 2).
-    fn run(&mut self, allowed: &[bool]) -> Result<usize, LpError> {
+    /// entering columns (used to ban artificials in phase 2);
+    /// `max_pivots` is the remaining budget for this run when an
+    /// explicit [`SolveOptions::max_pivots`] is in force.
+    fn run(
+        &mut self,
+        allowed: &[bool],
+        bland_from_start: bool,
+        max_pivots: Option<usize>,
+    ) -> Result<usize, LpError> {
         let m = self.a.len();
         // Generous limit: Bland's rule guarantees finite termination; the
         // cap is a safety net against numerical pathologies.
-        let max_iters = 50 * (m + self.cols) + 10_000;
+        let max_iters = max_pivots.unwrap_or(50 * (m + self.cols) + 10_000);
         let bland_after = 5 * (m + self.cols) + 1_000;
         for iter in 0..max_iters {
-            let use_bland = iter > bland_after;
+            let use_bland = bland_from_start || iter > bland_after;
             // Choose entering column.
             let mut entering = None;
             if use_bland {
@@ -246,7 +272,7 @@ impl Tableau {
     }
 }
 
-/// Solves the linear program.
+/// Solves the linear program with default options.
 ///
 /// Emits telemetry when enabled: an `lp.simplex.solve` span, the
 /// `lp.simplex.pivots` counter and a `lp.simplex.pivots_per_solve`
@@ -256,9 +282,27 @@ impl Tableau {
 ///
 /// Returns [`LpError::Infeasible`] or [`LpError::Unbounded`] as
 /// appropriate; [`LpError::PivotLimit`] is a safety net that should
-/// not occur in practice.
+/// not occur in practice; [`LpError::InvalidInput`] flags a non-finite
+/// objective.
 pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    solve_with(lp, &SolveOptions::default())
+}
+
+/// Solves the linear program under explicit [`SolveOptions`] — the
+/// entry point of the oracle's retry ladder (Dantzig, then Bland from
+/// the first pivot).
+///
+/// # Errors
+///
+/// As [`solve`], plus [`LpError::PivotLimit`] whenever an explicit
+/// `max_pivots` budget runs out.
+pub fn solve_with(lp: &LinearProgram, opts: &SolveOptions) -> Result<Solution, LpError> {
     let _span = gddr_telemetry::span("lp.simplex.solve");
+    if let Some(bad) = lp.objective.iter().find(|c| !c.is_finite()) {
+        return Err(LpError::InvalidInput(format!(
+            "non-finite objective coefficient {bad}"
+        )));
+    }
     let n = lp.num_vars;
     let m = lp.constraints.len();
 
@@ -349,7 +393,7 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             }
         }
         let allowed = vec![true; t.cols];
-        phase1_pivots += t.run(&allowed)?;
+        phase1_pivots += t.run(&allowed, opts.bland_from_start, opts.max_pivots)?;
         let phase1_obj = -t.obj;
         if phase1_obj > 1e-6 {
             return Err(LpError::Infeasible);
@@ -397,7 +441,15 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     for &j in &artificials {
         allowed[j] = false;
     }
-    let phase2_pivots = t.run(&allowed)?;
+    let phase2_budget = opts.max_pivots.map(|m| m.saturating_sub(phase1_pivots));
+    let phase2_pivots = t
+        .run(&allowed, opts.bland_from_start, phase2_budget)
+        .map_err(|e| match e {
+            LpError::PivotLimit { pivots } => LpError::PivotLimit {
+                pivots: pivots + phase1_pivots,
+            },
+            other => other,
+        })?;
 
     let mut x = vec![0.0; n];
     for r in 0..m {
@@ -565,6 +617,121 @@ mod tests {
         let sol = solve(&lp).unwrap();
         assert_close(sol.x[0], 2.0);
         assert_close(sol.x[1], 2.0);
+    }
+
+    #[test]
+    fn bland_from_start_agrees_with_dantzig() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[-3.0, -5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let dantzig = solve(&lp).unwrap();
+        let bland = solve_with(
+            &lp,
+            &SolveOptions {
+                bland_from_start: true,
+                max_pivots: None,
+            },
+        )
+        .unwrap();
+        assert_close(dantzig.objective, bland.objective);
+    }
+
+    #[test]
+    fn zero_pivot_budget_forces_pivot_limit() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[-3.0, -5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        let err = solve_with(
+            &lp,
+            &SolveOptions {
+                bland_from_start: false,
+                max_pivots: Some(0),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, LpError::PivotLimit { pivots: 0 });
+    }
+
+    #[test]
+    fn nonfinite_objective_is_invalid_input() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[f64::NAN]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        assert!(matches!(solve(&lp), Err(LpError::InvalidInput(_))));
+    }
+
+    /// Deterministic seeded stress on degenerate, cycling-prone
+    /// programs: duplicated constraint rows, zero-cost columns and
+    /// zero right-hand sides. The contract is termination with `Ok` or
+    /// a typed error — never a panic, never a hang.
+    #[test]
+    fn degenerate_stress_terminates_without_panicking() {
+        use gddr_rng::rngs::StdRng;
+        use gddr_rng::{Rng, SeedableRng};
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..6usize);
+            let mut lp = LinearProgram::new(n);
+            // Zero-cost columns: roughly half the objective is zero.
+            let obj: Vec<f64> = (0..n)
+                .map(|_| {
+                    if rng.gen_range(0u8..2) == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-2.0..2.0)
+                    }
+                })
+                .collect();
+            lp.set_objective(&obj);
+            let n_rows = rng.gen_range(1..4usize);
+            for _ in 0..n_rows {
+                let coeffs: Vec<(usize, f64)> =
+                    (0..n).map(|i| (i, rng.gen_range(-2.0..2.0))).collect();
+                let rel = match rng.gen_range(0u8..3) {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                // Degenerate RHS: zero half the time.
+                let rhs = if rng.gen_range(0u8..2) == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-3.0..3.0)
+                };
+                // Duplicate every row — the classic degeneracy magnet.
+                lp.add_constraint(&coeffs, rel, rhs);
+                lp.add_constraint(&coeffs, rel, rhs);
+            }
+            // Box the variables so Ok solutions are bounded.
+            for i in 0..n {
+                lp.add_constraint(&[(i, 1.0)], Relation::Le, 10.0);
+            }
+            for opts in [
+                SolveOptions::default(),
+                SolveOptions {
+                    bland_from_start: true,
+                    max_pivots: None,
+                },
+            ] {
+                match solve_with(&lp, &opts) {
+                    Ok(sol) => {
+                        assert!(
+                            sol.objective.is_finite(),
+                            "seed {seed}: non-finite objective"
+                        );
+                        assert!(sol.x.iter().all(|v| v.is_finite()));
+                    }
+                    Err(
+                        LpError::Infeasible
+                        | LpError::Unbounded
+                        | LpError::PivotLimit { .. }
+                        | LpError::InvalidInput(_),
+                    ) => {}
+                }
+            }
+        }
     }
 
     /// Randomised solver audit, formerly proptest-based; now a

@@ -172,6 +172,10 @@ impl ParamStore {
     /// [`ParamStore::save`]. The store must already have the same layout
     /// (names and shapes) — snapshots carry weights, not architecture.
     ///
+    /// All-or-nothing: every value is staged and validated before any
+    /// store mutation, so a truncated or corrupt snapshot leaves the
+    /// store exactly as it was.
+    ///
     /// # Errors
     ///
     /// Fails on I/O errors, corrupt data, or layout mismatch.
@@ -190,6 +194,7 @@ impl ParamStore {
                 self.values.len()
             )));
         }
+        let mut staged: Vec<Matrix> = Vec::with_capacity(count);
         for i in 0..count {
             r.read_exact(&mut u64buf)?;
             let name_len = u64::from_le_bytes(u64buf) as usize;
@@ -222,8 +227,72 @@ impl ParamStore {
                 r.read_exact(&mut f64buf)?;
                 *x = f64::from_le_bytes(f64buf);
             }
-            self.values[i] = Matrix::from_vec(rows, cols, data);
+            staged.push(Matrix::from_vec(rows, cols, data));
         }
+        self.values = staged;
+        Ok(())
+    }
+
+    /// Serialises all parameter values (names, shapes, data) as JSON —
+    /// the representation embedded in training checkpoints.
+    pub fn values_to_json(&self) -> gddr_ser::Json {
+        use gddr_ser::{Json, ToJson};
+        Json::Arr(
+            self.iter()
+                .map(|(_, name, value)| {
+                    Json::obj([("name", name.to_json()), ("value", value.to_json())])
+                })
+                .collect(),
+        )
+    }
+
+    /// Restores parameter values from [`ParamStore::values_to_json`]
+    /// output. The store must already have the matching layout; like
+    /// [`ParamStore::load`], nothing is mutated unless every entry
+    /// validates.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON structure or layout mismatch.
+    pub fn values_from_json(&mut self, json: &gddr_ser::Json) -> Result<(), ParamIoError> {
+        use gddr_ser::{FromJson, Json};
+        let entries = match json {
+            Json::Arr(items) => items,
+            _ => return Err(ParamIoError::Corrupt("expected array of params".into())),
+        };
+        if entries.len() != self.values.len() {
+            return Err(ParamIoError::LayoutMismatch(format!(
+                "snapshot has {} params, store has {}",
+                entries.len(),
+                self.values.len()
+            )));
+        }
+        let mut staged: Vec<Matrix> = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            let name = entry
+                .field("name")
+                .and_then(String::from_json)
+                .map_err(|e| ParamIoError::Corrupt(e.to_string()))?;
+            if name != self.names[i] {
+                return Err(ParamIoError::LayoutMismatch(format!(
+                    "param {i}: snapshot name {name:?} != store name {:?}",
+                    self.names[i]
+                )));
+            }
+            let value = entry
+                .field("value")
+                .and_then(Matrix::from_json)
+                .map_err(|e| ParamIoError::Corrupt(e.to_string()))?;
+            if value.shape() != self.values[i].shape() {
+                return Err(ParamIoError::LayoutMismatch(format!(
+                    "param {name}: snapshot shape {:?} != store {:?}",
+                    value.shape(),
+                    self.values[i].shape()
+                )));
+            }
+            staged.push(value);
+        }
+        self.values = staged;
         Ok(())
     }
 }
@@ -301,5 +370,54 @@ mod tests {
             s.load(&b"NOTMAGIC"[..]),
             Err(ParamIoError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn load_rejects_truncated_input_without_partial_mutation() {
+        let (s, _, _) = sample_store();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        // Every strict prefix must fail cleanly and leave the target
+        // store untouched — including prefixes that cut mid-way through
+        // the second parameter, after the first would have been read.
+        for len in 0..buf.len() {
+            let (mut target, a, b) = sample_store();
+            target.value_mut(a).set(0, 0, 99.0);
+            target.value_mut(b).set(0, 1, -99.0);
+            let before_a = target.value(a).clone();
+            let before_b = target.value(b).clone();
+            let err = target.load(&buf[..len]).unwrap_err();
+            assert!(
+                matches!(err, ParamIoError::Io(_) | ParamIoError::Corrupt(_)),
+                "prefix {len}: unexpected error {err}"
+            );
+            assert_eq!(target.value(a).as_slice(), before_a.as_slice());
+            assert_eq!(target.value(b).as_slice(), before_b.as_slice());
+        }
+    }
+
+    #[test]
+    fn json_values_round_trip() {
+        let (s, a, _) = sample_store();
+        let json = s.values_to_json();
+        let text = json.to_string();
+        let (mut s2, a2, _) = sample_store();
+        s2.value_mut(a2).set(0, 0, 99.0);
+        let parsed = gddr_ser::Json::parse(&text).unwrap();
+        s2.values_from_json(&parsed).unwrap();
+        assert_eq!(s2.value(a2).as_slice(), s.value(a).as_slice());
+    }
+
+    #[test]
+    fn json_values_reject_layout_mismatch_without_mutation() {
+        let (s, _, _) = sample_store();
+        let json = s.values_to_json();
+        let mut other = ParamStore::new();
+        let w = other.register("w", Matrix::zeros(2, 2));
+        assert!(matches!(
+            other.values_from_json(&json),
+            Err(ParamIoError::LayoutMismatch(_))
+        ));
+        assert_eq!(other.value(w).sum(), 0.0);
     }
 }

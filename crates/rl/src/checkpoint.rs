@@ -1,0 +1,262 @@
+//! Training checkpoints: full trainer state serialised via `gddr-ser`
+//! with atomic tmp-file-then-rename writes, so a killed run can resume
+//! bit-identically ([`crate::Ppo::train_resilient`]).
+//!
+//! A checkpoint captures everything the training loop threads through
+//! an update boundary: policy/value parameters, Adam moments, the
+//! environment's episode state, the RNG stream, the in-flight episode
+//! reward, an optional observation normaliser, and the full
+//! [`TrainingLog`] so far. RNG state words are encoded as decimal
+//! strings — `gddr-ser` routes integers through `f64`, which would
+//! silently truncate values above 2^53.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
+
+use crate::ppo::TrainingLog;
+use crate::running_stat::RunningMeanStd;
+
+/// Format version written into every checkpoint.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Errors from checkpoint persistence.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint, or its contents do not fit
+    /// the trainer it is being restored into.
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failure: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<JsonError> for CheckpointError {
+    fn from(e: JsonError) -> Self {
+        CheckpointError::Corrupt(e.to_string())
+    }
+}
+
+/// A full snapshot of trainer state at an update boundary.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Environment steps taken when the snapshot was written.
+    pub step: usize,
+    /// Reward accumulated in the episode in flight.
+    pub episode_reward: f64,
+    /// Learning-rate scale applied by quarantine rollbacks (1.0 until
+    /// the first rollback).
+    pub lr_scale: f64,
+    /// xoshiro256++ state of the training RNG stream.
+    pub rng: [u64; 4],
+    /// Environment episode state
+    /// ([`crate::env::ResumableEnv::state_json`]).
+    pub env_state: Json,
+    /// Policy/value parameters (`ParamStore::values_to_json`).
+    pub params: Json,
+    /// Optimiser state (`Adam::state_to_json`).
+    pub optimiser: Json,
+    /// Observation/reward normaliser, when the trainer uses one.
+    pub normaliser: Option<RunningMeanStd>,
+    /// The training log up to the snapshot.
+    pub log: TrainingLog,
+}
+
+fn rng_to_json(state: &[u64; 4]) -> Json {
+    Json::Arr(state.iter().map(|w| Json::Str(w.to_string())).collect())
+}
+
+fn rng_from_json(json: &Json) -> Result<[u64; 4], JsonError> {
+    let words = match json {
+        Json::Arr(items) if items.len() == 4 => items,
+        _ => return Err(JsonError("rng state must be 4 words".to_string())),
+    };
+    let mut state = [0u64; 4];
+    for (i, w) in words.iter().enumerate() {
+        let text = match w {
+            Json::Str(s) => s,
+            _ => return Err(JsonError("rng state word must be a string".to_string())),
+        };
+        state[i] = text
+            .parse::<u64>()
+            .map_err(|e| JsonError(format!("bad rng state word {text:?}: {e}")))?;
+    }
+    Ok(state)
+}
+
+impl ToJson for Checkpoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", self.version.to_json()),
+            ("step", self.step.to_json()),
+            ("episode_reward", self.episode_reward.to_json()),
+            ("lr_scale", self.lr_scale.to_json()),
+            ("rng", rng_to_json(&self.rng)),
+            ("env_state", self.env_state.clone()),
+            ("params", self.params.clone()),
+            ("optimiser", self.optimiser.clone()),
+            ("normaliser", self.normaliser.to_json()),
+            ("log", self.log.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Checkpoint {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let version = u64::from_json(json.field("version")?)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(JsonError(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        Ok(Checkpoint {
+            version,
+            step: FromJson::from_json(json.field("step")?)?,
+            episode_reward: FromJson::from_json(json.field("episode_reward")?)?,
+            lr_scale: FromJson::from_json(json.field("lr_scale")?)?,
+            rng: rng_from_json(json.field("rng")?)?,
+            env_state: json.field("env_state")?.clone(),
+            params: json.field("params")?.clone(),
+            optimiser: json.field("optimiser")?.clone(),
+            normaliser: FromJson::from_json(json.field("normaliser")?)?,
+            log: FromJson::from_json(json.field("log")?)?,
+        })
+    }
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint atomically: serialise to `<path>.tmp`,
+    /// then rename over `path`, so a crash mid-write never leaves a
+    /// truncated checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        fs::write(&tmp, self.to_json().to_string().as_bytes())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint written by [`Checkpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or corrupt/incompatible contents.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let text = fs::read_to_string(path)?;
+        let json = Json::parse(&text)?;
+        Ok(Checkpoint::from_json(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppo::UpdateStats;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            step: 256,
+            episode_reward: -3.5,
+            lr_scale: 0.5,
+            // Words above 2^53 exercise the lossless string encoding.
+            rng: [u64::MAX, 1 << 60, 12345, (1 << 53) + 1],
+            env_state: Json::obj([("x", Json::Num(0.25))]),
+            params: Json::Arr(vec![]),
+            optimiser: Json::Null,
+            normaliser: None,
+            log: TrainingLog {
+                episodes: vec![(8, -2.0)],
+                updates: vec![UpdateStats {
+                    step: 128,
+                    policy_loss: -0.5,
+                    value_loss: 0.25,
+                    entropy: 1.0,
+                    approx_kl: 0.125,
+                    clip_fraction: 0.0,
+                    grad_norm: 1.5,
+                }],
+                total_steps: 256,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_rng_state_exactly() {
+        let ckpt = sample();
+        let text = ckpt.to_json().to_string();
+        let back = Checkpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.rng, ckpt.rng);
+        assert_eq!(back.step, ckpt.step);
+        assert_eq!(back.episode_reward, ckpt.episode_reward);
+        assert_eq!(back.lr_scale, ckpt.lr_scale);
+        assert_eq!(back.log.episodes, ckpt.log.episodes);
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn save_is_atomic_and_loads_back() {
+        let dir = std::env::temp_dir().join("gddr-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let ckpt = sample();
+        ckpt.save(&path).unwrap();
+        // No tmp file is left behind.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::PathBuf::from(tmp).exists());
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.rng, ckpt.rng);
+        // Overwriting an existing checkpoint also works (rename
+        // replaces on POSIX).
+        ckpt.save(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_unsupported_version() {
+        let mut ckpt = sample();
+        ckpt.version = 99;
+        let text = ckpt.to_json().to_string();
+        assert!(Checkpoint::from_json(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("gddr-ckpt-trunc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let text = sample().to_json().to_string();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

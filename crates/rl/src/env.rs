@@ -2,6 +2,7 @@
 //! should have an OpenAI Gym API").
 
 use gddr_rng::rngs::StdRng;
+use gddr_ser::{Json, JsonError};
 
 /// The result of one environment step.
 #[derive(Debug, Clone)]
@@ -34,6 +35,32 @@ pub trait Env {
 
     /// Length of the action vector.
     fn action_dim(&self) -> usize;
+}
+
+/// An environment whose mid-episode state can be captured and restored
+/// exactly — the contract behind checkpoint/resume training
+/// ([`crate::Ppo::train_resilient`]).
+///
+/// Implementations must guarantee that after `restore_state(s)` the
+/// environment behaves bit-identically to the instance that produced
+/// `s` via `state_json()`: the same action/RNG sequence yields the same
+/// rewards, observations and episode boundaries.
+pub trait ResumableEnv: Env {
+    /// Serialises the complete episode state.
+    fn state_json(&self) -> Json;
+
+    /// Restores state previously captured with
+    /// [`ResumableEnv::state_json`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or incompatible state; the environment is
+    /// left unchanged on error.
+    fn restore_state(&mut self, state: &Json) -> Result<(), JsonError>;
+
+    /// The observation at the current state — what the preceding
+    /// `reset`/`step` returned, recomputed deterministically.
+    fn current_obs(&self) -> Self::Obs;
 }
 
 #[cfg(test)]
@@ -85,6 +112,35 @@ pub(crate) mod test_envs {
 
         fn action_dim(&self) -> usize {
             1
+        }
+    }
+
+    impl super::ResumableEnv for ChaseEnv {
+        fn state_json(&self) -> Json {
+            use gddr_ser::ToJson;
+            Json::obj([
+                ("x", self.x.to_json()),
+                ("target", self.target.to_json()),
+                ("t", self.t.to_json()),
+                ("horizon", self.horizon.to_json()),
+            ])
+        }
+
+        fn restore_state(&mut self, state: &Json) -> Result<(), JsonError> {
+            use gddr_ser::FromJson;
+            let x = f64::from_json(state.field("x")?)?;
+            let target = f64::from_json(state.field("target")?)?;
+            let t = usize::from_json(state.field("t")?)?;
+            let horizon = usize::from_json(state.field("horizon")?)?;
+            self.x = x;
+            self.target = target;
+            self.t = t;
+            self.horizon = horizon;
+            Ok(())
+        }
+
+        fn current_obs(&self) -> Vec<f64> {
+            vec![self.x]
         }
     }
 }

@@ -18,6 +18,7 @@
 //!   with OpenTuner, §VIII-C).
 
 pub mod buffer;
+pub mod checkpoint;
 pub mod env;
 pub mod policy;
 pub mod ppo;
@@ -25,6 +26,8 @@ pub mod running_stat;
 pub mod tuning;
 
 pub use buffer::RolloutBuffer;
-pub use env::{Env, Step};
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use env::{Env, ResumableEnv, Step};
 pub use policy::{ActionSample, Evaluation, Policy};
-pub use ppo::{Ppo, PpoConfig, TrainingLog, UpdateStats};
+pub use ppo::{FaultTolerance, Ppo, PpoConfig, ResilienceReport, TrainingLog, UpdateStats};
+pub use running_stat::RunningMeanStd;

@@ -1,8 +1,10 @@
 //! Running mean/std statistics (Welford), used for observation and
 //! reward normalisation.
 
+use gddr_ser::{FromJson, Json, JsonError, ToJson};
+
 /// Incrementally tracked mean and variance of a stream of vectors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunningMeanStd {
     mean: Vec<f64>,
     m2: Vec<f64>,
@@ -72,6 +74,32 @@ impl RunningMeanStd {
     }
 }
 
+impl ToJson for RunningMeanStd {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mean", self.mean.to_json()),
+            ("m2", self.m2.to_json()),
+            ("count", self.count.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunningMeanStd {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let mean = Vec::<f64>::from_json(json.field("mean")?)?;
+        let m2 = Vec::<f64>::from_json(json.field("m2")?)?;
+        let count = f64::from_json(json.field("count")?)?;
+        if mean.len() != m2.len() {
+            return Err(JsonError(format!(
+                "running-stat dimension mismatch: {} means vs {} m2",
+                mean.len(),
+                m2.len()
+            )));
+        }
+        Ok(RunningMeanStd { mean, m2, count })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +133,23 @@ mod tests {
     fn std_before_samples_is_one() {
         let rs = RunningMeanStd::new(3);
         assert_eq!(rs.std(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_statistics() {
+        let mut rs = RunningMeanStd::new(2);
+        for s in [[1.0, -3.0], [2.5, 0.125], [0.75, 9.0]] {
+            rs.update(&s);
+        }
+        let text = rs.to_json().to_string();
+        let back = RunningMeanStd::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, rs);
+        // Bit-identical continuation: both see the same next sample.
+        let mut a = rs.clone();
+        let mut b = back;
+        a.update(&[0.5, 0.5]);
+        b.update(&[0.5, 0.5]);
+        assert_eq!(a, b);
     }
 
     #[test]

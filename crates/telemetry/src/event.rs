@@ -55,10 +55,44 @@ pub enum Event {
         /// Message text.
         text: String,
     },
+    /// A training checkpoint was written to disk.
+    Checkpoint {
+        /// Environment step count at the snapshot.
+        step: u64,
+        /// Path of the checkpoint file.
+        path: String,
+    },
+    /// Training rolled back to the last good checkpoint (NaN
+    /// quarantine tripped).
+    Rollback {
+        /// Environment step count when the rollback fired.
+        step: u64,
+        /// Human-readable trigger (e.g. `non-finite updates`).
+        reason: String,
+        /// Learning-rate scale applied after the rollback.
+        lr_scale: f64,
+    },
+    /// The LP oracle degraded to a fallback strategy after a solver
+    /// failure.
+    LpFallback {
+        /// Strategy used (`bland_retry` or `shortest_path_bound`).
+        strategy: String,
+        /// Whether the returned value is a degraded bound rather than
+        /// the exact optimum.
+        degraded: bool,
+    },
+    /// Link failures were injected into the training environment.
+    FaultInjected {
+        /// Name of the (faulted) graph.
+        graph: String,
+        /// Directed edges removed this episode.
+        edges_removed: u64,
+    },
 }
 
 impl Event {
-    /// The event's name field, whatever its kind.
+    /// The event's name field; fault-tolerance lifecycle events have no
+    /// name of their own and report their kind tag.
     pub fn name(&self) -> &str {
         match self {
             Event::Span { name, .. }
@@ -66,6 +100,10 @@ impl Event {
             | Event::Gauge { name, .. }
             | Event::Histogram { name, .. }
             | Event::Message { name, .. } => name,
+            Event::Checkpoint { .. }
+            | Event::Rollback { .. }
+            | Event::LpFallback { .. }
+            | Event::FaultInjected { .. } => self.kind(),
         }
     }
 
@@ -77,6 +115,10 @@ impl Event {
             Event::Gauge { .. } => "gauge",
             Event::Histogram { .. } => "histogram",
             Event::Message { .. } => "message",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::Rollback { .. } => "rollback",
+            Event::LpFallback { .. } => "lp_fallback",
+            Event::FaultInjected { .. } => "fault_injected",
         }
     }
 }
@@ -119,6 +161,34 @@ impl ToJson for Event {
                 ("name", name.to_json()),
                 ("text", text.to_json()),
             ]),
+            Event::Checkpoint { step, path } => Json::obj([
+                ("type", "checkpoint".to_json()),
+                ("step", step.to_json()),
+                ("path", path.to_json()),
+            ]),
+            Event::Rollback {
+                step,
+                reason,
+                lr_scale,
+            } => Json::obj([
+                ("type", "rollback".to_json()),
+                ("step", step.to_json()),
+                ("reason", reason.to_json()),
+                ("lr_scale", lr_scale.to_json()),
+            ]),
+            Event::LpFallback { strategy, degraded } => Json::obj([
+                ("type", "lp_fallback".to_json()),
+                ("strategy", strategy.to_json()),
+                ("degraded", degraded.to_json()),
+            ]),
+            Event::FaultInjected {
+                graph,
+                edges_removed,
+            } => Json::obj([
+                ("type", "fault_injected".to_json()),
+                ("graph", graph.to_json()),
+                ("edges_removed", edges_removed.to_json()),
+            ]),
         }
     }
 }
@@ -126,31 +196,48 @@ impl ToJson for Event {
 impl FromJson for Event {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         let kind = String::from_json(json.field("type")?)?;
-        let name = String::from_json(json.field("name")?)?;
+        let name = |j: &Json| -> Result<String, JsonError> { String::from_json(j.field("name")?) };
         match kind.as_str() {
             "span" => Ok(Event::Span {
-                name,
+                name: name(json)?,
                 parent: FromJson::from_json(json.field("parent")?)?,
                 depth: FromJson::from_json(json.field("depth")?)?,
                 start_us: FromJson::from_json(json.field("start_us")?)?,
                 dur_ns: FromJson::from_json(json.field("dur_ns")?)?,
             }),
             "counter" => Ok(Event::Counter {
-                name,
+                name: name(json)?,
                 delta: FromJson::from_json(json.field("delta")?)?,
                 total: FromJson::from_json(json.field("total")?)?,
             }),
             "gauge" => Ok(Event::Gauge {
-                name,
+                name: name(json)?,
                 value: FromJson::from_json(json.field("value")?)?,
             }),
             "histogram" => Ok(Event::Histogram {
-                name,
+                name: name(json)?,
                 value: FromJson::from_json(json.field("value")?)?,
             }),
             "message" => Ok(Event::Message {
-                name,
+                name: name(json)?,
                 text: FromJson::from_json(json.field("text")?)?,
+            }),
+            "checkpoint" => Ok(Event::Checkpoint {
+                step: FromJson::from_json(json.field("step")?)?,
+                path: FromJson::from_json(json.field("path")?)?,
+            }),
+            "rollback" => Ok(Event::Rollback {
+                step: FromJson::from_json(json.field("step")?)?,
+                reason: FromJson::from_json(json.field("reason")?)?,
+                lr_scale: FromJson::from_json(json.field("lr_scale")?)?,
+            }),
+            "lp_fallback" => Ok(Event::LpFallback {
+                strategy: FromJson::from_json(json.field("strategy")?)?,
+                degraded: FromJson::from_json(json.field("degraded")?)?,
+            }),
+            "fault_injected" => Ok(Event::FaultInjected {
+                graph: FromJson::from_json(json.field("graph")?)?,
+                edges_removed: FromJson::from_json(json.field("edges_removed")?)?,
             }),
             other => Err(JsonError(format!("unknown event type {other:?}"))),
         }
@@ -205,6 +292,23 @@ mod tests {
             Event::Message {
                 name: "fig7".into(),
                 text: "completed in 1.0s".into(),
+            },
+            Event::Checkpoint {
+                step: 2048,
+                path: "out/ckpt.json".into(),
+            },
+            Event::Rollback {
+                step: 4096,
+                reason: "non-finite updates".into(),
+                lr_scale: 0.5,
+            },
+            Event::LpFallback {
+                strategy: "shortest_path_bound".into(),
+                degraded: true,
+            },
+            Event::FaultInjected {
+                graph: "Abilene".into(),
+                edges_removed: 2,
             },
         ]
     }

@@ -168,6 +168,81 @@ pub fn histogram_record(name: &str, value: f64) {
     });
 }
 
+/// Records that a training checkpoint was written: bumps the
+/// `ppo.checkpoints` counter and streams an [`Event::Checkpoint`].
+/// No-op when telemetry is disabled.
+pub fn checkpoint_event(step: u64, path: &str) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("ppo.checkpoints", 1);
+    dispatch(&Event::Counter {
+        name: "ppo.checkpoints".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::Checkpoint {
+        step,
+        path: path.to_string(),
+    });
+}
+
+/// Records a quarantine rollback: bumps `ppo.rollbacks` and streams an
+/// [`Event::Rollback`]. No-op when telemetry is disabled.
+pub fn rollback_event(step: u64, reason: &str, lr_scale: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("ppo.rollbacks", 1);
+    dispatch(&Event::Counter {
+        name: "ppo.rollbacks".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::Rollback {
+        step,
+        reason: reason.to_string(),
+        lr_scale,
+    });
+}
+
+/// Records an LP oracle fallback: bumps `lp.oracle.fallbacks` and
+/// streams an [`Event::LpFallback`]. No-op when telemetry is disabled.
+pub fn lp_fallback_event(strategy: &str, degraded: bool) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("lp.oracle.fallbacks", 1);
+    dispatch(&Event::Counter {
+        name: "lp.oracle.fallbacks".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::LpFallback {
+        strategy: strategy.to_string(),
+        degraded,
+    });
+}
+
+/// Records injected link failures: bumps `env.fault_injected` by the
+/// number of removed edges and streams an [`Event::FaultInjected`].
+/// No-op when telemetry is disabled.
+pub fn fault_injected_event(graph: &str, edges_removed: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("env.fault_injected", edges_removed);
+    dispatch(&Event::Counter {
+        name: "env.fault_injected".to_string(),
+        delta: edges_removed,
+        total,
+    });
+    dispatch(&Event::FaultInjected {
+        graph: graph.to_string(),
+        edges_removed,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +374,58 @@ mod tests {
             // Downcasting is not needed: the caller keeps its own Arc.
             back.flush();
             assert!(uninstall().is_none());
+        });
+    }
+
+    #[test]
+    fn lifecycle_events_stream_and_count() {
+        with_global(|| {
+            let sink = Arc::new(MemorySink::new());
+            install(sink.clone());
+            checkpoint_event(100, "out/ckpt.json");
+            rollback_event(200, "non-finite updates", 0.5);
+            lp_fallback_event("bland_retry", false);
+            fault_injected_event("Abilene", 2);
+            let snap = registry().snapshot();
+            assert_eq!(snap.counter("ppo.checkpoints"), Some(1));
+            assert_eq!(snap.counter("ppo.rollbacks"), Some(1));
+            assert_eq!(snap.counter("lp.oracle.fallbacks"), Some(1));
+            assert_eq!(snap.counter("env.fault_injected"), Some(2));
+            uninstall();
+            let events = sink.events();
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, Event::Checkpoint { step: 100, .. })));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, Event::Rollback { step: 200, .. })));
+            assert!(events.iter().any(|e| matches!(
+                e,
+                Event::LpFallback {
+                    degraded: false,
+                    ..
+                }
+            )));
+            assert!(events.iter().any(|e| matches!(
+                e,
+                Event::FaultInjected {
+                    edges_removed: 2,
+                    ..
+                }
+            )));
+        });
+    }
+
+    #[test]
+    fn lifecycle_events_are_inert_when_disabled() {
+        with_global(|| {
+            checkpoint_event(1, "x");
+            rollback_event(1, "r", 0.5);
+            lp_fallback_event("s", true);
+            fault_injected_event("g", 1);
+            let snap = registry().snapshot();
+            assert_eq!(snap.counter("ppo.checkpoints"), None);
+            assert_eq!(snap.counter("env.fault_injected"), None);
         });
     }
 

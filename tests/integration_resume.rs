@@ -1,0 +1,277 @@
+//! Fault-tolerance integration: kill-and-resume determinism on the
+//! real DDR environment, LP fallback under forced pivot failures, and
+//! link-failure injection — the end-to-end contract of the resilient
+//! training pipeline.
+//!
+//! Telemetry state is global (one sink per process); the single test
+//! that touches it takes [`TELEMETRY_GUARD`].
+
+use std::sync::{Arc, Mutex};
+
+use gddr_core::env::{standard_sequences, DdrEnv, DdrEnvConfig, FailureInjector, GraphContext};
+use gddr_core::policies::MlpPolicy;
+use gddr_rl::{Checkpoint, FaultTolerance, Ppo, PpoConfig, TrainingLog};
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_ser::ToJson;
+use gddr_telemetry::MemorySink;
+
+static TELEMETRY_GUARD: Mutex<()> = Mutex::new(());
+
+fn small_ppo() -> PpoConfig {
+    PpoConfig {
+        n_steps: 16,
+        minibatch_size: 8,
+        epochs: 1,
+        learning_rate: 1e-3,
+        ..Default::default()
+    }
+}
+
+fn make_env(injector: Option<FailureInjector>) -> DdrEnv {
+    let g = gddr_net::topology::zoo::cesnet();
+    let mut rng = StdRng::seed_from_u64(100);
+    let sequences = standard_sequences(&g, 2, 10, 5, &mut rng);
+    let env_cfg = DdrEnvConfig {
+        memory: 2,
+        ..Default::default()
+    };
+    let ctx = GraphContext::new(g, sequences);
+    match injector {
+        Some(inj) => DdrEnv::with_failures(ctx, env_cfg, inj),
+        None => DdrEnv::new(ctx, env_cfg),
+    }
+}
+
+fn make_policy(rng: &mut StdRng) -> MlpPolicy {
+    let g = gddr_net::topology::zoo::cesnet();
+    MlpPolicy::new(2, g.num_nodes(), g.num_edges(), &[8], -0.7, rng)
+}
+
+/// The tentpole contract: stop a seeded training run at a checkpoint,
+/// resume it in a fresh process-equivalent (new env, policy, trainer),
+/// and the combined TrainingLog must match the uninterrupted run
+/// byte-for-byte.
+#[test]
+fn killed_and_resumed_training_log_is_byte_identical() {
+    let dir = std::env::temp_dir().join("gddr-integration-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt_path = dir.join("resume.ckpt.json");
+    let target_steps = 96;
+
+    // Uninterrupted reference run.
+    let uninterrupted = {
+        let mut env = make_env(None);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut policy = make_policy(&mut rng);
+        let mut ppo = Ppo::new(small_ppo());
+        let mut log = TrainingLog::default();
+        let ft = FaultTolerance {
+            checkpoint_every_updates: 1,
+            ..Default::default()
+        };
+        let report = ppo
+            .train_resilient(
+                &mut env,
+                &mut policy,
+                target_steps,
+                &mut rng,
+                &mut log,
+                &ft,
+                None,
+            )
+            .unwrap();
+        assert!(!report.halted);
+        log
+    };
+
+    // "Killed" run: same seeds, checkpointing every update, halted
+    // after two updates.
+    {
+        let mut env = make_env(None);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut policy = make_policy(&mut rng);
+        let mut ppo = Ppo::new(small_ppo());
+        let mut log = TrainingLog::default();
+        let ft = FaultTolerance {
+            checkpoint_path: Some(ckpt_path.clone()),
+            checkpoint_every_updates: 1,
+            halt_after_updates: Some(2),
+            ..Default::default()
+        };
+        let report = ppo
+            .train_resilient(
+                &mut env,
+                &mut policy,
+                target_steps,
+                &mut rng,
+                &mut log,
+                &ft,
+                None,
+            )
+            .unwrap();
+        assert!(report.halted, "run must stop at the halt hook");
+        assert!(report.checkpoints_written >= 2);
+        assert!(log.total_steps < target_steps);
+    }
+
+    // Resume in a fresh trainer from the persisted checkpoint. The RNG
+    // seed is deliberately different — every bit of resumed state must
+    // come from the checkpoint, not from reconstruction luck.
+    let resumed = {
+        let ckpt = Checkpoint::load(&ckpt_path).unwrap();
+        let mut env = make_env(None);
+        let mut rng = StdRng::seed_from_u64(999);
+        let mut policy = make_policy(&mut StdRng::seed_from_u64(7));
+        let mut ppo = Ppo::new(small_ppo());
+        let mut log = TrainingLog::default();
+        let ft = FaultTolerance {
+            checkpoint_every_updates: 1,
+            ..Default::default()
+        };
+        let report = ppo
+            .train_resilient(
+                &mut env,
+                &mut policy,
+                target_steps,
+                &mut rng,
+                &mut log,
+                &ft,
+                Some(&ckpt),
+            )
+            .unwrap();
+        assert!(!report.halted);
+        log
+    };
+
+    assert_eq!(
+        resumed.to_json().to_string(),
+        uninterrupted.to_json().to_string(),
+        "resumed TrainingLog must match the uninterrupted run byte-for-byte"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Forced `PivotLimit` failures mid-episode: the oracle degrades to the
+/// shortest-path bound, the episode completes with finite rewards, and
+/// the fallback is visible in both cache stats and telemetry counters.
+#[test]
+fn forced_pivot_limit_mid_episode_degrades_gracefully() {
+    let _guard = TELEMETRY_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    gddr_telemetry::uninstall();
+    gddr_telemetry::registry().clear();
+    let sink = Arc::new(MemorySink::new());
+    gddr_telemetry::install(sink.clone());
+
+    let mut env = make_env(None);
+    let mut rng = StdRng::seed_from_u64(8);
+    use gddr_rl::Env;
+    env.reset(&mut rng);
+    let action = vec![0.0; env.action_dim()];
+    // One healthy step, then poison the solver mid-episode.
+    let healthy = env.step(&action, &mut rng);
+    assert!(healthy.reward.is_finite());
+    env.context().oracle.inject_pivot_limit(1_000);
+    let mut done = healthy.done;
+    while !done {
+        let s = env.step(&action, &mut rng);
+        assert!(s.reward.is_finite(), "fallback keeps the episode alive");
+        done = s.done;
+    }
+
+    let stats = env.context().oracle.stats();
+    assert!(stats.fallbacks > 0, "fallback ladder must have been taken");
+    let snap = gddr_telemetry::registry().snapshot();
+    assert!(
+        snap.counter("lp.oracle.fallbacks").unwrap_or(0) > 0,
+        "fallbacks must be counted in telemetry"
+    );
+
+    gddr_telemetry::uninstall();
+    gddr_telemetry::registry().clear();
+}
+
+/// Kill-and-resume under failure injection: checkpoints capture the
+/// injector stream and the degraded topology, so the resumed run still
+/// matches byte-for-byte.
+#[test]
+fn resume_is_byte_identical_with_failure_injection() {
+    let dir = std::env::temp_dir().join("gddr-integration-resume-faulted");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt_path = dir.join("resume.ckpt.json");
+    let target_steps = 64;
+    let injector = || FailureInjector::from_seed(1, 13);
+
+    let uninterrupted = {
+        let mut env = make_env(Some(injector()));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut policy = make_policy(&mut rng);
+        let mut ppo = Ppo::new(small_ppo());
+        let mut log = TrainingLog::default();
+        let ft = FaultTolerance::default();
+        ppo.train_resilient(
+            &mut env,
+            &mut policy,
+            target_steps,
+            &mut rng,
+            &mut log,
+            &ft,
+            None,
+        )
+        .unwrap();
+        log
+    };
+
+    {
+        let mut env = make_env(Some(injector()));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut policy = make_policy(&mut rng);
+        let mut ppo = Ppo::new(small_ppo());
+        let mut log = TrainingLog::default();
+        let ft = FaultTolerance {
+            checkpoint_path: Some(ckpt_path.clone()),
+            checkpoint_every_updates: 1,
+            halt_after_updates: Some(1),
+            ..Default::default()
+        };
+        let report = ppo
+            .train_resilient(
+                &mut env,
+                &mut policy,
+                target_steps,
+                &mut rng,
+                &mut log,
+                &ft,
+                None,
+            )
+            .unwrap();
+        assert!(report.halted);
+    }
+
+    let resumed = {
+        let ckpt = Checkpoint::load(&ckpt_path).unwrap();
+        let mut env = make_env(Some(injector()));
+        let mut rng = StdRng::seed_from_u64(555);
+        let mut policy = make_policy(&mut StdRng::seed_from_u64(9));
+        let mut ppo = Ppo::new(small_ppo());
+        let mut log = TrainingLog::default();
+        let ft = FaultTolerance::default();
+        ppo.train_resilient(
+            &mut env,
+            &mut policy,
+            target_steps,
+            &mut rng,
+            &mut log,
+            &ft,
+            Some(&ckpt),
+        )
+        .unwrap();
+        log
+    };
+
+    assert_eq!(
+        resumed.to_json().to_string(),
+        uninterrupted.to_json().to_string()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
