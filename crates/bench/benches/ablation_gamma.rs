@@ -31,7 +31,7 @@ fn quality_table() {
             gamma,
             ..Default::default()
         };
-        let routing = softmin_routing(&g, &w, &cfg);
+        let routing = softmin_routing(&g, &w, &cfg).unwrap();
         let mean: f64 = dms
             .iter()
             .map(|dm| {
@@ -54,7 +54,9 @@ fn main() {
             gamma,
             ..Default::default()
         };
-        group.bench(&format!("{gamma}"), || softmin_routing(&g, &w, &cfg));
+        group.bench(&format!("{gamma}"), || {
+            softmin_routing(&g, &w, &cfg).unwrap()
+        });
     }
     group.finish();
 }

@@ -31,7 +31,7 @@ fn quality_table() {
                 gamma: 2.0,
                 prune_mode: mode,
             };
-            let routing = softmin_routing(&g, &weights, &cfg);
+            let routing = softmin_routing(&g, &weights, &cfg).unwrap();
             let ratio =
                 max_link_utilisation(&g, &routing, &dm).unwrap().u_max / oracle.u_opt(&dm).unwrap();
             let kept = match mode {

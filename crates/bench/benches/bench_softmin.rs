@@ -30,7 +30,7 @@ fn main() {
                 prune_mode: mode,
             };
             group.bench(&format!("{label}/{}_{}n", g.name(), g.num_nodes()), || {
-                softmin_routing(&g, &weights, &cfg)
+                softmin_routing(&g, &weights, &cfg).unwrap()
             });
         }
     }

@@ -1,0 +1,184 @@
+//! Budgeted fuzz sweeps over the `gddr-check` invariant targets.
+//!
+//! Runs every (target, seed) pair in a fixed-seed grid, shrinks the
+//! first failure to a minimal counterexample, writes a one-line JSON
+//! replay file, and exits non-zero so CI fails loudly. Any reported
+//! failure is reproducible with:
+//!
+//! ```text
+//! cargo run -p gddr-bench --bin fuzz_harness -- --replay <file.json>
+//! ```
+//!
+//! Flags:
+//! - `--targets ci|all|a,b,c` — target set (default `ci`, which
+//!   excludes the deliberately broken `planted` target),
+//! - `--seeds N` — seeds `0..N` per target (default 25),
+//! - `--size S` — maximum structural size (default 12),
+//! - `--budget-ms MS` — wall-clock budget; remaining cases are skipped
+//!   and counted (default 30000),
+//! - `--out PATH` — JSON artifact (default `results/FUZZ_report.json`),
+//! - `--replay PATH` — replay one case from a file and exit,
+//! - `--replay-out PATH` — where to write the shrunk counterexample
+//!   (default `/tmp/fuzz_counterexample.json`),
+//! - `--telemetry PATH` — JSONL event trace,
+//! - `--plant 1` — include the planted target (demonstrates the
+//!   catch/shrink/replay loop; the run is expected to fail).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gddr_bench::{flag, parse_args, write_artifact};
+use gddr_check::fuzz::{self, FuzzCase, Outcome};
+use gddr_ser::{Json, ToJson};
+use gddr_telemetry::JsonlSink;
+
+fn main() {
+    let args = parse_args(&[
+        "targets",
+        "seeds",
+        "size",
+        "budget-ms",
+        "out",
+        "replay",
+        "replay-out",
+        "telemetry",
+        "plant",
+    ]);
+
+    if let Some(path) = args.get("telemetry") {
+        let sink = JsonlSink::create(path).expect("create telemetry file");
+        gddr_telemetry::install(Arc::new(sink));
+    }
+
+    // Replay mode: run exactly one case from its seed file.
+    if let Some(path) = args.get("replay") {
+        let text = std::fs::read_to_string(path).expect("read replay file");
+        let case = FuzzCase::from_replay_string(&text)
+            .unwrap_or_else(|e| panic!("malformed replay file {path}: {e}"));
+        eprintln!(
+            "replaying target={} seed={} size={}",
+            case.target, case.seed, case.size
+        );
+        match fuzz::run_case(&case) {
+            Outcome::Pass => {
+                println!("replay PASSED: the case no longer fails");
+                gddr_telemetry::uninstall();
+            }
+            Outcome::Fail { message, panicked } => {
+                println!(
+                    "replay FAILED ({}): {message}",
+                    if panicked { "panic" } else { "violation" }
+                );
+                gddr_telemetry::uninstall();
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let target_arg = args.get("targets").map(String::as_str).unwrap_or("ci");
+    let owned: Vec<String>;
+    let mut targets: Vec<&str> = match target_arg {
+        "ci" => fuzz::ci_targets(),
+        "all" => fuzz::all_targets().to_vec(),
+        list => {
+            owned = list.split(',').map(str::to_string).collect();
+            owned.iter().map(String::as_str).collect()
+        }
+    };
+    if flag(&args, "plant", 0u8) == 1 && !targets.contains(&"planted") {
+        targets.push("planted");
+    }
+    let seeds: u64 = flag(&args, "seeds", 25);
+    let size: u64 = flag(&args, "size", 12);
+    let budget_ms: u64 = flag(&args, "budget-ms", 30_000);
+    let out = args
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/FUZZ_report.json".to_string());
+    let replay_out = args
+        .get("replay-out")
+        .cloned()
+        .unwrap_or_else(|| "/tmp/fuzz_counterexample.json".to_string());
+
+    // Panics in fuzzed code are caught and reported as failures; the
+    // default hook's backtrace spam would drown the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = fuzz::sweep(
+        &targets,
+        seeds,
+        size,
+        Some(Duration::from_millis(budget_ms)),
+    );
+    let _ = std::panic::take_hook();
+
+    gddr_telemetry::counter_add("fuzz.cases", report.cases as u64);
+    gddr_telemetry::counter_add("fuzz.failures", report.failures.len() as u64);
+
+    // Shrink every failure; report the minimal counterexamples.
+    let shrunk: Vec<(FuzzCase, String, bool)> = report
+        .failures
+        .iter()
+        .map(|f| (fuzz::shrink(&f.case), f.message.clone(), f.panicked))
+        .collect();
+
+    let artifact = Json::obj([
+        (
+            "targets",
+            Json::Arr(
+                targets
+                    .iter()
+                    .map(|t| Json::Str(t.to_string()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("seeds", Json::Num(seeds as f64)),
+        ("max_size", Json::Num(size as f64)),
+        ("cases", Json::Num(report.cases as f64)),
+        ("skipped", Json::Num(report.skipped as f64)),
+        ("elapsed_ms", Json::Num(report.elapsed.as_millis() as f64)),
+        (
+            "failures",
+            Json::Arr(
+                shrunk
+                    .iter()
+                    .map(|(case, message, panicked)| {
+                        Json::obj([
+                            ("case", case.to_json()),
+                            ("message", Json::Str(message.clone())),
+                            ("panicked", Json::Bool(*panicked)),
+                        ])
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ]);
+    write_artifact(&out, &artifact.to_string());
+
+    println!(
+        "fuzz: {} cases over {} targets in {} ms ({} skipped on budget): {} failure(s)",
+        report.cases,
+        targets.len(),
+        report.elapsed.as_millis(),
+        report.skipped,
+        report.failures.len()
+    );
+    if let Some((case, message, panicked)) = shrunk.first() {
+        std::fs::write(&replay_out, case.to_replay_string()).expect("write replay file");
+        eprintln!("minimal counterexample written to {replay_out}");
+        eprintln!(
+            "  target={} seed={} size={} ({}): {message}",
+            case.target,
+            case.seed,
+            case.size,
+            if *panicked { "panic" } else { "violation" }
+        );
+        eprintln!("reproduce with:");
+        eprintln!(
+            "  cargo run --release -p gddr-bench --bin fuzz_harness -- --replay {replay_out}"
+        );
+        gddr_telemetry::uninstall();
+        std::process::exit(1);
+    }
+    gddr_telemetry::uninstall();
+}

@@ -1,0 +1,258 @@
+//! Differential references: independent, obviously-correct (and
+//! obviously-slow) reimplementations the production code is checked
+//! against on small instances.
+//!
+//! - [`brute_force_lp`] solves `min cᵀx, x ≥ 0` by enumerating basic
+//!   points (every n-subset of active constraints) — exponential, but
+//!   exact on the tiny programs the fuzzer generates.
+//! - [`path_enumeration_loads`] routes one unit of demand by
+//!   exhaustively enumerating paths through the splitting ratios, the
+//!   textbook semantics the flow simulator must agree with.
+
+use gddr_lp::{LinearProgram, Relation};
+use gddr_net::Graph;
+use gddr_routing::Routing;
+
+const EPS: f64 = 1e-7;
+
+/// Solves a small dense linear system `M z = rhs` in place by Gaussian
+/// elimination with partial pivoting. Returns `None` if singular.
+fn solve_dense(mut m: Vec<Vec<f64>>, mut rhs: Vec<f64>) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&a, &b| {
+            m[a][col]
+                .abs()
+                .partial_cmp(&m[b][col].abs())
+                .expect("finite pivots")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        let pivot_row = m[col].clone();
+        let pivot_rhs = rhs[col];
+        for row in 0..n {
+            if row != col {
+                let f = m[row][col] / pivot_row[col];
+                if f != 0.0 {
+                    for (mk, pk) in m[row].iter_mut().zip(&pivot_row).skip(col) {
+                        *mk -= f * pk;
+                    }
+                    rhs[row] -= f * pivot_rhs;
+                }
+            }
+        }
+    }
+    Some((0..n).map(|i| rhs[i] / m[i][i]).collect())
+}
+
+/// Reference LP solver by vertex enumeration.
+///
+/// Treats every constraint row and every non-negativity bound as a
+/// candidate active hyperplane, solves each n-subset, keeps feasible
+/// points, and returns the best `(objective, x)`. `None` means no
+/// feasible basic point exists — for programs whose feasible region is
+/// bounded (the fuzzer always adds box rows) that is exactly
+/// infeasibility.
+///
+/// Cost is `C(m + n, n)` dense solves: only use with a handful of
+/// variables.
+pub fn brute_force_lp(lp: &LinearProgram) -> Option<(f64, Vec<f64>)> {
+    let n = lp.num_vars();
+    let c = lp.objective();
+    // Candidate hyperplanes: constraint rows as equalities, then the
+    // bounds x_j = 0.
+    let mut planes: Vec<(Vec<f64>, f64)> = Vec::new();
+    for (terms, _, rhs) in lp.constraints() {
+        let mut row = vec![0.0; n];
+        for &(v, coeff) in terms {
+            row[v] += coeff;
+        }
+        planes.push((row, rhs));
+    }
+    for j in 0..n {
+        let mut row = vec![0.0; n];
+        row[j] = 1.0;
+        planes.push((row, 0.0));
+    }
+
+    let feasible = |x: &[f64]| -> bool {
+        if x.iter().any(|v| !v.is_finite() || *v < -EPS) {
+            return false;
+        }
+        lp.constraints().all(|(terms, rel, rhs)| {
+            let lhs: f64 = terms.iter().map(|&(v, coeff)| coeff * x[v]).sum();
+            let tol = EPS * (1.0 + lhs.abs().max(rhs.abs()));
+            match rel {
+                Relation::Le => lhs <= rhs + tol,
+                Relation::Ge => lhs >= rhs - tol,
+                Relation::Eq => (lhs - rhs).abs() <= tol,
+            }
+        })
+    };
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut subset: Vec<usize> = (0..n).collect();
+    if planes.len() < n {
+        return None;
+    }
+    loop {
+        let m: Vec<Vec<f64>> = subset.iter().map(|&i| planes[i].0.clone()).collect();
+        let rhs: Vec<f64> = subset.iter().map(|&i| planes[i].1).collect();
+        if let Some(x) = solve_dense(m, rhs) {
+            if feasible(&x) {
+                let obj: f64 = c.iter().zip(&x).map(|(c, v)| c * v).sum();
+                if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                    best = Some((obj, x));
+                }
+            }
+        }
+        // Advance the combination (lexicographic n-subsets of planes).
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            if subset[i] + (n - i) < planes.len() {
+                subset[i] += 1;
+                for k in i + 1..n {
+                    subset[k] = subset[k - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Routes one unit of `s → t` demand by exhaustive path enumeration
+/// through `routing`'s splitting ratios, returning per-edge loads.
+///
+/// Each path's flow is the product of the ratio taken at every hop.
+/// Returns `None` if the ratio subgraph is cyclic or the enumeration
+/// exceeds `max_paths` (the caller should only hand in tiny DAG
+/// routings).
+pub fn path_enumeration_loads(
+    graph: &Graph,
+    routing: &Routing,
+    s: usize,
+    t: usize,
+    max_paths: usize,
+) -> Option<Vec<f64>> {
+    let ratios = routing.flow(s, t)?;
+    let mut loads = vec![0.0; graph.num_edges()];
+    let mut paths = 0usize;
+    // Depth-first enumeration carrying the product of ratios so far.
+    // `on_path` guards against cycles: a revisit means the ratio
+    // subgraph is not a DAG and the reference refuses to answer.
+    let mut on_path = vec![false; graph.num_nodes()];
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        graph: &Graph,
+        ratios: &[f64],
+        v: usize,
+        t: usize,
+        flow: f64,
+        loads: &mut [f64],
+        on_path: &mut [bool],
+        paths: &mut usize,
+        max_paths: usize,
+    ) -> bool {
+        if v == t {
+            *paths += 1;
+            return *paths <= max_paths;
+        }
+        if on_path[v] {
+            return false; // Cycle in the ratio subgraph.
+        }
+        on_path[v] = true;
+        for &e in graph.out_edges(gddr_net::NodeId(v)) {
+            let r = ratios[e.0];
+            if r > 1e-12 {
+                loads[e.0] += flow * r;
+                if !dfs(
+                    graph,
+                    ratios,
+                    graph.dst(e).0,
+                    t,
+                    flow * r,
+                    loads,
+                    on_path,
+                    paths,
+                    max_paths,
+                ) {
+                    return false;
+                }
+            }
+        }
+        on_path[v] = false;
+        true
+    }
+    if dfs(
+        graph,
+        ratios,
+        s,
+        t,
+        1.0,
+        &mut loads,
+        &mut on_path,
+        &mut paths,
+        max_paths,
+    ) {
+        Some(loads)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_lp::simplex::solve;
+    use gddr_net::topology::zoo;
+    use gddr_routing::sim::max_link_utilisation;
+    use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+    use gddr_traffic::DemandMatrix;
+
+    #[test]
+    fn brute_force_agrees_with_simplex_on_the_classic() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[-3.0, -5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let (obj, x) = brute_force_lp(&lp).unwrap();
+        let sol = solve(&lp).unwrap();
+        assert!((obj - sol.objective).abs() < 1e-7);
+        assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn brute_force_detects_infeasibility() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        assert!(brute_force_lp(&lp).is_none());
+    }
+
+    #[test]
+    fn path_enumeration_matches_the_simulator() {
+        let g = zoo::abilene();
+        let w = vec![1.0; g.num_edges()];
+        let routing = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
+        let (s, t) = (0, 7);
+        let mut dm = DemandMatrix::zeros(g.num_nodes());
+        dm.set(s, t, 1.0);
+        let report = max_link_utilisation(&g, &routing, &dm).unwrap();
+        let loads = path_enumeration_loads(&g, &routing, s, t, 1_000_000).unwrap();
+        for (e, (path_load, sim_load)) in loads.iter().zip(&report.loads).enumerate() {
+            assert!(
+                (path_load - sim_load).abs() < 1e-9,
+                "edge {e}: paths say {path_load} sim says {sim_load}"
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Invariant suites for the data plane: routing, pruned DAGs, graphs
+//! after mutation, and the LP optimality bound.
+//!
+//! Each check returns a list of [`Violation`]s instead of panicking,
+//! so the fuzzer can count, report and shrink failures.
+
+use std::fmt;
+
+use gddr_net::algo::{is_dag, is_strongly_connected};
+use gddr_net::{Graph, NodeId};
+use gddr_routing::prune::mask_is_usable;
+use gddr_routing::Routing;
+
+/// One failed invariant: which check tripped and a human-readable
+/// description of the offending state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable identifier of the invariant, e.g. `routing.simplex`.
+    pub check: &'static str,
+    /// What exactly was violated.
+    pub detail: String,
+}
+
+impl Violation {
+    pub fn new(check: &'static str, detail: impl Into<String>) -> Self {
+        Violation {
+            check,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// Routing invariants: splitting ratios form a simplex at every
+/// transit node, destinations absorb their flow, and sizes match the
+/// graph. Delegates to [`Routing::validate`] and wraps its typed
+/// violations.
+pub fn check_routing(graph: &Graph, routing: &Routing) -> Vec<Violation> {
+    routing
+        .validate(graph)
+        .into_iter()
+        .map(|v| Violation::new("routing.simplex", v.to_string()))
+        .collect()
+}
+
+/// Pruned-subgraph invariants: the kept edge set is acyclic and usable
+/// (source reaches sink, no dead ends that trap flow).
+pub fn check_pruned_dag(
+    graph: &Graph,
+    source: NodeId,
+    sink: NodeId,
+    mask: &[bool],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if mask.len() != graph.num_edges() {
+        out.push(Violation::new(
+            "prune.mask_size",
+            format!(
+                "mask covers {} edges but graph has {}",
+                mask.len(),
+                graph.num_edges()
+            ),
+        ));
+        return out;
+    }
+    if !is_dag(graph, mask) {
+        out.push(Violation::new(
+            "prune.acyclic",
+            format!("pruned subgraph for {} -> {} has a cycle", source.0, sink.0),
+        ));
+    }
+    if !mask_is_usable(graph, source, sink, mask) {
+        out.push(Violation::new(
+            "prune.usable",
+            format!(
+                "pruned subgraph for {} -> {} is unusable (unreachable sink or dead end)",
+                source.0, sink.0
+            ),
+        ));
+    }
+    out
+}
+
+/// Graph well-formedness, asserted after every `topology::mutate` op:
+/// positive finite capacities, no self-loops, no parallel edges, and
+/// strong connectivity (the mutation API's documented contract).
+pub fn check_graph(graph: &Graph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if graph.num_nodes() < 2 {
+        out.push(Violation::new(
+            "graph.size",
+            format!("graph has {} nodes", graph.num_nodes()),
+        ));
+        return out;
+    }
+    let mut seen = std::collections::HashSet::new();
+    for e in graph.edges() {
+        let (s, t) = graph.endpoints(e);
+        let cap = graph.capacity(e);
+        if !(cap.is_finite() && cap > 0.0) {
+            out.push(Violation::new(
+                "graph.capacity",
+                format!("edge {} -> {} has capacity {cap}", s.0, t.0),
+            ));
+        }
+        if s == t {
+            out.push(Violation::new(
+                "graph.self_loop",
+                format!("self-loop at node {}", s.0),
+            ));
+        }
+        if !seen.insert((s, t)) {
+            out.push(Violation::new(
+                "graph.parallel_edge",
+                format!("duplicate edge {} -> {}", s.0, t.0),
+            ));
+        }
+    }
+    if !is_strongly_connected(graph) {
+        out.push(Violation::new(
+            "graph.connectivity",
+            "graph is not strongly connected".to_string(),
+        ));
+    }
+    out
+}
+
+/// The optimality bound `U ≥ U_opt − ε`: no routing may beat the LP
+/// oracle's optimum. `eps` absorbs simplex and simulation tolerances.
+pub fn check_utilisation_bound(u_max: f64, u_opt: f64, eps: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !u_max.is_finite() || u_max < 0.0 {
+        out.push(Violation::new(
+            "routing.u_max_finite",
+            format!("U_max = {u_max}"),
+        ));
+    } else if u_max < u_opt - eps {
+        out.push(Violation::new(
+            "routing.optimality_bound",
+            format!("U_max = {u_max} beats the LP optimum {u_opt} by more than {eps}"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_net::topology::zoo;
+    use gddr_routing::prune::{prune, PruneMode};
+    use gddr_routing::softmin::{softmin_routing, SoftminConfig};
+
+    #[test]
+    fn healthy_pipeline_passes_every_suite() {
+        let g = zoo::abilene();
+        assert!(check_graph(&g).is_empty());
+        let w = vec![1.0; g.num_edges()];
+        let routing = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
+        assert!(check_routing(&g, &routing).is_empty());
+        let mask = prune(&g, NodeId(0), NodeId(4), &w, PruneMode::DistanceDag);
+        assert!(check_pruned_dag(&g, NodeId(0), NodeId(4), &mask).is_empty());
+        assert!(check_utilisation_bound(0.8, 0.5, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn violations_are_reported_not_panicked() {
+        let g = zoo::abilene();
+        // A mask that keeps nothing is unusable.
+        let mask = vec![false; g.num_edges()];
+        let v = check_pruned_dag(&g, NodeId(0), NodeId(4), &mask);
+        assert!(v.iter().any(|v| v.check == "prune.usable"));
+        // A wrong-sized mask is its own violation.
+        let v = check_pruned_dag(&g, NodeId(0), NodeId(4), &[true]);
+        assert_eq!(v[0].check, "prune.mask_size");
+        // Beating the oracle optimum is flagged.
+        let v = check_utilisation_bound(0.3, 0.5, 1e-6);
+        assert_eq!(v[0].check, "routing.optimality_bound");
+        // Non-finite utilisation is flagged.
+        let v = check_utilisation_bound(f64::NAN, 0.5, 1e-6);
+        assert_eq!(v[0].check, "routing.u_max_finite");
+        // Display includes the check name.
+        assert!(v[0].to_string().starts_with("[routing.u_max_finite]"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Pipeline-wide invariant checking, a deterministic structured
+//! fuzzer, and differential tests for the GDDR reproduction.
+//!
+//! Every PPO reward flows through the softmin translation, the MCF
+//! simplex oracle and the autodiff tape; a silent invariant violation
+//! in any of them corrupts training long before downstream quarantines
+//! notice. This crate makes those invariants executable:
+//!
+//! - [`invariants`] — routing simplex/conservation/acyclicity checks,
+//!   graph well-formedness after `topology::mutate` ops, and the
+//!   `U ≥ U_opt − ε` optimality bound.
+//! - [`lp_cert`] — primal/dual feasibility, complementary slackness
+//!   and duality-gap certificates for simplex solutions.
+//! - [`gradcheck`] — autodiff gradients vs central finite differences
+//!   for every nn layer and the GNN block.
+//! - [`diff`] — differential references: brute-force vertex
+//!   enumeration vs the two-phase simplex, and exhaustive
+//!   path-enumeration routing vs the flow simulator.
+//! - [`fuzz`] — a deterministic structured fuzzer on `gddr-rng` with
+//!   shrinking and a seed-replay file format; every failure is one
+//!   `fuzz_harness --replay` command to reproduce.
+//!
+//! Everything here is hermetic: std plus sibling `gddr-*` crates only.
+
+pub mod diff;
+pub mod fuzz;
+pub mod gradcheck;
+pub mod invariants;
+pub mod lp_cert;
+
+pub use fuzz::{FuzzCase, FuzzFailure, Outcome, SweepReport};
+pub use invariants::Violation;

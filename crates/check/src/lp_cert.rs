@@ -1,0 +1,222 @@
+//! Optimality certificates for simplex solutions.
+//!
+//! A [`Solution`] is not trusted on the solver's say-so: given the
+//! original [`LinearProgram`] (`min cᵀx, x ≥ 0`) and the reported
+//! primal/dual pair, this module re-derives optimality from first
+//! principles — primal feasibility, dual feasibility (sign conventions
+//! and non-negative reduced costs), complementary slackness, and a
+//! duality gap within tolerance. Together these imply the reported
+//! basis is consistent without ever inspecting the tableau.
+
+use gddr_lp::{LinearProgram, Relation, Solution};
+
+use crate::invariants::Violation;
+
+/// Default certificate tolerance. Scaled by problem magnitude where
+/// appropriate (see the per-check comments).
+pub const DEFAULT_TOL: f64 = 1e-6;
+
+/// Verifies the full optimality certificate of `sol` for `lp`.
+///
+/// Checks, each contributing violations independently:
+/// 1. `x ≥ 0` and every constraint row satisfied (primal feasibility),
+/// 2. dual signs: `y ≤ 0` on `≤` rows, `y ≥ 0` on `≥` rows, free on
+///    `=` rows,
+/// 3. reduced costs `c − Aᵀy ≥ 0` (dual feasibility),
+/// 4. complementary slackness: `y_i · (a_iᵀx − b_i) ≈ 0`,
+/// 5. duality gap `|cᵀx − bᵀy| ≤ tol · (1 + |cᵀx|)` and agreement of
+///    `sol.objective` with `cᵀx`.
+pub fn check_certificate(lp: &LinearProgram, sol: &Solution, tol: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = lp.num_vars();
+    let c = lp.objective();
+    if sol.x.len() != n {
+        out.push(Violation::new(
+            "lp.shape",
+            format!("solution has {} vars, program {}", sol.x.len(), n),
+        ));
+        return out;
+    }
+    if sol.duals.len() != lp.num_constraints() {
+        out.push(Violation::new(
+            "lp.shape",
+            format!(
+                "solution has {} duals, program {} constraints",
+                sol.duals.len(),
+                lp.num_constraints()
+            ),
+        ));
+        return out;
+    }
+    for (j, &v) in sol.x.iter().enumerate() {
+        if !v.is_finite() {
+            out.push(Violation::new("lp.primal_finite", format!("x{j} = {v}")));
+        } else if v < -tol {
+            out.push(Violation::new("lp.primal_nonneg", format!("x{j} = {v}")));
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+
+    let cx: f64 = c.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+    if (cx - sol.objective).abs() > tol * (1.0 + cx.abs()) {
+        out.push(Violation::new(
+            "lp.objective_agrees",
+            format!("cᵀx = {cx} but solution reports {}", sol.objective),
+        ));
+    }
+
+    let mut by = 0.0;
+    let mut at_y = vec![0.0; n];
+    for (r, (terms, rel, rhs)) in lp.constraints().enumerate() {
+        let lhs: f64 = terms.iter().map(|&(v, coeff)| coeff * sol.x[v]).sum();
+        // Tolerance scaled by row magnitude so large-capacity MCF rows
+        // are not penalised for honest floating-point error.
+        let scale = 1.0 + lhs.abs().max(rhs.abs());
+        match rel {
+            Relation::Le if lhs > rhs + tol * scale => {
+                out.push(Violation::new(
+                    "lp.primal_feasible",
+                    format!("row {r}: {lhs} > {rhs}"),
+                ));
+            }
+            Relation::Ge if lhs < rhs - tol * scale => {
+                out.push(Violation::new(
+                    "lp.primal_feasible",
+                    format!("row {r}: {lhs} < {rhs}"),
+                ));
+            }
+            Relation::Eq if (lhs - rhs).abs() > tol * scale => {
+                out.push(Violation::new(
+                    "lp.primal_feasible",
+                    format!("row {r}: {lhs} != {rhs}"),
+                ));
+            }
+            _ => {}
+        }
+        let y = sol.duals[r];
+        if !y.is_finite() {
+            out.push(Violation::new("lp.dual_finite", format!("y{r} = {y}")));
+            continue;
+        }
+        match rel {
+            Relation::Le if y > tol => {
+                out.push(Violation::new(
+                    "lp.dual_sign",
+                    format!("row {r} is ≤ but y{r} = {y} > 0"),
+                ));
+            }
+            Relation::Ge if y < -tol => {
+                out.push(Violation::new(
+                    "lp.dual_sign",
+                    format!("row {r} is ≥ but y{r} = {y} < 0"),
+                ));
+            }
+            _ => {}
+        }
+        // Complementary slackness: an inactive row must carry no dual.
+        let slack = lhs - rhs;
+        if y.abs() * slack.abs() > tol * scale * (1.0 + y.abs()) {
+            out.push(Violation::new(
+                "lp.complementary_slackness",
+                format!("row {r}: y = {y} with slack {slack}"),
+            ));
+        }
+        by += y * rhs;
+        for &(v, coeff) in terms {
+            at_y[v] += coeff * y;
+        }
+    }
+
+    // Dual feasibility: reduced costs must be non-negative for the
+    // minimisation dual; and slack variables with positive value must
+    // have zero reduced cost (covered by complementary slackness).
+    for j in 0..n {
+        let reduced = c[j] - at_y[j];
+        let scale = 1.0 + c[j].abs().max(at_y[j].abs());
+        if reduced < -tol * scale {
+            out.push(Violation::new(
+                "lp.reduced_cost",
+                format!("x{j}: c − Aᵀy = {reduced} < 0"),
+            ));
+        }
+        // Complementary slackness on variables: x_j > 0 ⇒ reduced = 0.
+        if sol.x[j] > tol && reduced.abs() > tol * scale * (1.0 + sol.x[j]) {
+            out.push(Violation::new(
+                "lp.complementary_slackness",
+                format!("x{j} = {} with reduced cost {reduced}", sol.x[j]),
+            ));
+        }
+    }
+
+    if (cx - by).abs() > tol * (1.0 + cx.abs()) {
+        out.push(Violation::new(
+            "lp.duality_gap",
+            format!("cᵀx = {cx} vs bᵀy = {by}"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_lp::simplex::solve;
+
+    fn classic() -> LinearProgram {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[-3.0, -5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        lp
+    }
+
+    #[test]
+    fn certifies_a_correct_solution() {
+        let lp = classic();
+        let sol = solve(&lp).unwrap();
+        assert_eq!(check_certificate(&lp, &sol, DEFAULT_TOL), Vec::new());
+    }
+
+    #[test]
+    fn rejects_a_tampered_solution() {
+        let lp = classic();
+        let mut sol = solve(&lp).unwrap();
+        // Claim a better objective than the optimum: the gap check and
+        // objective-agreement check must both notice.
+        sol.objective -= 1.0;
+        let v = check_certificate(&lp, &sol, DEFAULT_TOL);
+        assert!(v.iter().any(|v| v.check == "lp.objective_agrees"));
+
+        // An infeasible primal point.
+        let mut sol = solve(&lp).unwrap();
+        sol.x[0] = 100.0;
+        let v = check_certificate(&lp, &sol, DEFAULT_TOL);
+        assert!(v.iter().any(|v| v.check == "lp.primal_feasible"));
+
+        // A dual with the wrong sign.
+        let mut sol = solve(&lp).unwrap();
+        sol.duals[1] = 1.0;
+        let v = check_certificate(&lp, &sol, DEFAULT_TOL);
+        assert!(v.iter().any(|v| v.check == "lp.dual_sign"));
+
+        // A non-finite dual.
+        let mut sol = solve(&lp).unwrap();
+        sol.duals[0] = f64::NAN;
+        let v = check_certificate(&lp, &sol, DEFAULT_TOL);
+        assert!(v.iter().any(|v| v.check == "lp.dual_finite"));
+    }
+
+    #[test]
+    fn certifies_mixed_relation_programs() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 2.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 10.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Ge, 2.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 9.0);
+        let sol = solve(&lp).unwrap();
+        assert_eq!(check_certificate(&lp, &sol, DEFAULT_TOL), Vec::new());
+    }
+}

@@ -393,7 +393,8 @@ impl Env for DdrEnv {
             None => &self.ctx.graph,
         };
         let weights = self.config.action_to_weights(action, graph.num_edges());
-        let routing = softmin_routing(graph, &weights, &self.config.softmin);
+        let routing = softmin_routing(graph, &weights, &self.config.softmin)
+            .expect("action_to_weights yields positive finite weights");
         let seq = &self.ctx.sequences[self.seq_idx];
         let dm = &seq[self.t];
         let reward = -routing_ratio(graph, self.active_oracle(), &routing, dm).ratio;
@@ -613,7 +614,8 @@ impl Env for MultiGraphDdrEnv {
         let _span = gddr_telemetry::span("env.step");
         let ctx = &self.contexts[self.active];
         let weights = self.config.action_to_weights(action, ctx.graph.num_edges());
-        let routing = softmin_routing(&ctx.graph, &weights, &self.config.softmin);
+        let routing = softmin_routing(&ctx.graph, &weights, &self.config.softmin)
+            .expect("action_to_weights yields positive finite weights");
         let seq = &ctx.sequences[self.seq_idx];
         let dm = &seq[self.t];
         let reward = -ctx.ratio(&routing, dm);

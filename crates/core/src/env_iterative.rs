@@ -173,7 +173,8 @@ impl Env for IterativeDdrEnv {
             gamma,
             prune_mode: self.config.softmin.prune_mode,
         };
-        let routing = softmin_routing(&ctx.graph, &weights, &softmin_config);
+        let routing = softmin_routing(&ctx.graph, &weights, &softmin_config)
+            .expect("weight_range maps actions to positive finite weights");
         let seq = &ctx.sequences[self.seq_idx];
         let dm = &seq[self.t];
         let reward = -ctx.ratio(&routing, dm);

@@ -90,7 +90,8 @@ fn walk_oneshot<P: Policy<Obs = DdrObs>>(
         };
         let action = policy.act_greedy(&obs);
         let weights = config.action_to_weights(&action, m_e);
-        let routing = softmin_routing(&ctx.graph, &weights, &config.softmin);
+        let routing = softmin_routing(&ctx.graph, &weights, &config.softmin)
+            .expect("action_to_weights yields positive finite weights");
         ratios.push(ctx.ratio(&routing, dm));
         history.push(dm.clone());
     }
@@ -243,7 +244,8 @@ pub fn uniform_softmin_baseline(
     test_sequences: &[Vec<DemandMatrix>],
 ) -> EvalResult {
     let w = vec![1.0; ctx.graph.num_edges()];
-    let routing = softmin_routing(&ctx.graph, &w, &SoftminConfig::default());
+    let routing = softmin_routing(&ctx.graph, &w, &SoftminConfig::default())
+        .expect("uniform weights are valid");
     eval_fixed_routing(ctx, config, &routing, test_sequences)
 }
 

@@ -44,6 +44,13 @@ pub struct Solution {
     pub objective: f64,
     /// The optimal assignment, one entry per variable.
     pub x: Vec<f64>,
+    /// Dual multipliers, one per constraint row (in `add_constraint`
+    /// order), under the convention for `min cᵀx, x ≥ 0`: `y ≤ 0` on
+    /// `≤` rows, `y ≥ 0` on `≥` rows, free on `=` rows, with
+    /// `cᵀx = bᵀy` at the optimum. Read off the final reduced costs of
+    /// each row's slack/artificial column, so an external certificate
+    /// checker can verify optimality without trusting the pivot path.
+    pub duals: Vec<f64>,
     /// Total pivot operations across both phases (including basis
     /// repair after phase 1).
     pub pivots: usize,
@@ -158,6 +165,20 @@ impl LinearProgram {
         );
         assert!(rhs.is_finite(), "rhs must be finite");
         self.constraints.push((terms.to_vec(), rel, rhs));
+    }
+
+    /// The minimisation objective coefficients, one per variable.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Iterates the constraint rows as `(terms, relation, rhs)` — the
+    /// read side of [`add_constraint`](Self::add_constraint), used by
+    /// external certificate checkers.
+    pub fn constraints(&self) -> impl Iterator<Item = (&[(usize, f64)], Relation, f64)> {
+        self.constraints
+            .iter()
+            .map(|(terms, rel, rhs)| (terms.as_slice(), *rel, *rhs))
     }
 }
 
@@ -321,12 +342,20 @@ pub fn solve_with(lp: &LinearProgram, opts: &SolveOptions) -> Result<Solution, L
     let mut basis = vec![usize::MAX; m];
     let mut artificials = Vec::new();
 
+    // Per row: the column holding its +1 unit coefficient (slack or
+    // artificial) and the normalisation sign. The final reduced cost of
+    // that column is `-λ_r`, giving the dual of the normalised row;
+    // multiplying by the sign recovers the dual of the original row.
+    let mut row_unit = vec![usize::MAX; m];
+    let mut row_sign = vec![1.0; m];
+
     let mut slack_idx = n;
     let mut art_idx = n + num_slack;
     for (r, (terms, rel, rhs)) in lp.constraints.iter().enumerate() {
         // Normalise to b >= 0.
         let flip = *rhs < 0.0;
         let sign = if flip { -1.0 } else { 1.0 };
+        row_sign[r] = sign;
         for &(v, coeff) in terms {
             a[r][v] += sign * coeff;
         }
@@ -344,6 +373,7 @@ pub fn solve_with(lp: &LinearProgram, opts: &SolveOptions) -> Result<Solution, L
             Relation::Le => {
                 a[r][slack_idx] = 1.0;
                 basis[r] = slack_idx; // Slack starts basic.
+                row_unit[r] = slack_idx;
                 slack_idx += 1;
             }
             Relation::Ge => {
@@ -351,12 +381,14 @@ pub fn solve_with(lp: &LinearProgram, opts: &SolveOptions) -> Result<Solution, L
                 slack_idx += 1;
                 a[r][art_idx] = 1.0;
                 basis[r] = art_idx;
+                row_unit[r] = art_idx;
                 artificials.push(art_idx);
                 art_idx += 1;
             }
             Relation::Eq => {
                 a[r][art_idx] = 1.0;
                 basis[r] = art_idx;
+                row_unit[r] = art_idx;
                 artificials.push(art_idx);
                 art_idx += 1;
             }
@@ -459,6 +491,11 @@ pub fn solve_with(lp: &LinearProgram, opts: &SolveOptions) -> Result<Solution, L
         }
     }
     let objective = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    // Dual extraction: the tableau maintains the invariant
+    // c_final = c_orig − λᵀA over every column, and each row's unit
+    // column has c_orig = 0 and A-column e_r, so c_final[unit_r] = −λ_r.
+    // Undo the b ≥ 0 normalisation to get the original row's dual.
+    let duals: Vec<f64> = (0..m).map(|r| row_sign[r] * -t.c[row_unit[r]]).collect();
     let pivots = phase1_pivots + phase2_pivots;
     gddr_telemetry::counter_add("lp.simplex.solves", 1);
     gddr_telemetry::counter_add("lp.simplex.pivots", pivots as u64);
@@ -466,6 +503,7 @@ pub fn solve_with(lp: &LinearProgram, opts: &SolveOptions) -> Result<Solution, L
     Ok(Solution {
         objective,
         x,
+        duals,
         pivots,
         phase1_pivots,
         phase2_pivots,
@@ -801,6 +839,83 @@ mod tests {
                 let witness_obj: f64 = obj.iter().zip(&x0).map(|(c, x)| c * x).sum();
                 assert!(sol.objective <= witness_obj + 1e-6);
             }
+        }
+    }
+
+    #[test]
+    fn duals_certify_the_classic_maximisation() {
+        // max 3x + 5y (min −3x − 5y): known shadow prices for the max
+        // problem are (0, 3/2, 1); the min formulation negates them.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[-3.0, -5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let sol = solve(&lp).unwrap();
+        assert_eq!(sol.duals.len(), 3);
+        assert_close(sol.duals[0], 0.0);
+        assert_close(sol.duals[1], -1.5);
+        assert_close(sol.duals[2], -1.0);
+        // Strong duality: bᵀy = cᵀx.
+        let dual_obj = 4.0 * sol.duals[0] + 12.0 * sol.duals[1] + 18.0 * sol.duals[2];
+        assert_close(dual_obj, sol.objective);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_seeded_feasible_lps() {
+        use gddr_rng::rngs::StdRng;
+        use gddr_rng::{Rng, SeedableRng};
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..5usize);
+            let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let mut lp = LinearProgram::new(n);
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            lp.set_objective(&obj);
+            for _ in 0..rng.gen_range(1..5usize) {
+                let coeffs: Vec<(usize, f64)> =
+                    (0..n).map(|i| (i, rng.gen_range(-3.0..3.0))).collect();
+                let lhs: f64 = coeffs.iter().map(|&(i, c)| c * x0[i]).sum();
+                match rng.gen_range(0u8..3) {
+                    0 => lp.add_constraint(&coeffs, Relation::Le, lhs + 1.0),
+                    1 => lp.add_constraint(&coeffs, Relation::Ge, lhs - 1.0),
+                    _ => lp.add_constraint(&coeffs, Relation::Eq, lhs),
+                }
+            }
+            for i in 0..n {
+                lp.add_constraint(&[(i, 1.0)], Relation::Le, 10.0);
+            }
+            let sol = solve(&lp).expect("constructed LP is feasible");
+            // Dual sign conventions per relation.
+            let mut dual_obj = 0.0;
+            let mut at_y = vec![0.0; n];
+            for (r, (terms, rel, rhs)) in lp.constraints().enumerate() {
+                let y = sol.duals[r];
+                assert!(y.is_finite(), "seed {seed}: non-finite dual");
+                match rel {
+                    Relation::Le => assert!(y <= 1e-7, "seed {seed}: Le dual {y} > 0"),
+                    Relation::Ge => assert!(y >= -1e-7, "seed {seed}: Ge dual {y} < 0"),
+                    Relation::Eq => {}
+                }
+                dual_obj += y * rhs;
+                for &(v, c) in terms {
+                    at_y[v] += c * y;
+                }
+            }
+            // Dual feasibility: reduced costs c − Aᵀy ≥ 0.
+            for j in 0..n {
+                assert!(
+                    obj[j] - at_y[j] >= -1e-6,
+                    "seed {seed}: negative reduced cost on x{j}"
+                );
+            }
+            // Strong duality.
+            assert!(
+                (dual_obj - sol.objective).abs() <= 1e-6 * (1.0 + sol.objective.abs()),
+                "seed {seed}: duality gap {} vs {}",
+                dual_obj,
+                sol.objective
+            );
         }
     }
 

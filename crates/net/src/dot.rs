@@ -1,8 +1,14 @@
-//! Graphviz (DOT) export for debugging topologies and routings.
+//! Graphviz (DOT) export and import for debugging topologies and
+//! routings.
+//!
+//! [`parse_dot`] accepts the subset of DOT that [`to_dot`] emits —
+//! a `digraph` header, `id [label="name"];` node lines, and
+//! `src -> dst [label="capacity"];` edge lines — and reports the
+//! exact line and column of the first malformed token.
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 
-use crate::graph::Graph;
+use crate::graph::{Graph, NodeId};
 
 /// Renders the graph in Graphviz DOT syntax.
 ///
@@ -29,6 +35,230 @@ pub fn to_dot_with_labels(graph: &Graph, mut label: impl FnMut(crate::EdgeId) ->
     out
 }
 
+/// Error from [`parse_dot`], positioned at the first offending token
+/// (1-based line and character column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDotError {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseDotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseDotError {}
+
+/// Single-line cursor with 1-based column tracking.
+struct Cursor<'a> {
+    line: &'a str,
+    line_no: usize,
+    pos: usize, // byte offset
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str, line_no: usize) -> Self {
+        Cursor {
+            line,
+            line_no,
+            pos: 0,
+        }
+    }
+
+    fn col(&self) -> usize {
+        self.line[..self.pos].chars().count() + 1
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseDotError {
+        ParseDotError {
+            line: self.line_no,
+            col: self.col(),
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.line[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.line.len() - trimmed.len();
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseDotError> {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{token}`")))
+        }
+    }
+
+    /// Parses a run of ASCII digits as a node id.
+    fn parse_id(&mut self) -> Result<usize, ParseDotError> {
+        let digits: String = self
+            .rest()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if digits.is_empty() {
+            return Err(self.err("expected a numeric node id"));
+        }
+        let id = digits
+            .parse::<usize>()
+            .map_err(|_| self.err(format!("node id {digits:?} out of range")))?;
+        self.pos += digits.len();
+        Ok(id)
+    }
+
+    /// Parses `"..."`, returning the unescaped contents. The emitter
+    /// never escapes, so embedded quotes are unsupported.
+    fn parse_quoted(&mut self) -> Result<&'a str, ParseDotError> {
+        self.expect("\"")?;
+        let rest = self.rest();
+        let end = rest
+            .find('"')
+            .ok_or_else(|| self.err("unterminated string literal"))?;
+        let contents = &rest[..end];
+        self.pos += end + 1;
+        Ok(contents)
+    }
+
+    fn expect_end(&self) -> Result<(), ParseDotError> {
+        if self.rest().trim().is_empty() {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing content"))
+        }
+    }
+}
+
+/// Parses the DOT subset emitted by [`to_dot`] back into a [`Graph`].
+///
+/// Node declarations must use dense ids in declaration order (exactly
+/// what the emitter produces); edge endpoints must refer to declared
+/// nodes. Capacities must be finite and positive.
+///
+/// # Errors
+///
+/// Returns a [`ParseDotError`] with the line and column of the first
+/// offending token.
+pub fn parse_dot(text: &str) -> Result<Graph, ParseDotError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty());
+
+    // Header: digraph "name" {   (quotes optional for bare names)
+    let (line_no, header) = lines.next().ok_or(ParseDotError {
+        line: 1,
+        col: 1,
+        message: "empty input: expected `digraph`".to_string(),
+    })?;
+    let mut cur = Cursor::new(header, line_no);
+    cur.skip_ws();
+    cur.expect("digraph")?;
+    cur.skip_ws();
+    let name = if cur.rest().starts_with('"') {
+        cur.parse_quoted()?.to_string()
+    } else {
+        let bare: String = cur
+            .rest()
+            .chars()
+            .take_while(|c| !c.is_whitespace() && *c != '{')
+            .collect();
+        if bare.is_empty() {
+            return Err(cur.err("expected a graph name"));
+        }
+        cur.pos += bare.len();
+        bare
+    };
+    cur.skip_ws();
+    cur.expect("{")?;
+    cur.expect_end()?;
+
+    let mut graph = Graph::new(&name);
+    let mut closed = false;
+
+    for (line_no, line) in lines {
+        let mut cur = Cursor::new(line, line_no);
+        cur.skip_ws();
+        if closed {
+            return Err(cur.err("content after closing `}`"));
+        }
+        if cur.rest().starts_with('}') {
+            cur.expect("}")?;
+            cur.expect_end()?;
+            closed = true;
+            continue;
+        }
+        let id_col = cur.col();
+        let id = cur.parse_id()?;
+        cur.skip_ws();
+        if cur.rest().starts_with("->") {
+            // Edge line: src -> dst [label="cap"];
+            cur.expect("->")?;
+            cur.skip_ws();
+            let dst_col = cur.col();
+            let dst = cur.parse_id()?;
+            cur.skip_ws();
+            cur.expect("[label=")?;
+            let cap_col = cur.col();
+            let cap_tok = cur.parse_quoted()?;
+            cur.expect("];")?;
+            cur.expect_end()?;
+            for (v, col) in [(id, id_col), (dst, dst_col)] {
+                if v >= graph.num_nodes() {
+                    return Err(ParseDotError {
+                        line: line_no,
+                        col,
+                        message: format!("edge references undeclared node {v}"),
+                    });
+                }
+            }
+            let capacity: f64 = cap_tok.parse().map_err(|_| ParseDotError {
+                line: line_no,
+                col: cap_col,
+                message: format!("bad capacity {cap_tok:?}"),
+            })?;
+            graph
+                .add_edge(NodeId(id), NodeId(dst), capacity)
+                .map_err(|e| ParseDotError {
+                    line: line_no,
+                    col: id_col,
+                    message: format!("cannot add edge {id} -> {dst}: {e}"),
+                })?;
+        } else {
+            // Node line: id [label="name"];
+            cur.expect("[label=")?;
+            let name = cur.parse_quoted()?;
+            cur.expect("];")?;
+            cur.expect_end()?;
+            if id != graph.num_nodes() {
+                return Err(ParseDotError {
+                    line: line_no,
+                    col: id_col,
+                    message: format!("node id {id} out of order: expected {}", graph.num_nodes()),
+                });
+            }
+            graph.add_node(name);
+        }
+    }
+    if !closed {
+        return Err(ParseDotError {
+            line: text.lines().count().max(1),
+            col: 1,
+            message: "missing closing `}`".to_string(),
+        });
+    }
+    Ok(graph)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +278,78 @@ mod tests {
         let g = zoo::cesnet();
         let dot = to_dot_with_labels(&g, |e| format!("w{}", e.0));
         assert!(dot.contains("label=\"w0\""));
+    }
+
+    #[test]
+    fn round_trips_every_zoo_topology() {
+        // Zoo capacities are integral, so the `{:.0}` edge labels are
+        // lossless and parse → emit → parse is a fixed point.
+        for g in zoo::all() {
+            let dot = to_dot(&g);
+            let parsed = parse_dot(&dot).unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert_eq!(parsed.name(), g.name());
+            assert_eq!(parsed.num_nodes(), g.num_nodes());
+            assert_eq!(parsed.num_edges(), g.num_edges());
+            for e in g.edges() {
+                let (s, t) = g.endpoints(e);
+                assert_eq!(parsed.node_name(s), g.node_name(s));
+                let pe = parsed.edge_between(s, t).expect("edge preserved");
+                assert_eq!(parsed.capacity(pe), g.capacity(e));
+            }
+            assert_eq!(to_dot(&parsed), dot);
+        }
+    }
+
+    #[test]
+    fn parses_bare_graph_names() {
+        let g = parse_dot("digraph g {\n0 [label=\"a\"];\n}\n").unwrap();
+        assert_eq!(g.name(), "g");
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn malformed_dot_yields_positioned_errors() {
+        // Not a digraph at all.
+        let err = parse_dot("graph \"g\" {\n}\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 1));
+
+        // Missing closing brace.
+        let err = parse_dot("digraph \"g\" {\n  0 [label=\"a\"];\n").unwrap_err();
+        assert!(err.message.contains("missing closing"));
+
+        // Edge to an undeclared node: `7` sits at column 8.
+        let err = parse_dot("digraph \"g\" {\n  0 [label=\"a\"];\n  0 -> 7 [label=\"1\"];\n}\n")
+            .unwrap_err();
+        assert_eq!((err.line, err.col), (3, 8));
+        assert!(err.message.contains("undeclared node 7"));
+
+        // Bad capacity: the quoted label starts at column 17.
+        let err = parse_dot(
+            "digraph \"g\" {\n  0 [label=\"a\"];\n  1 [label=\"b\"];\n  0 -> 1 [label=\"fast\"];\n}\n",
+        )
+        .unwrap_err();
+        assert_eq!((err.line, err.col), (4, 17));
+        assert!(err.message.contains("bad capacity"));
+
+        // Out-of-order node ids.
+        let err = parse_dot("digraph \"g\" {\n  1 [label=\"a\"];\n}\n").unwrap_err();
+        assert!(err.message.contains("out of order"));
+
+        // Unterminated label.
+        let err = parse_dot("digraph \"g\" {\n  0 [label=\"a];\n}\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+
+        // Self-loop rejected by the graph layer, surfaced with position.
+        let err = parse_dot("digraph \"g\" {\n  0 [label=\"a\"];\n  0 -> 0 [label=\"1\"];\n}\n")
+            .unwrap_err();
+        assert_eq!(err.line, 3);
+
+        // Trailing garbage after the closing brace.
+        let err = parse_dot("digraph \"g\" {\n}\nextra\n").unwrap_err();
+        assert!(err.message.contains("after closing"));
+
+        // Display formatting carries the position.
+        let err = parse_dot("graph \"g\" {\n}\n").unwrap_err();
+        assert!(err.to_string().starts_with("line 1:1:"));
     }
 }

@@ -17,19 +17,37 @@ use std::fmt;
 
 use crate::graph::{Graph, NodeId};
 
-/// Errors produced by [`parse_topology`].
+/// Errors produced by [`parse_topology`]. Every positioned variant
+/// carries the 1-based line and column of the offending token so a
+/// malformed file is diagnosable without bisecting it by hand.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseTopologyError {
     /// The `graph <name>` header is missing or not first.
     MissingHeader,
     /// A node was declared twice.
-    DuplicateNode { line: usize, name: String },
+    DuplicateNode {
+        line: usize,
+        col: usize,
+        name: String,
+    },
     /// A link references an undeclared node.
-    UnknownNode { line: usize, name: String },
+    UnknownNode {
+        line: usize,
+        col: usize,
+        name: String,
+    },
     /// A capacity failed to parse or was non-positive.
-    BadCapacity { line: usize, token: String },
+    BadCapacity {
+        line: usize,
+        col: usize,
+        token: String,
+    },
     /// A line had the wrong number of tokens or unknown directive.
-    Malformed { line: usize, content: String },
+    Malformed {
+        line: usize,
+        col: usize,
+        content: String,
+    },
 }
 
 impl fmt::Display for ParseTopologyError {
@@ -38,17 +56,17 @@ impl fmt::Display for ParseTopologyError {
             ParseTopologyError::MissingHeader => {
                 write!(f, "topology must start with a `graph <name>` line")
             }
-            ParseTopologyError::DuplicateNode { line, name } => {
-                write!(f, "line {line}: node {name:?} declared twice")
+            ParseTopologyError::DuplicateNode { line, col, name } => {
+                write!(f, "line {line}:{col}: node {name:?} declared twice")
             }
-            ParseTopologyError::UnknownNode { line, name } => {
-                write!(f, "line {line}: unknown node {name:?}")
+            ParseTopologyError::UnknownNode { line, col, name } => {
+                write!(f, "line {line}:{col}: unknown node {name:?}")
             }
-            ParseTopologyError::BadCapacity { line, token } => {
-                write!(f, "line {line}: bad capacity {token:?}")
+            ParseTopologyError::BadCapacity { line, col, token } => {
+                write!(f, "line {line}:{col}: bad capacity {token:?}")
             }
-            ParseTopologyError::Malformed { line, content } => {
-                write!(f, "line {line}: cannot parse {content:?}")
+            ParseTopologyError::Malformed { line, col, content } => {
+                write!(f, "line {line}:{col}: cannot parse {content:?}")
             }
         }
     }
@@ -56,73 +74,97 @@ impl fmt::Display for ParseTopologyError {
 
 impl std::error::Error for ParseTopologyError {}
 
+/// Splits a line into whitespace-separated tokens, remembering each
+/// token's 1-based column (in characters) in the original line.
+fn tokenize(line: &str) -> Vec<(usize, &str)> {
+    let mut tokens = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, ch) in line.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                tokens.push((s, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        tokens.push((s, &line[s..]));
+    }
+    // Byte offset → 1-based character column.
+    tokens
+        .into_iter()
+        .map(|(off, tok)| (line[..off].chars().count() + 1, tok))
+        .collect()
+}
+
 /// Parses the text topology format into a [`Graph`].
 ///
 /// # Errors
 ///
 /// Returns a [`ParseTopologyError`] describing the first offending
-/// line.
+/// token by line and column.
 pub fn parse_topology(text: &str) -> Result<Graph, ParseTopologyError> {
     let mut graph: Option<Graph> = None;
     let mut nodes: HashMap<String, NodeId> = HashMap::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let line = raw.split('#').next().unwrap_or("");
+        let tokens = tokenize(line);
+        if tokens.is_empty() {
             continue;
         }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        match (tokens[0], tokens.len()) {
+        match (tokens[0].1, tokens.len()) {
             ("graph", 2) => {
-                graph = Some(Graph::new(tokens[1]));
+                graph = Some(Graph::new(tokens[1].1));
             }
             ("node", 2) => {
                 let g = graph.as_mut().ok_or(ParseTopologyError::MissingHeader)?;
-                let name = tokens[1].to_string();
-                if nodes.contains_key(&name) {
+                let (col, name) = tokens[1];
+                if nodes.contains_key(name) {
                     return Err(ParseTopologyError::DuplicateNode {
                         line: line_no,
-                        name,
+                        col,
+                        name: name.to_string(),
                     });
                 }
-                let id = g.add_node(name.clone());
-                nodes.insert(name, id);
+                let id = g.add_node(name);
+                nodes.insert(name.to_string(), id);
             }
             (directive @ ("link" | "edge"), 4) => {
                 let g = graph.as_mut().ok_or(ParseTopologyError::MissingHeader)?;
-                let lookup = |name: &str| {
+                let lookup = |(col, name): (usize, &str)| {
                     nodes
                         .get(name)
                         .copied()
                         .ok_or_else(|| ParseTopologyError::UnknownNode {
                             line: line_no,
+                            col,
                             name: name.to_string(),
                         })
                 };
                 let a = lookup(tokens[1])?;
                 let b = lookup(tokens[2])?;
-                let capacity: f64 =
-                    tokens[3]
-                        .parse()
-                        .map_err(|_| ParseTopologyError::BadCapacity {
-                            line: line_no,
-                            token: tokens[3].to_string(),
-                        })?;
+                let (cap_col, cap_tok) = tokens[3];
+                let bad_capacity = || ParseTopologyError::BadCapacity {
+                    line: line_no,
+                    col: cap_col,
+                    token: cap_tok.to_string(),
+                };
+                let capacity: f64 = cap_tok.parse().map_err(|_| bad_capacity())?;
                 let result = if directive == "link" {
                     g.add_link(a, b, capacity).map(|_| ())
                 } else {
                     g.add_edge(a, b, capacity).map(|_| ())
                 };
-                result.map_err(|_| ParseTopologyError::BadCapacity {
-                    line: line_no,
-                    token: tokens[3].to_string(),
-                })?;
+                result.map_err(|_| bad_capacity())?;
             }
             _ => {
                 return Err(ParseTopologyError::Malformed {
                     line: line_no,
-                    content: line.to_string(),
+                    col: tokens[0].0,
+                    content: line.trim().to_string(),
                 })
             }
         }
@@ -218,6 +260,9 @@ edge c a 50
                 let pe = parsed.edge_between(s, t).expect("edge preserved");
                 assert_eq!(parsed.capacity(pe), g.capacity(e));
             }
+            // parse → emit → parse is a fixed point: the second emission
+            // is byte-identical to the first.
+            assert_eq!(to_text(&parsed), text);
         }
     }
 
@@ -248,6 +293,72 @@ edge c a 50
             parse_topology("graph g\nwhatever"),
             Err(ParseTopologyError::Malformed { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn errors_carry_token_columns() {
+        // `node a` declared twice: second `a` starts at column 6.
+        assert_eq!(
+            parse_topology("graph g\nnode a\nnode a"),
+            Err(ParseTopologyError::DuplicateNode {
+                line: 3,
+                col: 6,
+                name: "a".to_string(),
+            })
+        );
+        // Unknown node `b` is the third token: column 8.
+        assert_eq!(
+            parse_topology("graph g\nnode a\nlink a b 10"),
+            Err(ParseTopologyError::UnknownNode {
+                line: 3,
+                col: 8,
+                name: "b".to_string(),
+            })
+        );
+        // Bad capacity token starts at column 10.
+        assert_eq!(
+            parse_topology("graph g\nnode a\nnode b\nlink a b ten"),
+            Err(ParseTopologyError::BadCapacity {
+                line: 4,
+                col: 10,
+                token: "ten".to_string(),
+            })
+        );
+        // Indented garbage: the column points at the directive, not 1.
+        assert_eq!(
+            parse_topology("graph g\n   whatever"),
+            Err(ParseTopologyError::Malformed {
+                line: 2,
+                col: 4,
+                content: "whatever".to_string(),
+            })
+        );
+        // Display includes line:col.
+        let err = parse_topology("graph g\nnode a\nnode a").unwrap_err();
+        assert_eq!(err.to_string(), "line 3:6: node \"a\" declared twice");
+    }
+
+    #[test]
+    fn malformed_inputs_yield_typed_errors_not_panics() {
+        // A battery of malformed inputs: every one must produce a typed
+        // error (never a panic, never a silently skipped line).
+        let cases = [
+            "graph",                                   // header missing its name
+            "graph g extra",                           // header with too many tokens
+            "graph g\nnode",                           // node without a name
+            "graph g\nnode a b",                       // node with too many tokens
+            "graph g\nnode a\nnode b\nlink a b",       // link missing capacity
+            "graph g\nnode a\nnode b\nlink a b 1 2",   // link with extra token
+            "graph g\nnode a\nnode b\nlink a b nan",   // NaN capacity rejected
+            "graph g\nnode a\nnode b\nlink a b inf",   // infinite capacity rejected
+            "graph g\nnode a\nnode b\nlink a b 0",     // zero capacity rejected
+            "graph g\nnode a\nlink a a 5",             // self-loop rejected
+            "graph g\nnode a\nnode b\nedge a b 1e999", // overflows to inf
+            "nonsense first line",
+        ];
+        for text in cases {
+            assert!(parse_topology(text).is_err(), "accepted {text:?}");
+        }
     }
 
     #[test]

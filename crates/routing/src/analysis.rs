@@ -104,7 +104,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
         let w = vec![1.0; g.num_edges()];
-        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let r = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
         let stretch = path_stretch(&g, &r, &dm).unwrap();
         assert!(stretch >= 1.0 - 1e-9, "stretch cannot be below 1");
         assert!(stretch < 2.0, "softmin detours are bounded, got {stretch}");
@@ -124,7 +124,8 @@ mod tests {
                 gamma: 0.5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let tight = softmin_routing(
             &g,
             &w,
@@ -132,7 +133,8 @@ mod tests {
                 gamma: 8.0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let s_loose = path_stretch(&g, &loose, &dm).unwrap();
         let s_tight = path_stretch(&g, &tight, &dm).unwrap();
         assert!(

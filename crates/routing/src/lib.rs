@@ -31,7 +31,7 @@
 //! let mut rng = gddr_rng::rngs::StdRng::seed_from_u64(0);
 //! let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
 //! let weights = vec![1.0; g.num_edges()];
-//! let routing = softmin_routing(&g, &weights, &SoftminConfig::default());
+//! let routing = softmin_routing(&g, &weights, &SoftminConfig::default()).unwrap();
 //! let report = max_link_utilisation(&g, &routing, &dm)?;
 //! assert!(report.u_max > 0.0);
 //! # Ok(())

@@ -399,6 +399,87 @@ mod tests {
         assert!(mask.iter().all(|&m| !m));
     }
 
+    /// Nodes that can reach `sink` through edges kept by `mask`.
+    fn masked_reaches_sink(g: &gddr_net::Graph, sink: NodeId, mask: &[bool]) -> Vec<bool> {
+        let mut seen = vec![false; g.num_nodes()];
+        seen[sink.0] = true;
+        let mut stack = vec![sink];
+        while let Some(v) = stack.pop() {
+            for &e in g.in_edges(v) {
+                if mask[e.0] && !seen[g.src(e).0] {
+                    seen[g.src(e).0] = true;
+                    stack.push(g.src(e));
+                }
+            }
+        }
+        seen
+    }
+
+    /// Seeded property loop over both prune modes, random and zoo
+    /// topologies: the kept subgraph is acyclic, usable from source to
+    /// sink, and the sink stays reachable from every node the mask
+    /// lets the source reach (no dead ends a flow could leak into).
+    #[test]
+    fn prune_property_acyclic_and_sink_reachable() {
+        use gddr_net::topology::random::erdos_renyi;
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = match seed % 4 {
+                0 => zoo::abilene(),
+                1 => zoo::nsfnet(),
+                2 => erdos_renyi(rng.gen_range(4..10usize), 0.35, 100.0, &mut rng),
+                _ => erdos_renyi(rng.gen_range(6..14usize), 0.2, 100.0, &mut rng),
+            };
+            let w = random_weights(g.num_edges(), &mut rng);
+            let source = NodeId(rng.gen_range(0..g.num_nodes()));
+            let mut sink = NodeId(rng.gen_range(0..g.num_nodes()));
+            if sink == source {
+                sink = NodeId((sink.0 + 1) % g.num_nodes());
+            }
+            for mode in [PruneMode::DistanceDag, PruneMode::FrontierMeets] {
+                let mask = prune(&g, source, sink, &w, mode);
+                assert!(
+                    is_dag(&g, &mask),
+                    "seed {seed} {mode:?}: pruned subgraph has a cycle"
+                );
+                assert!(
+                    mask_is_usable(&g, source, sink, &mask),
+                    "seed {seed} {mode:?}: mask unusable"
+                );
+                // No dead ends: every node the mask lets the source
+                // reach must still reach the sink through the mask.
+                let to_sink = masked_reaches_sink(&g, sink, &mask);
+                let mut stack = vec![source];
+                let mut fwd = vec![false; g.num_nodes()];
+                fwd[source.0] = true;
+                while let Some(v) = stack.pop() {
+                    for &e in g.out_edges(v) {
+                        if mask[e.0] && !fwd[g.dst(e).0] {
+                            fwd[g.dst(e).0] = true;
+                            stack.push(g.dst(e));
+                        }
+                    }
+                }
+                for v in 0..g.num_nodes() {
+                    if fwd[v] {
+                        assert!(
+                            to_sink[v],
+                            "seed {seed} {mode:?}: node {v} entered but cannot reach sink"
+                        );
+                    }
+                }
+                // The distance DAG keeps a sink path for *every* node
+                // (zoo and Erdős–Rényi graphs here are strongly
+                // connected, so every node reaches the sink in full).
+                if mode == PruneMode::DistanceDag {
+                    for (v, reaches) in to_sink.iter().enumerate() {
+                        assert!(reaches, "seed {seed}: node {v} lost its path to the sink");
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn multipath_retention_distance_dag_counts_paths() {
         // On Abilene with unit weights, the sink-side DAG should retain

@@ -38,6 +38,14 @@ pub enum RoutingViolation {
     },
     /// The destination forwards traffic instead of absorbing it.
     LeakyDestination { flow: (usize, usize) },
+    /// The routing's dimensions disagree with the graph it is validated
+    /// against (node or edge counts differ).
+    SizeMismatch {
+        /// `(graph, routing)` node counts.
+        nodes: (usize, usize),
+        /// `(graph, routing)` edge counts.
+        edges: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for RoutingViolation {
@@ -51,6 +59,13 @@ impl std::fmt::Display for RoutingViolation {
             }
             RoutingViolation::LeakyDestination { flow } => {
                 write!(f, "flow {flow:?}: destination forwards traffic")
+            }
+            RoutingViolation::SizeMismatch { nodes, edges } => {
+                write!(
+                    f,
+                    "graph has {} nodes / {} edges but routing covers {} / {}",
+                    nodes.0, edges.0, nodes.1, edges.1
+                )
             }
         }
     }
@@ -165,12 +180,17 @@ impl Routing {
     /// A node's out ratios may sum to 0 (the node never carries the
     /// flow) or 1 (it forwards everything); anything else is reported.
     ///
-    /// # Panics
-    ///
-    /// Panics if the graph dimensions disagree with the routing.
+    /// A dimension disagreement between the routing and the graph is
+    /// itself reported as a [`RoutingViolation::SizeMismatch`] (no
+    /// per-flow checks are attempted in that case — indexing would be
+    /// meaningless).
     pub fn validate(&self, graph: &Graph) -> Vec<RoutingViolation> {
-        assert_eq!(graph.num_nodes(), self.num_nodes);
-        assert_eq!(graph.num_edges(), self.num_edges);
+        if graph.num_nodes() != self.num_nodes || graph.num_edges() != self.num_edges {
+            return vec![RoutingViolation::SizeMismatch {
+                nodes: (graph.num_nodes(), self.num_nodes),
+                edges: (graph.num_edges(), self.num_edges),
+            }];
+        }
         let mut violations = Vec::new();
         for (&(s, t), ratios) in &self.flows {
             for e in graph.edges() {
@@ -384,6 +404,25 @@ mod tests {
         assert!((ratios[e13.0] - 1.0).abs() < 1e-12);
         assert_eq!(ratios[e12.0], 0.0);
         assert!(r.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn validate_reports_size_mismatch_instead_of_panicking() {
+        let g = diamond();
+        let r = Routing::new(g.num_nodes() + 1, g.num_edges());
+        let v = r.validate(&g);
+        assert_eq!(
+            v,
+            vec![RoutingViolation::SizeMismatch {
+                nodes: (g.num_nodes(), g.num_nodes() + 1),
+                edges: (g.num_edges(), g.num_edges()),
+            }]
+        );
+        let r = Routing::new(g.num_nodes(), 0);
+        assert!(matches!(
+            r.validate(&g).as_slice(),
+            [RoutingViolation::SizeMismatch { .. }]
+        ));
     }
 
     #[test]

@@ -320,7 +320,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
         let w = vec![1.0; g.num_edges()];
-        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let r = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
         let rep = max_link_utilisation(&g, &r, &dm).unwrap();
         assert!(rep.u_max > 0.0 && rep.u_max.is_finite());
         // Total load ≥ total demand (each unit traverses ≥ 1 edge).
@@ -358,7 +358,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
         let w = vec![1.0; g.num_edges()];
-        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let r = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
         let u1 = max_link_utilisation(&g, &r, &dm).unwrap().u_max;
         let u3 = max_link_utilisation(&g, &r, &dm.scaled(3.0)).unwrap().u_max;
         assert!((u3 - 3.0 * u1).abs() < 1e-9);

@@ -14,10 +14,65 @@
 //! on the shortest alternatives (γ → ∞ approaches shortest-path
 //! routing; γ → 0 approaches uniform splitting over the DAG).
 
+use std::fmt;
+
 use gddr_net::{Graph, NodeId};
 
 use crate::prune::{prune, PruneMode};
 use crate::routing::Routing;
+
+/// Typed rejection of bad inputs at the routing boundary.
+///
+/// The softmin translation sits between the learned policy and the
+/// simulator: a NaN or negative weight here would silently become a NaN
+/// splitting ratio and corrupt every downstream reward. All input
+/// validation is therefore checked (not asserted) so callers — and the
+/// fuzz harness — can rely on "typed error or valid routing, never a
+/// panic".
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingError {
+    /// `weights` does not provide exactly one weight per edge.
+    WeightCountMismatch {
+        /// Edges in the graph.
+        expected: usize,
+        /// Weights supplied.
+        got: usize,
+    },
+    /// A weight was NaN, infinite, zero or negative (softmin distances
+    /// need positive finite lengths).
+    InvalidWeight {
+        /// Dense edge index of the offending weight.
+        edge: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The softmin temperature γ was negative or non-finite.
+    InvalidGamma {
+        /// The offending value.
+        gamma: f64,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::WeightCountMismatch { expected, got } => {
+                write!(f, "expected {expected} edge weights, got {got}")
+            }
+            RoutingError::InvalidWeight { edge, value } => {
+                write!(
+                    f,
+                    "weight {value} on edge {edge} is not positive and finite"
+                )
+            }
+            RoutingError::InvalidGamma { gamma } => {
+                write!(f, "softmin temperature {gamma} is not finite and >= 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
 
 /// Configuration for [`softmin_routing`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,21 +197,36 @@ fn destination_ratios(
 /// shared by all sources; with [`PruneMode::FrontierMeets`] each flow
 /// gets its own pruning, as in the paper's pseudocode.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `weights` does not cover every edge or contains
-/// non-positive values (softmin distances need positive lengths).
-pub fn softmin_routing(graph: &Graph, weights: &[f64], config: &SoftminConfig) -> Routing {
+/// Returns a [`RoutingError`] if `weights` does not cover every edge,
+/// contains a non-finite or non-positive value, or the configured γ is
+/// invalid. Bad inputs are rejected up front so no NaN can reach the
+/// splitting ratios.
+pub fn softmin_routing(
+    graph: &Graph,
+    weights: &[f64],
+    config: &SoftminConfig,
+) -> Result<Routing, RoutingError> {
     let _span = gddr_telemetry::span("routing.softmin");
-    assert_eq!(
-        weights.len(),
-        graph.num_edges(),
-        "one weight per edge required"
-    );
-    assert!(
-        weights.iter().all(|&w| w.is_finite() && w > 0.0),
-        "softmin routing requires positive finite weights"
-    );
+    if weights.len() != graph.num_edges() {
+        return Err(RoutingError::WeightCountMismatch {
+            expected: graph.num_edges(),
+            got: weights.len(),
+        });
+    }
+    if let Some((edge, &value)) = weights
+        .iter()
+        .enumerate()
+        .find(|(_, &w)| !w.is_finite() || w <= 0.0)
+    {
+        return Err(RoutingError::InvalidWeight { edge, value });
+    }
+    if !config.gamma.is_finite() || config.gamma < 0.0 {
+        return Err(RoutingError::InvalidGamma {
+            gamma: config.gamma,
+        });
+    }
     let n = graph.num_nodes();
     let mut routing = Routing::new(n, graph.num_edges());
     match config.prune_mode {
@@ -182,7 +252,7 @@ pub fn softmin_routing(graph: &Graph, weights: &[f64], config: &SoftminConfig) -
             }
         }
     }
-    routing
+    Ok(routing)
 }
 
 #[cfg(test)]
@@ -226,7 +296,7 @@ mod tests {
     fn routing_is_valid_on_zoo_graphs() {
         for g in [zoo::cesnet(), zoo::abilene()] {
             let w = vec![1.0; g.num_edges()];
-            let r = softmin_routing(&g, &w, &SoftminConfig::default());
+            let r = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
             let violations = r.validate(&g);
             assert!(violations.is_empty(), "{}: {:?}", g.name(), violations);
             assert_eq!(r.num_flows(), g.num_nodes() * (g.num_nodes() - 1));
@@ -241,7 +311,7 @@ mod tests {
             prune_mode: crate::prune::PruneMode::FrontierMeets,
             ..Default::default()
         };
-        let r = softmin_routing(&g, &w, &cfg);
+        let r = softmin_routing(&g, &w, &cfg).unwrap();
         assert!(r.validate(&g).is_empty());
     }
 
@@ -249,7 +319,7 @@ mod tests {
     fn diamond_splits_between_equal_paths() {
         let g = from_links("diamond", 4, &[(0, 1), (1, 3), (0, 2), (2, 3)], 10.0);
         let w = vec![1.0; g.num_edges()];
-        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let r = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
         let ratios = r.flow(0, 3).unwrap();
         let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
         let e02 = g.edge_between(NodeId(0), NodeId(2)).unwrap();
@@ -264,17 +334,65 @@ mod tests {
         // Make the path through node 1 cheaper.
         let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
         w[e01.0] = 0.5;
-        let r = softmin_routing(&g, &w, &SoftminConfig::default());
+        let r = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
         let ratios = r.flow(0, 3).unwrap();
         let e02 = g.edge_between(NodeId(0), NodeId(2)).unwrap();
         assert!(ratios[e01.0] > ratios[e02.0]);
     }
 
     #[test]
-    #[should_panic(expected = "positive finite weights")]
-    fn rejects_zero_weights() {
+    fn rejects_zero_weights_with_typed_error() {
         let g = zoo::cesnet();
         let w = vec![0.0; g.num_edges()];
-        softmin_routing(&g, &w, &SoftminConfig::default());
+        let err = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            RoutingError::InvalidWeight {
+                edge: 0,
+                value: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_nonfinite_weights_with_typed_error() {
+        let g = zoo::cesnet();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let mut w = vec![1.0; g.num_edges()];
+            w[3] = bad;
+            match softmin_routing(&g, &w, &SoftminConfig::default()) {
+                Err(RoutingError::InvalidWeight { edge: 3, .. }) => {}
+                other => panic!("expected InvalidWeight, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_weight_count_mismatch() {
+        let g = zoo::cesnet();
+        let w = vec![1.0; g.num_edges() - 1];
+        assert_eq!(
+            softmin_routing(&g, &w, &SoftminConfig::default()).unwrap_err(),
+            RoutingError::WeightCountMismatch {
+                expected: g.num_edges(),
+                got: g.num_edges() - 1,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_gamma() {
+        let g = zoo::cesnet();
+        let w = vec![1.0; g.num_edges()];
+        for gamma in [f64::NAN, f64::INFINITY, -0.5] {
+            let cfg = SoftminConfig {
+                gamma,
+                ..Default::default()
+            };
+            assert!(matches!(
+                softmin_routing(&g, &w, &cfg),
+                Err(RoutingError::InvalidGamma { .. })
+            ));
+        }
     }
 }

@@ -34,9 +34,13 @@ fn main() {
         let ecmp = max_link_utilisation(&g, &ecmp_routing(&g, &w), &dm)
             .expect("baseline routes all traffic")
             .u_max;
-        let sm = max_link_utilisation(&g, &softmin_routing(&g, &w, &SoftminConfig::default()), &dm)
-            .expect("softmin routes all traffic")
-            .u_max;
+        let sm = max_link_utilisation(
+            &g,
+            &softmin_routing(&g, &w, &SoftminConfig::default()).unwrap(),
+            &dm,
+        )
+        .expect("softmin routes all traffic")
+        .u_max;
         println!(
             "{:<10} {:>5} {:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             g.name(),

@@ -85,8 +85,12 @@ fn stretch_orders_the_baselines() {
         let w = vec![1.0; g.num_edges()];
         let sp_stretch = path_stretch(&g, &shortest_path_routing(&g, &w), &dm).unwrap();
         let ecmp_stretch = path_stretch(&g, &ecmp_routing(&g, &w), &dm).unwrap();
-        let softmin_stretch =
-            path_stretch(&g, &softmin_routing(&g, &w, &SoftminConfig::default()), &dm).unwrap();
+        let softmin_stretch = path_stretch(
+            &g,
+            &softmin_routing(&g, &w, &SoftminConfig::default()).unwrap(),
+            &dm,
+        )
+        .unwrap();
         assert!((sp_stretch - 1.0).abs() < 1e-9, "{name}: sp {sp_stretch}");
         assert!(
             (ecmp_stretch - 1.0).abs() < 1e-9,

@@ -1,0 +1,69 @@
+//! End-to-end exercise of the `gddr-check` fuzz harness: the CI seed
+//! set must be clean, and the deliberately planted bad target must be
+//! caught, shrunk to its minimal counterexample, and replayable from
+//! its seed file — the same loop `fuzz_harness` runs in CI.
+
+use std::time::Duration;
+
+use gddr_check::fuzz::{self, FuzzCase, Outcome};
+
+/// The CI seed set reports zero invariant violations and zero panics.
+#[test]
+fn ci_seed_set_is_clean() {
+    let targets = fuzz::ci_targets();
+    let report = fuzz::sweep(&targets, 8, 10, Some(Duration::from_secs(120)));
+    assert_eq!(report.skipped, 0, "budget too small for the CI seed set");
+    assert!(
+        report.failures.is_empty(),
+        "fuzz failures: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| format!("{:?}: {}", f.case, f.message))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.cases as u64, 8 * targets.len() as u64);
+}
+
+/// The planted bad instance flows through the full harness loop:
+/// sweep catches it, shrink minimises it, and the serialised replay
+/// file reproduces it exactly.
+#[test]
+fn planted_failure_is_caught_shrunk_and_replayable() {
+    let report = fuzz::sweep(&["planted"], 21, 16, None);
+    assert!(
+        !report.failures.is_empty(),
+        "the planted target failed to fail"
+    );
+    for failure in &report.failures {
+        assert!(!failure.panicked, "planted fails via Err, not panic");
+        let minimal = fuzz::shrink(&failure.case);
+        assert_eq!(minimal.size, 3, "not minimal: {minimal:?}");
+        assert_eq!(minimal.seed, failure.case.seed, "shrink must keep the seed");
+        // Round-trip through the replay file format and re-run.
+        let replayed = FuzzCase::from_replay_string(&minimal.to_replay_string()).unwrap();
+        assert_eq!(replayed, minimal);
+        match fuzz::run_case(&replayed) {
+            Outcome::Fail { message, panicked } => {
+                assert!(!panicked);
+                assert!(message.contains("planted"), "unexpected failure: {message}");
+            }
+            Outcome::Pass => panic!("replayed counterexample no longer fails"),
+        }
+    }
+}
+
+/// Gradient checks pass across all nn layers and GNN blocks with the
+/// acceptance threshold from the issue: max relative error < 1e-4.
+#[test]
+fn gradient_checks_pass_across_the_nn_surface() {
+    for seed in 0..5u64 {
+        let report = gddr_check::gradcheck::check_all(seed);
+        assert!(
+            report.max_rel_err < 1e-4,
+            "seed {seed}: max rel err {} at {}",
+            report.max_rel_err,
+            report.worst
+        );
+    }
+}

@@ -33,7 +33,7 @@ fn agent_routings_never_beat_the_lp_optimum() {
                     gamma,
                     prune_mode: PruneMode::DistanceDag,
                 };
-                let routing = softmin_routing(&g, &weights, &cfg);
+                let routing = softmin_routing(&g, &weights, &cfg).unwrap();
                 assert!(routing.validate(&g).is_empty());
                 let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
                 assert!(
@@ -62,7 +62,7 @@ fn frontier_meets_pipeline_is_also_sound() {
         gamma: 2.0,
         prune_mode: PruneMode::FrontierMeets,
     };
-    let routing = softmin_routing(&g, &weights, &cfg);
+    let routing = softmin_routing(&g, &weights, &cfg).unwrap();
     assert!(routing.validate(&g).is_empty());
     let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
     assert!(rep.u_max >= u_opt - 1e-6);
@@ -75,7 +75,7 @@ fn sparse_demands_are_supported() {
     let g = zoo::abilene();
     let dm = sparse_bimodal(g.num_nodes(), &BimodalParams::default(), 0.3, &mut rng);
     let w = vec![1.0; g.num_edges()];
-    let routing = softmin_routing(&g, &w, &SoftminConfig::default());
+    let routing = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
     let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
     let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
     assert!(rep.u_max >= u_opt - 1e-6);
@@ -116,7 +116,7 @@ fn pipeline_invariants_on_random_graphs() {
             gamma,
             prune_mode: PruneMode::DistanceDag,
         };
-        let routing = softmin_routing(&g, &weights, &cfg);
+        let routing = softmin_routing(&g, &weights, &cfg).unwrap();
         assert!(routing.validate(&g).is_empty());
         let dm = bimodal(n, &BimodalParams::default(), &mut rng);
         let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
@@ -137,7 +137,7 @@ fn ratio_is_scale_invariant() {
         let mut rng = StdRng::seed_from_u64(seed);
         let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
         let w = vec![1.0; g.num_edges()];
-        let routing = softmin_routing(&g, &w, &SoftminConfig::default());
+        let routing = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
         let u1 = max_link_utilisation(&g, &routing, &dm).unwrap().u_max
             / min_max_utilisation(&g, &dm).unwrap().u_max;
         let dm2 = dm.scaled(scale);
@@ -169,7 +169,7 @@ link b c 500
     let mut rng = StdRng::seed_from_u64(9);
     let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
     let w = vec![1.0; g.num_edges()];
-    let routing = softmin_routing(&g, &w, &SoftminConfig::default());
+    let routing = softmin_routing(&g, &w, &SoftminConfig::default()).unwrap();
     assert!(routing.validate(&g).is_empty());
     let rep = max_link_utilisation(&g, &routing, &dm).unwrap();
     let u_opt = min_max_utilisation(&g, &dm).unwrap().u_max;
@@ -177,4 +177,48 @@ link b c 500
     // Heterogeneous capacities: the optimal routing must exploit the
     // fat a-c-d path, so the LP should clearly beat naive softmin here.
     assert!(u_opt > 0.0);
+}
+
+/// Every routing an environment episode produces passes
+/// `Routing::validate`: the env maps actions through
+/// `action_to_weights` → `softmin_routing`, so replaying that exact
+/// translation per step and validating it pins the invariant for the
+/// whole episode, not just a hand-picked weight vector.
+#[test]
+fn every_episode_routing_validates() {
+    use gddr_core::env::{standard_sequences, DdrEnv, DdrEnvConfig, GraphContext};
+    use gddr_rl::Env as _;
+
+    for (graph_seed, g) in [zoo::abilene(), zoo::cesnet()].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(graph_seed as u64);
+        let sequences = standard_sequences(&g, 2, 9, 4, &mut rng);
+        let config = DdrEnvConfig::default();
+        let mut env = DdrEnv::new(GraphContext::new(g.clone(), sequences), config);
+        for episode in 0..3u64 {
+            let mut ep_rng = StdRng::seed_from_u64(100 + episode);
+            let _obs = env.reset(&mut ep_rng);
+            loop {
+                let action: Vec<f64> = (0..env.action_dim())
+                    .map(|_| ep_rng.gen_range(-3.0..3.0))
+                    .collect();
+                // The same translation `DdrEnv::step` applies
+                // internally, validated step by step.
+                let weights = config.action_to_weights(&action, g.num_edges());
+                let routing = softmin_routing(&g, &weights, &config.softmin)
+                    .expect("env weight range is positive and finite");
+                let violations = routing.validate(&g);
+                assert!(
+                    violations.is_empty(),
+                    "{} episode {episode}: {:?}",
+                    g.name(),
+                    violations
+                );
+                let step = env.step(&action, &mut ep_rng);
+                assert!(step.reward.is_finite());
+                if step.done {
+                    break;
+                }
+            }
+        }
+    }
 }
