@@ -1,0 +1,178 @@
+//! Chaos harness for the serving controller.
+//!
+//! Runs seeded fault scenarios against `gddr-serve` and checks
+//! serving SLOs: zero unanswered requests, every response rung-tagged
+//! with a routing valid for the active topology, bounded p99 ladder
+//! depth, and recovery within a fixed number of requests after the
+//! fault window closes. Every scenario runs **twice** and the two
+//! rung sequences must be bit-identical — determinism is itself an
+//! SLO.
+//!
+//! The `budget_zero` scenario is deliberately broken (restart budget
+//! zero under a panic storm) and must FAIL its recovery SLO: it
+//! proves the harness detects violations rather than rubber-stamping.
+//! All other scenarios must pass.
+//!
+//! ```text
+//! chaos_harness [--scenario all|<name>[,<name>...]] [--seed N]
+//!               [--requests N] [--out PATH] [--telemetry PATH]
+//! ```
+//!
+//! Exits non-zero on any unexpected result and prints the scenario
+//! name and seed needed to reproduce it:
+//!
+//! ```text
+//! chaos_harness --scenario worker_panic --seed 42
+//! ```
+
+use std::sync::Arc;
+
+use gddr_bench::{flag, parse_args, write_artifact};
+use gddr_ser::Json;
+use gddr_serve::chaos::{run_scenario, scenario_names, scenario_seed, ScenarioOutcome};
+use gddr_telemetry::JsonlSink;
+
+fn outcome_json(outcome: &ScenarioOutcome, expected_fail: bool, deterministic: bool) -> Json {
+    Json::obj([
+        ("name", Json::Str(outcome.name.clone())),
+        ("seed", Json::Num(outcome.seed as f64)),
+        ("submitted", Json::Num(outcome.submitted as f64)),
+        ("answered", Json::Num(outcome.answered as f64)),
+        ("rung_sequence", Json::Str(outcome.rung_sequence.clone())),
+        ("shed", Json::Num(outcome.shed as f64)),
+        ("worker_restarts", Json::Num(outcome.worker_restarts as f64)),
+        (
+            "breaker_transitions",
+            Json::Num(outcome.breaker_transitions as f64),
+        ),
+        ("p99_depth", Json::Num(outcome.p99_depth as f64)),
+        ("deterministic", Json::Bool(deterministic)),
+        ("expected_fail", Json::Bool(expected_fail)),
+        (
+            "violations",
+            Json::Arr(
+                outcome
+                    .violations
+                    .iter()
+                    .map(|v| Json::Str(v.clone()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let args = parse_args(&["scenario", "seed", "requests", "out", "telemetry"]);
+
+    if let Some(path) = args.get("telemetry") {
+        let sink = JsonlSink::create(path).expect("create telemetry file");
+        gddr_telemetry::install(Arc::new(sink));
+    }
+
+    let scenario_arg = args.get("scenario").map(String::as_str).unwrap_or("all");
+    let owned: Vec<String>;
+    let scenarios: Vec<&str> = match scenario_arg {
+        "all" => scenario_names().to_vec(),
+        list => {
+            owned = list.split(',').map(str::to_string).collect();
+            owned.iter().map(String::as_str).collect()
+        }
+    };
+    let base_seed: u64 = flag(&args, "seed", 42);
+    let requests: usize = flag(&args, "requests", 48);
+    let out = args
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/CHAOS_report.json".to_string());
+
+    // Injected worker panics are expected and supervised; the default
+    // hook's backtrace spam would drown the report.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut results = Vec::new();
+    let mut unexpected: Vec<String> = Vec::new();
+    for name in &scenarios {
+        let seed = scenario_seed(base_seed, name);
+        let expected_fail = *name == "budget_zero";
+        // Replay-determinism SLO: same seed, same scenario, twice.
+        let first = run_scenario(name, seed, requests);
+        let second = run_scenario(name, seed, requests);
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                let deterministic = a.rung_sequence == b.rung_sequence;
+                if !deterministic {
+                    unexpected.push(format!(
+                        "{name}: same-seed replay diverged ({} vs {})",
+                        a.rung_sequence, b.rung_sequence
+                    ));
+                }
+                if expected_fail && a.passed() {
+                    unexpected.push(format!(
+                        "{name}: deliberately broken scenario passed its SLOs"
+                    ));
+                }
+                if !expected_fail && !a.passed() {
+                    for v in &a.violations {
+                        unexpected.push(format!("{name}: {v}"));
+                    }
+                }
+                println!(
+                    "chaos {name}: {} submitted, {} answered, rungs {}, shed {}, restarts {}, breaker {}, p99 depth {} — {}",
+                    a.submitted,
+                    a.answered,
+                    a.rung_sequence,
+                    a.shed,
+                    a.worker_restarts,
+                    a.breaker_transitions,
+                    a.p99_depth,
+                    if expected_fail {
+                        if a.passed() { "UNEXPECTED PASS" } else { "failed as designed" }
+                    } else if a.passed() && deterministic {
+                        "ok"
+                    } else {
+                        "VIOLATED"
+                    }
+                );
+                results.push(outcome_json(&a, expected_fail, deterministic));
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                unexpected.push(format!("{name}: harness error: {e}"));
+            }
+        }
+    }
+    let _ = std::panic::take_hook();
+
+    gddr_telemetry::counter_add("chaos.scenarios", scenarios.len() as u64);
+    gddr_telemetry::counter_add("chaos.unexpected", unexpected.len() as u64);
+
+    let artifact = Json::obj([
+        ("base_seed", Json::Num(base_seed as f64)),
+        ("requests", Json::Num(requests as f64)),
+        ("scenarios", Json::Arr(results)),
+        (
+            "unexpected",
+            Json::Arr(
+                unexpected
+                    .iter()
+                    .map(|v| Json::Str(v.clone()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ]);
+    write_artifact(&out, &artifact.to_string());
+    gddr_telemetry::uninstall();
+
+    if unexpected.is_empty() {
+        println!(
+            "chaos: {} scenarios passed their SLOs (budget_zero failed as designed)",
+            scenarios.len()
+        );
+    } else {
+        for v in &unexpected {
+            eprintln!("chaos VIOLATION: {v}");
+        }
+        eprintln!("reproduce a scenario with:");
+        eprintln!("  chaos_harness --scenario <name> --seed {base_seed} --requests {requests}");
+        std::process::exit(1);
+    }
+}

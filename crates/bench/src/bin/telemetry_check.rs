@@ -1,18 +1,26 @@
 //! Validates a telemetry JSONL trace produced by a figure binary.
 //!
-//! Used by CI after a short seeded `fig7_learning_curves --telemetry`
-//! run: every line must parse with `gddr-ser`, re-serialise to the
-//! identical bytes (lossless round-trip), and the trace must contain
-//! the span/metric names the instrumented hot paths are expected to
-//! emit during training.
+//! Two modes share the same lossless-parsing gate (every line must
+//! parse with `gddr-ser` and re-serialise to identical bytes):
+//!
+//! - `--mode train` (default): the trace of a short seeded
+//!   `fig7_learning_curves --telemetry` run must contain the
+//!   span/metric names the instrumented training hot paths emit.
+//! - `--mode serve`: the trace of a seeded
+//!   `chaos_harness --telemetry` run must contain all five serving
+//!   event kinds (`rung_served`, `breaker_transition`,
+//!   `worker_restart`, `request_shed`, `health_transition`) with
+//!   well-formed fields, and each kind must agree 1:1 with its
+//!   paired `serve.*` counter.
 //!
 //! ```text
 //! cargo run -p gddr-bench --bin telemetry_check -- --file trace.jsonl
+//! cargo run -p gddr-bench --bin telemetry_check -- --file chaos.jsonl --mode serve
 //! ```
 //!
 //! Exits non-zero (panics) on any violation so CI fails loudly.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use gddr_bench::parse_args;
 use gddr_ser::{FromJson, Json, ToJson};
@@ -51,20 +59,155 @@ const EXPECTED_GAUGES: &[&str] = &[
     "ppo.value_loss",
 ];
 
-fn main() {
-    let args = parse_args(&["file"]);
-    let path = args.get("file").expect("--file <trace.jsonl> is required");
-    let text = std::fs::read_to_string(path).expect("read trace file");
+/// Serving event kinds, each paired with the counter its emit helper
+/// bumps exactly once per event.
+const SERVE_KINDS: &[(&str, &str)] = &[
+    ("rung_served", "serve.responses"),
+    ("breaker_transition", "serve.breaker_transitions"),
+    ("worker_restart", "serve.worker_restarts"),
+    ("request_shed", "serve.shed"),
+    ("health_transition", "serve.health_transitions"),
+];
 
+const RUNG_NAMES: &[&str] = &["fresh", "last_good", "ecmp", "shortest_path"];
+const BREAKER_STATES: &[&str] = &["closed", "open", "half_open"];
+const HEALTH_STATES: &[&str] = &["starting", "healthy", "degraded", "unhealthy"];
+
+fn validate_train(events: &[Event]) {
     let mut spans = BTreeSet::new();
     let mut counters = BTreeSet::new();
     let mut gauges = BTreeSet::new();
-    let mut lines = 0usize;
+    for event in events {
+        match event {
+            Event::Span { name, .. } => {
+                spans.insert(name.clone());
+            }
+            Event::Counter { name, .. } => {
+                counters.insert(name.clone());
+            }
+            Event::Gauge { name, .. } => {
+                gauges.insert(name.clone());
+            }
+            _ => {}
+        }
+    }
+    let check = |kind: &str, expected: &[&str], seen: &BTreeSet<String>| {
+        for name in expected {
+            assert!(seen.contains(*name), "missing {kind} {name:?} in trace");
+        }
+    };
+    check("span", EXPECTED_SPANS, &spans);
+    check("counter", EXPECTED_COUNTERS, &counters);
+    check("gauge", EXPECTED_GAUGES, &gauges);
+    println!(
+        "telemetry_check(train): OK — {} events, {} span names, {} counters, {} gauges",
+        events.len(),
+        spans.len(),
+        counters.len(),
+        gauges.len()
+    );
+}
+
+fn validate_serve(events: &[Event]) {
+    // Per-kind event counts, per-counter (delta sum, last total).
+    let mut kind_counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut counter_stats: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut shed_served = 0u64;
+    let named = |what: &str, value: &str, allowed: &[&str]| {
+        assert!(
+            allowed.contains(&value),
+            "unknown {what} {value:?} (allowed: {allowed:?})"
+        );
+    };
+    for event in events {
+        match event {
+            Event::Counter { name, delta, total } => {
+                let entry = counter_stats.entry(name.clone()).or_insert((0, 0));
+                entry.0 += delta;
+                entry.1 = *total;
+            }
+            Event::RungServed { rung, shed, .. } => {
+                *kind_counts.entry("rung_served").or_insert(0) += 1;
+                named("rung", rung, RUNG_NAMES);
+                // Shed requests bypass inference entirely; a "fresh"
+                // tag on one would mean the ladder was not consulted.
+                assert!(
+                    !(*shed && rung == "fresh"),
+                    "shed request tagged with the fresh rung"
+                );
+                if *shed {
+                    shed_served += 1;
+                }
+            }
+            Event::BreakerTransition { from, to, .. } => {
+                *kind_counts.entry("breaker_transition").or_insert(0) += 1;
+                named("breaker state", from, BREAKER_STATES);
+                named("breaker state", to, BREAKER_STATES);
+                assert_ne!(from, to, "breaker transition with from == to");
+            }
+            Event::WorkerRestart { restarts, .. } => {
+                *kind_counts.entry("worker_restart").or_insert(0) += 1;
+                assert!(*restarts > 0, "worker restart with zero restarts consumed");
+            }
+            Event::RequestShed { .. } => {
+                *kind_counts.entry("request_shed").or_insert(0) += 1;
+            }
+            Event::HealthTransition { from, to, .. } => {
+                *kind_counts.entry("health_transition").or_insert(0) += 1;
+                named("health state", from, HEALTH_STATES);
+                named("health state", to, HEALTH_STATES);
+                assert_ne!(from, to, "health transition with from == to");
+            }
+            _ => {}
+        }
+    }
+    for (kind, counter) in SERVE_KINDS {
+        let seen = kind_counts.get(kind).copied().unwrap_or(0);
+        assert!(seen > 0, "missing serve event kind {kind:?} in trace");
+        let (delta_sum, last_total) = counter_stats
+            .get(*counter)
+            .copied()
+            .unwrap_or_else(|| panic!("missing counter {counter:?} in trace"));
+        // The emit helpers bump the paired counter exactly once per
+        // typed event, so the trace must agree with itself.
+        assert_eq!(
+            delta_sum, seen,
+            "counter {counter:?} deltas ({delta_sum}) disagree with {kind:?} events ({seen})"
+        );
+        assert_eq!(
+            last_total, seen,
+            "counter {counter:?} final total ({last_total}) disagrees with {kind:?} events ({seen})"
+        );
+    }
+    // Every shed victim produces one request_shed event at admission
+    // and one shed-tagged rung_served event when answered.
+    let shed_events = kind_counts["request_shed"];
+    assert_eq!(
+        shed_events, shed_served,
+        "request_shed events ({shed_events}) disagree with shed-tagged responses ({shed_served})"
+    );
+    println!(
+        "telemetry_check(serve): OK — {} events, {} responses ({} shed), {} breaker transitions, {} worker restarts, {} health transitions",
+        events.len(),
+        kind_counts["rung_served"],
+        shed_served,
+        kind_counts["breaker_transition"],
+        kind_counts["worker_restart"],
+        kind_counts["health_transition"],
+    );
+}
+
+fn main() {
+    let args = parse_args(&["file", "mode"]);
+    let path = args.get("file").expect("--file <trace.jsonl> is required");
+    let mode = args.get("mode").map(String::as_str).unwrap_or("train");
+    let text = std::fs::read_to_string(path).expect("read trace file");
+
+    let mut events = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
-        lines += 1;
         let json = Json::parse(line)
             .unwrap_or_else(|e| panic!("line {}: does not parse as JSON: {e}", i + 1));
         let event = Event::from_json(&json)
@@ -76,39 +219,13 @@ fn main() {
             "line {}: round-trip is not byte-identical",
             i + 1
         );
-        match &event {
-            Event::Span { name, .. } => {
-                spans.insert(name.clone());
-            }
-            Event::Counter { name, .. } => {
-                counters.insert(name.clone());
-            }
-            Event::Gauge { name, .. } => {
-                gauges.insert(name.clone());
-            }
-            Event::Histogram { .. }
-            | Event::Message { .. }
-            | Event::Checkpoint { .. }
-            | Event::Rollback { .. }
-            | Event::LpFallback { .. }
-            | Event::FaultInjected { .. } => {}
-        }
+        events.push(event);
     }
-    assert!(lines > 0, "trace is empty");
+    assert!(!events.is_empty(), "trace is empty");
 
-    let check = |kind: &str, expected: &[&str], seen: &BTreeSet<String>| {
-        for name in expected {
-            assert!(seen.contains(*name), "missing {kind} {name:?} in trace");
-        }
-    };
-    check("span", EXPECTED_SPANS, &spans);
-    check("counter", EXPECTED_COUNTERS, &counters);
-    check("gauge", EXPECTED_GAUGES, &gauges);
-
-    println!(
-        "telemetry_check: OK — {lines} events, {} span names, {} counters, {} gauges",
-        spans.len(),
-        counters.len(),
-        gauges.len()
-    );
+    match mode {
+        "train" => validate_train(&events),
+        "serve" => validate_serve(&events),
+        other => panic!("unknown --mode {other:?} (expected train or serve)"),
+    }
 }

@@ -135,6 +135,7 @@ pub fn all_targets() -> &'static [&'static str] {
         "parse_dot_no_panic",
         "mutate_invariants",
         "gradcheck",
+        "serve_request",
         "planted",
     ]
 }
@@ -508,6 +509,146 @@ fn target_gradcheck(seed: u64, _size: u64) -> Result<(), String> {
     }
 }
 
+/// Serving never drops a request: drive a small inline-mode
+/// controller with a hostile request mix — valid bimodal traffic,
+/// infinite demands, wrong-size and zero-node matrices, zero
+/// deadlines, random bursts against a tiny queue — and require that
+/// every submitted request gets exactly one response, every response
+/// carries a routing valid for the graph, and only valid requests
+/// with a real deadline ever earn fresh inference.
+fn target_serve_request(seed: u64, size: u64) -> Result<(), String> {
+    use gddr_core::{DdrEnvConfig, MlpPolicy};
+    use gddr_serve::{
+        Controller, ControllerConfig, EngineFactory, EpochRequest, InferenceEngine, PolicyEngine,
+        Rung,
+    };
+    use std::sync::Arc;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 4;
+    let graph = gddr_net::topology::from_links(
+        "fuzz-serve",
+        n,
+        &[(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)],
+        100.0,
+    );
+    let memory = 2;
+    let factory: EngineFactory = Arc::new(move |g: &Graph| {
+        let mut prng = StdRng::seed_from_u64(0xfee1);
+        let policy = MlpPolicy::new(memory, g.num_nodes(), g.num_edges(), &[4], -0.5, &mut prng);
+        Box::new(PolicyEngine::new(policy, g, memory)) as Box<dyn InferenceEngine>
+    });
+    let mut config = ControllerConfig {
+        queue_capacity: 1 + (size as usize % 4),
+        // Oracle scoring on some cases only: it exercises the breaker
+        // path but costs an LP solve per request.
+        score_responses: seed.is_multiple_of(4),
+        ..ControllerConfig::default()
+    };
+    config.pool.workers = 1;
+    let mut controller = Controller::new(
+        graph,
+        DdrEnvConfig {
+            memory,
+            ..DdrEnvConfig::default()
+        },
+        config,
+        factory,
+    );
+
+    let rounds = 2 + (size as usize % 12);
+    let mut submitted: u64 = 0;
+    let mut answered: u64 = 0;
+    let mut valid_by_epoch: Vec<bool> = Vec::new();
+
+    let check = |resp: &gddr_serve::RouteResponse,
+                 controller: &Controller,
+                 valid_by_epoch: &[bool]|
+     -> Result<(), String> {
+        if !resp.routing.validate(controller.graph()).is_empty() {
+            return Err(format!(
+                "response for request {} carries an invalid routing",
+                resp.epoch
+            ));
+        }
+        let was_valid = *valid_by_epoch
+            .get(resp.epoch as usize)
+            .ok_or_else(|| format!("response for unknown request {}", resp.epoch))?;
+        if resp.rung == Rung::Fresh && !was_valid {
+            return Err(format!(
+                "malformed request {} was served fresh inference",
+                resp.epoch
+            ));
+        }
+        if resp.rung == Rung::Fresh && resp.shed {
+            return Err(format!("request {} both shed and fresh", resp.epoch));
+        }
+        Ok(())
+    };
+
+    for _ in 0..rounds {
+        let burst = 1 + (rng.next_u64() % 3);
+        let mut responses = Vec::new();
+        for _ in 0..burst {
+            let kind = rng.next_u64() % 8;
+            let (demands, deadline_ms, valid) =
+                match kind {
+                    // NaN itself is unconstructible in-tree (`from_fn`
+                    // clamps it away); infinity is the non-finite probe.
+                    0 => (
+                        DemandMatrix::from_fn(n, |s, d| {
+                            if s == 0 && d == 1 {
+                                f64::INFINITY
+                            } else {
+                                1.0
+                            }
+                        }),
+                        50,
+                        false,
+                    ),
+                    1 => (DemandMatrix::zeros(0), 50, false),
+                    2 => {
+                        let wrong = 1 + (rng.next_u64() as usize % 9);
+                        let valid = wrong == n;
+                        (DemandMatrix::zeros(wrong), 50, valid)
+                    }
+                    3 => (gen_demand(&mut rng, n), 0, false),
+                    _ => (gen_demand(&mut rng, n), 50, true),
+                };
+            let req = EpochRequest {
+                epoch: submitted,
+                demands,
+                deadline_ms,
+            };
+            // Zero-deadline requests are well-formed but can never be
+            // served fresh.
+            valid_by_epoch.push(valid && deadline_ms > 0);
+            submitted += 1;
+            responses.extend(controller.enqueue(req));
+        }
+        while let Some(resp) = controller.process_next() {
+            responses.push(resp);
+        }
+        for resp in &responses {
+            answered += 1;
+            check(resp, &controller, &valid_by_epoch)?;
+        }
+    }
+
+    if answered != submitted {
+        return fail(format!(
+            "submitted {submitted} requests but {answered} answered"
+        ));
+    }
+    if controller.stats().responses() != answered {
+        return fail(format!(
+            "stats disagree: {} recorded vs {answered} observed",
+            controller.stats().responses()
+        ));
+    }
+    Ok(())
+}
+
 /// The deliberately bad target: fails (via a typed error, not a panic)
 /// whenever `size ≥ 3` on every seventh seed, so the harness's
 /// catch/shrink/replay loop can be demonstrated end to end. The
@@ -536,6 +677,7 @@ pub fn run_case(case: &FuzzCase) -> Outcome {
             "parse_dot_no_panic" => target_parse_dot_no_panic(seed, size),
             "mutate_invariants" => target_mutate_invariants(seed, size),
             "gradcheck" => target_gradcheck(seed, size),
+            "serve_request" => target_serve_request(seed, size),
             "planted" => target_planted(seed, size),
             other => Err(format!("unknown fuzz target {other:?}")),
         }

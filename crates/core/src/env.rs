@@ -28,6 +28,7 @@ use gddr_routing::softmin::{softmin_routing, SoftminConfig};
 use gddr_ser::{FromJson, Json, JsonError, ToJson};
 use gddr_traffic::DemandMatrix;
 
+use crate::error::CoreError;
 use crate::obs::{flat_features, node_features, DdrObs, DemandHistory};
 
 /// Environment configuration.
@@ -63,18 +64,41 @@ impl DdrEnvConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the action is shorter than `num_edges`.
+    /// Panics if the action is shorter than `num_edges`. Fallible
+    /// callers (serving workers) use
+    /// [`DdrEnvConfig::try_action_to_weights`].
     pub fn action_to_weights(&self, action: &[f64], num_edges: usize) -> Vec<f64> {
-        assert!(
-            action.len() >= num_edges,
-            "action provides {} weights, graph needs {}",
-            action.len(),
-            num_edges
-        );
-        action[..num_edges]
+        self.try_action_to_weights(action, num_edges)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`DdrEnvConfig::action_to_weights`]: a short or
+    /// non-finite action surfaces as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ActionTooShort`] if the action is shorter than
+    /// `num_edges`; [`CoreError::Routing`] if any used entry is NaN
+    /// (tanh squashing maps infinities fine, but NaN would poison the
+    /// weight).
+    pub fn try_action_to_weights(
+        &self,
+        action: &[f64],
+        num_edges: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        if action.len() < num_edges {
+            return Err(CoreError::ActionTooShort {
+                got: action.len(),
+                need: num_edges,
+            });
+        }
+        if let Some(idx) = action[..num_edges].iter().position(|a| a.is_nan()) {
+            return Err(CoreError::Routing(format!("NaN action entry at {idx}")));
+        }
+        Ok(action[..num_edges]
             .iter()
             .map(|&a| self.action_to_weight(a))
-            .collect()
+            .collect())
     }
 }
 
@@ -132,6 +156,20 @@ impl GraphContext {
     pub fn ratio(&self, routing: &gddr_routing::Routing, dm: &DemandMatrix) -> f64 {
         routing_ratio(&self.graph, &self.oracle, routing, dm).ratio
     }
+
+    /// Fallible [`GraphContext::ratio`]: malformed demands and
+    /// simulation/oracle failures surface as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_routing_ratio`].
+    pub fn try_ratio(
+        &self,
+        routing: &gddr_routing::Routing,
+        dm: &DemandMatrix,
+    ) -> Result<RatioOutcome, CoreError> {
+        try_routing_ratio(&self.graph, &self.oracle, routing, dm)
+    }
 }
 
 /// The reward-side outcome of one routed step.
@@ -159,22 +197,56 @@ pub fn routing_ratio(
     routing: &gddr_routing::Routing,
     dm: &DemandMatrix,
 ) -> RatioOutcome {
+    try_routing_ratio(graph, oracle, routing, dm).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`routing_ratio`]: validates the demand matrix (size and
+/// finiteness) before touching the simulator, then maps simulation and
+/// oracle failures to typed errors — the form serving workers need,
+/// where a malformed request must degrade the response, not abort the
+/// thread.
+///
+/// # Errors
+///
+/// [`CoreError::DemandMismatch`] / [`CoreError::NonFiniteDemand`] on a
+/// malformed matrix, [`CoreError::Simulation`] if the routing loses
+/// traffic, [`CoreError::Oracle`] if no optimal routing exists.
+pub fn try_routing_ratio(
+    graph: &Graph,
+    oracle: &CachedOracle,
+    routing: &gddr_routing::Routing,
+    dm: &DemandMatrix,
+) -> Result<RatioOutcome, CoreError> {
     let _span = gddr_telemetry::span("env.reward");
-    let report =
-        max_link_utilisation(graph, routing, dm).expect("softmin routing delivers all traffic");
+    let n = graph.num_nodes();
+    if dm.num_nodes() != n {
+        return Err(CoreError::DemandMismatch {
+            expected: n,
+            got: dm.num_nodes(),
+        });
+    }
+    for s in 0..n {
+        for t in 0..n {
+            if !dm.get(s, t).is_finite() {
+                return Err(CoreError::NonFiniteDemand { src: s, dst: t });
+            }
+        }
+    }
+    let report = max_link_utilisation(graph, routing, dm)
+        .map_err(|e| CoreError::Simulation(format!("{e:?}")))?;
     let opt = oracle
         .u_opt_resilient(dm)
-        .expect("strongly connected graphs have an optimal routing");
+        .map_err(|e| CoreError::Oracle(format!("{e:?}")))?;
     let ratio = if opt.u_opt <= 1e-12 {
         1.0
     } else {
         report.u_max / opt.u_opt
     };
     gddr_telemetry::histogram_record("env.reward_ratio", ratio);
-    RatioOutcome {
+    Ok(RatioOutcome {
         ratio,
         degraded: opt.degraded,
-    }
+    })
 }
 
 /// Per-episode link-failure injection (the robustness counterpart of
@@ -210,8 +282,9 @@ impl FailureInjector {
     /// Removes up to `edges_per_episode` random links from `base`,
     /// keeping it strongly connected. Returns the degraded graph and
     /// the number of links actually removed (0 removals returns a
-    /// plain clone).
-    fn degrade(&mut self, base: &Graph) -> (Graph, usize) {
+    /// plain clone). Public so `gddr-serve`'s chaos scenarios can
+    /// inject the same failure patterns outside an environment.
+    pub fn degrade(&mut self, base: &Graph) -> (Graph, usize) {
         let mut g = base.clone();
         let mut removed = 0;
         for _ in 0..self.edges_per_episode {
@@ -953,6 +1026,62 @@ mod tests {
         assert_eq!(steps, 5);
         let stats = env.context().oracle.stats();
         assert!(stats.fallbacks > 0, "fallbacks must be counted");
+    }
+
+    #[test]
+    fn try_paths_type_errors_instead_of_panicking() {
+        let g = zoo::cesnet();
+        let mut rng = StdRng::seed_from_u64(70);
+        let seqs = standard_sequences(&g, 1, 6, 3, &mut rng);
+        let config = DdrEnvConfig {
+            memory: 2,
+            ..Default::default()
+        };
+        let ctx = GraphContext::new(g.clone(), seqs);
+        let m_e = g.num_edges();
+
+        // Short action.
+        assert!(matches!(
+            config.try_action_to_weights(&vec![0.0; m_e - 1], m_e),
+            Err(CoreError::ActionTooShort { .. })
+        ));
+        // NaN action entry.
+        let mut nan_action = vec![0.0; m_e];
+        nan_action[3] = f64::NAN;
+        assert!(matches!(
+            config.try_action_to_weights(&nan_action, m_e),
+            Err(CoreError::Routing(_))
+        ));
+        // The happy path matches the panicking wrapper.
+        let ok = config.try_action_to_weights(&vec![0.1; m_e], m_e).unwrap();
+        assert_eq!(ok, config.action_to_weights(&vec![0.1; m_e], m_e));
+
+        let weights = vec![1.0; m_e];
+        let routing = softmin_routing(&g, &weights, &config.softmin).unwrap();
+        // Mismatched demand matrix.
+        let wrong = DemandMatrix::zeros(g.num_nodes() + 2);
+        assert!(matches!(
+            ctx.try_ratio(&routing, &wrong),
+            Err(CoreError::DemandMismatch { .. })
+        ));
+        // Non-finite demand. `from_fn` bypasses `set`'s checks, but its
+        // `.max(0.0)` clamp scrubs NaN — infinity is the one non-finite
+        // value constructible in-tree.
+        let inf_dm = DemandMatrix::from_fn(g.num_nodes(), |s, t| {
+            if (s, t) == (0, 1) {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        });
+        assert!(matches!(
+            ctx.try_ratio(&routing, &inf_dm),
+            Err(CoreError::NonFiniteDemand { src: 0, dst: 1 })
+        ));
+        // A well-formed matrix routes fine.
+        let good = &ctx.sequences[0][3];
+        let outcome = ctx.try_ratio(&routing, good).unwrap();
+        assert!(outcome.ratio >= 1.0 - 1e-6);
     }
 
     #[test]

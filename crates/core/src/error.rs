@@ -1,0 +1,104 @@
+//! Typed errors for request-reachable core paths.
+//!
+//! Evaluation and reward computation originally asserted their
+//! preconditions — fine for offline experiment harnesses, fatal for an
+//! online serving worker where a malformed traffic matrix must degrade
+//! the response instead of aborting the thread. Every condition a serve
+//! request can reach is expressed here as a [`CoreError`]; the
+//! panicking convenience wrappers remain for the offline paths and
+//! document that they delegate to the fallible versions.
+
+use std::fmt;
+
+/// A typed failure from evaluation or reward computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// No ratios to aggregate (empty evaluation input).
+    EmptyEvaluation,
+    /// A demand sequence is not longer than the configured memory, so
+    /// there is no step to evaluate.
+    SequenceTooShort {
+        /// Sequence length.
+        len: usize,
+        /// Configured demand-history length.
+        memory: usize,
+    },
+    /// A demand matrix does not match the graph's node count.
+    DemandMismatch {
+        /// Nodes the graph has.
+        expected: usize,
+        /// Nodes the matrix has.
+        got: usize,
+    },
+    /// A demand matrix contains a NaN or infinite entry.
+    NonFiniteDemand {
+        /// Source node of the offending entry.
+        src: usize,
+        /// Destination node of the offending entry.
+        dst: usize,
+    },
+    /// A policy action supplies fewer weights than the graph has edges.
+    ActionTooShort {
+        /// Weights the action provides.
+        got: usize,
+        /// Edges the graph needs.
+        need: usize,
+    },
+    /// Softmin translation rejected the weights.
+    Routing(String),
+    /// The flow simulator rejected the routing (lost traffic or an
+    /// uncovered commodity).
+    Simulation(String),
+    /// The LP oracle failed to produce an optimum.
+    Oracle(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyEvaluation => write!(f, "no ratios to aggregate"),
+            CoreError::SequenceTooShort { len, memory } => {
+                write!(f, "sequence length {len} must exceed memory {memory}")
+            }
+            CoreError::DemandMismatch { expected, got } => {
+                write!(f, "demand matrix has {got} nodes, graph has {expected}")
+            }
+            CoreError::NonFiniteDemand { src, dst } => {
+                write!(f, "non-finite demand at ({src}, {dst})")
+            }
+            CoreError::ActionTooShort { got, need } => {
+                write!(f, "action provides {got} weights, graph needs {need}")
+            }
+            CoreError::Routing(msg) => write!(f, "softmin translation failed: {msg}"),
+            CoreError::Simulation(msg) => write!(f, "flow simulation failed: {msg}"),
+            CoreError::Oracle(msg) => write!(f, "LP oracle failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let errors = [
+            CoreError::EmptyEvaluation,
+            CoreError::SequenceTooShort { len: 3, memory: 5 },
+            CoreError::DemandMismatch {
+                expected: 12,
+                got: 9,
+            },
+            CoreError::NonFiniteDemand { src: 1, dst: 2 },
+            CoreError::ActionTooShort { got: 4, need: 8 },
+            CoreError::Routing("gamma".into()),
+            CoreError::Simulation("lost traffic".into()),
+            CoreError::Oracle("pivot limit".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

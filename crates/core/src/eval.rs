@@ -1,6 +1,11 @@
 //! Policy evaluation: mean `U_agent / U_opt` ratios over held-out
 //! demand sequences — the bar heights of the paper's Figs. 6 and 8 —
 //! plus the shortest-path baseline ratio (the dotted line).
+//!
+//! Every evaluation entry point returns `Result<_, CoreError>`: these
+//! paths are reachable from serve requests (`gddr-serve` routes live
+//! traffic matrices through the same ratio machinery), so malformed
+//! input must surface as a typed error rather than abort the caller.
 
 use gddr_rl::Policy;
 use gddr_routing::baselines::{ecmp_routing, shortest_path_routing};
@@ -11,6 +16,7 @@ use gddr_traffic::DemandMatrix;
 
 use crate::env::{DdrEnvConfig, GraphContext};
 use crate::env_iterative::IterativeDdrEnv;
+use crate::error::CoreError;
 use crate::obs::{flat_features, node_features, DdrObs, DemandHistory};
 
 /// Summary statistics of utilisation ratios across evaluated demand
@@ -48,20 +54,38 @@ impl FromJson for EvalResult {
 impl EvalResult {
     /// Aggregates raw ratios.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ratios` is empty.
-    pub fn from_ratios(ratios: Vec<f64>) -> Self {
-        assert!(!ratios.is_empty(), "no ratios to aggregate");
+    /// [`CoreError::EmptyEvaluation`] if `ratios` is empty.
+    pub fn from_ratios(ratios: Vec<f64>) -> Result<Self, CoreError> {
+        if ratios.is_empty() {
+            return Err(CoreError::EmptyEvaluation);
+        }
         let n = ratios.len() as f64;
         let mean = ratios.iter().sum::<f64>() / n;
         let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
-        EvalResult {
+        Ok(EvalResult {
             mean_ratio: mean,
             std_ratio: var.sqrt(),
             ratios,
+        })
+    }
+}
+
+/// Checks that every sequence is non-empty relative to the memory.
+fn check_sequences(test_sequences: &[Vec<DemandMatrix>], memory: usize) -> Result<(), CoreError> {
+    if test_sequences.is_empty() {
+        return Err(CoreError::EmptyEvaluation);
+    }
+    for seq in test_sequences {
+        if seq.len() <= memory {
+            return Err(CoreError::SequenceTooShort {
+                len: seq.len(),
+                memory,
+            });
         }
     }
+    Ok(())
 }
 
 /// Walks one sequence with a one-shot policy, returning the ratio for
@@ -71,7 +95,7 @@ fn walk_oneshot<P: Policy<Obs = DdrObs>>(
     config: &DdrEnvConfig,
     policy: &P,
     seq: &[DemandMatrix],
-) -> Vec<f64> {
+) -> Result<Vec<f64>, CoreError> {
     let n = ctx.graph.num_nodes();
     let m_e = ctx.graph.num_edges();
     let mut history = DemandHistory::new(config.memory);
@@ -89,40 +113,40 @@ fn walk_oneshot<P: Policy<Obs = DdrObs>>(
             target_edge: None,
         };
         let action = policy.act_greedy(&obs);
-        let weights = config.action_to_weights(&action, m_e);
+        let weights = config.try_action_to_weights(&action, m_e)?;
         let routing = softmin_routing(&ctx.graph, &weights, &config.softmin)
-            .expect("action_to_weights yields positive finite weights");
-        ratios.push(ctx.ratio(&routing, dm));
+            .map_err(|e| CoreError::Routing(format!("{e:?}")))?;
+        ratios.push(ctx.try_ratio(&routing, dm)?.ratio);
         history.push(dm.clone());
     }
-    ratios
+    Ok(ratios)
 }
 
 /// Evaluates a one-shot policy (MLP or GNN) deterministically on test
 /// sequences.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `test_sequences` is empty or any sequence is not longer
-/// than the memory.
+/// [`CoreError::EmptyEvaluation`] on empty input,
+/// [`CoreError::SequenceTooShort`] if any sequence is not longer than
+/// the memory, plus any routing/oracle failure from the walked steps.
 pub fn eval_oneshot<P: Policy<Obs = DdrObs>>(
     ctx: &GraphContext,
     config: &DdrEnvConfig,
     policy: &P,
     test_sequences: &[Vec<DemandMatrix>],
-) -> EvalResult {
-    assert!(!test_sequences.is_empty(), "need test sequences");
+) -> Result<EvalResult, CoreError> {
+    check_sequences(test_sequences, config.memory)?;
     let mut ratios = Vec::new();
     for seq in test_sequences {
-        assert!(seq.len() > config.memory, "sequence shorter than memory");
-        ratios.extend(walk_oneshot(ctx, config, policy, seq));
+        ratios.extend(walk_oneshot(ctx, config, policy, seq)?);
     }
     EvalResult::from_ratios(ratios)
 }
 
 /// Evaluates an iterative policy deterministically on test sequences.
 ///
-/// # Panics
+/// # Errors
 ///
 /// Same conditions as [`eval_oneshot`].
 pub fn eval_iterative<P: Policy<Obs = DdrObs>>(
@@ -130,13 +154,12 @@ pub fn eval_iterative<P: Policy<Obs = DdrObs>>(
     config: &DdrEnvConfig,
     policy: &P,
     test_sequences: &[Vec<DemandMatrix>],
-) -> EvalResult {
-    assert!(!test_sequences.is_empty(), "need test sequences");
+) -> Result<EvalResult, CoreError> {
+    check_sequences(test_sequences, config.memory)?;
     use gddr_rl::Env;
     use gddr_rng::SeedableRng;
     let mut ratios = Vec::new();
     for seq in test_sequences {
-        assert!(seq.len() > config.memory, "sequence shorter than memory");
         // A single-sequence env makes the reset deterministic.
         let eval_ctx = GraphContext::new(ctx.graph.clone(), vec![seq.clone()]);
         let mut env = IterativeDdrEnv::new(eval_ctx, *config);
@@ -158,43 +181,72 @@ pub fn eval_iterative<P: Policy<Obs = DdrObs>>(
 }
 
 /// Evaluates a fixed (demand-independent) routing over test sequences.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyEvaluation`] on empty input, plus any
+/// simulation/oracle failure on the evaluated matrices.
 pub fn eval_fixed_routing(
     ctx: &GraphContext,
     config: &DdrEnvConfig,
     routing: &Routing,
     test_sequences: &[Vec<DemandMatrix>],
-) -> EvalResult {
-    assert!(!test_sequences.is_empty(), "need test sequences");
+) -> Result<EvalResult, CoreError> {
+    if test_sequences.is_empty() {
+        return Err(CoreError::EmptyEvaluation);
+    }
     let mut ratios = Vec::new();
     for seq in test_sequences {
-        for dm in &seq[config.memory..] {
-            ratios.push(ctx.ratio(routing, dm));
+        for dm in &seq[config.memory.min(seq.len())..] {
+            ratios.push(ctx.try_ratio(routing, dm)?.ratio);
         }
     }
     EvalResult::from_ratios(ratios)
 }
 
+/// Unit-weight single shortest-path routing for `graph` — the fixed
+/// strategy behind the paper's dotted baseline, also the last rung of
+/// `gddr-serve`'s degradation ladder (demand-independent, so it can be
+/// precomputed once and served forever).
+pub fn unit_shortest_path_routing(graph: &gddr_net::Graph) -> Routing {
+    let w = vec![1.0; graph.num_edges()];
+    shortest_path_routing(graph, &w)
+}
+
+/// Unit-weight ECMP routing for `graph` — the equal-split baseline
+/// strategy, demand-independent like its shortest-path sibling.
+pub fn unit_ecmp_routing(graph: &gddr_net::Graph) -> Routing {
+    let w = vec![1.0; graph.num_edges()];
+    ecmp_routing(graph, &w)
+}
+
 /// The shortest-path baseline ratio (the dotted line in Figs. 6/8):
 /// unit-weight single shortest-path routing, held fixed for all demand
 /// matrices.
+///
+/// # Errors
+///
+/// As [`eval_fixed_routing`].
 pub fn shortest_path_baseline(
     ctx: &GraphContext,
     config: &DdrEnvConfig,
     test_sequences: &[Vec<DemandMatrix>],
-) -> EvalResult {
-    let w = vec![1.0; ctx.graph.num_edges()];
-    let routing = shortest_path_routing(&ctx.graph, &w);
+) -> Result<EvalResult, CoreError> {
+    let routing = unit_shortest_path_routing(&ctx.graph);
     eval_fixed_routing(ctx, config, &routing, test_sequences)
 }
 
 /// ECMP baseline ratio (an extension beyond the paper's dotted line).
+///
+/// # Errors
+///
+/// As [`eval_fixed_routing`].
 pub fn ecmp_baseline(
     ctx: &GraphContext,
     config: &DdrEnvConfig,
     test_sequences: &[Vec<DemandMatrix>],
-) -> EvalResult {
-    let w = vec![1.0; ctx.graph.num_edges()];
-    let routing = ecmp_routing(&ctx.graph, &w);
+) -> Result<EvalResult, CoreError> {
+    let routing = unit_ecmp_routing(&ctx.graph);
     eval_fixed_routing(ctx, config, &routing, test_sequences)
 }
 
@@ -204,18 +256,19 @@ pub fn ecmp_baseline(
 /// actual matrix with the resulting strategy. "This does not lead to
 /// good results when the predictions are incorrect."
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `test_sequences` is empty or shorter than the memory.
+/// [`CoreError::EmptyEvaluation`]/[`CoreError::SequenceTooShort`] on
+/// malformed input, [`CoreError::Oracle`] if the prediction's LP has no
+/// solution.
 pub fn prediction_baseline(
     ctx: &GraphContext,
     config: &DdrEnvConfig,
     test_sequences: &[Vec<DemandMatrix>],
-) -> EvalResult {
-    assert!(!test_sequences.is_empty(), "need test sequences");
+) -> Result<EvalResult, CoreError> {
+    check_sequences(test_sequences, config.memory)?;
     let mut ratios = Vec::new();
     for seq in test_sequences {
-        assert!(seq.len() > config.memory, "sequence shorter than memory");
         let mut history = DemandHistory::new(config.memory);
         for dm in &seq[..config.memory] {
             history.push(dm.clone());
@@ -224,12 +277,12 @@ pub fn prediction_baseline(
             let window: Vec<&DemandMatrix> = history.iter().collect();
             let predicted = gddr_traffic::sequence::average(&window);
             let sol = gddr_lp::mcf::min_max_utilisation(&ctx.graph, &predicted)
-                .expect("strongly connected graph");
+                .map_err(|e| CoreError::Oracle(format!("{e:?}")))?;
             let routing = Routing::from_destination_flows(&ctx.graph, &sol.flows);
             // The predicted-optimal routing may not cover commodities
             // absent from the prediction; with bimodal demands every
             // commodity is active, so simulation succeeds.
-            ratios.push(ctx.ratio(&routing, dm));
+            ratios.push(ctx.try_ratio(&routing, dm)?.ratio);
             history.push(dm.clone());
         }
     }
@@ -238,14 +291,18 @@ pub fn prediction_baseline(
 
 /// Ratio of untrained softmin routing with uniform weights — the
 /// "no-agent" reference point for softmin translation quality.
+///
+/// # Errors
+///
+/// As [`eval_fixed_routing`].
 pub fn uniform_softmin_baseline(
     ctx: &GraphContext,
     config: &DdrEnvConfig,
     test_sequences: &[Vec<DemandMatrix>],
-) -> EvalResult {
+) -> Result<EvalResult, CoreError> {
     let w = vec![1.0; ctx.graph.num_edges()];
     let routing = softmin_routing(&ctx.graph, &w, &SoftminConfig::default())
-        .expect("uniform weights are valid");
+        .map_err(|e| CoreError::Routing(format!("{e:?}")))?;
     eval_fixed_routing(ctx, config, &routing, test_sequences)
 }
 
@@ -285,7 +342,7 @@ mod tests {
             -0.5,
             &mut rng,
         );
-        let res = eval_oneshot(&ctx, &config, &gnn, &test);
+        let res = eval_oneshot(&ctx, &config, &gnn, &test).unwrap();
         assert_eq!(res.ratios.len(), 2 * 4);
         assert!(res.mean_ratio >= 1.0 - 1e-6, "cannot beat the optimum");
         assert!(res.std_ratio >= 0.0);
@@ -302,15 +359,15 @@ mod tests {
             -0.5,
             &mut rng,
         );
-        let res = eval_oneshot(&ctx, &config, &mlp, &test);
+        let res = eval_oneshot(&ctx, &config, &mlp, &test).unwrap();
         assert!(res.mean_ratio >= 1.0 - 1e-6);
-        let sp = shortest_path_baseline(&ctx, &config, &test);
+        let sp = shortest_path_baseline(&ctx, &config, &test).unwrap();
         assert!(sp.mean_ratio >= 1.0 - 1e-6);
-        let ecmp = ecmp_baseline(&ctx, &config, &test);
+        let ecmp = ecmp_baseline(&ctx, &config, &test).unwrap();
         // ECMP load-balances, so it should not be worse than single-SP
         // on average by much; sanity: both finite.
         assert!(ecmp.mean_ratio.is_finite() && sp.mean_ratio.is_finite());
-        let uni = uniform_softmin_baseline(&ctx, &config, &test);
+        let uni = uniform_softmin_baseline(&ctx, &config, &test).unwrap();
         assert!(uni.mean_ratio >= 1.0 - 1e-6);
     }
 
@@ -328,7 +385,7 @@ mod tests {
             -0.5,
             &mut rng,
         );
-        let res = eval_iterative(&ctx, &config, &policy, &test);
+        let res = eval_iterative(&ctx, &config, &policy, &test).unwrap();
         assert_eq!(res.ratios.len(), 2 * 4);
         assert!(res.mean_ratio >= 1.0 - 1e-6);
     }
@@ -350,7 +407,7 @@ mod tests {
             memory: 2,
             ..Default::default()
         };
-        let res = prediction_baseline(&ctx, &config, &[constant]);
+        let res = prediction_baseline(&ctx, &config, &[constant]).unwrap();
         assert!(
             (res.mean_ratio - 1.0).abs() < 1e-4,
             "constant traffic must be routed optimally, got {}",
@@ -361,7 +418,7 @@ mod tests {
     #[test]
     fn prediction_baseline_degrades_on_varying_traffic() {
         let (ctx, config, test, _) = fixture();
-        let res = prediction_baseline(&ctx, &config, &test);
+        let res = prediction_baseline(&ctx, &config, &test).unwrap();
         assert!(res.mean_ratio >= 1.0 - 1e-6);
         assert!(res.mean_ratio.is_finite());
     }
@@ -380,15 +437,60 @@ mod tests {
             -0.5,
             &mut rng,
         );
-        let a = eval_oneshot(&ctx, &config, &gnn, &test);
-        let b = eval_oneshot(&ctx, &config, &gnn, &test);
+        let a = eval_oneshot(&ctx, &config, &gnn, &test).unwrap();
+        let b = eval_oneshot(&ctx, &config, &gnn, &test).unwrap();
         assert_eq!(a.ratios, b.ratios);
     }
 
     #[test]
     fn from_ratios_statistics() {
-        let r = EvalResult::from_ratios(vec![1.0, 2.0, 3.0]);
+        let r = EvalResult::from_ratios(vec![1.0, 2.0, 3.0]).unwrap();
         assert!((r.mean_ratio - 2.0).abs() < 1e-12);
         assert!((r.std_ratio - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        let (ctx, config, test, mut rng) = fixture();
+        assert!(matches!(
+            EvalResult::from_ratios(vec![]),
+            Err(CoreError::EmptyEvaluation)
+        ));
+        let mlp = MlpPolicy::new(
+            2,
+            ctx.graph.num_nodes(),
+            ctx.graph.num_edges(),
+            &[8],
+            -0.5,
+            &mut rng,
+        );
+        assert!(matches!(
+            eval_oneshot(&ctx, &config, &mlp, &[]),
+            Err(CoreError::EmptyEvaluation)
+        ));
+        let short = vec![test[0][..2].to_vec()];
+        assert!(matches!(
+            eval_oneshot(&ctx, &config, &mlp, &short),
+            Err(CoreError::SequenceTooShort { len: 2, memory: 2 })
+        ));
+        assert!(matches!(
+            prediction_baseline(&ctx, &config, &short),
+            Err(CoreError::SequenceTooShort { len: 2, memory: 2 })
+        ));
+        // A fixed routing against a mismatched demand matrix degrades
+        // to a typed error through the simulator.
+        let routing = unit_shortest_path_routing(&ctx.graph);
+        let bad = vec![vec![DemandMatrix::zeros(ctx.graph.num_nodes() + 1); 4]];
+        assert!(matches!(
+            eval_fixed_routing(&ctx, &config, &routing, &bad),
+            Err(CoreError::DemandMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unit_baseline_routings_are_valid() {
+        let g = zoo::cesnet();
+        assert!(unit_shortest_path_routing(&g).validate(&g).is_empty());
+        assert!(unit_ecmp_routing(&g).validate(&g).is_empty());
     }
 }

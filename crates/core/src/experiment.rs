@@ -195,7 +195,7 @@ pub fn fixed_graph(config: &FixedGraphConfig) -> FixedGraphResult {
                 &mut log,
             );
             let ctx = GraphContext::new(graph.clone(), train.clone());
-            let eval = eval_oneshot(&ctx, &config.env, &mlp, &test);
+            let eval = eval_oneshot(&ctx, &config.env, &mlp, &test).expect("MLP evaluation");
             PolicyOutcome { eval, log }
         });
         let gnn_handle = scope.spawn(|| {
@@ -212,7 +212,7 @@ pub fn fixed_graph(config: &FixedGraphConfig) -> FixedGraphResult {
                 &mut log,
             );
             let ctx = GraphContext::new(graph.clone(), train.clone());
-            let eval = eval_oneshot(&ctx, &config.env, &gnn, &test);
+            let eval = eval_oneshot(&ctx, &config.env, &gnn, &test).expect("GNN evaluation");
             PolicyOutcome { eval, log }
         });
         (
@@ -222,8 +222,9 @@ pub fn fixed_graph(config: &FixedGraphConfig) -> FixedGraphResult {
     });
 
     let eval_ctx = GraphContext::new(graph.clone(), train.clone());
-    let sp = shortest_path_baseline(&eval_ctx, &config.env, &test);
-    let prediction = crate::eval::prediction_baseline(&eval_ctx, &config.env, &test);
+    let sp = shortest_path_baseline(&eval_ctx, &config.env, &test).expect("baseline evaluation");
+    let prediction = crate::eval::prediction_baseline(&eval_ctx, &config.env, &test)
+        .expect("prediction baseline");
 
     FixedGraphResult {
         mlp: mlp_outcome,
@@ -410,21 +411,26 @@ fn eval_family<P, F>(
 ) -> FamilyEval
 where
     P: gddr_rl::Policy<Obs = crate::obs::DdrObs>,
-    F: Fn(&GraphContext, &DdrEnvConfig, &P, &[Vec<DemandMatrix>]) -> EvalResult,
+    F: Fn(
+        &GraphContext,
+        &DdrEnvConfig,
+        &P,
+        &[Vec<DemandMatrix>],
+    ) -> Result<EvalResult, crate::error::CoreError>,
 {
     let mut policy_ratios = Vec::new();
     let mut sp_ratios = Vec::new();
     for g in graphs {
         let test = standard_sequences(g, w.test_sequences, w.seq_length, w.cycle, rng);
         let ctx = GraphContext::new(g.clone(), test.clone());
-        let res = eval_fn(&ctx, env, policy, &test);
+        let res = eval_fn(&ctx, env, policy, &test).expect("family evaluation");
         policy_ratios.extend(res.ratios);
-        let sp = shortest_path_baseline(&ctx, env, &test);
+        let sp = shortest_path_baseline(&ctx, env, &test).expect("family baseline");
         sp_ratios.extend(sp.ratios);
     }
     FamilyEval {
-        policy: EvalResult::from_ratios(policy_ratios),
-        shortest_path: EvalResult::from_ratios(sp_ratios),
+        policy: EvalResult::from_ratios(policy_ratios).expect("non-empty family"),
+        shortest_path: EvalResult::from_ratios(sp_ratios).expect("non-empty family"),
     }
 }
 

@@ -39,15 +39,17 @@
 
 pub mod env;
 pub mod env_iterative;
+pub mod error;
 pub mod eval;
 pub mod experiment;
 pub mod obs;
 pub mod policies;
 
 pub use env::{
-    routing_ratio, DdrEnv, DdrEnvConfig, FailureInjector, GraphContext, MultiGraphDdrEnv,
-    RatioOutcome,
+    routing_ratio, try_routing_ratio, DdrEnv, DdrEnvConfig, FailureInjector, GraphContext,
+    MultiGraphDdrEnv, RatioOutcome,
 };
 pub use env_iterative::IterativeDdrEnv;
+pub use error::CoreError;
 pub use obs::DdrObs;
 pub use policies::{GnnIterativePolicy, GnnPolicy, MlpPolicy};

@@ -349,6 +349,47 @@ impl CachedOracle {
         Ok(sol.u_max)
     }
 
+    /// Strict lookup that honours the fault-injection hook: like
+    /// [`CachedOracle::u_opt`] it has **no** fallback ladder, but a
+    /// cache-miss solve consumes one outstanding
+    /// [`CachedOracle::inject_pivot_limit`] failure (a zero pivot
+    /// budget) and surfaces it as an [`LpError::PivotLimit`].
+    ///
+    /// This is the entry point for callers that supply their own
+    /// degradation policy — `gddr-serve` wraps it in a circuit breaker
+    /// and must *see* injected faults rather than have them absorbed.
+    /// Exact values only: degraded cache entries are re-solved, and
+    /// nothing degraded is ever written back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures, including injected pivot-limit faults.
+    pub fn u_opt_checked(&self, dm: &DemandMatrix) -> Result<f64, LpError> {
+        let key = dm.fingerprint();
+        match self.lock().map.get(&key) {
+            Some(&(_, true)) => {} // Degraded bound: re-solve exactly.
+            Some(&entry) => return Ok(self.record_hit(entry).u_opt),
+            None => {}
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        gddr_telemetry::counter_add("lp.oracle.misses", 1);
+        let forced = self.take_forced_failure();
+        let max_pivots = if forced { Some(0) } else { None };
+        let sol = {
+            let _span = gddr_telemetry::span("lp.oracle.solve");
+            min_max_utilisation_with(
+                &self.graph,
+                dm,
+                &SolveOptions {
+                    bland_from_start: false,
+                    max_pivots,
+                },
+            )?
+        };
+        self.insert(key, sol.u_max, false);
+        Ok(sol.u_max)
+    }
+
     /// The optimal max-link utilisation for `dm` with graceful
     /// degradation: a solver failure never propagates as long as a
     /// routing exists at all. The retry ladder on
@@ -774,6 +815,53 @@ mod tests {
             !oracle.u_opt_resilient(&dm2).unwrap().degraded,
             "only one failure was injected"
         );
+    }
+
+    #[test]
+    fn checked_lookup_surfaces_injected_faults_without_fallback() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = BimodalParams::default();
+        let dm1 = bimodal(g.num_nodes(), &params, &mut rng);
+        let dm2 = bimodal(g.num_nodes(), &params, &mut rng);
+
+        oracle.inject_pivot_limit(1);
+        // The injected fault propagates as an error: no fallback rung.
+        assert!(matches!(
+            oracle.u_opt_checked(&dm1),
+            Err(LpError::PivotLimit { .. })
+        ));
+        assert_eq!(oracle.stats().fallbacks, 0);
+        // The failed solve cached nothing, and the fault was consumed:
+        // the next miss solves exactly and matches the strict path.
+        assert_eq!(oracle.cache_len(), 0);
+        let checked = oracle.u_opt_checked(&dm1).unwrap();
+        assert_eq!(checked, oracle.u_opt(&dm1).unwrap());
+        // Cache hits never consume injected faults.
+        oracle.inject_pivot_limit(1);
+        assert_eq!(oracle.u_opt_checked(&dm1).unwrap(), checked);
+        assert!(matches!(
+            oracle.u_opt_checked(&dm2),
+            Err(LpError::PivotLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_lookup_repairs_degraded_entries() {
+        let g = zoo::cesnet();
+        let oracle = CachedOracle::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(12);
+        let dm = bimodal(g.num_nodes(), &BimodalParams::default(), &mut rng);
+
+        oracle.inject_pivot_limit(1);
+        let degraded = oracle.u_opt_resilient(&dm).unwrap();
+        assert!(degraded.degraded);
+        let exact = oracle.u_opt_checked(&dm).unwrap();
+        assert!(exact <= degraded.u_opt + 1e-9);
+        let repaired = oracle.u_opt_resilient(&dm).unwrap();
+        assert!(!repaired.degraded, "checked lookup must repair the entry");
+        assert_eq!(repaired.u_opt, exact);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! A circuit breaker for the strict oracle-scoring path.
+//!
+//! Scoring a served routing calls the LP oracle with no fallback
+//! ([`gddr_lp::CachedOracle::u_opt_checked`]); under a solver fault
+//! storm every scoring attempt burns a full (failed) solve. The
+//! breaker cuts that off: `Closed → Open` after a run of consecutive
+//! failures, `Open → HalfOpen` after a cooldown measured in serving
+//! epochs (logical time, so behaviour is deterministic), and
+//! `HalfOpen → Closed` after enough probe successes — or straight
+//! back to `Open` on a probe failure.
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip `Closed → Open`.
+    pub failure_threshold: u32,
+    /// Serving epochs to stay `Open` before allowing a probe.
+    pub cooldown_epochs: u64,
+    /// Probe successes required to close from `HalfOpen`.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_epochs: 4,
+            probe_successes: 2,
+        }
+    }
+}
+
+/// The breaker's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; every call is allowed.
+    Closed,
+    /// Tripped; calls are rejected until the cooldown elapses.
+    Open,
+    /// Probing; calls are allowed, watching for recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable event name for the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// A state change, reported so the caller can emit telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// State before the change.
+    pub from: BreakerState,
+    /// State after the change.
+    pub to: BreakerState,
+}
+
+/// The breaker state machine. Pure logic over logical epochs — no
+/// clocks, no I/O — so the controller owns all telemetry emission.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    probes_ok: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            probes_ok: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    fn set(&mut self, to: BreakerState) -> Option<Transition> {
+        let from = self.state;
+        self.state = to;
+        Some(Transition { from, to })
+    }
+
+    /// Whether a call may proceed at `epoch`. An open breaker whose
+    /// cooldown has elapsed moves to half-open (the returned
+    /// transition) and allows the probe.
+    pub fn allow(&mut self, epoch: u64) -> (bool, Option<Transition>) {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => (true, None),
+            BreakerState::Open => {
+                if epoch >= self.opened_at.saturating_add(self.config.cooldown_epochs) {
+                    self.probes_ok = 0;
+                    let t = self.set(BreakerState::HalfOpen);
+                    (true, t)
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub fn on_success(&mut self) -> Option<Transition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+                None
+            }
+            BreakerState::HalfOpen => {
+                self.probes_ok += 1;
+                if self.probes_ok >= self.config.probe_successes {
+                    self.consecutive_failures = 0;
+                    self.set(BreakerState::Closed)
+                } else {
+                    None
+                }
+            }
+            // No calls flow while open; a straggler success changes
+            // nothing.
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Records a failed call at `epoch`.
+    pub fn on_failure(&mut self, epoch: u64) -> Option<Transition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.opened_at = epoch;
+                    self.set(BreakerState::Open)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.opened_at = epoch;
+                self.probes_ok = 0;
+                self.set(BreakerState::Open)
+            }
+            BreakerState::Open => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_epochs: 4,
+            probe_successes: 2,
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let mut b = breaker();
+        assert_eq!(b.on_failure(1), None);
+        assert_eq!(b.on_failure(2), None);
+        // A success resets the consecutive count.
+        assert_eq!(b.on_success(), None);
+        assert_eq!(b.on_failure(3), None);
+        assert_eq!(b.on_failure(4), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_open_on_consecutive_failures() {
+        let mut b = breaker();
+        b.on_failure(1);
+        b.on_failure(2);
+        let t = b.on_failure(3).expect("third failure trips");
+        assert_eq!(t.from, BreakerState::Closed);
+        assert_eq!(t.to, BreakerState::Open);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Rejected while cooling down.
+        let (allowed, t) = b.allow(4);
+        assert!(!allowed);
+        assert!(t.is_none());
+        let (allowed, _) = b.allow(6);
+        assert!(!allowed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_after_enough_successes() {
+        let mut b = breaker();
+        for e in 1..=3 {
+            b.on_failure(e);
+        }
+        // Cooldown elapsed: epoch 3 + 4 = 7.
+        let (allowed, t) = b.allow(7);
+        assert!(allowed);
+        assert_eq!(t.unwrap().to, BreakerState::HalfOpen);
+        // First probe success: still half-open.
+        assert_eq!(b.on_success(), None);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Second closes.
+        let t = b.on_success().expect("second probe closes");
+        assert_eq!(t.from, BreakerState::HalfOpen);
+        assert_eq!(t.to, BreakerState::Closed);
+        // Closed state is clean: needs a fresh run of 3 to re-trip.
+        assert_eq!(b.on_failure(8), None);
+        assert_eq!(b.on_failure(9), None);
+        assert!(b.on_failure(10).is_some());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = breaker();
+        for e in 1..=3 {
+            b.on_failure(e);
+        }
+        let (allowed, _) = b.allow(7);
+        assert!(allowed);
+        b.on_success(); // one probe ok
+        let t = b.on_failure(8).expect("probe failure reopens");
+        assert_eq!(t.from, BreakerState::HalfOpen);
+        assert_eq!(t.to, BreakerState::Open);
+        // The cooldown restarts from the reopen epoch, and the probe
+        // counter was reset: next half-open needs both successes again.
+        let (allowed, _) = b.allow(11);
+        assert!(!allowed);
+        let (allowed, t) = b.allow(12);
+        assert!(allowed);
+        assert_eq!(t.unwrap().to, BreakerState::HalfOpen);
+        assert_eq!(b.on_success(), None);
+        assert!(b.on_success().is_some());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn state_names_are_stable() {
+        assert_eq!(BreakerState::Closed.name(), "closed");
+        assert_eq!(BreakerState::Open.name(), "open");
+        assert_eq!(BreakerState::HalfOpen.name(), "half_open");
+    }
+}

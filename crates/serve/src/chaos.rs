@@ -1,0 +1,480 @@
+//! Seeded chaos scenarios for the serving controller.
+//!
+//! Each scenario builds a controller, drives a scripted request load
+//! with injected faults, and checks serving SLOs:
+//!
+//! - **zero unanswered** — every submitted request gets exactly one
+//!   rung-tagged response,
+//! - **validity** — every response's routing validates against the
+//!   topology active when it was served,
+//! - **bounded degradation** — the p99 ladder depth stays within the
+//!   scenario's bound,
+//! - **recovery** — after the last injected fault, a fresh response
+//!   appears within a bounded number of requests.
+//!
+//! Scenarios are pure functions of `(name, seed, requests)`: running
+//! one twice must produce bit-identical rung sequences, which the
+//! chaos harness asserts.
+
+use std::sync::Arc;
+
+use gddr_core::{DdrEnvConfig, FailureInjector, MlpPolicy};
+use gddr_net::topology::zoo;
+use gddr_net::Graph;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_traffic::gen::{bimodal, BimodalParams};
+use gddr_traffic::DemandMatrix;
+
+use crate::controller::{Controller, ControllerConfig};
+use crate::engine::{ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine};
+use crate::request::{EpochRequest, RouteResponse, Rung};
+use crate::worker::ExecMode;
+
+/// Memory length used by every chaos scenario's policy.
+const MEMORY: usize = 3;
+/// Default per-request logical deadline.
+const DEADLINE_MS: u64 = 50;
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Seed the scenario ran with.
+    pub seed: u64,
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Responses received.
+    pub answered: usize,
+    /// One letter per response, in order (`F`/`L`/`E`/`S`) — the
+    /// determinism digest.
+    pub rung_sequence: String,
+    /// Requests shed (still answered).
+    pub shed: u64,
+    /// Worker restarts performed.
+    pub worker_restarts: u64,
+    /// Breaker state changes.
+    pub breaker_transitions: u64,
+    /// 99th-percentile ladder depth over all responses.
+    pub p99_depth: u8,
+    /// SLO violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// Whether every SLO held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+struct ScenarioSpec {
+    graph: Graph,
+    config: ControllerConfig,
+    plan: FaultPlan,
+    /// Forced oracle failures to inject before serving.
+    pivot_faults: u64,
+    /// Request indices at which a burst of `burst_size` extra
+    /// requests is enqueued before draining.
+    burst_at: Vec<usize>,
+    burst_size: usize,
+    /// Request index at which link failures degrade the topology.
+    topology_change_at: Option<usize>,
+    /// Request indices whose demands are replaced with malformed
+    /// matrices (NaN / wrong size / zero deadline).
+    malformed: Vec<(usize, Malformed)>,
+    /// Requests after the last fault within which a fresh response
+    /// must appear (None = no recovery SLO).
+    recovery_within: Option<usize>,
+    /// Last request index at which a fault can fire.
+    last_fault_at: Option<usize>,
+    /// Maximum allowed p99 ladder depth.
+    max_p99_depth: u8,
+}
+
+#[derive(Clone, Copy)]
+enum Malformed {
+    /// An infinite demand entry (NaN is unconstructible in-tree:
+    /// `DemandMatrix::from_fn` clamps it away).
+    NonFinite,
+    /// A zero-node matrix.
+    Empty,
+    /// Node count disagrees with the graph.
+    WrongSize,
+    /// No inference budget at all.
+    ZeroDeadline,
+}
+
+/// Scenario names the harness can run. `budget_zero` is the
+/// deliberately broken scenario: its SLOs must fail, proving the
+/// harness can detect violations.
+pub fn scenario_names() -> &'static [&'static str] {
+    &[
+        "healthy",
+        "worker_panic",
+        "oracle_storm",
+        "slow_inference",
+        "malformed",
+        "overload_burst",
+        "link_failure",
+        "hang",
+        "budget_zero",
+    ]
+}
+
+fn base_config() -> ControllerConfig {
+    let mut config = ControllerConfig::default();
+    config.pool.workers = 2;
+    config.pool.restart_budget = 4;
+    config.pool.backoff_base_epochs = 1;
+    config
+}
+
+fn spec_for(name: &str, requests: usize) -> Result<ScenarioSpec, String> {
+    let graph = zoo::cesnet();
+    let mut spec = ScenarioSpec {
+        graph,
+        config: base_config(),
+        plan: FaultPlan::new(),
+        pivot_faults: 0,
+        burst_at: Vec::new(),
+        burst_size: 0,
+        topology_change_at: None,
+        malformed: Vec::new(),
+        recovery_within: Some(10),
+        last_fault_at: None,
+        max_p99_depth: 2,
+    };
+    match name {
+        "healthy" => {
+            spec.recovery_within = None;
+            spec.max_p99_depth = 0;
+        }
+        "worker_panic" => {
+            spec.plan = FaultPlan::new()
+                .at(10, Fault::Panic)
+                .at(12, Fault::Panic)
+                .at(14, Fault::Panic)
+                .at(16, Fault::Panic);
+            spec.last_fault_at = Some(16);
+        }
+        "oracle_storm" => {
+            spec.pivot_faults = 5;
+            // Scoring failures never degrade the rung, so the ladder
+            // stays fresh throughout.
+            spec.max_p99_depth = 0;
+            spec.last_fault_at = Some(2);
+        }
+        "slow_inference" => {
+            spec.plan = FaultPlan::new().span(10..=20, Fault::Slow { cost_ms: 99 });
+            spec.last_fault_at = Some(20);
+        }
+        "malformed" => {
+            spec.malformed = vec![
+                (10, Malformed::NonFinite),
+                (13, Malformed::Empty),
+                (16, Malformed::WrongSize),
+                (18, Malformed::ZeroDeadline),
+            ];
+            spec.last_fault_at = Some(18);
+        }
+        "overload_burst" => {
+            spec.config.queue_capacity = 4;
+            spec.burst_at = vec![15, 30];
+            spec.burst_size = 10;
+            spec.last_fault_at = Some(30);
+        }
+        "link_failure" => {
+            spec.topology_change_at = Some(15);
+            spec.last_fault_at = Some(15);
+        }
+        "hang" => {
+            spec.config.pool.mode = ExecMode::Threaded;
+            spec.config.pool.hang_timeout_ms = 60;
+            spec.plan = FaultPlan::new()
+                .at(10, Fault::Hang { sleep_ms: 400 })
+                .at(20, Fault::Hang { sleep_ms: 400 });
+            spec.last_fault_at = Some(20);
+        }
+        "budget_zero" => {
+            // Deliberately broken: no restart budget, panic storm.
+            // The pool dies, no fresh response ever returns, and the
+            // recovery SLO fails loudly.
+            spec.config.pool.workers = 1;
+            spec.config.pool.restart_budget = 0;
+            spec.plan = FaultPlan::new().span(10..=4096, Fault::Panic);
+            spec.last_fault_at = Some(12);
+            spec.recovery_within = Some(10);
+        }
+        other => return Err(format!("unknown scenario '{other}'")),
+    }
+    if requests < 40 {
+        return Err("chaos scenarios need at least 40 requests".to_string());
+    }
+    Ok(spec)
+}
+
+fn engine_factory(seed: u64, plan: Arc<FaultPlan>) -> EngineFactory {
+    Arc::new(move |graph: &Graph| {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let policy = MlpPolicy::new(
+            MEMORY,
+            graph.num_nodes(),
+            graph.num_edges(),
+            &[8],
+            -0.5,
+            &mut rng,
+        );
+        let engine = PolicyEngine::new(policy, graph, MEMORY);
+        Box::new(ChaosEngine::new(engine, Arc::clone(&plan))) as Box<dyn InferenceEngine>
+    })
+}
+
+fn make_request(
+    index: u64,
+    n: usize,
+    rng: &mut StdRng,
+    malformed: Option<Malformed>,
+) -> EpochRequest {
+    let demands = bimodal(n, &BimodalParams::default(), rng);
+    match malformed {
+        None => EpochRequest {
+            epoch: index,
+            demands,
+            deadline_ms: DEADLINE_MS,
+        },
+        Some(Malformed::NonFinite) => EpochRequest {
+            epoch: index,
+            demands: DemandMatrix::from_fn(n, |s, d| {
+                if s == 0 && d == 1 {
+                    f64::INFINITY
+                } else {
+                    demands.get(s, d)
+                }
+            }),
+            deadline_ms: DEADLINE_MS,
+        },
+        Some(Malformed::Empty) => EpochRequest {
+            epoch: index,
+            demands: DemandMatrix::zeros(0),
+            deadline_ms: DEADLINE_MS,
+        },
+        Some(Malformed::WrongSize) => EpochRequest {
+            epoch: index,
+            demands: DemandMatrix::zeros(n + 3),
+            deadline_ms: DEADLINE_MS,
+        },
+        Some(Malformed::ZeroDeadline) => EpochRequest {
+            epoch: index,
+            demands,
+            deadline_ms: 0,
+        },
+    }
+}
+
+fn p99_depth(depths: &[u8]) -> u8 {
+    if depths.is_empty() {
+        return 0;
+    }
+    let mut sorted = depths.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Runs one scenario to completion and evaluates its SLOs.
+///
+/// # Errors
+///
+/// Returns `Err` for unknown scenario names or unusable request
+/// counts; SLO failures are reported in
+/// [`ScenarioOutcome::violations`], not as `Err`.
+pub fn run_scenario(name: &str, seed: u64, requests: usize) -> Result<ScenarioOutcome, String> {
+    let spec = spec_for(name, requests)?;
+    let plan = Arc::new(spec.plan.clone());
+    let factory = engine_factory(seed, Arc::clone(&plan));
+    let mut controller = Controller::new(
+        spec.graph.clone(),
+        DdrEnvConfig {
+            memory: MEMORY,
+            ..DdrEnvConfig::default()
+        },
+        spec.config.clone(),
+        factory,
+    );
+    if spec.pivot_faults > 0 {
+        controller.oracle().inject_pivot_limit(spec.pivot_faults);
+    }
+
+    let n = spec.graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut injector = FailureInjector::from_seed(2, seed ^ 0xabcd);
+
+    let mut submitted: u64 = 0;
+    let mut responses: Vec<RouteResponse> = Vec::new();
+    // Graph generation active when each response was served, so
+    // validity is checked against the right topology.
+    let mut active_graph = spec.graph.clone();
+    let mut invalid_on_serve = 0usize;
+
+    fn check_valid(resp: &RouteResponse, graph: &Graph) -> usize {
+        usize::from(!resp.routing.validate(graph).is_empty())
+    }
+
+    for i in 0..requests {
+        if spec.topology_change_at == Some(i) {
+            let (degraded, _dropped) = injector.degrade(&spec.graph);
+            controller
+                .apply_topology(degraded.clone())
+                .map_err(|e| format!("apply_topology: {e}"))?;
+            active_graph = degraded;
+        }
+        let malformed = spec
+            .malformed
+            .iter()
+            .find(|(at, _)| *at == i)
+            .map(|(_, kind)| *kind);
+        let extra = if spec.burst_at.contains(&i) {
+            spec.burst_size
+        } else {
+            0
+        };
+        // The main request plus any burst, enqueued together before
+        // draining so the bounded queue actually overflows.
+        let mut batch = Vec::new();
+        batch.push(make_request(submitted, n, &mut rng, malformed));
+        submitted += 1;
+        for _ in 0..extra {
+            batch.push(make_request(submitted, n, &mut rng, None));
+            submitted += 1;
+        }
+        for req in batch {
+            for resp in controller.enqueue(req) {
+                invalid_on_serve += check_valid(&resp, &active_graph);
+                responses.push(resp);
+            }
+        }
+        while let Some(resp) = controller.process_next() {
+            invalid_on_serve += check_valid(&resp, &active_graph);
+            responses.push(resp);
+        }
+    }
+
+    let rung_sequence: String = responses.iter().map(|r| r.rung.letter()).collect();
+    let depths: Vec<u8> = responses.iter().map(|r| r.rung.depth()).collect();
+    let p99 = p99_depth(&depths);
+    let stats = controller.stats().clone();
+
+    let mut violations = Vec::new();
+    if responses.len() != submitted as usize {
+        violations.push(format!(
+            "unanswered requests: submitted {submitted}, answered {}",
+            responses.len()
+        ));
+    }
+    if invalid_on_serve > 0 {
+        violations.push(format!(
+            "{invalid_on_serve} responses carried routings invalid for the active topology"
+        ));
+    }
+    if p99 > spec.max_p99_depth {
+        violations.push(format!(
+            "p99 ladder depth {p99} exceeds bound {}",
+            spec.max_p99_depth
+        ));
+    }
+    if let (Some(within), Some(last_fault)) = (spec.recovery_within, spec.last_fault_at) {
+        // Among the first `within` responses served after the fault
+        // window closes, at least one must be fresh.
+        let recovered = responses
+            .iter()
+            .filter(|r| r.epoch > last_fault as u64)
+            .take(within)
+            .any(|r| r.rung == Rung::Fresh);
+        if !recovered {
+            violations.push(format!(
+                "no fresh response within {within} requests after the last fault (request {last_fault})"
+            ));
+        }
+    }
+    if name == "oracle_storm" {
+        if stats.breaker_transitions < 3 {
+            violations.push(format!(
+                "breaker saw only {} transitions during the storm",
+                stats.breaker_transitions
+            ));
+        }
+        if controller.breaker_state() != crate::breaker::BreakerState::Closed {
+            violations.push("breaker failed to close after the storm".to_string());
+        }
+    }
+    if name == "overload_burst" && stats.shed == 0 {
+        violations.push("overload burst shed nothing (queue bound not exercised)".to_string());
+    }
+    if name == "worker_panic" && stats.fresh == 0 {
+        violations.push("no fresh responses at all during worker_panic".to_string());
+    }
+
+    Ok(ScenarioOutcome {
+        name: name.to_string(),
+        seed,
+        submitted: submitted as usize,
+        answered: responses.len(),
+        rung_sequence,
+        shed: stats.shed,
+        worker_restarts: controller.worker_restarts(),
+        breaker_transitions: stats.breaker_transitions,
+        p99_depth: p99,
+        violations,
+    })
+}
+
+/// Mixes a per-scenario offset into the base seed so scenarios don't
+/// share traffic streams.
+pub fn scenario_seed(base: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    base ^ h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_scenario_passes_and_is_deterministic() {
+        let a = run_scenario("healthy", 42, 40).unwrap();
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.answered, a.submitted);
+        assert!(a.rung_sequence.chars().all(|c| c == 'F'));
+        let b = run_scenario("healthy", 42, 40).unwrap();
+        assert_eq!(a.rung_sequence, b.rung_sequence);
+    }
+
+    #[test]
+    fn budget_zero_scenario_fails_loudly() {
+        let outcome = run_scenario("budget_zero", 42, 40).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("no fresh response")));
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        assert!(run_scenario("nope", 1, 40).is_err());
+    }
+
+    #[test]
+    fn scenario_seeds_differ_by_name() {
+        assert_ne!(
+            scenario_seed(7, "healthy"),
+            scenario_seed(7, "worker_panic")
+        );
+    }
+}

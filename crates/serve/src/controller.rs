@@ -1,0 +1,697 @@
+//! The serving controller: bounded admission, supervised inference,
+//! oracle scoring behind a circuit breaker, and the graceful-
+//! degradation ladder that guarantees every request an answer.
+//!
+//! Ladder, best rung first:
+//!
+//! 1. **Fresh** — policy inference on this request's demands,
+//! 2. **LastGood** — the most recent fresh routing, while within the
+//!    staleness bound,
+//! 3. **Ecmp** — the precomputed unit-weight ECMP baseline,
+//! 4. **ShortestPath** — the precomputed unit-weight shortest-path
+//!    baseline; always available, so no request goes unanswered.
+//!
+//! All rung-affecting decisions run on logical time (serving epochs
+//! and engine-reported `cost_ms`), so a scenario's rung sequence is a
+//! deterministic function of its seed.
+
+use std::collections::VecDeque;
+
+use gddr_core::eval::{unit_ecmp_routing, unit_shortest_path_routing};
+use gddr_core::DdrEnvConfig;
+use gddr_lp::CachedOracle;
+use gddr_net::Graph;
+use gddr_routing::sim::max_link_utilisation;
+use gddr_routing::softmin::softmin_routing;
+use gddr_routing::Routing;
+use gddr_traffic::DemandMatrix;
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
+use crate::engine::EngineFactory;
+use crate::health::{HealthInputs, HealthMonitor, HealthState};
+use crate::queue::AdmissionQueue;
+use crate::request::{EpochRequest, RouteResponse, Rung, ServeError};
+use crate::worker::{PoolConfig, WorkerPool};
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Bounded admission-queue capacity (overflow sheds oldest).
+    pub queue_capacity: usize,
+    /// How many serving epochs a last-good routing stays usable.
+    pub staleness_limit: u64,
+    /// Score fresh responses against the strict LP oracle
+    /// (`U_agent / U_opt`), circuit breaker permitting.
+    pub score_responses: bool,
+    /// Keep the ECMP rung in the ladder. Disable to drop straight to
+    /// shortest path (exercises the last rung).
+    pub use_ecmp: bool,
+    /// Worker-pool supervision settings.
+    pub pool: PoolConfig,
+    /// Scoring circuit-breaker settings.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            queue_capacity: 8,
+            staleness_limit: 16,
+            score_responses: true,
+            use_ecmp: true,
+            pool: PoolConfig::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Serving counters, kept separately from telemetry so callers can
+/// assert on them without a sink installed.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Responses served, by ladder rung.
+    pub fresh: u64,
+    /// See [`ServeStats::fresh`].
+    pub last_good: u64,
+    /// See [`ServeStats::fresh`].
+    pub ecmp: u64,
+    /// See [`ServeStats::fresh`].
+    pub shortest_path: u64,
+    /// Requests shed from the queue (still answered via the ladder).
+    pub shed: u64,
+    /// Breaker state changes.
+    pub breaker_transitions: u64,
+    /// Scoring calls skipped because the breaker was open.
+    pub scoring_skipped: u64,
+    /// Scoring calls that failed (feeding the breaker).
+    pub scoring_failed: u64,
+}
+
+impl ServeStats {
+    /// Total responses served.
+    pub fn responses(&self) -> u64 {
+        self.fresh + self.last_good + self.ecmp + self.shortest_path
+    }
+}
+
+/// The online routing controller. Single-threaded at the API surface:
+/// `enqueue` requests, then `process_next` (or `handle` for both at
+/// once) — every submitted request yields exactly one response.
+pub struct Controller {
+    graph: Graph,
+    env_cfg: DdrEnvConfig,
+    config: ControllerConfig,
+    oracle: CachedOracle,
+    pool: WorkerPool,
+    breaker: CircuitBreaker,
+    health: HealthMonitor,
+    queue: AdmissionQueue,
+    history: VecDeque<DemandMatrix>,
+    last_good: Option<(Routing, u64)>,
+    ecmp: Routing,
+    shortest_path: Routing,
+    epoch: u64,
+    stats: ServeStats,
+}
+
+impl Controller {
+    /// Builds a controller serving `graph` with engines from
+    /// `factory`.
+    pub fn new(
+        graph: Graph,
+        env_cfg: DdrEnvConfig,
+        config: ControllerConfig,
+        factory: EngineFactory,
+    ) -> Self {
+        let oracle = CachedOracle::new(graph.clone());
+        let pool = WorkerPool::new(factory.clone(), &graph, config.pool.clone());
+        let breaker = CircuitBreaker::new(config.breaker.clone());
+        let queue = AdmissionQueue::new(config.queue_capacity);
+        let ecmp = unit_ecmp_routing(&graph);
+        let shortest_path = unit_shortest_path_routing(&graph);
+        Controller {
+            graph,
+            env_cfg,
+            config,
+            oracle,
+            pool,
+            breaker,
+            health: HealthMonitor::new(),
+            queue,
+            history: VecDeque::new(),
+            last_good: None,
+            ecmp,
+            shortest_path,
+            epoch: 0,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The topology currently being served.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The strict scoring oracle (exposed for fault injection in the
+    /// chaos harness).
+    pub fn oracle(&self) -> &CachedOracle {
+        &self.oracle
+    }
+
+    /// Current health.
+    pub fn health(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Serving counters so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Live (not budget-exhausted) worker slots.
+    pub fn alive_workers(&self) -> usize {
+        self.pool.alive_workers()
+    }
+
+    /// Worker restarts performed so far.
+    pub fn worker_restarts(&self) -> u64 {
+        self.pool.restarts()
+    }
+
+    /// Pending requests awaiting `process_next`.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admits a request. Any requests shed to make room are answered
+    /// immediately from the ladder and returned.
+    pub fn enqueue(&mut self, req: EpochRequest) -> Vec<RouteResponse> {
+        let shed = self.queue.admit(req);
+        shed.into_iter()
+            .map(|victim| {
+                self.stats.shed += 1;
+                gddr_telemetry::request_shed_event(victim.epoch, self.queue.len() as u64);
+                self.serve(victim, true)
+            })
+            .collect()
+    }
+
+    /// Serves the oldest pending request, if any.
+    pub fn process_next(&mut self) -> Option<RouteResponse> {
+        let req = self.queue.pop()?;
+        Some(self.serve(req, false))
+    }
+
+    /// Convenience: enqueue then drain. Shed responses (for older
+    /// requests) precede processed ones.
+    pub fn handle(&mut self, req: EpochRequest) -> Vec<RouteResponse> {
+        let mut out = self.enqueue(req);
+        while let Some(resp) = self.process_next() {
+            out.push(resp);
+        }
+        out
+    }
+
+    /// Swaps in a new topology (e.g. after link failures): rebuilds
+    /// the oracle, baselines and worker engines, resets the breaker,
+    /// and invalidates the last-good routing (it was computed for the
+    /// old graph).
+    ///
+    /// # Errors
+    ///
+    /// The node count must match the current graph — demand matrices
+    /// in flight and in history are indexed by node.
+    pub fn apply_topology(&mut self, graph: Graph) -> Result<(), String> {
+        if graph.num_nodes() != self.graph.num_nodes() {
+            return Err(format!(
+                "topology change must preserve node count ({} != {})",
+                graph.num_nodes(),
+                self.graph.num_nodes()
+            ));
+        }
+        self.ecmp = unit_ecmp_routing(&graph);
+        self.shortest_path = unit_shortest_path_routing(&graph);
+        self.oracle = CachedOracle::new(graph.clone());
+        self.breaker = CircuitBreaker::new(self.config.breaker.clone());
+        self.pool.retool(&graph);
+        self.last_good = None;
+        self.graph = graph;
+        Ok(())
+    }
+
+    fn note_breaker(&mut self, transition: Option<Transition>, epoch: u64) {
+        if let Some(t) = transition {
+            self.stats.breaker_transitions += 1;
+            gddr_telemetry::breaker_transition_event(t.from.name(), t.to.name(), epoch);
+        }
+    }
+
+    fn validate_demands(&self, dm: &DemandMatrix) -> Result<(), ServeError> {
+        let n = self.graph.num_nodes();
+        if dm.num_nodes() != n {
+            return Err(ServeError::InvalidDemand(format!(
+                "expected {n} nodes, got {}",
+                dm.num_nodes()
+            )));
+        }
+        for src in 0..n {
+            for dst in 0..n {
+                if !dm.get(src, dst).is_finite() {
+                    return Err(ServeError::InvalidDemand(format!(
+                        "non-finite demand at ({src}, {dst})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// History snapshot for inference: exactly `memory` matrices,
+    /// oldest first, zero-padded at the front during warm-up.
+    fn history_snapshot(&self) -> Vec<DemandMatrix> {
+        let memory = self.env_cfg.memory;
+        let n = self.graph.num_nodes();
+        let mut out = Vec::with_capacity(memory);
+        for _ in self.history.len()..memory {
+            out.push(DemandMatrix::zeros(n));
+        }
+        out.extend(self.history.iter().cloned());
+        out
+    }
+
+    fn push_history(&mut self, dm: DemandMatrix) {
+        if self.history.len() == self.env_cfg.memory {
+            self.history.pop_front();
+        }
+        self.history.push_back(dm);
+    }
+
+    /// Attempt fresh inference end to end; `Err` explains which stage
+    /// failed and sends the request down the ladder.
+    fn try_fresh(&mut self, req: &EpochRequest, epoch: u64) -> Result<Routing, ServeError> {
+        let history = self.history_snapshot();
+        let reply = self.pool.dispatch(req, &history, epoch)?;
+        if reply.cost_ms > req.deadline_ms {
+            // Deadline misses feed the breaker: a slow oracle-scored
+            // pipeline and a slow solver look the same to a caller.
+            let t = self.breaker.on_failure(epoch);
+            self.note_breaker(t, epoch);
+            return Err(ServeError::DeadlineMiss {
+                cost_ms: reply.cost_ms,
+                deadline_ms: req.deadline_ms,
+            });
+        }
+        let weights = self
+            .env_cfg
+            .try_action_to_weights(&reply.action, self.graph.num_edges())
+            .map_err(|e| ServeError::BadAction(e.to_string()))?;
+        let routing = softmin_routing(&self.graph, &weights, &self.env_cfg.softmin)
+            .map_err(|e| ServeError::BadAction(format!("{e:?}")))?;
+        Ok(routing)
+    }
+
+    /// Score a fresh routing against the strict oracle, breaker
+    /// permitting.
+    fn score(&mut self, routing: &Routing, dm: &DemandMatrix, epoch: u64) -> Option<f64> {
+        if !self.config.score_responses {
+            return None;
+        }
+        let (allowed, t) = self.breaker.allow(epoch);
+        self.note_breaker(t, epoch);
+        if !allowed {
+            self.stats.scoring_skipped += 1;
+            return None;
+        }
+        let u_agent = match max_link_utilisation(&self.graph, routing, dm) {
+            Ok(report) => report.u_max,
+            Err(_) => {
+                self.stats.scoring_failed += 1;
+                let t = self.breaker.on_failure(epoch);
+                self.note_breaker(t, epoch);
+                return None;
+            }
+        };
+        match self.oracle.u_opt_checked(dm) {
+            Ok(u_opt) if u_opt > 0.0 => {
+                let t = self.breaker.on_success();
+                self.note_breaker(t, epoch);
+                Some(u_agent / u_opt)
+            }
+            Ok(_) => {
+                // Zero-demand epoch: trivially optimal, nothing to
+                // learn from the ratio.
+                let t = self.breaker.on_success();
+                self.note_breaker(t, epoch);
+                Some(1.0)
+            }
+            Err(_) => {
+                self.stats.scoring_failed += 1;
+                let t = self.breaker.on_failure(epoch);
+                self.note_breaker(t, epoch);
+                None
+            }
+        }
+    }
+
+    /// Answer from the ladder below Fresh.
+    fn ladder_answer(&self, epoch: u64) -> (Rung, Routing) {
+        if let Some((routing, stamp)) = &self.last_good {
+            if epoch.saturating_sub(*stamp) <= self.config.staleness_limit {
+                return (Rung::LastGood, routing.clone());
+            }
+        }
+        if self.config.use_ecmp {
+            (Rung::Ecmp, self.ecmp.clone())
+        } else {
+            (Rung::ShortestPath, self.shortest_path.clone())
+        }
+    }
+
+    fn serve(&mut self, req: EpochRequest, shed: bool) -> RouteResponse {
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        let valid = self.validate_demands(&req.demands);
+        let mut degraded_reason = None;
+        let mut score = None;
+
+        let (rung, routing) = match (&valid, shed) {
+            (Ok(()), false) if req.deadline_ms > 0 => match self.try_fresh(&req, epoch) {
+                Ok(routing) => {
+                    score = self.score(&routing, &req.demands, epoch);
+                    self.last_good = Some((routing.clone(), epoch));
+                    (Rung::Fresh, routing)
+                }
+                Err(e) => {
+                    degraded_reason = Some(e);
+                    self.ladder_answer(epoch)
+                }
+            },
+            (Ok(()), false) => {
+                // deadline_ms == 0: no inference budget at all.
+                degraded_reason = Some(ServeError::DeadlineMiss {
+                    cost_ms: 0,
+                    deadline_ms: 0,
+                });
+                self.ladder_answer(epoch)
+            }
+            (Ok(()), true) => self.ladder_answer(epoch),
+            (Err(e), _) => {
+                degraded_reason = Some(e.clone());
+                self.ladder_answer(epoch)
+            }
+        };
+
+        // Valid demands are real observed traffic: they enter the
+        // history even when inference failed, so the next fresh
+        // attempt sees them.
+        if valid.is_ok() {
+            self.push_history(req.demands.clone());
+        }
+
+        match rung {
+            Rung::Fresh => self.stats.fresh += 1,
+            Rung::LastGood => self.stats.last_good += 1,
+            Rung::Ecmp => self.stats.ecmp += 1,
+            Rung::ShortestPath => self.stats.shortest_path += 1,
+        }
+        gddr_telemetry::rung_served_event(epoch, rung.name(), shed);
+
+        let breaker_disturbed = self.breaker.state() != BreakerState::Closed;
+        if let Some((from, to)) = self.health.observe(HealthInputs {
+            rung,
+            workers_alive: self.pool.alive_workers(),
+            breaker_disturbed,
+        }) {
+            gddr_telemetry::health_transition_event(from.name(), to.name(), epoch);
+        }
+
+        RouteResponse {
+            epoch: req.epoch,
+            served_at: epoch,
+            rung,
+            routing,
+            shed,
+            score,
+            degraded_reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ChaosEngine, Fault, FaultPlan, InferenceEngine, PolicyEngine};
+    use gddr_core::MlpPolicy;
+    use gddr_net::topology::zoo;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
+    use gddr_traffic::gen::{bimodal, BimodalParams};
+    use std::sync::Arc;
+
+    fn factory(plan: Arc<FaultPlan>) -> EngineFactory {
+        Arc::new(move |graph: &Graph| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let policy = MlpPolicy::new(
+                3,
+                graph.num_nodes(),
+                graph.num_edges(),
+                &[8],
+                -0.5,
+                &mut rng,
+            );
+            let engine = PolicyEngine::new(policy, graph, 3);
+            Box::new(ChaosEngine::new(engine, Arc::clone(&plan))) as Box<dyn InferenceEngine>
+        })
+    }
+
+    fn env_cfg() -> DdrEnvConfig {
+        DdrEnvConfig {
+            memory: 3,
+            ..DdrEnvConfig::default()
+        }
+    }
+
+    fn controller(plan: FaultPlan, config: ControllerConfig) -> Controller {
+        Controller::new(zoo::cesnet(), env_cfg(), config, factory(Arc::new(plan)))
+    }
+
+    fn request(epoch: u64, seed: u64) -> EpochRequest {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(epoch));
+        EpochRequest {
+            epoch,
+            demands: bimodal(6, &BimodalParams::default(), &mut rng),
+            deadline_ms: 50,
+        }
+    }
+
+    #[test]
+    fn healthy_path_serves_fresh_scored_routings() {
+        let mut c = controller(FaultPlan::new(), ControllerConfig::default());
+        for e in 0..5 {
+            let responses = c.handle(request(e, 100));
+            assert_eq!(responses.len(), 1);
+            let r = &responses[0];
+            assert_eq!(r.rung, Rung::Fresh);
+            assert!(!r.shed);
+            assert!(r.degraded_reason.is_none());
+            let score = r.score.expect("scored");
+            assert!(score >= 1.0 - 1e-9, "ratio {score} below optimum");
+            assert!(r.routing.validate(c.graph()).is_empty());
+        }
+        assert_eq!(c.stats().fresh, 5);
+        assert_eq!(c.health(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn ladder_descends_last_good_then_ecmp_then_shortest_path() {
+        // Panic every epoch from 2 on with zero restart budget: the
+        // pool dies, last_good serves until stale, then ECMP.
+        let plan = FaultPlan::new().span(2..=100, Fault::Panic);
+        let mut config = ControllerConfig {
+            staleness_limit: 3,
+            ..ControllerConfig::default()
+        };
+        config.pool.workers = 1;
+        config.pool.restart_budget = 0;
+        let mut c = controller(plan, config);
+
+        let fresh = c.handle(request(1, 100)).remove(0);
+        assert_eq!(fresh.rung, Rung::Fresh);
+
+        // Epoch 2 panics, slot dies; last_good (stamped at serving
+        // epoch 1) serves while within staleness 3 (epochs 2..=4).
+        for e in 2..=4 {
+            let r = c.handle(request(e, 100)).remove(0);
+            assert_eq!(r.rung, Rung::LastGood, "epoch {e}");
+        }
+        assert_eq!(c.alive_workers(), 0);
+        assert_eq!(c.health(), HealthState::Unhealthy);
+        let r = c.handle(request(5, 100)).remove(0);
+        assert_eq!(r.rung, Rung::Ecmp);
+
+        // With ECMP disabled the last rung is shortest path.
+        let plan = FaultPlan::new().span(0..=100, Fault::Panic);
+        let mut config = ControllerConfig {
+            use_ecmp: false,
+            ..ControllerConfig::default()
+        };
+        config.pool.workers = 1;
+        config.pool.restart_budget = 0;
+        let mut c = controller(plan, config);
+        let r = c.handle(request(0, 100)).remove(0);
+        assert_eq!(r.rung, Rung::ShortestPath);
+        assert!(r.routing.validate(c.graph()).is_empty());
+    }
+
+    #[test]
+    fn deadline_miss_degrades_and_feeds_the_breaker() {
+        let plan = FaultPlan::new().span(1..=8, Fault::Slow { cost_ms: 99 });
+        let mut c = controller(plan, ControllerConfig::default());
+        let r = c.handle(request(0, 100)).remove(0);
+        assert_eq!(r.rung, Rung::Fresh);
+        for e in 1..=8 {
+            let r = c.handle(request(e, 100)).remove(0);
+            assert_eq!(r.rung, Rung::LastGood);
+            assert!(matches!(
+                r.degraded_reason,
+                Some(ServeError::DeadlineMiss { cost_ms: 99, .. })
+            ));
+        }
+        // Three consecutive misses tripped the breaker open.
+        assert!(c.stats().breaker_transitions >= 1);
+        assert_eq!(c.health(), HealthState::Degraded);
+    }
+
+    #[test]
+    fn garbage_actions_fall_back_without_poisoning_last_good() {
+        let plan = FaultPlan::new().at(1, Fault::Garbage);
+        let mut c = controller(plan, ControllerConfig::default());
+        let r = c.handle(request(0, 100)).remove(0);
+        assert_eq!(r.rung, Rung::Fresh);
+        let r = c.handle(request(1, 100)).remove(0);
+        assert_eq!(r.rung, Rung::LastGood);
+        assert!(matches!(r.degraded_reason, Some(ServeError::BadAction(_))));
+        // Recovery on the next clean epoch.
+        let r = c.handle(request(2, 100)).remove(0);
+        assert_eq!(r.rung, Rung::Fresh);
+    }
+
+    #[test]
+    fn invalid_demands_are_answered_from_the_ladder() {
+        let mut c = controller(FaultPlan::new(), ControllerConfig::default());
+        c.handle(request(0, 100));
+
+        let inf = EpochRequest {
+            epoch: 1,
+            demands: DemandMatrix::from_fn(
+                6,
+                |s, d| if s == 0 && d == 1 { f64::INFINITY } else { 0.1 },
+            ),
+            deadline_ms: 50,
+        };
+        let r = c.handle(inf).remove(0);
+        assert_eq!(r.rung, Rung::LastGood);
+        assert!(matches!(
+            r.degraded_reason,
+            Some(ServeError::InvalidDemand(_))
+        ));
+
+        let wrong_size = EpochRequest {
+            epoch: 2,
+            demands: DemandMatrix::zeros(9),
+            deadline_ms: 50,
+        };
+        let r = c.handle(wrong_size).remove(0);
+        assert_eq!(r.rung, Rung::LastGood);
+
+        let zero_deadline = EpochRequest {
+            epoch: 3,
+            demands: request(3, 100).demands,
+            deadline_ms: 0,
+        };
+        let r = c.handle(zero_deadline).remove(0);
+        assert_eq!(r.rung, Rung::LastGood);
+
+        // Valid traffic still reaches fresh inference afterwards.
+        let r = c.handle(request(4, 100)).remove(0);
+        assert_eq!(r.rung, Rung::Fresh);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_but_still_answers_via_ladder() {
+        let mut config = ControllerConfig {
+            queue_capacity: 2,
+            ..ControllerConfig::default()
+        };
+        config.pool.workers = 1;
+        let mut c = controller(FaultPlan::new(), config);
+        // Prime last_good.
+        c.handle(request(0, 100));
+
+        let mut responses = Vec::new();
+        for e in 1..=5 {
+            responses.extend(c.enqueue(request(e, 100)));
+        }
+        while let Some(r) = c.process_next() {
+            responses.push(r);
+        }
+        // 5 submitted → 5 answered: 3 shed (oldest), 2 processed.
+        assert_eq!(responses.len(), 5);
+        let shed: Vec<_> = responses.iter().filter(|r| r.shed).collect();
+        assert_eq!(shed.len(), 3);
+        assert_eq!(c.stats().shed, 3);
+        for r in &shed {
+            assert_ne!(r.rung, Rung::Fresh);
+            assert!(r.routing.validate(c.graph()).is_empty());
+        }
+        let epochs: Vec<u64> = shed.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn apply_topology_rebuilds_and_invalidates_last_good() {
+        let mut c = controller(FaultPlan::new(), ControllerConfig::default());
+        c.handle(request(0, 100));
+        assert!(c.stats().fresh == 1);
+
+        let mut injector = gddr_core::FailureInjector::from_seed(2, 5);
+        let (degraded, dropped) = injector.degrade(&zoo::cesnet());
+        assert!(dropped > 0);
+        c.apply_topology(degraded.clone()).unwrap();
+        assert_eq!(c.graph().num_edges(), degraded.num_edges());
+
+        let r = c.handle(request(1, 100)).remove(0);
+        // Last-good was invalidated; fresh inference on the new graph.
+        assert_eq!(r.rung, Rung::Fresh);
+        assert!(r.routing.validate(&degraded).is_empty());
+
+        // Node-count changes are rejected.
+        let bad = gddr_net::topology::zoo::abilene();
+        assert!(c.apply_topology(bad).is_err());
+    }
+
+    #[test]
+    fn oracle_fault_storm_trips_and_recovers_the_breaker() {
+        let mut c = controller(FaultPlan::new(), ControllerConfig::default());
+        c.oracle().inject_pivot_limit(5);
+        let mut rungs = Vec::new();
+        for e in 0..24 {
+            let r = c.handle(request(e, 200)).remove(0);
+            rungs.push(r.rung);
+        }
+        // Scoring failures never degrade the rung.
+        assert!(rungs.iter().all(|&r| r == Rung::Fresh));
+        assert!(c.stats().scoring_failed >= 3);
+        assert!(c.stats().scoring_skipped >= 1);
+        // Breaker tripped open and eventually closed again.
+        assert!(c.stats().breaker_transitions >= 3);
+        assert_eq!(c.breaker_state(), BreakerState::Closed);
+        assert_eq!(c.health(), HealthState::Healthy);
+    }
+}

@@ -1,0 +1,278 @@
+//! Inference engines: the unit of work a serving worker runs per
+//! request.
+//!
+//! [`PolicyEngine`] wraps any trained [`Policy`] (MLP or GNN) behind
+//! the [`InferenceEngine`] trait; [`ChaosEngine`] wraps another engine
+//! and injects scripted faults for the chaos harness, keyed by request
+//! epoch so fault schedules are fully deterministic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gddr_core::obs::{flat_features, node_features, DemandHistory};
+use gddr_core::DdrObs;
+use gddr_gnn::GraphStructure;
+use gddr_net::Graph;
+use gddr_nn::Matrix;
+use gddr_rl::Policy;
+use gddr_traffic::DemandMatrix;
+
+use crate::request::EpochRequest;
+
+/// The result of one inference call.
+#[derive(Debug, Clone)]
+pub struct InferenceReply {
+    /// Raw policy action (one entry per base-graph edge for the MLP;
+    /// per current-graph edge for the GNN).
+    pub action: Vec<f64>,
+    /// Logical inference cost in milliseconds, compared against the
+    /// request deadline. Real engines report wall time; chaos engines
+    /// report scripted costs so deadline behaviour is deterministic.
+    pub cost_ms: u64,
+}
+
+/// One-shot routing inference: demands + history in, action out.
+///
+/// `Send` so engines can move into worker threads. Engines are built
+/// by an [`EngineFactory`] so the pool can rebuild them after a panic
+/// or a topology change.
+pub trait InferenceEngine: Send {
+    /// Produces an action for the request. `history` holds exactly
+    /// the policy's memory length of matrices, oldest first,
+    /// zero-padded at the front while the controller warms up.
+    fn infer(&mut self, req: &EpochRequest, history: &[DemandMatrix]) -> InferenceReply;
+}
+
+/// Builds a fresh engine for a (possibly degraded) topology. Called
+/// on worker start, after every restart, and on `apply_topology`.
+pub type EngineFactory = Arc<dyn Fn(&Graph) -> Box<dyn InferenceEngine> + Send + Sync>;
+
+/// An [`InferenceEngine`] running a trained GDDR policy.
+pub struct PolicyEngine<P> {
+    policy: P,
+    structure: Arc<GraphStructure>,
+    num_nodes: usize,
+    num_edges: usize,
+    memory: usize,
+}
+
+impl<P> PolicyEngine<P> {
+    /// Wraps `policy` for serving on `graph` with demand-history
+    /// length `memory`.
+    pub fn new(policy: P, graph: &Graph, memory: usize) -> Self {
+        PolicyEngine {
+            policy,
+            structure: Arc::new(GraphStructure::from_graph(graph)),
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_edges(),
+            memory,
+        }
+    }
+
+    fn observe(&self, history: &[DemandMatrix]) -> DdrObs {
+        let mut h = DemandHistory::new(self.memory);
+        for dm in history {
+            h.push(dm.clone());
+        }
+        DdrObs {
+            structure: Arc::clone(&self.structure),
+            node_feats: node_features(&h, self.num_nodes, self.memory),
+            edge_feats: Matrix::zeros(self.num_edges, 3),
+            globals: Matrix::zeros(1, 1),
+            flat: flat_features(&h, self.num_nodes, self.memory),
+            target_edge: None,
+        }
+    }
+}
+
+impl<P: Policy<Obs = DdrObs> + Send> InferenceEngine for PolicyEngine<P> {
+    fn infer(&mut self, req: &EpochRequest, history: &[DemandMatrix]) -> InferenceReply {
+        let start = Instant::now();
+        // The request's own demands are the newest history entry: the
+        // controller appends them before dispatch, so `history`
+        // already ends with `req.demands`. The request is still passed
+        // so chaos wrappers can key faults off its epoch.
+        let _ = req;
+        let obs = self.observe(history);
+        let action = self.policy.act_greedy(&obs);
+        InferenceReply {
+            action,
+            cost_ms: start.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+/// A scripted fault, applied when the wrapped engine serves the
+/// matching request epoch.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Panic inside the engine (exercises `catch_unwind` + restart).
+    Panic,
+    /// Run normally but report a scripted inference cost, triggering
+    /// deterministic deadline misses.
+    Slow {
+        /// Reported logical cost in milliseconds.
+        cost_ms: u64,
+    },
+    /// Return an all-NaN action (exercises action validation).
+    Garbage,
+    /// Sleep past the pool's hang backstop (threaded mode only; the
+    /// worker is abandoned and replaced).
+    Hang {
+        /// Wall-clock sleep in milliseconds.
+        sleep_ms: u64,
+    },
+}
+
+/// A deterministic fault schedule keyed by request epoch.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` for the request with the given epoch.
+    pub fn at(mut self, epoch: u64, fault: Fault) -> Self {
+        self.faults.insert(epoch, fault);
+        self
+    }
+
+    /// Schedules `fault` for every epoch in the range.
+    pub fn span(mut self, epochs: std::ops::RangeInclusive<u64>, fault: Fault) -> Self {
+        for e in epochs {
+            self.faults.insert(e, fault.clone());
+        }
+        self
+    }
+
+    /// The fault scheduled for `epoch`, if any.
+    pub fn fault(&self, epoch: u64) -> Option<&Fault> {
+        self.faults.get(&epoch)
+    }
+
+    /// The largest scheduled epoch (for recovery-SLO bookkeeping).
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.faults.keys().max().copied()
+    }
+}
+
+/// Wraps another engine and executes the fault plan.
+pub struct ChaosEngine<E> {
+    inner: E,
+    plan: Arc<FaultPlan>,
+}
+
+impl<E> ChaosEngine<E> {
+    /// Wraps `inner`, consulting `plan` on every request.
+    pub fn new(inner: E, plan: Arc<FaultPlan>) -> Self {
+        ChaosEngine { inner, plan }
+    }
+}
+
+impl<E: InferenceEngine> InferenceEngine for ChaosEngine<E> {
+    fn infer(&mut self, req: &EpochRequest, history: &[DemandMatrix]) -> InferenceReply {
+        match self.plan.fault(req.epoch) {
+            None => self.inner.infer(req, history),
+            Some(Fault::Panic) => panic!("injected worker panic at epoch {}", req.epoch),
+            Some(Fault::Slow { cost_ms }) => {
+                let cost_ms = *cost_ms;
+                let mut reply = self.inner.infer(req, history);
+                reply.cost_ms = cost_ms;
+                reply
+            }
+            Some(Fault::Garbage) => {
+                let reply = self.inner.infer(req, history);
+                InferenceReply {
+                    action: vec![f64::NAN; reply.action.len()],
+                    cost_ms: reply.cost_ms,
+                }
+            }
+            Some(Fault::Hang { sleep_ms }) => {
+                std::thread::sleep(std::time::Duration::from_millis(*sleep_ms));
+                self.inner.infer(req, history)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_core::MlpPolicy;
+    use gddr_net::topology::zoo;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
+    use gddr_traffic::gen::{bimodal, BimodalParams};
+
+    fn request(epoch: u64, n: usize, seed: u64) -> EpochRequest {
+        let mut rng = StdRng::seed_from_u64(seed);
+        EpochRequest {
+            epoch,
+            demands: bimodal(n, &BimodalParams::default(), &mut rng),
+            deadline_ms: 50,
+        }
+    }
+
+    fn mlp_engine(graph: &Graph, memory: usize) -> PolicyEngine<MlpPolicy> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let policy = MlpPolicy::new(
+            memory,
+            graph.num_nodes(),
+            graph.num_edges(),
+            &[8],
+            -0.5,
+            &mut rng,
+        );
+        PolicyEngine::new(policy, graph, memory)
+    }
+
+    #[test]
+    fn policy_engine_is_deterministic() {
+        let graph = zoo::cesnet();
+        let mut engine = mlp_engine(&graph, 2);
+        let req = request(0, graph.num_nodes(), 1);
+        let history = vec![DemandMatrix::zeros(6), req.demands.clone()];
+        let a = engine.infer(&req, &history);
+        let b = engine.infer(&req, &history);
+        assert_eq!(a.action, b.action);
+        assert_eq!(a.action.len(), graph.num_edges());
+        assert!(a.action.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn chaos_engine_executes_the_plan() {
+        let graph = zoo::cesnet();
+        let plan = Arc::new(
+            FaultPlan::new()
+                .at(1, Fault::Slow { cost_ms: 99 })
+                .at(2, Fault::Garbage),
+        );
+        let mut engine = ChaosEngine::new(mlp_engine(&graph, 2), plan);
+        let history = vec![DemandMatrix::zeros(6); 2];
+
+        let clean = engine.infer(&request(0, 6, 1), &history);
+        assert!(clean.action.iter().all(|x| x.is_finite()));
+
+        let slow = engine.infer(&request(1, 6, 1), &history);
+        assert_eq!(slow.cost_ms, 99);
+
+        let garbage = engine.infer(&request(2, 6, 1), &history);
+        assert!(garbage.action.iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected worker panic")]
+    fn chaos_engine_panics_on_schedule() {
+        let graph = zoo::cesnet();
+        let plan = Arc::new(FaultPlan::new().at(3, Fault::Panic));
+        let mut engine = ChaosEngine::new(mlp_engine(&graph, 2), plan);
+        let history = vec![DemandMatrix::zeros(6); 2];
+        engine.infer(&request(3, 6, 1), &history);
+    }
+}

@@ -1,0 +1,133 @@
+//! Controller health as a coarse, monitorable state machine.
+//!
+//! Health is derived, not stored: after every response the monitor
+//! recomputes the state from (rung served, live workers, breaker) and
+//! reports transitions so the controller can emit telemetry.
+
+use crate::request::Rung;
+
+/// Coarse controller health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// No response served yet.
+    Starting,
+    /// Serving fresh routings with workers alive and the scoring
+    /// breaker closed.
+    Healthy,
+    /// Answering — but from a fallback rung, or with the breaker
+    /// open/probing.
+    Degraded,
+    /// No inference worker left alive (ladder-only operation).
+    Unhealthy,
+}
+
+impl HealthState {
+    /// Stable event name for the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Starting => "starting",
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+/// What the monitor sees after each served response.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthInputs {
+    /// Rung of the response just served.
+    pub rung: Rung,
+    /// Worker slots currently alive (restart budget not exhausted).
+    pub workers_alive: usize,
+    /// Whether the scoring circuit breaker is anything but closed.
+    pub breaker_disturbed: bool,
+}
+
+/// Derives [`HealthState`] transitions from per-response inputs.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    state: HealthState,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        HealthMonitor::new()
+    }
+}
+
+impl HealthMonitor {
+    /// A monitor in [`HealthState::Starting`].
+    pub fn new() -> Self {
+        HealthMonitor {
+            state: HealthState::Starting,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Folds one response's inputs in; returns `(from, to)` when the
+    /// state changed.
+    pub fn observe(&mut self, inputs: HealthInputs) -> Option<(HealthState, HealthState)> {
+        let next = if inputs.workers_alive == 0 {
+            HealthState::Unhealthy
+        } else if inputs.rung == Rung::Fresh && !inputs.breaker_disturbed {
+            HealthState::Healthy
+        } else {
+            HealthState::Degraded
+        };
+        if next != self.state {
+            let from = self.state;
+            self.state = next;
+            Some((from, next))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(rung: Rung, workers: usize, disturbed: bool) -> HealthInputs {
+        HealthInputs {
+            rung,
+            workers_alive: workers,
+            breaker_disturbed: disturbed,
+        }
+    }
+
+    #[test]
+    fn walks_the_ladder_of_states() {
+        let mut m = HealthMonitor::new();
+        assert_eq!(m.state(), HealthState::Starting);
+
+        let t = m.observe(inputs(Rung::Fresh, 2, false)).unwrap();
+        assert_eq!(t, (HealthState::Starting, HealthState::Healthy));
+
+        // Same state: no transition reported.
+        assert!(m.observe(inputs(Rung::Fresh, 2, false)).is_none());
+
+        let t = m.observe(inputs(Rung::LastGood, 2, false)).unwrap();
+        assert_eq!(t, (HealthState::Healthy, HealthState::Degraded));
+
+        let t = m.observe(inputs(Rung::Ecmp, 0, false)).unwrap();
+        assert_eq!(t.1, HealthState::Unhealthy);
+
+        // Workers back: recovery is possible.
+        let t = m.observe(inputs(Rung::Fresh, 1, false)).unwrap();
+        assert_eq!(t, (HealthState::Unhealthy, HealthState::Healthy));
+    }
+
+    #[test]
+    fn breaker_disturbance_degrades_even_fresh_responses() {
+        let mut m = HealthMonitor::new();
+        m.observe(inputs(Rung::Fresh, 2, false));
+        let t = m.observe(inputs(Rung::Fresh, 2, true)).unwrap();
+        assert_eq!(t.1, HealthState::Degraded);
+    }
+}

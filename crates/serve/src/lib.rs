@@ -1,0 +1,55 @@
+//! # gddr-serve
+//!
+//! An online serving layer for trained GDDR routing policies: a
+//! long-running controller that accepts traffic-matrix epoch requests,
+//! runs policy inference under a per-request deadline, and **always**
+//! returns a routing via a graceful-degradation ladder:
+//!
+//! 1. fresh policy output,
+//! 2. the last-known-good routing (staleness-bounded),
+//! 3. the ECMP baseline,
+//! 4. the shortest-path baseline.
+//!
+//! Every response is tagged with the rung that produced it, so
+//! operators can alert on degradation depth rather than on absence of
+//! answers. Robustness machinery:
+//!
+//! - [`worker`] — a supervised inference pool: panics are caught and
+//!   converted to typed errors, workers restart with exponential
+//!   backoff under a restart budget, hung threads are abandoned and
+//!   replaced (replies carry generation tags so stragglers are
+//!   discarded),
+//! - [`breaker`] — a circuit breaker on the strict LP-oracle scoring
+//!   path (closed → open on consecutive failures → half-open probe),
+//! - [`queue`] — a bounded admission queue that sheds oldest on
+//!   overload; shed requests are still answered from the ladder,
+//! - [`health`] — Starting/Healthy/Degraded/Unhealthy, derived after
+//!   every response and streamed as telemetry,
+//! - [`chaos`] — seeded fault scenarios (worker panics, oracle pivot
+//!   storms, slow inference, malformed matrices, queue overload,
+//!   link failures, hangs) with SLO checks, driven by the
+//!   `chaos_harness` bench binary.
+//!
+//! Determinism is load-bearing: all rung-affecting decisions use
+//! logical time (serving epochs and engine-reported costs), so a
+//! scenario's rung sequence is a pure function of its seed — the
+//! chaos harness replays every scenario twice and asserts the
+//! sequences are bit-identical.
+
+pub mod breaker;
+pub mod chaos;
+pub mod controller;
+pub mod engine;
+pub mod health;
+pub mod queue;
+pub mod request;
+pub mod worker;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{run_scenario, scenario_names, scenario_seed, ScenarioOutcome};
+pub use controller::{Controller, ControllerConfig, ServeStats};
+pub use engine::{ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine};
+pub use health::HealthState;
+pub use queue::AdmissionQueue;
+pub use request::{EpochRequest, RouteResponse, Rung, ServeError};
+pub use worker::{ExecMode, PoolConfig, WorkerPool};

@@ -1,0 +1,110 @@
+//! Bounded admission queue with shed-oldest overflow.
+//!
+//! Load shedding here never means dropping a request on the floor:
+//! shed requests are returned to the controller, which still answers
+//! them from the degradation ladder (skipping inference). The queue
+//! only decides *which* requests lose their inference slot — the
+//! oldest, whose traffic matrices are already going stale.
+
+use std::collections::VecDeque;
+
+use crate::request::EpochRequest;
+
+/// A bounded FIFO of pending epoch requests.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    items: VecDeque<EpochRequest>,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` pending requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission queue needs positive capacity");
+        AdmissionQueue {
+            capacity,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum pending requests.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits `req`, returning any requests shed to make room (oldest
+    /// first). The new request itself is never shed on admission.
+    pub fn admit(&mut self, req: EpochRequest) -> Vec<EpochRequest> {
+        self.items.push_back(req);
+        let mut shed = Vec::new();
+        while self.items.len() > self.capacity {
+            // Unwrap is safe: len > capacity >= 1.
+            shed.push(self.items.pop_front().unwrap());
+        }
+        shed
+    }
+
+    /// Pops the oldest pending request.
+    pub fn pop(&mut self) -> Option<EpochRequest> {
+        self.items.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_traffic::DemandMatrix;
+
+    fn req(epoch: u64) -> EpochRequest {
+        EpochRequest {
+            epoch,
+            demands: DemandMatrix::zeros(3),
+            deadline_ms: 50,
+        }
+    }
+
+    #[test]
+    fn fifo_below_capacity() {
+        let mut q = AdmissionQueue::new(3);
+        for e in 0..3 {
+            assert!(q.admit(req(e)).is_empty());
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().epoch, 0);
+        assert_eq!(q.pop().unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_not_newest() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.admit(req(0)).is_empty());
+        assert!(q.admit(req(1)).is_empty());
+        let shed = q.admit(req(2));
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].epoch, 0);
+        // The newest request survives at the back.
+        assert_eq!(q.pop().unwrap().epoch, 1);
+        assert_eq!(q.pop().unwrap().epoch, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        AdmissionQueue::new(0);
+    }
+}

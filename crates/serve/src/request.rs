@@ -1,0 +1,176 @@
+//! The serving wire types: epoch requests, routed responses, the
+//! degradation-ladder rung tag, and the typed failures that explain
+//! why a response was not fresh.
+
+use std::fmt;
+
+use gddr_routing::Routing;
+use gddr_traffic::DemandMatrix;
+
+/// One traffic-matrix epoch request: "here is what the network carried,
+/// give me a routing for the next epoch within the deadline".
+#[derive(Debug, Clone)]
+pub struct EpochRequest {
+    /// Client-assigned request identifier (monotone per client).
+    pub epoch: u64,
+    /// The observed traffic matrix for the epoch.
+    pub demands: DemandMatrix,
+    /// Logical inference budget in milliseconds. `0` means "no time
+    /// for inference": the request is answered straight from the
+    /// degradation ladder.
+    pub deadline_ms: u64,
+}
+
+/// Which rung of the graceful-degradation ladder produced a response.
+/// Ordered from best to worst; [`Rung::depth`] is the SLO metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Fresh policy inference on this request's demands.
+    Fresh,
+    /// The last successfully inferred routing, within the staleness
+    /// bound.
+    LastGood,
+    /// The precomputed unit-weight ECMP baseline.
+    Ecmp,
+    /// The precomputed unit-weight shortest-path baseline — the rung
+    /// of last resort, always available.
+    ShortestPath,
+}
+
+impl Rung {
+    /// Stable event/report name for the rung.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Fresh => "fresh",
+            Rung::LastGood => "last_good",
+            Rung::Ecmp => "ecmp",
+            Rung::ShortestPath => "shortest_path",
+        }
+    }
+
+    /// Ladder depth: 0 for fresh, growing as quality degrades.
+    pub fn depth(self) -> u8 {
+        match self {
+            Rung::Fresh => 0,
+            Rung::LastGood => 1,
+            Rung::Ecmp => 2,
+            Rung::ShortestPath => 3,
+        }
+    }
+
+    /// One-character tag for compact rung-sequence digests (`F`, `L`,
+    /// `E`, `S`).
+    pub fn letter(self) -> char {
+        match self {
+            Rung::Fresh => 'F',
+            Rung::LastGood => 'L',
+            Rung::Ecmp => 'E',
+            Rung::ShortestPath => 'S',
+        }
+    }
+}
+
+/// Why a response came from a fallback rung instead of fresh inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The demand matrix was malformed (wrong size, non-finite
+    /// entries, zero nodes).
+    InvalidDemand(String),
+    /// Inference finished but over the request's deadline.
+    DeadlineMiss {
+        /// Reported inference cost in milliseconds.
+        cost_ms: u64,
+        /// The request's budget.
+        deadline_ms: u64,
+    },
+    /// The worker running inference panicked (it is restarted).
+    WorkerPanicked(String),
+    /// The worker failed to answer within the hang backstop (it is
+    /// abandoned and replaced).
+    WorkerHung,
+    /// No worker was available: all slots dead (restart budget spent)
+    /// or backing off.
+    PoolExhausted,
+    /// Inference produced an unusable action (NaN weights, wrong
+    /// dimension, softmin rejection).
+    BadAction(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidDemand(msg) => write!(f, "invalid demand matrix: {msg}"),
+            ServeError::DeadlineMiss {
+                cost_ms,
+                deadline_ms,
+            } => write!(f, "deadline miss: {cost_ms}ms > {deadline_ms}ms budget"),
+            ServeError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            ServeError::WorkerHung => write!(f, "worker hung past the backstop"),
+            ServeError::PoolExhausted => write!(f, "no inference worker available"),
+            ServeError::BadAction(msg) => write!(f, "unusable inference output: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served routing response. Every request gets exactly one — the
+/// ladder guarantees an answer even when every upstream component is
+/// on fire.
+#[derive(Debug, Clone)]
+pub struct RouteResponse {
+    /// The request's `epoch` field, echoed back.
+    pub epoch: u64,
+    /// Logical serving epoch assigned by the controller (monotone,
+    /// one per processed request — the clock backoffs and staleness
+    /// are measured in).
+    pub served_at: u64,
+    /// Which ladder rung produced [`RouteResponse::routing`].
+    pub rung: Rung,
+    /// The routing strategy to install.
+    pub routing: Routing,
+    /// `true` when the request was shed from the admission queue and
+    /// answered without attempting inference.
+    pub shed: bool,
+    /// `U_agent / U_opt` when oracle scoring ran and succeeded
+    /// (fresh responses only, circuit breaker permitting).
+    pub score: Option<f64>,
+    /// Why the response is not fresh (`None` for fresh responses and
+    /// for shed requests, whose only reason is the shed flag).
+    pub degraded_reason: Option<ServeError>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_tags_are_consistent() {
+        let rungs = [Rung::Fresh, Rung::LastGood, Rung::Ecmp, Rung::ShortestPath];
+        for (i, r) in rungs.iter().enumerate() {
+            assert_eq!(r.depth() as usize, i);
+            assert!(!r.name().is_empty());
+        }
+        let letters: Vec<char> = rungs.iter().map(|r| r.letter()).collect();
+        assert_eq!(letters, vec!['F', 'L', 'E', 'S']);
+        assert!(Rung::Fresh < Rung::ShortestPath);
+    }
+
+    #[test]
+    fn errors_display() {
+        let errors = [
+            ServeError::InvalidDemand("nan".into()),
+            ServeError::DeadlineMiss {
+                cost_ms: 100,
+                deadline_ms: 20,
+            },
+            ServeError::WorkerPanicked("boom".into()),
+            ServeError::WorkerHung,
+            ServeError::PoolExhausted,
+            ServeError::BadAction("nan weight".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! The supervised inference worker pool.
+//!
+//! Each slot runs one [`InferenceEngine`]. In `Threaded` mode a slot
+//! is a `std::thread` fed jobs over an mpsc channel, with a heartbeat
+//! counter and a wall-clock hang backstop; in `Inline` mode the engine
+//! runs on the caller's thread (fully deterministic — used by the fuzz
+//! target and most chaos scenarios). Both modes share the supervision
+//! policy:
+//!
+//! - panics are caught (`catch_unwind`) and converted to typed errors;
+//!   the slot is restarted with a fresh engine from the factory,
+//! - restarts back off exponentially in *serving epochs* (logical
+//!   time, deterministic), and a restart budget bounds them: a slot
+//!   that exhausts its budget dies for good,
+//! - hung threads are abandoned, not joined: replies carry a
+//!   generation tag so a straggler answer from a replaced thread is
+//!   discarded.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gddr_net::Graph;
+use gddr_traffic::DemandMatrix;
+
+use crate::engine::{EngineFactory, InferenceEngine, InferenceReply};
+use crate::request::{EpochRequest, ServeError};
+
+/// Pool tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker slots.
+    pub workers: usize,
+    /// Restarts allowed per slot before it dies permanently.
+    pub restart_budget: u32,
+    /// First restart waits this many serving epochs; each further
+    /// restart doubles the wait.
+    pub backoff_base_epochs: u64,
+    /// Wall-clock backstop for a threaded inference call. Generous by
+    /// design — deadline enforcement uses logical `cost_ms`; this only
+    /// catches genuinely wedged threads.
+    pub hang_timeout_ms: u64,
+    /// Inline (deterministic, caller-thread) or threaded execution.
+    pub mode: ExecMode,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 2,
+            restart_budget: 4,
+            backoff_base_epochs: 2,
+            hang_timeout_ms: 2_000,
+            mode: ExecMode::Inline,
+        }
+    }
+}
+
+/// How slots execute inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// On the caller's thread. Panics are still caught; hangs cannot
+    /// be interrupted (use threaded mode to exercise those).
+    Inline,
+    /// On a dedicated `std::thread` per slot.
+    Threaded,
+}
+
+struct Job {
+    job_id: u64,
+    req: EpochRequest,
+    history: Vec<DemandMatrix>,
+}
+
+struct ResultMsg {
+    slot: usize,
+    generation: u64,
+    job_id: u64,
+    outcome: Result<InferenceReply, String>,
+}
+
+struct ThreadBody {
+    sender: Sender<Job>,
+    heartbeat: Arc<AtomicU64>,
+}
+
+enum SlotBody {
+    Inline(Box<dyn InferenceEngine>),
+    Thread(ThreadBody),
+    Dead,
+}
+
+struct Slot {
+    body: SlotBody,
+    generation: u64,
+    restarts: u32,
+    available_from: u64,
+}
+
+impl Slot {
+    fn alive(&self) -> bool {
+        !matches!(self.body, SlotBody::Dead)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn worker_loop(
+    slot: usize,
+    generation: u64,
+    mut engine: Box<dyn InferenceEngine>,
+    jobs: Receiver<Job>,
+    results: Sender<ResultMsg>,
+    heartbeat: Arc<AtomicU64>,
+) {
+    while let Ok(job) = jobs.recv() {
+        heartbeat.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| engine.infer(&job.req, &job.history)));
+        heartbeat.fetch_add(1, Ordering::Relaxed);
+        let fatal = outcome.is_err();
+        let msg = ResultMsg {
+            slot,
+            generation,
+            job_id: job.job_id,
+            outcome: outcome.map_err(panic_message),
+        };
+        if results.send(msg).is_err() || fatal {
+            // Pool gone, or the engine panicked: this thread is done —
+            // the supervisor builds a replacement.
+            break;
+        }
+    }
+}
+
+/// The supervised pool. Dispatch is synchronous (one in-flight job),
+/// so serving stays deterministic; the pool's value is fault
+/// isolation, not parallelism.
+pub struct WorkerPool {
+    factory: EngineFactory,
+    graph: Graph,
+    config: PoolConfig,
+    slots: Vec<Slot>,
+    results_tx: Sender<ResultMsg>,
+    results_rx: Receiver<ResultMsg>,
+    next_job: u64,
+    rr: usize,
+    restarts_total: u64,
+}
+
+impl WorkerPool {
+    /// Builds and starts `config.workers` slots for `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0`.
+    pub fn new(factory: EngineFactory, graph: &Graph, config: PoolConfig) -> Self {
+        assert!(config.workers > 0, "pool needs at least one worker");
+        let (results_tx, results_rx) = channel();
+        let mut pool = WorkerPool {
+            factory,
+            graph: graph.clone(),
+            config,
+            slots: Vec::new(),
+            results_tx,
+            results_rx,
+            next_job: 0,
+            rr: 0,
+            restarts_total: 0,
+        };
+        for i in 0..pool.config.workers {
+            let body = pool.spawn_body(i, 0);
+            pool.slots.push(Slot {
+                body,
+                generation: 0,
+                restarts: 0,
+                available_from: 0,
+            });
+        }
+        pool
+    }
+
+    fn spawn_body(&self, slot: usize, generation: u64) -> SlotBody {
+        let engine = (self.factory)(&self.graph);
+        match self.config.mode {
+            ExecMode::Inline => SlotBody::Inline(engine),
+            ExecMode::Threaded => {
+                let (tx, rx) = channel::<Job>();
+                let heartbeat = Arc::new(AtomicU64::new(0));
+                let hb = Arc::clone(&heartbeat);
+                let results = self.results_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gddr-serve-worker-{slot}"))
+                    .spawn(move || worker_loop(slot, generation, engine, rx, results, hb))
+                    .expect("spawn worker thread");
+                SlotBody::Thread(ThreadBody {
+                    sender: tx,
+                    heartbeat,
+                })
+            }
+        }
+    }
+
+    /// Slots still alive (budget not exhausted) at any epoch.
+    pub fn alive_workers(&self) -> usize {
+        self.slots.iter().filter(|s| s.alive()).count()
+    }
+
+    /// Total restarts performed over the pool's lifetime.
+    pub fn restarts(&self) -> u64 {
+        self.restarts_total
+    }
+
+    /// Heartbeat counter of a threaded slot (tests/diagnostics).
+    pub fn heartbeat(&self, slot: usize) -> Option<u64> {
+        match &self.slots.get(slot)?.body {
+            SlotBody::Thread(t) => Some(t.heartbeat.load(Ordering::Relaxed)),
+            _ => None,
+        }
+    }
+
+    /// Restart (or kill, if over budget) a slot after a fault at
+    /// `epoch`. Emits a `worker_restart` telemetry event on restart.
+    fn supervise(&mut self, slot: usize, epoch: u64) {
+        let s = &mut self.slots[slot];
+        s.generation += 1;
+        if s.restarts >= self.config.restart_budget {
+            s.body = SlotBody::Dead;
+            return;
+        }
+        s.restarts += 1;
+        let shift = (s.restarts - 1).min(16);
+        let backoff = self.config.backoff_base_epochs.saturating_mul(1 << shift);
+        s.available_from = epoch.saturating_add(backoff);
+        let generation = s.generation;
+        let restarts = s.restarts;
+        self.restarts_total += 1;
+        self.slots[slot].body = self.spawn_body(slot, generation);
+        gddr_telemetry::worker_restart_event(slot as u64, restarts as u64, backoff);
+    }
+
+    /// Replace every slot's engine for a new topology. Does not
+    /// consume restart budget; dead slots stay dead.
+    pub fn retool(&mut self, graph: &Graph) {
+        self.graph = graph.clone();
+        for i in 0..self.slots.len() {
+            if !self.slots[i].alive() {
+                continue;
+            }
+            self.slots[i].generation += 1;
+            let generation = self.slots[i].generation;
+            self.slots[i].body = self.spawn_body(i, generation);
+        }
+    }
+
+    fn pick_slot(&mut self, epoch: u64) -> Option<usize> {
+        let n = self.slots.len();
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if self.slots[i].alive() && self.slots[i].available_from <= epoch {
+                self.rr = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Runs inference for `req` on some available slot, supervising
+    /// faults. Exactly one of the typed errors is returned when the
+    /// ladder must take over.
+    pub fn dispatch(
+        &mut self,
+        req: &EpochRequest,
+        history: &[DemandMatrix],
+        epoch: u64,
+    ) -> Result<InferenceReply, ServeError> {
+        let slot = self.pick_slot(epoch).ok_or(ServeError::PoolExhausted)?;
+        if matches!(self.slots[slot].body, SlotBody::Inline(_)) {
+            let outcome = {
+                let engine = match &mut self.slots[slot].body {
+                    SlotBody::Inline(e) => e,
+                    _ => unreachable!(),
+                };
+                catch_unwind(AssertUnwindSafe(|| engine.infer(req, history)))
+            };
+            return match outcome {
+                Ok(reply) => Ok(reply),
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    self.supervise(slot, epoch);
+                    Err(ServeError::WorkerPanicked(msg))
+                }
+            };
+        }
+        let (sender, generation) = match &self.slots[slot].body {
+            SlotBody::Thread(t) => (t.sender.clone(), self.slots[slot].generation),
+            _ => unreachable!("pick_slot returned a dead slot"),
+        };
+        let job_id = self.next_job;
+        self.next_job += 1;
+        let job = Job {
+            job_id,
+            req: req.clone(),
+            history: history.to_vec(),
+        };
+        if sender.send(job).is_err() {
+            // Thread already gone (e.g. died after a previous panic);
+            // treat like a panic and supervise.
+            self.supervise(slot, epoch);
+            return Err(ServeError::WorkerPanicked("worker channel closed".into()));
+        }
+        let backstop = Duration::from_millis(self.config.hang_timeout_ms);
+        loop {
+            match self.results_rx.recv_timeout(backstop) {
+                Ok(msg) => {
+                    if msg.slot != slot || msg.generation != generation || msg.job_id != job_id {
+                        // Straggler from an abandoned thread/generation.
+                        continue;
+                    }
+                    match msg.outcome {
+                        Ok(reply) => return Ok(reply),
+                        Err(panic_msg) => {
+                            self.supervise(slot, epoch);
+                            return Err(ServeError::WorkerPanicked(panic_msg));
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Abandon the wedged thread: bump the generation
+                    // (its eventual reply is discarded) and build a
+                    // replacement.
+                    self.supervise(slot, epoch);
+                    return Err(ServeError::WorkerHung);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.supervise(slot, epoch);
+                    return Err(ServeError::WorkerPanicked(
+                        "worker result channel closed".into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ChaosEngine, Fault, FaultPlan, PolicyEngine};
+    use gddr_core::MlpPolicy;
+    use gddr_net::topology::zoo;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
+    use gddr_traffic::gen::{bimodal, BimodalParams};
+
+    fn factory(plan: Arc<FaultPlan>) -> EngineFactory {
+        Arc::new(move |graph: &Graph| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let policy = MlpPolicy::new(
+                2,
+                graph.num_nodes(),
+                graph.num_edges(),
+                &[8],
+                -0.5,
+                &mut rng,
+            );
+            let engine = PolicyEngine::new(policy, graph, 2);
+            Box::new(ChaosEngine::new(engine, Arc::clone(&plan))) as Box<dyn InferenceEngine>
+        })
+    }
+
+    fn request(epoch: u64, seed: u64) -> EpochRequest {
+        let mut rng = StdRng::seed_from_u64(seed);
+        EpochRequest {
+            epoch,
+            demands: bimodal(6, &BimodalParams::default(), &mut rng),
+            deadline_ms: 50,
+        }
+    }
+
+    fn history() -> Vec<DemandMatrix> {
+        vec![DemandMatrix::zeros(6); 2]
+    }
+
+    #[test]
+    fn inline_panic_is_supervised_and_slot_restarts() {
+        let plan = Arc::new(FaultPlan::new().at(1, Fault::Panic));
+        let graph = zoo::cesnet();
+        let mut pool = WorkerPool::new(
+            factory(plan),
+            &graph,
+            PoolConfig {
+                workers: 1,
+                restart_budget: 2,
+                backoff_base_epochs: 2,
+                ..PoolConfig::default()
+            },
+        );
+        assert!(pool.dispatch(&request(0, 1), &history(), 0).is_ok());
+        let err = pool.dispatch(&request(1, 1), &history(), 1).unwrap_err();
+        assert!(matches!(err, ServeError::WorkerPanicked(_)));
+        assert_eq!(pool.restarts(), 1);
+        // Backing off: epochs 2 (1 + backoff 2 = available from 3).
+        let err = pool.dispatch(&request(2, 1), &history(), 2).unwrap_err();
+        assert!(matches!(err, ServeError::PoolExhausted));
+        // Available again after the backoff.
+        assert!(pool.dispatch(&request(3, 1), &history(), 3).is_ok());
+        assert_eq!(pool.alive_workers(), 1);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_kills_the_slot() {
+        let plan = Arc::new(FaultPlan::new().span(0..=10, Fault::Panic));
+        let graph = zoo::cesnet();
+        let mut pool = WorkerPool::new(
+            factory(plan),
+            &graph,
+            PoolConfig {
+                workers: 1,
+                restart_budget: 1,
+                backoff_base_epochs: 0,
+                ..PoolConfig::default()
+            },
+        );
+        let err = pool.dispatch(&request(0, 1), &history(), 0).unwrap_err();
+        assert!(matches!(err, ServeError::WorkerPanicked(_)));
+        // One restart spent; the next panic kills the slot.
+        let err = pool.dispatch(&request(1, 1), &history(), 1).unwrap_err();
+        assert!(matches!(err, ServeError::WorkerPanicked(_)));
+        assert_eq!(pool.alive_workers(), 0);
+        let err = pool.dispatch(&request(2, 1), &history(), 2).unwrap_err();
+        assert!(matches!(err, ServeError::PoolExhausted));
+    }
+
+    #[test]
+    fn threaded_dispatch_answers_and_survives_panics() {
+        let plan = Arc::new(FaultPlan::new().at(1, Fault::Panic));
+        let graph = zoo::cesnet();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let mut pool = WorkerPool::new(
+            factory(plan),
+            &graph,
+            PoolConfig {
+                workers: 2,
+                restart_budget: 2,
+                backoff_base_epochs: 0,
+                hang_timeout_ms: 5_000,
+                mode: ExecMode::Threaded,
+            },
+        );
+        assert!(pool.dispatch(&request(0, 1), &history(), 0).is_ok());
+        let err = pool.dispatch(&request(1, 1), &history(), 1).unwrap_err();
+        assert!(matches!(err, ServeError::WorkerPanicked(_)));
+        assert!(pool.dispatch(&request(2, 1), &history(), 2).is_ok());
+        assert_eq!(pool.alive_workers(), 2);
+        assert!(pool.heartbeat(0).unwrap_or(0) + pool.heartbeat(1).unwrap_or(0) > 0);
+        std::panic::set_hook(prev_hook);
+    }
+
+    #[test]
+    fn threaded_hang_is_abandoned_and_replaced() {
+        let plan = Arc::new(FaultPlan::new().at(0, Fault::Hang { sleep_ms: 500 }));
+        let graph = zoo::cesnet();
+        let mut pool = WorkerPool::new(
+            factory(plan),
+            &graph,
+            PoolConfig {
+                workers: 1,
+                restart_budget: 2,
+                backoff_base_epochs: 0,
+                hang_timeout_ms: 50,
+                mode: ExecMode::Threaded,
+            },
+        );
+        let err = pool.dispatch(&request(0, 1), &history(), 0).unwrap_err();
+        assert!(matches!(err, ServeError::WorkerHung));
+        // The replacement slot answers; the straggler reply from the
+        // abandoned generation is discarded by the generation tag.
+        assert!(pool.dispatch(&request(1, 1), &history(), 1).is_ok());
+        assert!(pool.dispatch(&request(2, 1), &history(), 2).is_ok());
+    }
+
+    #[test]
+    fn retool_rebuilds_engines_without_spending_budget() {
+        let plan = Arc::new(FaultPlan::new());
+        let graph = zoo::cesnet();
+        let mut pool = WorkerPool::new(factory(plan), &graph, PoolConfig::default());
+        pool.retool(&graph);
+        assert_eq!(pool.restarts(), 0);
+        assert_eq!(pool.alive_workers(), 2);
+        assert!(pool.dispatch(&request(0, 1), &history(), 0).is_ok());
+    }
+}

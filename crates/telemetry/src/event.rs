@@ -88,6 +88,53 @@ pub enum Event {
         /// Directed edges removed this episode.
         edges_removed: u64,
     },
+    /// The serving controller answered an epoch request, tagged with
+    /// the graceful-degradation rung that produced the routing.
+    RungServed {
+        /// Logical serving epoch (one per processed request).
+        epoch: u64,
+        /// Rung name (`fresh`, `last_good`, `ecmp`, `shortest_path`).
+        rung: String,
+        /// Whether the request was shed from the admission queue and
+        /// answered without inference.
+        shed: bool,
+    },
+    /// The oracle-scoring circuit breaker changed state.
+    BreakerTransition {
+        /// State before the transition (`closed`, `open`, `half_open`).
+        from: String,
+        /// State after the transition.
+        to: String,
+        /// Logical serving epoch of the transition.
+        epoch: u64,
+    },
+    /// A supervised serving worker was restarted after a panic or hang.
+    WorkerRestart {
+        /// Worker slot index.
+        worker: u64,
+        /// Restarts consumed from this slot's budget so far.
+        restarts: u64,
+        /// Epochs the slot stays unavailable (exponential backoff).
+        backoff_epochs: u64,
+    },
+    /// An epoch request was shed from the bounded admission queue (it
+    /// is still answered, via the degradation ladder).
+    RequestShed {
+        /// Logical serving epoch of the shed request.
+        epoch: u64,
+        /// Queue length at the moment of shedding.
+        queue_len: u64,
+    },
+    /// The serving controller's health state changed.
+    HealthTransition {
+        /// State before the transition (`starting`, `healthy`,
+        /// `degraded`, `unhealthy`).
+        from: String,
+        /// State after the transition.
+        to: String,
+        /// Logical serving epoch of the transition.
+        epoch: u64,
+    },
 }
 
 impl Event {
@@ -103,7 +150,12 @@ impl Event {
             Event::Checkpoint { .. }
             | Event::Rollback { .. }
             | Event::LpFallback { .. }
-            | Event::FaultInjected { .. } => self.kind(),
+            | Event::FaultInjected { .. }
+            | Event::RungServed { .. }
+            | Event::BreakerTransition { .. }
+            | Event::WorkerRestart { .. }
+            | Event::RequestShed { .. }
+            | Event::HealthTransition { .. } => self.kind(),
         }
     }
 
@@ -119,6 +171,11 @@ impl Event {
             Event::Rollback { .. } => "rollback",
             Event::LpFallback { .. } => "lp_fallback",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::RungServed { .. } => "rung_served",
+            Event::BreakerTransition { .. } => "breaker_transition",
+            Event::WorkerRestart { .. } => "worker_restart",
+            Event::RequestShed { .. } => "request_shed",
+            Event::HealthTransition { .. } => "health_transition",
         }
     }
 }
@@ -189,6 +246,39 @@ impl ToJson for Event {
                 ("graph", graph.to_json()),
                 ("edges_removed", edges_removed.to_json()),
             ]),
+            Event::RungServed { epoch, rung, shed } => Json::obj([
+                ("type", "rung_served".to_json()),
+                ("epoch", epoch.to_json()),
+                ("rung", rung.to_json()),
+                ("shed", shed.to_json()),
+            ]),
+            Event::BreakerTransition { from, to, epoch } => Json::obj([
+                ("type", "breaker_transition".to_json()),
+                ("from", from.to_json()),
+                ("to", to.to_json()),
+                ("epoch", epoch.to_json()),
+            ]),
+            Event::WorkerRestart {
+                worker,
+                restarts,
+                backoff_epochs,
+            } => Json::obj([
+                ("type", "worker_restart".to_json()),
+                ("worker", worker.to_json()),
+                ("restarts", restarts.to_json()),
+                ("backoff_epochs", backoff_epochs.to_json()),
+            ]),
+            Event::RequestShed { epoch, queue_len } => Json::obj([
+                ("type", "request_shed".to_json()),
+                ("epoch", epoch.to_json()),
+                ("queue_len", queue_len.to_json()),
+            ]),
+            Event::HealthTransition { from, to, epoch } => Json::obj([
+                ("type", "health_transition".to_json()),
+                ("from", from.to_json()),
+                ("to", to.to_json()),
+                ("epoch", epoch.to_json()),
+            ]),
         }
     }
 }
@@ -238,6 +328,30 @@ impl FromJson for Event {
             "fault_injected" => Ok(Event::FaultInjected {
                 graph: FromJson::from_json(json.field("graph")?)?,
                 edges_removed: FromJson::from_json(json.field("edges_removed")?)?,
+            }),
+            "rung_served" => Ok(Event::RungServed {
+                epoch: FromJson::from_json(json.field("epoch")?)?,
+                rung: FromJson::from_json(json.field("rung")?)?,
+                shed: FromJson::from_json(json.field("shed")?)?,
+            }),
+            "breaker_transition" => Ok(Event::BreakerTransition {
+                from: FromJson::from_json(json.field("from")?)?,
+                to: FromJson::from_json(json.field("to")?)?,
+                epoch: FromJson::from_json(json.field("epoch")?)?,
+            }),
+            "worker_restart" => Ok(Event::WorkerRestart {
+                worker: FromJson::from_json(json.field("worker")?)?,
+                restarts: FromJson::from_json(json.field("restarts")?)?,
+                backoff_epochs: FromJson::from_json(json.field("backoff_epochs")?)?,
+            }),
+            "request_shed" => Ok(Event::RequestShed {
+                epoch: FromJson::from_json(json.field("epoch")?)?,
+                queue_len: FromJson::from_json(json.field("queue_len")?)?,
+            }),
+            "health_transition" => Ok(Event::HealthTransition {
+                from: FromJson::from_json(json.field("from")?)?,
+                to: FromJson::from_json(json.field("to")?)?,
+                epoch: FromJson::from_json(json.field("epoch")?)?,
             }),
             other => Err(JsonError(format!("unknown event type {other:?}"))),
         }
@@ -309,6 +423,30 @@ mod tests {
             Event::FaultInjected {
                 graph: "Abilene".into(),
                 edges_removed: 2,
+            },
+            Event::RungServed {
+                epoch: 17,
+                rung: "last_good".into(),
+                shed: false,
+            },
+            Event::BreakerTransition {
+                from: "closed".into(),
+                to: "open".into(),
+                epoch: 18,
+            },
+            Event::WorkerRestart {
+                worker: 1,
+                restarts: 3,
+                backoff_epochs: 4,
+            },
+            Event::RequestShed {
+                epoch: 19,
+                queue_len: 8,
+            },
+            Event::HealthTransition {
+                from: "healthy".into(),
+                to: "degraded".into(),
+                epoch: 20,
             },
         ]
     }

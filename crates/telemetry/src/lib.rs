@@ -243,6 +243,101 @@ pub fn fault_injected_event(graph: &str, edges_removed: u64) {
     });
 }
 
+/// Records a served routing response: bumps `serve.responses` (and
+/// `serve.shed` when the request was shed) and streams an
+/// [`Event::RungServed`]. No-op when telemetry is disabled.
+pub fn rung_served_event(epoch: u64, rung: &str, shed: bool) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.responses", 1);
+    dispatch(&Event::Counter {
+        name: "serve.responses".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::RungServed {
+        epoch,
+        rung: rung.to_string(),
+        shed,
+    });
+}
+
+/// Records a circuit-breaker state change: bumps
+/// `serve.breaker_transitions` and streams an
+/// [`Event::BreakerTransition`]. No-op when telemetry is disabled.
+pub fn breaker_transition_event(from: &str, to: &str, epoch: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.breaker_transitions", 1);
+    dispatch(&Event::Counter {
+        name: "serve.breaker_transitions".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::BreakerTransition {
+        from: from.to_string(),
+        to: to.to_string(),
+        epoch,
+    });
+}
+
+/// Records a supervised worker restart: bumps `serve.worker_restarts`
+/// and streams an [`Event::WorkerRestart`]. No-op when telemetry is
+/// disabled.
+pub fn worker_restart_event(worker: u64, restarts: u64, backoff_epochs: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.worker_restarts", 1);
+    dispatch(&Event::Counter {
+        name: "serve.worker_restarts".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::WorkerRestart {
+        worker,
+        restarts,
+        backoff_epochs,
+    });
+}
+
+/// Records an admission-queue shed: bumps `serve.shed` and streams an
+/// [`Event::RequestShed`]. No-op when telemetry is disabled.
+pub fn request_shed_event(epoch: u64, queue_len: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.shed", 1);
+    dispatch(&Event::Counter {
+        name: "serve.shed".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::RequestShed { epoch, queue_len });
+}
+
+/// Records a controller health-state change: bumps
+/// `serve.health_transitions` and streams an
+/// [`Event::HealthTransition`]. No-op when telemetry is disabled.
+pub fn health_transition_event(from: &str, to: &str, epoch: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.health_transitions", 1);
+    dispatch(&Event::Counter {
+        name: "serve.health_transitions".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::HealthTransition {
+        from: from.to_string(),
+        to: to.to_string(),
+        epoch,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,9 +518,62 @@ mod tests {
             rollback_event(1, "r", 0.5);
             lp_fallback_event("s", true);
             fault_injected_event("g", 1);
+            rung_served_event(1, "fresh", false);
+            breaker_transition_event("closed", "open", 1);
+            worker_restart_event(0, 1, 2);
+            request_shed_event(1, 4);
+            health_transition_event("starting", "healthy", 1);
             let snap = registry().snapshot();
             assert_eq!(snap.counter("ppo.checkpoints"), None);
             assert_eq!(snap.counter("env.fault_injected"), None);
+            assert_eq!(snap.counter("serve.responses"), None);
+            assert_eq!(snap.counter("serve.shed"), None);
+        });
+    }
+
+    #[test]
+    fn serve_events_stream_and_count() {
+        with_global(|| {
+            let sink = Arc::new(MemorySink::new());
+            install(sink.clone());
+            rung_served_event(5, "ecmp", true);
+            breaker_transition_event("open", "half_open", 6);
+            worker_restart_event(1, 2, 4);
+            request_shed_event(5, 9);
+            health_transition_event("healthy", "degraded", 6);
+            let snap = registry().snapshot();
+            assert_eq!(snap.counter("serve.responses"), Some(1));
+            assert_eq!(snap.counter("serve.breaker_transitions"), Some(1));
+            assert_eq!(snap.counter("serve.worker_restarts"), Some(1));
+            assert_eq!(snap.counter("serve.shed"), Some(1));
+            assert_eq!(snap.counter("serve.health_transitions"), Some(1));
+            uninstall();
+            let events = sink.events();
+            assert!(events.iter().any(|e| matches!(
+                e,
+                Event::RungServed {
+                    epoch: 5,
+                    shed: true,
+                    ..
+                }
+            )));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, Event::BreakerTransition { epoch: 6, .. })));
+            assert!(events.iter().any(|e| matches!(
+                e,
+                Event::WorkerRestart {
+                    worker: 1,
+                    restarts: 2,
+                    backoff_epochs: 4,
+                }
+            )));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, Event::RequestShed { queue_len: 9, .. })));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, Event::HealthTransition { epoch: 6, .. })));
         });
     }
 

@@ -70,8 +70,8 @@ fn main() {
 
     // 5. Evaluate on held-out sequences (ratios: 1.0 = LP optimum).
     let ctx = GraphContext::new(graph, train);
-    let agent = eval_oneshot(&ctx, &env_config, &policy, &test);
-    let sp = shortest_path_baseline(&ctx, &env_config, &test);
+    let agent = eval_oneshot(&ctx, &env_config, &policy, &test).expect("evaluation");
+    let sp = shortest_path_baseline(&ctx, &env_config, &test).expect("baseline");
     println!("\n                         mean U/U_opt   (lower is better, 1.0 = optimal)");
     println!(
         "  trained GNN agent      {:.4} +- {:.4}",

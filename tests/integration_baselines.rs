@@ -29,10 +29,19 @@ fn all_baselines_are_lower_bounded_by_the_optimum() {
         let test = standard_sequences(&g, 1, 8, 4, &mut rng);
         let ctx = GraphContext::new(g.clone(), test.clone());
         for (label, result) in [
-            ("sp", shortest_path_baseline(&ctx, &env_cfg(), &test)),
-            ("ecmp", ecmp_baseline(&ctx, &env_cfg(), &test)),
-            ("softmin", uniform_softmin_baseline(&ctx, &env_cfg(), &test)),
-            ("predict", prediction_baseline(&ctx, &env_cfg(), &test)),
+            (
+                "sp",
+                shortest_path_baseline(&ctx, &env_cfg(), &test).unwrap(),
+            ),
+            ("ecmp", ecmp_baseline(&ctx, &env_cfg(), &test).unwrap()),
+            (
+                "softmin",
+                uniform_softmin_baseline(&ctx, &env_cfg(), &test).unwrap(),
+            ),
+            (
+                "predict",
+                prediction_baseline(&ctx, &env_cfg(), &test).unwrap(),
+            ),
         ] {
             assert!(
                 result.mean_ratio >= 1.0 - 1e-6,
@@ -58,8 +67,8 @@ fn prediction_beats_static_baselines_on_perfectly_cyclic_traffic() {
     );
     let seq = cyclical_from(&[base], 8);
     let ctx = GraphContext::new(g, vec![seq.clone()]);
-    let pred = prediction_baseline(&ctx, &env_cfg(), std::slice::from_ref(&seq));
-    let sp = shortest_path_baseline(&ctx, &env_cfg(), &[seq]);
+    let pred = prediction_baseline(&ctx, &env_cfg(), std::slice::from_ref(&seq)).unwrap();
+    let sp = shortest_path_baseline(&ctx, &env_cfg(), &[seq]).unwrap();
     assert!(
         pred.mean_ratio <= sp.mean_ratio + 1e-9,
         "prediction {} should beat SP {} on constant traffic",
@@ -129,7 +138,7 @@ fn prediction_baseline_handles_alternating_extremes() {
     }
     let seq = cyclical_from(&[heavy_01, heavy_10], 10);
     let ctx = GraphContext::new(g, vec![seq.clone()]);
-    let pred = prediction_baseline(&ctx, &env_cfg(), &[seq]);
+    let pred = prediction_baseline(&ctx, &env_cfg(), &[seq]).unwrap();
     assert!(pred.mean_ratio >= 1.0 - 1e-9);
     assert!(pred.mean_ratio.is_finite());
 }

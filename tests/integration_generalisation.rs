@@ -59,7 +59,7 @@ fn gnn_trained_on_mixture_evaluates_on_unseen_graphs() {
     ] {
         let test = standard_sequences(&g, 1, 8, 4, &mut rng);
         let ctx = GraphContext::new(g.clone(), test.clone());
-        let eval = eval_oneshot(&ctx, &env_cfg(), &policy, &test);
+        let eval = eval_oneshot(&ctx, &env_cfg(), &policy, &test).unwrap();
         assert!(
             eval.mean_ratio >= 1.0 - 1e-6 && eval.mean_ratio.is_finite(),
             "{}: ratio {}",
@@ -99,7 +99,7 @@ fn iterative_policy_trains_across_graph_sizes() {
     let g = gddr_net::topology::zoo::janet();
     let test = standard_sequences(&g, 1, 6, 3, &mut rng);
     let ctx = GraphContext::new(g, test.clone());
-    let eval = eval_iterative(&ctx, &env_cfg(), &policy, &test);
+    let eval = eval_iterative(&ctx, &env_cfg(), &policy, &test).unwrap();
     assert!(eval.mean_ratio >= 1.0 - 1e-6);
 }
 

@@ -55,7 +55,7 @@ fn mlp_trains_on_ddr_env() {
         .iter()
         .all(|u| u.policy_loss.is_finite() && u.value_loss.is_finite()));
     let ctx = GraphContext::new(g, train);
-    let eval = eval_oneshot(&ctx, &env_cfg, &policy, &test);
+    let eval = eval_oneshot(&ctx, &env_cfg, &policy, &test).unwrap();
     assert!(eval.mean_ratio >= 1.0 - 1e-6 && eval.mean_ratio.is_finite());
 }
 
@@ -75,8 +75,8 @@ fn gnn_trains_on_ddr_env_and_stays_reasonable() {
     let mut log = TrainingLog::default();
     ppo.train(&mut env, &mut policy, 300, &mut rng, &mut log);
     let ctx = GraphContext::new(g, train);
-    let eval = eval_oneshot(&ctx, &env_cfg, &policy, &test);
-    let reference = uniform_softmin_baseline(&ctx, &env_cfg, &test);
+    let eval = eval_oneshot(&ctx, &env_cfg, &policy, &test).unwrap();
+    let reference = uniform_softmin_baseline(&ctx, &env_cfg, &test).unwrap();
     // A briefly-trained agent must stay in the same ballpark as the
     // untrained softmin translation (it starts there).
     assert!(
@@ -110,7 +110,7 @@ fn iterative_gnn_trains_on_iterative_env() {
     ppo.train(&mut env, &mut policy, 400, &mut rng, &mut log);
     assert!(log.total_steps >= 400);
     let ctx = GraphContext::new(g, train);
-    let eval = eval_iterative(&ctx, &env_cfg, &policy, &test);
+    let eval = eval_iterative(&ctx, &env_cfg, &policy, &test).unwrap();
     assert!(eval.mean_ratio >= 1.0 - 1e-6 && eval.mean_ratio.is_finite());
 }
 
