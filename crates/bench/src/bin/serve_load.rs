@@ -1,0 +1,412 @@
+//! Fleet load bench: a sharded multi-topology serving fleet under a
+//! sustained request stream, with batched GNN inference.
+//!
+//! Three phases, all checked:
+//!
+//! 1. **load** — ≥100k requests across ≥10 zoo-topology shards,
+//!    reporting sustained req/s and p50/p99 drain latency per ladder
+//!    rung,
+//! 2. **identity** — the same (smaller) stream through a coalescing
+//!    fleet and a per-request fleet; every routing must match bit for
+//!    bit (batched GNN inference is exactly per-request inference),
+//! 3. **chaos** — one shard's workers die under a panic storm with
+//!    zero restart budget; only that shard may degrade, every other
+//!    shard must stay 100% Fresh.
+//!
+//! ```text
+//! serve_load [--requests N] [--seed N] [--clients N] [--coalesce N]
+//!            [--threads N] [--out PATH] [--telemetry PATH]
+//! ```
+//!
+//! Writes `results/BENCH_serve_load.json` (the CI perf gate compares
+//! it against the committed baseline via `tools/check_bench.sh`) and
+//! exits non-zero on any violation, printing a repro line.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gddr_bench::{flag, parse_args, write_artifact};
+use gddr_core::{DdrEnvConfig, GnnPolicy, GnnPolicyConfig};
+use gddr_net::topology::zoo;
+use gddr_net::Graph;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_ser::Json;
+use gddr_serve::{
+    ChaosEngine, ControllerConfig, EngineFactory, Fault, FaultPlan, FleetConfig, FleetRequest,
+    HealthState, InferenceEngine, PolicyEngine, PoolConfig, Rung, ShardOutcome, ShardRouter,
+};
+use gddr_telemetry::JsonlSink;
+use gddr_traffic::gen::{bimodal, BimodalParams};
+
+/// Demand-history length every shard's policy serves with.
+const MEMORY: usize = 3;
+/// Per-request logical inference budget.
+const DEADLINE_MS: u64 = 10_000;
+
+/// The topology zoo, by name — 11 shards, one per topology.
+fn shard_names() -> &'static [&'static str] {
+    &[
+        "abilene", "nsfnet", "arpanet", "cesnet", "b4", "garr", "renater", "uninett", "geant",
+        "janet", "sprint",
+    ]
+}
+
+/// A small-but-real GNN engine factory for one shard. Each shard gets
+/// its own deterministic weights (`seed ^ shard`).
+fn gnn_factory(seed: u64, plan: Arc<FaultPlan>) -> EngineFactory {
+    Arc::new(move |graph: &Graph| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = GnnPolicy::new(
+            &GnnPolicyConfig {
+                memory: MEMORY,
+                latent: 8,
+                hidden: 16,
+                message_steps: 2,
+                layer_norm: true,
+            },
+            -0.5,
+            &mut rng,
+        );
+        let engine = PolicyEngine::new(policy, graph, MEMORY);
+        Box::new(ChaosEngine::new(engine, Arc::clone(&plan))) as Box<dyn InferenceEngine>
+    })
+}
+
+fn controller_config() -> ControllerConfig {
+    ControllerConfig {
+        // Hold a whole admission chunk; overflow shedding is the
+        // chaos harness's job, not the throughput bench's.
+        queue_capacity: 64,
+        // The strict LP oracle cannot score 100k requests in CI time;
+        // scoring has its own benches.
+        score_responses: false,
+        ..ControllerConfig::default()
+    }
+}
+
+fn fleet_config(coalesce: usize, threads: usize) -> FleetConfig {
+    FleetConfig {
+        coalesce_window: coalesce,
+        threads,
+        admit_chunk: coalesce.max(8),
+    }
+}
+
+/// Builds the full fleet; `kill` names a shard whose engines panic on
+/// every epoch with zero restart budget (the dying shard of the chaos
+/// phase).
+fn build_fleet(config: FleetConfig, seed: u64, kill: Option<&str>) -> ShardRouter {
+    let mut router = ShardRouter::new(config);
+    for (i, name) in shard_names().iter().enumerate() {
+        let graph = zoo::by_name(name).expect("zoo topology exists");
+        let mut ctrl = controller_config();
+        let plan = if kill == Some(*name) {
+            ctrl.pool = PoolConfig {
+                workers: 1,
+                restart_budget: 0,
+                ..PoolConfig::default()
+            };
+            Arc::new(FaultPlan::new().span(1..=4096, Fault::Panic))
+        } else {
+            Arc::new(FaultPlan::new())
+        };
+        router
+            .add_shard(
+                name,
+                graph,
+                DdrEnvConfig {
+                    memory: MEMORY,
+                    ..DdrEnvConfig::default()
+                },
+                ctrl,
+                gnn_factory(seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15), plan),
+            )
+            .expect("unique shard name");
+    }
+    router
+}
+
+/// A deterministic request stream: `ticks` epochs, `clients`
+/// same-tick clients per shard per epoch (these coalesce into one
+/// batched forward pass per shard per tick).
+fn make_load(ticks: u64, clients: u64, seed: u64) -> Vec<FleetRequest> {
+    let graphs: Vec<(String, usize)> = shard_names()
+        .iter()
+        .map(|n| (n.to_string(), zoo::by_name(n).unwrap().num_nodes()))
+        .collect();
+    let mut out = Vec::new();
+    for tick in 0..ticks {
+        for client in 0..clients {
+            for (i, (name, n)) in graphs.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (tick << 24 | client << 8 | i as u64).wrapping_mul(0x100000001b3),
+                );
+                out.push(FleetRequest {
+                    topology: name.clone(),
+                    request: gddr_serve::EpochRequest {
+                        epoch: tick,
+                        demands: bimodal(*n, &BimodalParams::default(), &mut rng),
+                        deadline_ms: DEADLINE_MS,
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Per-rung response counts and latency percentiles over a fleet run.
+fn rung_report(outcomes: &[ShardOutcome]) -> Vec<Json> {
+    let rungs = [Rung::Fresh, Rung::LastGood, Rung::Ecmp, Rung::ShortestPath];
+    rungs
+        .iter()
+        .map(|rung| {
+            let mut lat: Vec<u64> = outcomes
+                .iter()
+                .flat_map(|o| {
+                    o.responses
+                        .iter()
+                        .zip(&o.latencies_ns)
+                        .filter(|(r, _)| r.rung == *rung)
+                        .map(|(_, l)| *l)
+                })
+                .collect();
+            lat.sort_unstable();
+            Json::obj([
+                ("rung", Json::Str(rung.name().to_string())),
+                ("count", Json::Num(lat.len() as f64)),
+                ("p50_ns", Json::Num(percentile(&lat, 0.50) as f64)),
+                ("p99_ns", Json::Num(percentile(&lat, 0.99) as f64)),
+            ])
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args(&[
+        "requests",
+        "seed",
+        "clients",
+        "coalesce",
+        "threads",
+        "out",
+        "telemetry",
+    ]);
+    if let Some(path) = args.get("telemetry") {
+        let sink = JsonlSink::create(path).expect("create telemetry file");
+        gddr_telemetry::install(Arc::new(sink));
+    }
+    let requests: usize = flag(&args, "requests", 100_000);
+    let seed: u64 = flag(&args, "seed", 42);
+    let clients: u64 = flag(&args, "clients", 8);
+    let coalesce: usize = flag(&args, "coalesce", 8);
+    let threads: usize = flag(&args, "threads", 4);
+    let out = args
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_serve_load.json".to_string());
+
+    let shards = shard_names().len();
+    let per_tick = clients as usize * shards;
+    let ticks = requests.div_ceil(per_tick) as u64;
+    let mut violations: Vec<String> = Vec::new();
+
+    // Phase 1: sustained load.
+    let load = make_load(ticks, clients, seed);
+    let total = load.len();
+    println!("serve_load: {total} requests, {shards} shards, {clients} clients/tick, coalesce {coalesce}, {threads} threads");
+    let fleet = build_fleet(fleet_config(coalesce, threads), seed, None);
+    let start = Instant::now();
+    let outcomes = fleet.run(&load).expect("all topologies are sharded");
+    let elapsed = start.elapsed();
+    let answered: usize = outcomes.iter().map(|o| o.responses.len()).sum();
+    let req_per_s = answered as f64 / elapsed.as_secs_f64();
+    if answered != total {
+        violations.push(format!("load: {total} submitted but {answered} answered"));
+    }
+    let fresh: usize = outcomes
+        .iter()
+        .flat_map(|o| &o.responses)
+        .filter(|r| r.rung == Rung::Fresh)
+        .count();
+    if fresh != total {
+        violations.push(format!(
+            "load: {} of {total} responses were not Fresh on the healthy path",
+            total - fresh
+        ));
+    }
+    println!(
+        "serve_load: answered {answered} in {:.2}s — {:.0} req/s, all {}",
+        elapsed.as_secs_f64(),
+        req_per_s,
+        if fresh == total { "Fresh" } else { "NOT fresh" }
+    );
+
+    // Phase 2: batched == per-request, bit for bit.
+    let identity_load = make_load(3, 4, seed ^ 0x1de57);
+    let reference = build_fleet(fleet_config(1, threads), seed, None)
+        .run(&identity_load)
+        .expect("identity reference run");
+    let batched = build_fleet(fleet_config(coalesce.max(2), threads), seed, None)
+        .run(&identity_load)
+        .expect("identity batched run");
+    let mut identity_checked = 0usize;
+    for (a, b) in reference.iter().zip(&batched) {
+        if a.rung_sequence() != b.rung_sequence() {
+            violations.push(format!(
+                "identity: shard {} rung sequence diverged ({} vs {})",
+                a.name,
+                a.rung_sequence(),
+                b.rung_sequence()
+            ));
+            continue;
+        }
+        for (x, y) in a.responses.iter().zip(&b.responses) {
+            identity_checked += 1;
+            if x.routing != y.routing {
+                violations.push(format!(
+                    "identity: shard {} epoch {} routing diverged between batched and per-request inference",
+                    a.name, x.epoch
+                ));
+            }
+        }
+    }
+    let identity_ok = violations.iter().all(|v| !v.starts_with("identity"));
+    println!(
+        "serve_load: identity check over {identity_checked} responses — {}",
+        if identity_ok {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // Phase 3: kill one shard's workers; the blast radius must stay
+    // inside that shard. The injected panics are expected and
+    // supervised — the default hook's backtraces would drown the
+    // report.
+    std::panic::set_hook(Box::new(|_| {}));
+    let killed = "geant";
+    let chaos_fleet = build_fleet(fleet_config(coalesce, threads), seed, Some(killed));
+    let chaos_load = make_load(8, 4, seed ^ 0xc4a05);
+    let chaos = chaos_fleet.run(&chaos_load).expect("chaos run");
+    let mut killed_degraded = 0usize;
+    let mut killed_total = 0usize;
+    for o in &chaos {
+        let is_killed = o.name == killed;
+        let degraded = o.responses.iter().filter(|r| r.rung != Rung::Fresh).count();
+        if is_killed {
+            killed_total = o.responses.len();
+            killed_degraded = degraded;
+        } else if degraded > 0 {
+            violations.push(format!(
+                "chaos: healthy shard {} degraded {degraded} responses (blast radius escaped)",
+                o.name
+            ));
+        }
+    }
+    if killed_degraded == 0 {
+        violations.push(format!(
+            "chaos: killed shard {killed} never degraded ({killed_total} responses)"
+        ));
+    }
+    let killed_idx = chaos_fleet.route(killed).expect("killed shard exists");
+    let killed_health = chaos_fleet.with_controller(killed_idx, |c| c.health());
+    let killed_alive = chaos_fleet.with_controller(killed_idx, |c| c.alive_workers());
+    if killed_alive != 0 {
+        violations.push(format!(
+            "chaos: killed shard still reports {killed_alive} live workers"
+        ));
+    }
+    println!(
+        "serve_load: chaos — shard {killed} degraded {killed_degraded}/{killed_total} (health {:?}), others Fresh",
+        killed_health
+    );
+
+    let _ = std::panic::take_hook();
+
+    gddr_telemetry::counter_add("serve_load.requests", answered as u64);
+    gddr_telemetry::counter_add("serve_load.violations", violations.len() as u64);
+
+    let artifact = Json::obj([
+        ("group", Json::Str("serve_load".to_string())),
+        (
+            "meta",
+            Json::obj([
+                ("bench", Json::Str("serve_load".to_string())),
+                ("requests", Json::Num(total as f64)),
+                ("shards", Json::Num(shards as f64)),
+                ("clients", Json::Num(clients as f64)),
+                ("coalesce", Json::Num(coalesce as f64)),
+                ("threads", Json::Num(threads as f64)),
+                ("seed", Json::Num(seed as f64)),
+            ]),
+        ),
+        (
+            "throughput",
+            Json::obj([
+                ("req_per_s", Json::Num(req_per_s)),
+                ("answered", Json::Num(answered as f64)),
+                ("elapsed_ms", Json::Num(elapsed.as_millis() as f64)),
+            ]),
+        ),
+        ("rungs", Json::Arr(rung_report(&outcomes))),
+        (
+            "identity",
+            Json::obj([
+                ("checked", Json::Num(identity_checked as f64)),
+                ("bit_identical", Json::Bool(identity_ok)),
+            ]),
+        ),
+        (
+            "chaos",
+            Json::obj([
+                ("killed_shard", Json::Str(killed.to_string())),
+                ("killed_degraded", Json::Num(killed_degraded as f64)),
+                ("killed_responses", Json::Num(killed_total as f64)),
+                (
+                    "killed_unhealthy",
+                    Json::Bool(killed_health != HealthState::Healthy),
+                ),
+                (
+                    "healthy_shards_stayed_fresh",
+                    Json::Bool(violations.iter().all(|v| !v.contains("blast radius"))),
+                ),
+            ]),
+        ),
+        (
+            "violations",
+            Json::Arr(
+                violations
+                    .iter()
+                    .map(|v| Json::Str(v.clone()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ]);
+    write_artifact(&out, &artifact.to_string());
+    gddr_telemetry::uninstall();
+
+    if violations.is_empty() {
+        println!(
+            "serve_load: ok ({answered} requests, {:.0} req/s)",
+            req_per_s
+        );
+    } else {
+        for v in &violations {
+            eprintln!("serve_load VIOLATION: {v}");
+        }
+        eprintln!("reproduce with:");
+        eprintln!("  serve_load --requests {requests} --seed {seed} --clients {clients} --coalesce {coalesce} --threads {threads}");
+        std::process::exit(1);
+    }
+}

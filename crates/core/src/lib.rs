@@ -52,4 +52,4 @@ pub use env::{
 pub use env_iterative::IterativeDdrEnv;
 pub use error::CoreError;
 pub use obs::DdrObs;
-pub use policies::{GnnIterativePolicy, GnnPolicy, MlpPolicy};
+pub use policies::{BatchGreedy, GnnIterativePolicy, GnnPolicy, GnnPolicyConfig, MlpPolicy};

@@ -7,3 +7,17 @@ mod mlp;
 pub use gnn::{GnnPolicy, GnnPolicyConfig};
 pub use gnn_iterative::GnnIterativePolicy;
 pub use mlp::MlpPolicy;
+
+use crate::obs::DdrObs;
+
+/// Greedy inference over several observations at once.
+///
+/// The contract is strict: `act_greedy_batch(obs)` must be
+/// **bit-identical** to calling [`gddr_rl::Policy::act_greedy`] on each
+/// observation in order. The serving fleet coalesces requests into one
+/// batched forward pass and relies on batch membership being
+/// unobservable in the answers.
+pub trait BatchGreedy {
+    /// Greedy actions for every observation, in order.
+    fn act_greedy_batch(&self, obs: &[DdrObs]) -> Vec<Vec<f64>>;
+}

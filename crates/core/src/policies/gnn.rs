@@ -8,7 +8,7 @@
 
 use gddr_rng::rngs::StdRng;
 
-use gddr_gnn::{EncodeProcessDecode, EpdConfig, GraphFeatures};
+use gddr_gnn::{EncodeProcessDecode, EpdConfig, GraphBatch, GraphFeatures, GraphStructure};
 use gddr_nn::dist::DiagGaussian;
 use gddr_nn::{Matrix, ParamId, ParamStore, Tape, Var};
 use gddr_rl::{ActionSample, Evaluation, Policy};
@@ -173,6 +173,40 @@ impl Policy for GnnPolicy {
     }
 }
 
+impl crate::policies::BatchGreedy for GnnPolicy {
+    /// One block-diagonal forward over all observations. The greedy
+    /// action is the mean — the decoded m×1 edge column — so slicing
+    /// the batched edge output per graph reproduces
+    /// [`Policy::act_greedy`] bit-for-bit
+    /// ([`GraphBatch`] guarantees the forward itself is bit-identical).
+    fn act_greedy_batch(&self, obs: &[DdrObs]) -> Vec<Vec<f64>> {
+        if obs.is_empty() {
+            return Vec::new();
+        }
+        let structures: Vec<&GraphStructure> = obs.iter().map(|o| o.structure.as_ref()).collect();
+        let batch = GraphBatch::new(&structures);
+        let features: Vec<GraphFeatures> = obs
+            .iter()
+            .map(|o| GraphFeatures {
+                nodes: o.node_feats.clone(),
+                edges: o.edge_feats.clone(),
+                globals: o.globals.clone(),
+            })
+            .collect();
+        let feat_refs: Vec<&GraphFeatures> = features.iter().collect();
+        let packed = batch.batch_features(&feat_refs);
+        let mut tape = Tape::new();
+        let out = self
+            .net
+            .forward_batched(&mut tape, &self.store, &batch, &packed);
+        batch
+            .unbatch_edges(tape.value(out.edges))
+            .into_iter()
+            .map(|m| m.as_slice().to_vec())
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +298,31 @@ mod tests {
             .map(|(id, _, _)| id)
             .unwrap();
         assert!(store.grad(ls_id).norm() > 0.0, "log_std got no gradient");
+    }
+
+    #[test]
+    fn act_greedy_batch_matches_sequential_bitwise() {
+        use crate::policies::BatchGreedy;
+        let (policy, _, mut rng) = policy_and_env("cesnet", 2);
+        let mut observations = Vec::new();
+        for name in ["cesnet", "abilene", "geant", "abilene"] {
+            let g = zoo::by_name(name).unwrap();
+            let seqs = standard_sequences(&g, 1, 5, 3, &mut rng);
+            let mut env = DdrEnv::new(
+                GraphContext::new(g, seqs),
+                DdrEnvConfig {
+                    memory: 2,
+                    ..Default::default()
+                },
+            );
+            observations.push(env.reset(&mut rng));
+        }
+        let sequential: Vec<Vec<f64>> = observations.iter().map(|o| policy.act_greedy(o)).collect();
+        let batched = policy.act_greedy_batch(&observations);
+        // Exact equality: serving coalesces requests into one batch and
+        // must answer exactly as if each were served alone.
+        assert_eq!(batched, sequential);
+        assert!(policy.act_greedy_batch(&[]).is_empty());
     }
 
     #[test]

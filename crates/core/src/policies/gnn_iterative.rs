@@ -142,6 +142,15 @@ impl Policy for GnnIterativePolicy {
     }
 }
 
+impl crate::policies::BatchGreedy for GnnIterativePolicy {
+    // Each observation here targets one edge of an iterative rollout,
+    // so there is no whole-graph batch to build; loop per observation
+    // (trivially bit-identical).
+    fn act_greedy_batch(&self, obs: &[DdrObs]) -> Vec<Vec<f64>> {
+        obs.iter().map(|o| self.act_greedy(o)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

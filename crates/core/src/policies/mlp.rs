@@ -73,6 +73,14 @@ impl Policy for MlpPolicy {
     }
 }
 
+impl crate::policies::BatchGreedy for MlpPolicy {
+    // The MLP forward has no cross-row structure to exploit, so the
+    // batch is just the per-observation loop (trivially bit-identical).
+    fn act_greedy_batch(&self, obs: &[DdrObs]) -> Vec<Vec<f64>> {
+        obs.iter().map(|o| self.act_greedy(o)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,7 @@ use gddr_rng::Rng;
 use gddr_nn::layers::{Activation, Mlp};
 use gddr_nn::{ParamStore, Tape, Var};
 
+use crate::batch::GraphBatch;
 use crate::graphs::GraphStructure;
 
 /// Tape variables holding a graph's node/edge/global features.
@@ -150,6 +151,75 @@ impl GnBlock {
         // 4. Graph-level aggregations, 5. global update.
         let agg_e = tape.sum_rows(edges_out);
         let agg_v = tape.sum_rows(nodes_out);
+        let phi_u_in = tape.concat_cols(&[agg_e, agg_v, input.globals]);
+        let globals_out = self.phi_u.forward(tape, store, phi_u_in);
+
+        GraphVars {
+            nodes: nodes_out,
+            edges: edges_out,
+            globals: globals_out,
+        }
+    }
+
+    /// One full GN-block pass over a block-diagonal [`GraphBatch`].
+    ///
+    /// Globals are `G×d_global` (one row per graph); per-edge/per-node
+    /// global context is gathered via the batch's segment vectors and
+    /// the graph-level pools are segment sums, so each graph's rows see
+    /// exactly the operands (in the same accumulation order) that
+    /// [`GnBlock::forward`] would give them solo — the batched result
+    /// unbatches bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature shapes do not match the configuration or
+    /// the batch.
+    pub fn forward_batched(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        input: GraphVars,
+    ) -> GraphVars {
+        let _span = gddr_telemetry::span("gnn.block.forward");
+        let structure = &batch.structure;
+        let n = structure.num_nodes;
+        let m = structure.num_edges;
+        assert_eq!(
+            tape.value(input.nodes).shape(),
+            (n, self.config.node_in),
+            "node feature shape mismatch"
+        );
+        assert_eq!(
+            tape.value(input.edges).shape(),
+            (m, self.config.edge_in),
+            "edge feature shape mismatch"
+        );
+        assert_eq!(
+            tape.value(input.globals).shape(),
+            (batch.num_graphs, self.config.global_in),
+            "global feature shape mismatch"
+        );
+
+        // 1. Edge update — each edge reads its own graph's global row.
+        let sender_feats = tape.gather_rows(input.nodes, &structure.senders);
+        let receiver_feats = tape.gather_rows(input.nodes, &structure.receivers);
+        let global_per_edge = tape.gather_rows(input.globals, &batch.edge_segments);
+        let phi_e_in =
+            tape.concat_cols(&[input.edges, sender_feats, receiver_feats, global_per_edge]);
+        let edges_out = self.phi_e.forward(tape, store, phi_e_in);
+
+        // 2. Aggregate incoming edges per receiver, 3. node update.
+        let agg_in = tape.segment_sum(edges_out, &structure.receivers, n);
+        let global_per_node = tape.gather_rows(input.globals, &batch.node_segments);
+        let phi_v_in = tape.concat_cols(&[agg_in, input.nodes, global_per_node]);
+        let nodes_out = self.phi_v.forward(tape, store, phi_v_in);
+
+        // 4. Per-graph aggregations, 5. global update. Rows of each
+        // graph are contiguous, so segment_sum accumulates them in the
+        // same order sum_rows would solo.
+        let agg_e = tape.segment_sum(edges_out, &batch.edge_segments, batch.num_graphs);
+        let agg_v = tape.segment_sum(nodes_out, &batch.node_segments, batch.num_graphs);
         let phi_u_in = tape.concat_cols(&[agg_e, agg_v, input.globals]);
         let globals_out = self.phi_u.forward(tape, store, phi_u_in);
 

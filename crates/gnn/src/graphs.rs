@@ -7,6 +7,7 @@ use gddr_net::Graph;
 use gddr_nn::layers::{Activation, LayerNorm, Mlp};
 use gddr_nn::{Matrix, ParamStore, Tape};
 
+use crate::batch::GraphBatch;
 use crate::block::{GnBlock, GnBlockConfig, GraphVars};
 
 /// Static connectivity of a graph in GNN form: per-edge sender and
@@ -219,6 +220,71 @@ impl EncodeProcessDecode {
                 globals: tape.concat_cols(&[enc.globals, state.globals]),
             };
             state = self.core.forward(tape, store, structure, core_in);
+            if let Some((ln_n, ln_e, ln_g)) = &self.norms {
+                state = GraphVars {
+                    nodes: ln_n.forward(tape, store, state.nodes),
+                    edges: ln_e.forward(tape, store, state.edges),
+                    globals: ln_g.forward(tape, store, state.globals),
+                };
+            }
+        }
+
+        GraphVars {
+            nodes: self.dec_nodes.forward(tape, store, state.nodes),
+            edges: self.dec_edges.forward(tape, store, state.edges),
+            globals: self.dec_globals.forward(tape, store, state.globals),
+        }
+    }
+
+    /// Full forward pass over a block-diagonal [`GraphBatch`] —
+    /// `features` must be in batch form ([`GraphBatch::batch_features`])
+    /// with `num_graphs×global_in` globals. Encoders, decoders and
+    /// layer norms are row-wise and the core delegates to
+    /// [`GnBlock::forward_batched`], so unbatching the output is
+    /// bit-identical to per-graph [`EncodeProcessDecode::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if feature shapes disagree with the configuration or the
+    /// batch.
+    pub fn forward_batched(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        features: &GraphFeatures,
+    ) -> GraphVars {
+        assert_eq!(
+            features.nodes.shape(),
+            (batch.total_nodes(), self.config.node_in)
+        );
+        assert_eq!(
+            features.edges.shape(),
+            (batch.total_edges(), self.config.edge_in)
+        );
+        assert_eq!(
+            features.globals.shape(),
+            (batch.num_graphs, self.config.global_in)
+        );
+
+        let node_in = tape.constant(features.nodes.clone());
+        let edge_in = tape.constant(features.edges.clone());
+        let global_in = tape.constant(features.globals.clone());
+
+        let enc = GraphVars {
+            nodes: self.enc_nodes.forward(tape, store, node_in),
+            edges: self.enc_edges.forward(tape, store, edge_in),
+            globals: self.enc_globals.forward(tape, store, global_in),
+        };
+
+        let mut state = enc;
+        for _ in 0..self.config.message_steps {
+            let core_in = GraphVars {
+                nodes: tape.concat_cols(&[enc.nodes, state.nodes]),
+                edges: tape.concat_cols(&[enc.edges, state.edges]),
+                globals: tape.concat_cols(&[enc.globals, state.globals]),
+            };
+            state = self.core.forward_batched(tape, store, batch, core_in);
             if let Some((ln_n, ln_e, ln_g)) = &self.norms {
                 state = GraphVars {
                     nodes: ln_n.forward(tape, store, state.nodes),

@@ -45,8 +45,10 @@
 //! assert_eq!(tape.value(out.globals).shape(), (1, 2));
 //! ```
 
+pub mod batch;
 pub mod block;
 pub mod graphs;
 
+pub use batch::GraphBatch;
 pub use block::{GnBlock, GnBlockConfig, GraphVars};
 pub use graphs::{EncodeProcessDecode, EpdConfig, GraphFeatures, GraphStructure};

@@ -280,6 +280,42 @@ impl Matrix {
         out
     }
 
+    /// Concatenates matrices vertically (same column count) — the
+    /// disjoint-union stacking used by graph batching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ or `parts` is empty.
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "need at least one part");
+        let cols = parts[0].cols;
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "all parts must have the same column count"
+        );
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Copies rows `[start, end)` into a new matrix — the inverse of
+    /// [`Matrix::concat_rows`] for one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "invalid row slice");
+        Matrix::from_vec(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
+    }
+
     /// Whether all entries are finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
@@ -507,5 +543,24 @@ mod tests {
         assert_eq!(r.shape(), (1, 2));
         let c = Matrix::column_vector(vec![1.0, 2.0]);
         assert_eq!(c.shape(), (2, 1));
+    }
+
+    #[test]
+    fn concat_rows_stacks_and_slice_rows_inverts() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(1, 2, vec![5.0, 6.0]);
+        let stacked = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(stacked.shape(), (3, 2));
+        assert_eq!(stacked.row(2), &[5.0, 6.0]);
+        assert_eq!(stacked.slice_rows(0, 2), a);
+        assert_eq!(stacked.slice_rows(2, 3), b);
+        // Empty blocks are representable (a zero-node graph slice).
+        assert_eq!(stacked.slice_rows(1, 1).shape(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "same column count")]
+    fn concat_rows_rejects_ragged_parts() {
+        Matrix::concat_rows(&[&Matrix::zeros(1, 2), &Matrix::zeros(1, 3)]);
     }
 }

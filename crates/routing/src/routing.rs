@@ -18,7 +18,7 @@ use gddr_net::{EdgeId, Graph, NodeId};
 /// `ratios(s, t)[e]` is the fraction of flow `(s, t)` arriving at
 /// `src(e)` that is forwarded along edge `e`. Flows that were never set
 /// have no entry (useful when a demand matrix is sparse).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Routing {
     num_nodes: usize,
     num_edges: usize,

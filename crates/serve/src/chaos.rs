@@ -28,7 +28,7 @@ use gddr_traffic::DemandMatrix;
 
 use crate::controller::{Controller, ControllerConfig};
 use crate::engine::{ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine};
-use crate::request::{EpochRequest, RouteResponse, Rung};
+use crate::request::{EpochRequest, RouteResponse, Rung, ServeError};
 use crate::worker::ExecMode;
 
 /// Memory length used by every chaos scenario's policy.
@@ -131,7 +131,7 @@ fn base_config() -> ControllerConfig {
     config
 }
 
-fn spec_for(name: &str, requests: usize) -> Result<ScenarioSpec, String> {
+fn spec_for(name: &str, requests: usize) -> Result<ScenarioSpec, ServeError> {
     let graph = zoo::cesnet();
     let mut spec = ScenarioSpec {
         graph,
@@ -207,10 +207,12 @@ fn spec_for(name: &str, requests: usize) -> Result<ScenarioSpec, String> {
             spec.last_fault_at = Some(12);
             spec.recovery_within = Some(10);
         }
-        other => return Err(format!("unknown scenario '{other}'")),
+        other => return Err(ServeError::Config(format!("unknown scenario '{other}'"))),
     }
     if requests < 40 {
-        return Err("chaos scenarios need at least 40 requests".to_string());
+        return Err(ServeError::Config(
+            "chaos scenarios need at least 40 requests".to_string(),
+        ));
     }
     Ok(spec)
 }
@@ -287,10 +289,10 @@ fn p99_depth(depths: &[u8]) -> u8 {
 ///
 /// # Errors
 ///
-/// Returns `Err` for unknown scenario names or unusable request
-/// counts; SLO failures are reported in
+/// Returns [`ServeError::Config`] for unknown scenario names or
+/// unusable request counts; SLO failures are reported in
 /// [`ScenarioOutcome::violations`], not as `Err`.
-pub fn run_scenario(name: &str, seed: u64, requests: usize) -> Result<ScenarioOutcome, String> {
+pub fn run_scenario(name: &str, seed: u64, requests: usize) -> Result<ScenarioOutcome, ServeError> {
     let spec = spec_for(name, requests)?;
     let plan = Arc::new(spec.plan.clone());
     let factory = engine_factory(seed, Arc::clone(&plan));
@@ -325,9 +327,7 @@ pub fn run_scenario(name: &str, seed: u64, requests: usize) -> Result<ScenarioOu
     for i in 0..requests {
         if spec.topology_change_at == Some(i) {
             let (degraded, _dropped) = injector.degrade(&spec.graph);
-            controller
-                .apply_topology(degraded.clone())
-                .map_err(|e| format!("apply_topology: {e}"))?;
+            controller.apply_topology(degraded.clone())?;
             active_graph = degraded;
         }
         let malformed = spec
@@ -467,7 +467,9 @@ mod tests {
 
     #[test]
     fn unknown_scenario_is_an_error() {
-        assert!(run_scenario("nope", 1, 40).is_err());
+        let err = run_scenario("nope", 1, 40).unwrap_err();
+        assert!(matches!(err, ServeError::Config(_)), "{err}");
+        assert!(run_scenario("healthy", 1, 39).is_err());
     }
 
     #[test]

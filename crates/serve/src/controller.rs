@@ -27,7 +27,7 @@ use gddr_routing::Routing;
 use gddr_traffic::DemandMatrix;
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
-use crate::engine::EngineFactory;
+use crate::engine::{BatchItem, EngineFactory, InferenceReply};
 use crate::health::{HealthInputs, HealthMonitor, HealthState};
 use crate::queue::AdmissionQueue;
 use crate::request::{EpochRequest, RouteResponse, Rung, ServeError};
@@ -98,6 +98,7 @@ impl ServeStats {
 /// `enqueue` requests, then `process_next` (or `handle` for both at
 /// once) — every submitted request yields exactly one response.
 pub struct Controller {
+    shard: u64,
     graph: Graph,
     env_cfg: DdrEnvConfig,
     config: ControllerConfig,
@@ -115,21 +116,34 @@ pub struct Controller {
 }
 
 impl Controller {
-    /// Builds a controller serving `graph` with engines from
-    /// `factory`.
+    /// Builds a standalone controller serving `graph` with engines
+    /// from `factory` (shard tag 0).
     pub fn new(
         graph: Graph,
         env_cfg: DdrEnvConfig,
         config: ControllerConfig,
         factory: EngineFactory,
     ) -> Self {
+        Controller::with_shard(graph, env_cfg, config, factory, 0)
+    }
+
+    /// Builds a controller tagged with a fleet `shard` id; every
+    /// telemetry event it (and its worker pool) emits carries the tag.
+    pub fn with_shard(
+        graph: Graph,
+        env_cfg: DdrEnvConfig,
+        config: ControllerConfig,
+        factory: EngineFactory,
+        shard: u64,
+    ) -> Self {
         let oracle = CachedOracle::new(graph.clone());
-        let pool = WorkerPool::new(factory.clone(), &graph, config.pool.clone());
+        let pool = WorkerPool::new(factory, &graph, config.pool.clone(), shard);
         let breaker = CircuitBreaker::new(config.breaker.clone());
         let queue = AdmissionQueue::new(config.queue_capacity);
         let ecmp = unit_ecmp_routing(&graph);
         let shortest_path = unit_shortest_path_routing(&graph);
         Controller {
+            shard,
             graph,
             env_cfg,
             config,
@@ -145,6 +159,12 @@ impl Controller {
             epoch: 0,
             stats: ServeStats::default(),
         }
+    }
+
+    /// The fleet shard id this controller is tagged with (0 for a
+    /// standalone deployment).
+    pub fn shard(&self) -> u64 {
+        self.shard
     }
 
     /// The topology currently being served.
@@ -195,7 +215,11 @@ impl Controller {
         shed.into_iter()
             .map(|victim| {
                 self.stats.shed += 1;
-                gddr_telemetry::request_shed_event(victim.epoch, self.queue.len() as u64);
+                gddr_telemetry::request_shed_event(
+                    self.shard,
+                    victim.epoch,
+                    self.queue.len() as u64,
+                );
                 self.serve(victim, true)
             })
             .collect()
@@ -217,6 +241,35 @@ impl Controller {
         out
     }
 
+    /// Serves the oldest pending request plus any immediately
+    /// following requests carrying the **same client epoch** (distinct
+    /// clients observing the same tick), up to `window` items, with a
+    /// single batched inference pass. Returns one response per served
+    /// request in queue order; empty when nothing is pending.
+    ///
+    /// `process_coalesced(1)` is exactly [`Controller::process_next`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn process_coalesced(&mut self, window: usize) -> Vec<RouteResponse> {
+        assert!(window > 0, "coalescing window must be positive");
+        let Some(first) = self.queue.pop() else {
+            return Vec::new();
+        };
+        let tick = first.epoch;
+        let mut run = vec![first];
+        while run.len() < window {
+            match self.queue.peek() {
+                Some(next) if next.epoch == tick => {
+                    run.push(self.queue.pop().expect("peeked request exists"));
+                }
+                _ => break,
+            }
+        }
+        self.serve_batch(run)
+    }
+
     /// Swaps in a new topology (e.g. after link failures): rebuilds
     /// the oracle, baselines and worker engines, resets the breaker,
     /// and invalidates the last-good routing (it was computed for the
@@ -224,15 +277,15 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// The node count must match the current graph — demand matrices
-    /// in flight and in history are indexed by node.
-    pub fn apply_topology(&mut self, graph: Graph) -> Result<(), String> {
+    /// Returns [`ServeError::TopologyMismatch`] when the node count
+    /// differs from the current graph — demand matrices in flight and
+    /// in history are indexed by node.
+    pub fn apply_topology(&mut self, graph: Graph) -> Result<(), ServeError> {
         if graph.num_nodes() != self.graph.num_nodes() {
-            return Err(format!(
-                "topology change must preserve node count ({} != {})",
-                graph.num_nodes(),
-                self.graph.num_nodes()
-            ));
+            return Err(ServeError::TopologyMismatch {
+                expected: self.graph.num_nodes(),
+                got: graph.num_nodes(),
+            });
         }
         self.ecmp = unit_ecmp_routing(&graph);
         self.shortest_path = unit_shortest_path_routing(&graph);
@@ -247,7 +300,7 @@ impl Controller {
     fn note_breaker(&mut self, transition: Option<Transition>, epoch: u64) {
         if let Some(t) = transition {
             self.stats.breaker_transitions += 1;
-            gddr_telemetry::breaker_transition_event(t.from.name(), t.to.name(), epoch);
+            gddr_telemetry::breaker_transition_event(self.shard, t.from.name(), t.to.name(), epoch);
         }
     }
 
@@ -274,13 +327,20 @@ impl Controller {
     /// History snapshot for inference: exactly `memory` matrices,
     /// oldest first, zero-padded at the front during warm-up.
     fn history_snapshot(&self) -> Vec<DemandMatrix> {
+        self.snapshot_of(&self.history)
+    }
+
+    /// [`Controller::history_snapshot`] over an arbitrary history
+    /// buffer (used by `serve_batch` to replay sequential snapshots
+    /// ahead of one batched dispatch).
+    fn snapshot_of(&self, history: &VecDeque<DemandMatrix>) -> Vec<DemandMatrix> {
         let memory = self.env_cfg.memory;
         let n = self.graph.num_nodes();
         let mut out = Vec::with_capacity(memory);
-        for _ in self.history.len()..memory {
+        for _ in history.len()..memory {
             out.push(DemandMatrix::zeros(n));
         }
-        out.extend(self.history.iter().cloned());
+        out.extend(history.iter().cloned());
         out
     }
 
@@ -291,11 +351,16 @@ impl Controller {
         self.history.push_back(dm);
     }
 
-    /// Attempt fresh inference end to end; `Err` explains which stage
-    /// failed and sends the request down the ladder.
-    fn try_fresh(&mut self, req: &EpochRequest, epoch: u64) -> Result<Routing, ServeError> {
-        let history = self.history_snapshot();
-        let reply = self.pool.dispatch(req, &history, epoch)?;
+    /// Turns a raw inference reply into an installable routing,
+    /// enforcing the deadline and validating the action. `Err`
+    /// explains which stage failed and sends the request down the
+    /// ladder.
+    fn reply_to_routing(
+        &mut self,
+        reply: InferenceReply,
+        req: &EpochRequest,
+        epoch: u64,
+    ) -> Result<Routing, ServeError> {
         if reply.cost_ms > req.deadline_ms {
             // Deadline misses feed the breaker: a slow oracle-scored
             // pipeline and a slow solver look the same to a caller.
@@ -375,34 +440,123 @@ impl Controller {
     fn serve(&mut self, req: EpochRequest, shed: bool) -> RouteResponse {
         self.epoch += 1;
         let epoch = self.epoch;
-
         let valid = self.validate_demands(&req.demands);
+        let attempt = match (&valid, shed) {
+            (Ok(()), false) if req.deadline_ms > 0 => {
+                let history = self.history_snapshot();
+                Some(self.pool.dispatch(&req, &history, epoch))
+            }
+            _ => None,
+        };
+        self.finish(req, epoch, shed, valid, attempt)
+    }
+
+    /// Serves a coalesced run of requests with **one** batched
+    /// inference dispatch, reproducing sequential [`Controller::serve`]
+    /// semantics on the healthy path bit for bit: item k's history
+    /// snapshot includes items 0..k's (valid) demands, serving epochs
+    /// advance one per request, and every post-inference step runs in
+    /// request order. When the batch dispatch fails, the whole run
+    /// degrades together — a panicked or exhausted engine leaves no
+    /// partial answers worth trusting.
+    fn serve_batch(&mut self, reqs: Vec<EpochRequest>) -> Vec<RouteResponse> {
+        // Phase 1 (sequential): assign epochs, validate, and snapshot
+        // each item's history exactly as sequential serving would have
+        // seen it.
+        let mut sim = self.history.clone();
+        let mut pending = Vec::with_capacity(reqs.len());
+        let mut items = Vec::new();
+        for req in reqs {
+            self.epoch += 1;
+            let epoch = self.epoch;
+            let valid = self.validate_demands(&req.demands);
+            let batch_slot = if valid.is_ok() && req.deadline_ms > 0 {
+                items.push(BatchItem {
+                    req: req.clone(),
+                    history: self.snapshot_of(&sim),
+                });
+                Some(items.len() - 1)
+            } else {
+                None
+            };
+            if valid.is_ok() {
+                if sim.len() == self.env_cfg.memory {
+                    sim.pop_front();
+                }
+                sim.push_back(req.demands.clone());
+            }
+            pending.push((req, epoch, valid, batch_slot));
+        }
+
+        // Phase 2: one batched dispatch covering every
+        // inference-eligible item, pinned to the first batched epoch
+        // (worker backoff is measured against it).
+        let batch_outcome = if items.is_empty() {
+            None
+        } else {
+            let epoch = pending
+                .iter()
+                .find(|(_, _, _, slot)| slot.is_some())
+                .map(|(_, e, _, _)| *e)
+                .expect("non-empty batch implies a batched slot");
+            Some(self.pool.dispatch_batch(items, epoch))
+        };
+
+        // Phase 3 (sequential): post-process in request order.
+        pending
+            .into_iter()
+            .map(|(req, epoch, valid, batch_slot)| {
+                let attempt = batch_slot.map(|slot| match &batch_outcome {
+                    Some(Ok(replies)) => Ok(replies[slot].clone()),
+                    Some(Err(e)) => Err(e.clone()),
+                    None => unreachable!("slot implies a dispatched batch"),
+                });
+                self.finish(req, epoch, false, valid, attempt)
+            })
+            .collect()
+    }
+
+    /// Shared tail of every serving path: resolve the ladder rung,
+    /// update history/stats/health, emit telemetry, and build the
+    /// response. `attempt` is `None` when inference was never tried
+    /// (shed, invalid demands, or a zero deadline).
+    fn finish(
+        &mut self,
+        req: EpochRequest,
+        epoch: u64,
+        shed: bool,
+        valid: Result<(), ServeError>,
+        attempt: Option<Result<InferenceReply, ServeError>>,
+    ) -> RouteResponse {
         let mut degraded_reason = None;
         let mut score = None;
 
-        let (rung, routing) = match (&valid, shed) {
-            (Ok(()), false) if req.deadline_ms > 0 => match self.try_fresh(&req, epoch) {
-                Ok(routing) => {
-                    score = self.score(&routing, &req.demands, epoch);
-                    self.last_good = Some((routing.clone(), epoch));
-                    (Rung::Fresh, routing)
+        let (rung, routing) = match attempt {
+            Some(outcome) => {
+                match outcome.and_then(|reply| self.reply_to_routing(reply, &req, epoch)) {
+                    Ok(routing) => {
+                        score = self.score(&routing, &req.demands, epoch);
+                        self.last_good = Some((routing.clone(), epoch));
+                        (Rung::Fresh, routing)
+                    }
+                    Err(e) => {
+                        degraded_reason = Some(e);
+                        self.ladder_answer(epoch)
+                    }
                 }
-                Err(e) => {
-                    degraded_reason = Some(e);
-                    self.ladder_answer(epoch)
-                }
-            },
-            (Ok(()), false) => {
-                // deadline_ms == 0: no inference budget at all.
-                degraded_reason = Some(ServeError::DeadlineMiss {
-                    cost_ms: 0,
-                    deadline_ms: 0,
-                });
-                self.ladder_answer(epoch)
             }
-            (Ok(()), true) => self.ladder_answer(epoch),
-            (Err(e), _) => {
-                degraded_reason = Some(e.clone());
+            None => {
+                match (&valid, shed) {
+                    (Err(e), _) => degraded_reason = Some(e.clone()),
+                    (Ok(()), false) => {
+                        // deadline_ms == 0: no inference budget at all.
+                        degraded_reason = Some(ServeError::DeadlineMiss {
+                            cost_ms: 0,
+                            deadline_ms: 0,
+                        });
+                    }
+                    (Ok(()), true) => {}
+                }
                 self.ladder_answer(epoch)
             }
         };
@@ -420,7 +574,7 @@ impl Controller {
             Rung::Ecmp => self.stats.ecmp += 1,
             Rung::ShortestPath => self.stats.shortest_path += 1,
         }
-        gddr_telemetry::rung_served_event(epoch, rung.name(), shed);
+        gddr_telemetry::rung_served_event(self.shard, epoch, rung.name(), shed);
 
         let breaker_disturbed = self.breaker.state() != BreakerState::Closed;
         if let Some((from, to)) = self.health.observe(HealthInputs {
@@ -428,7 +582,7 @@ impl Controller {
             workers_alive: self.pool.alive_workers(),
             breaker_disturbed,
         }) {
-            gddr_telemetry::health_transition_event(from.name(), to.name(), epoch);
+            gddr_telemetry::health_transition_event(self.shard, from.name(), to.name(), epoch);
         }
 
         RouteResponse {
@@ -674,6 +828,70 @@ mod tests {
         // Node-count changes are rejected.
         let bad = gddr_net::topology::zoo::abilene();
         assert!(c.apply_topology(bad).is_err());
+    }
+
+    #[test]
+    fn coalesced_serving_matches_sequential_bitwise() {
+        // Two identically seeded controllers: one serves 4 same-tick
+        // requests per tick sequentially, the other coalesces each
+        // tick into a single batched dispatch. Every response field
+        // that matters must match bit for bit.
+        let mut seq = controller(FaultPlan::new(), ControllerConfig::default());
+        let mut coal = controller(FaultPlan::new(), ControllerConfig::default());
+        for tick in 0..3u64 {
+            let reqs: Vec<EpochRequest> = (0..4).map(|c| request(tick, 300 + c * 17)).collect();
+            let mut a = Vec::new();
+            for r in reqs.clone() {
+                a.extend(seq.handle(r));
+            }
+            let mut b = Vec::new();
+            for r in reqs {
+                b.extend(coal.enqueue(r));
+            }
+            loop {
+                let served = coal.process_coalesced(8);
+                if served.is_empty() {
+                    break;
+                }
+                b.extend(served);
+            }
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.rung, y.rung, "tick {tick}");
+                assert_eq!(x.served_at, y.served_at);
+                assert_eq!(x.routing, y.routing, "tick {tick}: routing diverged");
+                assert_eq!(x.score, y.score);
+            }
+        }
+        assert_eq!(seq.stats().fresh, coal.stats().fresh);
+        assert_eq!(seq.stats().responses(), coal.stats().responses());
+    }
+
+    #[test]
+    fn coalescing_stops_at_tick_boundaries() {
+        let mut c = controller(FaultPlan::new(), ControllerConfig::default());
+        // Three clients at tick 0, then one at tick 1.
+        for (i, tick) in [(0u64, 0u64), (1, 0), (2, 0), (3, 1)] {
+            c.enqueue(request(tick, 400 + i));
+        }
+        let first = c.process_coalesced(8);
+        assert_eq!(first.len(), 3, "tick-0 run coalesces together");
+        let second = c.process_coalesced(8);
+        assert_eq!(second.len(), 1, "tick-1 request serves alone");
+        assert!(c.process_coalesced(8).is_empty());
+    }
+
+    #[test]
+    fn apply_topology_mismatch_is_typed() {
+        let mut c = controller(FaultPlan::new(), ControllerConfig::default());
+        let err = c.apply_topology(zoo::abilene()).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::TopologyMismatch {
+                expected: 6,
+                got: 11
+            }
+        );
     }
 
     #[test]

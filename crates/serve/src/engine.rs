@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gddr_core::obs::{flat_features, node_features, DemandHistory};
-use gddr_core::DdrObs;
+use gddr_core::{BatchGreedy, DdrObs};
 use gddr_gnn::GraphStructure;
 use gddr_net::Graph;
 use gddr_nn::Matrix;
@@ -32,6 +32,19 @@ pub struct InferenceReply {
     pub cost_ms: u64,
 }
 
+/// One coalesced unit of a batched dispatch: a request plus the
+/// demand history it must be answered against. Owned, so batches move
+/// into worker threads whole.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The request to answer.
+    pub req: EpochRequest,
+    /// History snapshot for this item — in a coalesced batch, item k's
+    /// snapshot already includes items 0..k's predecessors' demands, so
+    /// batch answers reproduce sequential serving exactly.
+    pub history: Vec<DemandMatrix>,
+}
+
 /// One-shot routing inference: demands + history in, action out.
 ///
 /// `Send` so engines can move into worker threads. Engines are built
@@ -42,6 +55,18 @@ pub trait InferenceEngine: Send {
     /// the policy's memory length of matrices, oldest first,
     /// zero-padded at the front while the controller warms up.
     fn infer(&mut self, req: &EpochRequest, history: &[DemandMatrix]) -> InferenceReply;
+
+    /// Answers a coalesced batch, one reply per item in order. The
+    /// contract is strict: each reply's action must be **bit-identical**
+    /// to `infer` on that item alone. The default is the sequential
+    /// loop; engines with real batch support (the GNN's block-diagonal
+    /// forward) override it with a single batched pass.
+    fn infer_batch(&mut self, items: &[BatchItem]) -> Vec<InferenceReply> {
+        items
+            .iter()
+            .map(|item| self.infer(&item.req, &item.history))
+            .collect()
+    }
 }
 
 /// Builds a fresh engine for a (possibly degraded) topology. Called
@@ -86,13 +111,11 @@ impl<P> PolicyEngine<P> {
     }
 }
 
-impl<P: Policy<Obs = DdrObs> + Send> InferenceEngine for PolicyEngine<P> {
+impl<P: Policy<Obs = DdrObs> + BatchGreedy + Send> InferenceEngine for PolicyEngine<P> {
     fn infer(&mut self, req: &EpochRequest, history: &[DemandMatrix]) -> InferenceReply {
         let start = Instant::now();
-        // The request's own demands are the newest history entry: the
-        // controller appends them before dispatch, so `history`
-        // already ends with `req.demands`. The request is still passed
-        // so chaos wrappers can key faults off its epoch.
+        // The request is passed so chaos wrappers can key faults off
+        // its epoch; the observation is built from `history` alone.
         let _ = req;
         let obs = self.observe(history);
         let action = self.policy.act_greedy(&obs);
@@ -100,6 +123,23 @@ impl<P: Policy<Obs = DdrObs> + Send> InferenceEngine for PolicyEngine<P> {
             action,
             cost_ms: start.elapsed().as_millis() as u64,
         }
+    }
+
+    fn infer_batch(&mut self, items: &[BatchItem]) -> Vec<InferenceReply> {
+        let start = Instant::now();
+        let obs: Vec<DdrObs> = items
+            .iter()
+            .map(|item| self.observe(&item.history))
+            .collect();
+        // [`BatchGreedy`] guarantees bit-identity with the per-item
+        // loop; the GNN policy realises this as one block-diagonal
+        // forward pass over the whole batch.
+        let actions = self.policy.act_greedy_batch(&obs);
+        let cost_ms = start.elapsed().as_millis() as u64;
+        actions
+            .into_iter()
+            .map(|action| InferenceReply { action, cost_ms })
+            .collect()
     }
 }
 
@@ -198,6 +238,25 @@ impl<E: InferenceEngine> InferenceEngine for ChaosEngine<E> {
                 self.inner.infer(req, history)
             }
         }
+    }
+
+    fn infer_batch(&mut self, items: &[BatchItem]) -> Vec<InferenceReply> {
+        // A clean batch takes the inner engine's true batched path; a
+        // batch containing any scheduled fault degrades to the per-item
+        // loop so faults hit their exact target epoch. A Panic then
+        // takes the whole batch down with it — by design: that is what
+        // a dying shard looks like, and the controller answers every
+        // batched request from the ladder.
+        if items
+            .iter()
+            .all(|item| self.plan.fault(item.req.epoch).is_none())
+        {
+            return self.inner.infer_batch(items);
+        }
+        items
+            .iter()
+            .map(|item| self.infer(&item.req, &item.history))
+            .collect()
     }
 }
 

@@ -28,7 +28,11 @@
 //! - [`chaos`] — seeded fault scenarios (worker panics, oracle pivot
 //!   storms, slow inference, malformed matrices, queue overload,
 //!   link failures, hangs) with SLO checks, driven by the
-//!   `chaos_harness` bench binary.
+//!   `chaos_harness` bench binary,
+//! - [`fleet`] — a sharded multi-topology router: one supervised
+//!   controller per topology, same-tick requests coalesced into a
+//!   single batched GNN forward pass (bit-identical to per-request
+//!   inference), thread-per-core shard draining with work stealing.
 //!
 //! Determinism is load-bearing: all rung-affecting decisions use
 //! logical time (serving epochs and engine-reported costs), so a
@@ -40,6 +44,7 @@ pub mod breaker;
 pub mod chaos;
 pub mod controller;
 pub mod engine;
+pub mod fleet;
 pub mod health;
 pub mod queue;
 pub mod request;
@@ -48,7 +53,10 @@ pub mod worker;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{run_scenario, scenario_names, scenario_seed, ScenarioOutcome};
 pub use controller::{Controller, ControllerConfig, ServeStats};
-pub use engine::{ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine};
+pub use engine::{
+    BatchItem, ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine,
+};
+pub use fleet::{FleetConfig, FleetRequest, ShardOutcome, ShardRouter};
 pub use health::HealthState;
 pub use queue::AdmissionQueue;
 pub use request::{EpochRequest, RouteResponse, Rung, ServeError};

@@ -62,6 +62,13 @@ impl AdmissionQueue {
     pub fn pop(&mut self) -> Option<EpochRequest> {
         self.items.pop_front()
     }
+
+    /// The oldest pending request, without removing it (used by the
+    /// controller to decide whether the next request coalesces into
+    /// the current batch).
+    pub fn peek(&self) -> Option<&EpochRequest> {
+        self.items.front()
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +107,18 @@ mod tests {
         assert_eq!(q.pop().unwrap().epoch, 1);
         assert_eq!(q.pop().unwrap().epoch, 2);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_sees_oldest_without_removing() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.peek().is_none());
+        q.admit(req(7));
+        q.admit(req(8));
+        assert_eq!(q.peek().unwrap().epoch, 7);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().epoch, 7);
+        assert_eq!(q.peek().unwrap().epoch, 8);
     }
 
     #[test]

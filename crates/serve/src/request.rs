@@ -94,6 +94,19 @@ pub enum ServeError {
     /// Inference produced an unusable action (NaN weights, wrong
     /// dimension, softmin rejection).
     BadAction(String),
+    /// A topology swap would change the node count, which demand
+    /// matrices in flight are indexed by.
+    TopologyMismatch {
+        /// Node count of the graph currently being served.
+        expected: usize,
+        /// Node count of the rejected replacement graph.
+        got: usize,
+    },
+    /// The fleet router has no shard for the requested topology.
+    UnknownTopology(String),
+    /// A harness or fleet configuration problem (unknown scenario,
+    /// unusable request count, duplicate shard, ...).
+    Config(String),
 }
 
 impl fmt::Display for ServeError {
@@ -108,6 +121,12 @@ impl fmt::Display for ServeError {
             ServeError::WorkerHung => write!(f, "worker hung past the backstop"),
             ServeError::PoolExhausted => write!(f, "no inference worker available"),
             ServeError::BadAction(msg) => write!(f, "unusable inference output: {msg}"),
+            ServeError::TopologyMismatch { expected, got } => write!(
+                f,
+                "topology change must preserve node count ({got} != {expected})"
+            ),
+            ServeError::UnknownTopology(name) => write!(f, "no shard serves topology '{name}'"),
+            ServeError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
 }
@@ -168,6 +187,12 @@ mod tests {
             ServeError::WorkerHung,
             ServeError::PoolExhausted,
             ServeError::BadAction("nan weight".into()),
+            ServeError::TopologyMismatch {
+                expected: 6,
+                got: 11,
+            },
+            ServeError::UnknownTopology("atlantis".into()),
+            ServeError::Config("zero shards".into()),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -25,7 +25,7 @@ use std::time::Duration;
 use gddr_net::Graph;
 use gddr_traffic::DemandMatrix;
 
-use crate::engine::{EngineFactory, InferenceEngine, InferenceReply};
+use crate::engine::{BatchItem, EngineFactory, InferenceEngine, InferenceReply};
 use crate::request::{EpochRequest, ServeError};
 
 /// Pool tuning knobs.
@@ -70,15 +70,14 @@ pub enum ExecMode {
 
 struct Job {
     job_id: u64,
-    req: EpochRequest,
-    history: Vec<DemandMatrix>,
+    items: Vec<BatchItem>,
 }
 
 struct ResultMsg {
     slot: usize,
     generation: u64,
     job_id: u64,
-    outcome: Result<InferenceReply, String>,
+    outcome: Result<Vec<InferenceReply>, String>,
 }
 
 struct ThreadBody {
@@ -125,7 +124,7 @@ fn worker_loop(
 ) {
     while let Ok(job) = jobs.recv() {
         heartbeat.fetch_add(1, Ordering::Relaxed);
-        let outcome = catch_unwind(AssertUnwindSafe(|| engine.infer(&job.req, &job.history)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| engine.infer_batch(&job.items)));
         heartbeat.fetch_add(1, Ordering::Relaxed);
         let fatal = outcome.is_err();
         let msg = ResultMsg {
@@ -149,6 +148,7 @@ pub struct WorkerPool {
     factory: EngineFactory,
     graph: Graph,
     config: PoolConfig,
+    shard: u64,
     slots: Vec<Slot>,
     results_tx: Sender<ResultMsg>,
     results_rx: Receiver<ResultMsg>,
@@ -158,18 +158,21 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Builds and starts `config.workers` slots for `graph`.
+    /// Builds and starts `config.workers` slots for `graph`. `shard`
+    /// tags this pool's telemetry (0 for a single-controller
+    /// deployment).
     ///
     /// # Panics
     ///
     /// Panics if `config.workers == 0`.
-    pub fn new(factory: EngineFactory, graph: &Graph, config: PoolConfig) -> Self {
+    pub fn new(factory: EngineFactory, graph: &Graph, config: PoolConfig, shard: u64) -> Self {
         assert!(config.workers > 0, "pool needs at least one worker");
         let (results_tx, results_rx) = channel();
         let mut pool = WorkerPool {
             factory,
             graph: graph.clone(),
             config,
+            shard,
             slots: Vec::new(),
             results_tx,
             results_rx,
@@ -245,7 +248,7 @@ impl WorkerPool {
         let restarts = s.restarts;
         self.restarts_total += 1;
         self.slots[slot].body = self.spawn_body(slot, generation);
-        gddr_telemetry::worker_restart_event(slot as u64, restarts as u64, backoff);
+        gddr_telemetry::worker_restart_event(self.shard, slot as u64, restarts as u64, backoff);
     }
 
     /// Replace every slot's engine for a new topology. Does not
@@ -283,6 +286,32 @@ impl WorkerPool {
         history: &[DemandMatrix],
         epoch: u64,
     ) -> Result<InferenceReply, ServeError> {
+        let items = vec![BatchItem {
+            req: req.clone(),
+            history: history.to_vec(),
+        }];
+        self.dispatch_batch(items, epoch).map(|mut replies| {
+            debug_assert_eq!(replies.len(), 1);
+            replies.remove(0)
+        })
+    }
+
+    /// Runs a coalesced batch on one available slot, supervising
+    /// faults. On success there is exactly one reply per item, in
+    /// order. On failure the whole batch degrades together — the
+    /// controller answers every item from the ladder (a panicked
+    /// engine leaves no partial answers worth trusting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn dispatch_batch(
+        &mut self,
+        items: Vec<BatchItem>,
+        epoch: u64,
+    ) -> Result<Vec<InferenceReply>, ServeError> {
+        assert!(!items.is_empty(), "dispatch_batch needs at least one item");
+        let want = items.len();
         let slot = self.pick_slot(epoch).ok_or(ServeError::PoolExhausted)?;
         if matches!(self.slots[slot].body, SlotBody::Inline(_)) {
             let outcome = {
@@ -290,10 +319,13 @@ impl WorkerPool {
                     SlotBody::Inline(e) => e,
                     _ => unreachable!(),
                 };
-                catch_unwind(AssertUnwindSafe(|| engine.infer(req, history)))
+                catch_unwind(AssertUnwindSafe(|| engine.infer_batch(&items)))
             };
             return match outcome {
-                Ok(reply) => Ok(reply),
+                Ok(replies) => {
+                    assert_eq!(replies.len(), want, "engine answered a different batch");
+                    Ok(replies)
+                }
                 Err(payload) => {
                     let msg = panic_message(payload);
                     self.supervise(slot, epoch);
@@ -307,11 +339,7 @@ impl WorkerPool {
         };
         let job_id = self.next_job;
         self.next_job += 1;
-        let job = Job {
-            job_id,
-            req: req.clone(),
-            history: history.to_vec(),
-        };
+        let job = Job { job_id, items };
         if sender.send(job).is_err() {
             // Thread already gone (e.g. died after a previous panic);
             // treat like a panic and supervise.
@@ -327,7 +355,10 @@ impl WorkerPool {
                         continue;
                     }
                     match msg.outcome {
-                        Ok(reply) => return Ok(reply),
+                        Ok(replies) => {
+                            assert_eq!(replies.len(), want, "engine answered a different batch");
+                            return Ok(replies);
+                        }
                         Err(panic_msg) => {
                             self.supervise(slot, epoch);
                             return Err(ServeError::WorkerPanicked(panic_msg));
@@ -404,6 +435,7 @@ mod tests {
                 backoff_base_epochs: 2,
                 ..PoolConfig::default()
             },
+            0,
         );
         assert!(pool.dispatch(&request(0, 1), &history(), 0).is_ok());
         let err = pool.dispatch(&request(1, 1), &history(), 1).unwrap_err();
@@ -430,6 +462,7 @@ mod tests {
                 backoff_base_epochs: 0,
                 ..PoolConfig::default()
             },
+            0,
         );
         let err = pool.dispatch(&request(0, 1), &history(), 0).unwrap_err();
         assert!(matches!(err, ServeError::WorkerPanicked(_)));
@@ -457,6 +490,7 @@ mod tests {
                 hang_timeout_ms: 5_000,
                 mode: ExecMode::Threaded,
             },
+            0,
         );
         assert!(pool.dispatch(&request(0, 1), &history(), 0).is_ok());
         let err = pool.dispatch(&request(1, 1), &history(), 1).unwrap_err();
@@ -481,6 +515,7 @@ mod tests {
                 hang_timeout_ms: 50,
                 mode: ExecMode::Threaded,
             },
+            0,
         );
         let err = pool.dispatch(&request(0, 1), &history(), 0).unwrap_err();
         assert!(matches!(err, ServeError::WorkerHung));
@@ -494,7 +529,7 @@ mod tests {
     fn retool_rebuilds_engines_without_spending_budget() {
         let plan = Arc::new(FaultPlan::new());
         let graph = zoo::cesnet();
-        let mut pool = WorkerPool::new(factory(plan), &graph, PoolConfig::default());
+        let mut pool = WorkerPool::new(factory(plan), &graph, PoolConfig::default(), 0);
         pool.retool(&graph);
         assert_eq!(pool.restarts(), 0);
         assert_eq!(pool.alive_workers(), 2);

@@ -91,6 +91,8 @@ pub enum Event {
     /// The serving controller answered an epoch request, tagged with
     /// the graceful-degradation rung that produced the routing.
     RungServed {
+        /// Owning shard id (0 for a single-controller deployment).
+        shard: u64,
         /// Logical serving epoch (one per processed request).
         epoch: u64,
         /// Rung name (`fresh`, `last_good`, `ecmp`, `shortest_path`).
@@ -101,6 +103,8 @@ pub enum Event {
     },
     /// The oracle-scoring circuit breaker changed state.
     BreakerTransition {
+        /// Owning shard id (0 for a single-controller deployment).
+        shard: u64,
         /// State before the transition (`closed`, `open`, `half_open`).
         from: String,
         /// State after the transition.
@@ -110,6 +114,8 @@ pub enum Event {
     },
     /// A supervised serving worker was restarted after a panic or hang.
     WorkerRestart {
+        /// Owning shard id (0 for a single-controller deployment).
+        shard: u64,
         /// Worker slot index.
         worker: u64,
         /// Restarts consumed from this slot's budget so far.
@@ -120,6 +126,8 @@ pub enum Event {
     /// An epoch request was shed from the bounded admission queue (it
     /// is still answered, via the degradation ladder).
     RequestShed {
+        /// Owning shard id (0 for a single-controller deployment).
+        shard: u64,
         /// Logical serving epoch of the shed request.
         epoch: u64,
         /// Queue length at the moment of shedding.
@@ -127,6 +135,8 @@ pub enum Event {
     },
     /// The serving controller's health state changed.
     HealthTransition {
+        /// Owning shard id (0 for a single-controller deployment).
+        shard: u64,
         /// State before the transition (`starting`, `healthy`,
         /// `degraded`, `unhealthy`).
         from: String,
@@ -246,35 +256,60 @@ impl ToJson for Event {
                 ("graph", graph.to_json()),
                 ("edges_removed", edges_removed.to_json()),
             ]),
-            Event::RungServed { epoch, rung, shed } => Json::obj([
+            Event::RungServed {
+                shard,
+                epoch,
+                rung,
+                shed,
+            } => Json::obj([
                 ("type", "rung_served".to_json()),
+                ("shard", shard.to_json()),
                 ("epoch", epoch.to_json()),
                 ("rung", rung.to_json()),
                 ("shed", shed.to_json()),
             ]),
-            Event::BreakerTransition { from, to, epoch } => Json::obj([
+            Event::BreakerTransition {
+                shard,
+                from,
+                to,
+                epoch,
+            } => Json::obj([
                 ("type", "breaker_transition".to_json()),
+                ("shard", shard.to_json()),
                 ("from", from.to_json()),
                 ("to", to.to_json()),
                 ("epoch", epoch.to_json()),
             ]),
             Event::WorkerRestart {
+                shard,
                 worker,
                 restarts,
                 backoff_epochs,
             } => Json::obj([
                 ("type", "worker_restart".to_json()),
+                ("shard", shard.to_json()),
                 ("worker", worker.to_json()),
                 ("restarts", restarts.to_json()),
                 ("backoff_epochs", backoff_epochs.to_json()),
             ]),
-            Event::RequestShed { epoch, queue_len } => Json::obj([
+            Event::RequestShed {
+                shard,
+                epoch,
+                queue_len,
+            } => Json::obj([
                 ("type", "request_shed".to_json()),
+                ("shard", shard.to_json()),
                 ("epoch", epoch.to_json()),
                 ("queue_len", queue_len.to_json()),
             ]),
-            Event::HealthTransition { from, to, epoch } => Json::obj([
+            Event::HealthTransition {
+                shard,
+                from,
+                to,
+                epoch,
+            } => Json::obj([
                 ("type", "health_transition".to_json()),
+                ("shard", shard.to_json()),
                 ("from", from.to_json()),
                 ("to", to.to_json()),
                 ("epoch", epoch.to_json()),
@@ -330,25 +365,30 @@ impl FromJson for Event {
                 edges_removed: FromJson::from_json(json.field("edges_removed")?)?,
             }),
             "rung_served" => Ok(Event::RungServed {
+                shard: FromJson::from_json(json.field("shard")?)?,
                 epoch: FromJson::from_json(json.field("epoch")?)?,
                 rung: FromJson::from_json(json.field("rung")?)?,
                 shed: FromJson::from_json(json.field("shed")?)?,
             }),
             "breaker_transition" => Ok(Event::BreakerTransition {
+                shard: FromJson::from_json(json.field("shard")?)?,
                 from: FromJson::from_json(json.field("from")?)?,
                 to: FromJson::from_json(json.field("to")?)?,
                 epoch: FromJson::from_json(json.field("epoch")?)?,
             }),
             "worker_restart" => Ok(Event::WorkerRestart {
+                shard: FromJson::from_json(json.field("shard")?)?,
                 worker: FromJson::from_json(json.field("worker")?)?,
                 restarts: FromJson::from_json(json.field("restarts")?)?,
                 backoff_epochs: FromJson::from_json(json.field("backoff_epochs")?)?,
             }),
             "request_shed" => Ok(Event::RequestShed {
+                shard: FromJson::from_json(json.field("shard")?)?,
                 epoch: FromJson::from_json(json.field("epoch")?)?,
                 queue_len: FromJson::from_json(json.field("queue_len")?)?,
             }),
             "health_transition" => Ok(Event::HealthTransition {
+                shard: FromJson::from_json(json.field("shard")?)?,
                 from: FromJson::from_json(json.field("from")?)?,
                 to: FromJson::from_json(json.field("to")?)?,
                 epoch: FromJson::from_json(json.field("epoch")?)?,
@@ -425,25 +465,30 @@ mod tests {
                 edges_removed: 2,
             },
             Event::RungServed {
+                shard: 3,
                 epoch: 17,
                 rung: "last_good".into(),
                 shed: false,
             },
             Event::BreakerTransition {
+                shard: 0,
                 from: "closed".into(),
                 to: "open".into(),
                 epoch: 18,
             },
             Event::WorkerRestart {
+                shard: 2,
                 worker: 1,
                 restarts: 3,
                 backoff_epochs: 4,
             },
             Event::RequestShed {
+                shard: 1,
                 epoch: 19,
                 queue_len: 8,
             },
             Event::HealthTransition {
+                shard: 4,
                 from: "healthy".into(),
                 to: "degraded".into(),
                 epoch: 20,

@@ -246,7 +246,7 @@ pub fn fault_injected_event(graph: &str, edges_removed: u64) {
 /// Records a served routing response: bumps `serve.responses` (and
 /// `serve.shed` when the request was shed) and streams an
 /// [`Event::RungServed`]. No-op when telemetry is disabled.
-pub fn rung_served_event(epoch: u64, rung: &str, shed: bool) {
+pub fn rung_served_event(shard: u64, epoch: u64, rung: &str, shed: bool) {
     if !is_enabled() {
         return;
     }
@@ -257,6 +257,7 @@ pub fn rung_served_event(epoch: u64, rung: &str, shed: bool) {
         total,
     });
     dispatch(&Event::RungServed {
+        shard,
         epoch,
         rung: rung.to_string(),
         shed,
@@ -266,7 +267,7 @@ pub fn rung_served_event(epoch: u64, rung: &str, shed: bool) {
 /// Records a circuit-breaker state change: bumps
 /// `serve.breaker_transitions` and streams an
 /// [`Event::BreakerTransition`]. No-op when telemetry is disabled.
-pub fn breaker_transition_event(from: &str, to: &str, epoch: u64) {
+pub fn breaker_transition_event(shard: u64, from: &str, to: &str, epoch: u64) {
     if !is_enabled() {
         return;
     }
@@ -277,6 +278,7 @@ pub fn breaker_transition_event(from: &str, to: &str, epoch: u64) {
         total,
     });
     dispatch(&Event::BreakerTransition {
+        shard,
         from: from.to_string(),
         to: to.to_string(),
         epoch,
@@ -286,7 +288,7 @@ pub fn breaker_transition_event(from: &str, to: &str, epoch: u64) {
 /// Records a supervised worker restart: bumps `serve.worker_restarts`
 /// and streams an [`Event::WorkerRestart`]. No-op when telemetry is
 /// disabled.
-pub fn worker_restart_event(worker: u64, restarts: u64, backoff_epochs: u64) {
+pub fn worker_restart_event(shard: u64, worker: u64, restarts: u64, backoff_epochs: u64) {
     if !is_enabled() {
         return;
     }
@@ -297,6 +299,7 @@ pub fn worker_restart_event(worker: u64, restarts: u64, backoff_epochs: u64) {
         total,
     });
     dispatch(&Event::WorkerRestart {
+        shard,
         worker,
         restarts,
         backoff_epochs,
@@ -305,7 +308,7 @@ pub fn worker_restart_event(worker: u64, restarts: u64, backoff_epochs: u64) {
 
 /// Records an admission-queue shed: bumps `serve.shed` and streams an
 /// [`Event::RequestShed`]. No-op when telemetry is disabled.
-pub fn request_shed_event(epoch: u64, queue_len: u64) {
+pub fn request_shed_event(shard: u64, epoch: u64, queue_len: u64) {
     if !is_enabled() {
         return;
     }
@@ -315,13 +318,17 @@ pub fn request_shed_event(epoch: u64, queue_len: u64) {
         delta: 1,
         total,
     });
-    dispatch(&Event::RequestShed { epoch, queue_len });
+    dispatch(&Event::RequestShed {
+        shard,
+        epoch,
+        queue_len,
+    });
 }
 
 /// Records a controller health-state change: bumps
 /// `serve.health_transitions` and streams an
 /// [`Event::HealthTransition`]. No-op when telemetry is disabled.
-pub fn health_transition_event(from: &str, to: &str, epoch: u64) {
+pub fn health_transition_event(shard: u64, from: &str, to: &str, epoch: u64) {
     if !is_enabled() {
         return;
     }
@@ -332,6 +339,7 @@ pub fn health_transition_event(from: &str, to: &str, epoch: u64) {
         total,
     });
     dispatch(&Event::HealthTransition {
+        shard,
         from: from.to_string(),
         to: to.to_string(),
         epoch,
@@ -518,11 +526,11 @@ mod tests {
             rollback_event(1, "r", 0.5);
             lp_fallback_event("s", true);
             fault_injected_event("g", 1);
-            rung_served_event(1, "fresh", false);
-            breaker_transition_event("closed", "open", 1);
-            worker_restart_event(0, 1, 2);
-            request_shed_event(1, 4);
-            health_transition_event("starting", "healthy", 1);
+            rung_served_event(0, 1, "fresh", false);
+            breaker_transition_event(0, "closed", "open", 1);
+            worker_restart_event(0, 0, 1, 2);
+            request_shed_event(0, 1, 4);
+            health_transition_event(0, "starting", "healthy", 1);
             let snap = registry().snapshot();
             assert_eq!(snap.counter("ppo.checkpoints"), None);
             assert_eq!(snap.counter("env.fault_injected"), None);
@@ -536,11 +544,11 @@ mod tests {
         with_global(|| {
             let sink = Arc::new(MemorySink::new());
             install(sink.clone());
-            rung_served_event(5, "ecmp", true);
-            breaker_transition_event("open", "half_open", 6);
-            worker_restart_event(1, 2, 4);
-            request_shed_event(5, 9);
-            health_transition_event("healthy", "degraded", 6);
+            rung_served_event(7, 5, "ecmp", true);
+            breaker_transition_event(7, "open", "half_open", 6);
+            worker_restart_event(7, 1, 2, 4);
+            request_shed_event(7, 5, 9);
+            health_transition_event(7, "healthy", "degraded", 6);
             let snap = registry().snapshot();
             assert_eq!(snap.counter("serve.responses"), Some(1));
             assert_eq!(snap.counter("serve.breaker_transitions"), Some(1));
@@ -552,6 +560,7 @@ mod tests {
             assert!(events.iter().any(|e| matches!(
                 e,
                 Event::RungServed {
+                    shard: 7,
                     epoch: 5,
                     shed: true,
                     ..
@@ -563,6 +572,7 @@ mod tests {
             assert!(events.iter().any(|e| matches!(
                 e,
                 Event::WorkerRestart {
+                    shard: 7,
                     worker: 1,
                     restarts: 2,
                     backoff_epochs: 4,

@@ -1,0 +1,197 @@
+//! Integration tests for the sharded serving fleet: GNN-batched
+//! coalescing bit-identity against per-request serving, same-seed
+//! determinism of shard assignment and rung sequences, and fault
+//! isolation when one shard's workers die.
+
+use std::sync::Arc;
+
+use gddr_core::{DdrEnvConfig, GnnPolicy, GnnPolicyConfig};
+use gddr_net::topology::zoo;
+use gddr_net::Graph;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_serve::{
+    ChaosEngine, ControllerConfig, EngineFactory, EpochRequest, Fault, FaultPlan, FleetConfig,
+    FleetRequest, HealthState, InferenceEngine, PolicyEngine, PoolConfig, Rung, ShardRouter,
+};
+use gddr_traffic::gen::{bimodal, BimodalParams};
+
+const MEMORY: usize = 3;
+
+fn gnn_factory(seed: u64, plan: Arc<FaultPlan>) -> EngineFactory {
+    Arc::new(move |graph: &Graph| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = GnnPolicy::new(
+            &GnnPolicyConfig {
+                memory: MEMORY,
+                latent: 8,
+                hidden: 16,
+                message_steps: 2,
+                layer_norm: true,
+            },
+            -0.5,
+            &mut rng,
+        );
+        let engine = PolicyEngine::new(policy, graph, MEMORY);
+        Box::new(ChaosEngine::new(engine, Arc::clone(&plan))) as Box<dyn InferenceEngine>
+    })
+}
+
+fn shard_topologies() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("cesnet", zoo::cesnet()),
+        ("abilene", zoo::abilene()),
+        ("b4", zoo::b4()),
+        ("geant", zoo::geant()),
+    ]
+}
+
+fn build_fleet(config: FleetConfig, kill: Option<&str>) -> ShardRouter {
+    let mut router = ShardRouter::new(config);
+    for (i, (name, graph)) in shard_topologies().into_iter().enumerate() {
+        let mut ctrl = ControllerConfig {
+            queue_capacity: 64,
+            score_responses: false,
+            ..ControllerConfig::default()
+        };
+        let plan = if kill == Some(name) {
+            ctrl.pool = PoolConfig {
+                workers: 1,
+                restart_budget: 0,
+                ..PoolConfig::default()
+            };
+            Arc::new(FaultPlan::new().span(0..=4096, Fault::Panic))
+        } else {
+            Arc::new(FaultPlan::new())
+        };
+        router
+            .add_shard(
+                name,
+                graph,
+                DdrEnvConfig {
+                    memory: MEMORY,
+                    ..DdrEnvConfig::default()
+                },
+                ctrl,
+                gnn_factory(11 + i as u64, plan),
+            )
+            .unwrap();
+    }
+    router
+}
+
+fn make_load(ticks: u64, clients: u64, seed: u64) -> Vec<FleetRequest> {
+    let mut out = Vec::new();
+    for tick in 0..ticks {
+        for client in 0..clients {
+            for (i, (name, graph)) in shard_topologies().into_iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(seed ^ (tick * 997 + client * 31 + i as u64));
+                out.push(FleetRequest {
+                    topology: name.to_string(),
+                    request: EpochRequest {
+                        epoch: tick,
+                        demands: bimodal(graph.num_nodes(), &BimodalParams::default(), &mut rng),
+                        deadline_ms: 10_000,
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn batched_fleet_serving_is_bit_identical_to_per_request() {
+    // coalesce_window = 1 never batches: it is the per-request
+    // reference. The GNN's block-diagonal batched forward must
+    // reproduce it bit for bit, response by response.
+    let load = make_load(3, 4, 5);
+    let reference = build_fleet(
+        FleetConfig {
+            coalesce_window: 1,
+            ..FleetConfig::default()
+        },
+        None,
+    )
+    .run(&load)
+    .unwrap();
+    let batched = build_fleet(
+        FleetConfig {
+            coalesce_window: 8,
+            ..FleetConfig::default()
+        },
+        None,
+    )
+    .run(&load)
+    .unwrap();
+    assert_eq!(reference.len(), batched.len());
+    let mut compared = 0;
+    for (a, b) in reference.iter().zip(&batched) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.rung_sequence(), b.rung_sequence(), "shard {}", a.name);
+        for (x, y) in a.responses.iter().zip(&b.responses) {
+            assert_eq!(x.routing, y.routing, "shard {}: routing diverged", a.name);
+            assert_eq!(x.served_at, y.served_at);
+            compared += 1;
+        }
+    }
+    assert_eq!(compared, load.len());
+}
+
+#[test]
+fn same_seed_reproduces_shard_assignment_and_rung_sequences() {
+    let load = make_load(4, 3, 9);
+    let config = FleetConfig {
+        threads: 3,
+        ..FleetConfig::default()
+    };
+    let first = build_fleet(config.clone(), None).run(&load).unwrap();
+    let second = build_fleet(config, None).run(&load).unwrap();
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.name, b.name, "shard assignment diverged");
+        assert_eq!(a.responses.len(), b.responses.len());
+        assert_eq!(a.rung_sequence(), b.rung_sequence());
+        for (x, y) in a.responses.iter().zip(&b.responses) {
+            assert_eq!(x.epoch, y.epoch);
+            assert_eq!(x.routing, y.routing);
+        }
+    }
+}
+
+#[test]
+fn one_dying_shard_degrades_alone() {
+    let load = make_load(6, 2, 13);
+    let fleet = build_fleet(FleetConfig::default(), Some("b4"));
+    let outcomes = fleet.run(&load).unwrap();
+    for o in &outcomes {
+        if o.name == "b4" {
+            assert!(
+                o.responses.iter().all(|r| r.rung != Rung::Fresh),
+                "killed shard served Fresh"
+            );
+        } else {
+            assert!(
+                o.responses.iter().all(|r| r.rung == Rung::Fresh),
+                "healthy shard {} degraded",
+                o.name
+            );
+        }
+    }
+    let killed = fleet.route("b4").unwrap();
+    assert_eq!(fleet.with_controller(killed, |c| c.alive_workers()), 0);
+    assert_eq!(
+        fleet.with_controller(killed, |c| c.health()),
+        HealthState::Unhealthy
+    );
+    for (name, _) in shard_topologies() {
+        if name == "b4" {
+            continue;
+        }
+        let idx = fleet.route(name).unwrap();
+        assert_eq!(
+            fleet.with_controller(idx, |c| c.health()),
+            HealthState::Healthy,
+            "shard {name}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# One CI smoke leg, runnable locally too:
+#
+#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load>
+#
+# Every leg assumes the release build already exists (CI restores it
+# from the shared cache; locally run `cargo build --release --offline`
+# first — the cargo invocations below only relink if needed).
+# Artifacts land in ci_artifacts/ so CI can upload them on failure.
+
+set -euo pipefail
+
+LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load>}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ART="$ROOT/ci_artifacts"
+mkdir -p "$ART"
+cd "$ROOT"
+
+run() {
+  cargo run --release --offline -p gddr-bench --bin "$@"
+}
+
+case "$LEG" in
+  telemetry)
+    # Seeded training with a JSONL sink, then validate the trace.
+    run fig7_learning_curves -- \
+      --steps 512 --seed 0 --seq-len 10 --cycle 5 --telemetry "$ART/trace.jsonl"
+    run telemetry_check -- --file "$ART/trace.jsonl"
+    ;;
+  resume)
+    # Kill-and-resume checkpoint determinism.
+    run resume_check -- \
+      --steps 96 --seed 7 --halt-updates 2 --dir "$ART/resume_check"
+    ;;
+  fuzz)
+    # Fixed seeds, invariants + differential references.
+    run fuzz_harness -- \
+      --targets ci --seeds 30 --size 12 --budget-ms 30000 \
+      --out "$ART/fuzz_report.json" --replay-out "$ART/fuzz_counterexample.json"
+    ;;
+  robustness)
+    # Fixed-seed link-failure sweep.
+    run robustness_sweep -- \
+      --steps 512 --seed 0 --max-failures 3 --episodes 3 \
+      | tee "$ART/robustness_sweep.csv"
+    ;;
+  chaos)
+    # Serving SLOs under seeded faults, then validate the serve-mode
+    # telemetry trace (shard-tagged events round-trip).
+    run chaos_harness -- \
+      --scenario all --seed 42 --requests 48 \
+      --out "$ART/chaos_report.json" --telemetry "$ART/chaos_events.jsonl"
+    run telemetry_check -- --file "$ART/chaos_events.jsonl" --mode serve
+    ;;
+  serve_load)
+    # Sharded fleet under ≥100k requests with batched GNN inference,
+    # then gate sustained req/s and per-rung latency against the
+    # committed baseline in results/.
+    run serve_load -- \
+      --requests 100000 --seed 42 --out "$ART/BENCH_serve_load.json"
+    cp results/BENCH_serve_load.json "$ART/BENCH_serve_load.baseline.json"
+    bash tools/check_bench.sh "$ART" "${BENCH_TOLERANCE_PCT:-50}"
+    ;;
+  *)
+    echo "unknown smoke leg '$LEG'" >&2
+    exit 2
+    ;;
+esac
