@@ -16,7 +16,14 @@
 //! ```text
 //! chaos_harness [--scenario all|<name>[,<name>...]] [--seed N]
 //!               [--requests N] [--out PATH] [--telemetry PATH]
+//!               [--postmortem PATH]
 //! ```
+//!
+//! A bounded flight recorder is always installed: the first
+//! `slo_alert` (the deliberately broken `budget_zero` scenario burns
+//! its error budget) — or, failing that, the first unexpected
+//! violation — dumps the recent event history to `--postmortem` as
+//! replayable JSONL.
 //!
 //! Exits non-zero on any unexpected result and prints the scenario
 //! name and seed needed to reproduce it:
@@ -30,7 +37,7 @@ use std::sync::Arc;
 use gddr_bench::{flag, parse_args, write_artifact};
 use gddr_ser::Json;
 use gddr_serve::chaos::{run_scenario, scenario_names, scenario_seed, ScenarioOutcome};
-use gddr_telemetry::JsonlSink;
+use gddr_telemetry::{FlightRecorder, JsonlSink, Sink, TeeSink};
 
 fn outcome_json(outcome: &ScenarioOutcome, expected_fail: bool, deterministic: bool) -> Json {
     Json::obj([
@@ -62,12 +69,28 @@ fn outcome_json(outcome: &ScenarioOutcome, expected_fail: bool, deterministic: b
 }
 
 fn main() {
-    let args = parse_args(&["scenario", "seed", "requests", "out", "telemetry"]);
+    let args = parse_args(&[
+        "scenario",
+        "seed",
+        "requests",
+        "out",
+        "telemetry",
+        "postmortem",
+    ]);
 
+    // Always-on flight recorder; a full JSONL stream is teed on top
+    // only when --telemetry asks for it.
+    let postmortem = args
+        .get("postmortem")
+        .cloned()
+        .unwrap_or_else(|| "results/chaos_postmortem.jsonl".to_string());
+    let recorder = Arc::new(FlightRecorder::with_dump(&postmortem, &["slo_alert"]));
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![recorder.clone()];
     if let Some(path) = args.get("telemetry") {
         let sink = JsonlSink::create(path).expect("create telemetry file");
-        gddr_telemetry::install(Arc::new(sink));
+        sinks.push(Arc::new(sink));
     }
+    gddr_telemetry::install(Arc::new(TeeSink::new(sinks)));
 
     let scenario_arg = args.get("scenario").map(String::as_str).unwrap_or("all");
     let owned: Vec<String>;
@@ -142,6 +165,41 @@ fn main() {
     }
     let _ = std::panic::take_hook();
 
+    // budget_zero burns its whole error budget under the panic storm,
+    // so any run including it must leave a postmortem behind whose
+    // trigger — and final line — is an slo_alert.
+    let mut postmortem_alerts = 0usize;
+    if scenarios.contains(&"budget_zero") {
+        if !recorder.has_dumped() {
+            unexpected.push("budget_zero never tripped an slo_alert postmortem".to_string());
+        } else {
+            let text = std::fs::read_to_string(&postmortem).expect("read postmortem");
+            match gddr_telemetry::parse_jsonl(&text) {
+                Ok(events) => {
+                    postmortem_alerts = events
+                        .iter()
+                        .filter(|e| matches!(e, gddr_telemetry::Event::SloAlert { .. }))
+                        .count();
+                    if postmortem_alerts == 0 {
+                        unexpected.push("postmortem contains no slo_alert event".to_string());
+                    }
+                    println!(
+                        "chaos: postmortem {postmortem} — {} events, {postmortem_alerts} slo_alerts",
+                        events.len()
+                    );
+                }
+                Err(e) => {
+                    unexpected.push(format!("postmortem does not parse as JSONL events: {e}"))
+                }
+            }
+        }
+    }
+    if !unexpected.is_empty() {
+        // First trigger still wins; this only writes when no slo_alert
+        // already did.
+        recorder.dump_once("chaos unexpected violation");
+    }
+
     gddr_telemetry::counter_add("chaos.scenarios", scenarios.len() as u64);
     gddr_telemetry::counter_add("chaos.unexpected", unexpected.len() as u64);
 
@@ -149,6 +207,14 @@ fn main() {
         ("base_seed", Json::Num(base_seed as f64)),
         ("requests", Json::Num(requests as f64)),
         ("scenarios", Json::Arr(results)),
+        (
+            "postmortem",
+            Json::obj([
+                ("path", Json::Str(postmortem.clone())),
+                ("dumped", Json::Bool(recorder.has_dumped())),
+                ("slo_alerts", Json::Num(postmortem_alerts as f64)),
+            ]),
+        ),
         (
             "unexpected",
             Json::Arr(

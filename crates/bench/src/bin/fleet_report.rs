@@ -1,0 +1,358 @@
+//! Renders a fleet trace (JSONL telemetry with request-scoped trace
+//! events) into an operator report: per-shard latency tables from
+//! mergeable HDR histograms, SLO alert summaries, and admission →
+//! inference → response waterfalls for the slowest requests.
+//!
+//! The report doubles as CI's trace-completeness gate: every traced
+//! response must reconstruct into a *complete* waterfall (exactly one
+//! `fleet.admitted` and one `fleet.response` annotation per trace id),
+//! and the run fails if the complete fraction drops below
+//! `--min-complete` (default 0.99).
+//!
+//! ```text
+//! fleet_report --trace trace.jsonl [--min-complete F] [--top N]
+//!              [--out PATH]
+//! ```
+//!
+//! Writes `results/FLEET_report.json` and exits non-zero on any
+//! violation, printing a repro line.
+
+use std::collections::BTreeMap;
+
+use gddr_bench::{flag, parse_args, write_artifact};
+use gddr_ser::Json;
+use gddr_telemetry::{parse_jsonl, Event, HdrSnapshot, LogHistogram};
+
+/// Free-form key/value attributes as they appear on trace events.
+type Attrs = Vec<(String, String)>;
+
+/// One reconstructed request: everything the trace stream said about a
+/// single trace id.
+#[derive(Debug, Default)]
+struct Trace {
+    shard: u64,
+    epoch: u64,
+    /// `fleet.admitted` timestamps (µs since telemetry epoch).
+    admitted: Vec<(u64, Attrs)>,
+    /// `fleet.response` timestamps and attrs.
+    response: Vec<(u64, Attrs)>,
+    /// Timed phases (`serve.infer`), as `(name, start_us, dur_ns, attrs)`.
+    spans: Vec<(String, u64, u64, Attrs)>,
+}
+
+impl Trace {
+    /// A waterfall is complete when it has exactly one admission and
+    /// exactly one response marker.
+    fn is_complete(&self) -> bool {
+        self.admitted.len() == 1 && self.response.len() == 1
+    }
+
+    /// Attribute lookup on the response marker.
+    fn response_attr(&self, key: &str) -> Option<&str> {
+        self.response
+            .first()
+            .and_then(|(_, attrs)| attr(attrs, key))
+    }
+
+    /// End-to-end latency the controller stamped on the response.
+    fn latency_ns(&self) -> Option<u64> {
+        self.response_attr("latency_ns")?.parse().ok()
+    }
+}
+
+fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+/// Folds the event stream into per-trace records, keyed by trace id.
+fn reconstruct(events: &[Event]) -> BTreeMap<u64, Trace> {
+    let mut traces: BTreeMap<u64, Trace> = BTreeMap::new();
+    for event in events {
+        match event {
+            Event::TraceAnnotation {
+                trace_id,
+                shard,
+                name,
+                at_us,
+                attrs,
+            } => {
+                let t = traces.entry(*trace_id).or_default();
+                t.shard = *shard;
+                match name.as_str() {
+                    "fleet.admitted" => {
+                        if let Some(epoch) = attr(attrs, "epoch").and_then(|v| v.parse().ok()) {
+                            t.epoch = epoch;
+                        }
+                        t.admitted.push((*at_us, attrs.clone()));
+                    }
+                    "fleet.response" => t.response.push((*at_us, attrs.clone())),
+                    // Unknown markers still belong to the trace; keep
+                    // them as zero-duration spans so waterfalls show
+                    // everything the stream recorded.
+                    _ => t.spans.push((name.clone(), *at_us, 0, attrs.clone())),
+                }
+            }
+            Event::TraceSpan {
+                trace_id,
+                shard,
+                name,
+                start_us,
+                dur_ns,
+                attrs,
+            } => {
+                let t = traces.entry(*trace_id).or_default();
+                t.shard = *shard;
+                t.spans
+                    .push((name.clone(), *start_us, *dur_ns, attrs.clone()));
+            }
+            _ => {}
+        }
+    }
+    traces
+}
+
+/// Prints one waterfall: offsets are µs relative to admission.
+fn print_waterfall(id: u64, t: &Trace) {
+    let (admitted_us, admit_attrs) = &t.admitted[0];
+    let (response_us, resp_attrs) = &t.response[0];
+    let total = t.latency_ns().unwrap_or(0);
+    println!(
+        "  trace {id} shard {} epoch {} — {} end to end",
+        t.shard,
+        t.epoch,
+        fmt_ms(total)
+    );
+    let offset = |us: u64| format!("+{:9.3} ms", us.saturating_sub(*admitted_us) as f64 / 1e3);
+    let render_attrs = |attrs: &[(String, String)]| {
+        attrs
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!(
+        "    {}  fleet.admitted   {}",
+        offset(*admitted_us),
+        render_attrs(admit_attrs)
+    );
+    let mut spans = t.spans.clone();
+    spans.sort_by_key(|(_, start_us, _, _)| *start_us);
+    for (name, start_us, dur_ns, attrs) in &spans {
+        println!(
+            "    {}  {name:16} [{}] {}",
+            offset(*start_us),
+            fmt_ms(*dur_ns),
+            render_attrs(attrs)
+        );
+    }
+    println!(
+        "    {}  fleet.response   {}",
+        offset(*response_us),
+        render_attrs(resp_attrs)
+    );
+}
+
+/// Per-shard aggregates over complete traces.
+#[derive(Default)]
+struct ShardStats {
+    latency: Option<LogHistogram>,
+    traces: u64,
+    fresh: u64,
+    shed: u64,
+}
+
+fn main() {
+    let args = parse_args(&["trace", "min-complete", "top", "out"]);
+    let path = args
+        .get("trace")
+        .expect("--trace <trace.jsonl> is required");
+    let min_complete: f64 = flag(&args, "min-complete", 0.99);
+    let top: usize = flag(&args, "top", 3);
+    let out = args
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/FLEET_report.json".to_string());
+
+    let text = std::fs::read_to_string(path).expect("read trace file");
+    let events = parse_jsonl(&text).unwrap_or_else(|e| panic!("malformed trace: {e}"));
+    let traces = reconstruct(&events);
+
+    let mut violations: Vec<String> = Vec::new();
+
+    // Completeness gate: the traced-response population is every trace
+    // id a rung_served event referenced, plus every id that emitted
+    // any trace event — so dropped admissions and dropped responses
+    // both count against the gate.
+    let mut population: std::collections::BTreeSet<u64> = traces.keys().copied().collect();
+    for event in &events {
+        if let Event::RungServed { trace, .. } = event {
+            if *trace != 0 {
+                population.insert(*trace);
+            }
+        }
+    }
+    let complete = traces.values().filter(|t| t.is_complete()).count();
+    let total = population.len();
+    let fraction = if total == 0 {
+        0.0
+    } else {
+        complete as f64 / total as f64
+    };
+    if total == 0 {
+        violations.push("no traced requests found in the stream".to_string());
+    } else if fraction < min_complete {
+        violations.push(format!(
+            "only {complete}/{total} traces ({:.2}%) reconstruct into complete waterfalls (gate {:.2}%)",
+            fraction * 100.0,
+            min_complete * 100.0
+        ));
+    }
+    for (id, t) in &traces {
+        if t.admitted.len() > 1 || t.response.len() > 1 {
+            violations.push(format!(
+                "trace {id}: {} admissions, {} responses (expected exactly one of each)",
+                t.admitted.len(),
+                t.response.len()
+            ));
+        }
+    }
+
+    // Per-shard latency tables from the response markers' latency_ns.
+    let mut shards: BTreeMap<u64, ShardStats> = BTreeMap::new();
+    for (id, t) in traces.iter().filter(|(_, t)| t.is_complete()) {
+        let stats = shards.entry(t.shard).or_default();
+        stats.traces += 1;
+        match t.latency_ns() {
+            Some(ns) => stats
+                .latency
+                .get_or_insert_with(LogHistogram::new)
+                .record(ns),
+            None => violations.push(format!("trace {id}: response has no latency_ns attr")),
+        }
+        if t.response_attr("rung") == Some("fresh") {
+            stats.fresh += 1;
+        }
+        if t.response_attr("shed") == Some("true") {
+            stats.shed += 1;
+        }
+    }
+
+    // SLO alerts present in the stream, per shard.
+    let mut alerts: BTreeMap<u64, u64> = BTreeMap::new();
+    for event in &events {
+        if let Event::SloAlert { shard, .. } = event {
+            *alerts.entry(*shard).or_insert(0) += 1;
+        }
+    }
+
+    println!(
+        "fleet_report: {} events, {total} traced requests, {complete} complete waterfalls ({:.2}%)",
+        events.len(),
+        fraction * 100.0
+    );
+    println!("  shard   traces     p50         p99         mean        fresh%   shed  alerts");
+    let mut fleet = HdrSnapshot::default();
+    let mut shard_rows: Vec<Json> = Vec::new();
+    for (shard, stats) in &shards {
+        let snap = stats
+            .latency
+            .as_ref()
+            .map(|h| h.snapshot())
+            .unwrap_or_default();
+        fleet.merge(&snap);
+        let fresh_pct = 100.0 * stats.fresh as f64 / stats.traces.max(1) as f64;
+        println!(
+            "  {shard:>5}   {:>6}   {:>10}  {:>10}  {:>10}  {fresh_pct:>6.2}  {:>5}  {:>6}",
+            stats.traces,
+            fmt_ms(snap.quantile(0.50)),
+            fmt_ms(snap.quantile(0.99)),
+            fmt_ms(snap.mean() as u64),
+            stats.shed,
+            alerts.get(shard).copied().unwrap_or(0)
+        );
+        shard_rows.push(Json::obj([
+            ("shard", Json::Num(*shard as f64)),
+            ("traces", Json::Num(stats.traces as f64)),
+            ("p50_ns", Json::Num(snap.quantile(0.50) as f64)),
+            ("p99_ns", Json::Num(snap.quantile(0.99) as f64)),
+            ("mean_ns", Json::Num(snap.mean())),
+            ("fresh", Json::Num(stats.fresh as f64)),
+            ("shed", Json::Num(stats.shed as f64)),
+            (
+                "slo_alerts",
+                Json::Num(alerts.get(shard).copied().unwrap_or(0) as f64),
+            ),
+        ]));
+    }
+    println!(
+        "  fleet (merged): {} responses, p50 {}, p99 {}",
+        fleet.count,
+        fmt_ms(fleet.quantile(0.50)),
+        fmt_ms(fleet.quantile(0.99))
+    );
+
+    // Slowest complete traces, rendered as waterfalls.
+    let mut slowest: Vec<(u64, &Trace)> = traces
+        .iter()
+        .filter(|(_, t)| t.is_complete() && t.latency_ns().is_some())
+        .map(|(id, t)| (*id, t))
+        .collect();
+    slowest.sort_by_key(|(_, t)| std::cmp::Reverse(t.latency_ns().unwrap_or(0)));
+    if top > 0 && !slowest.is_empty() {
+        println!("fleet_report: {} slowest requests:", top.min(slowest.len()));
+        for (id, t) in slowest.iter().take(top) {
+            print_waterfall(*id, t);
+        }
+    }
+
+    let artifact = Json::obj([
+        ("group", Json::Str("fleet_report".to_string())),
+        (
+            "completeness",
+            Json::obj([
+                ("traced", Json::Num(total as f64)),
+                ("complete", Json::Num(complete as f64)),
+                ("fraction", Json::Num(fraction)),
+                ("gate", Json::Num(min_complete)),
+            ]),
+        ),
+        ("shards", Json::Arr(shard_rows)),
+        (
+            "fleet",
+            Json::obj([
+                ("responses", Json::Num(fleet.count as f64)),
+                ("p50_ns", Json::Num(fleet.quantile(0.50) as f64)),
+                ("p99_ns", Json::Num(fleet.quantile(0.99) as f64)),
+            ]),
+        ),
+        ("slo_alerts", Json::Num(alerts.values().sum::<u64>() as f64)),
+        (
+            "violations",
+            Json::Arr(
+                violations
+                    .iter()
+                    .map(|v| Json::Str(v.clone()))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ]);
+    write_artifact(&out, &artifact.to_string());
+
+    if violations.is_empty() {
+        println!("fleet_report: ok ({complete} complete waterfalls)");
+    } else {
+        for v in &violations {
+            eprintln!("fleet_report VIOLATION: {v}");
+        }
+        eprintln!("reproduce with:");
+        eprintln!("  fleet_report --trace {path} --min-complete {min_complete}");
+        std::process::exit(1);
+    }
+}

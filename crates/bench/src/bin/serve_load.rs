@@ -16,7 +16,16 @@
 //! ```text
 //! serve_load [--requests N] [--seed N] [--clients N] [--coalesce N]
 //!            [--threads N] [--out PATH] [--telemetry PATH]
+//!            [--postmortem PATH]
 //! ```
+//!
+//! A bounded [`FlightRecorder`] is always installed (the throughput
+//! number is measured with the recorder on — that is the production
+//! configuration), auto-dumping a postmortem JSONL to `--postmortem`
+//! on the first `slo_alert`; `--telemetry` tees the full event stream
+//! to a JSONL file on top. The run also self-checks the streaming HDR
+//! histogram: fleet p50/p99 from per-response `latency_ns` must agree
+//! with the exact sorted percentiles within one HDR bucket width.
 //!
 //! Writes `results/BENCH_serve_load.json` (the CI perf gate compares
 //! it against the committed baseline via `tools/check_bench.sh`) and
@@ -36,7 +45,7 @@ use gddr_serve::{
     ChaosEngine, ControllerConfig, EngineFactory, Fault, FaultPlan, FleetConfig, FleetRequest,
     HealthState, InferenceEngine, PolicyEngine, PoolConfig, Rung, ShardOutcome, ShardRouter,
 };
-use gddr_telemetry::JsonlSink;
+use gddr_telemetry::{bucket_width, FlightRecorder, JsonlSink, LogHistogram, Sink, TeeSink};
 use gddr_traffic::gen::{bimodal, BimodalParams};
 
 /// Demand-history length every shard's policy serves with.
@@ -200,11 +209,22 @@ fn main() {
         "threads",
         "out",
         "telemetry",
+        "postmortem",
     ]);
+    // The flight recorder stays on for every run — the reported
+    // throughput is the with-recorder number. A full JSONL stream is
+    // teed on top only when asked for.
+    let postmortem = args
+        .get("postmortem")
+        .cloned()
+        .unwrap_or_else(|| "results/serve_load_postmortem.jsonl".to_string());
+    let recorder = Arc::new(FlightRecorder::with_dump(&postmortem, &["slo_alert"]));
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![recorder.clone()];
     if let Some(path) = args.get("telemetry") {
         let sink = JsonlSink::create(path).expect("create telemetry file");
-        gddr_telemetry::install(Arc::new(sink));
+        sinks.push(Arc::new(sink));
     }
+    gddr_telemetry::install(Arc::new(TeeSink::new(sinks)));
     let requests: usize = flag(&args, "requests", 100_000);
     let seed: u64 = flag(&args, "seed", 42);
     let clients: u64 = flag(&args, "clients", 8);
@@ -249,6 +269,33 @@ fn main() {
         elapsed.as_secs_f64(),
         req_per_s,
         if fresh == total { "Fresh" } else { "NOT fresh" }
+    );
+
+    // Streaming-HDR self-check: the log-bucketed histogram the SLO
+    // engine keeps must agree with the exact sorted percentiles of the
+    // same per-response latencies, within one bucket width (the HDR
+    // quantile is a bucket upper bound, so it may only sit above).
+    let mut exact: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    let mut hdr = LogHistogram::new();
+    for &ns in &exact {
+        hdr.record(ns);
+    }
+    exact.sort_unstable();
+    let (hdr_p50, hdr_p99) = (hdr.quantile(0.50), hdr.quantile(0.99));
+    let (exact_p50, exact_p99) = (percentile(&exact, 0.50), percentile(&exact, 0.99));
+    for (label, est, truth) in [("p50", hdr_p50, exact_p50), ("p99", hdr_p99, exact_p99)] {
+        if est < truth || est - truth > bucket_width(truth) {
+            violations.push(format!(
+                "hdr: {label} estimate {est}ns disagrees with exact {truth}ns by more than one bucket (width {})",
+                bucket_width(truth)
+            ));
+        }
+    }
+    println!(
+        "serve_load: hdr self-check — p50 {hdr_p50}ns / p99 {hdr_p99}ns vs exact {exact_p50}ns / {exact_p99}ns"
     );
 
     // Phase 2: batched == per-request, bit for bit.
@@ -334,6 +381,34 @@ fn main() {
 
     let _ = std::panic::take_hook();
 
+    // The killed shard burns its error budget, so by here the chaos
+    // phase must have tripped the always-on recorder into writing a
+    // postmortem whose trigger is an slo_alert.
+    let mut postmortem_alerts = 0usize;
+    if !recorder.has_dumped() {
+        violations.push(format!(
+            "chaos: killed shard {killed} never tripped an slo_alert postmortem"
+        ));
+    } else {
+        let text = std::fs::read_to_string(&postmortem).expect("read postmortem");
+        match gddr_telemetry::parse_jsonl(&text) {
+            Ok(events) => {
+                postmortem_alerts = events
+                    .iter()
+                    .filter(|e| matches!(e, gddr_telemetry::Event::SloAlert { .. }))
+                    .count();
+                if postmortem_alerts == 0 {
+                    violations.push("postmortem contains no slo_alert event".to_string());
+                }
+                println!(
+                    "serve_load: postmortem {postmortem} — {} events, {postmortem_alerts} slo_alerts",
+                    events.len()
+                );
+            }
+            Err(e) => violations.push(format!("postmortem does not parse as JSONL events: {e}")),
+        }
+    }
+
     gddr_telemetry::counter_add("serve_load.requests", answered as u64);
     gddr_telemetry::counter_add("serve_load.violations", violations.len() as u64);
 
@@ -360,6 +435,23 @@ fn main() {
             ]),
         ),
         ("rungs", Json::Arr(rung_report(&outcomes))),
+        (
+            "hdr",
+            Json::obj([
+                ("p50_ns", Json::Num(hdr_p50 as f64)),
+                ("p99_ns", Json::Num(hdr_p99 as f64)),
+                ("exact_p50_ns", Json::Num(exact_p50 as f64)),
+                ("exact_p99_ns", Json::Num(exact_p99 as f64)),
+            ]),
+        ),
+        (
+            "postmortem",
+            Json::obj([
+                ("path", Json::Str(postmortem.clone())),
+                ("dumped", Json::Bool(recorder.has_dumped())),
+                ("slo_alerts", Json::Num(postmortem_alerts as f64)),
+            ]),
+        ),
         (
             "identity",
             Json::obj([
@@ -402,6 +494,9 @@ fn main() {
             req_per_s
         );
     } else {
+        // Leave a postmortem behind for debugging even when no
+        // slo_alert tripped the latch (first trigger still wins).
+        recorder.dump_once("serve_load violations");
         for v in &violations {
             eprintln!("serve_load VIOLATION: {v}");
         }

@@ -11,11 +11,21 @@
 //!   event kinds (`rung_served`, `breaker_transition`,
 //!   `worker_restart`, `request_shed`, `health_transition`) with
 //!   well-formed fields, and each kind must agree 1:1 with its
-//!   paired `serve.*` counter.
+//!   paired `serve.*` counter. `slo_alert` events are optional (a
+//!   healthy run has none) but when present must agree with
+//!   `serve.slo_alerts` and carry a burn rate at or above their own
+//!   threshold.
+//! - `--mode trace`: the stream of a `serve_load --telemetry` run
+//!   must reconstruct — every trace id referenced by a `rung_served`
+//!   event has exactly one `fleet.admitted` and one `fleet.response`
+//!   annotation, no trace event carries the untraced id 0, response
+//!   markers carry a parseable positive `latency_ns` and a valid
+//!   `rung`, and `serve.infer` spans carry a positive `batch_size`.
 //!
 //! ```text
 //! cargo run -p gddr-bench --bin telemetry_check -- --file trace.jsonl
 //! cargo run -p gddr-bench --bin telemetry_check -- --file chaos.jsonl --mode serve
+//! cargo run -p gddr-bench --bin telemetry_check -- --file fleet.jsonl --mode trace
 //! ```
 //!
 //! Exits non-zero (panics) on any violation so CI fails loudly.
@@ -158,6 +168,19 @@ fn validate_serve(events: &[Event]) {
                 named("health state", to, HEALTH_STATES);
                 assert_ne!(from, to, "health transition with from == to");
             }
+            Event::SloAlert {
+                burn_rate,
+                threshold,
+                window,
+                ..
+            } => {
+                *kind_counts.entry("slo_alert").or_insert(0) += 1;
+                assert!(
+                    burn_rate >= threshold,
+                    "slo_alert fired below its own threshold ({burn_rate} < {threshold})"
+                );
+                assert!(*window > 0, "slo_alert with zero window");
+            }
             _ => {}
         }
     }
@@ -179,6 +202,18 @@ fn validate_serve(events: &[Event]) {
             "counter {counter:?} final total ({last_total}) disagrees with {kind:?} events ({seen})"
         );
     }
+    // SLO alerts are optional (a healthy run has none), but when any
+    // appear they must agree with their counter, like every other kind.
+    let alert_events = kind_counts.get("slo_alert").copied().unwrap_or(0);
+    let alert_counter = counter_stats
+        .get("serve.slo_alerts")
+        .copied()
+        .unwrap_or((0, 0));
+    assert_eq!(
+        alert_counter.0, alert_events,
+        "counter \"serve.slo_alerts\" deltas ({}) disagree with slo_alert events ({alert_events})",
+        alert_counter.0
+    );
     // Every shed victim produces one request_shed event at admission
     // and one shed-tagged rung_served event when answered.
     let shed_events = kind_counts["request_shed"];
@@ -187,13 +222,102 @@ fn validate_serve(events: &[Event]) {
         "request_shed events ({shed_events}) disagree with shed-tagged responses ({shed_served})"
     );
     println!(
-        "telemetry_check(serve): OK — {} events, {} responses ({} shed), {} breaker transitions, {} worker restarts, {} health transitions",
+        "telemetry_check(serve): OK — {} events, {} responses ({} shed), {} breaker transitions, {} worker restarts, {} health transitions, {} slo alerts",
         events.len(),
         kind_counts["rung_served"],
         shed_served,
         kind_counts["breaker_transition"],
         kind_counts["worker_restart"],
         kind_counts["health_transition"],
+        alert_events,
+    );
+}
+
+/// Validates the request-scoped trace layer of a fleet run: every
+/// served trace reconstructs into exactly one admission and one
+/// response marker, and every trace event is well-formed.
+fn validate_trace(events: &[Event]) {
+    let mut served: BTreeSet<u64> = BTreeSet::new();
+    // Per trace id: (admitted, response) marker counts.
+    let mut markers: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut spans = 0u64;
+    let mut annotations = 0u64;
+    let attr = |attrs: &[(String, String)], key: &str| -> Option<String> {
+        attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    for event in events {
+        match event {
+            Event::RungServed { trace, .. } if *trace != 0 => {
+                served.insert(*trace);
+            }
+            Event::TraceAnnotation {
+                trace_id,
+                name,
+                attrs,
+                ..
+            } => {
+                annotations += 1;
+                assert_ne!(*trace_id, 0, "trace_annotation with the untraced id 0");
+                let entry = markers.entry(*trace_id).or_insert((0, 0));
+                match name.as_str() {
+                    "fleet.admitted" => entry.0 += 1,
+                    "fleet.response" => {
+                        entry.1 += 1;
+                        let latency: u64 = attr(attrs, "latency_ns")
+                            .unwrap_or_else(|| {
+                                panic!("trace {trace_id}: response without latency_ns")
+                            })
+                            .parse()
+                            .unwrap_or_else(|e| panic!("trace {trace_id}: bad latency_ns: {e}"));
+                        assert!(latency > 0, "trace {trace_id}: zero response latency");
+                        let rung = attr(attrs, "rung")
+                            .unwrap_or_else(|| panic!("trace {trace_id}: response without rung"));
+                        assert!(
+                            RUNG_NAMES.contains(&rung.as_str()),
+                            "trace {trace_id}: unknown rung {rung:?}"
+                        );
+                    }
+                    other => panic!("unknown trace annotation {other:?}"),
+                }
+            }
+            Event::TraceSpan {
+                trace_id,
+                name,
+                dur_ns: _,
+                attrs,
+                ..
+            } => {
+                spans += 1;
+                assert_ne!(*trace_id, 0, "trace_span with the untraced id 0");
+                assert_eq!(name, "serve.infer", "unknown trace span {name:?}");
+                let batch: u64 = attr(attrs, "batch_size")
+                    .unwrap_or_else(|| panic!("trace {trace_id}: infer span without batch_size"))
+                    .parse()
+                    .unwrap_or_else(|e| panic!("trace {trace_id}: bad batch_size: {e}"));
+                assert!(batch >= 1, "trace {trace_id}: batch_size < 1");
+            }
+            _ => {}
+        }
+    }
+    assert!(!served.is_empty(), "no traced rung_served events in stream");
+    // The completeness invariant: every served trace has exactly one
+    // admission marker and one response marker — a full waterfall.
+    let mut complete = 0u64;
+    for id in &served {
+        let (admitted, responded) = markers.get(id).copied().unwrap_or((0, 0));
+        assert_eq!(
+            (admitted, responded),
+            (1, 1),
+            "trace {id}: {admitted} admissions / {responded} responses (want 1/1)"
+        );
+        complete += 1;
+    }
+    if let Some(id) = markers.keys().find(|id| !served.contains(id)) {
+        panic!("trace {id} has markers but no rung_served event");
+    }
+    println!(
+        "telemetry_check(trace): OK — {} events, {complete} complete traces, {annotations} annotations, {spans} infer spans",
+        events.len()
     );
 }
 
@@ -226,6 +350,7 @@ fn main() {
     match mode {
         "train" => validate_train(&events),
         "serve" => validate_serve(&events),
-        other => panic!("unknown --mode {other:?} (expected train or serve)"),
+        "trace" => validate_trace(&events),
+        other => panic!("unknown --mode {other:?} (expected train, serve or trace)"),
     }
 }

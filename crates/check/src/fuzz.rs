@@ -136,6 +136,7 @@ pub fn all_targets() -> &'static [&'static str] {
         "mutate_invariants",
         "gradcheck",
         "serve_request",
+        "telemetry_events",
         "planted",
     ]
 }
@@ -649,6 +650,94 @@ fn target_serve_request(seed: u64, size: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Round-trips randomly generated observability events — trace spans,
+/// trace annotations, SLO alerts — through the JSONL telemetry codec
+/// with hostile attribute strings (quotes, backslashes, newlines,
+/// NULs, multi-byte scalars), then feeds a mutated line back through
+/// the parser, which must reject it with a typed error, never a panic
+/// and never a silent accept.
+fn target_telemetry_events(seed: u64, size: u64) -> Result<(), String> {
+    use gddr_telemetry::{parse_jsonl, Event};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hostile = |rng: &mut StdRng| -> String {
+        const POOL: &[&str] = &[
+            "plain",
+            "q\"uote",
+            "back\\slash",
+            "new\nline",
+            "tab\there",
+            "\u{1F980}",
+            "",
+            "nul\u{0}byte",
+            "ctrl\u{1}\u{1f}",
+        ];
+        POOL[(rng.next_u64() as usize) % POOL.len()].to_string()
+    };
+    let count = 1 + (size as usize % 24);
+    let mut events = Vec::with_capacity(count);
+    for i in 0..count as u64 {
+        let attrs: Vec<(String, String)> = (0..rng.next_u64() % 4)
+            .map(|k| (format!("k{k}"), hostile(&mut rng)))
+            .collect();
+        events.push(match rng.next_u64() % 3 {
+            0 => Event::TraceSpan {
+                trace_id: 1 + rng.next_u64() % 1000,
+                shard: rng.next_u64() % 16,
+                name: hostile(&mut rng),
+                start_us: rng.next_u64() % 1_000_000,
+                dur_ns: rng.next_u64() % 1_000_000_000,
+                attrs,
+            },
+            1 => Event::TraceAnnotation {
+                trace_id: 1 + rng.next_u64() % 1000,
+                shard: rng.next_u64() % 16,
+                name: hostile(&mut rng),
+                at_us: rng.next_u64() % 1_000_000,
+                attrs,
+            },
+            _ => Event::SloAlert {
+                shard: rng.next_u64() % 16,
+                metric: hostile(&mut rng),
+                burn_rate: rng.gen_range(0.0..64.0),
+                threshold: 4.0,
+                window: 1 + rng.next_u64() % 256,
+                epoch: i,
+            },
+        });
+    }
+    let text: String = events
+        .iter()
+        .map(|e| e.to_json().to_string() + "\n")
+        .collect();
+    let back = parse_jsonl(&text).map_err(|e| format!("round-trip parse failed: {e}"))?;
+    if back != events {
+        return fail("parsed events disagree with the originals".to_string());
+    }
+    let again: String = back
+        .iter()
+        .map(|e| e.to_json().to_string() + "\n")
+        .collect();
+    if again != text {
+        return fail("re-serialisation is not byte-stable".to_string());
+    }
+
+    // Adversarial half: truncating a line, renaming the type tag, or
+    // appending garbage must all be rejected with a typed error (the
+    // harness's catch_unwind turns any panic into a failure).
+    let lines: Vec<&str> = text.lines().collect();
+    let victim = lines[(rng.next_u64() as usize) % lines.len()];
+    let mutated: String = match rng.next_u64() % 3 {
+        // Char-boundary-safe truncation: always loses the closing brace.
+        0 => victim.chars().take(victim.chars().count() / 2).collect(),
+        1 => victim.replacen("\"type\":", "\"tpye\":", 1),
+        _ => format!("{victim}garbage"),
+    };
+    if parse_jsonl(&mutated).is_ok() {
+        return fail(format!("mutated line unexpectedly parsed: {mutated:?}"));
+    }
+    Ok(())
+}
+
 /// The deliberately bad target: fails (via a typed error, not a panic)
 /// whenever `size ≥ 3` on every seventh seed, so the harness's
 /// catch/shrink/replay loop can be demonstrated end to end. The
@@ -678,6 +767,7 @@ pub fn run_case(case: &FuzzCase) -> Outcome {
             "mutate_invariants" => target_mutate_invariants(seed, size),
             "gradcheck" => target_gradcheck(seed, size),
             "serve_request" => target_serve_request(seed, size),
+            "telemetry_events" => target_telemetry_events(seed, size),
             "planted" => target_planted(seed, size),
             other => Err(format!("unknown fuzz target {other:?}")),
         }

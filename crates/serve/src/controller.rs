@@ -16,6 +16,7 @@
 //! deterministic function of its seed.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use gddr_core::eval::{unit_ecmp_routing, unit_shortest_path_routing};
 use gddr_core::DdrEnvConfig;
@@ -24,12 +25,13 @@ use gddr_net::Graph;
 use gddr_routing::sim::max_link_utilisation;
 use gddr_routing::softmin::softmin_routing;
 use gddr_routing::Routing;
+use gddr_telemetry::{SloConfig, SloTracker, TraceCtx};
 use gddr_traffic::DemandMatrix;
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 use crate::engine::{BatchItem, EngineFactory, InferenceReply};
 use crate::health::{HealthInputs, HealthMonitor, HealthState};
-use crate::queue::AdmissionQueue;
+use crate::queue::{AdmissionQueue, Admitted};
 use crate::request::{EpochRequest, RouteResponse, Rung, ServeError};
 use crate::worker::{PoolConfig, WorkerPool};
 
@@ -50,6 +52,9 @@ pub struct ControllerConfig {
     pub pool: PoolConfig,
     /// Scoring circuit-breaker settings.
     pub breaker: BreakerConfig,
+    /// Streaming SLO evaluation settings (error-budget burn alerting
+    /// over the response stream).
+    pub slo: SloConfig,
 }
 
 impl Default for ControllerConfig {
@@ -61,6 +66,7 @@ impl Default for ControllerConfig {
             use_ecmp: true,
             pool: PoolConfig::default(),
             breaker: BreakerConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -85,6 +91,8 @@ pub struct ServeStats {
     pub scoring_skipped: u64,
     /// Scoring calls that failed (feeding the breaker).
     pub scoring_failed: u64,
+    /// Error-budget burn alerts fired by the streaming SLO tracker.
+    pub slo_alerts: u64,
 }
 
 impl ServeStats {
@@ -113,6 +121,19 @@ pub struct Controller {
     shortest_path: Routing,
     epoch: u64,
     stats: ServeStats,
+    slo: SloTracker,
+    /// Pool restarts already attributed to the SLO tracker.
+    slo_restarts_seen: u64,
+}
+
+/// Observability context threaded from admission to response: the
+/// request's trace, its admission timestamp, and how long it waited in
+/// the queue before serving began. Never consulted by a serving
+/// decision.
+struct TraceInfo {
+    ctx: TraceCtx,
+    admitted_at: Instant,
+    queue_wait_ns: u64,
 }
 
 impl Controller {
@@ -142,6 +163,7 @@ impl Controller {
         let queue = AdmissionQueue::new(config.queue_capacity);
         let ecmp = unit_ecmp_routing(&graph);
         let shortest_path = unit_shortest_path_routing(&graph);
+        let slo = SloTracker::new(config.slo.clone());
         Controller {
             shard,
             graph,
@@ -158,6 +180,8 @@ impl Controller {
             shortest_path,
             epoch: 0,
             stats: ServeStats::default(),
+            slo,
+            slo_restarts_seen: 0,
         }
     }
 
@@ -193,6 +217,12 @@ impl Controller {
         &self.stats
     }
 
+    /// The streaming SLO tracker (burn rate, window rates, and the
+    /// mergeable latency histogram snapshot).
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
     /// Live (not budget-exhausted) worker slots.
     pub fn alive_workers(&self) -> usize {
         self.pool.alive_workers()
@@ -208,16 +238,34 @@ impl Controller {
         self.queue.len()
     }
 
-    /// Admits a request. Any requests shed to make room are answered
+    /// Admits a request with no trace context (untraced standalone
+    /// serving). Any requests shed to make room are answered
     /// immediately from the ladder and returned.
     pub fn enqueue(&mut self, req: EpochRequest) -> Vec<RouteResponse> {
-        let shed = self.queue.admit(req);
+        self.enqueue_traced(req, TraceCtx::default())
+    }
+
+    /// Admits a request under a trace context minted at fleet
+    /// admission. Emits a `fleet.admitted` trace annotation so the
+    /// request's waterfall starts at the queue door; shed victims are
+    /// answered immediately from the ladder and returned.
+    pub fn enqueue_traced(&mut self, req: EpochRequest, ctx: TraceCtx) -> Vec<RouteResponse> {
+        gddr_telemetry::trace_annotation_event(
+            ctx,
+            "fleet.admitted",
+            gddr_telemetry::now_us(),
+            &[
+                ("epoch", req.epoch.to_string()),
+                ("queue_len", self.queue.len().to_string()),
+            ],
+        );
+        let shed = self.queue.admit(req, ctx);
         shed.into_iter()
             .map(|victim| {
                 self.stats.shed += 1;
                 gddr_telemetry::request_shed_event(
                     self.shard,
-                    victim.epoch,
+                    victim.req.epoch,
                     self.queue.len() as u64,
                 );
                 self.serve(victim, true)
@@ -227,8 +275,8 @@ impl Controller {
 
     /// Serves the oldest pending request, if any.
     pub fn process_next(&mut self) -> Option<RouteResponse> {
-        let req = self.queue.pop()?;
-        Some(self.serve(req, false))
+        let entry = self.queue.pop()?;
+        Some(self.serve(entry, false))
     }
 
     /// Convenience: enqueue then drain. Shed responses (for older
@@ -257,11 +305,11 @@ impl Controller {
         let Some(first) = self.queue.pop() else {
             return Vec::new();
         };
-        let tick = first.epoch;
+        let tick = first.req.epoch;
         let mut run = vec![first];
         while run.len() < window {
             match self.queue.peek() {
-                Some(next) if next.epoch == tick => {
+                Some(next) if next.req.epoch == tick => {
                     run.push(self.queue.pop().expect("peeked request exists"));
                 }
                 _ => break,
@@ -437,18 +485,29 @@ impl Controller {
         }
     }
 
-    fn serve(&mut self, req: EpochRequest, shed: bool) -> RouteResponse {
+    fn serve(&mut self, entry: Admitted, shed: bool) -> RouteResponse {
+        let Admitted {
+            req,
+            ctx,
+            admitted_at,
+        } = entry;
         self.epoch += 1;
         let epoch = self.epoch;
+        let queue_wait_ns = admitted_at.elapsed().as_nanos() as u64;
         let valid = self.validate_demands(&req.demands);
         let attempt = match (&valid, shed) {
             (Ok(()), false) if req.deadline_ms > 0 => {
                 let history = self.history_snapshot();
-                Some(self.pool.dispatch(&req, &history, epoch))
+                Some(self.pool.dispatch_traced(&req, &history, epoch, ctx))
             }
             _ => None,
         };
-        self.finish(req, epoch, shed, valid, attempt)
+        let info = TraceInfo {
+            ctx,
+            admitted_at,
+            queue_wait_ns,
+        };
+        self.finish(req, info, epoch, shed, valid, attempt)
     }
 
     /// Serves a coalesced run of requests with **one** batched
@@ -459,21 +518,28 @@ impl Controller {
     /// request order. When the batch dispatch fails, the whole run
     /// degrades together — a panicked or exhausted engine leaves no
     /// partial answers worth trusting.
-    fn serve_batch(&mut self, reqs: Vec<EpochRequest>) -> Vec<RouteResponse> {
+    fn serve_batch(&mut self, entries: Vec<Admitted>) -> Vec<RouteResponse> {
         // Phase 1 (sequential): assign epochs, validate, and snapshot
         // each item's history exactly as sequential serving would have
         // seen it.
         let mut sim = self.history.clone();
-        let mut pending = Vec::with_capacity(reqs.len());
+        let mut pending = Vec::with_capacity(entries.len());
         let mut items = Vec::new();
-        for req in reqs {
+        for entry in entries {
+            let Admitted {
+                req,
+                ctx,
+                admitted_at,
+            } = entry;
             self.epoch += 1;
             let epoch = self.epoch;
+            let queue_wait_ns = admitted_at.elapsed().as_nanos() as u64;
             let valid = self.validate_demands(&req.demands);
             let batch_slot = if valid.is_ok() && req.deadline_ms > 0 {
                 items.push(BatchItem {
                     req: req.clone(),
                     history: self.snapshot_of(&sim),
+                    trace: ctx,
                 });
                 Some(items.len() - 1)
             } else {
@@ -485,7 +551,12 @@ impl Controller {
                 }
                 sim.push_back(req.demands.clone());
             }
-            pending.push((req, epoch, valid, batch_slot));
+            let info = TraceInfo {
+                ctx,
+                admitted_at,
+                queue_wait_ns,
+            };
+            pending.push((req, info, epoch, valid, batch_slot));
         }
 
         // Phase 2: one batched dispatch covering every
@@ -496,8 +567,8 @@ impl Controller {
         } else {
             let epoch = pending
                 .iter()
-                .find(|(_, _, _, slot)| slot.is_some())
-                .map(|(_, e, _, _)| *e)
+                .find(|(_, _, _, _, slot)| slot.is_some())
+                .map(|(_, _, e, _, _)| *e)
                 .expect("non-empty batch implies a batched slot");
             Some(self.pool.dispatch_batch(items, epoch))
         };
@@ -505,13 +576,13 @@ impl Controller {
         // Phase 3 (sequential): post-process in request order.
         pending
             .into_iter()
-            .map(|(req, epoch, valid, batch_slot)| {
+            .map(|(req, info, epoch, valid, batch_slot)| {
                 let attempt = batch_slot.map(|slot| match &batch_outcome {
                     Some(Ok(replies)) => Ok(replies[slot].clone()),
                     Some(Err(e)) => Err(e.clone()),
                     None => unreachable!("slot implies a dispatched batch"),
                 });
-                self.finish(req, epoch, false, valid, attempt)
+                self.finish(req, info, epoch, false, valid, attempt)
             })
             .collect()
     }
@@ -523,6 +594,7 @@ impl Controller {
     fn finish(
         &mut self,
         req: EpochRequest,
+        info: TraceInfo,
         epoch: u64,
         shed: bool,
         valid: Result<(), ServeError>,
@@ -574,19 +646,55 @@ impl Controller {
             Rung::Ecmp => self.stats.ecmp += 1,
             Rung::ShortestPath => self.stats.shortest_path += 1,
         }
-        gddr_telemetry::rung_served_event(self.shard, epoch, rung.name(), shed);
+        gddr_telemetry::rung_served_event(self.shard, epoch, rung.name(), shed, info.ctx.trace_id);
+
+        let latency_ns = info.admitted_at.elapsed().as_nanos() as u64;
+
+        // SLO accounting: attribute worker restarts since the last
+        // response, then fold this response in. Alert decisions depend
+        // only on rung depth and the shed flag (logical facts), so
+        // seeded runs alert at identical epochs; wall-clock latency
+        // only feeds the histogram.
+        let restarts = self.pool.restarts();
+        for _ in self.slo_restarts_seen..restarts {
+            self.slo.observe_restart();
+        }
+        self.slo_restarts_seen = restarts;
+        if let Some(alert) = self
+            .slo
+            .observe_response(rung.depth(), shed, latency_ns, epoch)
+        {
+            self.stats.slo_alerts += 1;
+            gddr_telemetry::slo_alert_event(self.shard, "serve.good_fraction", &alert);
+        }
 
         let breaker_disturbed = self.breaker.state() != BreakerState::Closed;
         if let Some((from, to)) = self.health.observe(HealthInputs {
             rung,
             workers_alive: self.pool.alive_workers(),
             breaker_disturbed,
+            slo_breached: self.slo.breached(),
         }) {
             gddr_telemetry::health_transition_event(self.shard, from.name(), to.name(), epoch);
         }
 
+        gddr_telemetry::trace_annotation_event(
+            info.ctx,
+            "fleet.response",
+            gddr_telemetry::now_us(),
+            &[
+                ("rung", rung.name().to_string()),
+                ("shed", shed.to_string()),
+                ("served_at", epoch.to_string()),
+                ("queue_wait_ns", info.queue_wait_ns.to_string()),
+                ("latency_ns", latency_ns.to_string()),
+            ],
+        );
+
         RouteResponse {
             epoch: req.epoch,
+            trace_id: info.ctx.trace_id,
+            latency_ns,
             served_at: epoch,
             rung,
             routing,
@@ -892,6 +1000,46 @@ mod tests {
                 got: 11
             }
         );
+    }
+
+    #[test]
+    fn trace_context_flows_to_the_response() {
+        let mut c = controller(FaultPlan::new(), ControllerConfig::default());
+        let ctx = gddr_telemetry::TraceCtx::mint(0, 5);
+        assert!(c.enqueue_traced(request(5, 100), ctx).is_empty());
+        let r = c.process_coalesced(8).remove(0);
+        assert_eq!(r.trace_id, ctx.trace_id);
+        assert!(r.latency_ns > 0);
+        // Untraced admission keeps the zero sentinel.
+        let r = c.handle(request(6, 100)).remove(0);
+        assert_eq!(r.trace_id, 0);
+    }
+
+    #[test]
+    fn sustained_degradation_fires_slo_alerts_deterministically() {
+        // Kill the pool outright: every response is LastGood/Ecmp, the
+        // burn rate pins at its maximum, and alerts fire on a schedule
+        // that depends only on logical response counts.
+        let run = || {
+            let plan = FaultPlan::new().span(0..=100, Fault::Panic);
+            let mut config = ControllerConfig::default();
+            config.pool.workers = 1;
+            config.pool.restart_budget = 0;
+            config.slo.min_samples = 8;
+            config.slo.window = 16;
+            let mut c = controller(plan, config);
+            for e in 0..30 {
+                c.handle(request(e, 100));
+            }
+            assert!(c.slo().breached());
+            assert!(c.slo().burn_rate() >= 4.0);
+            assert_eq!(c.slo().latency_snapshot().count, 30);
+            assert_eq!(c.health(), HealthState::Unhealthy);
+            c.stats().slo_alerts
+        };
+        let alerts = run();
+        assert!(alerts >= 1, "no SLO alert over a 30-response breach");
+        assert_eq!(alerts, run(), "alert count must be seed-deterministic");
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub struct BatchItem {
     /// snapshot already includes items 0..k's predecessors' demands, so
     /// batch answers reproduce sequential serving exactly.
     pub history: Vec<DemandMatrix>,
+    /// Trace context of the admitted request (default = untraced);
+    /// lets the worker pool attribute one batched forward pass back to
+    /// every coalesced trace.
+    pub trace: gddr_telemetry::TraceCtx,
 }
 
 /// One-shot routing inference: demands + history in, action out.

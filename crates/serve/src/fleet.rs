@@ -22,10 +22,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use gddr_core::DdrEnvConfig;
 use gddr_net::Graph;
+use gddr_telemetry::TraceCtx;
 
 use crate::controller::{Controller, ControllerConfig};
 use crate::engine::EngineFactory;
@@ -72,9 +72,10 @@ pub struct ShardOutcome {
     /// Responses in serving order (shed responses precede the
     /// processed responses of the cycle that evicted them).
     pub responses: Vec<RouteResponse>,
-    /// Wall-clock nanoseconds attributed to each response: the drain
-    /// cycle's elapsed time, shared by the responses it produced.
-    /// Bench-only — not part of the deterministic digest.
+    /// Wall-clock nanoseconds from admission to response, one entry
+    /// per response in the same order (mirrors each response's
+    /// `latency_ns`). Bench-only — not part of the deterministic
+    /// digest.
     pub latencies_ns: Vec<u64>,
 }
 
@@ -190,10 +191,15 @@ impl ShardRouter {
     /// Returns [`ServeError::UnknownTopology`] if any request names a
     /// topology without a shard (checked before any serving starts).
     pub fn run(&self, requests: &[FleetRequest]) -> Result<Vec<ShardOutcome>, ServeError> {
-        let mut per_shard: Vec<Vec<EpochRequest>> =
+        let mut per_shard: Vec<Vec<(EpochRequest, TraceCtx)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
+        // Trace ids are minted here, in the serial partition loop, so
+        // the (shard, trace) assignment is deterministic in the input
+        // order regardless of how many threads drain shards.
         for fr in requests {
-            per_shard[self.route(&fr.topology)?].push(fr.request.clone());
+            let shard = self.route(&fr.topology)?;
+            let ctx = TraceCtx::mint(shard as u64, fr.request.epoch);
+            per_shard[shard].push((fr.request.clone(), ctx));
         }
 
         let claims: Vec<AtomicBool> = (0..self.shards.len())
@@ -235,17 +241,16 @@ impl ShardRouter {
 
     /// Serves one shard's full request list: admit a chunk (shed
     /// responses count too), then drain coalesced runs until the
-    /// queue is empty, attributing each drain cycle's wall time to
-    /// the responses it produced.
-    fn drain_shard(&self, shard: usize, requests: &[EpochRequest]) -> ShardOutcome {
+    /// queue is empty. Each response's latency is its own
+    /// admission-to-answer wall time, measured by the controller.
+    fn drain_shard(&self, shard: usize, requests: &[(EpochRequest, TraceCtx)]) -> ShardOutcome {
         let mut controller = lock(&self.shards[shard].controller);
         let mut responses = Vec::with_capacity(requests.len());
         let mut latencies_ns = Vec::with_capacity(requests.len());
         for chunk in requests.chunks(self.config.admit_chunk) {
-            let start = Instant::now();
             let mut cycle = Vec::new();
-            for req in chunk {
-                cycle.extend(controller.enqueue(req.clone()));
+            for (req, ctx) in chunk {
+                cycle.extend(controller.enqueue_traced(req.clone(), *ctx));
             }
             loop {
                 let served = controller.process_coalesced(self.config.coalesce_window);
@@ -254,8 +259,7 @@ impl ShardRouter {
                 }
                 cycle.extend(served);
             }
-            let elapsed = start.elapsed().as_nanos() as u64;
-            latencies_ns.extend(std::iter::repeat_n(elapsed, cycle.len()));
+            latencies_ns.extend(cycle.iter().map(|r| r.latency_ns));
             responses.append(&mut cycle);
         }
         ShardOutcome {

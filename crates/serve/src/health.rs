@@ -42,6 +42,9 @@ pub struct HealthInputs {
     pub workers_alive: usize,
     /// Whether the scoring circuit breaker is anything but closed.
     pub breaker_disturbed: bool,
+    /// Whether the shard's SLO tracker currently reports an
+    /// error-budget burn over threshold.
+    pub slo_breached: bool,
 }
 
 /// Derives [`HealthState`] transitions from per-response inputs.
@@ -74,7 +77,7 @@ impl HealthMonitor {
     pub fn observe(&mut self, inputs: HealthInputs) -> Option<(HealthState, HealthState)> {
         let next = if inputs.workers_alive == 0 {
             HealthState::Unhealthy
-        } else if inputs.rung == Rung::Fresh && !inputs.breaker_disturbed {
+        } else if inputs.rung == Rung::Fresh && !inputs.breaker_disturbed && !inputs.slo_breached {
             HealthState::Healthy
         } else {
             HealthState::Degraded
@@ -98,6 +101,7 @@ mod tests {
             rung,
             workers_alive: workers,
             breaker_disturbed: disturbed,
+            slo_breached: false,
         }
     }
 
@@ -129,5 +133,21 @@ mod tests {
         m.observe(inputs(Rung::Fresh, 2, false));
         let t = m.observe(inputs(Rung::Fresh, 2, true)).unwrap();
         assert_eq!(t.1, HealthState::Degraded);
+    }
+
+    #[test]
+    fn slo_breach_degrades_even_fresh_responses() {
+        let mut m = HealthMonitor::new();
+        m.observe(inputs(Rung::Fresh, 2, false));
+        let t = m
+            .observe(HealthInputs {
+                slo_breached: true,
+                ..inputs(Rung::Fresh, 2, false)
+            })
+            .unwrap();
+        assert_eq!(t, (HealthState::Healthy, HealthState::Degraded));
+        // Burn dropping back under threshold recovers.
+        let t = m.observe(inputs(Rung::Fresh, 2, false)).unwrap();
+        assert_eq!(t.1, HealthState::Healthy);
     }
 }

@@ -34,6 +34,16 @@
 //!   single batched GNN forward pass (bit-identical to per-request
 //!   inference), thread-per-core shard draining with work stealing.
 //!
+//! Observability is request-scoped: the fleet mints a
+//! `gddr_telemetry::TraceCtx` per admitted request, the controller
+//! emits `fleet.admitted` / `fleet.response` annotations and the
+//! worker pool a `serve.infer` span per traced batch item, and every
+//! response carries its trace id and end-to-end latency. A streaming
+//! SLO tracker per controller converts the response stream into
+//! burn-rate alerts (`slo_alert` events) that also feed the health
+//! monitor. All of it is observational: no trace or SLO state ever
+//! feeds back into a serving decision.
+//!
 //! Determinism is load-bearing: all rung-affecting decisions use
 //! logical time (serving epochs and engine-reported costs), so a
 //! scenario's rung sequence is a pure function of its seed — the
@@ -57,7 +67,7 @@ pub use engine::{
     BatchItem, ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine,
 };
 pub use fleet::{FleetConfig, FleetRequest, ShardOutcome, ShardRouter};
-pub use health::HealthState;
-pub use queue::AdmissionQueue;
+pub use health::{HealthInputs, HealthState};
+pub use queue::{AdmissionQueue, Admitted};
 pub use request::{EpochRequest, RouteResponse, Rung, ServeError};
 pub use worker::{ExecMode, PoolConfig, WorkerPool};

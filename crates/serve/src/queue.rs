@@ -5,16 +5,36 @@
 //! them from the degradation ladder (skipping inference). The queue
 //! only decides *which* requests lose their inference slot — the
 //! oldest, whose traffic matrices are already going stale.
+//!
+//! Every admitted request is wrapped in an [`Admitted`] entry carrying
+//! its [`TraceCtx`] and admission timestamp, so queue wait and
+//! end-to-end latency can be attributed per request downstream.
 
 use std::collections::VecDeque;
+use std::time::Instant;
+
+use gddr_telemetry::TraceCtx;
 
 use crate::request::EpochRequest;
+
+/// A pending request plus the observability context it was admitted
+/// under.
+#[derive(Debug, Clone)]
+pub struct Admitted {
+    /// The request itself.
+    pub req: EpochRequest,
+    /// Trace context minted at fleet admission (default = untraced).
+    pub ctx: TraceCtx,
+    /// When the request entered the queue — the anchor for queue-wait
+    /// and end-to-end latency measurements.
+    pub admitted_at: Instant,
+}
 
 /// A bounded FIFO of pending epoch requests.
 #[derive(Debug)]
 pub struct AdmissionQueue {
     capacity: usize,
-    items: VecDeque<EpochRequest>,
+    items: VecDeque<Admitted>,
 }
 
 impl AdmissionQueue {
@@ -46,10 +66,15 @@ impl AdmissionQueue {
         self.capacity
     }
 
-    /// Admits `req`, returning any requests shed to make room (oldest
-    /// first). The new request itself is never shed on admission.
-    pub fn admit(&mut self, req: EpochRequest) -> Vec<EpochRequest> {
-        self.items.push_back(req);
+    /// Admits `req` under `ctx`, returning any entries shed to make
+    /// room (oldest first). The new request itself is never shed on
+    /// admission.
+    pub fn admit(&mut self, req: EpochRequest, ctx: TraceCtx) -> Vec<Admitted> {
+        self.items.push_back(Admitted {
+            req,
+            ctx,
+            admitted_at: Instant::now(),
+        });
         let mut shed = Vec::new();
         while self.items.len() > self.capacity {
             // Unwrap is safe: len > capacity >= 1.
@@ -58,15 +83,15 @@ impl AdmissionQueue {
         shed
     }
 
-    /// Pops the oldest pending request.
-    pub fn pop(&mut self) -> Option<EpochRequest> {
+    /// Pops the oldest pending entry.
+    pub fn pop(&mut self) -> Option<Admitted> {
         self.items.pop_front()
     }
 
-    /// The oldest pending request, without removing it (used by the
+    /// The oldest pending entry, without removing it (used by the
     /// controller to decide whether the next request coalesces into
     /// the current batch).
-    pub fn peek(&self) -> Option<&EpochRequest> {
+    pub fn peek(&self) -> Option<&Admitted> {
         self.items.front()
     }
 }
@@ -84,28 +109,32 @@ mod tests {
         }
     }
 
+    fn admit(q: &mut AdmissionQueue, epoch: u64) -> Vec<Admitted> {
+        q.admit(req(epoch), TraceCtx::default())
+    }
+
     #[test]
     fn fifo_below_capacity() {
         let mut q = AdmissionQueue::new(3);
         for e in 0..3 {
-            assert!(q.admit(req(e)).is_empty());
+            assert!(admit(&mut q, e).is_empty());
         }
         assert_eq!(q.len(), 3);
-        assert_eq!(q.pop().unwrap().epoch, 0);
-        assert_eq!(q.pop().unwrap().epoch, 1);
+        assert_eq!(q.pop().unwrap().req.epoch, 0);
+        assert_eq!(q.pop().unwrap().req.epoch, 1);
     }
 
     #[test]
     fn overflow_sheds_oldest_not_newest() {
         let mut q = AdmissionQueue::new(2);
-        assert!(q.admit(req(0)).is_empty());
-        assert!(q.admit(req(1)).is_empty());
-        let shed = q.admit(req(2));
+        assert!(admit(&mut q, 0).is_empty());
+        assert!(admit(&mut q, 1).is_empty());
+        let shed = admit(&mut q, 2);
         assert_eq!(shed.len(), 1);
-        assert_eq!(shed[0].epoch, 0);
+        assert_eq!(shed[0].req.epoch, 0);
         // The newest request survives at the back.
-        assert_eq!(q.pop().unwrap().epoch, 1);
-        assert_eq!(q.pop().unwrap().epoch, 2);
+        assert_eq!(q.pop().unwrap().req.epoch, 1);
+        assert_eq!(q.pop().unwrap().req.epoch, 2);
         assert!(q.pop().is_none());
     }
 
@@ -113,12 +142,26 @@ mod tests {
     fn peek_sees_oldest_without_removing() {
         let mut q = AdmissionQueue::new(2);
         assert!(q.peek().is_none());
-        q.admit(req(7));
-        q.admit(req(8));
-        assert_eq!(q.peek().unwrap().epoch, 7);
+        admit(&mut q, 7);
+        admit(&mut q, 8);
+        assert_eq!(q.peek().unwrap().req.epoch, 7);
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop().unwrap().epoch, 7);
-        assert_eq!(q.peek().unwrap().epoch, 8);
+        assert_eq!(q.pop().unwrap().req.epoch, 7);
+        assert_eq!(q.peek().unwrap().req.epoch, 8);
+    }
+
+    #[test]
+    fn admission_preserves_the_trace_context() {
+        let mut q = AdmissionQueue::new(1);
+        let ctx = TraceCtx::mint(3, 9);
+        assert!(q.admit(req(9), ctx).is_empty());
+        let shed = q.admit(req(10), TraceCtx::default());
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].ctx, ctx);
+        assert!(shed[0].ctx.is_traced());
+        let survivor = q.pop().unwrap();
+        assert!(!survivor.ctx.is_traced());
+        assert!(survivor.admitted_at.elapsed().as_secs() < 60);
     }
 
     #[test]

@@ -140,6 +140,12 @@ impl std::error::Error for ServeError {}
 pub struct RouteResponse {
     /// The request's `epoch` field, echoed back.
     pub epoch: u64,
+    /// The trace id this request was admitted under (0 = untraced).
+    pub trace_id: u64,
+    /// End-to-end wall-clock latency from admission to response,
+    /// in nanoseconds. Observability-only: never feeds a serving
+    /// decision, so determinism is untouched.
+    pub latency_ns: u64,
     /// Logical serving epoch assigned by the controller (monotone,
     /// one per processed request — the clock backoffs and staleness
     /// are measured in).

@@ -104,6 +104,35 @@ impl Slot {
     }
 }
 
+/// One `serve.infer` span per traced batch item, attributing the
+/// single shared forward pass back to every coalesced trace. Untraced
+/// items are skipped inside the emit helper.
+fn emit_infer_spans(
+    traces: &[gddr_telemetry::TraceCtx],
+    slot: usize,
+    start_us: u64,
+    started: &std::time::Instant,
+) {
+    if traces.iter().all(|ctx| !ctx.is_traced()) {
+        return;
+    }
+    let dur_ns = started.elapsed().as_nanos() as u64;
+    let batch_size = traces.len().to_string();
+    for (batch_slot, ctx) in traces.iter().enumerate() {
+        gddr_telemetry::trace_span_event(
+            *ctx,
+            "serve.infer",
+            start_us,
+            dur_ns,
+            &[
+                ("batch_size", batch_size.clone()),
+                ("slot", batch_slot.to_string()),
+                ("worker_slot", slot.to_string()),
+            ],
+        );
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -286,9 +315,22 @@ impl WorkerPool {
         history: &[DemandMatrix],
         epoch: u64,
     ) -> Result<InferenceReply, ServeError> {
+        self.dispatch_traced(req, history, epoch, gddr_telemetry::TraceCtx::default())
+    }
+
+    /// [`WorkerPool::dispatch`] with a trace context: a traced request
+    /// gets a `serve.infer` span (batch of one) for its forward pass.
+    pub fn dispatch_traced(
+        &mut self,
+        req: &EpochRequest,
+        history: &[DemandMatrix],
+        epoch: u64,
+        trace: gddr_telemetry::TraceCtx,
+    ) -> Result<InferenceReply, ServeError> {
         let items = vec![BatchItem {
             req: req.clone(),
             history: history.to_vec(),
+            trace,
         }];
         self.dispatch_batch(items, epoch).map(|mut replies| {
             debug_assert_eq!(replies.len(), 1);
@@ -312,6 +354,12 @@ impl WorkerPool {
     ) -> Result<Vec<InferenceReply>, ServeError> {
         assert!(!items.is_empty(), "dispatch_batch needs at least one item");
         let want = items.len();
+        // Captured before `items` moves into a worker thread: every
+        // traced item gets a `serve.infer` span for the shared forward
+        // pass (same start and duration — it honestly *was* one pass).
+        let traces: Vec<gddr_telemetry::TraceCtx> = items.iter().map(|item| item.trace).collect();
+        let infer_start_us = gddr_telemetry::now_us();
+        let infer_start = std::time::Instant::now();
         let slot = self.pick_slot(epoch).ok_or(ServeError::PoolExhausted)?;
         if matches!(self.slots[slot].body, SlotBody::Inline(_)) {
             let outcome = {
@@ -324,6 +372,7 @@ impl WorkerPool {
             return match outcome {
                 Ok(replies) => {
                     assert_eq!(replies.len(), want, "engine answered a different batch");
+                    emit_infer_spans(&traces, slot, infer_start_us, &infer_start);
                     Ok(replies)
                 }
                 Err(payload) => {
@@ -357,6 +406,7 @@ impl WorkerPool {
                     match msg.outcome {
                         Ok(replies) => {
                             assert_eq!(replies.len(), want, "engine answered a different batch");
+                            emit_infer_spans(&traces, slot, infer_start_us, &infer_start);
                             return Ok(replies);
                         }
                         Err(panic_msg) => {

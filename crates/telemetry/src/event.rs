@@ -100,6 +100,9 @@ pub enum Event {
         /// Whether the request was shed from the admission queue and
         /// answered without inference.
         shed: bool,
+        /// Request trace id when the request was admitted with a
+        /// [`crate::TraceCtx`]; 0 for untraced requests.
+        trace: u64,
     },
     /// The oracle-scoring circuit breaker changed state.
     BreakerTransition {
@@ -145,6 +148,75 @@ pub enum Event {
         /// Logical serving epoch of the transition.
         epoch: u64,
     },
+    /// A request-scoped timed phase (e.g. one batched inference),
+    /// correlated across the fleet by trace id.
+    TraceSpan {
+        /// Fleet-unique request trace id (never 0 in emitted events).
+        trace_id: u64,
+        /// Shard the phase ran on.
+        shard: u64,
+        /// Phase name (dot-separated, e.g. `serve.infer`).
+        name: String,
+        /// Start time in microseconds since the process telemetry epoch.
+        start_us: u64,
+        /// Wall-clock duration in nanoseconds.
+        dur_ns: u64,
+        /// Free-form key/value attributes (e.g. `batch_size`), order
+        /// preserved for byte-stable round-trips.
+        attrs: Vec<(String, String)>,
+    },
+    /// A request-scoped point-in-time marker (admission, response),
+    /// correlated across the fleet by trace id.
+    TraceAnnotation {
+        /// Fleet-unique request trace id (never 0 in emitted events).
+        trace_id: u64,
+        /// Shard the marker was recorded on.
+        shard: u64,
+        /// Marker name (e.g. `fleet.admitted`, `fleet.response`).
+        name: String,
+        /// Timestamp in microseconds since the process telemetry epoch.
+        at_us: u64,
+        /// Free-form key/value attributes (e.g. `queue_wait_ns`,
+        /// `rung`), order preserved for byte-stable round-trips.
+        attrs: Vec<(String, String)>,
+    },
+    /// The streaming SLO engine detected an error-budget burn-rate
+    /// breach on a shard.
+    SloAlert {
+        /// Shard whose error budget is burning.
+        shard: u64,
+        /// SLO metric that breached (e.g. `serve.fresh_fraction`).
+        metric: String,
+        /// Observed burn rate (bad fraction / allowed bad fraction).
+        burn_rate: f64,
+        /// Burn-rate threshold that was crossed.
+        threshold: f64,
+        /// Sliding-window length (responses) the rate was measured over.
+        window: u64,
+        /// Logical serving epoch when the breach was detected.
+        epoch: u64,
+    },
+}
+
+/// Encodes trace attributes as a JSON object (order preserved).
+fn attrs_to_json(attrs: &[(String, String)]) -> Json {
+    Json::Obj(
+        attrs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect(),
+    )
+}
+
+/// Decodes trace attributes from a JSON object.
+fn attrs_from_json(json: &Json) -> Result<Vec<(String, String)>, JsonError> {
+    match json {
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), String::from_json(v)?)))
+            .collect(),
+        _ => Err(JsonError("trace attrs must be a JSON object".to_string())),
+    }
 }
 
 impl Event {
@@ -156,7 +228,9 @@ impl Event {
             | Event::Counter { name, .. }
             | Event::Gauge { name, .. }
             | Event::Histogram { name, .. }
-            | Event::Message { name, .. } => name,
+            | Event::Message { name, .. }
+            | Event::TraceSpan { name, .. }
+            | Event::TraceAnnotation { name, .. } => name,
             Event::Checkpoint { .. }
             | Event::Rollback { .. }
             | Event::LpFallback { .. }
@@ -165,7 +239,8 @@ impl Event {
             | Event::BreakerTransition { .. }
             | Event::WorkerRestart { .. }
             | Event::RequestShed { .. }
-            | Event::HealthTransition { .. } => self.kind(),
+            | Event::HealthTransition { .. }
+            | Event::SloAlert { .. } => self.kind(),
         }
     }
 
@@ -186,6 +261,9 @@ impl Event {
             Event::WorkerRestart { .. } => "worker_restart",
             Event::RequestShed { .. } => "request_shed",
             Event::HealthTransition { .. } => "health_transition",
+            Event::TraceSpan { .. } => "trace_span",
+            Event::TraceAnnotation { .. } => "trace_annotation",
+            Event::SloAlert { .. } => "slo_alert",
         }
     }
 }
@@ -261,12 +339,14 @@ impl ToJson for Event {
                 epoch,
                 rung,
                 shed,
+                trace,
             } => Json::obj([
                 ("type", "rung_served".to_json()),
                 ("shard", shard.to_json()),
                 ("epoch", epoch.to_json()),
                 ("rung", rung.to_json()),
                 ("shed", shed.to_json()),
+                ("trace", trace.to_json()),
             ]),
             Event::BreakerTransition {
                 shard,
@@ -312,6 +392,52 @@ impl ToJson for Event {
                 ("shard", shard.to_json()),
                 ("from", from.to_json()),
                 ("to", to.to_json()),
+                ("epoch", epoch.to_json()),
+            ]),
+            Event::TraceSpan {
+                trace_id,
+                shard,
+                name,
+                start_us,
+                dur_ns,
+                attrs,
+            } => Json::obj([
+                ("type", "trace_span".to_json()),
+                ("trace_id", trace_id.to_json()),
+                ("shard", shard.to_json()),
+                ("name", name.to_json()),
+                ("start_us", start_us.to_json()),
+                ("dur_ns", dur_ns.to_json()),
+                ("attrs", attrs_to_json(attrs)),
+            ]),
+            Event::TraceAnnotation {
+                trace_id,
+                shard,
+                name,
+                at_us,
+                attrs,
+            } => Json::obj([
+                ("type", "trace_annotation".to_json()),
+                ("trace_id", trace_id.to_json()),
+                ("shard", shard.to_json()),
+                ("name", name.to_json()),
+                ("at_us", at_us.to_json()),
+                ("attrs", attrs_to_json(attrs)),
+            ]),
+            Event::SloAlert {
+                shard,
+                metric,
+                burn_rate,
+                threshold,
+                window,
+                epoch,
+            } => Json::obj([
+                ("type", "slo_alert".to_json()),
+                ("shard", shard.to_json()),
+                ("metric", metric.to_json()),
+                ("burn_rate", burn_rate.to_json()),
+                ("threshold", threshold.to_json()),
+                ("window", window.to_json()),
                 ("epoch", epoch.to_json()),
             ]),
         }
@@ -369,6 +495,7 @@ impl FromJson for Event {
                 epoch: FromJson::from_json(json.field("epoch")?)?,
                 rung: FromJson::from_json(json.field("rung")?)?,
                 shed: FromJson::from_json(json.field("shed")?)?,
+                trace: FromJson::from_json(json.field("trace")?)?,
             }),
             "breaker_transition" => Ok(Event::BreakerTransition {
                 shard: FromJson::from_json(json.field("shard")?)?,
@@ -391,6 +518,29 @@ impl FromJson for Event {
                 shard: FromJson::from_json(json.field("shard")?)?,
                 from: FromJson::from_json(json.field("from")?)?,
                 to: FromJson::from_json(json.field("to")?)?,
+                epoch: FromJson::from_json(json.field("epoch")?)?,
+            }),
+            "trace_span" => Ok(Event::TraceSpan {
+                trace_id: FromJson::from_json(json.field("trace_id")?)?,
+                shard: FromJson::from_json(json.field("shard")?)?,
+                name: name(json)?,
+                start_us: FromJson::from_json(json.field("start_us")?)?,
+                dur_ns: FromJson::from_json(json.field("dur_ns")?)?,
+                attrs: attrs_from_json(json.field("attrs")?)?,
+            }),
+            "trace_annotation" => Ok(Event::TraceAnnotation {
+                trace_id: FromJson::from_json(json.field("trace_id")?)?,
+                shard: FromJson::from_json(json.field("shard")?)?,
+                name: name(json)?,
+                at_us: FromJson::from_json(json.field("at_us")?)?,
+                attrs: attrs_from_json(json.field("attrs")?)?,
+            }),
+            "slo_alert" => Ok(Event::SloAlert {
+                shard: FromJson::from_json(json.field("shard")?)?,
+                metric: FromJson::from_json(json.field("metric")?)?,
+                burn_rate: FromJson::from_json(json.field("burn_rate")?)?,
+                threshold: FromJson::from_json(json.field("threshold")?)?,
+                window: FromJson::from_json(json.field("window")?)?,
                 epoch: FromJson::from_json(json.field("epoch")?)?,
             }),
             other => Err(JsonError(format!("unknown event type {other:?}"))),
@@ -469,6 +619,7 @@ mod tests {
                 epoch: 17,
                 rung: "last_good".into(),
                 shed: false,
+                trace: 9,
             },
             Event::BreakerTransition {
                 shard: 0,
@@ -492,6 +643,40 @@ mod tests {
                 from: "healthy".into(),
                 to: "degraded".into(),
                 epoch: 20,
+            },
+            Event::TraceSpan {
+                trace_id: 9,
+                shard: 3,
+                name: "serve.infer".into(),
+                start_us: 120,
+                dur_ns: 45_000,
+                attrs: vec![
+                    ("batch_size".into(), "4".into()),
+                    ("slot".into(), "1".into()),
+                ],
+            },
+            Event::TraceAnnotation {
+                trace_id: 9,
+                shard: 3,
+                name: "fleet.admitted".into(),
+                at_us: 100,
+                attrs: vec![("epoch".into(), "17".into())],
+            },
+            Event::TraceAnnotation {
+                trace_id: 10,
+                shard: 0,
+                name: "fleet.response".into(),
+                at_us: 250,
+                // Hostile attr values must escape and round-trip.
+                attrs: vec![("note".into(), "q\"uo\\te\n\u{1F980}".into())],
+            },
+            Event::SloAlert {
+                shard: 5,
+                metric: "serve.fresh_fraction".into(),
+                burn_rate: 6.25,
+                threshold: 4.0,
+                window: 64,
+                epoch: 21,
             },
         ]
     }

@@ -44,26 +44,46 @@
 //! assert_eq!(snapshot.counter("example.items"), Some(3));
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 pub mod event;
+pub mod hdr;
 pub mod metrics;
 pub mod progress;
+pub mod ring;
 pub mod sink;
+pub mod slo;
 mod span;
+pub mod trace;
 
 pub use event::{parse_jsonl, Event};
+pub use hdr::{bucket_width, HdrSnapshot, LogHistogram};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
 pub use progress::Reporter;
-pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
+pub use ring::{FlightRecorder, FlightRecorderConfig};
+pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, TeeSink};
+pub use slo::{SloAlertInfo, SloConfig, SloTracker};
 pub use span::SpanGuard;
+pub use trace::{now_us, trace_annotation_event, trace_span_event, TraceCtx};
 
 /// Fast-path gate: true iff a sink is installed.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// The installed sink, if any.
 static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Bumped on every [`install`] / [`uninstall`] so per-thread sink
+/// caches know when to refresh (see [`dispatch`]).
+static SINK_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread `(generation, sink)` cache: the enabled-path cost of
+    /// [`dispatch`] is one atomic load + one thread-local borrow
+    /// instead of a contended `RwLock` read per event.
+    static SINK_CACHE: RefCell<(u64, Option<Arc<dyn Sink>>)> = const { RefCell::new((0, None)) };
+}
 
 /// Whether telemetry is currently enabled (a sink is installed).
 #[inline]
@@ -74,7 +94,12 @@ pub fn is_enabled() -> bool {
 /// Installs `sink` as the global event receiver and enables
 /// instrumentation. Replaces (and flushes) any previous sink.
 pub fn install(sink: Arc<dyn Sink>) {
-    let previous = SINK.write().expect("telemetry sink lock").replace(sink);
+    let previous = {
+        let mut slot = SINK.write().expect("telemetry sink lock");
+        let previous = slot.replace(sink);
+        SINK_GENERATION.fetch_add(1, Ordering::Release);
+        previous
+    };
     ENABLED.store(true, Ordering::Relaxed);
     if let Some(prev) = previous {
         prev.flush();
@@ -85,7 +110,12 @@ pub fn install(sink: Arc<dyn Sink>) {
 /// returning it so callers can inspect buffered state (e.g. a
 /// [`MemorySink`]) or keep a JSONL file complete.
 pub fn uninstall() -> Option<Arc<dyn Sink>> {
-    let sink = SINK.write().expect("telemetry sink lock").take();
+    let sink = {
+        let mut slot = SINK.write().expect("telemetry sink lock");
+        let sink = slot.take();
+        SINK_GENERATION.fetch_add(1, Ordering::Release);
+        sink
+    };
     ENABLED.store(false, Ordering::Relaxed);
     if let Some(s) = &sink {
         s.flush();
@@ -101,8 +131,25 @@ pub fn registry() -> &'static Registry {
 }
 
 /// Forwards an event to the installed sink, if any.
+///
+/// The hot path avoids the `SINK` `RwLock` entirely: each thread
+/// caches the sink `Arc` tagged with the install generation, and only
+/// refreshes (taking the read lock once) after an [`install`] /
+/// [`uninstall`] bumps the generation. Per-event cost is therefore an
+/// atomic load plus an `Arc` clone.
 pub(crate) fn dispatch(event: &Event) {
-    if let Some(sink) = &*SINK.read().expect("telemetry sink lock") {
+    let generation = SINK_GENERATION.load(Ordering::Acquire);
+    let sink = SINK_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.0 != generation {
+            *cache = (
+                generation,
+                SINK.read().expect("telemetry sink lock").clone(),
+            );
+        }
+        cache.1.clone()
+    });
+    if let Some(sink) = sink {
         sink.record(event);
     }
 }
@@ -243,10 +290,12 @@ pub fn fault_injected_event(graph: &str, edges_removed: u64) {
     });
 }
 
-/// Records a served routing response: bumps `serve.responses` (and
-/// `serve.shed` when the request was shed) and streams an
-/// [`Event::RungServed`]. No-op when telemetry is disabled.
-pub fn rung_served_event(shard: u64, epoch: u64, rung: &str, shed: bool) {
+/// Records a served routing response: bumps `serve.responses` — and
+/// only that counter; shed accounting is [`request_shed_event`]'s job,
+/// which owns `serve.shed` — and streams an [`Event::RungServed`]
+/// tagged with the request's trace id (`0` = untraced). No-op when
+/// telemetry is disabled.
+pub fn rung_served_event(shard: u64, epoch: u64, rung: &str, shed: bool, trace: u64) {
     if !is_enabled() {
         return;
     }
@@ -261,6 +310,7 @@ pub fn rung_served_event(shard: u64, epoch: u64, rung: &str, shed: bool) {
         epoch,
         rung: rung.to_string(),
         shed,
+        trace,
     });
 }
 
@@ -343,6 +393,29 @@ pub fn health_transition_event(shard: u64, from: &str, to: &str, epoch: u64) {
         from: from.to_string(),
         to: to.to_string(),
         epoch,
+    });
+}
+
+/// Records an SLO error-budget burn-rate breach: bumps
+/// `serve.slo_alerts` and streams an [`Event::SloAlert`]. No-op when
+/// telemetry is disabled.
+pub fn slo_alert_event(shard: u64, metric: &str, alert: &SloAlertInfo) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.slo_alerts", 1);
+    dispatch(&Event::Counter {
+        name: "serve.slo_alerts".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::SloAlert {
+        shard,
+        metric: metric.to_string(),
+        burn_rate: alert.burn_rate,
+        threshold: alert.threshold,
+        window: alert.window,
+        epoch: alert.epoch,
     });
 }
 
@@ -526,11 +599,22 @@ mod tests {
             rollback_event(1, "r", 0.5);
             lp_fallback_event("s", true);
             fault_injected_event("g", 1);
-            rung_served_event(0, 1, "fresh", false);
+            rung_served_event(0, 1, "fresh", false, 0);
             breaker_transition_event(0, "closed", "open", 1);
             worker_restart_event(0, 0, 1, 2);
             request_shed_event(0, 1, 4);
             health_transition_event(0, "starting", "healthy", 1);
+            slo_alert_event(
+                0,
+                "serve.fresh_fraction",
+                &SloAlertInfo {
+                    burn_rate: 5.0,
+                    threshold: 4.0,
+                    window: 64,
+                    epoch: 1,
+                },
+            );
+            trace_annotation_event(TraceCtx::mint(0, 1), "fleet.admitted", 0, &[]);
             let snap = registry().snapshot();
             assert_eq!(snap.counter("ppo.checkpoints"), None);
             assert_eq!(snap.counter("env.fault_injected"), None);
@@ -544,7 +628,7 @@ mod tests {
         with_global(|| {
             let sink = Arc::new(MemorySink::new());
             install(sink.clone());
-            rung_served_event(7, 5, "ecmp", true);
+            rung_served_event(7, 5, "ecmp", true, 11);
             breaker_transition_event(7, "open", "half_open", 6);
             worker_restart_event(7, 1, 2, 4);
             request_shed_event(7, 5, 9);
@@ -584,6 +668,174 @@ mod tests {
             assert!(events
                 .iter()
                 .any(|e| matches!(e, Event::HealthTransition { epoch: 6, .. })));
+        });
+    }
+
+    /// Pins the exact counter set each serve event helper touches, so
+    /// doc/impl drift (the old `rung_served_event` comment claimed it
+    /// also bumped `serve.shed`) fails a test instead of misleading a
+    /// reader.
+    #[test]
+    fn serve_event_helpers_touch_exactly_their_own_counter() {
+        type EmitCase = (&'static str, Box<dyn Fn()>);
+        let cases: Vec<EmitCase> = vec![
+            (
+                "serve.responses",
+                Box::new(|| rung_served_event(1, 2, "fresh", true, 3)),
+            ),
+            (
+                "serve.breaker_transitions",
+                Box::new(|| breaker_transition_event(1, "closed", "open", 2)),
+            ),
+            (
+                "serve.worker_restarts",
+                Box::new(|| worker_restart_event(1, 0, 1, 2)),
+            ),
+            ("serve.shed", Box::new(|| request_shed_event(1, 2, 3))),
+            (
+                "serve.health_transitions",
+                Box::new(|| health_transition_event(1, "healthy", "degraded", 2)),
+            ),
+            (
+                "serve.slo_alerts",
+                Box::new(|| {
+                    slo_alert_event(
+                        1,
+                        "serve.fresh_fraction",
+                        &SloAlertInfo {
+                            burn_rate: 8.0,
+                            threshold: 4.0,
+                            window: 64,
+                            epoch: 2,
+                        },
+                    )
+                }),
+            ),
+        ];
+        for (expected_counter, emit) in cases {
+            with_global(|| {
+                let sink = Arc::new(MemorySink::new());
+                install(sink.clone());
+                emit();
+                uninstall();
+                let touched: Vec<String> = sink
+                    .events()
+                    .iter()
+                    .filter_map(|e| match e {
+                        Event::Counter { name, .. } => Some(name.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(
+                    touched,
+                    vec![expected_counter.to_string()],
+                    "helper for {expected_counter} touched the wrong counter set"
+                );
+                assert_eq!(sink.events().len(), 2, "one counter + one typed event");
+            });
+        }
+    }
+
+    #[test]
+    fn trace_events_stream_without_counter_events() {
+        with_global(|| {
+            let sink = Arc::new(MemorySink::new());
+            install(sink.clone());
+            let ctx = TraceCtx::mint(3, 17);
+            assert!(ctx.is_traced());
+            trace_annotation_event(ctx, "fleet.admitted", now_us(), &[]);
+            trace_span_event(
+                ctx,
+                "serve.infer",
+                now_us(),
+                1_000,
+                &[("batch_size", "4".to_string())],
+            );
+            // Untraced contexts are silently dropped.
+            trace_annotation_event(TraceCtx::default(), "fleet.admitted", 0, &[]);
+            let snap = registry().snapshot();
+            assert_eq!(snap.counter("serve.trace_annotations"), Some(1));
+            assert_eq!(snap.counter("serve.trace_spans"), Some(1));
+            uninstall();
+            let events = sink.events();
+            // Aggregates go straight to the registry — no Counter
+            // events double the traced stream.
+            assert_eq!(events.len(), 2);
+            assert!(matches!(
+                &events[0],
+                Event::TraceAnnotation { trace_id, shard: 3, .. } if *trace_id == ctx.trace_id
+            ));
+            assert!(matches!(&events[1], Event::TraceSpan { dur_ns: 1_000, .. }));
+        });
+    }
+
+    #[test]
+    fn minted_trace_ids_are_unique_and_nonzero() {
+        let a = TraceCtx::mint(0, 0);
+        let b = TraceCtx::mint(0, 0);
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
+        assert!(!TraceCtx::default().is_traced());
+    }
+
+    /// Micro-bench for the generation-cached dispatch path; run with
+    /// `cargo test -p gddr-telemetry --release -- --ignored
+    /// --nocapture dispatch_throughput`.
+    #[test]
+    #[ignore = "micro-bench, run manually"]
+    fn dispatch_throughput() {
+        with_global(|| {
+            install(Arc::new(NoopSink));
+            let event = Event::Counter {
+                name: "bench.dispatch".to_string(),
+                delta: 1,
+                total: 1,
+            };
+            const N: u32 = 5_000_000;
+            // Warm the cache.
+            for _ in 0..1_000 {
+                dispatch(&event);
+            }
+            let start = std::time::Instant::now();
+            for _ in 0..N {
+                dispatch(&event);
+            }
+            let elapsed = start.elapsed();
+            println!(
+                "dispatch: {N} events in {elapsed:?} ({:.1} ns/event)",
+                elapsed.as_nanos() as f64 / f64::from(N)
+            );
+        });
+    }
+
+    #[test]
+    #[ignore = "micro-bench, run manually"]
+    fn dispatch_throughput_mt() {
+        with_global(|| {
+            install(Arc::new(NoopSink));
+            const N: u32 = 2_000_000;
+            const T: usize = 8;
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..T {
+                    s.spawn(|| {
+                        let event = Event::Counter {
+                            name: "bench.dispatch".to_string(),
+                            delta: 1,
+                            total: 1,
+                        };
+                        for _ in 0..N {
+                            dispatch(&event);
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed();
+            println!(
+                "dispatch mt: {} events across {T} threads in {elapsed:?} ({:.1} ns/event)",
+                N as u64 * T as u64,
+                elapsed.as_nanos() as f64 / (f64::from(N) * T as f64)
+            );
         });
     }
 

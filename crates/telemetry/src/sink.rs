@@ -122,6 +122,34 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Fans every event out to several sinks in order — e.g. an always-on
+/// [`crate::FlightRecorder`] plus an optional full [`JsonlSink`]
+/// stream, without either knowing about the other.
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// A tee over the given sinks.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +201,17 @@ mod tests {
         let sink = NoopSink;
         sink.record(&sample(1));
         sink.flush();
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_all_children() {
+        let a = std::sync::Arc::new(MemorySink::new());
+        let b = std::sync::Arc::new(MemorySink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.record(&sample(1));
+        tee.record(&sample(2));
+        tee.flush();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 2);
     }
 }

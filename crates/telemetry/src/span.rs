@@ -19,7 +19,7 @@ use crate::event::Event;
 
 /// The process telemetry epoch: all span start times are microseconds
 /// since the first telemetry call.
-fn epoch() -> Instant {
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }

@@ -1,0 +1,109 @@
+//! Request-scoped tracing: a [`TraceCtx`] minted at fleet admission
+//! and threaded through the serving path, plus emit helpers for the
+//! trace-correlated events ([`Event::TraceSpan`],
+//! [`Event::TraceAnnotation`]).
+//!
+//! Trace ids come from one process-wide counter starting at 1; id 0
+//! means "untraced" and every emit helper treats it (and disabled
+//! telemetry) as a no-op, so per-request serving paths can call the
+//! helpers unconditionally. Ids are minted in the fleet's serial
+//! admission loop, so a seeded run assigns the same id to the same
+//! request every time.
+//!
+//! Unlike the generic [`crate::counter_add`] path, trace emission does
+//! not stream `Counter` events for its bookkeeping — a traced run
+//! would double its event volume for no analytical value. Aggregates
+//! land in the registry directly (the [`crate::span`] precedent):
+//! `serve.trace_spans` and `serve.trace_annotations`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::Event;
+
+/// Next trace id to mint (0 is reserved for "untraced").
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Identity of one traced request as it moves through the fleet.
+///
+/// `Copy` and three words wide, so it threads through queues, batch
+/// items and worker dispatches by value. The default context has
+/// `trace_id == 0` and is silently dropped by every emit helper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Fleet-unique id; 0 = untraced.
+    pub trace_id: u64,
+    /// Shard the request was admitted to.
+    pub shard: u64,
+    /// Request epoch as submitted by the client.
+    pub epoch: u64,
+}
+
+impl TraceCtx {
+    /// Mints a fresh context for a request admitted to `shard`.
+    pub fn mint(shard: u64, epoch: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            shard,
+            epoch,
+        }
+    }
+
+    /// Whether this context carries a real trace id.
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// Microseconds since the process telemetry epoch — the timestamp
+/// base shared with [`Event::Span::start_us`], so trace annotations
+/// and spans order against ordinary spans.
+pub fn now_us() -> u64 {
+    crate::span::epoch().elapsed().as_micros() as u64
+}
+
+/// Converts borrowed attr pairs to the owned event representation.
+fn own_attrs(attrs: &[(&str, String)]) -> Vec<(String, String)> {
+    attrs
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone()))
+        .collect()
+}
+
+/// Records a point-in-time marker on a trace. No-op when telemetry is
+/// disabled or `ctx` is untraced.
+pub fn trace_annotation_event(ctx: TraceCtx, name: &str, at_us: u64, attrs: &[(&str, String)]) {
+    if !crate::is_enabled() || !ctx.is_traced() {
+        return;
+    }
+    crate::registry().counter_add("serve.trace_annotations", 1);
+    crate::dispatch(&Event::TraceAnnotation {
+        trace_id: ctx.trace_id,
+        shard: ctx.shard,
+        name: name.to_string(),
+        at_us,
+        attrs: own_attrs(attrs),
+    });
+}
+
+/// Records a timed phase on a trace. No-op when telemetry is disabled
+/// or `ctx` is untraced.
+pub fn trace_span_event(
+    ctx: TraceCtx,
+    name: &str,
+    start_us: u64,
+    dur_ns: u64,
+    attrs: &[(&str, String)],
+) {
+    if !crate::is_enabled() || !ctx.is_traced() {
+        return;
+    }
+    crate::registry().counter_add("serve.trace_spans", 1);
+    crate::dispatch(&Event::TraceSpan {
+        trace_id: ctx.trace_id,
+        shard: ctx.shard,
+        name: name.to_string(),
+        start_us,
+        dur_ns,
+        attrs: own_attrs(attrs),
+    });
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One CI smoke leg, runnable locally too:
 #
-#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load>
+#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace>
 #
 # Every leg assumes the release build already exists (CI restores it
 # from the shared cache; locally run `cargo build --release --offline`
@@ -10,7 +10,7 @@
 
 set -euo pipefail
 
-LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load>}"
+LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace>}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 ART="$ROOT/ci_artifacts"
 mkdir -p "$ART"
@@ -46,10 +46,13 @@ case "$LEG" in
     ;;
   chaos)
     # Serving SLOs under seeded faults, then validate the serve-mode
-    # telemetry trace (shard-tagged events round-trip).
+    # telemetry trace (shard-tagged events round-trip). budget_zero
+    # burns its error budget, so the flight recorder must leave an
+    # slo_alert postmortem behind — uploaded with the artifacts.
     run chaos_harness -- \
       --scenario all --seed 42 --requests 48 \
-      --out "$ART/chaos_report.json" --telemetry "$ART/chaos_events.jsonl"
+      --out "$ART/chaos_report.json" --telemetry "$ART/chaos_events.jsonl" \
+      --postmortem "$ART/chaos_postmortem.jsonl"
     run telemetry_check -- --file "$ART/chaos_events.jsonl" --mode serve
     ;;
   serve_load)
@@ -60,6 +63,19 @@ case "$LEG" in
       --requests 100000 --seed 42 --out "$ART/BENCH_serve_load.json"
     cp results/BENCH_serve_load.json "$ART/BENCH_serve_load.baseline.json"
     bash tools/check_bench.sh "$ART" "${BENCH_TOLERANCE_PCT:-50}"
+    ;;
+  trace)
+    # Request-scoped tracing end to end: a seeded fleet run with a
+    # full JSONL stream, the trace-mode validity gate, and the
+    # waterfall report with its ≥99% completeness gate.
+    run serve_load -- \
+      --requests 4000 --seed 42 --out "$ART/BENCH_serve_load_trace.json" \
+      --telemetry "$ART/fleet_trace.jsonl" \
+      --postmortem "$ART/serve_load_postmortem.jsonl"
+    run telemetry_check -- --file "$ART/fleet_trace.jsonl" --mode trace
+    run fleet_report -- \
+      --trace "$ART/fleet_trace.jsonl" --min-complete 0.99 \
+      --out "$ART/FLEET_report.json"
     ;;
   *)
     echo "unknown smoke leg '$LEG'" >&2
