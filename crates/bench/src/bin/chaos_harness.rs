@@ -13,10 +13,17 @@
 //! proves the harness detects violations rather than rubber-stamping.
 //! All other scenarios must pass.
 //!
+//! Replication scenarios (`--scenario replication`, or any name from
+//! `replication_scenario_names`) drive a replica set instead of a
+//! bare controller: primary kill + failover, hedged stragglers,
+//! rolling retools under live maintenance, and a flapping replica.
+//! Their determinism digest covers the failover sequence too, and
+//! `replicas_exhausted` is their deliberately broken member.
+//!
 //! ```text
-//! chaos_harness [--scenario all|<name>[,<name>...]] [--seed N]
-//!               [--requests N] [--out PATH] [--telemetry PATH]
-//!               [--postmortem PATH]
+//! chaos_harness [--scenario all|replication|<name>[,<name>...]]
+//!               [--seed N] [--requests N] [--out PATH]
+//!               [--telemetry PATH] [--postmortem PATH]
 //! ```
 //!
 //! A bounded flight recorder is always installed: the first
@@ -36,7 +43,10 @@ use std::sync::Arc;
 
 use gddr_bench::{flag, parse_args, write_artifact};
 use gddr_ser::Json;
-use gddr_serve::chaos::{run_scenario, scenario_names, scenario_seed, ScenarioOutcome};
+use gddr_serve::chaos::{
+    replication_scenario_names, run_replication_scenario, run_scenario, scenario_names,
+    scenario_seed, ScenarioOutcome,
+};
 use gddr_telemetry::{FlightRecorder, JsonlSink, Sink, TeeSink};
 
 fn outcome_json(outcome: &ScenarioOutcome, expected_fail: bool, deterministic: bool) -> Json {
@@ -53,6 +63,13 @@ fn outcome_json(outcome: &ScenarioOutcome, expected_fail: bool, deterministic: b
             Json::Num(outcome.breaker_transitions as f64),
         ),
         ("p99_depth", Json::Num(outcome.p99_depth as f64)),
+        ("failovers", Json::Num(outcome.failovers as f64)),
+        ("hedges", Json::Num(outcome.hedges as f64)),
+        ("recoveries", Json::Num(outcome.recoveries as f64)),
+        (
+            "failover_sequence",
+            Json::Str(outcome.failover_sequence.clone()),
+        ),
         ("deterministic", Json::Bool(deterministic)),
         ("expected_fail", Json::Bool(expected_fail)),
         (
@@ -96,6 +113,7 @@ fn main() {
     let owned: Vec<String>;
     let scenarios: Vec<&str> = match scenario_arg {
         "all" => scenario_names().to_vec(),
+        "replication" => replication_scenario_names().to_vec(),
         list => {
             owned = list.split(',').map(str::to_string).collect();
             owned.iter().map(String::as_str).collect()
@@ -116,17 +134,30 @@ fn main() {
     let mut unexpected: Vec<String> = Vec::new();
     for name in &scenarios {
         let seed = scenario_seed(base_seed, name);
-        let expected_fail = *name == "budget_zero";
+        let expected_fail = *name == "budget_zero" || *name == "replicas_exhausted";
+        let replicated = replication_scenario_names().contains(name);
         // Replay-determinism SLO: same seed, same scenario, twice.
-        let first = run_scenario(name, seed, requests);
-        let second = run_scenario(name, seed, requests);
+        // Replicated scenarios extend the digest with the failover
+        // sequence.
+        let (first, second) = if replicated {
+            (
+                run_replication_scenario(name, seed, requests),
+                run_replication_scenario(name, seed, requests),
+            )
+        } else {
+            (
+                run_scenario(name, seed, requests),
+                run_scenario(name, seed, requests),
+            )
+        };
         match (first, second) {
             (Ok(a), Ok(b)) => {
-                let deterministic = a.rung_sequence == b.rung_sequence;
+                let deterministic = a.rung_sequence == b.rung_sequence
+                    && a.failover_sequence == b.failover_sequence;
                 if !deterministic {
                     unexpected.push(format!(
-                        "{name}: same-seed replay diverged ({} vs {})",
-                        a.rung_sequence, b.rung_sequence
+                        "{name}: same-seed replay diverged ({}/{} vs {}/{})",
+                        a.rung_sequence, a.failover_sequence, b.rung_sequence, b.failover_sequence
                     ));
                 }
                 if expected_fail && a.passed() {
@@ -140,7 +171,7 @@ fn main() {
                     }
                 }
                 println!(
-                    "chaos {name}: {} submitted, {} answered, rungs {}, shed {}, restarts {}, breaker {}, p99 depth {} — {}",
+                    "chaos {name}: {} submitted, {} answered, rungs {}, shed {}, restarts {}, breaker {}, p99 depth {}, failovers {} [{}], hedges {}, recoveries {} — {}",
                     a.submitted,
                     a.answered,
                     a.rung_sequence,
@@ -148,6 +179,10 @@ fn main() {
                     a.worker_restarts,
                     a.breaker_transitions,
                     a.p99_depth,
+                    a.failovers,
+                    a.failover_sequence,
+                    a.hedges,
+                    a.recoveries,
                     if expected_fail {
                         if a.passed() { "UNEXPECTED PASS" } else { "failed as designed" }
                     } else if a.passed() && deterministic {
@@ -165,13 +200,17 @@ fn main() {
     }
     let _ = std::panic::take_hook();
 
-    // budget_zero burns its whole error budget under the panic storm,
-    // so any run including it must leave a postmortem behind whose
-    // trigger — and final line — is an slo_alert.
+    // The deliberately broken scenarios (budget_zero; the replicated
+    // replicas_exhausted) burn their whole error budget, so any run
+    // including one must leave a postmortem behind whose trigger — and
+    // final line — is an slo_alert.
     let mut postmortem_alerts = 0usize;
-    if scenarios.contains(&"budget_zero") {
+    let broken_included =
+        scenarios.contains(&"budget_zero") || scenarios.contains(&"replicas_exhausted");
+    if broken_included {
         if !recorder.has_dumped() {
-            unexpected.push("budget_zero never tripped an slo_alert postmortem".to_string());
+            unexpected
+                .push("the broken scenario never tripped an slo_alert postmortem".to_string());
         } else {
             let text = std::fs::read_to_string(&postmortem).expect("read postmortem");
             match gddr_telemetry::parse_jsonl(&text) {
@@ -230,7 +269,7 @@ fn main() {
 
     if unexpected.is_empty() {
         println!(
-            "chaos: {} scenarios passed their SLOs (budget_zero failed as designed)",
+            "chaos: {} scenarios behaved as specified (deliberately broken ones failed as designed)",
             scenarios.len()
         );
     } else {

@@ -1,7 +1,7 @@
 //! Fleet load bench: a sharded multi-topology serving fleet under a
 //! sustained request stream, with batched GNN inference.
 //!
-//! Three phases, all checked:
+//! Four phases, all checked:
 //!
 //! 1. **load** — ≥100k requests across ≥10 zoo-topology shards,
 //!    reporting sustained req/s and p50/p99 drain latency per ladder
@@ -11,7 +11,11 @@
 //!    bit (batched GNN inference is exactly per-request inference),
 //! 3. **chaos** — one shard's workers die under a panic storm with
 //!    zero restart budget; only that shard may degrade, every other
-//!    shard must stay 100% Fresh.
+//!    shard must stay 100% Fresh,
+//! 4. **replicated** — a two-replica fleet with a dying primary: the
+//!    set must hedge the in-window batches, fail over to the standby,
+//!    shadow-probe the demoted primary back to eligibility, answer
+//!    every request, and replay bit-identically under the same seed.
 //!
 //! ```text
 //! serve_load [--requests N] [--seed N] [--clients N] [--coalesce N]
@@ -42,8 +46,9 @@ use gddr_rng::rngs::StdRng;
 use gddr_rng::SeedableRng;
 use gddr_ser::Json;
 use gddr_serve::{
-    ChaosEngine, ControllerConfig, EngineFactory, Fault, FaultPlan, FleetConfig, FleetRequest,
-    HealthState, InferenceEngine, PolicyEngine, PoolConfig, Rung, ShardOutcome, ShardRouter,
+    ChaosEngine, ControllerConfig, EngineFactory, FailoverConfig, Fault, FaultPlan, FleetConfig,
+    FleetRequest, HealthState, HedgeConfig, InferenceEngine, PolicyEngine, PoolConfig, Rung,
+    ShardOutcome, ShardRouter,
 };
 use gddr_telemetry::{bucket_width, FlightRecorder, JsonlSink, LogHistogram, Sink, TeeSink};
 use gddr_traffic::gen::{bimodal, BimodalParams};
@@ -106,7 +111,7 @@ fn fleet_config(coalesce: usize, threads: usize) -> FleetConfig {
 /// every epoch with zero restart budget (the dying shard of the chaos
 /// phase).
 fn build_fleet(config: FleetConfig, seed: u64, kill: Option<&str>) -> ShardRouter {
-    let mut router = ShardRouter::new(config);
+    let mut router = ShardRouter::new(config).expect("fleet config is valid");
     for (i, name) in shard_names().iter().enumerate() {
         let graph = zoo::by_name(name).expect("zoo topology exists");
         let mut ctrl = controller_config();
@@ -367,8 +372,12 @@ fn main() {
         ));
     }
     let killed_idx = chaos_fleet.route(killed).expect("killed shard exists");
-    let killed_health = chaos_fleet.with_controller(killed_idx, |c| c.health());
-    let killed_alive = chaos_fleet.with_controller(killed_idx, |c| c.alive_workers());
+    let killed_health = chaos_fleet
+        .with_controller(killed_idx, |c| c.health())
+        .expect("killed shard exists");
+    let killed_alive = chaos_fleet
+        .with_controller(killed_idx, |c| c.alive_workers())
+        .expect("killed shard exists");
     if killed_alive != 0 {
         violations.push(format!(
             "chaos: killed shard still reports {killed_alive} live workers"
@@ -377,6 +386,184 @@ fn main() {
     println!(
         "serve_load: chaos — shard {killed} degraded {killed_degraded}/{killed_total} (health {:?}), others Fresh",
         killed_health
+    );
+
+    // Phase 4: replicated self-healing. A small fleet — two replicas
+    // behind each of three shards — with the geant primary's engines
+    // panicking over a fixed epoch window on a one-worker pool with a
+    // single restart. The set must hedge the in-window batches to the
+    // standby (so the response stream stays overwhelmingly Fresh),
+    // fail over, shadow-probe the demoted primary back to
+    // eligibility, and answer every request. The whole phase runs
+    // twice: rung and failover sequences are pure functions of the
+    // seed and must replay bit-identically.
+    let rep_names: [&str; 3] = ["cesnet", "abilene", "geant"];
+    let rep_killed = "geant";
+    let build_replicated = |seed: u64| -> ShardRouter {
+        let mut router =
+            ShardRouter::new(fleet_config(coalesce, threads)).expect("fleet config is valid");
+        for (i, name) in rep_names.iter().enumerate() {
+            let graph = zoo::by_name(name).expect("zoo topology exists");
+            let mut ctrl = controller_config();
+            let primary_plan = if *name == rep_killed {
+                ctrl.pool = PoolConfig {
+                    workers: 1,
+                    restart_budget: 1,
+                    ..PoolConfig::default()
+                };
+                Arc::new(FaultPlan::new().span(2..=6, Fault::Panic))
+            } else {
+                Arc::new(FaultPlan::new())
+            };
+            let shard_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+            router
+                .add_replicated_shard(
+                    name,
+                    graph,
+                    DdrEnvConfig {
+                        memory: MEMORY,
+                        ..DdrEnvConfig::default()
+                    },
+                    ctrl,
+                    vec![
+                        gnn_factory(shard_seed, primary_plan),
+                        gnn_factory(shard_seed ^ 0x5eed, Arc::new(FaultPlan::new())),
+                    ],
+                    FailoverConfig {
+                        failover_threshold: 3,
+                        min_hold: 6,
+                        hold_jitter: 2,
+                        probe_window: 4,
+                        probe_fresh_min: 0.75,
+                        seed,
+                    },
+                    // Real engines report wall-clock inference cost,
+                    // so the straggler threshold sits far above
+                    // scheduler noise: only deterministic worker-side
+                    // failures (the injected panics) trigger hedges,
+                    // keeping the replay bit-identical. Logical-cost
+                    // straggler hedging is the chaos harness's job.
+                    HedgeConfig {
+                        enabled: true,
+                        threshold_ms: 5_000,
+                    },
+                )
+                .expect("unique shard name");
+        }
+        router
+    };
+    let (rep_ticks, rep_clients) = (16u64, 3u64);
+    let rep_sizes: Vec<(String, usize)> = rep_names
+        .iter()
+        .map(|n| (n.to_string(), zoo::by_name(n).unwrap().num_nodes()))
+        .collect();
+    let mut rep_load = Vec::new();
+    for tick in 0..rep_ticks {
+        for client in 0..rep_clients {
+            for (i, (name, n)) in rep_sizes.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(
+                    (seed ^ 0x5e1f)
+                        ^ (tick << 24 | client << 8 | i as u64).wrapping_mul(0x100000001b3),
+                );
+                rep_load.push(FleetRequest {
+                    topology: name.clone(),
+                    request: gddr_serve::EpochRequest {
+                        epoch: tick,
+                        demands: bimodal(*n, &BimodalParams::default(), &mut rng),
+                        deadline_ms: DEADLINE_MS,
+                    },
+                });
+            }
+        }
+    }
+    let rep_fleet = build_replicated(seed);
+    let rep_out = rep_fleet.run(&rep_load).expect("replicated run");
+    let rep_replay_fleet = build_replicated(seed);
+    let rep_replay = rep_replay_fleet.run(&rep_load).expect("replicated replay");
+    let rep_answered: usize = rep_out.iter().map(|o| o.responses.len()).sum();
+    if rep_answered != rep_load.len() {
+        violations.push(format!(
+            "replicated: {} submitted but {rep_answered} answered",
+            rep_load.len()
+        ));
+    }
+    let rep_killed_idx = rep_fleet
+        .route(rep_killed)
+        .expect("replicated shard exists");
+    let rep_stats = rep_fleet
+        .with_replica_set(rep_killed_idx, |s| s.stats().clone())
+        .expect("replicated shard exists");
+    let rep_replay_stats = rep_replay_fleet
+        .with_replica_set(rep_killed_idx, |s| s.stats().clone())
+        .expect("replicated shard exists");
+    let rep_seq = rep_stats.failover_sequence();
+    let rep_deterministic = rep_seq == rep_replay_stats.failover_sequence()
+        && rep_out
+            .iter()
+            .zip(&rep_replay)
+            .all(|(a, b)| a.name == b.name && a.rung_sequence() == b.rung_sequence());
+    if !rep_deterministic {
+        violations.push(format!(
+            "replicated: same-seed replay diverged (failover sequence [{rep_seq}] vs [{}])",
+            rep_replay_stats.failover_sequence()
+        ));
+    }
+    if rep_stats.failovers == 0 {
+        violations.push(format!(
+            "replicated: killed primary of {rep_killed} never failed over"
+        ));
+    }
+    if rep_stats.recoveries == 0 {
+        violations.push(format!(
+            "replicated: demoted primary of {rep_killed} never recovered"
+        ));
+    }
+    let mut rep_killed_fresh_ratio = 0.0;
+    for o in &rep_out {
+        let fresh = o.responses.iter().filter(|r| r.rung == Rung::Fresh).count();
+        if o.name == rep_killed {
+            rep_killed_fresh_ratio = fresh as f64 / o.responses.len().max(1) as f64;
+        } else if fresh != o.responses.len() {
+            violations.push(format!(
+                "replicated: healthy shard {} served {} non-Fresh responses",
+                o.name,
+                o.responses.len() - fresh
+            ));
+        }
+    }
+    if rep_killed_fresh_ratio < 0.9 {
+        violations.push(format!(
+            "replicated: hedging + failover left only {:.0}% of {rep_killed} Fresh (want >= 90%)",
+            rep_killed_fresh_ratio * 100.0
+        ));
+    }
+    for name in rep_names {
+        if name == rep_killed {
+            continue;
+        }
+        let idx = rep_fleet.route(name).expect("replicated shard exists");
+        let healthy_failovers = rep_fleet
+            .with_replica_set(idx, |s| s.stats().failovers)
+            .expect("replicated shard exists");
+        if healthy_failovers != 0 {
+            violations.push(format!(
+                "replicated: healthy shard {name} failed over {healthy_failovers} times"
+            ));
+        }
+    }
+    println!(
+        "serve_load: replicated — {rep_answered}/{} answered, shard {rep_killed}: {} failovers [{rep_seq}], {} hedges ({} wins), {} recoveries, {:.0}% Fresh, replay {}",
+        rep_load.len(),
+        rep_stats.failovers,
+        rep_stats.hedges_fired,
+        rep_stats.hedge_wins,
+        rep_stats.recoveries,
+        rep_killed_fresh_ratio * 100.0,
+        if rep_deterministic {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
     );
 
     let _ = std::panic::take_hook();
@@ -473,6 +660,22 @@ fn main() {
                     "healthy_shards_stayed_fresh",
                     Json::Bool(violations.iter().all(|v| !v.contains("blast radius"))),
                 ),
+            ]),
+        ),
+        (
+            "replicated",
+            Json::obj([
+                ("shards", Json::Num(rep_names.len() as f64)),
+                ("replicas_per_shard", Json::Num(2.0)),
+                ("answered", Json::Num(rep_answered as f64)),
+                ("killed_shard", Json::Str(rep_killed.to_string())),
+                ("failovers", Json::Num(rep_stats.failovers as f64)),
+                ("hedges_fired", Json::Num(rep_stats.hedges_fired as f64)),
+                ("hedge_wins", Json::Num(rep_stats.hedge_wins as f64)),
+                ("recoveries", Json::Num(rep_stats.recoveries as f64)),
+                ("failover_sequence", Json::Str(rep_seq.clone())),
+                ("deterministic", Json::Bool(rep_deterministic)),
+                ("killed_fresh_ratio", Json::Num(rep_killed_fresh_ratio)),
             ]),
         ),
         (

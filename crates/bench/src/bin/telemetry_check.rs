@@ -14,7 +14,12 @@
 //!   paired `serve.*` counter. `slo_alert` events are optional (a
 //!   healthy run has none) but when present must agree with
 //!   `serve.slo_alerts` and carry a burn rate at or above their own
-//!   threshold.
+//!   threshold. The replication kinds (`failover`, `hedge_fired`,
+//!   `replica_recovered`) are likewise optional-but-consistent:
+//!   absent from single-controller runs, but when present they must
+//!   agree 1:1 with their counters and be well-formed (a failover
+//!   never targets its own source, hedge wins never exceed the batch,
+//!   recoveries carry a positive probe count).
 //! - `--mode trace`: the stream of a `serve_load --telemetry` run
 //!   must reconstruct — every trace id referenced by a `rung_served`
 //!   event has exactly one `fleet.admitted` and one `fleet.response`
@@ -79,7 +84,16 @@ const SERVE_KINDS: &[(&str, &str)] = &[
     ("health_transition", "serve.health_transitions"),
 ];
 
+/// Replication event kinds: optional (absent from single-controller
+/// runs) but counter-consistent when present, like `slo_alert`.
+const REPLICATION_KINDS: &[(&str, &str)] = &[
+    ("failover", "serve.failovers"),
+    ("hedge_fired", "serve.hedges_fired"),
+    ("replica_recovered", "serve.replica_recoveries"),
+];
+
 const RUNG_NAMES: &[&str] = &["fresh", "last_good", "ecmp", "shortest_path"];
+const FAILOVER_REASONS: &[&str] = &["consecutive_degraded", "pool_dead"];
 const BREAKER_STATES: &[&str] = &["closed", "open", "half_open"];
 const HEALTH_STATES: &[&str] = &["starting", "healthy", "degraded", "unhealthy"];
 
@@ -181,6 +195,38 @@ fn validate_serve(events: &[Event]) {
                 );
                 assert!(*window > 0, "slo_alert with zero window");
             }
+            Event::Failover {
+                from_replica,
+                to_replica,
+                reason,
+                ..
+            } => {
+                *kind_counts.entry("failover").or_insert(0) += 1;
+                named("failover reason", reason, FAILOVER_REASONS);
+                assert_ne!(
+                    from_replica, to_replica,
+                    "failover from a replica to itself"
+                );
+            }
+            Event::HedgeFired {
+                primary,
+                standby,
+                wins,
+                batch,
+                ..
+            } => {
+                *kind_counts.entry("hedge_fired").or_insert(0) += 1;
+                assert_ne!(primary, standby, "hedge re-issued to the primary itself");
+                assert!(*batch > 0, "hedge_fired with an empty batch");
+                assert!(
+                    wins <= batch,
+                    "hedge_fired with more standby wins ({wins}) than batch items ({batch})"
+                );
+            }
+            Event::ReplicaRecovered { probes, .. } => {
+                *kind_counts.entry("replica_recovered").or_insert(0) += 1;
+                assert!(*probes > 0, "replica_recovered with zero probes");
+            }
             _ => {}
         }
     }
@@ -214,6 +260,15 @@ fn validate_serve(events: &[Event]) {
         "counter \"serve.slo_alerts\" deltas ({}) disagree with slo_alert events ({alert_events})",
         alert_counter.0
     );
+    // Replication kinds: optional, but counter-consistent when present.
+    for (kind, counter) in REPLICATION_KINDS {
+        let seen = kind_counts.get(kind).copied().unwrap_or(0);
+        let (delta_sum, _) = counter_stats.get(*counter).copied().unwrap_or((0, 0));
+        assert_eq!(
+            delta_sum, seen,
+            "counter {counter:?} deltas ({delta_sum}) disagree with {kind:?} events ({seen})"
+        );
+    }
     // Every shed victim produces one request_shed event at admission
     // and one shed-tagged rung_served event when answered.
     let shed_events = kind_counts["request_shed"];
@@ -222,7 +277,7 @@ fn validate_serve(events: &[Event]) {
         "request_shed events ({shed_events}) disagree with shed-tagged responses ({shed_served})"
     );
     println!(
-        "telemetry_check(serve): OK — {} events, {} responses ({} shed), {} breaker transitions, {} worker restarts, {} health transitions, {} slo alerts",
+        "telemetry_check(serve): OK — {} events, {} responses ({} shed), {} breaker transitions, {} worker restarts, {} health transitions, {} slo alerts, {} failovers, {} hedges, {} recoveries",
         events.len(),
         kind_counts["rung_served"],
         shed_served,
@@ -230,6 +285,9 @@ fn validate_serve(events: &[Event]) {
         kind_counts["worker_restart"],
         kind_counts["health_transition"],
         alert_events,
+        kind_counts.get("failover").copied().unwrap_or(0),
+        kind_counts.get("hedge_fired").copied().unwrap_or(0),
+        kind_counts.get("replica_recovered").copied().unwrap_or(0),
     );
 }
 
@@ -276,6 +334,26 @@ fn validate_trace(events: &[Event]) {
                             RUNG_NAMES.contains(&rung.as_str()),
                             "trace {trace_id}: unknown rung {rung:?}"
                         );
+                    }
+                    "fleet.hedge" => {
+                        // Hedged duplicate marker on the primary's
+                        // trace: the duplicate serve itself is
+                        // untraced, so the (1, 1) admission/response
+                        // invariant below is untouched.
+                        let winner = attr(attrs, "winner").unwrap_or_else(|| {
+                            panic!("trace {trace_id}: hedge marker without winner")
+                        });
+                        assert!(
+                            winner == "primary" || winner == "standby",
+                            "trace {trace_id}: unknown hedge winner {winner:?}"
+                        );
+                        let generation: u64 = attr(attrs, "generation")
+                            .unwrap_or_else(|| {
+                                panic!("trace {trace_id}: hedge marker without generation")
+                            })
+                            .parse()
+                            .unwrap_or_else(|e| panic!("trace {trace_id}: bad generation: {e}"));
+                        assert!(generation > 0, "trace {trace_id}: zero hedge generation");
                     }
                     other => panic!("unknown trace annotation {other:?}"),
                 }

@@ -15,6 +15,13 @@
 //! Scenarios are pure functions of `(name, seed, requests)`: running
 //! one twice must produce bit-identical rung sequences, which the
 //! chaos harness asserts.
+//!
+//! Replication scenarios ([`run_replication_scenario`]) drive a
+//! [`ReplicaSet`] instead of a bare controller, adding failover,
+//! hedged dispatch and recovery checks, and a [`MaintenancePlan`]
+//! of live topology mutations (link flaps, capacity drains, rolling
+//! per-replica retools) applied while serving. Their determinism
+//! digest extends to the failover sequence.
 
 use std::sync::Arc;
 
@@ -26,15 +33,16 @@ use gddr_rng::SeedableRng;
 use gddr_traffic::gen::{bimodal, BimodalParams};
 use gddr_traffic::DemandMatrix;
 
+use gddr_net::graph::EdgeId;
+
 use crate::controller::{Controller, ControllerConfig};
 use crate::engine::{ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine};
-use crate::request::{EpochRequest, RouteResponse, Rung, ServeError};
+use crate::replica::{FailoverConfig, HedgeConfig, ReplicaSet};
+use crate::request::{EpochRequest, RouteResponse, Rung, ServeError, DEFAULT_DEADLINE_MS};
 use crate::worker::ExecMode;
 
 /// Memory length used by every chaos scenario's policy.
 const MEMORY: usize = 3;
-/// Default per-request logical deadline.
-const DEADLINE_MS: u64 = 50;
 
 /// The outcome of one scenario run.
 #[derive(Debug, Clone)]
@@ -58,6 +66,18 @@ pub struct ScenarioOutcome {
     pub breaker_transitions: u64,
     /// 99th-percentile ladder depth over all responses.
     pub p99_depth: u8,
+    /// Primary failovers performed (replication scenarios; 0 for the
+    /// single-controller scenarios).
+    pub failovers: u64,
+    /// Hedged batch dispatches fired (replication scenarios).
+    pub hedges: u64,
+    /// Replicas recovered through a shadow-probe window (replication
+    /// scenarios).
+    pub recoveries: u64,
+    /// Failover/recovery transition digest (`0>1@24;^0@56`), part of
+    /// the determinism check alongside the rung sequence. Empty for
+    /// single-controller scenarios.
+    pub failover_sequence: String,
     /// SLO violations (empty = pass).
     pub violations: Vec<String>,
 }
@@ -244,7 +264,7 @@ fn make_request(
         None => EpochRequest {
             epoch: index,
             demands,
-            deadline_ms: DEADLINE_MS,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         },
         Some(Malformed::NonFinite) => EpochRequest {
             epoch: index,
@@ -255,17 +275,17 @@ fn make_request(
                     demands.get(s, d)
                 }
             }),
-            deadline_ms: DEADLINE_MS,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         },
         Some(Malformed::Empty) => EpochRequest {
             epoch: index,
             demands: DemandMatrix::zeros(0),
-            deadline_ms: DEADLINE_MS,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         },
         Some(Malformed::WrongSize) => EpochRequest {
             epoch: index,
             demands: DemandMatrix::zeros(n + 3),
-            deadline_ms: DEADLINE_MS,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         },
         Some(Malformed::ZeroDeadline) => EpochRequest {
             epoch: index,
@@ -426,6 +446,440 @@ pub fn run_scenario(name: &str, seed: u64, requests: usize) -> Result<ScenarioOu
         worker_restarts: controller.worker_restarts(),
         breaker_transitions: stats.breaker_transitions,
         p99_depth: p99,
+        failovers: 0,
+        hedges: 0,
+        recoveries: 0,
+        failover_sequence: String::new(),
+        violations,
+    })
+}
+
+/// One live-maintenance mutation applied to a serving replica set at a
+/// scheduled tick.
+#[derive(Debug, Clone)]
+pub enum MaintenanceAction {
+    /// Degrade the base topology with seeded connectivity-preserving
+    /// link failures ([`FailureInjector`]), restoring the base graph
+    /// `restore_after` ticks later.
+    LinkFlap {
+        /// Ticks until the base topology is restored.
+        restore_after: usize,
+    },
+    /// Scale every link capacity of the active topology by `factor`,
+    /// restoring the base graph `restore_after` ticks later.
+    CapacityDrain {
+        /// Multiplier applied to every capacity (e.g. `0.5`).
+        factor: f64,
+        /// Ticks until the base topology is restored.
+        restore_after: usize,
+    },
+    /// Rebuild one replica's engines, oracle and baselines in place
+    /// while the rest of the set keeps serving.
+    RetoolReplica {
+        /// The replica to retool.
+        replica: usize,
+    },
+}
+
+/// A schedule of [`MaintenanceAction`]s keyed by tick, fed through the
+/// replication scenarios while traffic is being served. Mutations are
+/// seeded (the link flap draws from the scenario's
+/// [`FailureInjector`]), so a maintenance run is as replayable as the
+/// fault plans it accompanies.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenancePlan {
+    actions: Vec<(usize, MaintenanceAction)>,
+}
+
+impl MaintenancePlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        MaintenancePlan::default()
+    }
+
+    /// Schedules `action` at `tick`.
+    #[must_use]
+    pub fn at(mut self, tick: usize, action: MaintenanceAction) -> Self {
+        self.actions.push((tick, action));
+        self
+    }
+
+    /// Actions due at `tick`, in insertion order.
+    fn due(&self, tick: usize) -> impl Iterator<Item = &MaintenanceAction> {
+        self.actions
+            .iter()
+            .filter(move |(at, _)| *at == tick)
+            .map(|(_, a)| a)
+    }
+}
+
+struct ReplicationSpec {
+    graph: Graph,
+    config: ControllerConfig,
+    /// One fault plan per replica.
+    plans: Vec<FaultPlan>,
+    failover: FailoverConfig,
+    hedge: HedgeConfig,
+    clients_per_tick: usize,
+    /// Ticks at which `burst_size` extra same-tick requests arrive.
+    burst_at: Vec<usize>,
+    burst_size: usize,
+    maintenance: MaintenancePlan,
+    min_failovers: u64,
+    max_failovers: u64,
+    min_hedges: u64,
+    min_recoveries: u64,
+    expect_shed: bool,
+    /// `(k, ratio)`: within the `k` responses following the first
+    /// failover, at least `ratio` must be fresh.
+    fresh_recovery: Option<(usize, f64)>,
+    max_p99_depth: u8,
+}
+
+/// Replication scenario names [`run_replication_scenario`] accepts.
+/// `replicas_exhausted` is the deliberately broken one: every replica
+/// dies, no failover target remains, and the fresh-recovery SLO must
+/// fail — proving the harness detects replication-level violations.
+pub fn replication_scenario_names() -> &'static [&'static str] {
+    &[
+        "primary_kill_failover",
+        "hedged_straggler",
+        "rolling_retool",
+        "flapping_replica",
+        "replicas_exhausted",
+    ]
+}
+
+fn replication_spec_for(name: &str, requests: usize) -> Result<ReplicationSpec, ServeError> {
+    let mut spec = ReplicationSpec {
+        graph: zoo::cesnet(),
+        config: base_config(),
+        plans: vec![FaultPlan::new(), FaultPlan::new()],
+        failover: FailoverConfig {
+            failover_threshold: 4,
+            min_hold: 8,
+            hold_jitter: 4,
+            probe_window: 6,
+            probe_fresh_min: 0.75,
+            seed: 0,
+        },
+        hedge: HedgeConfig::default(),
+        clients_per_tick: 2,
+        burst_at: Vec::new(),
+        burst_size: 0,
+        maintenance: MaintenancePlan::new(),
+        min_failovers: 0,
+        max_failovers: u64::MAX,
+        min_hedges: 0,
+        min_recoveries: 0,
+        expect_shed: false,
+        fresh_recovery: None,
+        max_p99_depth: 2,
+    };
+    match name {
+        "primary_kill_failover" => {
+            // The primary's pool dies mid-run; the standby must take
+            // over with zero unanswered requests and the fresh ratio
+            // back above 90% within 20 responses of the failover.
+            spec.config.pool.workers = 1;
+            spec.config.pool.restart_budget = 1;
+            spec.plans[0] = FaultPlan::new().span(10..=14, Fault::Panic);
+            spec.min_failovers = 1;
+            spec.min_recoveries = 1;
+            spec.fresh_recovery = Some((20, 0.9));
+        }
+        "hedged_straggler" => {
+            // The primary stays fresh but straggles (logical 30ms per
+            // reply, under the deadline): hedging must re-issue to the
+            // standby and win, with no failover — a slow-but-correct
+            // primary is not a failed one.
+            spec.plans[0] = FaultPlan::new().span(10..=25, Fault::Slow { cost_ms: 30 });
+            spec.hedge = HedgeConfig {
+                enabled: true,
+                threshold_ms: 20,
+            };
+            spec.min_hedges = 10;
+            spec.max_failovers = 0;
+            spec.max_p99_depth = 0;
+        }
+        "rolling_retool" => {
+            // Live maintenance under traffic: a link flap, a rolling
+            // per-replica retool, and a capacity drain, plus an
+            // overload burst and a slow-inference window — all while
+            // failover is pinned off (threshold out of reach) so the
+            // set must absorb everything in place.
+            spec.plans = vec![FaultPlan::new(), FaultPlan::new(), FaultPlan::new()];
+            for plan in &mut spec.plans {
+                *plan = FaultPlan::new().span(14..=15, Fault::Slow { cost_ms: 99 });
+            }
+            spec.config.queue_capacity = 4;
+            spec.burst_at = vec![8];
+            spec.burst_size = 10;
+            spec.failover.failover_threshold = 1_000;
+            spec.maintenance = MaintenancePlan::new()
+                .at(5, MaintenanceAction::LinkFlap { restore_after: 4 })
+                .at(10, MaintenanceAction::RetoolReplica { replica: 0 })
+                .at(11, MaintenanceAction::RetoolReplica { replica: 1 })
+                .at(12, MaintenanceAction::RetoolReplica { replica: 2 })
+                .at(
+                    13,
+                    MaintenanceAction::CapacityDrain {
+                        factor: 0.5,
+                        restore_after: 3,
+                    },
+                );
+            spec.max_failovers = 0;
+            spec.expect_shed = true;
+        }
+        "flapping_replica" => {
+            // Each replica fails in turn: the role must ping-pong
+            // deterministically (0 -> 1 -> 0) with hysteresis holding
+            // between swaps, and demoted replicas must re-earn
+            // eligibility through their probe windows.
+            spec.config.pool.workers = 1;
+            spec.config.pool.restart_budget = 1;
+            spec.plans[0] = FaultPlan::new().span(8..=11, Fault::Panic);
+            spec.plans[1] = FaultPlan::new().span(18..=21, Fault::Panic);
+            spec.failover.failover_threshold = 2;
+            spec.failover.min_hold = 4;
+            spec.failover.hold_jitter = 2;
+            spec.failover.probe_window = 4;
+            spec.min_failovers = 2;
+            spec.min_recoveries = 1;
+        }
+        "replicas_exhausted" => {
+            // Deliberately broken: every replica's pool dies with no
+            // restart budget, shadow probes can never go fresh, and
+            // the fresh-recovery SLO fails loudly.
+            spec.config.pool.workers = 1;
+            spec.config.pool.restart_budget = 0;
+            spec.plans[0] = FaultPlan::new().span(10..=4096, Fault::Panic);
+            spec.plans[1] = FaultPlan::new().span(10..=4096, Fault::Panic);
+            spec.failover.failover_threshold = 2;
+            spec.fresh_recovery = Some((20, 0.9));
+            spec.min_failovers = 1;
+        }
+        other => {
+            return Err(ServeError::Config(format!(
+                "unknown replication scenario '{other}'"
+            )))
+        }
+    }
+    if requests < 40 {
+        return Err(ServeError::Config(
+            "replication scenarios need at least 40 requests".to_string(),
+        ));
+    }
+    Ok(spec)
+}
+
+/// Runs one replication scenario: a [`ReplicaSet`] under scripted
+/// faults and live maintenance, with the SLO checks of
+/// [`run_scenario`] plus failover/hedge/recovery expectations. The
+/// determinism digest is `(rung_sequence, failover_sequence)`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Config`] for unknown scenario names or
+/// unusable request counts; SLO failures are reported in
+/// [`ScenarioOutcome::violations`], not as `Err`.
+pub fn run_replication_scenario(
+    name: &str,
+    seed: u64,
+    requests: usize,
+) -> Result<ScenarioOutcome, ServeError> {
+    let spec = replication_spec_for(name, requests)?;
+    let factories: Vec<EngineFactory> = spec
+        .plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| engine_factory(seed ^ (i as u64 + 1), Arc::new(plan.clone())))
+        .collect();
+    let mut failover = spec.failover.clone();
+    failover.seed = seed;
+    let mut set = ReplicaSet::new(
+        0,
+        spec.graph.clone(),
+        DdrEnvConfig {
+            memory: MEMORY,
+            ..DdrEnvConfig::default()
+        },
+        spec.config.clone(),
+        factories,
+        failover,
+        spec.hedge.clone(),
+    )?;
+
+    let n = spec.graph.num_nodes();
+    let base = spec.graph.clone();
+    let mut active = base.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut injector = FailureInjector::from_seed(2, seed ^ 0xabcd);
+    // Tick at which the base topology is restored (LinkFlap /
+    // CapacityDrain schedule their own undo).
+    let mut restore_at: Option<usize> = None;
+
+    let mut submitted = 0usize;
+    let mut responses: Vec<RouteResponse> = Vec::new();
+    let mut invalid_on_serve = 0usize;
+    let mut tick = 0usize;
+
+    while submitted < requests {
+        if restore_at == Some(tick) {
+            set.apply_topology(base.clone())?;
+            active = base.clone();
+            restore_at = None;
+        }
+        for action in spec.maintenance.due(tick) {
+            match action {
+                MaintenanceAction::LinkFlap { restore_after } => {
+                    let (degraded, _dropped) = injector.degrade(&base);
+                    set.apply_topology(degraded.clone())?;
+                    active = degraded;
+                    restore_at = Some(tick + restore_after);
+                }
+                MaintenanceAction::CapacityDrain {
+                    factor,
+                    restore_after,
+                } => {
+                    let mut drained = active.clone();
+                    for e in 0..drained.num_edges() {
+                        let cap = drained.capacity(EdgeId(e));
+                        drained
+                            .set_capacity(EdgeId(e), cap * factor)
+                            .map_err(|e| ServeError::Config(format!("capacity drain: {e:?}")))?;
+                    }
+                    set.apply_topology(drained.clone())?;
+                    active = drained;
+                    restore_at = Some(tick + restore_after);
+                }
+                MaintenanceAction::RetoolReplica { replica } => {
+                    set.retool_replica(*replica)?;
+                }
+            }
+        }
+
+        let extra = if spec.burst_at.contains(&tick) {
+            spec.burst_size
+        } else {
+            0
+        };
+        for _ in 0..spec.clients_per_tick + extra {
+            let req = make_request(tick as u64, n, &mut rng, None);
+            submitted += 1;
+            for resp in set.enqueue(req) {
+                invalid_on_serve += usize::from(!resp.routing.validate(&active).is_empty());
+                responses.push(resp);
+            }
+        }
+        loop {
+            let served = set.process_coalesced(4);
+            if served.is_empty() {
+                break;
+            }
+            for resp in served {
+                invalid_on_serve += usize::from(!resp.routing.validate(&active).is_empty());
+                responses.push(resp);
+            }
+        }
+        tick += 1;
+    }
+
+    let rung_sequence: String = responses.iter().map(|r| r.rung.letter()).collect();
+    let depths: Vec<u8> = responses.iter().map(|r| r.rung.depth()).collect();
+    let p99 = p99_depth(&depths);
+    let stats = set.stats().clone();
+    let mut breaker_transitions = 0u64;
+    for i in 0..set.replica_count() {
+        breaker_transitions += set
+            .with_replica(i, |c| c.stats().breaker_transitions)
+            .expect("replica index in range");
+    }
+
+    let mut violations = Vec::new();
+    if responses.len() != submitted {
+        violations.push(format!(
+            "unanswered requests: submitted {submitted}, answered {}",
+            responses.len()
+        ));
+    }
+    if invalid_on_serve > 0 {
+        violations.push(format!(
+            "{invalid_on_serve} responses carried routings invalid for the active topology"
+        ));
+    }
+    if p99 > spec.max_p99_depth {
+        violations.push(format!(
+            "p99 ladder depth {p99} exceeds bound {}",
+            spec.max_p99_depth
+        ));
+    }
+    if stats.failovers < spec.min_failovers {
+        violations.push(format!(
+            "only {} failovers (expected at least {})",
+            stats.failovers, spec.min_failovers
+        ));
+    }
+    if stats.failovers > spec.max_failovers {
+        violations.push(format!(
+            "{} failovers (expected at most {})",
+            stats.failovers, spec.max_failovers
+        ));
+    }
+    if stats.hedges_fired < spec.min_hedges {
+        violations.push(format!(
+            "only {} hedged dispatches (expected at least {})",
+            stats.hedges_fired, spec.min_hedges
+        ));
+    }
+    if stats.recoveries < spec.min_recoveries {
+        violations.push(format!(
+            "only {} replica recoveries (expected at least {})",
+            stats.recoveries, spec.min_recoveries
+        ));
+    }
+    if spec.expect_shed && stats.shed == 0 {
+        violations.push("overload never shed (queue bound not exercised)".to_string());
+    }
+    if let Some((k, ratio)) = spec.fresh_recovery {
+        // The failover clock ticks once per answered request, so the
+        // first failover's clock value indexes into the response
+        // stream directly.
+        let first = stats.log.iter().find_map(|t| match t {
+            crate::replica::ReplicaTransition::Failover { clock, .. } => Some(*clock as usize),
+            crate::replica::ReplicaTransition::Recovered { .. } => None,
+        });
+        match first {
+            Some(clock) => {
+                let window: Vec<_> = responses.iter().skip(clock).take(k).collect();
+                let fresh = window.iter().filter(|r| r.rung == Rung::Fresh).count();
+                if window.is_empty() || (fresh as f64) < ratio * window.len() as f64 {
+                    violations.push(format!(
+                        "fresh ratio {fresh}/{} within {k} responses of failover below {ratio}",
+                        window.len()
+                    ));
+                }
+            }
+            None => {
+                violations.push("fresh-recovery SLO set but no failover ever fired".to_string())
+            }
+        }
+    }
+
+    Ok(ScenarioOutcome {
+        name: name.to_string(),
+        seed,
+        submitted,
+        answered: responses.len(),
+        rung_sequence,
+        shed: stats.shed,
+        worker_restarts: set.worker_restarts(),
+        breaker_transitions,
+        p99_depth: p99,
+        failovers: stats.failovers,
+        hedges: stats.hedges_fired,
+        recoveries: stats.recoveries,
+        failover_sequence: stats.failover_sequence(),
         violations,
     })
 }
@@ -470,6 +924,56 @@ mod tests {
         let err = run_scenario("nope", 1, 40).unwrap_err();
         assert!(matches!(err, ServeError::Config(_)), "{err}");
         assert!(run_scenario("healthy", 1, 39).is_err());
+    }
+
+    #[test]
+    fn replication_scenarios_pass_and_are_deterministic() {
+        for name in [
+            "primary_kill_failover",
+            "hedged_straggler",
+            "flapping_replica",
+        ] {
+            let seed = scenario_seed(42, name);
+            let a = run_replication_scenario(name, seed, 48).unwrap();
+            assert!(a.passed(), "{name} violations: {:?}", a.violations);
+            assert_eq!(a.answered, a.submitted, "{name}");
+            let b = run_replication_scenario(name, seed, 48).unwrap();
+            assert_eq!(a.rung_sequence, b.rung_sequence, "{name}");
+            assert_eq!(a.failover_sequence, b.failover_sequence, "{name}");
+        }
+    }
+
+    #[test]
+    fn rolling_retool_absorbs_maintenance_without_failover() {
+        let seed = scenario_seed(42, "rolling_retool");
+        let a = run_replication_scenario("rolling_retool", seed, 48).unwrap();
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.failovers, 0);
+        assert!(a.shed > 0, "burst must shed");
+        assert!(a.breaker_transitions > 0, "slow window must trip breakers");
+        assert!(a.p99_depth <= 2);
+        let b = run_replication_scenario("rolling_retool", seed, 48).unwrap();
+        assert_eq!(a.rung_sequence, b.rung_sequence);
+    }
+
+    #[test]
+    fn replicas_exhausted_fails_loudly() {
+        let seed = scenario_seed(42, "replicas_exhausted");
+        let outcome = run_replication_scenario("replicas_exhausted", seed, 48).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("fresh ratio") || v.contains("no failover")));
+        // Still zero unanswered: the ladder answers even with every
+        // replica dead.
+        assert_eq!(outcome.answered, outcome.submitted);
+    }
+
+    #[test]
+    fn unknown_replication_scenario_is_an_error() {
+        assert!(run_replication_scenario("nope", 1, 48).is_err());
+        assert!(run_replication_scenario("hedged_straggler", 1, 39).is_err());
     }
 
     #[test]

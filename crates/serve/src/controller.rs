@@ -191,6 +191,11 @@ impl Controller {
         self.shard
     }
 
+    /// The tuning knobs this controller was built with.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
     /// The topology currently being served.
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -302,18 +307,9 @@ impl Controller {
     /// Panics if `window == 0`.
     pub fn process_coalesced(&mut self, window: usize) -> Vec<RouteResponse> {
         assert!(window > 0, "coalescing window must be positive");
-        let Some(first) = self.queue.pop() else {
+        let run = self.queue.pop_run(window);
+        if run.is_empty() {
             return Vec::new();
-        };
-        let tick = first.req.epoch;
-        let mut run = vec![first];
-        while run.len() < window {
-            match self.queue.peek() {
-                Some(next) if next.req.epoch == tick => {
-                    run.push(self.queue.pop().expect("peeked request exists"));
-                }
-                _ => break,
-            }
         }
         self.serve_batch(run)
     }
@@ -343,6 +339,33 @@ impl Controller {
         self.last_good = None;
         self.graph = graph;
         Ok(())
+    }
+
+    /// Advances this controller's serving clock and history for a
+    /// request that another replica answered. Replica sets call this
+    /// on every non-serving replica so (epoch, history, staleness)
+    /// march in lockstep across the whole set — any replica can be
+    /// promoted to primary with a warm state. No inference runs, no
+    /// stats change, no telemetry is emitted.
+    pub fn observe_passive(&mut self, req: &EpochRequest) {
+        self.epoch += 1;
+        if self.validate_demands(&req.demands).is_ok() {
+            self.push_history(req.demands.clone());
+        }
+    }
+
+    /// Rebuilds the worker pool from the factory — dead slots
+    /// included, restart budget restored — and resets the scoring
+    /// breaker and health monitor to their starting states. The
+    /// failover path calls this when demoting a failed primary into
+    /// its shadow-probe recovery window. Serving epoch, history and
+    /// last-good survive: the replica stays in lockstep with the set.
+    pub fn revive(&mut self) {
+        self.pool.revive();
+        self.breaker = CircuitBreaker::new(self.config.breaker.clone());
+        if let Some((from, to)) = self.health.reset() {
+            gddr_telemetry::health_transition_event(self.shard, from.name(), to.name(), self.epoch);
+        }
     }
 
     fn note_breaker(&mut self, transition: Option<Transition>, epoch: u64) {
@@ -485,7 +508,7 @@ impl Controller {
         }
     }
 
-    fn serve(&mut self, entry: Admitted, shed: bool) -> RouteResponse {
+    pub(crate) fn serve(&mut self, entry: Admitted, shed: bool) -> RouteResponse {
         let Admitted {
             req,
             ctx,
@@ -518,7 +541,7 @@ impl Controller {
     /// request order. When the batch dispatch fails, the whole run
     /// degrades together — a panicked or exhausted engine leaves no
     /// partial answers worth trusting.
-    fn serve_batch(&mut self, entries: Vec<Admitted>) -> Vec<RouteResponse> {
+    pub(crate) fn serve_batch(&mut self, entries: Vec<Admitted>) -> Vec<RouteResponse> {
         // Phase 1 (sequential): assign epochs, validate, and snapshot
         // each item's history exactly as sequential serving would have
         // seen it.
@@ -602,9 +625,14 @@ impl Controller {
     ) -> RouteResponse {
         let mut degraded_reason = None;
         let mut score = None;
+        let mut infer_cost_ms = None;
 
         let (rung, routing) = match attempt {
             Some(outcome) => {
+                // The engine-reported logical cost survives into the
+                // response even when it misses the deadline: hedged
+                // dispatch keys its straggler threshold off it.
+                infer_cost_ms = outcome.as_ref().ok().map(|reply| reply.cost_ms);
                 match outcome.and_then(|reply| self.reply_to_routing(reply, &req, epoch)) {
                     Ok(routing) => {
                         score = self.score(&routing, &req.demands, epoch);
@@ -699,6 +727,7 @@ impl Controller {
             rung,
             routing,
             shed,
+            infer_cost_ms,
             score,
             degraded_reason,
         }
@@ -709,6 +738,7 @@ impl Controller {
 mod tests {
     use super::*;
     use crate::engine::{ChaosEngine, Fault, FaultPlan, InferenceEngine, PolicyEngine};
+    use crate::request::DEFAULT_DEADLINE_MS;
     use gddr_core::MlpPolicy;
     use gddr_net::topology::zoo;
     use gddr_rng::rngs::StdRng;
@@ -748,7 +778,7 @@ mod tests {
         EpochRequest {
             epoch,
             demands: bimodal(6, &BimodalParams::default(), &mut rng),
-            deadline_ms: 50,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         }
     }
 
@@ -855,7 +885,7 @@ mod tests {
                 6,
                 |s, d| if s == 0 && d == 1 { f64::INFINITY } else { 0.1 },
             ),
-            deadline_ms: 50,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         };
         let r = c.handle(inf).remove(0);
         assert_eq!(r.rung, Rung::LastGood);
@@ -867,7 +897,7 @@ mod tests {
         let wrong_size = EpochRequest {
             epoch: 2,
             demands: DemandMatrix::zeros(9),
-            deadline_ms: 50,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         };
         let r = c.handle(wrong_size).remove(0);
         assert_eq!(r.rung, Rung::LastGood);

@@ -278,7 +278,7 @@ mod tests {
         EpochRequest {
             epoch,
             demands: bimodal(n, &BimodalParams::default(), &mut rng),
-            deadline_ms: 50,
+            deadline_ms: crate::request::DEFAULT_DEADLINE_MS,
         }
     }
 

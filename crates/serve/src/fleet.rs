@@ -1,5 +1,8 @@
 //! Sharded multi-topology serving: a [`ShardRouter`] owning one
-//! supervised [`Controller`] per topology shard.
+//! supervised [`ReplicaSet`] per topology shard (a single-replica set
+//! by default — a transparent wrapper around one [`Controller`] — or
+//! N replicas with failover and hedged dispatch via
+//! [`ShardRouter::add_replicated_shard`]).
 //!
 //! Requests are routed by topology name, coalesced per shard when
 //! consecutive requests carry the same client epoch (distinct clients
@@ -8,7 +11,7 @@
 //! serving (see [`Controller::process_coalesced`]).
 //!
 //! Thread layout is thread-per-core style: every shard owns its own
-//! bounded admission queue (inside its controller), worker threads
+//! bounded admission queue (inside its replica set), worker threads
 //! have a preferred partition of the shards (`shard % threads`), and
 //! idle threads steal whole unclaimed shards. A shard is always
 //! drained end to end by exactly one thread, so per-shard response
@@ -29,6 +32,7 @@ use gddr_telemetry::TraceCtx;
 
 use crate::controller::{Controller, ControllerConfig};
 use crate::engine::EngineFactory;
+use crate::replica::{FailoverConfig, HedgeConfig, ReplicaSet};
 use crate::request::{EpochRequest, RouteResponse, ServeError};
 
 /// Fleet scheduling knobs.
@@ -89,7 +93,7 @@ impl ShardOutcome {
 
 struct ShardSlot {
     name: String,
-    controller: Mutex<Controller>,
+    set: Mutex<ReplicaSet>,
 }
 
 /// A fleet of topology shards behind one router.
@@ -102,22 +106,29 @@ pub struct ShardRouter {
 impl ShardRouter {
     /// An empty fleet.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.coalesce_window`, `config.threads` or
-    /// `config.admit_chunk` is zero.
-    pub fn new(config: FleetConfig) -> Self {
-        assert!(
-            config.coalesce_window > 0,
-            "coalesce_window must be positive"
-        );
-        assert!(config.threads > 0, "threads must be positive");
-        assert!(config.admit_chunk > 0, "admit_chunk must be positive");
-        ShardRouter {
+    /// Returns [`ServeError::Config`] if `config.coalesce_window`,
+    /// `config.threads` or `config.admit_chunk` is zero.
+    pub fn new(config: FleetConfig) -> Result<Self, ServeError> {
+        if config.coalesce_window == 0 {
+            return Err(ServeError::Config(
+                "coalesce_window must be positive".to_string(),
+            ));
+        }
+        if config.threads == 0 {
+            return Err(ServeError::Config("threads must be positive".to_string()));
+        }
+        if config.admit_chunk == 0 {
+            return Err(ServeError::Config(
+                "admit_chunk must be positive".to_string(),
+            ));
+        }
+        Ok(ShardRouter {
             config,
             shards: Vec::new(),
             index: HashMap::new(),
-        }
+        })
     }
 
     /// Adds a shard serving `graph` under `name`, building its
@@ -135,15 +146,48 @@ impl ShardRouter {
         config: ControllerConfig,
         factory: EngineFactory,
     ) -> Result<u64, ServeError> {
+        // A single-replica set with hedging disabled is a transparent
+        // wrapper: responses are bit-identical to a bare controller.
+        self.add_replicated_shard(
+            name,
+            graph,
+            env_cfg,
+            config,
+            vec![factory],
+            FailoverConfig::default(),
+            HedgeConfig::default(),
+        )
+    }
+
+    /// Adds a shard backed by a replica set: one controller per
+    /// factory (each with its own worker pool and engines), replica 0
+    /// primary, health-driven failover per `failover`, and hedged
+    /// dispatch per `hedge`. Returns the shard id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when `name` is already taken or
+    /// `factories` is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_replicated_shard(
+        &mut self,
+        name: &str,
+        graph: Graph,
+        env_cfg: DdrEnvConfig,
+        config: ControllerConfig,
+        factories: Vec<EngineFactory>,
+        failover: FailoverConfig,
+        hedge: HedgeConfig,
+    ) -> Result<u64, ServeError> {
         if self.index.contains_key(name) {
             return Err(ServeError::Config(format!("duplicate shard '{name}'")));
         }
         let shard = self.shards.len() as u64;
-        let controller = Controller::with_shard(graph, env_cfg, config, factory, shard);
+        let set = ReplicaSet::new(shard, graph, env_cfg, config, factories, failover, hedge)?;
         self.index.insert(name.to_string(), self.shards.len());
         self.shards.push(ShardSlot {
             name: name.to_string(),
-            controller: Mutex::new(controller),
+            set: Mutex::new(set),
         });
         Ok(shard)
     }
@@ -170,12 +214,45 @@ impl ShardRouter {
             .ok_or_else(|| ServeError::UnknownTopology(topology.to_string()))
     }
 
-    /// Runs `f` against a shard's controller (inspection and fault
-    /// injection between runs; the chaos path of the `serve_load`
-    /// bench uses this to poke a dying shard).
-    pub fn with_controller<R>(&self, shard: usize, f: impl FnOnce(&mut Controller) -> R) -> R {
-        let mut guard = lock(&self.shards[shard].controller);
-        f(&mut guard)
+    /// Runs `f` against a shard's **current primary** controller
+    /// (inspection and fault injection between runs; the chaos path of
+    /// the `serve_load` bench uses this to poke a dying shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownShard`] when `shard` is out of
+    /// range.
+    pub fn with_controller<R>(
+        &self,
+        shard: usize,
+        f: impl FnOnce(&mut Controller) -> R,
+    ) -> Result<R, ServeError> {
+        let slot = self.shards.get(shard).ok_or(ServeError::UnknownShard {
+            shard,
+            shards: self.shards.len(),
+        })?;
+        let mut guard = lock(&slot.set);
+        Ok(guard.with_primary(f))
+    }
+
+    /// Runs `f` against a shard's whole replica set (failover stats,
+    /// per-replica fault injection, maintenance retools).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownShard`] when `shard` is out of
+    /// range.
+    pub fn with_replica_set<R>(
+        &self,
+        shard: usize,
+        f: impl FnOnce(&mut ReplicaSet) -> R,
+    ) -> Result<R, ServeError> {
+        let slot = self.shards.get(shard).ok_or(ServeError::UnknownShard {
+            shard,
+            shards: self.shards.len(),
+        })?;
+        let mut guard = lock(&slot.set);
+        Ok(f(&mut guard))
     }
 
     /// Serves a whole request stream across the fleet and returns one
@@ -244,16 +321,16 @@ impl ShardRouter {
     /// queue is empty. Each response's latency is its own
     /// admission-to-answer wall time, measured by the controller.
     fn drain_shard(&self, shard: usize, requests: &[(EpochRequest, TraceCtx)]) -> ShardOutcome {
-        let mut controller = lock(&self.shards[shard].controller);
+        let mut set = lock(&self.shards[shard].set);
         let mut responses = Vec::with_capacity(requests.len());
         let mut latencies_ns = Vec::with_capacity(requests.len());
         for chunk in requests.chunks(self.config.admit_chunk) {
             let mut cycle = Vec::new();
             for (req, ctx) in chunk {
-                cycle.extend(controller.enqueue_traced(req.clone(), *ctx));
+                cycle.extend(set.enqueue_traced(req.clone(), *ctx));
             }
             loop {
-                let served = controller.process_coalesced(self.config.coalesce_window);
+                let served = set.process_coalesced(self.config.coalesce_window);
                 if served.is_empty() {
                     break;
                 }
@@ -281,6 +358,7 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 mod tests {
     use super::*;
     use crate::engine::{ChaosEngine, FaultPlan, InferenceEngine, PolicyEngine};
+    use crate::request::DEFAULT_DEADLINE_MS;
     use gddr_core::MlpPolicy;
     use gddr_net::topology::zoo;
     use gddr_rng::rngs::StdRng;
@@ -313,7 +391,7 @@ mod tests {
     }
 
     fn build_fleet(config: FleetConfig) -> ShardRouter {
-        let mut router = ShardRouter::new(config);
+        let mut router = ShardRouter::new(config).unwrap();
         for (name, graph) in [
             ("cesnet", zoo::cesnet()),
             ("abilene", zoo::abilene()),
@@ -349,7 +427,7 @@ mod tests {
                         request: EpochRequest {
                             epoch: tick,
                             demands: bimodal(sizes[i], &BimodalParams::default(), &mut rng),
-                            deadline_ms: 50,
+                            deadline_ms: DEFAULT_DEADLINE_MS,
                         },
                     });
                 }
@@ -373,15 +451,56 @@ mod tests {
             request: EpochRequest {
                 epoch: 0,
                 demands: gddr_traffic::DemandMatrix::zeros(6),
-                deadline_ms: 50,
+                deadline_ms: DEFAULT_DEADLINE_MS,
             },
         }];
         assert!(router.run(&bad).is_err());
     }
 
     #[test]
+    fn zero_config_knobs_are_typed_errors_not_panics() {
+        for bad in [
+            FleetConfig {
+                coalesce_window: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                threads: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                admit_chunk: 0,
+                ..FleetConfig::default()
+            },
+        ] {
+            let err = ShardRouter::new(bad)
+                .err()
+                .expect("zero knob must be rejected");
+            assert!(matches!(err, ServeError::Config(_)));
+        }
+    }
+
+    #[test]
+    fn shard_index_out_of_range_is_a_typed_error() {
+        let router = build_fleet(FleetConfig::default());
+        let err = router.with_controller(9, |_| ()).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::UnknownShard {
+                shard: 9,
+                shards: 3
+            }
+        );
+        let err = router.with_replica_set(9, |_| ()).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownShard { .. }));
+        // In-range access works and lands on the primary.
+        let shard = router.with_controller(0, |c| c.shard()).unwrap();
+        assert_eq!(shard, 0);
+    }
+
+    #[test]
     fn duplicate_shard_names_are_rejected() {
-        let mut router = ShardRouter::new(FleetConfig::default());
+        let mut router = ShardRouter::new(FleetConfig::default()).unwrap();
         router
             .add_shard(
                 "cesnet",

@@ -72,6 +72,19 @@ impl HealthMonitor {
         self.state
     }
 
+    /// Returns the monitor to [`HealthState::Starting`], reporting the
+    /// transition when the state actually changed. Used when a replica
+    /// is revived after failover: its old health verdict described a
+    /// pool that no longer exists.
+    pub fn reset(&mut self) -> Option<(HealthState, HealthState)> {
+        if self.state == HealthState::Starting {
+            return None;
+        }
+        let from = self.state;
+        self.state = HealthState::Starting;
+        Some((from, HealthState::Starting))
+    }
+
     /// Folds one response's inputs in; returns `(from, to)` when the
     /// state changed.
     pub fn observe(&mut self, inputs: HealthInputs) -> Option<(HealthState, HealthState)> {
@@ -125,6 +138,21 @@ mod tests {
         // Workers back: recovery is possible.
         let t = m.observe(inputs(Rung::Fresh, 1, false)).unwrap();
         assert_eq!(t, (HealthState::Unhealthy, HealthState::Healthy));
+    }
+
+    #[test]
+    fn reset_returns_to_starting_and_reports_once() {
+        let mut m = HealthMonitor::new();
+        // Resetting a monitor that never observed anything is a no-op.
+        assert!(m.reset().is_none());
+        m.observe(inputs(Rung::Ecmp, 0, false));
+        assert_eq!(m.state(), HealthState::Unhealthy);
+        let t = m.reset().unwrap();
+        assert_eq!(t, (HealthState::Unhealthy, HealthState::Starting));
+        assert!(m.reset().is_none());
+        // A revived monitor walks the ladder from scratch.
+        let t = m.observe(inputs(Rung::Fresh, 2, false)).unwrap();
+        assert_eq!(t, (HealthState::Starting, HealthState::Healthy));
     }
 
     #[test]

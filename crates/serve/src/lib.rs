@@ -32,7 +32,12 @@
 //! - [`fleet`] — a sharded multi-topology router: one supervised
 //!   controller per topology, same-tick requests coalesced into a
 //!   single batched GNN forward pass (bit-identical to per-request
-//!   inference), thread-per-core shard draining with work stealing.
+//!   inference), thread-per-core shard draining with work stealing,
+//! - [`replica`] — self-healing replica sets behind each shard:
+//!   N controllers in lockstep, deterministic health-driven failover
+//!   with hysteresis on a seeded count-based clock, hedged dispatch to
+//!   a standby when the primary straggles, and shadow-probe recovery
+//!   of demoted primaries.
 //!
 //! Observability is request-scoped: the fleet mints a
 //! `gddr_telemetry::TraceCtx` per admitted request, the controller
@@ -57,11 +62,15 @@ pub mod engine;
 pub mod fleet;
 pub mod health;
 pub mod queue;
+pub mod replica;
 pub mod request;
 pub mod worker;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use chaos::{run_scenario, scenario_names, scenario_seed, ScenarioOutcome};
+pub use chaos::{
+    replication_scenario_names, run_replication_scenario, run_scenario, scenario_names,
+    scenario_seed, MaintenanceAction, MaintenancePlan, ScenarioOutcome,
+};
 pub use controller::{Controller, ControllerConfig, ServeStats};
 pub use engine::{
     BatchItem, ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine,
@@ -69,5 +78,8 @@ pub use engine::{
 pub use fleet::{FleetConfig, FleetRequest, ShardOutcome, ShardRouter};
 pub use health::{HealthInputs, HealthState};
 pub use queue::{AdmissionQueue, Admitted};
-pub use request::{EpochRequest, RouteResponse, Rung, ServeError};
+pub use replica::{
+    FailoverConfig, HedgeConfig, ReplicaSet, ReplicaState, ReplicaStats, ReplicaTransition,
+};
+pub use request::{EpochRequest, RouteResponse, Rung, ServeError, DEFAULT_DEADLINE_MS};
 pub use worker::{ExecMode, PoolConfig, WorkerPool};

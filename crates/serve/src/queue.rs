@@ -94,6 +94,30 @@ impl AdmissionQueue {
     pub fn peek(&self) -> Option<&Admitted> {
         self.items.front()
     }
+
+    /// Pops a coalescable run: up to `window` consecutive pending
+    /// entries sharing the oldest entry's client epoch. This is the
+    /// one batching rule of the fleet — both the single-controller
+    /// path and replica sets pop runs through here so they coalesce
+    /// identically.
+    pub fn pop_run(&mut self, window: usize) -> Vec<Admitted> {
+        let mut run = Vec::new();
+        let Some(first) = self.pop() else {
+            return run;
+        };
+        let tick = first.req.epoch;
+        run.push(first);
+        while run.len() < window.max(1) {
+            match self.peek() {
+                Some(next) if next.req.epoch == tick => {
+                    // Unwrap is safe: peek just saw it.
+                    run.push(self.pop().unwrap());
+                }
+                _ => break,
+            }
+        }
+        run
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +129,7 @@ mod tests {
         EpochRequest {
             epoch,
             demands: DemandMatrix::zeros(3),
-            deadline_ms: 50,
+            deadline_ms: crate::request::DEFAULT_DEADLINE_MS,
         }
     }
 
@@ -168,5 +192,27 @@ mod tests {
     #[should_panic(expected = "positive capacity")]
     fn zero_capacity_rejected() {
         AdmissionQueue::new(0);
+    }
+
+    #[test]
+    fn pop_run_coalesces_same_epoch_only() {
+        let mut q = AdmissionQueue::new(8);
+        for e in [4, 4, 4, 5, 5] {
+            admit(&mut q, e);
+        }
+        // Window caps the run even when more of the epoch is pending.
+        let run = q.pop_run(2);
+        assert_eq!(run.len(), 2);
+        assert!(run.iter().all(|a| a.req.epoch == 4));
+        // The epoch boundary caps the run even under a large window.
+        let run = q.pop_run(16);
+        assert_eq!(run.len(), 1);
+        assert_eq!(run[0].req.epoch, 4);
+        let run = q.pop_run(16);
+        assert_eq!(run.iter().map(|a| a.req.epoch).collect::<Vec<_>>(), [5, 5]);
+        assert!(q.pop_run(3).is_empty());
+        // Window zero still makes progress (clamped to one).
+        admit(&mut q, 9);
+        assert_eq!(q.pop_run(0).len(), 1);
     }
 }

@@ -7,6 +7,13 @@ use std::fmt;
 use gddr_routing::Routing;
 use gddr_traffic::DemandMatrix;
 
+/// Default per-request logical inference budget in milliseconds.
+///
+/// One authoritative constant shared by tests, the chaos harness and
+/// scenario specs so a deadline tweak cannot silently desynchronise
+/// the fault plans (which encode `Slow` costs relative to it).
+pub const DEFAULT_DEADLINE_MS: u64 = 50;
+
 /// One traffic-matrix epoch request: "here is what the network carried,
 /// give me a routing for the next epoch within the deadline".
 #[derive(Debug, Clone)]
@@ -104,6 +111,22 @@ pub enum ServeError {
     },
     /// The fleet router has no shard for the requested topology.
     UnknownTopology(String),
+    /// A shard index past the end of the router's shard table.
+    UnknownShard {
+        /// The out-of-range index that was asked for.
+        shard: usize,
+        /// How many shards the router actually has.
+        shards: usize,
+    },
+    /// A replica index past the end of a replica set.
+    UnknownReplica {
+        /// The shard whose replica set was addressed.
+        shard: u64,
+        /// The out-of-range replica index.
+        replica: usize,
+        /// How many replicas the set actually has.
+        replicas: usize,
+    },
     /// A harness or fleet configuration problem (unknown scenario,
     /// unusable request count, duplicate shard, ...).
     Config(String),
@@ -126,6 +149,17 @@ impl fmt::Display for ServeError {
                 "topology change must preserve node count ({got} != {expected})"
             ),
             ServeError::UnknownTopology(name) => write!(f, "no shard serves topology '{name}'"),
+            ServeError::UnknownShard { shard, shards } => {
+                write!(f, "shard index {shard} out of range ({shards} shards)")
+            }
+            ServeError::UnknownReplica {
+                shard,
+                replica,
+                replicas,
+            } => write!(
+                f,
+                "replica index {replica} out of range on shard {shard} ({replicas} replicas)"
+            ),
             ServeError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
@@ -157,6 +191,11 @@ pub struct RouteResponse {
     /// `true` when the request was shed from the admission queue and
     /// answered without attempting inference.
     pub shed: bool,
+    /// Engine-reported inference cost in milliseconds when an
+    /// inference attempt completed (fresh responses and deadline
+    /// misses). Fault plans report logical costs here, so the hedged
+    /// dispatch straggler threshold stays deterministic.
+    pub infer_cost_ms: Option<u64>,
     /// `U_agent / U_opt` when oracle scoring ran and succeeded
     /// (fresh responses only, circuit breaker permitting).
     pub score: Option<f64>,
@@ -198,6 +237,15 @@ mod tests {
                 got: 11,
             },
             ServeError::UnknownTopology("atlantis".into()),
+            ServeError::UnknownShard {
+                shard: 9,
+                shards: 2,
+            },
+            ServeError::UnknownReplica {
+                shard: 1,
+                replica: 4,
+                replicas: 2,
+            },
             ServeError::Config("zero shards".into()),
         ];
         for e in errors {

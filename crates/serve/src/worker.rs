@@ -294,6 +294,21 @@ impl WorkerPool {
         }
     }
 
+    /// Rebuilds every slot — dead ones included — with a fresh engine,
+    /// a restored restart budget, and no backoff. The failover path
+    /// uses this when a demoted replica retools for its shadow-probe
+    /// window: the slot generations still advance, so any straggler
+    /// reply from the pre-revival pool is discarded.
+    pub fn revive(&mut self) {
+        for i in 0..self.slots.len() {
+            self.slots[i].generation += 1;
+            let generation = self.slots[i].generation;
+            self.slots[i].body = self.spawn_body(i, generation);
+            self.slots[i].restarts = 0;
+            self.slots[i].available_from = 0;
+        }
+    }
+
     fn pick_slot(&mut self, epoch: u64) -> Option<usize> {
         let n = self.slots.len();
         for k in 0..n {
@@ -464,7 +479,7 @@ mod tests {
         EpochRequest {
             epoch,
             demands: bimodal(6, &BimodalParams::default(), &mut rng),
-            deadline_ms: 50,
+            deadline_ms: crate::request::DEFAULT_DEADLINE_MS,
         }
     }
 
@@ -573,6 +588,34 @@ mod tests {
         // abandoned generation is discarded by the generation tag.
         assert!(pool.dispatch(&request(1, 1), &history(), 1).is_ok());
         assert!(pool.dispatch(&request(2, 1), &history(), 2).is_ok());
+    }
+
+    #[test]
+    fn revive_resurrects_dead_slots_with_fresh_budget() {
+        let plan = Arc::new(FaultPlan::new().span(0..=3, Fault::Panic));
+        let graph = zoo::cesnet();
+        let mut pool = WorkerPool::new(
+            factory(plan),
+            &graph,
+            PoolConfig {
+                workers: 1,
+                restart_budget: 1,
+                backoff_base_epochs: 0,
+                ..PoolConfig::default()
+            },
+            0,
+        );
+        // Burn the budget: two panics kill the only slot.
+        let _ = pool.dispatch(&request(0, 1), &history(), 0);
+        let _ = pool.dispatch(&request(1, 1), &history(), 1);
+        assert_eq!(pool.alive_workers(), 0);
+        pool.revive();
+        assert_eq!(pool.alive_workers(), 1);
+        // The revived slot serves again past the fault window, and the
+        // lifetime restart counter keeps its history (one in-budget
+        // restart; the second panic killed the slot without one).
+        assert!(pool.dispatch(&request(5, 1), &history(), 5).is_ok());
+        assert_eq!(pool.restarts(), 1);
     }
 
     #[test]

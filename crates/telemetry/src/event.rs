@@ -196,6 +196,49 @@ pub enum Event {
         /// Logical serving epoch when the breach was detected.
         epoch: u64,
     },
+    /// A replica set demoted its primary and promoted a standby.
+    Failover {
+        /// Shard whose replica set failed over.
+        shard: u64,
+        /// Replica index demoted from primary.
+        from_replica: u64,
+        /// Replica index promoted to primary.
+        to_replica: u64,
+        /// What tripped the failover policy (`consecutive_degraded`,
+        /// `pool_dead`).
+        reason: String,
+        /// Count-based failover-clock value (one tick per answered
+        /// request) at the decision.
+        clock: u64,
+    },
+    /// A coalesced batch was re-issued to a standby replica after the
+    /// primary hit the deterministic straggler threshold.
+    HedgeFired {
+        /// Shard whose replica set hedged.
+        shard: u64,
+        /// Client epoch (tick) of the hedged batch.
+        epoch: u64,
+        /// Replica index that served as primary.
+        primary: u64,
+        /// Standby replica the batch was re-issued to.
+        standby: u64,
+        /// Requests in the batch where the standby's answer won.
+        wins: u64,
+        /// Requests in the hedged batch.
+        batch: u64,
+    },
+    /// A recovering replica completed its shadow-serving probe window
+    /// and is eligible for promotion again.
+    ReplicaRecovered {
+        /// Shard whose replica set recovered a member.
+        shard: u64,
+        /// The recovered replica's index.
+        replica: u64,
+        /// Shadow-served probe responses it took to clear the window.
+        probes: u64,
+        /// Count-based failover-clock value at recovery.
+        clock: u64,
+    },
 }
 
 /// Encodes trace attributes as a JSON object (order preserved).
@@ -240,7 +283,10 @@ impl Event {
             | Event::WorkerRestart { .. }
             | Event::RequestShed { .. }
             | Event::HealthTransition { .. }
-            | Event::SloAlert { .. } => self.kind(),
+            | Event::SloAlert { .. }
+            | Event::Failover { .. }
+            | Event::HedgeFired { .. }
+            | Event::ReplicaRecovered { .. } => self.kind(),
         }
     }
 
@@ -264,6 +310,9 @@ impl Event {
             Event::TraceSpan { .. } => "trace_span",
             Event::TraceAnnotation { .. } => "trace_annotation",
             Event::SloAlert { .. } => "slo_alert",
+            Event::Failover { .. } => "failover",
+            Event::HedgeFired { .. } => "hedge_fired",
+            Event::ReplicaRecovered { .. } => "replica_recovered",
         }
     }
 }
@@ -440,6 +489,48 @@ impl ToJson for Event {
                 ("window", window.to_json()),
                 ("epoch", epoch.to_json()),
             ]),
+            Event::Failover {
+                shard,
+                from_replica,
+                to_replica,
+                reason,
+                clock,
+            } => Json::obj([
+                ("type", "failover".to_json()),
+                ("shard", shard.to_json()),
+                ("from_replica", from_replica.to_json()),
+                ("to_replica", to_replica.to_json()),
+                ("reason", reason.to_json()),
+                ("clock", clock.to_json()),
+            ]),
+            Event::HedgeFired {
+                shard,
+                epoch,
+                primary,
+                standby,
+                wins,
+                batch,
+            } => Json::obj([
+                ("type", "hedge_fired".to_json()),
+                ("shard", shard.to_json()),
+                ("epoch", epoch.to_json()),
+                ("primary", primary.to_json()),
+                ("standby", standby.to_json()),
+                ("wins", wins.to_json()),
+                ("batch", batch.to_json()),
+            ]),
+            Event::ReplicaRecovered {
+                shard,
+                replica,
+                probes,
+                clock,
+            } => Json::obj([
+                ("type", "replica_recovered".to_json()),
+                ("shard", shard.to_json()),
+                ("replica", replica.to_json()),
+                ("probes", probes.to_json()),
+                ("clock", clock.to_json()),
+            ]),
         }
     }
 }
@@ -542,6 +633,27 @@ impl FromJson for Event {
                 threshold: FromJson::from_json(json.field("threshold")?)?,
                 window: FromJson::from_json(json.field("window")?)?,
                 epoch: FromJson::from_json(json.field("epoch")?)?,
+            }),
+            "failover" => Ok(Event::Failover {
+                shard: FromJson::from_json(json.field("shard")?)?,
+                from_replica: FromJson::from_json(json.field("from_replica")?)?,
+                to_replica: FromJson::from_json(json.field("to_replica")?)?,
+                reason: FromJson::from_json(json.field("reason")?)?,
+                clock: FromJson::from_json(json.field("clock")?)?,
+            }),
+            "hedge_fired" => Ok(Event::HedgeFired {
+                shard: FromJson::from_json(json.field("shard")?)?,
+                epoch: FromJson::from_json(json.field("epoch")?)?,
+                primary: FromJson::from_json(json.field("primary")?)?,
+                standby: FromJson::from_json(json.field("standby")?)?,
+                wins: FromJson::from_json(json.field("wins")?)?,
+                batch: FromJson::from_json(json.field("batch")?)?,
+            }),
+            "replica_recovered" => Ok(Event::ReplicaRecovered {
+                shard: FromJson::from_json(json.field("shard")?)?,
+                replica: FromJson::from_json(json.field("replica")?)?,
+                probes: FromJson::from_json(json.field("probes")?)?,
+                clock: FromJson::from_json(json.field("clock")?)?,
             }),
             other => Err(JsonError(format!("unknown event type {other:?}"))),
         }
@@ -677,6 +789,27 @@ mod tests {
                 threshold: 4.0,
                 window: 64,
                 epoch: 21,
+            },
+            Event::Failover {
+                shard: 6,
+                from_replica: 0,
+                to_replica: 1,
+                reason: "consecutive_degraded".into(),
+                clock: 22,
+            },
+            Event::HedgeFired {
+                shard: 6,
+                epoch: 11,
+                primary: 1,
+                standby: 0,
+                wins: 3,
+                batch: 4,
+            },
+            Event::ReplicaRecovered {
+                shard: 6,
+                replica: 0,
+                probes: 8,
+                clock: 40,
             },
         ]
     }

@@ -419,6 +419,79 @@ pub fn slo_alert_event(shard: u64, metric: &str, alert: &SloAlertInfo) {
     });
 }
 
+/// Records a replica-set failover (primary demoted, standby promoted):
+/// bumps `serve.failovers` and streams an [`Event::Failover`]. No-op
+/// when telemetry is disabled.
+pub fn failover_event(shard: u64, from_replica: u64, to_replica: u64, reason: &str, clock: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.failovers", 1);
+    dispatch(&Event::Counter {
+        name: "serve.failovers".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::Failover {
+        shard,
+        from_replica,
+        to_replica,
+        reason: reason.to_string(),
+        clock,
+    });
+}
+
+/// Records a hedged batch dispatch to a standby replica: bumps
+/// `serve.hedges_fired` and streams an [`Event::HedgeFired`]. No-op
+/// when telemetry is disabled.
+pub fn hedge_fired_event(
+    shard: u64,
+    epoch: u64,
+    primary: u64,
+    standby: u64,
+    wins: u64,
+    batch: u64,
+) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.hedges_fired", 1);
+    dispatch(&Event::Counter {
+        name: "serve.hedges_fired".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::HedgeFired {
+        shard,
+        epoch,
+        primary,
+        standby,
+        wins,
+        batch,
+    });
+}
+
+/// Records a replica clearing its shadow-serving probe window after a
+/// failover: bumps `serve.replica_recoveries` and streams an
+/// [`Event::ReplicaRecovered`]. No-op when telemetry is disabled.
+pub fn replica_recovered_event(shard: u64, replica: u64, probes: u64, clock: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("serve.replica_recoveries", 1);
+    dispatch(&Event::Counter {
+        name: "serve.replica_recoveries".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::ReplicaRecovered {
+        shard,
+        replica,
+        probes,
+        clock,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,12 +687,18 @@ mod tests {
                     epoch: 1,
                 },
             );
+            failover_event(0, 0, 1, "pool_dead", 4);
+            hedge_fired_event(0, 2, 0, 1, 1, 2);
+            replica_recovered_event(0, 0, 8, 9);
             trace_annotation_event(TraceCtx::mint(0, 1), "fleet.admitted", 0, &[]);
             let snap = registry().snapshot();
             assert_eq!(snap.counter("ppo.checkpoints"), None);
             assert_eq!(snap.counter("env.fault_injected"), None);
             assert_eq!(snap.counter("serve.responses"), None);
             assert_eq!(snap.counter("serve.shed"), None);
+            assert_eq!(snap.counter("serve.failovers"), None);
+            assert_eq!(snap.counter("serve.hedges_fired"), None);
+            assert_eq!(snap.counter("serve.replica_recoveries"), None);
         });
     }
 
@@ -633,12 +712,18 @@ mod tests {
             worker_restart_event(7, 1, 2, 4);
             request_shed_event(7, 5, 9);
             health_transition_event(7, "healthy", "degraded", 6);
+            failover_event(7, 0, 1, "consecutive_degraded", 12);
+            hedge_fired_event(7, 5, 1, 0, 2, 3);
+            replica_recovered_event(7, 0, 6, 30);
             let snap = registry().snapshot();
             assert_eq!(snap.counter("serve.responses"), Some(1));
             assert_eq!(snap.counter("serve.breaker_transitions"), Some(1));
             assert_eq!(snap.counter("serve.worker_restarts"), Some(1));
             assert_eq!(snap.counter("serve.shed"), Some(1));
             assert_eq!(snap.counter("serve.health_transitions"), Some(1));
+            assert_eq!(snap.counter("serve.failovers"), Some(1));
+            assert_eq!(snap.counter("serve.hedges_fired"), Some(1));
+            assert_eq!(snap.counter("serve.replica_recoveries"), Some(1));
             uninstall();
             let events = sink.events();
             assert!(events.iter().any(|e| matches!(
@@ -668,6 +753,36 @@ mod tests {
             assert!(events
                 .iter()
                 .any(|e| matches!(e, Event::HealthTransition { epoch: 6, .. })));
+            assert!(events.iter().any(|e| matches!(
+                e,
+                Event::Failover {
+                    shard: 7,
+                    from_replica: 0,
+                    to_replica: 1,
+                    clock: 12,
+                    ..
+                }
+            )));
+            assert!(events.iter().any(|e| matches!(
+                e,
+                Event::HedgeFired {
+                    shard: 7,
+                    primary: 1,
+                    standby: 0,
+                    wins: 2,
+                    batch: 3,
+                    ..
+                }
+            )));
+            assert!(events.iter().any(|e| matches!(
+                e,
+                Event::ReplicaRecovered {
+                    shard: 7,
+                    replica: 0,
+                    probes: 6,
+                    clock: 30,
+                }
+            )));
         });
     }
 
@@ -710,6 +825,18 @@ mod tests {
                         },
                     )
                 }),
+            ),
+            (
+                "serve.failovers",
+                Box::new(|| failover_event(1, 0, 1, "consecutive_degraded", 2)),
+            ),
+            (
+                "serve.hedges_fired",
+                Box::new(|| hedge_fired_event(1, 2, 0, 1, 1, 2)),
+            ),
+            (
+                "serve.replica_recoveries",
+                Box::new(|| replica_recovered_event(1, 0, 8, 2)),
             ),
         ];
         for (expected_counter, emit) in cases {

@@ -47,7 +47,7 @@ fn shard_topologies() -> Vec<(&'static str, Graph)> {
 }
 
 fn build_fleet(config: FleetConfig, kill: Option<&str>) -> ShardRouter {
-    let mut router = ShardRouter::new(config);
+    let mut router = ShardRouter::new(config).expect("fleet config is valid");
     for (i, (name, graph)) in shard_topologies().into_iter().enumerate() {
         let mut ctrl = ControllerConfig {
             queue_capacity: 64,
@@ -178,9 +178,16 @@ fn one_dying_shard_degrades_alone() {
         }
     }
     let killed = fleet.route("b4").unwrap();
-    assert_eq!(fleet.with_controller(killed, |c| c.alive_workers()), 0);
     assert_eq!(
-        fleet.with_controller(killed, |c| c.health()),
+        fleet
+            .with_controller(killed, |c| c.alive_workers())
+            .expect("killed shard exists"),
+        0
+    );
+    assert_eq!(
+        fleet
+            .with_controller(killed, |c| c.health())
+            .expect("killed shard exists"),
         HealthState::Unhealthy
     );
     for (name, _) in shard_topologies() {
@@ -189,7 +196,9 @@ fn one_dying_shard_degrades_alone() {
         }
         let idx = fleet.route(name).unwrap();
         assert_eq!(
-            fleet.with_controller(idx, |c| c.health()),
+            fleet
+                .with_controller(idx, |c| c.health())
+                .expect("healthy shard exists"),
             HealthState::Healthy,
             "shard {name}"
         );

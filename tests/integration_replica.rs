@@ -1,0 +1,248 @@
+//! Integration tests for replicated self-healing shards: failover
+//! determinism across thread counts, zero unanswered requests when a
+//! primary dies, and the healthy-path invariant that adding standbys
+//! never perturbs the primary's responses.
+
+use std::sync::Arc;
+
+use gddr_core::{DdrEnvConfig, GnnPolicy, GnnPolicyConfig};
+use gddr_net::topology::zoo;
+use gddr_net::Graph;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_serve::{
+    ChaosEngine, ControllerConfig, EngineFactory, FailoverConfig, Fault, FaultPlan, FleetConfig,
+    FleetRequest, HedgeConfig, InferenceEngine, PolicyEngine, PoolConfig, Rung, ShardRouter,
+};
+use gddr_traffic::gen::{bimodal, BimodalParams};
+
+const MEMORY: usize = 3;
+const KILLED: &str = "geant";
+
+fn shard_names() -> [&'static str; 3] {
+    ["cesnet", "abilene", KILLED]
+}
+
+fn gnn_factory(seed: u64, plan: Arc<FaultPlan>) -> EngineFactory {
+    Arc::new(move |graph: &Graph| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = GnnPolicy::new(
+            &GnnPolicyConfig {
+                memory: MEMORY,
+                latent: 8,
+                hidden: 16,
+                message_steps: 2,
+                layer_norm: true,
+            },
+            -0.5,
+            &mut rng,
+        );
+        let engine = PolicyEngine::new(policy, graph, MEMORY);
+        Box::new(ChaosEngine::new(engine, Arc::clone(&plan))) as Box<dyn InferenceEngine>
+    })
+}
+
+fn failover_config() -> FailoverConfig {
+    FailoverConfig {
+        failover_threshold: 3,
+        min_hold: 6,
+        hold_jitter: 2,
+        probe_window: 4,
+        probe_fresh_min: 0.75,
+        seed: 77,
+    }
+}
+
+/// Two replicas per shard; the `KILLED` shard's primary panics over
+/// epochs 2..=6 on a one-worker pool with a single restart, so its
+/// pool dies mid-stream and the set must fail over and recover.
+fn build_replicated(threads: usize, kill: bool) -> ShardRouter {
+    let mut router = ShardRouter::new(FleetConfig {
+        threads,
+        ..FleetConfig::default()
+    })
+    .expect("fleet config is valid");
+    for (i, name) in shard_names().into_iter().enumerate() {
+        let graph = zoo::by_name(name).expect("zoo topology exists");
+        let mut ctrl = ControllerConfig {
+            queue_capacity: 64,
+            score_responses: false,
+            ..ControllerConfig::default()
+        };
+        let primary_plan = if kill && name == KILLED {
+            ctrl.pool = PoolConfig {
+                workers: 1,
+                restart_budget: 1,
+                ..PoolConfig::default()
+            };
+            Arc::new(FaultPlan::new().span(2..=6, Fault::Panic))
+        } else {
+            Arc::new(FaultPlan::new())
+        };
+        router
+            .add_replicated_shard(
+                name,
+                graph,
+                DdrEnvConfig {
+                    memory: MEMORY,
+                    ..DdrEnvConfig::default()
+                },
+                ctrl,
+                vec![
+                    gnn_factory(31 + i as u64, primary_plan),
+                    gnn_factory(900 + i as u64, Arc::new(FaultPlan::new())),
+                ],
+                failover_config(),
+                // Real engines report wall-clock cost, so the
+                // straggler threshold sits far above scheduler noise:
+                // only deterministic worker-side failures (the
+                // injected panics) may trigger hedges here.
+                HedgeConfig {
+                    enabled: true,
+                    threshold_ms: 5_000,
+                },
+            )
+            .unwrap();
+    }
+    router
+}
+
+fn make_load(ticks: u64, clients: u64, seed: u64) -> Vec<FleetRequest> {
+    let mut out = Vec::new();
+    for tick in 0..ticks {
+        for client in 0..clients {
+            for (i, name) in shard_names().into_iter().enumerate() {
+                let n = zoo::by_name(name).unwrap().num_nodes();
+                let mut rng = StdRng::seed_from_u64(seed ^ (tick * 997 + client * 31 + i as u64));
+                out.push(FleetRequest {
+                    topology: name.to_string(),
+                    request: gddr_serve::EpochRequest {
+                        epoch: tick,
+                        demands: bimodal(n, &BimodalParams::default(), &mut rng),
+                        deadline_ms: 10_000,
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn failover_and_rung_sequences_are_identical_across_thread_counts() {
+    // The injected panics are supervised; silence their backtraces.
+    std::panic::set_hook(Box::new(|_| {}));
+    let load = make_load(16, 3, 5);
+    let narrow = build_replicated(1, true);
+    let wide = build_replicated(3, true);
+    let narrow_out = narrow.run(&load).unwrap();
+    let wide_out = wide.run(&load).unwrap();
+    let _ = std::panic::take_hook();
+    for (a, b) in narrow_out.iter().zip(&wide_out) {
+        assert_eq!(a.name, b.name, "shard assignment diverged");
+        assert_eq!(a.rung_sequence(), b.rung_sequence(), "shard {}", a.name);
+        for (x, y) in a.responses.iter().zip(&b.responses) {
+            assert_eq!(x.routing, y.routing, "shard {}: routing diverged", a.name);
+        }
+    }
+    for name in shard_names() {
+        let idx = narrow.route(name).unwrap();
+        let seq_narrow = narrow
+            .with_replica_set(idx, |s| s.stats().failover_sequence())
+            .unwrap();
+        let seq_wide = wide
+            .with_replica_set(idx, |s| s.stats().failover_sequence())
+            .unwrap();
+        assert_eq!(seq_narrow, seq_wide, "shard {name}: failover log diverged");
+    }
+}
+
+#[test]
+fn killed_primary_fails_over_recovers_and_answers_everything() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let load = make_load(16, 3, 9);
+    let fleet = build_replicated(2, true);
+    let outcomes = fleet.run(&load).unwrap();
+    let _ = std::panic::take_hook();
+    let answered: usize = outcomes.iter().map(|o| o.responses.len()).sum();
+    assert_eq!(answered, load.len(), "replica set dropped requests");
+    for o in &outcomes {
+        let fresh = o.responses.iter().filter(|r| r.rung == Rung::Fresh).count();
+        if o.name == KILLED {
+            // Hedging covers the panic window and the standby serves
+            // Fresh after failover, so the stream stays overwhelmingly
+            // fresh even though the primary's pool died.
+            assert!(
+                fresh as f64 >= 0.9 * o.responses.len() as f64,
+                "killed shard only {fresh}/{} Fresh",
+                o.responses.len()
+            );
+        } else {
+            assert_eq!(
+                fresh,
+                o.responses.len(),
+                "healthy shard {} degraded",
+                o.name
+            );
+        }
+    }
+    let killed_idx = fleet.route(KILLED).unwrap();
+    let stats = fleet
+        .with_replica_set(killed_idx, |s| s.stats().clone())
+        .unwrap();
+    assert!(stats.failovers >= 1, "primary death never failed over");
+    assert!(stats.recoveries >= 1, "demoted primary never recovered");
+    for name in shard_names() {
+        if name == KILLED {
+            continue;
+        }
+        let idx = fleet.route(name).unwrap();
+        let failovers = fleet
+            .with_replica_set(idx, |s| s.stats().failovers)
+            .unwrap();
+        assert_eq!(failovers, 0, "healthy shard {name} failed over");
+    }
+}
+
+#[test]
+fn standbys_never_perturb_the_healthy_primary() {
+    // A two-replica fleet on the healthy path must answer exactly like
+    // a single-replica fleet built from the same primary factories:
+    // passive observation and hedging arms carry zero response-visible
+    // cost.
+    let load = make_load(6, 2, 13);
+    let replicated = build_replicated(2, false).run(&load).unwrap();
+    let mut plain = ShardRouter::new(FleetConfig {
+        threads: 2,
+        ..FleetConfig::default()
+    })
+    .expect("fleet config is valid");
+    for (i, name) in shard_names().into_iter().enumerate() {
+        plain
+            .add_shard(
+                name,
+                zoo::by_name(name).unwrap(),
+                DdrEnvConfig {
+                    memory: MEMORY,
+                    ..DdrEnvConfig::default()
+                },
+                ControllerConfig {
+                    queue_capacity: 64,
+                    score_responses: false,
+                    ..ControllerConfig::default()
+                },
+                gnn_factory(31 + i as u64, Arc::new(FaultPlan::new())),
+            )
+            .unwrap();
+    }
+    let reference = plain.run(&load).unwrap();
+    for (a, b) in replicated.iter().zip(&reference) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.rung_sequence(), b.rung_sequence(), "shard {}", a.name);
+        for (x, y) in a.responses.iter().zip(&b.responses) {
+            assert_eq!(x.routing, y.routing, "shard {}: routing diverged", a.name);
+            assert_eq!(x.served_at, y.served_at);
+            assert_eq!(x.epoch, y.epoch);
+        }
+    }
+}

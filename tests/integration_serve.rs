@@ -11,7 +11,7 @@ use gddr_rng::rngs::StdRng;
 use gddr_rng::{Rng, SeedableRng};
 use gddr_serve::{
     run_scenario, Controller, ControllerConfig, EngineFactory, EpochRequest, FaultPlan,
-    InferenceEngine, PolicyEngine, Rung,
+    InferenceEngine, PolicyEngine, Rung, DEFAULT_DEADLINE_MS,
 };
 use gddr_traffic::gen::{bimodal, BimodalParams};
 use gddr_traffic::DemandMatrix;
@@ -47,7 +47,7 @@ fn request(epoch: u64, rng: &mut StdRng) -> EpochRequest {
     EpochRequest {
         epoch,
         demands: bimodal(6, &BimodalParams::default(), rng),
-        deadline_ms: 50,
+        deadline_ms: DEFAULT_DEADLINE_MS,
     }
 }
 
@@ -135,17 +135,17 @@ fn malformed_requests_never_go_unanswered() {
         EpochRequest {
             epoch: 1,
             demands: DemandMatrix::from_fn(6, |_, _| f64::INFINITY),
-            deadline_ms: 50,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         },
         EpochRequest {
             epoch: 2,
             demands: DemandMatrix::zeros(0),
-            deadline_ms: 50,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         },
         EpochRequest {
             epoch: 3,
             demands: DemandMatrix::zeros(11),
-            deadline_ms: 50,
+            deadline_ms: DEFAULT_DEADLINE_MS,
         },
         EpochRequest {
             epoch: 4,

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One CI smoke leg, runnable locally too:
 #
-#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace>
+#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover>
 #
 # Every leg assumes the release build already exists (CI restores it
 # from the shared cache; locally run `cargo build --release --offline`
@@ -10,7 +10,7 @@
 
 set -euo pipefail
 
-LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace>}"
+LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover>}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 ART="$ROOT/ci_artifacts"
 mkdir -p "$ART"
@@ -76,6 +76,24 @@ case "$LEG" in
     run fleet_report -- \
       --trace "$ART/fleet_trace.jsonl" --min-complete 0.99 \
       --out "$ART/FLEET_report.json"
+    ;;
+  failover)
+    # Replicated self-healing under seeded chaos: primary kills,
+    # hedged stragglers, rolling retools under live traffic, and a
+    # flapping replica — every scenario replayed twice with
+    # bit-identical rung AND failover sequences, zero unanswered
+    # requests, and a ≥90% Fresh recovery window after the
+    # primary-kill failover. replicas_exhausted is deliberately
+    # broken (zero restart budget on every replica) and must fail;
+    # its slo_alert postmortem is uploaded with the artifacts. The
+    # serve-mode telemetry gate then checks the failover /
+    # hedge_fired / replica_recovered event streams against their
+    # counters.
+    run chaos_harness -- \
+      --scenario replication --seed 42 --requests 48 \
+      --out "$ART/failover_report.json" --telemetry "$ART/failover_events.jsonl" \
+      --postmortem "$ART/failover_postmortem.jsonl"
+    run telemetry_check -- --file "$ART/failover_events.jsonl" --mode serve
     ;;
   *)
     echo "unknown smoke leg '$LEG'" >&2
