@@ -20,8 +20,20 @@
 //! Their determinism digest covers the failover sequence too, and
 //! `replicas_exhausted` is their deliberately broken member.
 //!
+//! Dynamic scenarios (`--scenario dynamics`, or any name from
+//! `dynamic_scenario_names`) drive a sharded fleet under a compiled
+//! [`DynamicsPlan`] timeline: link flaps with repair timers, rolling
+//! maintenance windows and stacked capacity drains applied between
+//! serving epochs, over scenario traffic (diurnal cycles, flash
+//! crowds, elephant/mice mixes) and synthetic hierarchical WANs up to
+//! 400 nodes. Their determinism digest further extends to the
+//! applied-event sequence, and `broken_blackout` is their
+//! deliberately broken member.
+//!
+//! [`DynamicsPlan`]: gddr_serve::scenario::DynamicsPlan
+//!
 //! ```text
-//! chaos_harness [--scenario all|replication|<name>[,<name>...]]
+//! chaos_harness [--scenario all|replication|dynamics|<name>[,<name>...]]
 //!               [--seed N] [--requests N] [--out PATH]
 //!               [--telemetry PATH] [--postmortem PATH]
 //! ```
@@ -47,6 +59,7 @@ use gddr_serve::chaos::{
     replication_scenario_names, run_replication_scenario, run_scenario, scenario_names,
     scenario_seed, ScenarioOutcome,
 };
+use gddr_serve::scenario::{dynamic_scenario_names, run_dynamic_scenario};
 use gddr_telemetry::{FlightRecorder, JsonlSink, Sink, TeeSink};
 
 fn outcome_json(outcome: &ScenarioOutcome, expected_fail: bool, deterministic: bool) -> Json {
@@ -70,6 +83,7 @@ fn outcome_json(outcome: &ScenarioOutcome, expected_fail: bool, deterministic: b
             "failover_sequence",
             Json::Str(outcome.failover_sequence.clone()),
         ),
+        ("event_sequence", Json::Str(outcome.event_sequence.clone())),
         ("deterministic", Json::Bool(deterministic)),
         ("expected_fail", Json::Bool(expected_fail)),
         (
@@ -114,6 +128,7 @@ fn main() {
     let scenarios: Vec<&str> = match scenario_arg {
         "all" => scenario_names().to_vec(),
         "replication" => replication_scenario_names().to_vec(),
+        "dynamics" => dynamic_scenario_names().to_vec(),
         list => {
             owned = list.split(',').map(str::to_string).collect();
             owned.iter().map(String::as_str).collect()
@@ -134,12 +149,22 @@ fn main() {
     let mut unexpected: Vec<String> = Vec::new();
     for name in &scenarios {
         let seed = scenario_seed(base_seed, name);
-        let expected_fail = *name == "budget_zero" || *name == "replicas_exhausted";
+        let expected_fail =
+            *name == "budget_zero" || *name == "replicas_exhausted" || *name == "broken_blackout";
         let replicated = replication_scenario_names().contains(name);
+        let dynamic = dynamic_scenario_names().contains(name);
         // Replay-determinism SLO: same seed, same scenario, twice.
         // Replicated scenarios extend the digest with the failover
-        // sequence.
-        let (first, second) = if replicated {
+        // sequence; dynamic ones add the applied-event sequence.
+        // Dynamic scenarios need enough requests to cover their event
+        // horizons, so the floor is raised for them.
+        let (first, second) = if dynamic {
+            let req = requests.max(88);
+            (
+                run_dynamic_scenario(name, seed, req),
+                run_dynamic_scenario(name, seed, req),
+            )
+        } else if replicated {
             (
                 run_replication_scenario(name, seed, requests),
                 run_replication_scenario(name, seed, requests),
@@ -153,11 +178,17 @@ fn main() {
         match (first, second) {
             (Ok(a), Ok(b)) => {
                 let deterministic = a.rung_sequence == b.rung_sequence
-                    && a.failover_sequence == b.failover_sequence;
+                    && a.failover_sequence == b.failover_sequence
+                    && a.event_sequence == b.event_sequence;
                 if !deterministic {
                     unexpected.push(format!(
-                        "{name}: same-seed replay diverged ({}/{} vs {}/{})",
-                        a.rung_sequence, a.failover_sequence, b.rung_sequence, b.failover_sequence
+                        "{name}: same-seed replay diverged ({}/{}/{} vs {}/{}/{})",
+                        a.rung_sequence,
+                        a.failover_sequence,
+                        a.event_sequence,
+                        b.rung_sequence,
+                        b.failover_sequence,
+                        b.event_sequence
                     ));
                 }
                 if expected_fail && a.passed() {
@@ -201,12 +232,14 @@ fn main() {
     let _ = std::panic::take_hook();
 
     // The deliberately broken scenarios (budget_zero; the replicated
-    // replicas_exhausted) burn their whole error budget, so any run
-    // including one must leave a postmortem behind whose trigger — and
-    // final line — is an slo_alert.
+    // replicas_exhausted; the dynamic broken_blackout) burn their
+    // whole error budget, so any run including one must leave a
+    // postmortem behind whose trigger — and final line — is an
+    // slo_alert.
     let mut postmortem_alerts = 0usize;
-    let broken_included =
-        scenarios.contains(&"budget_zero") || scenarios.contains(&"replicas_exhausted");
+    let broken_included = scenarios.contains(&"budget_zero")
+        || scenarios.contains(&"replicas_exhausted")
+        || scenarios.contains(&"broken_blackout");
     if broken_included {
         if !recorder.has_dumped() {
             unexpected

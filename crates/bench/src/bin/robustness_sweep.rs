@@ -7,8 +7,17 @@
 //!
 //! ```text
 //! cargo run -p gddr-bench --release --bin robustness_sweep -- \
-//!     --steps 2000 --seed 0 --max-failures 3 --episodes 5
+//!     --steps 2000 --seed 0 --max-failures 3 --episodes 5 \
+//!     [--min-failures 0] [--eval-seed N] [--topology cesnet|hierwan:N] \
+//!     [--memory 2]
 //! ```
+//!
+//! `--topology` accepts any zoo name (`cesnet`, `abilene`, …) or
+//! `hierwan:N` for a seeded N-node synthetic hierarchical WAN;
+//! `--eval-seed` decouples the evaluation stream from the training
+//! seed (defaults to `seed + 1`, the historical behaviour);
+//! `--min-failures` restricts the sweep to `k = min..=max`, which CI
+//! uses to replay a single point cheaply.
 
 use std::sync::Arc;
 
@@ -62,15 +71,27 @@ fn main() {
         "steps",
         "seed",
         "max-failures",
+        "min-failures",
         "episodes",
         "train-failures",
+        "eval-seed",
+        "topology",
+        "memory",
         "telemetry",
     ]);
     let steps = flag(&args, "steps", 2_000usize);
     let seed = flag(&args, "seed", 0u64);
     let max_failures = flag(&args, "max-failures", 3usize);
+    let min_failures = flag(&args, "min-failures", 0usize);
     let episodes = flag(&args, "episodes", 5usize);
     let train_failures = flag(&args, "train-failures", 1usize);
+    let eval_seed = flag(&args, "eval-seed", seed + 1);
+    let memory = flag(&args, "memory", 2usize);
+    let topology = args.get("topology").map(String::as_str).unwrap_or("cesnet");
+    assert!(
+        min_failures <= max_failures,
+        "--min-failures must not exceed --max-failures"
+    );
 
     if let Some(path) = args.get("telemetry") {
         let sink = JsonlSink::create(path).expect("create telemetry file");
@@ -78,12 +99,22 @@ fn main() {
     }
     let reporter = Reporter::new("robustness_sweep");
 
-    let g = gddr_net::topology::zoo::cesnet();
+    let g = match topology.strip_prefix("hierwan:") {
+        Some(n) => {
+            let nodes: usize = n.parse().expect("hierwan:N needs a numeric node count");
+            gddr_net::topology::hierarchical::hierarchical_wan_sized(
+                nodes,
+                &mut StdRng::seed_from_u64(seed ^ 0x77a0),
+            )
+        }
+        None => gddr_net::topology::zoo::by_name(topology)
+            .unwrap_or_else(|| panic!("unknown topology '{topology}'")),
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let train_seqs = standard_sequences(&g, 2, 10, 5, &mut rng);
     let eval_seqs = standard_sequences(&g, 2, 10, 5, &mut rng);
     let env_cfg = DdrEnvConfig {
-        memory: 2,
+        memory,
         ..Default::default()
     };
 
@@ -92,7 +123,7 @@ fn main() {
     reporter.info(format!(
         "training {steps} steps with {train_failures} injected failure(s) per episode"
     ));
-    let mut policy = MlpPolicy::new(2, g.num_nodes(), g.num_edges(), &[16], -0.7, &mut rng);
+    let mut policy = MlpPolicy::new(memory, g.num_nodes(), g.num_edges(), &[16], -0.7, &mut rng);
     {
         let ctx = GraphContext::new(g.clone(), train_seqs.clone());
         let injector = FailureInjector::new(train_failures, rng.fork());
@@ -125,14 +156,14 @@ fn main() {
     println!("# Robustness sweep — mean U_agent/U_opt per injected link failures");
     println!("failures,mean_links_removed,agent_mean_ratio,uniform_mean_ratio");
     let mut agent_ratios = Vec::new();
-    for k in 0..=max_failures {
+    for k in min_failures..=max_failures {
         let (agent, removed) = sweep_point(
             &g,
             &env_cfg,
             &eval_seqs,
             k,
             episodes,
-            seed + 1 + k as u64,
+            eval_seed + k as u64,
             |obs, _| policy.act_greedy(obs),
         );
         let (uniform, _) = sweep_point(
@@ -141,7 +172,7 @@ fn main() {
             &eval_seqs,
             k,
             episodes,
-            seed + 1 + k as u64,
+            eval_seed + k as u64,
             |obs, _| vec![0.0; obs.structure.num_edges],
         );
         println!("{k},{removed:.2},{agent:.4},{uniform:.4}");

@@ -137,6 +137,7 @@ pub fn all_targets() -> &'static [&'static str] {
         "gradcheck",
         "serve_request",
         "telemetry_events",
+        "scenario_plan",
         "planted",
     ]
 }
@@ -738,6 +739,207 @@ fn target_telemetry_events(seed: u64, size: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Dynamics plans are data, not code: throw randomly generated —
+/// mostly malformed — [`gddr_serve::DynamicsPlan`]s at validation and
+/// timeline compilation. Malformed plans (zero timers/strides,
+/// out-of-range edges and replica windows, non-finite or out-of-range
+/// drain factors, overflowing event horizons) must come back as typed
+/// [`gddr_serve::ScenarioError`]s, never a panic; well-formed plans
+/// must validate, and when they compile the resulting timeline must be
+/// deterministic (bit-identical event digest on recompile) and keep
+/// every emitted topology strongly connected.
+fn target_scenario_plan(seed: u64, size: u64) -> Result<(), String> {
+    use gddr_serve::{DynamicsEvent, DynamicsPlan, DynamicsTimeline, MAX_HORIZON};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = gen_graph(&mut rng, size);
+    let m = graph.num_edges();
+    let replica_count = 1 + (rng.next_u64() as usize % 4);
+
+    let mut plan = DynamicsPlan::new();
+    let mut malformed = false;
+    let events = 1 + (size as usize % 6);
+    for _ in 0..events {
+        let tick = (rng.next_u64() % 12) as usize;
+        // Roughly half the events are degenerate by construction.
+        let (tick, event) = match rng.next_u64() % 12 {
+            0 => {
+                malformed = true;
+                (
+                    tick,
+                    DynamicsEvent::LinkFlap {
+                        count: 0,
+                        repair_after: 1 + (rng.next_u64() as usize % 5),
+                    },
+                )
+            }
+            1 => {
+                malformed = true;
+                (
+                    tick,
+                    DynamicsEvent::FlapEdge {
+                        edge: m + (rng.next_u64() as usize % 7),
+                        repair_after: 2,
+                    },
+                )
+            }
+            2 => {
+                malformed = true;
+                let factor = match rng.next_u64() % 5 {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => -rng.gen_range(0.1..2.0),
+                    3 => 0.0,
+                    _ => 1.0 + rng.gen_range(0.1..4.0),
+                };
+                (
+                    tick,
+                    DynamicsEvent::CapacityDrain {
+                        factor,
+                        restore_after: 2,
+                    },
+                )
+            }
+            3 => {
+                malformed = true;
+                (
+                    tick,
+                    DynamicsEvent::MaintenanceWindow {
+                        first_replica: replica_count + (rng.next_u64() as usize % 3),
+                        replicas: 1,
+                        stride: 1,
+                    },
+                )
+            }
+            4 => {
+                malformed = true;
+                // Zero stride or zero replicas, alternating.
+                let zero_stride = rng.next_u64() % 2 == 0;
+                (
+                    tick,
+                    DynamicsEvent::MaintenanceWindow {
+                        first_replica: 0,
+                        replicas: if zero_stride { 1 } else { 0 },
+                        stride: if zero_stride { 0 } else { 1 },
+                    },
+                )
+            }
+            5 => {
+                malformed = true;
+                // Horizon overflow: an end tick past MAX_HORIZON or
+                // past usize::MAX entirely.
+                match rng.next_u64() % 3 {
+                    0 => (
+                        usize::MAX - (rng.next_u64() as usize % 3),
+                        DynamicsEvent::LinkFlap {
+                            count: 1,
+                            repair_after: 2 + (rng.next_u64() as usize % 9),
+                        },
+                    ),
+                    1 => (
+                        tick,
+                        DynamicsEvent::CapacityDrain {
+                            factor: 0.5,
+                            restore_after: MAX_HORIZON + 1 + (rng.next_u64() as usize % 9),
+                        },
+                    ),
+                    _ => (
+                        tick,
+                        DynamicsEvent::MaintenanceWindow {
+                            first_replica: 0,
+                            replicas: 2.max(replica_count),
+                            stride: usize::MAX / 2,
+                        },
+                    ),
+                }
+            }
+            6 | 7 => (
+                tick,
+                DynamicsEvent::LinkFlap {
+                    count: 1 + (rng.next_u64() as usize % 2),
+                    repair_after: 1 + (rng.next_u64() as usize % 5),
+                },
+            ),
+            8 => (
+                tick,
+                DynamicsEvent::FlapEdge {
+                    edge: rng.next_u64() as usize % m,
+                    repair_after: 1 + (rng.next_u64() as usize % 5),
+                },
+            ),
+            9 | 10 => (
+                tick,
+                DynamicsEvent::CapacityDrain {
+                    factor: rng.gen_range(0.3..1.0),
+                    restore_after: 1 + (rng.next_u64() as usize % 5),
+                },
+            ),
+            _ => {
+                let first = rng.next_u64() as usize % replica_count;
+                (
+                    tick,
+                    DynamicsEvent::MaintenanceWindow {
+                        first_replica: first,
+                        replicas: 1 + (rng.next_u64() as usize % (replica_count - first)),
+                        stride: 1 + (rng.next_u64() as usize % 3),
+                    },
+                )
+            }
+        };
+        plan = plan.at(tick, event);
+    }
+
+    let validated = plan.validate(&graph, replica_count);
+    if malformed {
+        match validated {
+            Err(e) => {
+                // Display must not panic on any variant.
+                let _ = e.to_string();
+                return Ok(());
+            }
+            Ok(()) => {
+                return fail("plan with a malformed event passed validation".to_string());
+            }
+        }
+    }
+    validated.map_err(|e| format!("well-formed plan rejected: {e}"))?;
+
+    // A valid plan may still fail to compile for composition reasons
+    // (e.g. a FlapEdge that would disconnect the WAN) — those must be
+    // typed errors too; a successful compile must be deterministic and
+    // keep every snapshot strongly connected.
+    match DynamicsTimeline::compile(&plan, &graph, replica_count, seed) {
+        Err(e) => {
+            let _ = e.to_string();
+            Ok(())
+        }
+        Ok(tl) => {
+            let again = DynamicsTimeline::compile(&plan, &graph, replica_count, seed)
+                .map_err(|e| format!("recompile of a compilable plan failed: {e}"))?;
+            if tl.event_sequence() != again.event_sequence() {
+                return fail(format!(
+                    "non-deterministic compile: {:?} vs {:?}",
+                    tl.event_sequence(),
+                    again.event_sequence()
+                ));
+            }
+            if tl.horizon() != again.horizon() {
+                return fail("non-deterministic horizon".to_string());
+            }
+            for tick in 0..=tl.horizon() {
+                if let Some(actions) = tl.actions(tick) {
+                    if let Some(topo) = &actions.topology {
+                        if !gddr_net::algo::is_strongly_connected(topo) {
+                            return fail(format!("snapshot at tick {tick} is disconnected"));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
 /// The deliberately bad target: fails (via a typed error, not a panic)
 /// whenever `size ≥ 3` on every seventh seed, so the harness's
 /// catch/shrink/replay loop can be demonstrated end to end. The
@@ -768,6 +970,7 @@ pub fn run_case(case: &FuzzCase) -> Outcome {
             "gradcheck" => target_gradcheck(seed, size),
             "serve_request" => target_serve_request(seed, size),
             "telemetry_events" => target_telemetry_events(seed, size),
+            "scenario_plan" => target_scenario_plan(seed, size),
             "planted" => target_planted(seed, size),
             other => Err(format!("unknown fuzz target {other:?}")),
         }

@@ -898,6 +898,48 @@ mod tests {
     }
 
     #[test]
+    fn injector_preserves_connectivity_at_scale() {
+        // Property: degrade() keeps any 100+ node graph strongly
+        // connected under aggressive k, across generator families and
+        // seeds — the guarantee the live-dynamics scenario engine
+        // leans on when composing flaps on big WANs.
+        use gddr_net::topology::hierarchical::hierarchical_wan_sized;
+        use gddr_net::topology::random::{barabasi_albert, erdos_renyi};
+
+        for seed in 0..4u64 {
+            let mut gen_rng = StdRng::seed_from_u64(seed);
+            let graphs = [
+                erdos_renyi(100, 0.06, 100.0, &mut gen_rng),
+                barabasi_albert(120, 2, 100.0, &mut gen_rng),
+                hierarchical_wan_sized(150, &mut gen_rng),
+            ];
+            for g in &graphs {
+                assert!(
+                    gddr_net::algo::is_strongly_connected(g),
+                    "generator precondition (seed {seed}, {})",
+                    g.name()
+                );
+                for k in [5usize, 15, 40] {
+                    let mut injector = FailureInjector::from_seed(k, seed ^ (k as u64) << 8);
+                    let (degraded, removed) = injector.degrade(g);
+                    assert!(
+                        gddr_net::algo::is_strongly_connected(&degraded),
+                        "disconnected after {removed} removals (k={k}, seed {seed}, {})",
+                        g.name()
+                    );
+                    assert!(removed <= k);
+                    assert_eq!(
+                        degraded.num_edges(),
+                        g.num_edges() - 2 * removed,
+                        "each removal drops one undirected link"
+                    );
+                    assert_eq!(degraded.num_nodes(), g.num_nodes(), "node ids preserved");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn state_round_trip_restores_mid_episode_env() {
         let mut env = small_env();
         let mut rng = StdRng::seed_from_u64(30);

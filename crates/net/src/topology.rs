@@ -2,6 +2,7 @@
 //! and the mutation operators used for the paper's generalisation
 //! experiment (Fig. 8).
 
+pub mod hierarchical;
 pub mod mutate;
 pub mod random;
 pub mod text;

@@ -1,0 +1,279 @@
+//! Synthetic hierarchical WAN generator.
+//!
+//! Real wide-area networks are tiered: a small meshy **core** of
+//! backbone routers, **aggregation** PoPs dual-homed into the core, and
+//! **access** routers dual-homed into the aggregation layer. The zoo
+//! topologies top out around 25 nodes; scenario-engine experiments need
+//! seeded WANs in the 100–1000 node range with heterogeneous link
+//! capacities, which this module generates.
+//!
+//! Graphs are connected **by construction** (core ring + every lower
+//! tier wired to the tier above), so no connectivity retry loop is
+//! needed and generation cost is `O(nodes + links)` even at 1000 nodes.
+
+use gddr_rng::Rng;
+
+use crate::algo::is_strongly_connected;
+use crate::graph::Graph;
+
+/// Shape and capacity parameters for [`hierarchical_wan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalParams {
+    /// Core backbone routers, wired as a ring plus random chords.
+    /// Must be at least 3 (a ring needs that many).
+    pub core: usize,
+    /// Aggregation PoPs homed on each core router. Must be at least 1.
+    pub pops_per_core: usize,
+    /// Access routers homed on each PoP (may be 0 for a two-tier WAN).
+    pub access_per_pop: usize,
+    /// Probability of each non-ring core chord `(i, j)` being present.
+    pub chord_prob: f64,
+    /// Nominal core↔core link capacity.
+    pub core_capacity: f64,
+    /// Nominal core↔aggregation link capacity.
+    pub agg_capacity: f64,
+    /// Nominal aggregation↔access link capacity.
+    pub access_capacity: f64,
+    /// Heterogeneity: each link's capacity is jittered uniformly in
+    /// `[1 - jitter, 1 + jitter]` times its tier's nominal value.
+    /// Must lie in `[0, 1)` so capacities stay positive.
+    pub capacity_jitter: f64,
+}
+
+impl Default for HierarchicalParams {
+    fn default() -> Self {
+        HierarchicalParams {
+            core: 8,
+            pops_per_core: 3,
+            access_per_pop: 4,
+            chord_prob: 0.25,
+            core_capacity: 4000.0,
+            agg_capacity: 1000.0,
+            access_capacity: 250.0,
+            capacity_jitter: 0.2,
+        }
+    }
+}
+
+impl HierarchicalParams {
+    /// Total node count the parameters produce.
+    pub fn num_nodes(&self) -> usize {
+        self.core + self.core * self.pops_per_core * (1 + self.access_per_pop)
+    }
+}
+
+/// Generates a seeded three-tier hierarchical WAN.
+///
+/// Structure:
+/// - the core is a ring `0 → 1 → … → core-1 → 0` plus chords sampled
+///   with probability [`HierarchicalParams::chord_prob`],
+/// - each PoP is dual-homed: one uplink to its home core router and one
+///   to the next core router on the ring (redundancy under single link
+///   failure),
+/// - each access router is dual-homed to its home PoP and the next PoP
+///   in the same core group (wrapping to the next core group when a
+///   core router has a single PoP).
+///
+/// Capacities are heterogeneous per tier with multiplicative jitter, so
+/// a generated WAN exercises the paper's non-uniform-capacity regime.
+///
+/// # Panics
+///
+/// Panics if `core < 3`, `pops_per_core == 0`, `chord_prob` is outside
+/// `[0, 1]`, `capacity_jitter` is outside `[0, 1)`, or a nominal
+/// capacity is non-positive or non-finite.
+pub fn hierarchical_wan<R: Rng>(params: &HierarchicalParams, rng: &mut R) -> Graph {
+    hierarchical_wan_extra(params, &[], rng)
+}
+
+/// [`hierarchical_wan`] with `extra_access[p]` additional access
+/// routers attached to PoP `p` — used by [`hierarchical_wan_sized`] to
+/// hit an exact node count. Missing entries default to 0.
+fn hierarchical_wan_extra<R: Rng>(
+    params: &HierarchicalParams,
+    extra_access: &[usize],
+    rng: &mut R,
+) -> Graph {
+    assert!(params.core >= 3, "core ring needs at least 3 routers");
+    assert!(params.pops_per_core >= 1, "each core router needs a PoP");
+    assert!(
+        (0.0..=1.0).contains(&params.chord_prob),
+        "chord_prob must be a probability"
+    );
+    assert!(
+        (0.0..1.0).contains(&params.capacity_jitter),
+        "capacity_jitter must be in [0, 1)"
+    );
+    for cap in [
+        params.core_capacity,
+        params.agg_capacity,
+        params.access_capacity,
+    ] {
+        assert!(cap.is_finite() && cap > 0.0, "capacities must be positive");
+    }
+
+    let extra: usize = extra_access.iter().sum();
+    let mut g = Graph::new(format!("HierWan({})", params.num_nodes() + extra));
+    let jitter = |nominal: f64, rng: &mut R| {
+        nominal * (1.0 + params.capacity_jitter * (2.0 * rng.gen::<f64>() - 1.0))
+    };
+
+    // Tier 1: core ring + chords.
+    let core: Vec<_> = (0..params.core)
+        .map(|i| g.add_node(format!("core{i}")))
+        .collect();
+    for i in 0..params.core {
+        let cap = jitter(params.core_capacity, rng);
+        g.add_link(core[i], core[(i + 1) % params.core], cap)
+            .expect("ring links are valid");
+    }
+    for i in 0..params.core {
+        for j in (i + 2)..params.core {
+            if i == 0 && j == params.core - 1 {
+                continue; // already a ring link
+            }
+            if rng.gen::<f64>() < params.chord_prob {
+                let cap = jitter(params.core_capacity, rng);
+                g.add_link(core[i], core[j], cap).expect("chord is valid");
+            }
+        }
+    }
+
+    // Tier 2: aggregation PoPs, dual-homed into the core.
+    let num_pops = params.core * params.pops_per_core;
+    let mut pops = Vec::with_capacity(num_pops);
+    for c in 0..params.core {
+        for p in 0..params.pops_per_core {
+            let pop = g.add_node(format!("pop{c}-{p}"));
+            let up1 = jitter(params.agg_capacity, rng);
+            let up2 = jitter(params.agg_capacity, rng);
+            g.add_link(pop, core[c], up1).expect("uplink is valid");
+            g.add_link(pop, core[(c + 1) % params.core], up2)
+                .expect("uplink is valid");
+            pops.push(pop);
+        }
+    }
+
+    // Tier 3: access routers, dual-homed into the aggregation layer.
+    for (p, &pop) in pops.iter().enumerate() {
+        let backup = pops[(p + 1) % num_pops];
+        let count = params.access_per_pop + extra_access.get(p).copied().unwrap_or(0);
+        for a in 0..count {
+            let acc = g.add_node(format!("acc{p}-{a}"));
+            let up1 = jitter(params.access_capacity, rng);
+            let up2 = jitter(params.access_capacity, rng);
+            g.add_link(acc, pop, up1).expect("uplink is valid");
+            g.add_link(acc, backup, up2).expect("uplink is valid");
+        }
+    }
+
+    debug_assert!(
+        is_strongly_connected(&g),
+        "hierarchy is connected by construction"
+    );
+    g
+}
+
+/// Generates a hierarchical WAN with **exactly** `target_nodes` nodes
+/// (seeded, heterogeneous capacities), choosing tier shapes that scale
+/// sensibly: the core grows with roughly `target / 50` routers and the
+/// access layer absorbs the remainder, with leftover access routers
+/// spread one-per-PoP so the node count is hit exactly.
+///
+/// # Panics
+///
+/// Panics if `target_nodes < 12` (the smallest three-tier shape).
+pub fn hierarchical_wan_sized<R: Rng>(target_nodes: usize, rng: &mut R) -> Graph {
+    assert!(target_nodes >= 12, "need at least 12 nodes for three tiers");
+    let core = (target_nodes / 50).clamp(3, 24);
+    let pops_per_core = if target_nodes >= 100 { 3 } else { 2 };
+    let num_pops = core * pops_per_core;
+    // target = core + num_pops * (1 + access_per_pop) + remainder
+    let below = target_nodes - core;
+    let access_per_pop = below / num_pops - 1;
+    let remainder = below - num_pops * (1 + access_per_pop);
+    let params = HierarchicalParams {
+        core,
+        pops_per_core,
+        access_per_pop,
+        ..HierarchicalParams::default()
+    };
+    let extra: Vec<usize> = (0..num_pops).map(|p| usize::from(p < remainder)).collect();
+    let g = hierarchical_wan_extra(&params, &extra, rng);
+    debug_assert_eq!(g.num_nodes(), target_nodes);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
+
+    #[test]
+    fn default_shape_is_connected_and_tiered() {
+        let params = HierarchicalParams::default();
+        let g = hierarchical_wan(&params, &mut StdRng::seed_from_u64(1));
+        assert_eq!(g.num_nodes(), params.num_nodes());
+        assert_eq!(g.num_nodes(), 8 + 8 * 3 * 5); // 128
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn capacities_are_heterogeneous_within_tier_bounds() {
+        let params = HierarchicalParams::default();
+        let g = hierarchical_wan(&params, &mut StdRng::seed_from_u64(2));
+        let caps: Vec<f64> = g.edges().map(|e| g.capacity(e)).collect();
+        let lo = params.access_capacity * (1.0 - params.capacity_jitter);
+        let hi = params.core_capacity * (1.0 + params.capacity_jitter);
+        assert!(caps.iter().all(|&c| c >= lo && c <= hi));
+        // Jitter actually produces distinct values.
+        let first = caps[0];
+        assert!(caps.iter().any(|&c| (c - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn sized_constructor_hits_exact_counts() {
+        for target in [100, 137, 400, 1000] {
+            let g = hierarchical_wan_sized(target, &mut StdRng::seed_from_u64(3));
+            assert_eq!(g.num_nodes(), target, "target {target}");
+            assert!(is_strongly_connected(&g), "target {target}");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_under_seed() {
+        let g1 = hierarchical_wan_sized(400, &mut StdRng::seed_from_u64(7));
+        let g2 = hierarchical_wan_sized(400, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+        let g3 = hierarchical_wan_sized(400, &mut StdRng::seed_from_u64(8));
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn survives_any_single_link_failure() {
+        // Dual-homing means removing any one undirected link keeps the
+        // WAN connected — the property the dynamics engine leans on.
+        let g = hierarchical_wan_sized(120, &mut StdRng::seed_from_u64(11));
+        let probe = [0usize, 7, 23, 41, 77, 113, 155];
+        for (i, &edge) in probe.iter().enumerate() {
+            let edge = edge % g.num_edges();
+            let (a, b) = g.endpoints(crate::EdgeId(edge));
+            let (sub, _) = g.filter_edges(|e| {
+                let (x, y) = g.endpoints(e);
+                !((x, y) == (a, b) || (x, y) == (b, a))
+            });
+            assert!(is_strongly_connected(&sub), "probe {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rejects_degenerate_core() {
+        let params = HierarchicalParams {
+            core: 2,
+            ..HierarchicalParams::default()
+        };
+        hierarchical_wan(&params, &mut StdRng::seed_from_u64(0));
+    }
+}

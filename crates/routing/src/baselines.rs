@@ -46,9 +46,7 @@ pub fn shortest_path_routing(graph: &Graph, weights: &[f64]) -> Routing {
                 .expect("strongly connected graph has an out-path");
             ratios[best.0] = 1.0;
         }
-        let s0 = usize::from(t == 0);
-        routing.set_flow(s0, t, ratios);
-        routing.replicate_destination(s0, t);
+        routing.set_dest_flow(t, ratios);
     }
     routing
 }
@@ -89,9 +87,7 @@ pub fn ecmp_routing(graph: &Graph, weights: &[f64]) -> Routing {
                 ratios[e.0] = share;
             }
         }
-        let s0 = usize::from(t == 0);
-        routing.set_flow(s0, t, ratios);
-        routing.replicate_destination(s0, t);
+        routing.set_dest_flow(t, ratios);
     }
     routing
 }

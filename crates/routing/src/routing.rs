@@ -10,6 +10,7 @@
 //!    are 0.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gddr_net::{EdgeId, Graph, NodeId};
 
@@ -18,11 +19,26 @@ use gddr_net::{EdgeId, Graph, NodeId};
 /// `ratios(s, t)[e]` is the fraction of flow `(s, t)` arriving at
 /// `src(e)` that is forwarded along edge `e`. Flows that were never set
 /// have no entry (useful when a demand matrix is sparse).
+///
+/// # Representation
+///
+/// Destination-based routings (softmin over the distance DAG, ECMP,
+/// shortest path, LP destination flows) use the same ratio vector for
+/// every source of a destination. Those are stored **once per
+/// destination** behind an [`Arc`] ([`Routing::set_dest_flow`]) and
+/// shared by every `(s, t)` lookup, so a routing on an `n`-node graph
+/// costs `O(n · m)` memory instead of `O(n² · m)` — the difference
+/// between ~6 MB and ~2.5 GB on a 400-node WAN. Per-pair overrides
+/// ([`Routing::set_flow`]) still exist and win over the shared entry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Routing {
     num_nodes: usize,
     num_edges: usize,
-    flows: HashMap<(usize, usize), Vec<f64>>,
+    /// Per-pair overrides; take precedence over `dest_flows`.
+    flows: HashMap<(usize, usize), Arc<Vec<f64>>>,
+    /// Destination-shared ratios: every source `s ≠ t` without an
+    /// override in `flows` routes to `t` with these ratios.
+    dest_flows: HashMap<usize, Arc<Vec<f64>>>,
 }
 
 /// Violations reported by [`Routing::validate`].
@@ -78,6 +94,7 @@ impl Routing {
             num_nodes,
             num_edges,
             flows: HashMap::new(),
+            dest_flows: HashMap::new(),
         }
     }
 
@@ -92,8 +109,17 @@ impl Routing {
     }
 
     /// Number of flows with ratios set.
+    ///
+    /// A destination-shared entry counts as `num_nodes - 1` flows (one
+    /// per source), minus any per-pair overrides for that destination
+    /// which are counted separately.
     pub fn num_flows(&self) -> usize {
-        self.flows.len()
+        let mut n = self.flows.len();
+        for &t in self.dest_flows.keys() {
+            let overrides = self.flows.keys().filter(|k| k.1 == t).count();
+            n += self.num_nodes.saturating_sub(1) - overrides;
+        }
+        n
     }
 
     /// Sets the per-edge splitting ratios for flow `(s, t)`.
@@ -105,29 +131,72 @@ impl Routing {
     pub fn set_flow(&mut self, s: usize, t: usize, ratios: Vec<f64>) {
         assert_eq!(ratios.len(), self.num_edges, "one ratio per edge");
         assert_ne!(s, t, "a flow needs distinct endpoints");
-        self.flows.insert((s, t), ratios);
+        self.flows.insert((s, t), Arc::new(ratios));
+    }
+
+    /// Sets shared splitting ratios used by **every** source routing to
+    /// destination `t` — the natural form for destination-based
+    /// routings (softmin over the distance DAG, ECMP, shortest path).
+    /// One allocation serves all `n - 1` sources.
+    ///
+    /// Any per-pair overrides for destination `t` are cleared so the
+    /// shared entry governs every lookup, mirroring the semantics of
+    /// [`Routing::replicate_destination`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the edge count.
+    pub fn set_dest_flow(&mut self, t: usize, ratios: Vec<f64>) {
+        assert_eq!(ratios.len(), self.num_edges, "one ratio per edge");
+        self.flows.retain(|k, _| k.1 != t);
+        self.dest_flows.insert(t, Arc::new(ratios));
     }
 
     /// The ratios for flow `(s, t)`, if set.
+    ///
+    /// Per-pair entries win; otherwise a destination-shared entry for
+    /// `t` answers for every source `s ≠ t`.
     pub fn flow(&self, s: usize, t: usize) -> Option<&[f64]> {
-        self.flows.get(&(s, t)).map(Vec::as_slice)
+        if s == t {
+            return None;
+        }
+        self.flows
+            .get(&(s, t))
+            .or_else(|| self.dest_flows.get(&t))
+            .map(|r| r.as_slice())
     }
 
-    /// Iterates over `((s, t), ratios)` pairs.
+    /// Iterates over `((s, t), ratios)` pairs, expanding
+    /// destination-shared entries to one pair per source.
     pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), &[f64])> {
-        self.flows.iter().map(|(&k, v)| (k, v.as_slice()))
+        let pairs = self.flows.iter().map(|(&k, v)| (k, v.as_slice()));
+        let shared = self.dest_flows.iter().flat_map(move |(&t, v)| {
+            (0..self.num_nodes).filter_map(move |s| {
+                if s == t || self.flows.contains_key(&(s, t)) {
+                    None
+                } else {
+                    Some(((s, t), v.as_slice()))
+                }
+            })
+        });
+        pairs.chain(shared)
     }
 
-    /// Copies the ratios of destination `t` from flow `(s, t)` to every
-    /// other source — used by destination-based routings (softmin with
-    /// the distance DAG, ECMP) where ratios do not depend on the source.
+    /// Iterates over `(t, ratios)` destination-shared entries without
+    /// expanding them per source.
+    pub fn dest_flows(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        self.dest_flows.iter().map(|(&t, v)| (t, v.as_slice()))
+    }
+
+    /// Promotes the ratios of flow `(from_source, t)` to the shared
+    /// per-destination entry used by every other source — used by
+    /// destination-based routings (softmin with the distance DAG, ECMP)
+    /// where ratios do not depend on the source. The ratios are shared,
+    /// not copied: this is `O(1)` in the number of sources.
     pub fn replicate_destination(&mut self, from_source: usize, t: usize) {
         if let Some(r) = self.flows.get(&(from_source, t)).cloned() {
-            for s in 0..self.num_nodes {
-                if s != t && s != from_source {
-                    self.flows.insert((s, t), r.clone());
-                }
-            }
+            self.flows.retain(|k, _| k.1 != t);
+            self.dest_flows.insert(t, r);
         }
     }
 
@@ -167,9 +236,7 @@ impl Routing {
                     ratios[e.0] = flow[e.0] / out;
                 }
             }
-            let s0 = usize::from(t == 0);
-            routing.set_flow(s0, t, ratios);
-            routing.replicate_destination(s0, t);
+            routing.set_dest_flow(t, ratios);
         }
         routing
     }
@@ -192,7 +259,7 @@ impl Routing {
             }];
         }
         let mut violations = Vec::new();
-        for (&(s, t), ratios) in &self.flows {
+        let mut check = |s: usize, t: usize, ratios: &[f64]| {
             for e in graph.edges() {
                 let r = ratios[e.0];
                 if !r.is_finite() || !(0.0..=1.0 + 1e-9).contains(&r) {
@@ -216,6 +283,15 @@ impl Routing {
                     });
                 }
             }
+        };
+        for (&(s, t), ratios) in &self.flows {
+            check(s, t, ratios);
+        }
+        // A shared destination entry is source-independent, so checking
+        // it once (with a representative source) covers every source.
+        for (&t, ratios) in &self.dest_flows {
+            let s0 = usize::from(t == 0);
+            check(s0, t, ratios);
         }
         violations
     }

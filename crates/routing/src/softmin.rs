@@ -234,9 +234,7 @@ pub fn softmin_routing(
             for t in 0..n {
                 let mask = prune(graph, NodeId(0), NodeId(t), weights, config.prune_mode);
                 let ratios = destination_ratios(graph, NodeId(t), weights, &mask, config.gamma);
-                let s0 = usize::from(t == 0);
-                routing.set_flow(s0, t, ratios);
-                routing.replicate_destination(s0, t);
+                routing.set_dest_flow(t, ratios);
             }
         }
         PruneMode::FrontierMeets => {

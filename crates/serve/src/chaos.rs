@@ -78,6 +78,11 @@ pub struct ScenarioOutcome {
     /// the determinism check alongside the rung sequence. Empty for
     /// single-controller scenarios.
     pub failover_sequence: String,
+    /// Applied dynamics-event digest (`flap2@5;repair@9;drain0.50@13`),
+    /// part of the determinism check for dynamic scenarios
+    /// ([`crate::scenario::run_dynamic_scenario`]). Empty for static
+    /// scenarios.
+    pub event_sequence: String,
     /// SLO violations (empty = pass).
     pub violations: Vec<String>,
 }
@@ -143,7 +148,7 @@ pub fn scenario_names() -> &'static [&'static str] {
     ]
 }
 
-fn base_config() -> ControllerConfig {
+pub(crate) fn base_config() -> ControllerConfig {
     let mut config = ControllerConfig::default();
     config.pool.workers = 2;
     config.pool.restart_budget = 4;
@@ -237,18 +242,30 @@ fn spec_for(name: &str, requests: usize) -> Result<ScenarioSpec, ServeError> {
     Ok(spec)
 }
 
-fn engine_factory(seed: u64, plan: Arc<FaultPlan>) -> EngineFactory {
+pub(crate) fn engine_factory(seed: u64, plan: Arc<FaultPlan>) -> EngineFactory {
+    engine_factory_sized(seed, plan, MEMORY, vec![8])
+}
+
+/// [`engine_factory`] with explicit memory and hidden-layer sizes —
+/// the big-WAN dynamic scenarios shrink both so a 400-node policy
+/// stays a few megabytes instead of tens.
+pub(crate) fn engine_factory_sized(
+    seed: u64,
+    plan: Arc<FaultPlan>,
+    memory: usize,
+    hidden: Vec<usize>,
+) -> EngineFactory {
     Arc::new(move |graph: &Graph| {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
         let policy = MlpPolicy::new(
-            MEMORY,
+            memory,
             graph.num_nodes(),
             graph.num_edges(),
-            &[8],
+            &hidden,
             -0.5,
             &mut rng,
         );
-        let engine = PolicyEngine::new(policy, graph, MEMORY);
+        let engine = PolicyEngine::new(policy, graph, memory);
         Box::new(ChaosEngine::new(engine, Arc::clone(&plan))) as Box<dyn InferenceEngine>
     })
 }
@@ -295,7 +312,7 @@ fn make_request(
     }
 }
 
-fn p99_depth(depths: &[u8]) -> u8 {
+pub(crate) fn p99_depth(depths: &[u8]) -> u8 {
     if depths.is_empty() {
         return 0;
     }
@@ -450,6 +467,7 @@ pub fn run_scenario(name: &str, seed: u64, requests: usize) -> Result<ScenarioOu
         hedges: 0,
         recoveries: 0,
         failover_sequence: String::new(),
+        event_sequence: String::new(),
         violations,
     })
 }
@@ -880,6 +898,7 @@ pub fn run_replication_scenario(
         hedges: stats.hedges_fired,
         recoveries: stats.recoveries,
         failover_sequence: stats.failover_sequence(),
+        event_sequence: String::new(),
         violations,
     })
 }

@@ -64,6 +64,7 @@ pub mod health;
 pub mod queue;
 pub mod replica;
 pub mod request;
+pub mod scenario;
 pub mod worker;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -82,4 +83,8 @@ pub use replica::{
     FailoverConfig, HedgeConfig, ReplicaSet, ReplicaState, ReplicaStats, ReplicaTransition,
 };
 pub use request::{EpochRequest, RouteResponse, Rung, ServeError, DEFAULT_DEADLINE_MS};
+pub use scenario::{
+    dynamic_scenario_names, run_dynamic_scenario, DynamicsEvent, DynamicsPlan, DynamicsTimeline,
+    ScenarioError, TickActions, MAX_HORIZON,
+};
 pub use worker::{ExecMode, PoolConfig, WorkerPool};

@@ -1,0 +1,1158 @@
+//! The live-dynamics scenario engine: deterministic within-episode
+//! topology and maintenance churn driven through a serving fleet.
+//!
+//! A [`DynamicsPlan`] schedules link flaps (with repair timers),
+//! capacity drains (with restore timers) and rolling maintenance
+//! windows on a **count-based tick clock**. The plan compiles to a
+//! [`DynamicsTimeline`] — a pure, pre-simulated map from tick to the
+//! exact topology and retool actions due — so applying it while a
+//! [`crate::fleet::ShardRouter`] serves traffic is replayable: every
+//! event lands between serving epochs and same-seed runs produce
+//! bit-identical event, rung and failover sequences.
+//!
+//! Link flaps are drawn through the existing
+//! [`gddr_core::FailureInjector`] (connectivity-preserving, seeded)
+//! against the *currently degraded* topology, so overlapping flaps
+//! compose without ever disconnecting the WAN. Retools reuse
+//! [`crate::replica::ReplicaSet::retool_replica`], and topology
+//! changes flow through the same
+//! [`crate::replica::ReplicaSet::apply_topology`] path as the static
+//! maintenance plans in [`crate::chaos`].
+//!
+//! [`run_dynamic_scenario`] packages five canned scenarios for the
+//! chaos harness: `diurnal_flash_crowd`, `rolling_maintenance`,
+//! `flap_storm`, `big_wan_drain` (a 400-node hierarchical WAN served
+//! end to end under live drains) and `broken_blackout` — the
+//! deliberately broken one whose SLOs must fail.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use gddr_core::{DdrEnvConfig, FailureInjector};
+use gddr_net::algo::is_strongly_connected;
+use gddr_net::graph::EdgeId;
+use gddr_net::topology::hierarchical::hierarchical_wan_sized;
+use gddr_net::topology::zoo;
+use gddr_net::Graph;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_traffic::gen::BimodalParams;
+use gddr_traffic::scenario::{
+    diurnal_flash_crowd, elephant_mice, ElephantMiceParams, FlashCrowdParams,
+};
+use gddr_traffic::sequence::noisy_cyclical;
+use gddr_traffic::DemandMatrix;
+
+use crate::chaos::{base_config, engine_factory_sized, p99_depth, ScenarioOutcome};
+use crate::controller::ControllerConfig;
+use crate::engine::{EngineFactory, Fault, FaultPlan};
+use crate::fleet::{FleetConfig, FleetRequest, ShardRouter};
+use crate::replica::{FailoverConfig, HedgeConfig};
+use crate::request::{EpochRequest, Rung, ServeError, DEFAULT_DEADLINE_MS};
+
+/// Typed validation and compilation errors for dynamics plans.
+///
+/// Malformed plans are *data*, not bugs: every degenerate input maps
+/// to a variant here and never to a panic (the `scenario_plan` fuzz
+/// target enforces this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A repair/restore timer, window stride, flap count or window
+    /// length of zero — the event would be a no-op or never end.
+    ZeroDuration { tick: usize },
+    /// A flap names an edge the base graph does not have.
+    UnknownEdge { edge: usize, num_edges: usize },
+    /// A maintenance window reaches a replica index out of range.
+    UnknownReplica { replica: usize, replicas: usize },
+    /// A drain factor outside `(0, 1]` (draining *below* zero capacity
+    /// or inflating it) or non-finite.
+    InvalidFactor { factor: f64 },
+    /// Removing the named edge would disconnect the active topology.
+    DisconnectingFlap { edge: usize, tick: usize },
+    /// Stacked drains pushed some capacity to zero (underflow).
+    DegenerateCapacity { tick: usize },
+    /// An event window ends past [`MAX_HORIZON`] (or overflows),
+    /// which would make the compiler's tick loop unbounded.
+    HorizonOverflow { tick: usize },
+}
+
+/// Upper bound on any event window's closing tick. Far beyond any
+/// real scenario; exists so a malformed plan (e.g. `tick =
+/// usize::MAX`) is a typed error instead of an unbounded compile
+/// loop.
+pub const MAX_HORIZON: usize = 1 << 20;
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::ZeroDuration { tick } => {
+                write!(f, "zero-duration event scheduled at tick {tick}")
+            }
+            ScenarioError::UnknownEdge { edge, num_edges } => {
+                write!(f, "flap names edge {edge} but the graph has {num_edges}")
+            }
+            ScenarioError::UnknownReplica { replica, replicas } => {
+                write!(
+                    f,
+                    "maintenance window reaches replica {replica} of {replicas}"
+                )
+            }
+            ScenarioError::InvalidFactor { factor } => {
+                write!(f, "drain factor {factor} outside (0, 1]")
+            }
+            ScenarioError::DisconnectingFlap { edge, tick } => {
+                write!(f, "flapping edge {edge} at tick {tick} disconnects the WAN")
+            }
+            ScenarioError::DegenerateCapacity { tick } => {
+                write!(
+                    f,
+                    "stacked drains underflow capacity to zero at tick {tick}"
+                )
+            }
+            ScenarioError::HorizonOverflow { tick } => {
+                write!(
+                    f,
+                    "event at tick {tick} ends past the supported horizon ({MAX_HORIZON})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One scheduled dynamics event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicsEvent {
+    /// Remove `count` seeded, connectivity-preserving undirected links
+    /// (via [`FailureInjector`]) from the currently active topology,
+    /// repairing them `repair_after` ticks later.
+    LinkFlap { count: usize, repair_after: usize },
+    /// Flap one specific undirected link (named by a base-graph edge
+    /// id), repairing it `repair_after` ticks later. Compilation fails
+    /// if removing it would disconnect the active topology.
+    FlapEdge { edge: usize, repair_after: usize },
+    /// Scale every active link capacity by `factor` (in `(0, 1]`),
+    /// restoring `restore_after` ticks later. Overlapping drains
+    /// compose multiplicatively.
+    CapacityDrain { factor: f64, restore_after: usize },
+    /// A rolling maintenance window: retool `replicas` replicas
+    /// starting at `first_replica`, one every `stride` ticks.
+    MaintenanceWindow {
+        first_replica: usize,
+        replicas: usize,
+        stride: usize,
+    },
+}
+
+/// A deterministic schedule of [`DynamicsEvent`]s keyed by tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DynamicsPlan {
+    events: Vec<(usize, DynamicsEvent)>,
+}
+
+impl DynamicsPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        DynamicsPlan::default()
+    }
+
+    /// Schedules `event` at `tick`. Events sharing a tick apply in
+    /// insertion order.
+    #[must_use]
+    pub fn at(mut self, tick: usize, event: DynamicsEvent) -> Self {
+        self.events.push((tick, event));
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every event against the base graph and replica count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] found, in schedule order.
+    pub fn validate(&self, graph: &Graph, replica_count: usize) -> Result<(), ScenarioError> {
+        for &(tick, ref event) in &self.events {
+            match *event {
+                DynamicsEvent::LinkFlap {
+                    count,
+                    repair_after,
+                } => {
+                    if count == 0 || repair_after == 0 {
+                        return Err(ScenarioError::ZeroDuration { tick });
+                    }
+                    check_horizon(tick, repair_after)?;
+                }
+                DynamicsEvent::FlapEdge { edge, repair_after } => {
+                    if repair_after == 0 {
+                        return Err(ScenarioError::ZeroDuration { tick });
+                    }
+                    if edge >= graph.num_edges() {
+                        return Err(ScenarioError::UnknownEdge {
+                            edge,
+                            num_edges: graph.num_edges(),
+                        });
+                    }
+                    check_horizon(tick, repair_after)?;
+                }
+                DynamicsEvent::CapacityDrain {
+                    factor,
+                    restore_after,
+                } => {
+                    if restore_after == 0 {
+                        return Err(ScenarioError::ZeroDuration { tick });
+                    }
+                    if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                        return Err(ScenarioError::InvalidFactor { factor });
+                    }
+                    check_horizon(tick, restore_after)?;
+                }
+                DynamicsEvent::MaintenanceWindow {
+                    first_replica,
+                    replicas,
+                    stride,
+                } => {
+                    if replicas == 0 || stride == 0 {
+                        return Err(ScenarioError::ZeroDuration { tick });
+                    }
+                    // Two-step check avoids `first + replicas - 1`
+                    // overflowing on adversarial input.
+                    if first_replica >= replica_count || replicas > replica_count - first_replica {
+                        return Err(ScenarioError::UnknownReplica {
+                            replica: first_replica.saturating_add(replicas).saturating_sub(1),
+                            replicas: replica_count,
+                        });
+                    }
+                    let span = (replicas - 1)
+                        .checked_mul(stride)
+                        .ok_or(ScenarioError::HorizonOverflow { tick })?;
+                    check_horizon(tick, span)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rejects event windows that end past [`MAX_HORIZON`] (or whose end
+/// overflows), keeping [`DynamicsTimeline::compile`]'s tick loop
+/// bounded for arbitrary (fuzzed) plans.
+fn check_horizon(tick: usize, span: usize) -> Result<(), ScenarioError> {
+    match tick.checked_add(span) {
+        Some(end) if end <= MAX_HORIZON => Ok(()),
+        _ => Err(ScenarioError::HorizonOverflow { tick }),
+    }
+}
+
+/// Everything due at one tick of a compiled timeline.
+#[derive(Debug, Clone)]
+pub struct TickActions {
+    /// The topology to apply this tick (base minus open flaps, drains
+    /// composed in), if anything topological changed.
+    pub topology: Option<Graph>,
+    /// Replica indices to retool this tick.
+    pub retools: Vec<usize>,
+    /// Digest labels for the events landing this tick.
+    pub labels: Vec<String>,
+}
+
+impl TickActions {
+    fn new() -> Self {
+        TickActions {
+            topology: None,
+            retools: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+}
+
+/// A [`DynamicsPlan`] pre-simulated against a base graph: a pure map
+/// from tick to [`TickActions`]. Compilation resolves every seeded
+/// draw up front, so the live run only applies snapshots — an event
+/// can never observe serving state, which is what makes same-seed
+/// replays bit-identical.
+#[derive(Debug, Clone)]
+pub struct DynamicsTimeline {
+    ticks: BTreeMap<usize, TickActions>,
+    horizon: usize,
+    digest: String,
+}
+
+impl DynamicsTimeline {
+    /// Compiles `plan` against `base`, drawing flaps from a
+    /// [`FailureInjector`] derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] for invalid plans (see
+    /// [`DynamicsPlan::validate`]) or for flaps/drains whose composed
+    /// effect would disconnect the WAN or underflow a capacity.
+    pub fn compile(
+        plan: &DynamicsPlan,
+        base: &Graph,
+        replica_count: usize,
+        seed: u64,
+    ) -> Result<Self, ScenarioError> {
+        plan.validate(base, replica_count)?;
+
+        // End of the last event window.
+        let end = plan
+            .events
+            .iter()
+            .map(|&(tick, ref e)| {
+                tick + match *e {
+                    DynamicsEvent::LinkFlap { repair_after, .. }
+                    | DynamicsEvent::FlapEdge { repair_after, .. } => repair_after,
+                    DynamicsEvent::CapacityDrain { restore_after, .. } => restore_after,
+                    DynamicsEvent::MaintenanceWindow {
+                        replicas, stride, ..
+                    } => (replicas - 1) * stride,
+                }
+            })
+            .max()
+            .unwrap_or(0);
+
+        // Open mutations: (close tick, removed directed node pairs) for
+        // flaps, (close tick, factor) for drains.
+        let mut open_flaps: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        let mut open_drains: Vec<(usize, f64)> = Vec::new();
+        let mut retools_due: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut ticks: BTreeMap<usize, TickActions> = BTreeMap::new();
+        let mut digest: Vec<String> = Vec::new();
+
+        for tick in 0..=end {
+            let mut actions = TickActions::new();
+            let mut topo_changed = false;
+
+            // Close expiring mutations first, so a repair and a fresh
+            // flap at the same tick compose in a fixed order.
+            let before = open_flaps.len();
+            open_flaps.retain(|&(close, _)| close != tick);
+            for _ in open_flaps.len()..before {
+                actions.labels.push(format!("repair@{tick}"));
+                topo_changed = true;
+            }
+            let before = open_drains.len();
+            open_drains.retain(|&(close, _)| close != tick);
+            for _ in open_drains.len()..before {
+                actions.labels.push(format!("restore@{tick}"));
+                topo_changed = true;
+            }
+
+            // Open events scheduled at this tick, in insertion order.
+            for &(at, ref event) in plan.events.iter().filter(|&&(at, _)| at == tick) {
+                match *event {
+                    DynamicsEvent::LinkFlap {
+                        count,
+                        repair_after,
+                    } => {
+                        let active = compose_unscaled(base, &open_flaps);
+                        let mut injector = FailureInjector::from_seed(
+                            count,
+                            seed ^ 0xf1a9 ^ (at as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                        );
+                        let (degraded, removed) = injector.degrade(&active);
+                        let gone = removed_pairs(&active, &degraded);
+                        open_flaps.push((tick + repair_after, gone));
+                        actions.labels.push(format!("flap{removed}@{tick}"));
+                        topo_changed = true;
+                    }
+                    DynamicsEvent::FlapEdge { edge, repair_after } => {
+                        let (a, b) = base.endpoints(EdgeId(edge));
+                        let pairs = vec![(a.0, b.0), (b.0, a.0)];
+                        open_flaps.push((tick + repair_after, pairs));
+                        let candidate = compose_unscaled(base, &open_flaps);
+                        if !is_strongly_connected(&candidate) {
+                            return Err(ScenarioError::DisconnectingFlap { edge, tick });
+                        }
+                        actions.labels.push(format!("flapE{edge}@{tick}"));
+                        topo_changed = true;
+                    }
+                    DynamicsEvent::CapacityDrain {
+                        factor,
+                        restore_after,
+                    } => {
+                        open_drains.push((tick + restore_after, factor));
+                        actions.labels.push(format!("drain{factor:.2}@{tick}"));
+                        topo_changed = true;
+                    }
+                    DynamicsEvent::MaintenanceWindow {
+                        first_replica,
+                        replicas,
+                        stride,
+                    } => {
+                        for i in 0..replicas {
+                            retools_due
+                                .entry(tick + i * stride)
+                                .or_default()
+                                .push(first_replica + i);
+                        }
+                        actions
+                            .labels
+                            .push(format!("window{first_replica}+{replicas}@{tick}"));
+                    }
+                }
+            }
+
+            if topo_changed {
+                let mut g = compose_unscaled(base, &open_flaps);
+                let product: f64 = open_drains.iter().map(|&(_, f)| f).product();
+                if product != 1.0 {
+                    for e in 0..g.num_edges() {
+                        let cap = g.capacity(EdgeId(e)) * product;
+                        g.set_capacity(EdgeId(e), cap)
+                            .map_err(|_| ScenarioError::DegenerateCapacity { tick })?;
+                    }
+                }
+                actions.topology = Some(g);
+            }
+            if let Some(due) = retools_due.remove(&tick) {
+                for r in due {
+                    actions.labels.push(format!("retool{r}@{tick}"));
+                    actions.retools.push(r);
+                }
+            }
+
+            if actions.topology.is_some() || !actions.retools.is_empty() {
+                digest.extend(actions.labels.iter().cloned());
+                ticks.insert(tick, actions);
+            } else if !actions.labels.is_empty() {
+                // Window announcements with no same-tick retool.
+                digest.extend(actions.labels.iter().cloned());
+                ticks.insert(tick, actions);
+            }
+        }
+
+        Ok(DynamicsTimeline {
+            ticks,
+            horizon: end,
+            digest: digest.join(";"),
+        })
+    }
+
+    /// Actions due at `tick`, if any.
+    pub fn actions(&self, tick: usize) -> Option<&TickActions> {
+        self.ticks.get(&tick)
+    }
+
+    /// The last tick at which any event window is still open.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The full event digest (`flap2@5;repair@9;drain0.50@13`), the
+    /// `event_sequence` half of the dynamic determinism check.
+    pub fn event_sequence(&self) -> &str {
+        &self.digest
+    }
+}
+
+/// Base graph minus every currently-open flapped link; capacities from
+/// the base (drains are layered on top by the caller).
+fn compose_unscaled(base: &Graph, open_flaps: &[(usize, Vec<(usize, usize)>)]) -> Graph {
+    let removed: BTreeSet<(usize, usize)> = open_flaps
+        .iter()
+        .flat_map(|(_, pairs)| pairs.iter().copied())
+        .collect();
+    if removed.is_empty() {
+        return base.clone();
+    }
+    let (g, _) = base.filter_edges(|e| {
+        let (a, b) = base.endpoints(e);
+        !removed.contains(&(a.0, b.0))
+    });
+    g
+}
+
+/// Directed node pairs present in `before` but not in `after`.
+fn removed_pairs(before: &Graph, after: &Graph) -> Vec<(usize, usize)> {
+    let kept: BTreeSet<(usize, usize)> = after
+        .edges()
+        .map(|e| {
+            let (a, b) = after.endpoints(e);
+            (a.0, b.0)
+        })
+        .collect();
+    before
+        .edges()
+        .map(|e| {
+            let (a, b) = before.endpoints(e);
+            (a.0, b.0)
+        })
+        .filter(|p| !kept.contains(p))
+        .collect()
+}
+
+/// Dynamic scenario names [`run_dynamic_scenario`] accepts.
+/// `broken_blackout` is the deliberately broken one: every replica's
+/// pool dies under a panic storm with no restart budget while a flap
+/// window is open, so the Fresh-recovery SLO must fail — proving the
+/// harness detects violations under live dynamics.
+pub fn dynamic_scenario_names() -> &'static [&'static str] {
+    &[
+        "diurnal_flash_crowd",
+        "rolling_maintenance",
+        "flap_storm",
+        "big_wan_drain",
+        "broken_blackout",
+    ]
+}
+
+struct DynamicSpec {
+    graph: Graph,
+    plan: DynamicsPlan,
+    demands: Vec<DemandMatrix>,
+    shards: usize,
+    replicas: usize,
+    clients_per_tick: usize,
+    config: ControllerConfig,
+    /// One fault plan per replica (shared across shards).
+    fault_plans: Vec<FaultPlan>,
+    failover: FailoverConfig,
+    /// Policy memory and hidden sizes (shrunk on big WANs).
+    memory: usize,
+    hidden: Vec<usize>,
+    max_p99_depth: u8,
+    /// Within this many responses after the timeline horizon, a Fresh
+    /// response must appear (None = no recovery SLO).
+    recovery_within: Option<usize>,
+    /// Upper bound on failovers (rolling maintenance must absorb
+    /// everything in place).
+    max_failovers: u64,
+}
+
+fn dynamic_spec_for(name: &str, seed: u64, ticks: usize) -> Result<DynamicSpec, ServeError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00d1_57a2);
+    let mut spec = DynamicSpec {
+        graph: zoo::cesnet(),
+        plan: DynamicsPlan::new(),
+        demands: Vec::new(),
+        shards: 1,
+        replicas: 2,
+        clients_per_tick: 2,
+        config: base_config(),
+        fault_plans: Vec::new(),
+        failover: FailoverConfig {
+            failover_threshold: 4,
+            min_hold: 8,
+            hold_jitter: 4,
+            probe_window: 6,
+            probe_fresh_min: 0.75,
+            seed,
+        },
+        memory: 3,
+        hidden: vec![8],
+        max_p99_depth: 2,
+        recovery_within: Some(12),
+        max_failovers: u64::MAX,
+    };
+    match name {
+        "diurnal_flash_crowd" => {
+            // A day/night cycle with a flash crowd at its shoulder and
+            // a link flap landing mid-spike: the fleet must keep
+            // serving through compound traffic + topology churn.
+            spec.shards = 2;
+            let n = spec.graph.num_nodes();
+            spec.demands = diurnal_flash_crowd(
+                n,
+                ticks,
+                12,
+                0.3,
+                600.0 * (n * (n - 1)) as f64,
+                &FlashCrowdParams::default(),
+                &mut rng,
+            );
+            spec.plan = DynamicsPlan::new().at(
+                10,
+                DynamicsEvent::LinkFlap {
+                    count: 1,
+                    repair_after: 6,
+                },
+            );
+        }
+        "rolling_maintenance" => {
+            // A rolling per-replica retool window overlapping a
+            // capacity drain, with failover pinned off: the set must
+            // absorb maintenance in place with zero failovers.
+            spec.replicas = 3;
+            let n = spec.graph.num_nodes();
+            spec.demands = noisy_cyclical(n, 6, ticks, 0.1, &BimodalParams::default(), &mut rng);
+            spec.plan = DynamicsPlan::new()
+                .at(
+                    6,
+                    DynamicsEvent::MaintenanceWindow {
+                        first_replica: 0,
+                        replicas: 3,
+                        stride: 2,
+                    },
+                )
+                .at(
+                    8,
+                    DynamicsEvent::CapacityDrain {
+                        factor: 0.6,
+                        restore_after: 4,
+                    },
+                );
+            spec.failover.failover_threshold = 1_000;
+            spec.max_failovers = 0;
+        }
+        "flap_storm" => {
+            // Overlapping seeded flaps on a 100-node hierarchical WAN:
+            // repair timers interleave with new flaps so the active
+            // topology changes nearly every other tick.
+            spec.graph = hierarchical_wan_sized(100, &mut StdRng::seed_from_u64(seed ^ 0x1a57));
+            spec.config.score_responses = false;
+            spec.memory = 2;
+            let n = spec.graph.num_nodes();
+            spec.demands = elephant_mice(n, ticks, &ElephantMiceParams::default(), &mut rng);
+            spec.plan = DynamicsPlan::new()
+                .at(
+                    4,
+                    DynamicsEvent::LinkFlap {
+                        count: 2,
+                        repair_after: 5,
+                    },
+                )
+                .at(
+                    7,
+                    DynamicsEvent::LinkFlap {
+                        count: 2,
+                        repair_after: 5,
+                    },
+                )
+                .at(
+                    10,
+                    DynamicsEvent::FlapEdge {
+                        edge: 0,
+                        repair_after: 4,
+                    },
+                )
+                .at(
+                    13,
+                    DynamicsEvent::LinkFlap {
+                        count: 1,
+                        repair_after: 4,
+                    },
+                );
+        }
+        "big_wan_drain" => {
+            // The acceptance scenario: a seeded 400-node hierarchical
+            // WAN served end to end by the fleet while overlapping
+            // capacity drains (and a flap) run live. Policy sizes are
+            // shrunk so an engine stays a few megabytes.
+            spec.graph = hierarchical_wan_sized(400, &mut StdRng::seed_from_u64(seed ^ 0xb16));
+            spec.config.score_responses = false;
+            spec.memory = 1;
+            spec.hidden = vec![4];
+            spec.clients_per_tick = 1;
+            let n = spec.graph.num_nodes();
+            spec.demands = elephant_mice(
+                n,
+                ticks,
+                &ElephantMiceParams {
+                    elephants: 12,
+                    ..ElephantMiceParams::default()
+                },
+                &mut rng,
+            );
+            spec.plan = DynamicsPlan::new()
+                .at(
+                    4,
+                    DynamicsEvent::CapacityDrain {
+                        factor: 0.5,
+                        restore_after: 6,
+                    },
+                )
+                .at(
+                    6,
+                    DynamicsEvent::CapacityDrain {
+                        factor: 0.7,
+                        restore_after: 6,
+                    },
+                )
+                .at(
+                    9,
+                    DynamicsEvent::LinkFlap {
+                        count: 2,
+                        repair_after: 4,
+                    },
+                );
+        }
+        "broken_blackout" => {
+            // Deliberately broken: both replicas' pools die under a
+            // panic storm with no restart budget while a flap window
+            // is open. The ladder still answers everything, but no
+            // Fresh response can appear after the horizon — the
+            // recovery SLO must fail.
+            spec.config.pool.workers = 1;
+            spec.config.pool.restart_budget = 0;
+            spec.fault_plans = vec![
+                FaultPlan::new().span(6..=4096, Fault::Panic),
+                FaultPlan::new().span(6..=4096, Fault::Panic),
+            ];
+            spec.failover.failover_threshold = 2;
+            let n = spec.graph.num_nodes();
+            spec.demands = noisy_cyclical(n, 4, ticks, 0.1, &BimodalParams::default(), &mut rng);
+            spec.plan = DynamicsPlan::new().at(
+                4,
+                DynamicsEvent::LinkFlap {
+                    count: 1,
+                    repair_after: 4,
+                },
+            );
+            spec.recovery_within = Some(10);
+            spec.max_p99_depth = 3;
+        }
+        other => {
+            return Err(ServeError::Config(format!(
+                "unknown dynamic scenario '{other}'"
+            )))
+        }
+    }
+    while spec.fault_plans.len() < spec.replicas {
+        spec.fault_plans.push(FaultPlan::new());
+    }
+    Ok(spec)
+}
+
+/// Runs one dynamic scenario: a sharded fleet serving a scenario
+/// traffic regime while a compiled [`DynamicsTimeline`] applies
+/// topology churn and maintenance between epochs. SLOs checked:
+///
+/// - zero unanswered requests,
+/// - every response's routing valid against the topology active when
+///   it was served,
+/// - p99 ladder depth within the scenario bound,
+/// - a Fresh response within a bounded window after the last event.
+///
+/// The determinism digest is `(event_sequence, rung_sequence,
+/// failover_sequence)`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Config`] for unknown scenario names, request
+/// counts too small to cover the event horizon, or invalid dynamics
+/// plans; SLO failures are reported in
+/// [`ScenarioOutcome::violations`], not as `Err`.
+pub fn run_dynamic_scenario(
+    name: &str,
+    seed: u64,
+    requests: usize,
+) -> Result<ScenarioOutcome, ServeError> {
+    if requests < 40 {
+        return Err(ServeError::Config(
+            "dynamic scenarios need at least 40 requests".to_string(),
+        ));
+    }
+    // Probe the spec once to learn the per-tick request volume, then
+    // rebuild with the actual tick count so traffic sequences cover
+    // the whole run.
+    let probe = dynamic_spec_for(name, seed, 1)?;
+    let per_tick = probe.clients_per_tick * probe.shards;
+    let ticks = requests.div_ceil(per_tick);
+    let spec = dynamic_spec_for(name, seed, ticks)?;
+
+    let timeline = DynamicsTimeline::compile(&spec.plan, &spec.graph, spec.replicas, seed)
+        .map_err(|e| ServeError::Config(format!("dynamics plan: {e}")))?;
+    if ticks <= timeline.horizon() + 3 {
+        return Err(ServeError::Config(format!(
+            "scenario '{name}' needs at least {} requests to cover its event horizon",
+            (timeline.horizon() + 4) * per_tick
+        )));
+    }
+
+    let factories: Vec<EngineFactory> = spec
+        .fault_plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            engine_factory_sized(
+                seed ^ (i as u64 + 1),
+                Arc::new(plan.clone()),
+                spec.memory,
+                spec.hidden.clone(),
+            )
+        })
+        .collect();
+    let env_cfg = DdrEnvConfig {
+        memory: spec.memory,
+        ..DdrEnvConfig::default()
+    };
+    let mut router = ShardRouter::new(FleetConfig::default())?;
+    let shard_names: Vec<String> = (0..spec.shards)
+        .map(|s| format!("{}-s{s}", spec.graph.name()))
+        .collect();
+    for shard in &shard_names {
+        router.add_replicated_shard(
+            shard,
+            spec.graph.clone(),
+            env_cfg,
+            spec.config.clone(),
+            factories.clone(),
+            spec.failover.clone(),
+            HedgeConfig::default(),
+        )?;
+    }
+
+    let mut active = spec.graph.clone();
+    let mut submitted = 0usize;
+    // Per response: (epoch, rung letter, ladder depth). Responses are
+    // dropped after this projection so a 400-node run stays bounded.
+    let mut served: Vec<(u64, char, u8)> = Vec::new();
+    let mut invalid_on_serve = 0usize;
+
+    for tick in 0..ticks {
+        if let Some(actions) = timeline.actions(tick) {
+            if let Some(g) = &actions.topology {
+                for s in 0..router.shard_count() {
+                    router.with_replica_set(s, |set| set.apply_topology(g.clone()))??;
+                }
+                active = g.clone();
+            }
+            for &r in &actions.retools {
+                for s in 0..router.shard_count() {
+                    router.with_replica_set(s, |set| set.retool_replica(r))??;
+                }
+            }
+        }
+
+        let demands = &spec.demands[tick % spec.demands.len()];
+        let mut batch = Vec::with_capacity(per_tick);
+        for _client in 0..spec.clients_per_tick {
+            for shard in &shard_names {
+                batch.push(FleetRequest {
+                    topology: shard.clone(),
+                    request: EpochRequest {
+                        epoch: tick as u64,
+                        demands: demands.clone(),
+                        deadline_ms: DEFAULT_DEADLINE_MS,
+                    },
+                });
+            }
+        }
+        submitted += batch.len();
+        for outcome in router.run(&batch)? {
+            for resp in &outcome.responses {
+                invalid_on_serve += usize::from(!resp.routing.validate(&active).is_empty());
+                served.push((resp.epoch, resp.rung.letter(), resp.rung.depth()));
+            }
+        }
+    }
+
+    let rung_sequence: String = served.iter().map(|&(_, l, _)| l).collect();
+    let depths: Vec<u8> = served.iter().map(|&(_, _, d)| d).collect();
+    let p99 = p99_depth(&depths);
+
+    let mut shed = 0u64;
+    let mut worker_restarts = 0u64;
+    let mut breaker_transitions = 0u64;
+    let mut failovers = 0u64;
+    let mut hedges = 0u64;
+    let mut recoveries = 0u64;
+    let mut failover_seqs: Vec<String> = Vec::new();
+    for s in 0..router.shard_count() {
+        router.with_replica_set(s, |set| {
+            let stats = set.stats().clone();
+            shed += stats.shed;
+            failovers += stats.failovers;
+            hedges += stats.hedges_fired;
+            recoveries += stats.recoveries;
+            failover_seqs.push(stats.failover_sequence());
+            worker_restarts += set.worker_restarts();
+            for i in 0..set.replica_count() {
+                breaker_transitions += set
+                    .with_replica(i, |c| c.stats().breaker_transitions)
+                    .expect("replica index in range");
+            }
+        })?;
+    }
+
+    let mut violations = Vec::new();
+    if served.len() != submitted {
+        violations.push(format!(
+            "unanswered requests: submitted {submitted}, answered {}",
+            served.len()
+        ));
+    }
+    if invalid_on_serve > 0 {
+        violations.push(format!(
+            "{invalid_on_serve} responses carried routings invalid for the active topology"
+        ));
+    }
+    if p99 > spec.max_p99_depth {
+        violations.push(format!(
+            "p99 ladder depth {p99} exceeds bound {}",
+            spec.max_p99_depth
+        ));
+    }
+    if failovers > spec.max_failovers {
+        violations.push(format!(
+            "{failovers} failovers (expected at most {})",
+            spec.max_failovers
+        ));
+    }
+    if let Some(within) = spec.recovery_within {
+        let horizon = timeline.horizon() as u64;
+        let recovered = served
+            .iter()
+            .filter(|&&(epoch, _, _)| epoch > horizon)
+            .take(within)
+            .any(|&(_, l, _)| l == Rung::Fresh.letter());
+        if !recovered {
+            violations.push(format!(
+                "no fresh response within {within} requests after the event horizon (tick {horizon})"
+            ));
+        }
+    }
+
+    Ok(ScenarioOutcome {
+        name: name.to_string(),
+        seed,
+        submitted,
+        answered: served.len(),
+        rung_sequence,
+        shed,
+        worker_restarts,
+        breaker_transitions,
+        p99_depth: p99,
+        failovers,
+        hedges,
+        recoveries,
+        failover_sequence: failover_seqs.join("|"),
+        event_sequence: timeline.event_sequence().to_string(),
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::scenario_seed;
+
+    fn diamondish() -> Graph {
+        zoo::cesnet()
+    }
+
+    #[test]
+    fn plan_validation_catches_degenerate_inputs() {
+        let g = diamondish();
+        let zero = DynamicsPlan::new().at(
+            3,
+            DynamicsEvent::LinkFlap {
+                count: 1,
+                repair_after: 0,
+            },
+        );
+        assert_eq!(
+            zero.validate(&g, 2),
+            Err(ScenarioError::ZeroDuration { tick: 3 })
+        );
+        let bad_edge = DynamicsPlan::new().at(
+            0,
+            DynamicsEvent::FlapEdge {
+                edge: 10_000,
+                repair_after: 2,
+            },
+        );
+        assert!(matches!(
+            bad_edge.validate(&g, 2),
+            Err(ScenarioError::UnknownEdge { .. })
+        ));
+        let bad_factor = DynamicsPlan::new().at(
+            0,
+            DynamicsEvent::CapacityDrain {
+                factor: -0.5,
+                restore_after: 2,
+            },
+        );
+        assert!(matches!(
+            bad_factor.validate(&g, 2),
+            Err(ScenarioError::InvalidFactor { .. })
+        ));
+        let bad_replica = DynamicsPlan::new().at(
+            0,
+            DynamicsEvent::MaintenanceWindow {
+                first_replica: 1,
+                replicas: 4,
+                stride: 1,
+            },
+        );
+        assert!(matches!(
+            bad_replica.validate(&g, 2),
+            Err(ScenarioError::UnknownReplica { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_validation_bounds_the_horizon() {
+        let g = diamondish();
+        // Overflowing end ticks and absurdly far windows are typed
+        // errors, never a (near-)unbounded compile loop.
+        for plan in [
+            DynamicsPlan::new().at(
+                usize::MAX,
+                DynamicsEvent::LinkFlap {
+                    count: 1,
+                    repair_after: 2,
+                },
+            ),
+            DynamicsPlan::new().at(
+                0,
+                DynamicsEvent::CapacityDrain {
+                    factor: 0.5,
+                    restore_after: MAX_HORIZON + 1,
+                },
+            ),
+            DynamicsPlan::new().at(
+                MAX_HORIZON,
+                DynamicsEvent::MaintenanceWindow {
+                    first_replica: 0,
+                    replicas: 2,
+                    stride: usize::MAX / 2,
+                },
+            ),
+        ] {
+            assert!(matches!(
+                plan.validate(&g, 2),
+                Err(ScenarioError::HorizonOverflow { .. })
+            ));
+            assert!(DynamicsTimeline::compile(&plan, &g, 2, 7).is_err());
+        }
+        // The bound itself is inclusive and huge windows under it pass.
+        let ok = DynamicsPlan::new().at(
+            0,
+            DynamicsEvent::FlapEdge {
+                edge: 0,
+                repair_after: 64,
+            },
+        );
+        assert!(ok.validate(&g, 2).is_ok());
+    }
+
+    #[test]
+    fn timeline_opens_and_closes_windows() {
+        let g = diamondish();
+        let plan = DynamicsPlan::new()
+            .at(
+                2,
+                DynamicsEvent::CapacityDrain {
+                    factor: 0.5,
+                    restore_after: 3,
+                },
+            )
+            .at(
+                3,
+                DynamicsEvent::MaintenanceWindow {
+                    first_replica: 0,
+                    replicas: 2,
+                    stride: 2,
+                },
+            );
+        let tl = DynamicsTimeline::compile(&plan, &g, 2, 7).unwrap();
+        // Drain opens at 2: all capacities halved.
+        let drained = tl.actions(2).unwrap().topology.as_ref().unwrap();
+        let e0 = EdgeId(0);
+        assert!((drained.capacity(e0) - g.capacity(e0) * 0.5).abs() < 1e-12);
+        // Restores at 5: back to base capacities.
+        let restored = tl.actions(5).unwrap().topology.as_ref().unwrap();
+        assert!((restored.capacity(e0) - g.capacity(e0)).abs() < 1e-12);
+        // Window retools replica 0 at 3, replica 1 at 5.
+        assert_eq!(tl.actions(3).unwrap().retools, vec![0]);
+        assert_eq!(tl.actions(5).unwrap().retools, vec![1]);
+        assert_eq!(tl.horizon(), 5);
+        assert!(tl.event_sequence().contains("drain0.50@2"));
+        assert!(tl.event_sequence().contains("restore@5"));
+    }
+
+    #[test]
+    fn overlapping_flaps_stay_connected_and_repair_fully() {
+        let g = hierarchical_wan_sized(100, &mut StdRng::seed_from_u64(5));
+        let plan = DynamicsPlan::new()
+            .at(
+                1,
+                DynamicsEvent::LinkFlap {
+                    count: 2,
+                    repair_after: 4,
+                },
+            )
+            .at(
+                3,
+                DynamicsEvent::LinkFlap {
+                    count: 2,
+                    repair_after: 4,
+                },
+            );
+        let tl = DynamicsTimeline::compile(&plan, &g, 2, 11).unwrap();
+        for tick in [1usize, 3, 5] {
+            if let Some(actions) = tl.actions(tick) {
+                if let Some(topo) = &actions.topology {
+                    assert!(is_strongly_connected(topo), "tick {tick}");
+                    assert!(topo.num_edges() < g.num_edges(), "tick {tick}");
+                }
+            }
+        }
+        // After the last repair the base graph is back.
+        let last = tl.actions(7).unwrap().topology.as_ref().unwrap();
+        assert_eq!(last.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn timeline_is_deterministic_under_seed() {
+        let g = diamondish();
+        let plan = DynamicsPlan::new().at(
+            1,
+            DynamicsEvent::LinkFlap {
+                count: 2,
+                repair_after: 3,
+            },
+        );
+        let a = DynamicsTimeline::compile(&plan, &g, 2, 9).unwrap();
+        let b = DynamicsTimeline::compile(&plan, &g, 2, 9).unwrap();
+        assert_eq!(a.event_sequence(), b.event_sequence());
+        let ta = a.actions(1).unwrap().topology.as_ref().unwrap();
+        let tb = b.actions(1).unwrap().topology.as_ref().unwrap();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn dynamic_scenarios_pass_and_replay_bit_identically() {
+        for (name, requests) in [("diurnal_flash_crowd", 88), ("rolling_maintenance", 48)] {
+            let seed = scenario_seed(42, name);
+            let a = run_dynamic_scenario(name, seed, requests).unwrap();
+            assert!(a.passed(), "{name} violations: {:?}", a.violations);
+            assert_eq!(a.answered, a.submitted, "{name}");
+            assert!(!a.event_sequence.is_empty(), "{name}");
+            let b = run_dynamic_scenario(name, seed, requests).unwrap();
+            assert_eq!(a.rung_sequence, b.rung_sequence, "{name}");
+            assert_eq!(a.event_sequence, b.event_sequence, "{name}");
+            assert_eq!(a.failover_sequence, b.failover_sequence, "{name}");
+        }
+    }
+
+    #[test]
+    fn broken_blackout_fails_loudly_but_answers_everything() {
+        let seed = scenario_seed(42, "broken_blackout");
+        let outcome = run_dynamic_scenario("broken_blackout", seed, 48).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("no fresh response")));
+        assert_eq!(outcome.answered, outcome.submitted);
+    }
+
+    #[test]
+    fn unknown_dynamic_scenario_is_an_error() {
+        assert!(run_dynamic_scenario("nope", 1, 48).is_err());
+        assert!(run_dynamic_scenario("flap_storm", 1, 39).is_err());
+    }
+}

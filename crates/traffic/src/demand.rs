@@ -45,6 +45,25 @@ impl DemandMatrix {
 
     /// Builds a DM from a closure over `(src, dst)`; the diagonal is
     /// forced to zero and negative demands are clamped to zero.
+    ///
+    /// # Non-finite values
+    ///
+    /// The clamp is `f(s, t).max(0.0)`, which has two deliberate edge
+    /// behaviours:
+    ///
+    /// - **NaN is clamped to zero** ([`f64::max`] returns the other
+    ///   operand when one side is NaN), so a NaN demand is
+    ///   unconstructible in-tree — neither `from_fn` nor the asserting
+    ///   [`DemandMatrix::set`] can produce one, and downstream code
+    ///   (LP oracle, softmin routing, reward) may assume NaN-free
+    ///   matrices.
+    /// - **`f64::INFINITY` passes through.** An infinite demand is the
+    ///   repo's convention for a deliberately malformed matrix: the
+    ///   serving layer's admission validation rejects it with a typed
+    ///   error, and the chaos scenarios use exactly this constructor
+    ///   to build their `malformed` inputs. Producers of real traffic
+    ///   (everything in [`crate::gen`], [`crate::sequence`] and
+    ///   [`crate::scenario`]) only ever emit finite demands.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut dm = DemandMatrix::zeros(n);
         for s in 0..n {
@@ -196,6 +215,23 @@ mod tests {
         assert_eq!(dm.get(1, 1), 0.0);
         assert_eq!(dm.get(0, 1), 0.0); // clamped
         assert_eq!(dm.get(2, 1), 1.0);
+    }
+
+    #[test]
+    fn from_fn_clamps_nan_but_passes_infinity() {
+        // The documented convention: NaN is unconstructible (clamped
+        // to zero), while +inf passes through as the deliberate
+        // malformed-matrix marker the chaos scenarios rely on.
+        let dm = DemandMatrix::from_fn(3, |s, t| match (s, t) {
+            (0, 1) => f64::NAN,
+            (1, 2) => f64::INFINITY,
+            (2, 0) => f64::NEG_INFINITY,
+            _ => 1.0,
+        });
+        assert_eq!(dm.get(0, 1), 0.0, "NaN clamps to zero");
+        assert_eq!(dm.get(1, 2), f64::INFINITY, "+inf passes through");
+        assert_eq!(dm.get(2, 0), 0.0, "-inf clamps like any negative");
+        assert!(dm.as_flat().iter().all(|d| !d.is_nan()));
     }
 
     #[test]

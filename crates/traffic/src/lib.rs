@@ -21,6 +21,7 @@
 
 pub mod demand;
 pub mod gen;
+pub mod scenario;
 pub mod sequence;
 
 pub use demand::DemandMatrix;

@@ -1,0 +1,351 @@
+//! Scenario-grade demand generators: traffic regimes with
+//! within-episode dynamics.
+//!
+//! The base generators ([`crate::gen`], [`crate::sequence`]) model the
+//! paper's stationary-with-regularity workloads. The scenario engine
+//! needs regimes where the *shape* of demand changes mid-episode: flash
+//! crowds ramping a hotspot destination, elephant/mice mixes with
+//! churning mice, and diurnal cycles layered under a flash crowd. All
+//! generators are pure functions of their RNG, so same-seed sequences
+//! replay bit-identically.
+
+use gddr_rng::Rng;
+
+use crate::demand::DemandMatrix;
+use crate::gen::gravity;
+
+/// Shape of a flash-crowd spike window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashCrowdParams {
+    /// Number of hotspot destinations drawing the crowd.
+    pub hotspots: usize,
+    /// First step of the spike (ramp-up begins here).
+    pub start: usize,
+    /// Steps to ramp from nominal to peak (and back down after hold).
+    pub ramp: usize,
+    /// Steps held at peak.
+    pub hold: usize,
+    /// Peak multiplier on traffic towards the hotspots (`>= 1`).
+    pub magnitude: f64,
+}
+
+impl Default for FlashCrowdParams {
+    fn default() -> Self {
+        FlashCrowdParams {
+            hotspots: 2,
+            start: 8,
+            ramp: 4,
+            hold: 8,
+            magnitude: 6.0,
+        }
+    }
+}
+
+impl FlashCrowdParams {
+    /// The hotspot multiplier at step `i`: 1 outside the window,
+    /// linearly interpolated on the ramps, `magnitude` during the hold.
+    pub fn factor(&self, i: usize) -> f64 {
+        if i < self.start {
+            return 1.0;
+        }
+        let into = i - self.start;
+        if into < self.ramp {
+            // Ramp up.
+            let frac = (into + 1) as f64 / (self.ramp + 1) as f64;
+            1.0 + (self.magnitude - 1.0) * frac
+        } else if into < self.ramp + self.hold {
+            self.magnitude
+        } else if into < 2 * self.ramp + self.hold {
+            // Ramp down.
+            let out = into - self.ramp - self.hold + 1;
+            self.magnitude - (self.magnitude - 1.0) * out as f64 / (self.ramp + 1) as f64
+        } else {
+            1.0
+        }
+    }
+
+    fn validate(&self, n: usize) {
+        assert!(
+            self.hotspots >= 1 && self.hotspots < n,
+            "hotspot count must be in [1, n)"
+        );
+        assert!(
+            self.magnitude.is_finite() && self.magnitude >= 1.0,
+            "magnitude must be finite and >= 1"
+        );
+    }
+}
+
+/// A flash-crowd sequence: a gravity base matrix with traffic towards
+/// seeded hotspot destinations multiplied by the spike window of
+/// `params`, plus small multiplicative jitter everywhere.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `params.hotspots` is not in `[1, n)`, or
+/// `params.magnitude < 1`.
+pub fn flash_crowd<R: Rng>(
+    n: usize,
+    length: usize,
+    total: f64,
+    params: &FlashCrowdParams,
+    rng: &mut R,
+) -> Vec<DemandMatrix> {
+    assert!(n >= 2, "need at least two nodes");
+    params.validate(n);
+    let base = gravity(n, total, rng);
+    let hot = pick_hotspots(n, params.hotspots, rng);
+    (0..length)
+        .map(|i| {
+            let spike = params.factor(i);
+            DemandMatrix::from_fn(n, |s, t| {
+                let f = if hot.contains(&t) { spike } else { 1.0 };
+                base.get(s, t) * f * rng.gen_range(0.97..1.03)
+            })
+        })
+        .collect()
+}
+
+/// Shape of an elephant/mice traffic mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElephantMiceParams {
+    /// Persistent heavy flows (fixed `(s, t)` pairs for the whole
+    /// sequence).
+    pub elephants: usize,
+    /// Mean volume per elephant; actual volume jitters ±20%.
+    pub elephant_mean: f64,
+    /// Per-step probability that any `(s, t)` pair carries a mouse.
+    pub mice_density: f64,
+    /// Mean volume per mouse; actual volume is uniform in
+    /// `[0.2, 1.8] × mean`.
+    pub mice_mean: f64,
+}
+
+impl Default for ElephantMiceParams {
+    fn default() -> Self {
+        ElephantMiceParams {
+            elephants: 6,
+            elephant_mean: 900.0,
+            mice_density: 0.05,
+            mice_mean: 60.0,
+        }
+    }
+}
+
+/// An elephant/mice sequence: a few persistent high-volume pairs
+/// (elephants, fixed across the whole sequence with per-step ±20%
+/// jitter) over a churning sparse background of mice resampled every
+/// step. The paper's bimodal generator mixes volumes per-entry; this
+/// regime separates *persistence* — elephants stay put while mice
+/// churn — which is what stresses history-based routing.
+///
+/// The matrices are mostly zeros, so downstream per-commodity work
+/// (LP columns, utilisation accumulation) scales with the sparse
+/// support rather than `n²` — the regime big-WAN sweeps rely on.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, there are fewer than `elephants` distinct pairs,
+/// or `mice_density` is not in `[0, 1]`.
+pub fn elephant_mice<R: Rng>(
+    n: usize,
+    length: usize,
+    params: &ElephantMiceParams,
+    rng: &mut R,
+) -> Vec<DemandMatrix> {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(
+        params.elephants <= n * (n - 1),
+        "more elephants than distinct pairs"
+    );
+    assert!(
+        (0.0..=1.0).contains(&params.mice_density),
+        "mice_density must be a probability"
+    );
+    // Fixed elephant pairs for the whole sequence.
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(params.elephants);
+    while pairs.len() < params.elephants {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if s != t && !pairs.contains(&(s, t)) {
+            pairs.push((s, t));
+        }
+    }
+    // Expected mice per step over the full pair space.
+    let mice_per_step = ((n * (n - 1)) as f64 * params.mice_density).round() as usize;
+    (0..length)
+        .map(|_| {
+            let mut dm = DemandMatrix::zeros(n);
+            for &(s, t) in &pairs {
+                dm.set(s, t, params.elephant_mean * rng.gen_range(0.8..1.2));
+            }
+            for _ in 0..mice_per_step {
+                let s = rng.gen_range(0..n);
+                let t = rng.gen_range(0..n);
+                if s != t {
+                    let v = dm.get(s, t) + params.mice_mean * rng.gen_range(0.2..1.8);
+                    dm.set(s, t, v);
+                }
+            }
+            dm
+        })
+        .collect()
+}
+
+/// A diurnal cycle with a flash crowd layered on top: the gravity base
+/// swings sinusoidally between `1 - depth` and `1 + depth` with period
+/// `period`, while hotspot destinations additionally ramp through the
+/// spike window of `fc` — the compound regime the scenario engine's
+/// `diurnal_flash_crowd` chaos scenario drives.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `period == 0`, `depth` is not in `[0, 1)`, or
+/// `fc` is invalid per [`flash_crowd`].
+pub fn diurnal_flash_crowd<R: Rng>(
+    n: usize,
+    length: usize,
+    period: usize,
+    depth: f64,
+    total: f64,
+    fc: &FlashCrowdParams,
+    rng: &mut R,
+) -> Vec<DemandMatrix> {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(period > 0, "period must be positive");
+    assert!((0.0..1.0).contains(&depth), "depth must be in [0, 1)");
+    fc.validate(n);
+    let base = gravity(n, total, rng);
+    let hot = pick_hotspots(n, fc.hotspots, rng);
+    (0..length)
+        .map(|i| {
+            let phase = 2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64;
+            let day = 1.0 + depth * phase.sin();
+            let spike = fc.factor(i);
+            DemandMatrix::from_fn(n, |s, t| {
+                let f = if hot.contains(&t) { spike } else { 1.0 };
+                base.get(s, t) * day * f * rng.gen_range(0.97..1.03)
+            })
+        })
+        .collect()
+}
+
+fn pick_hotspots<R: Rng>(n: usize, count: usize, rng: &mut R) -> Vec<usize> {
+    let mut hot = Vec::with_capacity(count);
+    while hot.len() < count {
+        let t = rng.gen_range(0..n);
+        if !hot.contains(&t) {
+            hot.push(t);
+        }
+    }
+    hot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gddr_rng::rngs::StdRng;
+    use gddr_rng::SeedableRng;
+
+    #[test]
+    fn flash_crowd_spikes_and_recovers() {
+        let params = FlashCrowdParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let seq = flash_crowd(10, 32, 5000.0, &params, &mut rng);
+        assert_eq!(seq.len(), 32);
+        let before = seq[0].total();
+        let peak_step = params.start + params.ramp + params.hold / 2;
+        let peak = seq[peak_step].total();
+        let after = seq[31].total();
+        assert!(peak > before * 1.5, "peak {peak} vs before {before}");
+        assert!(after < peak / 1.5, "spike must subside");
+    }
+
+    #[test]
+    fn spike_factor_window_shape() {
+        let p = FlashCrowdParams {
+            hotspots: 1,
+            start: 10,
+            ramp: 2,
+            hold: 3,
+            magnitude: 5.0,
+        };
+        assert_eq!(p.factor(0), 1.0);
+        assert_eq!(p.factor(9), 1.0);
+        assert!(p.factor(10) > 1.0 && p.factor(10) < 5.0);
+        assert_eq!(p.factor(12), 5.0);
+        assert_eq!(p.factor(14), 5.0);
+        assert!(p.factor(15) < 5.0 && p.factor(15) > 1.0);
+        assert_eq!(p.factor(17), 1.0);
+        assert_eq!(p.factor(100), 1.0);
+    }
+
+    #[test]
+    fn elephant_mice_has_persistent_elephants_and_churning_mice() {
+        let params = ElephantMiceParams::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq = elephant_mice(20, 16, &params, &mut rng);
+        // The heaviest pairs of step 0 stay heavy in every step.
+        let mut heavy: Vec<(usize, usize)> = seq[0]
+            .commodities()
+            .filter(|&(_, _, v)| v >= params.elephant_mean * 0.8)
+            .map(|(s, t, _)| (s, t))
+            .collect();
+        heavy.sort_unstable();
+        assert_eq!(heavy.len(), params.elephants);
+        for dm in &seq {
+            for &(s, t) in &heavy {
+                assert!(dm.get(s, t) >= params.elephant_mean * 0.8);
+            }
+        }
+        // Mice churn: the sparse support differs between steps.
+        let support = |dm: &DemandMatrix| -> Vec<(usize, usize)> {
+            dm.commodities().map(|(s, t, _)| (s, t)).collect()
+        };
+        assert_ne!(support(&seq[0]), support(&seq[1]));
+        // And the matrices stay sparse.
+        let filled = seq[0].commodities().count();
+        assert!(filled < 20 * 19 / 2, "elephant/mice matrices are sparse");
+    }
+
+    #[test]
+    fn diurnal_flash_crowd_layers_both_signals() {
+        let fc = FlashCrowdParams {
+            start: 6,
+            ramp: 2,
+            hold: 4,
+            magnitude: 8.0,
+            hotspots: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let seq = diurnal_flash_crowd(12, 24, 12, 0.4, 6000.0, &fc, &mut rng);
+        assert_eq!(seq.len(), 24);
+        let totals: Vec<f64> = seq.iter().map(DemandMatrix::total).collect();
+        // The spike peak dominates the diurnal swing.
+        let peak = totals[8];
+        let trough = totals[20];
+        assert!(peak > trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn scenario_generators_are_deterministic_under_seed() {
+        let p = FlashCrowdParams::default();
+        let a = flash_crowd(8, 10, 100.0, &p, &mut StdRng::seed_from_u64(9));
+        let b = flash_crowd(8, 10, 100.0, &p, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let em = ElephantMiceParams::default();
+        let c = elephant_mice(8, 10, &em, &mut StdRng::seed_from_u64(9));
+        let d = elephant_mice(8, 10, &em, &mut StdRng::seed_from_u64(9));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "magnitude")]
+    fn flash_crowd_rejects_sub_unit_magnitude() {
+        let p = FlashCrowdParams {
+            magnitude: 0.5,
+            ..FlashCrowdParams::default()
+        };
+        flash_crowd(8, 4, 100.0, &p, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One CI smoke leg, runnable locally too:
 #
-#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover>
+#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover|scenario>
 #
 # Every leg assumes the release build already exists (CI restores it
 # from the shared cache; locally run `cargo build --release --offline`
@@ -10,7 +10,7 @@
 
 set -euo pipefail
 
-LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover>}"
+LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover|scenario>}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 ART="$ROOT/ci_artifacts"
 mkdir -p "$ART"
@@ -94,6 +94,25 @@ case "$LEG" in
       --out "$ART/failover_report.json" --telemetry "$ART/failover_events.jsonl" \
       --postmortem "$ART/failover_postmortem.jsonl"
     run telemetry_check -- --file "$ART/failover_events.jsonl" --mode serve
+    ;;
+  scenario)
+    # Live-dynamics scenario engine: every dynamic scenario (diurnal
+    # flash crowd, rolling maintenance, flap storm, a 400-node WAN
+    # under live drains) replayed twice with bit-identical event, rung
+    # AND failover sequences and zero unanswered requests.
+    # broken_blackout is deliberately broken and must fail; its
+    # slo_alert postmortem is uploaded with the artifacts. Then a
+    # cheap single-regime scenario_sweep replay (flap_storm needs no
+    # in-process training) regenerates the quality-vs-reference side.
+    run chaos_harness -- \
+      --scenario dynamics --seed 42 --requests 88 \
+      --out "$ART/scenario_report.json" --telemetry "$ART/scenario_events.jsonl" \
+      --postmortem "$ART/scenario_postmortem.jsonl"
+    run telemetry_check -- --file "$ART/scenario_events.jsonl" --mode serve \
+      --relax breaker_transition,worker_restart,request_shed,health_transition
+    run scenario_sweep -- \
+      --regimes flap_storm --eval-steps 4 --seed 42 \
+      --out "$ART/BENCH_scenario_sweep.json"
     ;;
   *)
     echo "unknown smoke leg '$LEG'" >&2
