@@ -30,10 +30,20 @@
 //! applied-event sequence, and `broken_blackout` is their
 //! deliberately broken member.
 //!
+//! Recovery scenarios (`--scenario recovery`, or any name from
+//! `recovery_scenario_names`) crash a snapshot-enabled fleet
+//! mid-serve and restart it from its durable store: a clean
+//! crash/restore must come back warm on the restored LastGood rung,
+//! a corruption sweep (torn writes, bit flips, missing files) must
+//! cold-start cleanly with typed errors, and `manifest_lies` — whose
+//! manifest pins bytes it does not match — is their deliberately
+//! broken member: the store correctly refuses the warm restore the
+//! scenario demands.
+//!
 //! [`DynamicsPlan`]: gddr_serve::scenario::DynamicsPlan
 //!
 //! ```text
-//! chaos_harness [--scenario all|replication|dynamics|<name>[,<name>...]]
+//! chaos_harness [--scenario all|replication|dynamics|recovery|<name>[,<name>...]]
 //!               [--seed N] [--requests N] [--out PATH]
 //!               [--telemetry PATH] [--postmortem PATH]
 //! ```
@@ -56,8 +66,8 @@ use std::sync::Arc;
 use gddr_bench::{flag, parse_args, write_artifact};
 use gddr_ser::Json;
 use gddr_serve::chaos::{
-    replication_scenario_names, run_replication_scenario, run_scenario, scenario_names,
-    scenario_seed, ScenarioOutcome,
+    recovery_scenario_names, replication_scenario_names, run_recovery_scenario,
+    run_replication_scenario, run_scenario, scenario_names, scenario_seed, ScenarioOutcome,
 };
 use gddr_serve::scenario::{dynamic_scenario_names, run_dynamic_scenario};
 use gddr_telemetry::{FlightRecorder, JsonlSink, Sink, TeeSink};
@@ -129,6 +139,7 @@ fn main() {
         "all" => scenario_names().to_vec(),
         "replication" => replication_scenario_names().to_vec(),
         "dynamics" => dynamic_scenario_names().to_vec(),
+        "recovery" => recovery_scenario_names().to_vec(),
         list => {
             owned = list.split(',').map(str::to_string).collect();
             owned.iter().map(String::as_str).collect()
@@ -149,10 +160,13 @@ fn main() {
     let mut unexpected: Vec<String> = Vec::new();
     for name in &scenarios {
         let seed = scenario_seed(base_seed, name);
-        let expected_fail =
-            *name == "budget_zero" || *name == "replicas_exhausted" || *name == "broken_blackout";
+        let expected_fail = *name == "budget_zero"
+            || *name == "replicas_exhausted"
+            || *name == "broken_blackout"
+            || *name == "manifest_lies";
         let replicated = replication_scenario_names().contains(name);
         let dynamic = dynamic_scenario_names().contains(name);
+        let recovery = recovery_scenario_names().contains(name);
         // Replay-determinism SLO: same seed, same scenario, twice.
         // Replicated scenarios extend the digest with the failover
         // sequence; dynamic ones add the applied-event sequence.
@@ -168,6 +182,11 @@ fn main() {
             (
                 run_replication_scenario(name, seed, requests),
                 run_replication_scenario(name, seed, requests),
+            )
+        } else if recovery {
+            (
+                run_recovery_scenario(name, seed, requests),
+                run_recovery_scenario(name, seed, requests),
             )
         } else {
             (

@@ -1,7 +1,7 @@
 //! Fleet load bench: a sharded multi-topology serving fleet under a
 //! sustained request stream, with batched GNN inference.
 //!
-//! Four phases, all checked:
+//! Five phases, all checked:
 //!
 //! 1. **load** — ≥100k requests across ≥10 zoo-topology shards,
 //!    reporting sustained req/s and p50/p99 drain latency per ladder
@@ -15,7 +15,12 @@
 //! 4. **replicated** — a two-replica fleet with a dying primary: the
 //!    set must hedge the in-window batches, fail over to the standby,
 //!    shadow-probe the demoted primary back to eligibility, answer
-//!    every request, and replay bit-identically under the same seed.
+//!    every request, and replay bit-identically under the same seed,
+//! 5. **recovery_drill** — a snapshot-enabled fleet crashes mid-serve
+//!    and is rebuilt from its durable store: the restore must come
+//!    back warm (first post-restore responses on the restored
+//!    LastGood rung, restore wall time reported), and a corrupted
+//!    store must degrade to a clean cold start that still serves.
 //!
 //! ```text
 //! serve_load [--requests N] [--seed N] [--clients N] [--coalesce N]
@@ -47,8 +52,8 @@ use gddr_rng::SeedableRng;
 use gddr_ser::Json;
 use gddr_serve::{
     ChaosEngine, ControllerConfig, EngineFactory, FailoverConfig, Fault, FaultPlan, FleetConfig,
-    FleetRequest, HealthState, HedgeConfig, InferenceEngine, PolicyEngine, PoolConfig, Rung,
-    ShardOutcome, ShardRouter,
+    FleetRequest, HealthState, HedgeConfig, InferenceEngine, PolicyEngine, PoolConfig,
+    RecoveryReport, Rung, ShardOutcome, ShardRouter, SnapshotPolicy,
 };
 use gddr_telemetry::{bucket_width, FlightRecorder, JsonlSink, LogHistogram, Sink, TeeSink};
 use gddr_traffic::gen::{bimodal, BimodalParams};
@@ -566,6 +571,179 @@ fn main() {
         }
     );
 
+    // Phase 5: recovery drill. A three-shard snapshot-enabled fleet
+    // serves half its ticks, crashes (dropped with no shutdown hook),
+    // and is rebuilt from the durable store: the restore must come
+    // back warm with every shard's first response on the restored
+    // LastGood rung. A second restart against a corrupted store must
+    // degrade to a clean cold start that still serves.
+    let drill_dir =
+        std::env::temp_dir().join(format!("gddr-serve-load-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&drill_dir);
+    let drill_names: [&str; 3] = ["cesnet", "abilene", "geant"];
+    let build_drill = || -> ShardRouter {
+        let mut router =
+            ShardRouter::new(fleet_config(coalesce, threads)).expect("fleet config is valid");
+        for (i, name) in drill_names.iter().enumerate() {
+            let graph = zoo::by_name(name).expect("zoo topology exists");
+            router
+                .add_shard(
+                    name,
+                    graph,
+                    DdrEnvConfig {
+                        memory: MEMORY,
+                        ..DdrEnvConfig::default()
+                    },
+                    controller_config(),
+                    gnn_factory(
+                        seed ^ (i as u64 + 21).wrapping_mul(0x9e3779b97f4a7c15),
+                        Arc::new(FaultPlan::new()),
+                    ),
+                )
+                .expect("unique shard name");
+        }
+        router
+    };
+    let drill_sizes: Vec<(String, usize)> = drill_names
+        .iter()
+        .map(|n| (n.to_string(), zoo::by_name(n).unwrap().num_nodes()))
+        .collect();
+    let drill_tick_load = |tick: u64| -> Vec<FleetRequest> {
+        let mut batch = Vec::new();
+        for client in 0..2u64 {
+            for (i, (name, n)) in drill_sizes.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(
+                    (seed ^ 0xd811)
+                        ^ (tick << 24 | client << 8 | i as u64).wrapping_mul(0x100000001b3),
+                );
+                batch.push(FleetRequest {
+                    topology: name.clone(),
+                    request: gddr_serve::EpochRequest {
+                        epoch: tick,
+                        demands: bimodal(*n, &BimodalParams::default(), &mut rng),
+                        deadline_ms: DEADLINE_MS,
+                    },
+                });
+            }
+        }
+        batch
+    };
+    let drill_policy = SnapshotPolicy {
+        every_runs: 1,
+        warm_epochs: 2,
+    };
+    let drill_ticks = 8u64;
+    let mut drill_submitted = 0usize;
+    let mut drill_answered = 0usize;
+    let mut drill_pre = build_drill();
+    drill_pre
+        .enable_snapshots(&drill_dir, drill_policy.clone())
+        .expect("enable drill snapshots");
+    for tick in 0..drill_ticks / 2 {
+        let batch = drill_tick_load(tick);
+        drill_submitted += batch.len();
+        drill_answered += drill_pre
+            .run(&batch)
+            .expect("drill run")
+            .iter()
+            .map(|o| o.responses.len())
+            .sum::<usize>();
+    }
+    drop(drill_pre);
+    let mut drill_post = build_drill();
+    drill_post
+        .enable_snapshots(&drill_dir, drill_policy)
+        .expect("enable drill snapshots");
+    let restore_start = Instant::now();
+    let drill_report = drill_post.recover_from();
+    let restore_ms = restore_start.elapsed().as_secs_f64() * 1e3;
+    let (drill_warm, drill_generation) = match &drill_report {
+        RecoveryReport::Warm { generation, .. } => (true, *generation),
+        RecoveryReport::Cold { error } => {
+            violations.push(format!(
+                "recovery_drill: restart came back cold ({error}) with an intact snapshot"
+            ));
+            (false, 0)
+        }
+    };
+    let mut drill_first_rungs = String::new();
+    for tick in drill_ticks / 2..drill_ticks {
+        let batch = drill_tick_load(tick);
+        drill_submitted += batch.len();
+        let outs = drill_post.run(&batch).expect("drill continue");
+        if tick == drill_ticks / 2 {
+            for o in &outs {
+                match o.responses.first() {
+                    Some(r) if r.rung == Rung::LastGood => {}
+                    Some(r) => violations.push(format!(
+                        "recovery_drill: shard {} first post-restore rung {:?}, want LastGood",
+                        o.name, r.rung
+                    )),
+                    None => violations
+                        .push(format!("recovery_drill: shard {} answered nothing", o.name)),
+                }
+            }
+            drill_first_rungs = outs
+                .iter()
+                .map(|o| format!("{}:{}", o.name, o.rung_sequence()))
+                .collect::<Vec<_>>()
+                .join(";");
+        }
+        drill_answered += outs.iter().map(|o| o.responses.len()).sum::<usize>();
+    }
+    // Corruption leg: tear every committed record, then restart. The
+    // store must refuse (typed error, cold start) and the cold fleet
+    // must still serve — never from restored state.
+    for entry in std::fs::read_dir(&drill_dir).expect("read drill store") {
+        let path = entry.expect("drill store entry").path();
+        if path.extension().is_some_and(|e| e == "rec") {
+            let bytes = std::fs::read(&path).expect("read record");
+            std::fs::write(&path, &bytes[..bytes.len().min(10)]).expect("tear record");
+        }
+    }
+    let mut drill_cold = build_drill();
+    drill_cold
+        .enable_snapshots(
+            &drill_dir,
+            SnapshotPolicy {
+                every_runs: 1_000_000,
+                warm_epochs: 2,
+            },
+        )
+        .expect("enable drill snapshots");
+    let cold_report = drill_cold.recover_from();
+    let (corrupt_cold, cold_kind) = match &cold_report {
+        RecoveryReport::Cold { error } => (true, error.kind_name().to_string()),
+        RecoveryReport::Warm { generation, .. } => {
+            violations.push(format!(
+                "recovery_drill: corrupted store restored warm (generation {generation})"
+            ));
+            (false, String::new())
+        }
+    };
+    let cold_batch = drill_tick_load(drill_ticks);
+    drill_submitted += cold_batch.len();
+    let cold_outs = drill_cold.run(&cold_batch).expect("drill cold serve");
+    if cold_outs
+        .iter()
+        .flat_map(|o| &o.responses)
+        .any(|r| r.rung == Rung::LastGood)
+    {
+        violations.push("recovery_drill: cold start served restored state".to_string());
+    }
+    drill_answered += cold_outs.iter().map(|o| o.responses.len()).sum::<usize>();
+    if drill_answered != drill_submitted {
+        violations.push(format!(
+            "recovery_drill: {drill_submitted} submitted but {drill_answered} answered"
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&drill_dir);
+    println!(
+        "serve_load: recovery_drill — {} restore in {restore_ms:.1}ms (generation {drill_generation}), first rungs [{drill_first_rungs}], corrupt store {} ({cold_kind}), {drill_answered}/{drill_submitted} answered",
+        if drill_warm { "warm" } else { "COLD" },
+        if corrupt_cold { "cold-started" } else { "NOT refused" },
+    );
+
     let _ = std::panic::take_hook();
 
     // The killed shard burns its error budget, so by here the chaos
@@ -676,6 +854,19 @@ fn main() {
                 ("failover_sequence", Json::Str(rep_seq.clone())),
                 ("deterministic", Json::Bool(rep_deterministic)),
                 ("killed_fresh_ratio", Json::Num(rep_killed_fresh_ratio)),
+            ]),
+        ),
+        (
+            "recovery_drill",
+            Json::obj([
+                ("warm", Json::Bool(drill_warm)),
+                ("generation", Json::Num(drill_generation as f64)),
+                ("restore_ms", Json::Num(restore_ms)),
+                ("first_rungs", Json::Str(drill_first_rungs.clone())),
+                ("corrupt_cold", Json::Bool(corrupt_cold)),
+                ("cold_kind", Json::Str(cold_kind.clone())),
+                ("submitted", Json::Num(drill_submitted as f64)),
+                ("answered", Json::Num(drill_answered as f64)),
             ]),
         ),
         (

@@ -19,7 +19,11 @@
 //!   absent from single-controller runs, but when present they must
 //!   agree 1:1 with their counters and be well-formed (a failover
 //!   never targets its own source, hedge wins never exceed the batch,
-//!   recoveries carry a positive probe count). `--relax k1,k2`
+//!   recoveries carry a positive probe count). The durability kinds
+//!   (`snapshot_written`, `recovery`) are also optional-but-consistent
+//!   with their `store.*` counters, and their fields are checked
+//!   (positive shard/byte counts, warm restores carry a generation,
+//!   cold starts carry a corruption-class detail). `--relax k1,k2`
 //!   demotes the listed serve kinds to optional-but-consistent too —
 //!   the dynamics smoke leg uses it for kinds its scenarios never
 //!   trigger (no breaker trips, no worker restarts).
@@ -93,6 +97,13 @@ const REPLICATION_KINDS: &[(&str, &str)] = &[
     ("failover", "serve.failovers"),
     ("hedge_fired", "serve.hedges_fired"),
     ("replica_recovered", "serve.replica_recoveries"),
+];
+
+/// Durability event kinds: optional (absent from runs without a
+/// snapshot store) but counter-consistent when present.
+const STORE_KINDS: &[(&str, &str)] = &[
+    ("snapshot_written", "store.snapshots_written"),
+    ("recovery", "store.recoveries"),
 ];
 
 const RUNG_NAMES: &[&str] = &["fresh", "last_good", "ecmp", "shortest_path"];
@@ -230,6 +241,45 @@ fn validate_serve(events: &[Event], relax: &BTreeSet<String>) {
                 *kind_counts.entry("replica_recovered").or_insert(0) += 1;
                 assert!(*probes > 0, "replica_recovered with zero probes");
             }
+            Event::SnapshotWritten {
+                shards,
+                generation,
+                bytes,
+                path,
+                ..
+            } => {
+                *kind_counts.entry("snapshot_written").or_insert(0) += 1;
+                assert!(*shards > 0, "snapshot_written with zero shards");
+                assert!(*generation > 0, "snapshot_written with generation 0");
+                assert!(*bytes > 0, "snapshot_written with zero bytes");
+                assert!(!path.is_empty(), "snapshot_written with an empty path");
+            }
+            Event::Recovery {
+                shards,
+                outcome,
+                generation,
+                detail,
+                ..
+            } => {
+                *kind_counts.entry("recovery").or_insert(0) += 1;
+                assert!(*shards > 0, "recovery with zero shards");
+                match outcome.as_str() {
+                    "warm" => {
+                        assert!(*generation > 0, "warm recovery with generation 0");
+                        assert!(
+                            detail.is_empty(),
+                            "warm recovery carries a corruption detail {detail:?}"
+                        );
+                    }
+                    "cold" => {
+                        assert!(
+                            !detail.is_empty(),
+                            "cold recovery without a corruption-class detail"
+                        );
+                    }
+                    other => panic!("unknown recovery outcome {other:?}"),
+                }
+            }
             _ => {}
         }
     }
@@ -277,8 +327,9 @@ fn validate_serve(events: &[Event], relax: &BTreeSet<String>) {
         "counter \"serve.slo_alerts\" deltas ({}) disagree with slo_alert events ({alert_events})",
         alert_counter.0
     );
-    // Replication kinds: optional, but counter-consistent when present.
-    for (kind, counter) in REPLICATION_KINDS {
+    // Replication and durability kinds: optional, but
+    // counter-consistent when present.
+    for (kind, counter) in REPLICATION_KINDS.iter().chain(STORE_KINDS) {
         let seen = kind_counts.get(kind).copied().unwrap_or(0);
         let (delta_sum, _) = counter_stats.get(*counter).copied().unwrap_or((0, 0));
         assert_eq!(
@@ -294,7 +345,7 @@ fn validate_serve(events: &[Event], relax: &BTreeSet<String>) {
         "request_shed events ({shed_events}) disagree with shed-tagged responses ({shed_served})"
     );
     println!(
-        "telemetry_check(serve): OK — {} events, {} responses ({} shed), {} breaker transitions, {} worker restarts, {} health transitions, {} slo alerts, {} failovers, {} hedges, {} recoveries",
+        "telemetry_check(serve): OK — {} events, {} responses ({} shed), {} breaker transitions, {} worker restarts, {} health transitions, {} slo alerts, {} failovers, {} hedges, {} recoveries, {} snapshots, {} restore attempts",
         events.len(),
         kind_counts.get("rung_served").copied().unwrap_or(0),
         shed_served,
@@ -305,6 +356,8 @@ fn validate_serve(events: &[Event], relax: &BTreeSet<String>) {
         kind_counts.get("failover").copied().unwrap_or(0),
         kind_counts.get("hedge_fired").copied().unwrap_or(0),
         kind_counts.get("replica_recovered").copied().unwrap_or(0),
+        kind_counts.get("snapshot_written").copied().unwrap_or(0),
+        kind_counts.get("recovery").copied().unwrap_or(0),
     );
 }
 

@@ -138,6 +138,7 @@ pub fn all_targets() -> &'static [&'static str] {
         "serve_request",
         "telemetry_events",
         "scenario_plan",
+        "snapshot_decode",
         "planted",
     ]
 }
@@ -940,6 +941,138 @@ fn target_scenario_plan(seed: u64, size: u64) -> Result<(), String> {
     }
 }
 
+/// The durable-snapshot codec never panics and never silently accepts
+/// damage: build a valid [`gddr_store::FleetSnapshot`] with hostile
+/// shard names and state trees, require the framed record to decode
+/// back to a byte-identical fixed point, then attack the frame —
+/// truncation at a random prefix, a single bit flip anywhere, trailing
+/// garbage, a rewritten magic/version byte, and free-form random bytes
+/// — and require every attack to come back as a typed
+/// [`gddr_store::StoreError`] whose `Display` and `kind_name` are
+/// callable.
+fn target_snapshot_decode(seed: u64, size: u64) -> Result<(), String> {
+    use gddr_store::{FleetSnapshot, ShardSnapshot, StoreError, RECORD_HEADER_LEN};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hostile = |rng: &mut StdRng| -> String {
+        const POOL: &[&str] = &[
+            "cesnet",
+            "eu\"west",
+            "back\\slash",
+            "multi\nline",
+            "\u{1F980}-shard",
+            "",
+            "nul\u{0}byte",
+        ];
+        POOL[(rng.next_u64() as usize) % POOL.len()].to_string()
+    };
+    let state = |rng: &mut StdRng| -> Json {
+        match rng.next_u64() % 4 {
+            0 => Json::Null,
+            1 => Json::obj([
+                ("epoch", Json::Num((rng.next_u64() % 4096) as f64)),
+                ("rung", Json::Str(hostile(rng))),
+            ]),
+            2 => Json::Arr(
+                (0..rng.next_u64() % 5)
+                    .map(|i| Json::Num(i as f64 * 0.5 - 1.0))
+                    .collect(),
+            ),
+            _ => Json::obj([("nested", Json::obj([("deep", Json::Str(hostile(rng)))]))]),
+        }
+    };
+    let shard_count = 1 + (size as usize % 8);
+    let snap = FleetSnapshot {
+        generation: 1 + rng.next_u64() % 1000,
+        tick: rng.next_u64() % 100_000,
+        shards: (0..shard_count)
+            .map(|i| ShardSnapshot {
+                shard: i as u64,
+                // Names get an index suffix so by-name lookup stays
+                // unambiguous even when the hostile pool repeats.
+                name: format!("{}-{i}", hostile(&mut rng)),
+                state: state(&mut rng),
+            })
+            .collect(),
+    };
+
+    // A valid snapshot round-trips to a byte-identical fixed point.
+    let bytes = snap.to_record_bytes();
+    let back = FleetSnapshot::from_record_bytes(&bytes)
+        .map_err(|e| format!("valid snapshot rejected: {e} ({})", e.kind_name()))?;
+    if back != snap {
+        return fail("decoded snapshot disagrees with the original".to_string());
+    }
+    if back.to_record_bytes() != bytes {
+        return fail("re-encoding the decoded snapshot is not byte-identical".to_string());
+    }
+    for shard in &snap.shards {
+        if back.shard_named(&shard.name).map(|s| s.shard) != Some(shard.shard) {
+            return fail(format!("shard {:?} lost in the round trip", shard.name));
+        }
+    }
+
+    // Every corruption class must surface as a typed error (the
+    // harness's catch_unwind turns any panic into a failure) whose
+    // Display and kind_name render without panicking.
+    let expect_err = |label: &str, data: &[u8]| -> Result<(), String> {
+        match FleetSnapshot::from_record_bytes(data) {
+            Err(e) => {
+                let _ = e.to_string();
+                let _ = e.kind_name();
+                Ok(())
+            }
+            Ok(_) => Err(format!("{label}: corrupted record decoded cleanly")),
+        }
+    };
+    let attacks = 2 + (size as usize % 6);
+    for _ in 0..attacks {
+        match rng.next_u64() % 5 {
+            0 => {
+                let cut = (rng.next_u64() as usize) % bytes.len();
+                expect_err("truncation", &bytes[..cut])?;
+            }
+            1 => {
+                let mut bad = bytes.clone();
+                let byte = (rng.next_u64() as usize) % bad.len();
+                bad[byte] ^= 1 << (rng.next_u64() % 8);
+                expect_err("bit flip", &bad)?;
+            }
+            2 => {
+                let mut bad = bytes.clone();
+                bad.extend((0..1 + rng.next_u64() % 9).map(|i| i as u8));
+                expect_err("trailing garbage", &bad)?;
+            }
+            3 => {
+                let mut bad = bytes.clone();
+                let header_byte = (rng.next_u64() as usize) % RECORD_HEADER_LEN;
+                bad[header_byte] = bad[header_byte].wrapping_add(1 + (rng.next_u64() % 254) as u8);
+                expect_err("header rewrite", &bad)?;
+            }
+            _ => {
+                let junk: Vec<u8> = (0..rng.next_u64() % 64)
+                    .map(|_| (rng.next_u64() & 0xFF) as u8)
+                    .collect();
+                // Random bytes never carry the magic tag, so decode
+                // must refuse them.
+                expect_err("random bytes", &junk)?;
+            }
+        }
+    }
+
+    // An intact frame around a non-snapshot payload is a Decode error,
+    // not a panic and not a framing error.
+    let framed = gddr_store::encode_record(b"{\"generation\":\"not a number\"}");
+    match FleetSnapshot::from_record_bytes(&framed) {
+        Err(StoreError::Decode(_)) => Ok(()),
+        Err(e) => fail(format!(
+            "wrong-shape payload gave {} instead of decode",
+            e.kind_name()
+        )),
+        Ok(_) => fail("wrong-shape payload decoded cleanly".to_string()),
+    }
+}
+
 /// The deliberately bad target: fails (via a typed error, not a panic)
 /// whenever `size ≥ 3` on every seventh seed, so the harness's
 /// catch/shrink/replay loop can be demonstrated end to end. The
@@ -971,6 +1104,7 @@ pub fn run_case(case: &FuzzCase) -> Outcome {
             "serve_request" => target_serve_request(seed, size),
             "telemetry_events" => target_telemetry_events(seed, size),
             "scenario_plan" => target_scenario_plan(seed, size),
+            "snapshot_decode" => target_snapshot_decode(seed, size),
             "planted" => target_planted(seed, size),
             other => Err(format!("unknown fuzz target {other:?}")),
         }

@@ -145,20 +145,21 @@ impl FromJson for Checkpoint {
 }
 
 impl Checkpoint {
-    /// Writes the checkpoint atomically: serialise to `<path>.tmp`,
-    /// then rename over `path`, so a crash mid-write never leaves a
-    /// truncated checkpoint behind.
+    /// Writes the checkpoint atomically via
+    /// [`gddr_store::write_atomic`] (serialise to `<path>.tmp`, then
+    /// rename over `path`), so a crash mid-write never leaves a
+    /// truncated checkpoint behind. The bytes on disk are the raw
+    /// `gddr-ser` JSON — not the store's CRC-framed record format —
+    /// so existing checkpoints stay byte-identical and loadable.
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        fs::write(&tmp, self.to_json().to_string().as_bytes())?;
-        fs::rename(&tmp, path)?;
-        Ok(())
+        gddr_store::write_atomic(path, self.to_json().to_string().as_bytes()).map_err(|e| match e {
+            gddr_store::StoreError::Io(io) => CheckpointError::Io(io),
+            other => CheckpointError::Corrupt(other.to_string()),
+        })
     }
 
     /// Reads a checkpoint written by [`Checkpoint::save`].

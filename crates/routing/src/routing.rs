@@ -188,6 +188,15 @@ impl Routing {
         self.dest_flows.iter().map(|(&t, v)| (t, v.as_slice()))
     }
 
+    /// Iterates over per-pair `((s, t), ratios)` overrides only,
+    /// without expanding destination-shared entries. Together with
+    /// [`Routing::dest_flows`] this exposes the exact internal
+    /// representation, which snapshot codecs need to persist a routing
+    /// without inflating shared entries into `n - 1` copies.
+    pub fn pair_flows(&self) -> impl Iterator<Item = ((usize, usize), &[f64])> {
+        self.flows.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
     /// Promotes the ratios of flow `(from_source, t)` to the shared
     /// per-destination entry used by every other source — used by
     /// destination-based routings (softmin with the distance DAG, ECMP)

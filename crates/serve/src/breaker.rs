@@ -50,6 +50,16 @@ impl BreakerState {
             BreakerState::HalfOpen => "half_open",
         }
     }
+
+    /// Parses a stable event name back to a state (snapshot decode).
+    pub fn from_name(name: &str) -> Option<BreakerState> {
+        match name {
+            "closed" => Some(BreakerState::Closed),
+            "open" => Some(BreakerState::Open),
+            "half_open" => Some(BreakerState::HalfOpen),
+            _ => None,
+        }
+    }
 }
 
 /// A state change, reported so the caller can emit telemetry.
@@ -133,6 +143,27 @@ impl CircuitBreaker {
             // nothing.
             BreakerState::Open => None,
         }
+    }
+
+    /// Snapshot of the full state machine: `(state, consecutive
+    /// failures, opened-at epoch, probe successes)`.
+    pub fn export(&self) -> (BreakerState, u32, u64, u32) {
+        (
+            self.state,
+            self.consecutive_failures,
+            self.opened_at,
+            self.probes_ok,
+        )
+    }
+
+    /// Restores a previously exported state machine (warm restart).
+    /// The tuning config is not restored — it belongs to the process,
+    /// not the snapshot.
+    pub fn restore(&mut self, state: BreakerState, failures: u32, opened_at: u64, probes_ok: u32) {
+        self.state = state;
+        self.consecutive_failures = failures;
+        self.opened_at = opened_at;
+        self.probes_ok = probes_ok;
     }
 
     /// Records a failed call at `epoch`.

@@ -22,6 +22,13 @@
 //! of live topology mutations (link flaps, capacity drains, rolling
 //! per-replica retools) applied while serving. Their determinism
 //! digest extends to the failover sequence.
+//!
+//! Recovery scenarios ([`run_recovery_scenario`]) crash a
+//! snapshot-enabled fleet mid-serve and restart it from the durable
+//! store, injecting torn writes, bit flips, and lying manifests
+//! between crash and restart. Warm restores must resume on the
+//! restored LastGood rung; damaged stores must degrade to a clean
+//! cold start with a typed error.
 
 use std::sync::Arc;
 
@@ -35,8 +42,11 @@ use gddr_traffic::DemandMatrix;
 
 use gddr_net::graph::EdgeId;
 
+use gddr_store::Store;
+
 use crate::controller::{Controller, ControllerConfig};
 use crate::engine::{ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine};
+use crate::fleet::{FleetConfig, FleetRequest, RecoveryReport, ShardRouter, SnapshotPolicy};
 use crate::replica::{FailoverConfig, HedgeConfig, ReplicaSet};
 use crate::request::{EpochRequest, RouteResponse, Rung, ServeError, DEFAULT_DEADLINE_MS};
 use crate::worker::ExecMode;
@@ -903,6 +913,380 @@ pub fn run_replication_scenario(
     })
 }
 
+/// Recovery scenario names [`run_recovery_scenario`] accepts.
+/// `manifest_lies` is the deliberately broken one: the committed
+/// manifest is made to pin a record it does not match, the store
+/// correctly refuses the warm restore, and the scenario's
+/// demands-warm SLO fails loudly — proving the harness detects
+/// recovery-level violations.
+pub fn recovery_scenario_names() -> &'static [&'static str] {
+    &[
+        "process_crash_recovery",
+        "corrupt_snapshot",
+        "manifest_lies",
+    ]
+}
+
+/// Topology shard every recovery scenario serves.
+const RECOVERY_SHARD: &str = "cesnet";
+/// Same-tick clients per fleet tick in recovery scenarios.
+const RECOVERY_CLIENTS: usize = 2;
+
+/// A single-shard fleet with the chaos base config — rebuilt
+/// identically on both sides of a simulated crash.
+fn recovery_fleet(seed: u64) -> Result<ShardRouter, ServeError> {
+    let mut router = ShardRouter::new(FleetConfig::default())?;
+    router.add_shard(
+        RECOVERY_SHARD,
+        zoo::cesnet(),
+        DdrEnvConfig {
+            memory: MEMORY,
+            ..DdrEnvConfig::default()
+        },
+        base_config(),
+        engine_factory(seed ^ 1, Arc::new(FaultPlan::new())),
+    )?;
+    Ok(router)
+}
+
+/// Serves one fleet tick of [`RECOVERY_CLIENTS`] requests and returns
+/// the responses in order.
+fn run_recovery_tick(
+    router: &ShardRouter,
+    tick: u64,
+    n: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<RouteResponse>, ServeError> {
+    let batch: Vec<FleetRequest> = (0..RECOVERY_CLIENTS)
+        .map(|_| FleetRequest {
+            topology: RECOVERY_SHARD.to_string(),
+            request: make_request(tick, n, rng, None),
+        })
+        .collect();
+    let outcomes = router.run(&batch)?;
+    Ok(outcomes.into_iter().flat_map(|o| o.responses).collect())
+}
+
+/// One way a committed snapshot store gets damaged between crash and
+/// restart in the `corrupt_snapshot` sweep.
+enum Corruption {
+    /// Torn write: only the first `len` bytes of the record survive.
+    Truncate(usize),
+    /// Radiation: one bit of the record flips.
+    FlipBit { pos: usize, bit: u8 },
+    /// The manifest itself is lost.
+    DropManifest,
+    /// The manifest survives but the record it points at is gone.
+    DropRecord,
+}
+
+/// Runs one recovery scenario: a snapshot-enabled [`ShardRouter`]
+/// killed mid-serve and rebuilt from its durable store, with
+/// corruption injected between crash and restart. SLOs: zero
+/// unanswered, every routing valid, warm restores resume on the
+/// restored LastGood rung, corrupted stores degrade to a clean cold
+/// start (typed error, never a panic, never restored state). The
+/// determinism digest is `(rung_sequence, event_sequence)` where the
+/// event sequence records each recovery outcome.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Config`] for unknown scenario names or
+/// unusable request counts; SLO failures are reported in
+/// [`ScenarioOutcome::violations`], not as `Err`.
+pub fn run_recovery_scenario(
+    name: &str,
+    seed: u64,
+    requests: usize,
+) -> Result<ScenarioOutcome, ServeError> {
+    if !recovery_scenario_names().contains(&name) {
+        return Err(ServeError::Config(format!(
+            "unknown recovery scenario '{name}'"
+        )));
+    }
+    if requests < 40 {
+        return Err(ServeError::Config(
+            "recovery scenarios need at least 40 requests".to_string(),
+        ));
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "gddr-recovery-{name}-{seed}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = recovery_scenario_impl(name, seed, requests, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn recovery_scenario_impl(
+    name: &str,
+    seed: u64,
+    requests: usize,
+    dir: &std::path::Path,
+) -> Result<ScenarioOutcome, ServeError> {
+    let io_err = |what: &str, e: std::io::Error| ServeError::Config(format!("{what}: {e}"));
+    let graph = zoo::cesnet();
+    let n = graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let policy = SnapshotPolicy {
+        every_runs: 1,
+        warm_epochs: 2,
+    };
+    // Post-corruption fleets must not snapshot: a case's own serving
+    // would otherwise heal the store under later cases.
+    let passive = SnapshotPolicy {
+        every_runs: 1_000_000,
+        warm_epochs: 2,
+    };
+
+    let mut responses: Vec<RouteResponse> = Vec::new();
+    let mut submitted = 0usize;
+    let mut events: Vec<String> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+
+    match name {
+        "process_crash_recovery" => {
+            let ticks = requests / RECOVERY_CLIENTS;
+            let crash_at = ticks / 2;
+            let mut alive = recovery_fleet(seed)?;
+            alive.enable_snapshots(dir, policy.clone())?;
+            for tick in 0..crash_at {
+                responses.extend(run_recovery_tick(&alive, tick as u64, n, &mut rng)?);
+                submitted += RECOVERY_CLIENTS;
+            }
+            let before_crash = responses.len();
+            // The crash: the process dies with no shutdown hook, so
+            // only the committed store survives.
+            drop(alive);
+
+            let mut restarted = recovery_fleet(seed)?;
+            restarted.enable_snapshots(dir, policy)?;
+            match restarted.recover_from() {
+                RecoveryReport::Warm { generation, tick } => {
+                    events.push(format!("warm(g{generation})@t{tick}"));
+                }
+                RecoveryReport::Cold { error } => {
+                    events.push(format!("cold:{}", error.kind_name()));
+                    violations.push(format!(
+                        "restart came back cold ({error}) with an intact snapshot on disk"
+                    ));
+                }
+            }
+            for tick in crash_at..ticks {
+                responses.extend(run_recovery_tick(&restarted, tick as u64, n, &mut rng)?);
+                submitted += RECOVERY_CLIENTS;
+            }
+            match responses.get(before_crash) {
+                Some(first) if first.rung == Rung::LastGood => {}
+                Some(first) => violations.push(format!(
+                    "first post-restore rung {:?}, expected the restored LastGood",
+                    first.rung
+                )),
+                None => violations.push("no responses after restart".to_string()),
+            }
+            if !responses
+                .iter()
+                .skip(before_crash)
+                .any(|r| r.rung == Rung::Fresh)
+            {
+                violations.push("inference never resumed after the warm window".to_string());
+            }
+        }
+        "corrupt_snapshot" => {
+            // Commit a few generations, then crash.
+            let phase1_ticks = 4usize;
+            let mut alive = recovery_fleet(seed)?;
+            alive.enable_snapshots(dir, policy)?;
+            for tick in 0..phase1_ticks {
+                responses.extend(run_recovery_tick(&alive, tick as u64, n, &mut rng)?);
+                submitted += RECOVERY_CLIENTS;
+            }
+            drop(alive);
+
+            let store =
+                Store::open(dir).map_err(|e| ServeError::Config(format!("reopen store: {e}")))?;
+            let manifest_path = dir.join(gddr_store::MANIFEST_NAME);
+            let record_path = store.record_path(phase1_ticks as u64);
+            let pristine_record =
+                std::fs::read(&record_path).map_err(|e| io_err("read record", e))?;
+            let pristine_manifest =
+                std::fs::read(&manifest_path).map_err(|e| io_err("read manifest", e))?;
+            let len = pristine_record.len();
+
+            // Torn-write prefixes (inside and past the header), seeded
+            // bit flips, and missing files. Labels carry no byte
+            // positions: the record length reflects wall-clock latency
+            // histograms and is not replay-stable, only the corruption
+            // *classes* are.
+            let mut cases: Vec<(String, Corruption)> = [
+                ("torn_empty", 0),
+                ("torn_hdr7", 7.min(len)),
+                ("torn_hdr19", 19.min(len)),
+                ("torn_third", len / 3),
+                ("torn_half", len / 2),
+                ("torn_tail", len - 1),
+            ]
+            .into_iter()
+            .map(|(label, k)| (label.to_string(), Corruption::Truncate(k)))
+            .collect();
+            {
+                use gddr_rng::Rng;
+                let mut crng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+                let header = gddr_store::RECORD_HEADER_LEN;
+                for i in 0..4 {
+                    // Payload-only flips, so the class is always a
+                    // checksum mismatch regardless of record length.
+                    let pos = header + (crng.next_u64() as usize) % (len - header);
+                    let bit = (crng.next_u64() % 8) as u8;
+                    cases.push((format!("flip{i}"), Corruption::FlipBit { pos, bit }));
+                }
+            }
+            cases.push(("no_manifest".to_string(), Corruption::DropManifest));
+            cases.push(("no_record".to_string(), Corruption::DropRecord));
+
+            let mut tick = phase1_ticks as u64;
+            for (label, op) in &cases {
+                // Restore the pristine store, then damage it.
+                std::fs::write(&record_path, &pristine_record)
+                    .map_err(|e| io_err("restore record", e))?;
+                std::fs::write(&manifest_path, &pristine_manifest)
+                    .map_err(|e| io_err("restore manifest", e))?;
+                match op {
+                    Corruption::Truncate(k) => {
+                        std::fs::write(&record_path, &pristine_record[..*k])
+                            .map_err(|e| io_err("truncate record", e))?;
+                    }
+                    Corruption::FlipBit { pos, bit } => {
+                        let mut bytes = pristine_record.clone();
+                        bytes[*pos] ^= 1 << bit;
+                        std::fs::write(&record_path, &bytes)
+                            .map_err(|e| io_err("flip record bit", e))?;
+                    }
+                    Corruption::DropManifest => {
+                        std::fs::remove_file(&manifest_path)
+                            .map_err(|e| io_err("drop manifest", e))?;
+                    }
+                    Corruption::DropRecord => {
+                        std::fs::remove_file(&record_path).map_err(|e| io_err("drop record", e))?;
+                    }
+                }
+
+                let mut fleet = recovery_fleet(seed)?;
+                fleet.enable_snapshots(dir, passive.clone())?;
+                match fleet.recover_from() {
+                    RecoveryReport::Cold { error } => {
+                        events.push(format!("{label}>cold:{}", error.kind_name()));
+                    }
+                    RecoveryReport::Warm { generation, .. } => {
+                        events.push(format!("{label}>warm(g{generation})"));
+                        violations.push(format!("{label}: corrupted snapshot restored warm"));
+                    }
+                }
+                // The cold fleet still serves, and never from
+                // restored state.
+                let served = run_recovery_tick(&fleet, tick, n, &mut rng)?;
+                if served.iter().any(|r| r.rung == Rung::LastGood) {
+                    violations.push(format!("{label}: cold start served restored state"));
+                }
+                responses.extend(served);
+                submitted += RECOVERY_CLIENTS;
+                tick += 1;
+            }
+
+            // Pad out the request budget on one last cold fleet.
+            let tail = recovery_fleet(seed)?;
+            while submitted < requests {
+                responses.extend(run_recovery_tick(&tail, tick, n, &mut rng)?);
+                submitted += RECOVERY_CLIENTS;
+                tick += 1;
+            }
+        }
+        "manifest_lies" => {
+            // Deliberately broken: generation 4's manifest ends up
+            // pinning bytes that actually hold generation 3. The store
+            // must refuse the warm restore (cold, typed) — but this
+            // scenario's SLO demands warm, so it fails loudly.
+            let phase1_ticks = 4usize;
+            let mut alive = recovery_fleet(seed)?;
+            alive.enable_snapshots(dir, policy)?;
+            for tick in 0..phase1_ticks {
+                responses.extend(run_recovery_tick(&alive, tick as u64, n, &mut rng)?);
+                submitted += RECOVERY_CLIENTS;
+            }
+            drop(alive);
+
+            let store =
+                Store::open(dir).map_err(|e| ServeError::Config(format!("reopen store: {e}")))?;
+            let stale =
+                std::fs::read(store.record_path(3)).map_err(|e| io_err("read stale record", e))?;
+            std::fs::write(store.record_path(4), &stale)
+                .map_err(|e| io_err("overwrite record", e))?;
+
+            let mut restarted = recovery_fleet(seed)?;
+            restarted.enable_snapshots(dir, passive)?;
+            match restarted.recover_from() {
+                RecoveryReport::Warm { generation, tick } => {
+                    events.push(format!("warm(g{generation})@t{tick}"));
+                }
+                RecoveryReport::Cold { error } => {
+                    events.push(format!("cold:{}", error.kind_name()));
+                    violations.push(format!(
+                        "recovery came back cold ({error}) but this scenario demands a warm restore"
+                    ));
+                }
+            }
+            // Availability holds even while the SLO fails.
+            let ticks = requests / RECOVERY_CLIENTS;
+            for tick in phase1_ticks..ticks {
+                responses.extend(run_recovery_tick(&restarted, tick as u64, n, &mut rng)?);
+                submitted += RECOVERY_CLIENTS;
+            }
+        }
+        _ => unreachable!("names validated above"),
+    }
+
+    let rung_sequence: String = responses.iter().map(|r| r.rung.letter()).collect();
+    let depths: Vec<u8> = responses.iter().map(|r| r.rung.depth()).collect();
+    let p99 = p99_depth(&depths);
+    if responses.len() != submitted {
+        violations.push(format!(
+            "unanswered requests: submitted {submitted}, answered {}",
+            responses.len()
+        ));
+    }
+    let invalid = responses
+        .iter()
+        .filter(|r| !r.routing.validate(&graph).is_empty())
+        .count();
+    if invalid > 0 {
+        violations.push(format!(
+            "{invalid} responses carried routings invalid for the topology"
+        ));
+    }
+    if p99 > 2 {
+        violations.push(format!("p99 ladder depth {p99} exceeds bound 2"));
+    }
+
+    Ok(ScenarioOutcome {
+        name: name.to_string(),
+        seed,
+        submitted,
+        answered: responses.len(),
+        rung_sequence,
+        shed: 0,
+        worker_restarts: 0,
+        breaker_transitions: 0,
+        p99_depth: p99,
+        failovers: 0,
+        hedges: 0,
+        recoveries: 0,
+        failover_sequence: String::new(),
+        event_sequence: events.join(";"),
+        violations,
+    })
+}
+
 /// Mixes a per-scenario offset into the base seed so scenarios don't
 /// share traffic streams.
 pub fn scenario_seed(base: u64, name: &str) -> u64 {
@@ -993,6 +1377,74 @@ mod tests {
     fn unknown_replication_scenario_is_an_error() {
         assert!(run_replication_scenario("nope", 1, 48).is_err());
         assert!(run_replication_scenario("hedged_straggler", 1, 39).is_err());
+    }
+
+    #[test]
+    fn process_crash_recovery_restores_warm_and_is_deterministic() {
+        let seed = scenario_seed(42, "process_crash_recovery");
+        let a = run_recovery_scenario("process_crash_recovery", seed, 40).unwrap();
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.answered, a.submitted);
+        assert!(
+            a.event_sequence.starts_with("warm(g"),
+            "event digest: {}",
+            a.event_sequence
+        );
+        assert!(
+            a.rung_sequence.contains('L'),
+            "warm window must serve LastGood: {}",
+            a.rung_sequence
+        );
+        let b = run_recovery_scenario("process_crash_recovery", seed, 40).unwrap();
+        assert_eq!(a.rung_sequence, b.rung_sequence);
+        assert_eq!(a.event_sequence, b.event_sequence);
+    }
+
+    #[test]
+    fn corrupt_snapshot_sweep_cold_starts_cleanly() {
+        let seed = scenario_seed(42, "corrupt_snapshot");
+        let a = run_recovery_scenario("corrupt_snapshot", seed, 40).unwrap();
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.answered, a.submitted);
+        for kind in [
+            "cold:truncated",
+            "cold:missing_manifest",
+            "cold:manifest_mismatch",
+        ] {
+            assert!(
+                a.event_sequence.contains(kind),
+                "event digest missing {kind}: {}",
+                a.event_sequence
+            );
+        }
+        assert!(
+            !a.rung_sequence.contains('L'),
+            "cold starts must never serve restored state: {}",
+            a.rung_sequence
+        );
+        let b = run_recovery_scenario("corrupt_snapshot", seed, 40).unwrap();
+        assert_eq!(a.rung_sequence, b.rung_sequence);
+        assert_eq!(a.event_sequence, b.event_sequence);
+    }
+
+    #[test]
+    fn manifest_lies_fails_loudly() {
+        let seed = scenario_seed(42, "manifest_lies");
+        let outcome = run_recovery_scenario("manifest_lies", seed, 40).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("demands a warm restore")));
+        // Availability holds even while the warm-restore SLO fails.
+        assert_eq!(outcome.answered, outcome.submitted);
+        assert!(outcome.event_sequence.contains("cold:manifest_mismatch"));
+    }
+
+    #[test]
+    fn unknown_recovery_scenario_is_an_error() {
+        assert!(run_recovery_scenario("nope", 1, 40).is_err());
+        assert!(run_recovery_scenario("corrupt_snapshot", 1, 39).is_err());
     }
 
     #[test]

@@ -25,7 +25,8 @@ use gddr_net::Graph;
 use gddr_routing::sim::max_link_utilisation;
 use gddr_routing::softmin::softmin_routing;
 use gddr_routing::Routing;
-use gddr_telemetry::{SloConfig, SloTracker, TraceCtx};
+use gddr_ser::{FromJson, Json, ToJson};
+use gddr_telemetry::{HdrSnapshot, SloConfig, SloTracker, TraceCtx};
 use gddr_traffic::DemandMatrix;
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
@@ -33,6 +34,7 @@ use crate::engine::{BatchItem, EngineFactory, InferenceReply};
 use crate::health::{HealthInputs, HealthMonitor, HealthState};
 use crate::queue::{AdmissionQueue, Admitted};
 use crate::request::{EpochRequest, RouteResponse, Rung, ServeError};
+use crate::snapshot::{count_from_json, routing_from_json, routing_to_json};
 use crate::worker::{PoolConfig, WorkerPool};
 
 /// Controller tuning knobs.
@@ -102,6 +104,61 @@ impl ServeStats {
     }
 }
 
+/// One stats field: its JSON name, a getter and a mutable accessor.
+type StatField = (
+    &'static str,
+    fn(&ServeStats) -> u64,
+    fn(&mut ServeStats) -> &mut u64,
+);
+
+/// (field name, accessor) pairs shared by the stats codec below so the
+/// two directions cannot drift.
+const STAT_FIELDS: [StatField; 9] = [
+    ("fresh", |s| s.fresh, |s| &mut s.fresh),
+    ("last_good", |s| s.last_good, |s| &mut s.last_good),
+    ("ecmp", |s| s.ecmp, |s| &mut s.ecmp),
+    (
+        "shortest_path",
+        |s| s.shortest_path,
+        |s| &mut s.shortest_path,
+    ),
+    ("shed", |s| s.shed, |s| &mut s.shed),
+    (
+        "breaker_transitions",
+        |s| s.breaker_transitions,
+        |s| &mut s.breaker_transitions,
+    ),
+    (
+        "scoring_skipped",
+        |s| s.scoring_skipped,
+        |s| &mut s.scoring_skipped,
+    ),
+    (
+        "scoring_failed",
+        |s| s.scoring_failed,
+        |s| &mut s.scoring_failed,
+    ),
+    ("slo_alerts", |s| s.slo_alerts, |s| &mut s.slo_alerts),
+];
+
+fn stats_to_json(stats: &ServeStats) -> Json {
+    Json::Obj(
+        STAT_FIELDS
+            .iter()
+            .map(|(name, get, _)| ((*name).to_string(), Json::Num(get(stats) as f64)))
+            .collect(),
+    )
+}
+
+fn stats_from_json(json: &Json) -> Result<ServeStats, String> {
+    let mut stats = ServeStats::default();
+    for (name, _, get_mut) in &STAT_FIELDS {
+        let value = json.field(name).map_err(|e| format!("stats: {}", e.0))?;
+        *get_mut(&mut stats) = count_from_json(value, name)?;
+    }
+    Ok(stats)
+}
+
 /// The online routing controller. Single-threaded at the API surface:
 /// `enqueue` requests, then `process_next` (or `handle` for both at
 /// once) — every submitted request yields exactly one response.
@@ -124,6 +181,12 @@ pub struct Controller {
     slo: SloTracker,
     /// Pool restarts already attributed to the SLO tracker.
     slo_restarts_seen: u64,
+    /// Last epoch of the post-restore warm window. While
+    /// `epoch <= warm_until`, fresh inference is deliberately skipped
+    /// so the first responses after a crash come from the restored
+    /// LastGood rung, never a cold model. `0` (the default) means no
+    /// warm window: epochs start at 1.
+    warm_until: u64,
 }
 
 /// Observability context threaded from admission to response: the
@@ -182,6 +245,7 @@ impl Controller {
             stats: ServeStats::default(),
             slo,
             slo_restarts_seen: 0,
+            warm_until: 0,
         }
     }
 
@@ -368,6 +432,163 @@ impl Controller {
         }
     }
 
+    /// Last epoch of the post-restore warm window (`0` when the
+    /// controller was never restored: epochs start at 1).
+    pub fn warm_until(&self) -> u64 {
+        self.warm_until
+    }
+
+    /// Serialises the crash-restorable state for a fleet snapshot:
+    /// serving epoch, last-good routing + stamp, breaker and health
+    /// state machines, worker restart budgets, serving counters, and
+    /// the SLO latency histogram. Demand history is deliberately not
+    /// persisted — it re-warms from live traffic — and tuning configs
+    /// belong to the process, not the snapshot.
+    pub fn export_state(&self) -> Json {
+        let (breaker_state, failures, opened_at, probes_ok) = self.breaker.export();
+        let (slots, restarts_total) = self.pool.budget_export();
+        Json::obj([
+            ("epoch", Json::Num(self.epoch as f64)),
+            (
+                "last_good",
+                match &self.last_good {
+                    Some((routing, stamp)) => Json::obj([
+                        ("routing", routing_to_json(routing)),
+                        ("stamp", Json::Num(*stamp as f64)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "breaker",
+                Json::obj([
+                    ("state", Json::Str(breaker_state.name().to_string())),
+                    ("failures", Json::Num(f64::from(failures))),
+                    ("opened_at", Json::Num(opened_at as f64)),
+                    ("probes_ok", Json::Num(f64::from(probes_ok))),
+                ]),
+            ),
+            ("health", Json::Str(self.health.state().name().to_string())),
+            (
+                "pool",
+                Json::obj([
+                    (
+                        "slots",
+                        Json::Arr(
+                            slots
+                                .iter()
+                                .map(|&(alive, restarts, available_from)| {
+                                    Json::obj([
+                                        ("alive", Json::Bool(alive)),
+                                        ("restarts", Json::Num(f64::from(restarts))),
+                                        ("available_from", Json::Num(available_from as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("restarts_total", Json::Num(restarts_total as f64)),
+                ]),
+            ),
+            ("stats", stats_to_json(&self.stats)),
+            ("slo_latency", self.slo.latency_snapshot().to_json()),
+            (
+                "slo_restarts_seen",
+                Json::Num(self.slo_restarts_seen as f64),
+            ),
+        ])
+    }
+
+    /// Restores state exported by [`Controller::export_state`] into
+    /// this (freshly built, identically configured) controller, then
+    /// opens a warm window of `warm_epochs` serving epochs during which
+    /// inference is skipped and the ladder answers from the restored
+    /// LastGood routing.
+    ///
+    /// All-or-nothing: everything is parsed and re-validated (routing
+    /// shape, state-machine names, histogram consistency) before the
+    /// first field is mutated, so a malformed snapshot leaves the
+    /// controller untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offence when the snapshot
+    /// does not decode to a state valid for this controller's graph.
+    pub fn restore_state(&mut self, json: &Json, warm_epochs: u64) -> Result<(), String> {
+        let err = |e: gddr_ser::JsonError| format!("controller: {}", e.0);
+        let epoch = count_from_json(json.field("epoch").map_err(err)?, "controller.epoch")?;
+        let last_good = match json.field("last_good").map_err(err)? {
+            Json::Null => None,
+            obj => {
+                let routing = routing_from_json(obj.field("routing").map_err(err)?, &self.graph)?;
+                let stamp = count_from_json(obj.field("stamp").map_err(err)?, "controller.stamp")?;
+                Some((routing, stamp))
+            }
+        };
+
+        let breaker = json.field("breaker").map_err(err)?;
+        let breaker_state = match breaker.field("state").map_err(err)? {
+            Json::Str(name) => BreakerState::from_name(name)
+                .ok_or_else(|| format!("controller: unknown breaker state '{name}'"))?,
+            _ => return Err("controller: breaker state must be a string".into()),
+        };
+        let failures = count_from_json(breaker.field("failures").map_err(err)?, "breaker")?;
+        let failures =
+            u32::try_from(failures).map_err(|_| "controller: breaker failures overflow")?;
+        let opened_at = count_from_json(breaker.field("opened_at").map_err(err)?, "breaker")?;
+        let probes_ok = count_from_json(breaker.field("probes_ok").map_err(err)?, "breaker")?;
+        let probes_ok =
+            u32::try_from(probes_ok).map_err(|_| "controller: breaker probes overflow")?;
+
+        let health = match json.field("health").map_err(err)? {
+            Json::Str(name) => HealthState::from_name(name)
+                .ok_or_else(|| format!("controller: unknown health state '{name}'"))?,
+            _ => return Err("controller: health state must be a string".into()),
+        };
+
+        let pool = json.field("pool").map_err(err)?;
+        let mut slots = Vec::new();
+        for slot in pool.field("slots").map_err(err)?.elements().map_err(err)? {
+            let alive = match slot.field("alive").map_err(err)? {
+                Json::Bool(b) => *b,
+                _ => return Err("controller: slot alive must be a bool".into()),
+            };
+            let restarts = count_from_json(slot.field("restarts").map_err(err)?, "slot")?;
+            let restarts =
+                u32::try_from(restarts).map_err(|_| "controller: slot restarts overflow")?;
+            let available_from =
+                count_from_json(slot.field("available_from").map_err(err)?, "slot")?;
+            slots.push((alive, restarts, available_from));
+        }
+        let restarts_total = count_from_json(pool.field("restarts_total").map_err(err)?, "pool")?;
+
+        let stats = stats_from_json(json.field("stats").map_err(err)?)?;
+        let latency = HdrSnapshot::from_json(json.field("slo_latency").map_err(err)?)
+            .map_err(|e| format!("controller: latency snapshot: {}", e.0))?;
+        let slo_restarts_seen = count_from_json(
+            json.field("slo_restarts_seen").map_err(err)?,
+            "controller.slo_restarts_seen",
+        )?;
+
+        // Everything parsed and validated: commit. The latency restore
+        // goes first because it is the only step that can still reject
+        // (an internally inconsistent histogram), and it leaves the
+        // tracker unchanged when it does.
+        if !self.slo.restore_latency(&latency) {
+            return Err("controller: inconsistent latency histogram snapshot".into());
+        }
+        self.epoch = epoch;
+        self.last_good = last_good;
+        self.breaker
+            .restore(breaker_state, failures, opened_at, probes_ok);
+        self.health.restore(health);
+        self.pool.budget_restore(&slots, restarts_total);
+        self.stats = stats;
+        self.slo_restarts_seen = slo_restarts_seen;
+        self.warm_until = epoch.saturating_add(warm_epochs);
+        Ok(())
+    }
+
     fn note_breaker(&mut self, transition: Option<Transition>, epoch: u64) {
         if let Some(t) = transition {
             self.stats.breaker_transitions += 1;
@@ -519,7 +740,7 @@ impl Controller {
         let queue_wait_ns = admitted_at.elapsed().as_nanos() as u64;
         let valid = self.validate_demands(&req.demands);
         let attempt = match (&valid, shed) {
-            (Ok(()), false) if req.deadline_ms > 0 => {
+            (Ok(()), false) if req.deadline_ms > 0 && epoch > self.warm_until => {
                 let history = self.history_snapshot();
                 Some(self.pool.dispatch_traced(&req, &history, epoch, ctx))
             }
@@ -558,7 +779,7 @@ impl Controller {
             let epoch = self.epoch;
             let queue_wait_ns = admitted_at.elapsed().as_nanos() as u64;
             let valid = self.validate_demands(&req.demands);
-            let batch_slot = if valid.is_ok() && req.deadline_ms > 0 {
+            let batch_slot = if valid.is_ok() && req.deadline_ms > 0 && epoch > self.warm_until {
                 items.push(BatchItem {
                     req: req.clone(),
                     history: self.snapshot_of(&sim),
@@ -649,10 +870,17 @@ impl Controller {
                 match (&valid, shed) {
                     (Err(e), _) => degraded_reason = Some(e.clone()),
                     (Ok(()), false) => {
-                        // deadline_ms == 0: no inference budget at all.
-                        degraded_reason = Some(ServeError::DeadlineMiss {
-                            cost_ms: 0,
-                            deadline_ms: 0,
+                        degraded_reason = Some(if req.deadline_ms == 0 {
+                            // No inference budget at all.
+                            ServeError::DeadlineMiss {
+                                cost_ms: 0,
+                                deadline_ms: 0,
+                            }
+                        } else {
+                            // Inside the post-restore warm window.
+                            ServeError::WarmRestart {
+                                until_epoch: self.warm_until,
+                            }
                         });
                     }
                     (Ok(()), true) => {}
@@ -1070,6 +1298,61 @@ mod tests {
         let alerts = run();
         assert!(alerts >= 1, "no SLO alert over a 30-response breach");
         assert_eq!(alerts, run(), "alert count must be seed-deterministic");
+    }
+
+    #[test]
+    fn state_round_trips_into_a_warm_restart() {
+        let mut a = controller(FaultPlan::new(), ControllerConfig::default());
+        let mut last_fresh = None;
+        for e in 0..6 {
+            last_fresh = Some(a.handle(request(e, 100)).remove(0));
+        }
+        assert_eq!(a.stats().fresh, 6);
+        let snap = a.export_state();
+
+        let mut b = controller(FaultPlan::new(), ControllerConfig::default());
+        b.restore_state(&snap, 2).expect("restore");
+        assert_eq!(b.warm_until(), 6 + 2);
+        assert_eq!(b.stats().fresh, 6);
+        assert_eq!(b.health(), HealthState::Healthy);
+
+        // Warm window: inference is skipped and the *restored* LastGood
+        // routing answers — never a cold baseline.
+        let r = b.handle(request(6, 100)).remove(0);
+        assert_eq!(r.rung, Rung::LastGood);
+        assert_eq!(r.routing, last_fresh.expect("six responses").routing);
+        assert!(matches!(
+            r.degraded_reason,
+            Some(ServeError::WarmRestart { until_epoch: 8 })
+        ));
+        let r = b.handle(request(7, 100)).remove(0);
+        assert_eq!(r.rung, Rung::LastGood);
+
+        // Past the window: fresh inference resumes on the history the
+        // warm responses accumulated.
+        let r = b.handle(request(8, 100)).remove(0);
+        assert_eq!(r.rung, Rung::Fresh);
+        assert_eq!(b.stats().fresh, 7);
+        assert_eq!(b.stats().last_good, 2);
+        // The latency histogram survived the crash and kept counting.
+        assert_eq!(b.slo().latency_snapshot().count, 6 + 3);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots_untouched() {
+        let mut c = controller(FaultPlan::new(), ControllerConfig::default());
+        c.handle(request(0, 100));
+        assert!(c.restore_state(&gddr_ser::Json::Null, 1).is_err());
+
+        let tampered = c.export_state().to_string().replace("healthy", "zombie");
+        let tampered = gddr_ser::Json::parse(&tampered).expect("still JSON");
+        assert!(c.restore_state(&tampered, 1).is_err());
+
+        // The failed restores left the controller untouched.
+        assert_eq!(c.warm_until(), 0);
+        assert_eq!(c.stats().fresh, 1);
+        let r = c.handle(request(1, 100)).remove(0);
+        assert_eq!(r.rung, Rung::Fresh);
     }
 
     #[test]

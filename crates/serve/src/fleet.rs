@@ -23,11 +23,14 @@
 //! shard keeps serving Fresh — nothing is shared but the scheduler.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use gddr_core::DdrEnvConfig;
 use gddr_net::Graph;
+use gddr_ser::Json;
+use gddr_store::{FleetSnapshot, ShardSnapshot, Store, StoreError};
 use gddr_telemetry::TraceCtx;
 
 use crate::controller::{Controller, ControllerConfig};
@@ -57,6 +60,75 @@ impl Default for FleetConfig {
             admit_chunk: 8,
         }
     }
+}
+
+/// Periodic durable-snapshot policy for a fleet (see
+/// [`ShardRouter::enable_snapshots`]).
+#[derive(Debug, Clone)]
+pub struct SnapshotPolicy {
+    /// Take a snapshot after every N completed [`ShardRouter::run`]
+    /// calls (fleet ticks).
+    pub every_runs: u64,
+    /// Warm-window length, in serving epochs per controller, that
+    /// [`ShardRouter::recover_from`] hands to restored controllers:
+    /// inference is skipped for that many epochs so the first
+    /// post-restore responses come from the restored LastGood rung.
+    pub warm_epochs: u64,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy {
+            every_runs: 1,
+            warm_epochs: 1,
+        }
+    }
+}
+
+/// How a fleet restart came back (see [`ShardRouter::recover_from`]).
+#[derive(Debug)]
+pub enum RecoveryReport {
+    /// Every shard restored from the committed snapshot and opened its
+    /// warm window.
+    Warm {
+        /// The committed generation that was restored.
+        generation: u64,
+        /// Fleet tick (completed `run` count) the snapshot captured.
+        tick: u64,
+    },
+    /// Clean cold start: no snapshot, or one that failed verification.
+    /// The fleet serves from scratch; nothing was restored.
+    Cold {
+        /// The typed reason — [`StoreError::MissingManifest`] on first
+        /// boot, a corruption class otherwise.
+        error: StoreError,
+    },
+}
+
+impl RecoveryReport {
+    /// Whether the fleet came back warm.
+    pub fn is_warm(&self) -> bool {
+        matches!(self, RecoveryReport::Warm { .. })
+    }
+
+    /// Stable outcome tag (`"warm"` / `"cold"`), mirrored into the
+    /// `recovery` telemetry event.
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            RecoveryReport::Warm { .. } => "warm",
+            RecoveryReport::Cold { .. } => "cold",
+        }
+    }
+}
+
+/// Persistence state of a snapshot-enabled fleet.
+struct Persist {
+    store: Store,
+    every_runs: u64,
+    warm_epochs: u64,
+    /// Completed `run` calls — the fleet tick counter. Restored by
+    /// recovery so tick numbering survives a crash.
+    runs: AtomicU64,
 }
 
 /// A request addressed to a topology shard by name.
@@ -101,6 +173,7 @@ pub struct ShardRouter {
     config: FleetConfig,
     shards: Vec<ShardSlot>,
     index: HashMap<String, usize>,
+    persist: Option<Persist>,
 }
 
 impl ShardRouter {
@@ -128,7 +201,151 @@ impl ShardRouter {
             config,
             shards: Vec::new(),
             index: HashMap::new(),
+            persist: None,
         })
+    }
+
+    /// Enables periodic durable snapshots under `dir`: after every
+    /// `policy.every_runs` completed [`ShardRouter::run`] calls the
+    /// whole fleet state is committed via [`gddr_store::Store`]
+    /// (CRC-framed record, atomic manifest replace). Serving never
+    /// blocks on durability: snapshots run in the serial tail of
+    /// `run`, and a failed snapshot leaves the previous generation
+    /// committed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when `policy.every_runs` is zero
+    /// or the store directory cannot be created.
+    pub fn enable_snapshots(
+        &mut self,
+        dir: &Path,
+        policy: SnapshotPolicy,
+    ) -> Result<(), ServeError> {
+        if policy.every_runs == 0 {
+            return Err(ServeError::Config(
+                "snapshot every_runs must be positive".to_string(),
+            ));
+        }
+        let store =
+            Store::open(dir).map_err(|e| ServeError::Config(format!("snapshot store: {e}")))?;
+        self.persist = Some(Persist {
+            store,
+            every_runs: policy.every_runs,
+            warm_epochs: policy.warm_epochs,
+            runs: AtomicU64::new(0),
+        });
+        Ok(())
+    }
+
+    /// Takes a durable snapshot of every shard right now, committing
+    /// it as the next generation. Returns the committed generation, or
+    /// `Ok(None)` when snapshots are not enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`StoreError`] when the commit fails; the
+    /// previously committed generation stays intact.
+    pub fn snapshot_now(&self) -> Result<Option<u64>, StoreError> {
+        let Some(persist) = &self.persist else {
+            return Ok(None);
+        };
+        let generation = persist.store.next_generation()?;
+        let tick = persist.runs.load(Ordering::SeqCst);
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| ShardSnapshot {
+                shard: i as u64,
+                name: slot.name.clone(),
+                state: lock(&slot.set).export_state(),
+            })
+            .collect();
+        let snapshot = FleetSnapshot {
+            generation,
+            tick,
+            shards,
+        };
+        let bytes = persist.store.save(&snapshot)?;
+        gddr_telemetry::snapshot_written_event(
+            self.shards.len() as u64,
+            tick,
+            generation,
+            bytes,
+            &persist.store.dir().display().to_string(),
+        );
+        Ok(Some(generation))
+    }
+
+    /// Warm-restarts the fleet from the latest committed snapshot in
+    /// the enabled store. Total: every failure path — no snapshot yet,
+    /// torn or bit-flipped records, lying manifests, states that fail
+    /// re-validation — returns [`RecoveryReport::Cold`] with the typed
+    /// [`StoreError`], leaving the fleet in its cold-start state. No
+    /// panic, and no corrupt routing is ever installed.
+    ///
+    /// On a warm restore every controller opens a warm window of
+    /// `policy.warm_epochs`, so its first responses come from the
+    /// restored LastGood rung rather than a cold model, and the fleet
+    /// tick counter resumes from the snapshot. A `recovery` telemetry
+    /// event records the outcome either way.
+    pub fn recover_from(&self) -> RecoveryReport {
+        let Some(persist) = &self.persist else {
+            return self.cold(StoreError::Decode(
+                "snapshots are not enabled on this fleet".to_string(),
+            ));
+        };
+        let snapshot = match persist.store.load() {
+            Ok(snapshot) => snapshot,
+            Err(e) => return self.cold(e),
+        };
+        // Restore shard by shard; any failure rolls every restored
+        // shard back to its pre-recovery (cold) state.
+        let befores: Vec<Json> = self
+            .shards
+            .iter()
+            .map(|slot| lock(&slot.set).export_state())
+            .collect();
+        for (i, slot) in self.shards.iter().enumerate() {
+            let Some(shard_snap) = snapshot.shard_named(&slot.name) else {
+                self.rollback(&befores, i);
+                return self.cold(StoreError::Decode(format!(
+                    "snapshot has no shard named '{}'",
+                    slot.name
+                )));
+            };
+            if let Err(e) = lock(&slot.set).restore_state(&shard_snap.state, persist.warm_epochs) {
+                self.rollback(&befores, i);
+                return self.cold(StoreError::Decode(e));
+            }
+        }
+        persist.runs.store(snapshot.tick, Ordering::SeqCst);
+        gddr_telemetry::recovery_event(
+            self.shards.len() as u64,
+            "warm",
+            snapshot.generation,
+            snapshot.tick,
+            "",
+        );
+        RecoveryReport::Warm {
+            generation: snapshot.generation,
+            tick: snapshot.tick,
+        }
+    }
+
+    /// Rolls the first `up_to` shards back to their pre-recovery
+    /// exports. Restoring a just-exported state cannot fail; any
+    /// residual error is ignored (the shard keeps its cold state).
+    fn rollback(&self, befores: &[Json], up_to: usize) {
+        for (slot, before) in self.shards.iter().zip(befores).take(up_to) {
+            let _ = lock(&slot.set).restore_state(before, 0);
+        }
+    }
+
+    fn cold(&self, error: StoreError) -> RecoveryReport {
+        gddr_telemetry::recovery_event(self.shards.len() as u64, "cold", 0, 0, error.kind_name());
+        RecoveryReport::Cold { error }
     }
 
     /// Adds a shard serving `graph` under `name`, building its
@@ -309,6 +526,16 @@ impl ShardRouter {
                 });
             }
         });
+
+        // Periodic durability, in the serial tail — never on the
+        // serving hot path. A failed snapshot is deliberately ignored:
+        // the previous generation stays committed and serving goes on.
+        if let Some(persist) = &self.persist {
+            let completed = persist.runs.fetch_add(1, Ordering::SeqCst) + 1;
+            if completed % persist.every_runs == 0 {
+                let _ = self.snapshot_now();
+            }
+        }
 
         Ok(outcomes
             .iter()
@@ -585,5 +812,176 @@ mod tests {
         // — dispatch counts are internal).
         let total: usize = batched.iter().map(|s| s.responses.len()).sum();
         assert_eq!(total, requests.len());
+    }
+
+    /// Fresh scratch directory for a snapshot store, unique per test.
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gddr-fleet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// One fleet tick per `run` call, so every tick can commit a
+    /// snapshot generation.
+    fn run_ticks(router: &ShardRouter, from: u64, to: u64, clients: u64) -> Vec<String> {
+        let mut rungs = Vec::new();
+        for tick in from..to {
+            let batch: Vec<FleetRequest> = load(to, clients)
+                .into_iter()
+                .filter(|r| r.request.epoch == tick)
+                .collect();
+            for outcome in router.run(&batch).unwrap() {
+                rungs.push(format!("{}:{}", outcome.name, outcome.rung_sequence()));
+            }
+        }
+        rungs
+    }
+
+    #[test]
+    fn crashed_fleet_restores_warm_and_restored_runs_replay_bitwise() {
+        let dir = temp_store("warm");
+        let policy = SnapshotPolicy {
+            every_runs: 1,
+            warm_epochs: 2,
+        };
+
+        // Fleet A serves four ticks, snapshotting after every one,
+        // then "crashes" (is dropped).
+        let mut a = build_fleet(FleetConfig::default());
+        a.enable_snapshots(&dir, policy.clone()).unwrap();
+        assert!(a.snapshot_now().unwrap().is_some(), "manual snapshot works");
+        run_ticks(&a, 0, 4, 2);
+        drop(a);
+
+        // Fleet B is rebuilt cold from the same constructors and
+        // recovers from the store: warm, at the snapshot's tick.
+        let mut b = build_fleet(FleetConfig::default());
+        b.enable_snapshots(&dir, policy.clone()).unwrap();
+        let report = b.recover_from();
+        match &report {
+            RecoveryReport::Warm { generation, tick } => {
+                assert_eq!(*generation, 5, "manual + 4 periodic snapshots");
+                assert_eq!(*tick, 4);
+            }
+            cold => panic!("expected warm recovery, got {cold:?}"),
+        }
+        assert!(report.is_warm());
+        assert_eq!(report.outcome(), "warm");
+
+        // First post-restore responses ride the restored LastGood
+        // rung (warm window), not cold ECMP; inference then resumes.
+        let continuation = run_ticks(&b, 4, 6, 2);
+        // Tick 4 (the first three entries, one per shard) falls inside
+        // the warm window; tick 5 is past it and infers fresh again.
+        for rungs in &continuation[..3] {
+            let (shard, seq) = rungs.split_once(':').unwrap();
+            assert!(
+                seq.starts_with('L'),
+                "shard {shard}: first post-restore rung must be LastGood, got {seq}"
+            );
+        }
+        assert!(
+            continuation.iter().any(|r| r.contains('F')),
+            "inference must resume after the warm window"
+        );
+
+        // Same-seed crash/restore determinism: a second fleet restored
+        // from the same snapshot replays the continuation bit for bit.
+        let mut c = build_fleet(FleetConfig::default());
+        c.enable_snapshots(&dir, policy).unwrap();
+        assert!(c.recover_from().is_warm());
+        assert_eq!(run_ticks(&c, 4, 6, 2), continuation);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_without_a_snapshot_is_a_clean_cold_start() {
+        let dir = temp_store("cold");
+        let mut router = build_fleet(FleetConfig::default());
+        assert!(
+            router.snapshot_now().unwrap().is_none(),
+            "snapshots disabled → no-op"
+        );
+        assert!(matches!(
+            router.recover_from(),
+            RecoveryReport::Cold {
+                error: StoreError::Decode(_)
+            }
+        ));
+        router
+            .enable_snapshots(&dir, SnapshotPolicy::default())
+            .unwrap();
+        let report = router.recover_from();
+        assert!(matches!(
+            report,
+            RecoveryReport::Cold {
+                error: StoreError::MissingManifest
+            }
+        ));
+        assert_eq!(report.outcome(), "cold");
+        // The cold fleet serves normally.
+        run_ticks(&router, 0, 1, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_cold_and_fleet_still_serves() {
+        let dir = temp_store("corrupt");
+        let mut a = build_fleet(FleetConfig::default());
+        a.enable_snapshots(&dir, SnapshotPolicy::default()).unwrap();
+        run_ticks(&a, 0, 2, 1);
+        drop(a);
+
+        // Flip one bit in the committed record.
+        let record = {
+            let store = Store::open(&dir).unwrap();
+            store.record_path(2)
+        };
+        let mut bytes = std::fs::read(&record).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&record, &bytes).unwrap();
+
+        let mut b = build_fleet(FleetConfig::default());
+        b.enable_snapshots(&dir, SnapshotPolicy::default()).unwrap();
+        let report = b.recover_from();
+        assert!(
+            matches!(
+                &report,
+                RecoveryReport::Cold {
+                    error: StoreError::ChecksumMismatch { .. }
+                }
+            ),
+            "bit flip must surface as a checksum mismatch, got {report:?}"
+        );
+        // No corrupt routing was installed: the fleet serves from a
+        // cold start (fresh inference, not a restored LastGood).
+        let rungs = run_ticks(&b, 2, 3, 1);
+        for entry in &rungs {
+            let (shard, seq) = entry.split_once(':').unwrap();
+            assert!(
+                !seq.is_empty() && !seq.contains('L'),
+                "shard {shard}: cold start must not serve restored state, got {seq}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_snapshot_interval_is_a_typed_config_error() {
+        let dir = temp_store("zero");
+        let mut router = build_fleet(FleetConfig::default());
+        let err = router
+            .enable_snapshots(
+                &dir,
+                SnapshotPolicy {
+                    every_runs: 0,
+                    warm_epochs: 1,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Config(_)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

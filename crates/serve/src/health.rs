@@ -31,6 +31,17 @@ impl HealthState {
             HealthState::Unhealthy => "unhealthy",
         }
     }
+
+    /// Parses a stable event name back to a state (snapshot decode).
+    pub fn from_name(name: &str) -> Option<HealthState> {
+        match name {
+            "starting" => Some(HealthState::Starting),
+            "healthy" => Some(HealthState::Healthy),
+            "degraded" => Some(HealthState::Degraded),
+            "unhealthy" => Some(HealthState::Unhealthy),
+            _ => None,
+        }
+    }
 }
 
 /// What the monitor sees after each served response.
@@ -83,6 +94,14 @@ impl HealthMonitor {
         let from = self.state;
         self.state = HealthState::Starting;
         Some((from, HealthState::Starting))
+    }
+
+    /// Forces the state to a restored value (warm restart). Health is
+    /// normally derived per response; this seeds the derivation so the
+    /// first post-restore transition is reported relative to the
+    /// pre-crash state instead of `Starting`.
+    pub fn restore(&mut self, state: HealthState) {
+        self.state = state;
     }
 
     /// Folds one response's inputs in; returns `(from, to)` when the

@@ -37,7 +37,16 @@
 //!   N controllers in lockstep, deterministic health-driven failover
 //!   with hysteresis on a seeded count-based clock, hedged dispatch to
 //!   a standby when the primary straggles, and shadow-probe recovery
-//!   of demoted primaries.
+//!   of demoted primaries,
+//! - [`snapshot`] — crash-consistent durability: the fleet
+//!   periodically commits every shard's full controller state
+//!   (LastGood routing and staleness clock, breaker, health, restart
+//!   budgets, failover log, SLO histograms) to a `gddr_store`
+//!   CRC-framed record behind an atomically-replaced manifest.
+//!   [`ShardRouter::recover_from`] warm-restarts the fleet so its
+//!   first responses ride the restored LastGood rung; any corruption
+//!   (torn write, bit flip, lying manifest) degrades to a clean cold
+//!   start with a typed error — never a panic, never corrupt routing.
 //!
 //! Observability is request-scoped: the fleet mints a
 //! `gddr_telemetry::TraceCtx` per admitted request, the controller
@@ -65,18 +74,22 @@ pub mod queue;
 pub mod replica;
 pub mod request;
 pub mod scenario;
+pub mod snapshot;
 pub mod worker;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{
-    replication_scenario_names, run_replication_scenario, run_scenario, scenario_names,
-    scenario_seed, MaintenanceAction, MaintenancePlan, ScenarioOutcome,
+    recovery_scenario_names, replication_scenario_names, run_recovery_scenario,
+    run_replication_scenario, run_scenario, scenario_names, scenario_seed, MaintenanceAction,
+    MaintenancePlan, ScenarioOutcome,
 };
 pub use controller::{Controller, ControllerConfig, ServeStats};
 pub use engine::{
     BatchItem, ChaosEngine, EngineFactory, Fault, FaultPlan, InferenceEngine, PolicyEngine,
 };
-pub use fleet::{FleetConfig, FleetRequest, ShardOutcome, ShardRouter};
+pub use fleet::{
+    FleetConfig, FleetRequest, RecoveryReport, ShardOutcome, ShardRouter, SnapshotPolicy,
+};
 pub use health::{HealthInputs, HealthState};
 pub use queue::{AdmissionQueue, Admitted};
 pub use replica::{

@@ -23,11 +23,14 @@ use gddr_rng::rngs::StdRng;
 use gddr_rng::{Rng, SeedableRng};
 use gddr_telemetry::TraceCtx;
 
+use gddr_ser::Json;
+
 use crate::controller::{Controller, ControllerConfig};
 use crate::engine::EngineFactory;
 use crate::health::HealthState;
 use crate::queue::{AdmissionQueue, Admitted};
 use crate::request::{EpochRequest, RouteResponse, Rung, ServeError};
+use crate::snapshot::{count_from_json, index_from_json, u64_from_json, u64_to_json};
 
 /// Failover policy knobs. All thresholds are measured on the
 /// count-based failover clock (one tick per answered request), never
@@ -297,6 +300,127 @@ impl ReplicaSet {
             .iter()
             .map(|r| r.controller.worker_restarts())
             .sum()
+    }
+
+    /// Serialises the set's crash-restorable state: failover clock and
+    /// hysteresis, primary index, per-replica lifecycle states and
+    /// controller snapshots, the jitter RNG state (so post-restore
+    /// failover holds replay bit-identically), and the transition log.
+    pub fn export_state(&self) -> Json {
+        Json::obj([
+            ("primary", Json::Num(self.primary as f64)),
+            ("clock", Json::Num(self.clock as f64)),
+            ("consecutive_bad", Json::Num(self.consecutive_bad as f64)),
+            ("hold_until", Json::Num(self.hold_until as f64)),
+            ("hedge_generation", Json::Num(self.hedge_generation as f64)),
+            (
+                "rng",
+                Json::Arr(self.rng.state().iter().map(|&w| u64_to_json(w)).collect()),
+            ),
+            ("stats", replica_stats_to_json(&self.stats)),
+            (
+                "replicas",
+                Json::Arr(
+                    self.replicas
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("state", replica_state_to_json(r.state)),
+                                ("controller", r.controller.export_state()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores state exported by [`ReplicaSet::export_state`] into
+    /// this (freshly built, identically configured) set; every replica
+    /// controller opens a warm window of `warm_epochs` (see
+    /// [`Controller::restore_state`]).
+    ///
+    /// On error the set is rolled back to the state it had on entry,
+    /// so a corrupt-but-CRC-valid snapshot can never leave it half
+    /// restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offence when the snapshot
+    /// does not decode, its replica count does not match this set, or
+    /// any embedded controller state is invalid.
+    pub fn restore_state(&mut self, json: &Json, warm_epochs: u64) -> Result<(), String> {
+        let before = self.export_state();
+        match self.try_restore(json, warm_epochs) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if let Err(rollback) = self.try_restore(&before, 0) {
+                    return Err(format!("{e} (rollback also failed: {rollback})"));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn try_restore(&mut self, json: &Json, warm_epochs: u64) -> Result<(), String> {
+        let err = |e: gddr_ser::JsonError| format!("replica set: {}", e.0);
+        let primary = index_from_json(json.field("primary").map_err(err)?, "set.primary")?;
+        let replicas = json
+            .field("replicas")
+            .map_err(err)?
+            .elements()
+            .map_err(err)?;
+        if replicas.len() != self.replicas.len() {
+            return Err(format!(
+                "replica set: snapshot has {} replicas, this set has {}",
+                replicas.len(),
+                self.replicas.len()
+            ));
+        }
+        if primary >= self.replicas.len() {
+            return Err(format!(
+                "replica set: primary {primary} out of range ({} replicas)",
+                self.replicas.len()
+            ));
+        }
+        let clock = count_from_json(json.field("clock").map_err(err)?, "set.clock")?;
+        let consecutive_bad = count_from_json(
+            json.field("consecutive_bad").map_err(err)?,
+            "set.consecutive_bad",
+        )?;
+        let hold_until = count_from_json(json.field("hold_until").map_err(err)?, "set.hold_until")?;
+        let hedge_generation = count_from_json(
+            json.field("hedge_generation").map_err(err)?,
+            "set.hedge_generation",
+        )?;
+        let words = json.field("rng").map_err(err)?.elements().map_err(err)?;
+        if words.len() != 4 {
+            return Err(format!("replica set: rng state has {} words", words.len()));
+        }
+        let mut state = [0u64; 4];
+        for (slot, word) in state.iter_mut().zip(words) {
+            *slot = u64_from_json(word, "set.rng")?;
+        }
+        if state.iter().all(|&w| w == 0) {
+            return Err("replica set: rng state is all zero".to_string());
+        }
+        let stats = replica_stats_from_json(json.field("stats").map_err(err)?)?;
+
+        for (i, replica) in replicas.iter().enumerate() {
+            let lifecycle = replica_state_from_json(replica.field("state").map_err(err)?)?;
+            self.replicas[i]
+                .controller
+                .restore_state(replica.field("controller").map_err(err)?, warm_epochs)?;
+            self.replicas[i].state = lifecycle;
+        }
+        self.primary = primary;
+        self.clock = clock;
+        self.consecutive_bad = consecutive_bad;
+        self.hold_until = hold_until;
+        self.hedge_generation = hedge_generation;
+        self.rng = StdRng::from_state(state);
+        self.stats = stats;
+        Ok(())
     }
 
     /// Runs `f` against the current primary's controller (stats,
@@ -695,6 +819,106 @@ impl ReplicaSet {
     }
 }
 
+fn replica_state_to_json(state: ReplicaState) -> Json {
+    match state {
+        ReplicaState::Eligible => Json::Str("eligible".to_string()),
+        ReplicaState::Recovering { probes, fresh } => Json::obj([
+            ("probes", Json::Num(probes as f64)),
+            ("fresh", Json::Num(fresh as f64)),
+        ]),
+    }
+}
+
+fn replica_state_from_json(json: &Json) -> Result<ReplicaState, String> {
+    match json {
+        Json::Str(s) if s == "eligible" => Ok(ReplicaState::Eligible),
+        Json::Obj(_) => {
+            let err = |e: gddr_ser::JsonError| format!("replica state: {}", e.0);
+            let probes = count_from_json(json.field("probes").map_err(err)?, "probes")?;
+            let fresh = count_from_json(json.field("fresh").map_err(err)?, "fresh")?;
+            if fresh > probes {
+                return Err(format!("replica state: {fresh} fresh of {probes} probes"));
+            }
+            Ok(ReplicaState::Recovering { probes, fresh })
+        }
+        _ => Err("replica state: expected 'eligible' or a probe object".to_string()),
+    }
+}
+
+fn transition_to_json(t: &ReplicaTransition) -> Json {
+    match t {
+        ReplicaTransition::Failover { from, to, clock } => Json::obj([
+            ("kind", Json::Str("failover".to_string())),
+            ("from", Json::Num(*from as f64)),
+            ("to", Json::Num(*to as f64)),
+            ("clock", Json::Num(*clock as f64)),
+        ]),
+        ReplicaTransition::Recovered { replica, clock } => Json::obj([
+            ("kind", Json::Str("recovered".to_string())),
+            ("replica", Json::Num(*replica as f64)),
+            ("clock", Json::Num(*clock as f64)),
+        ]),
+    }
+}
+
+fn transition_from_json(json: &Json) -> Result<ReplicaTransition, String> {
+    let err = |e: gddr_ser::JsonError| format!("transition: {}", e.0);
+    let kind = match json.field("kind").map_err(err)? {
+        Json::Str(kind) => kind.as_str(),
+        _ => return Err("transition: kind must be a string".to_string()),
+    };
+    let clock = count_from_json(json.field("clock").map_err(err)?, "transition.clock")?;
+    match kind {
+        "failover" => Ok(ReplicaTransition::Failover {
+            from: index_from_json(json.field("from").map_err(err)?, "transition.from")?,
+            to: index_from_json(json.field("to").map_err(err)?, "transition.to")?,
+            clock,
+        }),
+        "recovered" => Ok(ReplicaTransition::Recovered {
+            replica: index_from_json(json.field("replica").map_err(err)?, "transition.replica")?,
+            clock,
+        }),
+        other => Err(format!("transition: unknown kind '{other}'")),
+    }
+}
+
+fn replica_stats_to_json(stats: &ReplicaStats) -> Json {
+    Json::obj([
+        ("failovers", Json::Num(stats.failovers as f64)),
+        ("hedges_fired", Json::Num(stats.hedges_fired as f64)),
+        ("hedge_wins", Json::Num(stats.hedge_wins as f64)),
+        ("recoveries", Json::Num(stats.recoveries as f64)),
+        ("shed", Json::Num(stats.shed as f64)),
+        (
+            "log",
+            Json::Arr(stats.log.iter().map(transition_to_json).collect()),
+        ),
+    ])
+}
+
+fn replica_stats_from_json(json: &Json) -> Result<ReplicaStats, String> {
+    let err = |e: gddr_ser::JsonError| format!("replica stats: {}", e.0);
+    let field = |name: &str| -> Result<u64, String> {
+        count_from_json(json.field(name).map_err(err)?, name)
+    };
+    let log = json
+        .field("log")
+        .map_err(err)?
+        .elements()
+        .map_err(err)?
+        .iter()
+        .map(transition_from_json)
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ReplicaStats {
+        failovers: field("failovers")?,
+        hedges_fired: field("hedges_fired")?,
+        hedge_wins: field("hedge_wins")?,
+        recoveries: field("recoveries")?,
+        shed: field("shed")?,
+        log,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,7 +1041,9 @@ mod tests {
                 assert_eq!(x.served_at, y.served_at);
                 assert_eq!(x.routing, y.routing);
                 assert_eq!(x.score, y.score);
-                assert_eq!(x.infer_cost_ms, y.infer_cost_ms);
+                // cost_ms is wall-clock, so only its presence (was an
+                // inference dispatched at all?) is deterministic.
+                assert_eq!(x.infer_cost_ms.is_some(), y.infer_cost_ms.is_some());
             }
         }
         assert_eq!(set.stats().failovers, 0);
@@ -862,6 +1088,84 @@ mod tests {
         let (rungs2, seq2, _, _) = run_once();
         assert_eq!(rungs, rungs2);
         assert_eq!(seq, seq2);
+    }
+
+    #[test]
+    fn exported_state_restores_to_a_fixed_point() {
+        let failover = FailoverConfig {
+            failover_threshold: 2,
+            min_hold: 4,
+            hold_jitter: 2,
+            probe_window: 4,
+            probe_fresh_min: 0.75,
+            seed: 11,
+        };
+        let build = || {
+            set_with(
+                vec![FaultPlan::new().span(3..=6, Fault::Panic), FaultPlan::new()],
+                failover.clone(),
+                HedgeConfig::default(),
+            )
+        };
+        // Drive a failover and a recovery so the snapshot carries a
+        // non-trivial transition log, probe states and RNG progress.
+        let mut a = build();
+        for tick in 0..24u64 {
+            a.handle(request(tick, 900), 4);
+        }
+        assert!(a.stats().failovers >= 1);
+        let snap = a.export_state();
+
+        let mut b = build();
+        b.restore_state(&snap, 0).expect("restore");
+        assert_eq!(b.primary(), a.primary());
+        assert_eq!(b.stats().failover_sequence(), a.stats().failover_sequence());
+        // Re-export is byte-identical: the codec has a fixed point.
+        assert_eq!(snap.to_string(), b.export_state().to_string());
+
+        // Demand history is deliberately not persisted, so a restored
+        // set is not bit-identical to the never-crashed run — but two
+        // same-seed restores of the same snapshot must replay each
+        // other bit for bit.
+        let mut c = build();
+        c.restore_state(&snap, 0).expect("second restore");
+        for tick in 24..32u64 {
+            let rb = b.handle(request(tick, 900), 4);
+            let rc = c.handle(request(tick, 900), 4);
+            assert_eq!(rb.len(), rc.len());
+            for (x, y) in rb.iter().zip(&rc) {
+                assert_eq!(x.rung, y.rung, "tick {tick}");
+                assert_eq!(x.served_at, y.served_at);
+                assert_eq!(x.routing, y.routing);
+            }
+        }
+        assert_eq!(b.stats().failover_sequence(), c.stats().failover_sequence());
+    }
+
+    #[test]
+    fn restore_mismatch_rolls_back_untouched() {
+        let solo = set_with(
+            vec![FaultPlan::new()],
+            FailoverConfig::default(),
+            HedgeConfig::default(),
+        );
+        let wrong_count = solo.export_state();
+
+        let mut set = set_with(
+            vec![FaultPlan::new(), FaultPlan::new()],
+            FailoverConfig::default(),
+            HedgeConfig::default(),
+        );
+        for tick in 0..3u64 {
+            set.handle(request(tick, 950), 4);
+        }
+        let before = set.export_state().to_string();
+        assert!(set.restore_state(&wrong_count, 1).is_err());
+        assert!(set.restore_state(&Json::Null, 1).is_err());
+        assert_eq!(set.export_state().to_string(), before, "rollback drifted");
+        // Still serving fresh afterwards.
+        let r = set.handle(request(3, 950), 4).remove(0);
+        assert_eq!(r.rung, Rung::Fresh);
     }
 
     #[test]

@@ -127,6 +127,13 @@ pub enum ServeError {
         /// How many replicas the set actually has.
         replicas: usize,
     },
+    /// The controller is inside its post-restore warm window: fresh
+    /// inference is deliberately skipped so the first responses after a
+    /// crash come from the restored LastGood rung, never a cold model.
+    WarmRestart {
+        /// Last epoch of the warm window (inference resumes after it).
+        until_epoch: u64,
+    },
     /// A harness or fleet configuration problem (unknown scenario,
     /// unusable request count, duplicate shard, ...).
     Config(String),
@@ -159,6 +166,10 @@ impl fmt::Display for ServeError {
             } => write!(
                 f,
                 "replica index {replica} out of range on shard {shard} ({replicas} replicas)"
+            ),
+            ServeError::WarmRestart { until_epoch } => write!(
+                f,
+                "warm restart: serving restored state until epoch {until_epoch}"
             ),
             ServeError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
@@ -246,6 +257,7 @@ mod tests {
                 replica: 4,
                 replicas: 2,
             },
+            ServeError::WarmRestart { until_epoch: 12 },
             ServeError::Config("zero shards".into()),
         ];
         for e in errors {

@@ -309,6 +309,44 @@ impl WorkerPool {
         }
     }
 
+    /// Snapshot of the supervision budget: per-slot `(alive, restarts,
+    /// available_from)` plus the lifetime restart total. Engines are
+    /// never serialised — a restored pool rebuilds them from the
+    /// factory; only the budget accounting is durable.
+    pub fn budget_export(&self) -> (Vec<(bool, u32, u64)>, u64) {
+        (
+            self.slots
+                .iter()
+                .map(|s| (s.alive(), s.restarts, s.available_from))
+                .collect(),
+            self.restarts_total,
+        )
+    }
+
+    /// Restores a supervision budget exported by
+    /// [`WorkerPool::budget_export`]. Slots marked dead stay dead
+    /// (their budget was spent before the crash); alive slots get
+    /// fresh engines with their restart counts and backoff stamps
+    /// reinstated. Extra entries beyond this pool's slot count are
+    /// ignored; missing entries leave trailing slots untouched.
+    pub fn budget_restore(&mut self, slots: &[(bool, u32, u64)], restarts_total: u64) {
+        for (i, &(alive, restarts, available_from)) in slots.iter().enumerate() {
+            if i >= self.slots.len() {
+                break;
+            }
+            self.slots[i].restarts = restarts;
+            self.slots[i].available_from = available_from;
+            if alive {
+                self.slots[i].generation += 1;
+                let generation = self.slots[i].generation;
+                self.slots[i].body = self.spawn_body(i, generation);
+            } else {
+                self.slots[i].body = SlotBody::Dead;
+            }
+        }
+        self.restarts_total = restarts_total;
+    }
+
     fn pick_slot(&mut self, epoch: u64) -> Option<usize> {
         let n = self.slots.len();
         for k in 0..n {
@@ -616,6 +654,49 @@ mod tests {
         // restart; the second panic killed the slot without one).
         assert!(pool.dispatch(&request(5, 1), &history(), 5).is_ok());
         assert_eq!(pool.restarts(), 1);
+    }
+
+    #[test]
+    fn budget_round_trips_through_export_restore() {
+        let plan = Arc::new(FaultPlan::new().span(0..=1, Fault::Panic));
+        let graph = zoo::cesnet();
+        let mut pool = WorkerPool::new(
+            factory(plan),
+            &graph,
+            PoolConfig {
+                workers: 2,
+                restart_budget: 1,
+                backoff_base_epochs: 4,
+                ..PoolConfig::default()
+            },
+            0,
+        );
+        // Slot 0 spends its one restart; slot 1 dies outright next.
+        let _ = pool.dispatch(&request(0, 1), &history(), 0);
+        let _ = pool.dispatch(&request(1, 1), &history(), 1);
+        let (slots, total) = pool.budget_export();
+        assert_eq!(slots.len(), 2);
+
+        // A brand-new pool (the restarted process) inherits the budget.
+        let plan2 = Arc::new(FaultPlan::new());
+        let mut restored = WorkerPool::new(
+            factory(plan2),
+            &graph,
+            PoolConfig {
+                workers: 2,
+                restart_budget: 1,
+                backoff_base_epochs: 4,
+                ..PoolConfig::default()
+            },
+            0,
+        );
+        restored.budget_restore(&slots, total);
+        assert_eq!(restored.budget_export(), (slots, total));
+        assert_eq!(
+            restored.alive_workers(),
+            pool.alive_workers(),
+            "dead slots stay dead across restore"
+        );
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! The typed failure vocabulary of the store. Every decode and
+//! recovery path in this crate (and the serving layer above it)
+//! resolves to one of these — corruption is a value, never a panic.
+
+use std::fmt;
+
+/// Why a store operation failed. Recovery code matches on this to
+/// decide between a warm restore and a clean cold start.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file is shorter than a complete record header — a torn
+    /// write truncated inside the frame.
+    Truncated {
+        /// Bytes actually present.
+        got: usize,
+        /// Bytes the frame requires.
+        need: usize,
+    },
+    /// The header magic is wrong: not a record file, or the header
+    /// itself was corrupted.
+    BadMagic,
+    /// The frame declares a format version this build cannot read.
+    BadVersion(u32),
+    /// The payload length in the header disagrees with the bytes on
+    /// disk (torn write past the header, or trailing garbage).
+    LengthMismatch {
+        /// Payload length the header declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// The payload checksum does not match the header — the bytes
+    /// were corrupted after the frame was written.
+    ChecksumMismatch {
+        /// CRC-32 recorded in the header.
+        expected: u32,
+        /// CRC-32 of the payload as read.
+        found: u32,
+    },
+    /// No manifest exists in the store directory (nothing was ever
+    /// committed, or the manifest itself was lost).
+    MissingManifest,
+    /// The manifest disagrees with the record it points at: the file
+    /// is gone, carries a different generation, or its payload CRC
+    /// does not match the manifest's pin. A lying manifest must never
+    /// produce a warm restore.
+    ManifestMismatch(String),
+    /// The payload bytes were intact (CRC passed) but did not decode
+    /// into the expected structure.
+    Decode(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Truncated { got, need } => {
+                write!(f, "record truncated: {got} bytes present, {need} required")
+            }
+            StoreError::BadMagic => write!(f, "record header magic mismatch"),
+            StoreError::BadVersion(v) => write!(f, "unsupported record version {v}"),
+            StoreError::LengthMismatch { declared, actual } => write!(
+                f,
+                "record length mismatch: header declares {declared} payload bytes, found {actual}"
+            ),
+            StoreError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "record checksum mismatch: header {expected:#010x}, payload {found:#010x}"
+            ),
+            StoreError::MissingManifest => write!(f, "no manifest in store directory"),
+            StoreError::ManifestMismatch(msg) => write!(f, "manifest mismatch: {msg}"),
+            StoreError::Decode(msg) => write!(f, "record payload decode failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<gddr_ser::JsonError> for StoreError {
+    fn from(e: gddr_ser::JsonError) -> Self {
+        StoreError::Decode(e.0)
+    }
+}
+
+impl StoreError {
+    /// Short stable tag for telemetry (`recovery` events carry it so
+    /// operators can count corruption classes without string parsing).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            StoreError::Io(_) => "io",
+            StoreError::Truncated { .. } => "truncated",
+            StoreError::BadMagic => "bad_magic",
+            StoreError::BadVersion(_) => "bad_version",
+            StoreError::LengthMismatch { .. } => "length_mismatch",
+            StoreError::ChecksumMismatch { .. } => "checksum_mismatch",
+            StoreError::MissingManifest => "missing_manifest",
+            StoreError::ManifestMismatch(_) => "manifest_mismatch",
+            StoreError::Decode(_) => "decode",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind_names_are_stable() {
+        let errors: Vec<StoreError> = vec![
+            StoreError::Io(std::io::Error::other("disk on fire")),
+            StoreError::Truncated { got: 3, need: 20 },
+            StoreError::BadMagic,
+            StoreError::BadVersion(9),
+            StoreError::LengthMismatch {
+                declared: 100,
+                actual: 7,
+            },
+            StoreError::ChecksumMismatch {
+                expected: 1,
+                found: 2,
+            },
+            StoreError::MissingManifest,
+            StoreError::ManifestMismatch("generation 3 != 4".into()),
+            StoreError::Decode("not an object".into()),
+        ];
+        let mut kinds = std::collections::BTreeSet::new();
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            kinds.insert(e.kind_name());
+        }
+        assert_eq!(kinds.len(), 9, "kind names must be distinct");
+    }
+}

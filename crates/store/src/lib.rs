@@ -1,0 +1,104 @@
+//! # gddr-store
+//!
+//! Crash-consistent durable state for the GDDR fleet: the one audited
+//! write path shared by training checkpoints and serving snapshots.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`write_atomic`] — the tmp-then-rename primitive. A writer either
+//!   lands the complete new file or leaves the old one untouched;
+//!   readers never observe a half-written file under POSIX rename
+//!   semantics.
+//! - [`write_record`] / [`read_record`] — CRC-checksummed,
+//!   length-framed record files. Every torn write (a truncation at any
+//!   byte prefix) and every single bit flip is detected on read and
+//!   reported as a typed [`StoreError`]; the payload is returned only
+//!   when it is verifiably intact.
+//! - [`Store`] — a generation directory: numbered record files plus an
+//!   atomically-replaced `MANIFEST.json` naming the latest good
+//!   generation and pinning its payload CRC. Recovery reads the
+//!   manifest, verifies the record it points at, and cross-checks the
+//!   generation and CRC — a manifest that lies (stale, missing, or
+//!   pointing at the wrong generation) is itself a typed error, never
+//!   a silently-wrong restore.
+//!
+//! On top of the framing sits [`FleetSnapshot`]: the serialisable
+//! per-shard state capture (routing payloads are carried as opaque
+//! JSON so this crate stays hermetic — std + `gddr-ser` only; the
+//! serving layer owns the domain encoding).
+//!
+//! Nothing in this crate panics on untrusted bytes: every decode path
+//! returns [`StoreError`].
+
+mod crc;
+mod error;
+mod record;
+mod snapshot;
+mod store;
+
+pub use crc::crc32;
+pub use error::StoreError;
+pub use record::{decode_record, encode_record, read_record, write_record, RECORD_HEADER_LEN};
+pub use snapshot::{FleetSnapshot, ShardSnapshot};
+pub use store::{Manifest, Store, MANIFEST_NAME};
+
+use std::ffi::OsString;
+use std::fs;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: the data lands in
+/// `<path>.tmp` first and is renamed over `path` only once fully
+/// written, so a crash mid-write leaves any previous file intact and
+/// never exposes a partial one.
+///
+/// This is the shared primitive behind training checkpoints
+/// (`gddr_rl::checkpoint`) and serving snapshot manifests.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] when the temporary file cannot be
+/// written or the rename fails.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut tmp = OsString::from(path.as_os_str());
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gddr-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_tmp_and_replaces_contents() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("state.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer payload").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer payload");
+        assert!(
+            !dir.join("state.json.tmp").exists(),
+            "tmp must be renamed away"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_into_missing_directory_is_a_typed_error() {
+        let path = std::env::temp_dir()
+            .join(format!("gddr-store-missing-{}", std::process::id()))
+            .join("no/such/dir/state.json");
+        let err = write_atomic(&path, b"x").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+    }
+}

@@ -1,0 +1,192 @@
+//! CRC-checksummed, length-framed record files — the on-disk unit of
+//! durability.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"GDDRSTO1" (7-byte tag + 1-byte version)
+//! 8       8     payload length (u64)
+//! 16      4     payload CRC-32 (IEEE)
+//! 20      len   payload bytes
+//! ```
+//!
+//! The decode order is deliberate: length checks run before the CRC so
+//! a torn write (truncation at any byte prefix) is reported as
+//! [`StoreError::Truncated`] / [`StoreError::LengthMismatch`] without
+//! ever hashing garbage, and a full-length frame with flipped bits is
+//! caught by the checksum. Every corruption class maps to a distinct
+//! typed error; no path panics.
+
+use std::path::Path;
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::write_atomic;
+
+/// 7-byte format tag; the eighth magic byte is the version.
+const MAGIC_TAG: &[u8; 7] = b"GDDRSTO";
+/// The record format version this build reads and writes.
+const VERSION: u8 = b'1';
+/// Bytes of framing before the payload: magic + length + CRC.
+pub const RECORD_HEADER_LEN: usize = 8 + 8 + 4;
+
+/// Frames `payload` into a complete record byte string.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC_TAG);
+    out.push(VERSION);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Unframes a record, returning the payload only if it is verifiably
+/// intact.
+///
+/// # Errors
+///
+/// - [`StoreError::Truncated`] — fewer bytes than a complete header.
+/// - [`StoreError::BadMagic`] / [`StoreError::BadVersion`] — the file
+///   is not a record, or was written by an incompatible format.
+/// - [`StoreError::LengthMismatch`] — the payload was cut short or has
+///   trailing garbage.
+/// - [`StoreError::ChecksumMismatch`] — bit corruption inside the
+///   payload.
+pub fn decode_record(data: &[u8]) -> Result<Vec<u8>, StoreError> {
+    if data.len() < RECORD_HEADER_LEN {
+        return Err(StoreError::Truncated {
+            got: data.len(),
+            need: RECORD_HEADER_LEN,
+        });
+    }
+    if &data[..7] != MAGIC_TAG {
+        return Err(StoreError::BadMagic);
+    }
+    if data[7] != VERSION {
+        return Err(StoreError::BadVersion(u32::from(data[7])));
+    }
+    let declared = u64::from_le_bytes(data[8..16].try_into().expect("8-byte slice"));
+    let actual = (data.len() - RECORD_HEADER_LEN) as u64;
+    if declared != actual {
+        return Err(StoreError::LengthMismatch { declared, actual });
+    }
+    let expected = u32::from_le_bytes(data[16..20].try_into().expect("4-byte slice"));
+    let payload = &data[RECORD_HEADER_LEN..];
+    let found = crc32(payload);
+    if expected != found {
+        return Err(StoreError::ChecksumMismatch { expected, found });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Writes `payload` to `path` as a framed record, atomically.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn write_record(path: &Path, payload: &[u8]) -> Result<(), StoreError> {
+    write_atomic(path, &encode_record(payload))
+}
+
+/// Reads and verifies the record at `path`.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the file cannot be read, otherwise any
+/// [`decode_record`] error.
+pub fn read_record(path: &Path) -> Result<Vec<u8>, StoreError> {
+    decode_record(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_payloads_of_every_small_size() {
+        for len in 0..64usize {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            let framed = encode_record(&payload);
+            assert_eq!(framed.len(), RECORD_HEADER_LEN + len);
+            assert_eq!(decode_record(&framed).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_a_typed_error() {
+        let framed = encode_record(b"the fleet snapshot payload");
+        for cut in 0..framed.len() {
+            let err = decode_record(&framed[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. } | StoreError::LengthMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_typed_error() {
+        let framed = encode_record(b"routing state must not lie");
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                let err = decode_record(&bad).unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        StoreError::BadMagic
+                            | StoreError::BadVersion(_)
+                            | StoreError::LengthMismatch { .. }
+                            | StoreError::ChecksumMismatch { .. }
+                    ),
+                    "flip at byte {byte} bit {bit}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_length_mismatch() {
+        let mut framed = encode_record(b"abc");
+        framed.push(0xAA);
+        assert!(matches!(
+            decode_record(&framed).unwrap_err(),
+            StoreError::LengthMismatch {
+                declared: 3,
+                actual: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected_without_hashing() {
+        let mut framed = encode_record(b"payload");
+        framed[7] = b'2';
+        assert!(matches!(
+            decode_record(&framed).unwrap_err(),
+            StoreError::BadVersion(v) if v == u32::from(b'2')
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let dir = std::env::temp_dir().join(format!("gddr-store-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet-1.rec");
+        write_record(&path, b"snapshot bytes").unwrap();
+        assert_eq!(read_record(&path).unwrap(), b"snapshot bytes");
+        let missing = dir.join("fleet-2.rec");
+        assert!(matches!(
+            read_record(&missing).unwrap_err(),
+            StoreError::Io(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -239,6 +239,35 @@ pub enum Event {
         /// Count-based failover-clock value at recovery.
         clock: u64,
     },
+    /// A durable fleet snapshot generation was committed to the store.
+    SnapshotWritten {
+        /// Shard count captured in the snapshot.
+        shards: u64,
+        /// Logical tick the snapshot was taken at.
+        epoch: u64,
+        /// Store generation the commit produced.
+        generation: u64,
+        /// Framed record size in bytes.
+        bytes: u64,
+        /// Store directory the generation landed in.
+        path: String,
+    },
+    /// A fleet restart attempted to restore durable state: either a
+    /// warm restore of a verified generation, or a clean cold start
+    /// after a typed `StoreError`.
+    Recovery {
+        /// Shards restored (warm) or reset (cold).
+        shards: u64,
+        /// `warm` or `cold`.
+        outcome: String,
+        /// Generation restored on a warm path; 0 on a cold start.
+        generation: u64,
+        /// Snapshot tick resumed from on a warm path; 0 on cold.
+        epoch: u64,
+        /// Stable corruption-class tag on a cold start (e.g.
+        /// `checksum_mismatch`); empty on a warm restore.
+        detail: String,
+    },
 }
 
 /// Encodes trace attributes as a JSON object (order preserved).
@@ -286,7 +315,9 @@ impl Event {
             | Event::SloAlert { .. }
             | Event::Failover { .. }
             | Event::HedgeFired { .. }
-            | Event::ReplicaRecovered { .. } => self.kind(),
+            | Event::ReplicaRecovered { .. }
+            | Event::SnapshotWritten { .. }
+            | Event::Recovery { .. } => self.kind(),
         }
     }
 
@@ -313,6 +344,8 @@ impl Event {
             Event::Failover { .. } => "failover",
             Event::HedgeFired { .. } => "hedge_fired",
             Event::ReplicaRecovered { .. } => "replica_recovered",
+            Event::SnapshotWritten { .. } => "snapshot_written",
+            Event::Recovery { .. } => "recovery",
         }
     }
 }
@@ -531,6 +564,34 @@ impl ToJson for Event {
                 ("probes", probes.to_json()),
                 ("clock", clock.to_json()),
             ]),
+            Event::SnapshotWritten {
+                shards,
+                epoch,
+                generation,
+                bytes,
+                path,
+            } => Json::obj([
+                ("type", "snapshot_written".to_json()),
+                ("shards", shards.to_json()),
+                ("epoch", epoch.to_json()),
+                ("generation", generation.to_json()),
+                ("bytes", bytes.to_json()),
+                ("path", path.to_json()),
+            ]),
+            Event::Recovery {
+                shards,
+                outcome,
+                generation,
+                epoch,
+                detail,
+            } => Json::obj([
+                ("type", "recovery".to_json()),
+                ("shards", shards.to_json()),
+                ("outcome", outcome.to_json()),
+                ("generation", generation.to_json()),
+                ("epoch", epoch.to_json()),
+                ("detail", detail.to_json()),
+            ]),
         }
     }
 }
@@ -654,6 +715,20 @@ impl FromJson for Event {
                 replica: FromJson::from_json(json.field("replica")?)?,
                 probes: FromJson::from_json(json.field("probes")?)?,
                 clock: FromJson::from_json(json.field("clock")?)?,
+            }),
+            "snapshot_written" => Ok(Event::SnapshotWritten {
+                shards: FromJson::from_json(json.field("shards")?)?,
+                epoch: FromJson::from_json(json.field("epoch")?)?,
+                generation: FromJson::from_json(json.field("generation")?)?,
+                bytes: FromJson::from_json(json.field("bytes")?)?,
+                path: FromJson::from_json(json.field("path")?)?,
+            }),
+            "recovery" => Ok(Event::Recovery {
+                shards: FromJson::from_json(json.field("shards")?)?,
+                outcome: FromJson::from_json(json.field("outcome")?)?,
+                generation: FromJson::from_json(json.field("generation")?)?,
+                epoch: FromJson::from_json(json.field("epoch")?)?,
+                detail: FromJson::from_json(json.field("detail")?)?,
             }),
             other => Err(JsonError(format!("unknown event type {other:?}"))),
         }
@@ -810,6 +885,27 @@ mod tests {
                 replica: 0,
                 probes: 8,
                 clock: 40,
+            },
+            Event::SnapshotWritten {
+                shards: 3,
+                epoch: 96,
+                generation: 4,
+                bytes: 2_048,
+                path: "out/fleet-store".into(),
+            },
+            Event::Recovery {
+                shards: 3,
+                outcome: "warm".into(),
+                generation: 4,
+                epoch: 96,
+                detail: String::new(),
+            },
+            Event::Recovery {
+                shards: 3,
+                outcome: "cold".into(),
+                generation: 0,
+                epoch: 0,
+                detail: "checksum_mismatch".into(),
             },
         ]
     }

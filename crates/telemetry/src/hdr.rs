@@ -120,6 +120,30 @@ impl LogHistogram {
                 .collect(),
         }
     }
+
+    /// Rebuilds a live histogram from a snapshot — the warm-restart
+    /// path, so a restored shard's tail quantiles continue from where
+    /// the crashed process left off instead of resetting to empty.
+    ///
+    /// Returns `None` when the snapshot is inconsistent (an index out
+    /// of range, or bucket counts that do not sum to `count`): a
+    /// CRC-intact but semantically-corrupt snapshot must degrade, not
+    /// panic or mis-report.
+    pub fn from_snapshot(snap: &HdrSnapshot) -> Option<LogHistogram> {
+        let mut h = LogHistogram::new();
+        let mut total = 0u64;
+        for &(index, c) in &snap.buckets {
+            let slot = h.counts.get_mut(usize::try_from(index).ok()?)?;
+            *slot = slot.checked_add(c)?;
+            total = total.checked_add(c)?;
+        }
+        if total != snap.count {
+            return None;
+        }
+        h.count = snap.count;
+        h.sum = snap.sum;
+        Some(h)
+    }
 }
 
 /// Shared quantile walk: rank = ceil(q * count) clamped to `1..=count`
@@ -344,6 +368,39 @@ mod tests {
         let back = HdrSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn from_snapshot_restores_a_live_histogram() {
+        let mut h = LogHistogram::new();
+        for v in [3, 40, 999, 1_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut back = LogHistogram::from_snapshot(&snap).unwrap();
+        assert_eq!(back.snapshot(), snap);
+        // The restored histogram keeps recording seamlessly.
+        back.record(50);
+        assert_eq!(back.count(), h.count() + 1);
+        assert!(back.quantile(0.99) >= h.quantile(0.99));
+    }
+
+    #[test]
+    fn from_snapshot_rejects_inconsistent_snapshots() {
+        // Out-of-range bucket index.
+        let bad = HdrSnapshot {
+            count: 1,
+            sum: 1,
+            buckets: vec![(u64::MAX, 1)],
+        };
+        assert!(LogHistogram::from_snapshot(&bad).is_none());
+        // Bucket counts disagreeing with the declared total.
+        let bad = HdrSnapshot {
+            count: 5,
+            sum: 10,
+            buckets: vec![(3, 2)],
+        };
+        assert!(LogHistogram::from_snapshot(&bad).is_none());
     }
 
     #[test]

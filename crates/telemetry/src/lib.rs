@@ -492,6 +492,51 @@ pub fn replica_recovered_event(shard: u64, replica: u64, probes: u64, clock: u64
     });
 }
 
+/// Records a committed durable fleet snapshot: bumps
+/// `store.snapshots_written` and streams an [`Event::SnapshotWritten`].
+/// No-op when telemetry is disabled.
+pub fn snapshot_written_event(shards: u64, epoch: u64, generation: u64, bytes: u64, path: &str) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("store.snapshots_written", 1);
+    dispatch(&Event::Counter {
+        name: "store.snapshots_written".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::SnapshotWritten {
+        shards,
+        epoch,
+        generation,
+        bytes,
+        path: path.to_string(),
+    });
+}
+
+/// Records a fleet restart's restore attempt — warm (a verified
+/// generation was installed) or cold (a typed `StoreError` degraded
+/// recovery to defaults): bumps `store.recoveries` and streams an
+/// [`Event::Recovery`]. No-op when telemetry is disabled.
+pub fn recovery_event(shards: u64, outcome: &str, generation: u64, epoch: u64, detail: &str) {
+    if !is_enabled() {
+        return;
+    }
+    let total = registry().counter_add("store.recoveries", 1);
+    dispatch(&Event::Counter {
+        name: "store.recoveries".to_string(),
+        delta: 1,
+        total,
+    });
+    dispatch(&Event::Recovery {
+        shards,
+        outcome: outcome.to_string(),
+        generation,
+        epoch,
+        detail: detail.to_string(),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +735,8 @@ mod tests {
             failover_event(0, 0, 1, "pool_dead", 4);
             hedge_fired_event(0, 2, 0, 1, 1, 2);
             replica_recovered_event(0, 0, 8, 9);
+            snapshot_written_event(1, 2, 3, 4, "out/store");
+            recovery_event(1, "cold", 0, 0, "bad_magic");
             trace_annotation_event(TraceCtx::mint(0, 1), "fleet.admitted", 0, &[]);
             let snap = registry().snapshot();
             assert_eq!(snap.counter("ppo.checkpoints"), None);
@@ -699,6 +746,8 @@ mod tests {
             assert_eq!(snap.counter("serve.failovers"), None);
             assert_eq!(snap.counter("serve.hedges_fired"), None);
             assert_eq!(snap.counter("serve.replica_recoveries"), None);
+            assert_eq!(snap.counter("store.snapshots_written"), None);
+            assert_eq!(snap.counter("store.recoveries"), None);
         });
     }
 
@@ -837,6 +886,14 @@ mod tests {
             (
                 "serve.replica_recoveries",
                 Box::new(|| replica_recovered_event(1, 0, 8, 2)),
+            ),
+            (
+                "store.snapshots_written",
+                Box::new(|| snapshot_written_event(2, 10, 3, 512, "out/store")),
+            ),
+            (
+                "store.recoveries",
+                Box::new(|| recovery_event(2, "warm", 3, 10, "")),
             ),
         ];
         for (expected_counter, emit) in cases {

@@ -217,6 +217,23 @@ impl SloTracker {
     pub fn latency_snapshot(&self) -> HdrSnapshot {
         self.latency.snapshot()
     }
+
+    /// Restores the latency histogram from a durable snapshot (warm
+    /// restart). The burn-rate window is deliberately **not** restored:
+    /// it re-warms from live traffic under the `min_samples` guard, so
+    /// a restored shard cannot alert off stale pre-crash responses.
+    ///
+    /// Returns `false` (leaving the tracker unchanged) when the
+    /// snapshot is inconsistent — see [`LogHistogram::from_snapshot`].
+    pub fn restore_latency(&mut self, snap: &HdrSnapshot) -> bool {
+        match LogHistogram::from_snapshot(snap) {
+            Some(h) => {
+                self.latency = h;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,308 @@
+//! Integration tests for crash-consistent fleet state: kill the fleet
+//! at every tick boundary and demand a warm restore, sweep torn-write
+//! prefixes over the committed record and demand clean cold starts,
+//! and check that same-seed crash/restore runs — and restores under
+//! different thread counts — replay bit-identically.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gddr_core::{DdrEnvConfig, GnnPolicy, GnnPolicyConfig};
+use gddr_net::topology::zoo;
+use gddr_net::Graph;
+use gddr_rng::rngs::StdRng;
+use gddr_rng::SeedableRng;
+use gddr_serve::{
+    ControllerConfig, EngineFactory, EpochRequest, FleetConfig, FleetRequest, InferenceEngine,
+    PolicyEngine, RecoveryReport, Rung, ShardRouter, SnapshotPolicy,
+};
+use gddr_store::{StoreError, RECORD_HEADER_LEN};
+use gddr_traffic::gen::{bimodal, BimodalParams};
+
+const MEMORY: usize = 3;
+const CLIENTS: u64 = 2;
+
+fn gnn_factory(seed: u64) -> EngineFactory {
+    Arc::new(move |graph: &Graph| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = GnnPolicy::new(
+            &GnnPolicyConfig {
+                memory: MEMORY,
+                latent: 8,
+                hidden: 16,
+                message_steps: 2,
+                layer_norm: true,
+            },
+            -0.5,
+            &mut rng,
+        );
+        Box::new(PolicyEngine::new(policy, graph, MEMORY)) as Box<dyn InferenceEngine>
+    })
+}
+
+fn shard_topologies() -> Vec<(&'static str, Graph)> {
+    vec![("cesnet", zoo::cesnet()), ("abilene", zoo::abilene())]
+}
+
+fn build_fleet(config: FleetConfig) -> ShardRouter {
+    let mut router = ShardRouter::new(config).expect("fleet config is valid");
+    for (i, (name, graph)) in shard_topologies().into_iter().enumerate() {
+        router
+            .add_shard(
+                name,
+                graph,
+                DdrEnvConfig {
+                    memory: MEMORY,
+                    ..DdrEnvConfig::default()
+                },
+                ControllerConfig {
+                    queue_capacity: 64,
+                    score_responses: false,
+                    ..ControllerConfig::default()
+                },
+                gnn_factory(41 + i as u64),
+            )
+            .unwrap();
+    }
+    router
+}
+
+fn tick_load(tick: u64, seed: u64) -> Vec<FleetRequest> {
+    let mut out = Vec::new();
+    for client in 0..CLIENTS {
+        for (i, (name, graph)) in shard_topologies().into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (tick * 997 + client * 31 + i as u64));
+            out.push(FleetRequest {
+                topology: name.to_string(),
+                request: EpochRequest {
+                    epoch: tick,
+                    demands: bimodal(graph.num_nodes(), &BimodalParams::default(), &mut rng),
+                    deadline_ms: 10_000,
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Runs one `ShardRouter::run` call per tick (so the every-run
+/// snapshot hook fires at every tick boundary) and returns one
+/// `"shard:rungs"` digest entry plus the raw rungs per tick.
+fn run_ticks(router: &ShardRouter, from: u64, to: u64, seed: u64) -> (Vec<String>, Vec<Vec<Rung>>) {
+    let mut digest = Vec::new();
+    let mut per_tick = Vec::new();
+    for tick in from..to {
+        let mut rungs = Vec::new();
+        for outcome in router.run(&tick_load(tick, seed)).unwrap() {
+            digest.push(format!("{}:{}", outcome.name, outcome.rung_sequence()));
+            rungs.extend(outcome.responses.iter().map(|r| r.rung));
+        }
+        per_tick.push(rungs);
+    }
+    (digest, per_tick)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gddr-itg-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn killing_the_fleet_at_every_tick_still_restores_warm() {
+    for crash_at in 1..=4u64 {
+        let dir = temp_dir(&format!("kill{crash_at}"));
+        // The warm window is measured in serving epochs (requests) per
+        // controller, so covering one full tick takes CLIENTS epochs.
+        let policy = SnapshotPolicy {
+            every_runs: 1,
+            warm_epochs: CLIENTS,
+        };
+
+        let mut fleet_a = build_fleet(FleetConfig::default());
+        fleet_a.enable_snapshots(&dir, policy.clone()).unwrap();
+        run_ticks(&fleet_a, 0, crash_at, 17);
+        drop(fleet_a); // The "crash": the process state is gone.
+
+        let mut fleet_b = build_fleet(FleetConfig::default());
+        fleet_b.enable_snapshots(&dir, policy).unwrap();
+        match fleet_b.recover_from() {
+            RecoveryReport::Warm { generation, tick } => {
+                assert_eq!(tick, crash_at, "restore resumed at the wrong tick");
+                assert!(generation >= crash_at, "generation fell behind the ticks");
+            }
+            RecoveryReport::Cold { error } => {
+                panic!("crash at tick {crash_at}: expected warm restore, got cold ({error})")
+            }
+        }
+        let (_, per_tick) = run_ticks(&fleet_b, crash_at, crash_at + 4, 17);
+        assert!(
+            per_tick[0].iter().all(|&r| r == Rung::LastGood),
+            "crash at tick {crash_at}: first post-restore responses must ride LastGood, got {:?}",
+            per_tick[0]
+        );
+        let last = per_tick.last().unwrap();
+        assert!(
+            last.iter().all(|&r| r == Rung::Fresh),
+            "crash at tick {crash_at}: fresh inference never resumed after the warm window"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_write_prefix_sweep_cold_starts_cleanly() {
+    let dir = temp_dir("torn");
+    let mut fleet = build_fleet(FleetConfig::default());
+    fleet
+        .enable_snapshots(&dir, SnapshotPolicy::default())
+        .unwrap();
+    run_ticks(&fleet, 0, 3, 23);
+    drop(fleet);
+
+    // The manifest pins the newest record; tearing that file at any
+    // prefix must surface as a typed cold start. Records embed
+    // wall-clock latency histograms, so cuts are expressed as
+    // fractions rather than fixed byte offsets.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rec"))
+        .max()
+        .expect("store has at least one record");
+    let pristine = std::fs::read(&newest).unwrap();
+    assert!(pristine.len() > RECORD_HEADER_LEN);
+    let cuts = [
+        0,
+        RECORD_HEADER_LEN / 2,
+        RECORD_HEADER_LEN - 1,
+        RECORD_HEADER_LEN,
+        pristine.len() / 2,
+        pristine.len() - 1,
+    ];
+    // A restore against the torn store must never write a fresh
+    // generation that papers over the damage, so the probe fleets get
+    // an effectively-never snapshot interval.
+    let passive = SnapshotPolicy {
+        every_runs: 1_000_000,
+        warm_epochs: 1,
+    };
+    for cut in cuts {
+        std::fs::write(&newest, &pristine[..cut]).unwrap();
+        let mut probe = build_fleet(FleetConfig::default());
+        probe.enable_snapshots(&dir, passive.clone()).unwrap();
+        match probe.recover_from() {
+            RecoveryReport::Cold { error } => assert!(
+                matches!(
+                    error,
+                    StoreError::Truncated { .. } | StoreError::LengthMismatch { .. }
+                ),
+                "cut at {cut}: expected a torn-write error, got {error}"
+            ),
+            RecoveryReport::Warm { generation, .. } => {
+                panic!("cut at {cut}: torn record restored warm at generation {generation}")
+            }
+        }
+        // The cold fleet still serves, and never pretends to have
+        // restored state it does not have.
+        let (_, per_tick) = run_ticks(&probe, 3, 4, 23);
+        assert!(
+            per_tick[0].iter().all(|&r| r != Rung::LastGood),
+            "cut at {cut}: cold start served LastGood out of thin air"
+        );
+    }
+    // With the pristine bytes back, the same store restores warm.
+    std::fs::write(&newest, &pristine).unwrap();
+    let mut healed = build_fleet(FleetConfig::default());
+    healed.enable_snapshots(&dir, passive).unwrap();
+    assert!(
+        healed.recover_from().is_warm(),
+        "pristine record no longer restores warm"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_seed_crash_restore_runs_replay_bitwise() {
+    // Two independent crash/restore runs of the same seeded workload
+    // must replay each other bit for bit: same rungs, same routings.
+    let run_once = |tag: &str| {
+        let dir = temp_dir(tag);
+        let policy = SnapshotPolicy {
+            every_runs: 1,
+            warm_epochs: 2,
+        };
+        let mut fleet = build_fleet(FleetConfig::default());
+        fleet.enable_snapshots(&dir, policy.clone()).unwrap();
+        run_ticks(&fleet, 0, 3, 31);
+        drop(fleet);
+
+        let mut restored = build_fleet(FleetConfig::default());
+        restored.enable_snapshots(&dir, policy).unwrap();
+        assert!(restored.recover_from().is_warm());
+        let (digest, _) = run_ticks(&restored, 3, 7, 31);
+        let mut routings = Vec::new();
+        for tick in 7..9 {
+            for outcome in restored.run(&tick_load(tick, 31)).unwrap() {
+                for resp in &outcome.responses {
+                    routings.push((outcome.name.clone(), resp.epoch, resp.routing.clone()));
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (digest, routings)
+    };
+    let (digest_a, routings_a) = run_once("replay-a");
+    let (digest_b, routings_b) = run_once("replay-b");
+    assert_eq!(digest_a, digest_b, "restored runs diverged on rungs");
+    assert_eq!(
+        routings_a, routings_b,
+        "restored runs diverged on routing bytes"
+    );
+}
+
+#[test]
+fn recovered_fleet_is_thread_count_invariant() {
+    let dir = temp_dir("threads");
+    let policy = SnapshotPolicy {
+        every_runs: 1,
+        warm_epochs: CLIENTS,
+    };
+    let mut fleet = build_fleet(FleetConfig::default());
+    fleet.enable_snapshots(&dir, policy.clone()).unwrap();
+    run_ticks(&fleet, 0, 2, 37);
+    drop(fleet);
+
+    // The probes must not advance the store between restores, or the
+    // second thread count would restore a later generation than the
+    // first: they read the crash snapshot but never write.
+    let passive = SnapshotPolicy {
+        every_runs: 1_000_000,
+        warm_epochs: CLIENTS,
+    };
+    let mut digests = Vec::new();
+    for threads in [1usize, 4] {
+        let mut restored = build_fleet(FleetConfig {
+            threads,
+            ..FleetConfig::default()
+        });
+        restored.enable_snapshots(&dir, passive.clone()).unwrap();
+        match restored.recover_from() {
+            RecoveryReport::Warm { tick, .. } => assert_eq!(tick, 2),
+            RecoveryReport::Cold { error } => {
+                panic!("threads={threads}: expected warm restore, got cold ({error})")
+            }
+        }
+        let (digest, per_tick) = run_ticks(&restored, 2, 5, 37);
+        assert!(
+            per_tick[0].iter().all(|&r| r == Rung::LastGood),
+            "threads={threads}: restore did not open a warm window"
+        );
+        digests.push(digest);
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "recovered fleet behaviour depends on the thread count"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

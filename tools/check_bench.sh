@@ -71,6 +71,12 @@ def check_serve_load(name, base, fresh):
         regressions.append(f"{name}: chaos blast radius escaped the killed shard")
     if chaos.get("killed_degraded", 0) <= 0:
         regressions.append(f"{name}: killed shard never degraded")
+    drill = fresh.get("recovery_drill")
+    if drill is not None:
+        if not drill.get("warm", False):
+            regressions.append(f"{name}: recovery drill did not restore warm")
+        if not drill.get("corrupt_cold", False):
+            regressions.append(f"{name}: corrupted store was not refused cold")
     check_low(
         f"{name}: throughput req_per_s",
         base["throughput"]["req_per_s"],

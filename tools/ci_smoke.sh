@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One CI smoke leg, runnable locally too:
 #
-#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover|scenario>
+#   tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover|scenario|recovery>
 #
 # Every leg assumes the release build already exists (CI restores it
 # from the shared cache; locally run `cargo build --release --offline`
@@ -10,7 +10,7 @@
 
 set -euo pipefail
 
-LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover|scenario>}"
+LEG="${1:?usage: tools/ci_smoke.sh <telemetry|resume|fuzz|robustness|chaos|serve_load|trace|failover|scenario|recovery>}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 ART="$ROOT/ci_artifacts"
 mkdir -p "$ART"
@@ -113,6 +113,29 @@ case "$LEG" in
     run scenario_sweep -- \
       --regimes flap_storm --eval-steps 4 --seed 42 \
       --out "$ART/BENCH_scenario_sweep.json"
+    ;;
+  recovery)
+    # Crash-consistent fleet state: crash/restore at the half-way
+    # tick (warm restart on the restored LastGood rung), a corruption
+    # sweep (torn prefixes, bit flips, missing record/manifest — every
+    # case a typed cold start), and the deliberately broken
+    # manifest_lies (a stale record under an intact manifest is
+    # detected as ManifestMismatch but the scenario demands warm, so
+    # it must fail). Each replays twice with bit-identical event, rung
+    # AND failover sequences. The serve-mode telemetry gate then
+    # checks snapshot_written / recovery events against their store.*
+    # counters, and the snapshot_decode fuzz target hammers the record
+    # codec with mutations that must all be typed StoreErrors.
+    run chaos_harness -- \
+      --scenario recovery --seed 42 --requests 48 \
+      --out "$ART/recovery_report.json" --telemetry "$ART/recovery_events.jsonl" \
+      --postmortem "$ART/recovery_postmortem.jsonl"
+    run telemetry_check -- --file "$ART/recovery_events.jsonl" --mode serve \
+      --relax breaker_transition,worker_restart,request_shed,health_transition
+    run fuzz_harness -- \
+      --targets snapshot_decode --seeds 30 --size 12 \
+      --out "$ART/snapshot_fuzz_report.json" \
+      --replay-out "$ART/snapshot_fuzz_counterexample.json"
     ;;
   *)
     echo "unknown smoke leg '$LEG'" >&2
